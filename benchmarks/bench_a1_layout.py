@@ -1,0 +1,23 @@
+"""Ablation A1: NSM vs column-vector append-page layout (the "V").
+
+Asserts the vector layout's visibility sweep touches a small fraction of
+the bytes the row layout must read.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import ablation_layout
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_a1_layout(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: ablation_layout.run(warehouses=3,
+                                    duration_usec=6 * units.SEC,
+                                    scale=BENCH_SCALE))
+    (out_dir / "a1_layout.txt").write_text(result.table())
+    assert result.vector_saving > 0.4, \
+        f"vector sweep saving too small: {result.vector_saving:.2f}"

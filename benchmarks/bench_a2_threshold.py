@@ -1,0 +1,29 @@
+"""Ablation A2: flush-threshold sweep (fill degree → writes and space).
+
+Asserts the paper's monotone trade: higher fill targets pack pages denser
+and cut both write volume and device footprint; t1 (eager) never beats the
+dense t2 configurations.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import ablation_threshold
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_a2_threshold(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: ablation_threshold.run(warehouses=3,
+                                       duration_usec=6 * units.SEC,
+                                       fill_targets=(0.25, 0.95),
+                                       scale=BENCH_SCALE))
+    (out_dir / "a2_threshold.txt").write_text(result.table())
+    by_label = {p.label: p for p in result.points}
+    sparse = by_label["t2 fill=0.25"]
+    dense = by_label["t2 fill=0.95"]
+    assert dense.avg_fill > sparse.avg_fill
+    assert dense.sealed_pages <= sparse.sealed_pages
+    assert dense.write_mib <= sparse.write_mib

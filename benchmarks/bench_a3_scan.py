@@ -1,0 +1,23 @@
+"""Ablation A3: VIDmap-mediated scan vs. traditional full-relation scan.
+
+Asserts the selective-I/O claim: the VIDmap scan must return exactly the
+same rows while issuing no more device reads than the full scan.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import ablation_scan
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_a3_scan(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: ablation_scan.run(warehouses=3,
+                                  duration_usec=6 * units.SEC,
+                                  scale=BENCH_SCALE))
+    (out_dir / "a3_scan.txt").write_text(result.table())
+    assert result.rows_equal, "both strategies must return identical rows"
+    assert result.vidmap_reads < result.full_reads

@@ -1,0 +1,23 @@
+"""Ablation A4: flash endurance — erases and write amplification.
+
+On a deliberately small SSD under fixed work, SIAS-V must cause no more
+block erases and no more write amplification than SI.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import endurance
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_a4_endurance(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: endurance.run(warehouses=1, capacity_mib=10,
+                              num_transactions=3000, scale=BENCH_SCALE))
+    (out_dir / "a4_endurance.txt").write_text(result.table())
+    assert result.erases["sias-v"] <= result.erases["si"]
+    assert result.write_amp["sias-v"] <= result.write_amp["si"] + 0.05
+    by_engine = {row[0]: row for row in result.rows}
+    assert by_engine["sias-v"][1] < by_engine["si"][1]  # host writes

@@ -1,0 +1,24 @@
+"""Ablation A5: FTL SSD vs NoFTL raw flash — write-latency predictability.
+
+Asserts the paper's discussion claim: with the DBMS driving reclamation on
+raw flash, host writes never stall behind device-internal GC, so the
+latency tail stays flat at the program latency while the FTL's tail spikes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_noftl
+
+from conftest import run_once
+
+
+def test_a5_noftl(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: ablation_noftl.run(rows=200, updates=10_000,
+                                   capacity_mib=6, gc_every=1000,
+                                   cold_rows=100))
+    (out_dir / "a5_noftl.txt").write_text(result.table())
+    assert result.max_latency["noftl"] == 400
+    assert result.max_latency["ftl"] > result.max_latency["noftl"]
+    assert result.write_amp["noftl"] == 1.0

@@ -1,0 +1,25 @@
+"""Ablation A6: recency (SIAS-V) vs transaction (SI-CV) co-location.
+
+Asserts the placement trade: transaction co-location packs one
+transaction's versions onto (near) one page per relation, while recency
+placement smears them across concurrently-filling pages.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import ablation_colocation
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_a6_colocation(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: ablation_colocation.run(warehouses=3,
+                                        duration_usec=6 * units.SEC,
+                                        scale=BENCH_SCALE))
+    (out_dir / "a6_colocation.txt").write_text(result.table())
+    assert result.pages_per_txn["transaction"] < \
+        result.pages_per_txn["recency"]
+    assert result.pages_per_txn["transaction"] < 1.5

@@ -1,0 +1,26 @@
+"""Exhibit F1/F2: blocktrace I/O-pattern figures (SIAS-V vs SI on SSD).
+
+Regenerates the paper's pair of blocktrace figures and asserts their shape:
+SIAS-V issues far fewer writes with near-perfect append (swimlane) locality;
+SI mixes scattered reads and writes.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import blocktrace
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_f1_f2_blocktrace(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: blocktrace.run(warehouses=3,
+                               duration_usec=6 * units.SEC,
+                               scale=BENCH_SCALE))
+    (out_dir / "f1_f2_blocktrace.txt").write_text(result.render())
+    by_engine = {row[0]: row for row in result.rows}
+    sias, si = by_engine["sias-v"], by_engine["si"]
+    assert sias[2] < si[2], "SIAS-V must issue fewer writes"
+    assert sias[5] >= si[5], "SIAS-V writes must be more sequential"

@@ -1,0 +1,31 @@
+"""Exhibit F5: tolerable load — SI saturates earlier than SIAS-V.
+
+Asserts the conclusion's "higher amount of tolerable load": as offered load
+grows, SIAS-V keeps tracking it while SI's throughput stalls and its p90
+response time balloons.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import tolerable_load
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_f5_tolerable_load(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: tolerable_load.run(warehouses=4,
+                                   client_counts=(4, 16),
+                                   duration_usec=5 * units.SEC,
+                                   pool_pages=64,
+                                   scale=BENCH_SCALE))
+    (out_dir / "f5_tolerable_load.txt").write_text(result.table())
+    low, high = result.points[0], result.points[-1]
+    # SIAS-V keeps scaling with offered load; SI stalls comparatively
+    sias_growth = high.sias_notpm / max(1.0, low.sias_notpm)
+    si_growth = high.si_notpm / max(1.0, low.si_notpm)
+    assert sias_growth > si_growth
+    # and SI's tail is visibly worse under the heavy level
+    assert high.si_p90_sec > high.sias_p90_sec

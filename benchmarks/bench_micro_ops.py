@@ -1,0 +1,141 @@
+"""Micro-benchmarks: per-operation costs of the core building blocks.
+
+Unlike the exhibit benches (single end-to-end simulations), these measure
+hot kernels with proper repetition: engine insert/update/read, VIDmap
+access, B⁺-tree operations, page codecs and the FTL write path.  They give
+the wall-clock profile of the library itself rather than of the simulated
+hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common.config import PageLayout
+from repro.db.database import EngineKind
+from repro.core.vidmap import VidMap
+from repro.index.btree import BPlusTree
+from repro.pages.append_page import AppendPage
+from repro.pages.base import Page
+from repro.pages.layout import Tid, VersionRecord
+from repro.storage.ftl import PageMappedFtl
+from repro.common.config import FlashConfig
+from repro.common import units
+
+from repro.common.config import BufferConfig, SystemConfig
+from repro.db.catalog import IndexDef
+from repro.db.database import Database
+from repro.db.schema import ColType, Schema
+
+
+def _accounts_db(kind: EngineKind) -> Database:
+    config = SystemConfig(flash=FlashConfig(capacity_bytes=64 * units.MIB),
+                          buffer=BufferConfig(pool_pages=512),
+                          extent_pages=16)
+    db = Database.on_flash(kind, config)
+    schema = Schema.of(("id", ColType.INT), ("owner", ColType.STR),
+                       ("balance", ColType.FLOAT))
+    db.create_table("accounts", schema, indexes=[
+        IndexDef("pk", ("id",), unique=True),
+        IndexDef("by_owner", ("owner",)),
+    ])
+    return db
+
+
+@pytest.fixture(params=[EngineKind.SIASV, EngineKind.SI],
+                ids=["sias-v", "si"])
+def loaded_db(request):
+    db = _accounts_db(request.param)
+    txn = db.begin()
+    for i in range(2000):
+        db.insert(txn, "accounts", (i, f"owner{i % 40}", float(i)))
+    db.commit(txn)
+    return db
+
+
+def test_engine_insert(benchmark, loaded_db):
+    counter = itertools.count(10_000)
+
+    def insert_one():
+        txn = loaded_db.begin()
+        i = next(counter)
+        loaded_db.insert(txn, "accounts", (i, "fresh", 0.0))
+        loaded_db.commit(txn)
+
+    benchmark(insert_one)
+
+
+def test_engine_point_lookup(benchmark, loaded_db):
+    keys = itertools.cycle(range(2000))
+
+    def lookup_one():
+        txn = loaded_db.begin()
+        hits = loaded_db.lookup(txn, "accounts", "pk", next(keys))
+        loaded_db.commit(txn)
+        return hits
+
+    assert len(benchmark(lookup_one)) == 1
+
+
+def test_engine_update(benchmark, loaded_db):
+    keys = itertools.cycle(range(2000))
+
+    def update_one():
+        txn = loaded_db.begin()
+        key = next(keys)
+        ref, row = loaded_db.lookup(txn, "accounts", "pk", key)[0]
+        loaded_db.update(txn, "accounts", ref, (key, row[1], row[2] + 1))
+        loaded_db.commit(txn)
+
+    benchmark(update_one)
+
+
+def test_vidmap_get_set(benchmark):
+    vidmap = VidMap()
+    for vid in range(100_000):
+        vidmap.set(vid, Tid(vid // 100, vid % 100))
+    vids = itertools.cycle(range(100_000))
+
+    def one_roundtrip():
+        vid = next(vids)
+        tid = vidmap.get(vid)
+        vidmap.set(vid, tid)
+
+    benchmark(one_roundtrip)
+
+
+def test_btree_insert_search(benchmark):
+    tree = BPlusTree(order=64)
+    for i in range(50_000):
+        tree.insert(i, i)
+    probe = itertools.cycle(range(0, 50_000, 7))
+
+    def search_one():
+        return tree.search(next(probe))
+
+    benchmark(search_one)
+
+
+@pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR],
+                         ids=["nsm", "vector"])
+def test_append_page_serialise(benchmark, layout):
+    page = AppendPage(0, layout)
+    i = 0
+    record = VersionRecord(1, 0, None, False, b"x" * 120)
+    while page.fits(record):
+        page.append(VersionRecord(i, i, None, False, b"x" * 120))
+        i += 1
+    raw = benchmark(page.to_bytes)
+    assert Page.from_bytes(raw).record_count == page.record_count
+
+
+def test_ftl_host_write(benchmark):
+    ftl = PageMappedFtl(FlashConfig(capacity_bytes=64 * units.MIB))
+    lpns = itertools.cycle(range(1024))
+
+    def write_one():
+        ftl.host_write(next(lpns))
+
+    benchmark(write_one)

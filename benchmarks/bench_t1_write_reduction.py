@@ -1,0 +1,26 @@
+"""Exhibit T1: write amount (MiB) and reduction (%) — SI vs SIAS-t1/t2.
+
+Regenerates the paper's Table 1 rows (at bench scale) and asserts the
+ordering the paper reports: SIAS-t2 writes least, SIAS-t1 in between,
+SI most — with a substantial reduction for t2.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import write_reduction
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_t1_write_reduction(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: write_reduction.run(warehouses=3,
+                                    durations_usec=(6 * units.SEC,),
+                                    scale=BENCH_SCALE))
+    (out_dir / "t1_write_reduction.txt").write_text(result.table())
+    (_t, si_mib, t1_mib, t2_mib, red_t1, red_t2) = result.rows[0]
+    assert t2_mib <= t1_mib < si_mib
+    assert float(red_t2.rstrip("%")) >= 50.0, \
+        f"expected a large t2 reduction, got {red_t2}"

@@ -1,0 +1,27 @@
+"""Exhibit T2: space consumption and fill degree — SI vs SIAS-t1/t2.
+
+Asserts the paper's packing claims: t2 pages are packed near the fill
+target while t1 pages go out sparse (lower average fill, more wasted
+bytes), which is what drives t2's space reduction.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import space
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_t2_space(benchmark, out_dir):
+    result = run_once(
+        benchmark,
+        lambda: space.run(warehouses=3, duration_usec=6 * units.SEC,
+                          scale=BENCH_SCALE))
+    (out_dir / "t2_space.txt").write_text(result.table())
+    by_config = {row[0]: row for row in result.rows}
+    t1_fill = by_config["SIAS-t1"][4]
+    t2_fill = by_config["SIAS-t2"][4]
+    assert t2_fill > t1_fill, "t2 must pack pages denser than t1"
+    assert by_config["SIAS-t2"][1] <= by_config["SIAS-t1"][1], \
+        "t2 must not occupy more space than t1"

@@ -1,0 +1,37 @@
+"""Shared benchmark scaffolding.
+
+Every exhibit bench runs its experiment exactly once inside
+``benchmark.pedantic`` (these are end-to-end simulations, not
+microsecond-scale kernels), asserts the paper's qualitative shape, and
+writes the regenerated table/figure to ``benchmarks/out/`` so the artefacts
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workload.tpcc_schema import TpccScale
+
+#: Small-but-meaningful workload scale for the bench suite.
+BENCH_SCALE = TpccScale(districts_per_warehouse=4,
+                        customers_per_district=10, items=50,
+                        stock_per_warehouse=50,
+                        initial_orders_per_district=5,
+                        min_order_lines=3, max_order_lines=8)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables and figures."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

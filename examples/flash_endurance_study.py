@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Flash endurance study: what the SSD experiences under each engine.
+
+Runs the same update-heavy workload against SIAS-V and classical SI on a
+deliberately small simulated SSD, then opens up the device: host writes vs
+internal programs (write amplification), block erases, per-block wear
+spread, and foreground-GC stalls.  Finishes with the two blocktrace ASCII
+figures so the write-pattern difference is visible, not just counted.
+
+Run:  python examples/flash_endurance_study.py
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+from repro.experiments import blocktrace, endurance
+from repro.workload.tpcc_schema import TpccScale
+
+SCALE = TpccScale(districts_per_warehouse=5, customers_per_district=15,
+                  items=100, stock_per_warehouse=100,
+                  initial_orders_per_district=5)
+
+
+def main() -> None:
+    print("1/2  Device-internal view (small SSD, fixed work) ...\n")
+    result = endurance.run(warehouses=2, capacity_mib=16,
+                           num_transactions=8000, scale=SCALE)
+    print(result.table())
+    sias_erases = result.erases["sias-v"]
+    si_erases = result.erases["si"]
+    print(f"Block erases: SIAS-V {sias_erases} vs SI {si_erases} — every "
+          "erase is wear, and the spec'd endurance budget is per block.\n")
+
+    print("2/2  Blocktrace figures (what blktrace would show) ...\n")
+    figures = blocktrace.run(warehouses=4, duration_usec=10 * units.SEC,
+                             scale=SCALE)
+    print(figures.figures["sias-v"])
+    print(figures.figures["si"])
+    print(figures.table())
+    print("Reading the figures: SIAS-V's writes form per-relation append "
+          "swimlanes over a read-mostly scatter;\nSI mixes reads with "
+          "writes smeared across the whole address range (in-place "
+          "invalidations + FSM placement).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the SIAS-V evaluation.
+
+Runs all exhibits (F1/F2 blocktraces, T1 write reduction, T2 space, F3/F4
+SSD-RAID throughput sweeps, T3 HDD table, A1–A4 ablations) at a moderate
+scale and writes each rendered table/figure into ``RESULTS/``, plus a
+combined ``RESULTS/summary.txt``.  EXPERIMENTS.md documents how each output
+compares to the paper.
+
+Run:  python examples/reproduce_paper.py [--quick]
+
+``--quick`` uses bench-sized parameters (~2 minutes); the default moderate
+scale takes on the order of 15–30 minutes of wall time.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.common import units
+from repro.experiments import (
+    ablation_colocation,
+    ablation_layout,
+    ablation_noftl,
+    ablation_scan,
+    ablation_threshold,
+    blocktrace,
+    endurance,
+    harness,
+    space,
+    tolerable_load,
+    tpcc_hdd,
+    tpcc_ssd,
+    write_reduction,
+)
+from repro.workload.tpcc_schema import TpccScale
+
+RESULTS = pathlib.Path(__file__).resolve().parents[1] / "RESULTS"
+
+MODERATE = dict(
+    scale=TpccScale(),       # 10 districts, 30 customers/district, 200 items
+    blocktrace_wh=10, blocktrace_usec=30 * units.SEC,
+    t1_wh=10, t1_durations=(30 * units.SEC, 45 * units.SEC,
+                            90 * units.SEC),
+    t2_wh=10, t2_usec=30 * units.SEC,
+    sweep_wh=(4, 8, 16, 24), sweep_usec=15 * units.SEC,
+    hdd_wh=(3, 6, 9, 12), hdd_usec=15 * units.SEC,
+    ablation_wh=8, ablation_usec=15 * units.SEC,
+    endurance_txns=12_000, endurance_mib=20,
+    load_clients=(4, 8, 16, 24, 32),
+)
+
+QUICK = dict(
+    scale=TpccScale(districts_per_warehouse=4, customers_per_district=10,
+                    items=50, stock_per_warehouse=50,
+                    initial_orders_per_district=5),
+    blocktrace_wh=3, blocktrace_usec=6 * units.SEC,
+    t1_wh=3, t1_durations=(6 * units.SEC,),
+    t2_wh=3, t2_usec=6 * units.SEC,
+    sweep_wh=(2, 5), sweep_usec=5 * units.SEC,
+    hdd_wh=(2, 4), hdd_usec=5 * units.SEC,
+    ablation_wh=3, ablation_usec=6 * units.SEC,
+    endurance_txns=3000, endurance_mib=10,
+    load_clients=(4, 16),
+)
+
+
+def main(quick: bool = False) -> None:
+    p = QUICK if quick else MODERATE
+    RESULTS.mkdir(exist_ok=True)
+    summary: list[str] = []
+
+    def emit(name: str, text: str) -> None:
+        (RESULTS / f"{name}.txt").write_text(text)
+        summary.append(text)
+        print(text)
+
+    t0 = time.time()
+    print("== F1/F2: blocktrace figures ==")
+    bt = blocktrace.run(warehouses=p["blocktrace_wh"],
+                        duration_usec=p["blocktrace_usec"],
+                        scale=p["scale"])
+    emit("f1_f2_blocktrace", bt.render())
+
+    print("== T1: write amount & reduction ==")
+    wr = write_reduction.run(warehouses=p["t1_wh"],
+                             durations_usec=p["t1_durations"],
+                             scale=p["scale"])
+    emit("t1_write_reduction", wr.table())
+
+    print("== T2: space consumption ==")
+    sp = space.run(warehouses=p["t2_wh"], duration_usec=p["t2_usec"],
+                   scale=p["scale"])
+    emit("t2_space", sp.table())
+
+    print("== F3: throughput sweep, 2-SSD stripe ==")
+    f3 = tpcc_ssd.run(setup=harness.ssd_raid2(),
+                      warehouse_counts=p["sweep_wh"],
+                      duration_usec=p["sweep_usec"], scale=p["scale"])
+    emit("f3_ssd_raid2", f3.table())
+
+    print("== F4: throughput sweep, 6-SSD stripe ==")
+    f4 = tpcc_ssd.run(setup=harness.ssd_raid6(),
+                      warehouse_counts=p["sweep_wh"],
+                      duration_usec=p["sweep_usec"], scale=p["scale"])
+    emit("f4_ssd_raid6", f4.table())
+
+    print("== F5: tolerable load sweep ==")
+    f5 = tolerable_load.run(warehouses=p["ablation_wh"],
+                            client_counts=p["load_clients"],
+                            duration_usec=p["sweep_usec"],
+                            pool_pages=96, scale=p["scale"])
+    emit("f5_tolerable_load", f5.table())
+
+    print("== T3: TPC-C on HDD ==")
+    t3 = tpcc_hdd.run(warehouse_counts=p["hdd_wh"],
+                      duration_usec=p["hdd_usec"], scale=p["scale"])
+    emit("t3_hdd", t3.table())
+
+    print("== A1: page-layout ablation ==")
+    a1 = ablation_layout.run(warehouses=p["ablation_wh"],
+                             duration_usec=p["ablation_usec"],
+                             scale=p["scale"])
+    emit("a1_layout", a1.table())
+
+    print("== A2: flush-threshold ablation ==")
+    a2 = ablation_threshold.run(warehouses=p["ablation_wh"],
+                                duration_usec=p["ablation_usec"],
+                                scale=p["scale"])
+    emit("a2_threshold", a2.table())
+
+    print("== A3: scan-strategy ablation ==")
+    a3 = ablation_scan.run(warehouses=p["ablation_wh"],
+                           duration_usec=p["ablation_usec"],
+                           scale=p["scale"])
+    emit("a3_scan", a3.table())
+
+    print("== A4: flash endurance ==")
+    a4 = endurance.run(warehouses=2, capacity_mib=p["endurance_mib"],
+                       num_transactions=p["endurance_txns"],
+                       scale=p["scale"])
+    emit("a4_endurance", a4.table())
+
+    print("== A5: FTL vs NoFTL raw flash ==")
+    a5 = ablation_noftl.run()
+    emit("a5_noftl", a5.table())
+
+    print("== A6: co-location policy ==")
+    a6 = ablation_colocation.run(warehouses=p["ablation_wh"],
+                                 duration_usec=p["ablation_usec"],
+                                 scale=p["scale"])
+    emit("a6_colocation", a6.table())
+
+    (RESULTS / "summary.txt").write_text("\n".join(summary))
+    print(f"\nAll exhibits written to {RESULTS}/ "
+          f"({time.time() - t0:.0f}s wall)")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

@@ -1,0 +1,54 @@
+"""SIAS-V reproduction: Snapshot Isolation Append Storage — Vectors on Flash.
+
+A pure-Python reproduction of the SIAS-V system (EDBT 2014 demo): an
+append-only multi-version storage engine for snapshot isolation, organised
+around VID-mapping vectors and columnar append pages, evaluated against the
+classical in-place-invalidation SI baseline on simulated flash and HDD
+devices under a TPC-C-style workload.
+
+Quick start::
+
+    from repro import Database, EngineKind, IndexDef, Schema, ColType
+
+    db = Database.on_flash(EngineKind.SIASV)
+    schema = Schema.of(("id", ColType.INT), ("qty", ColType.INT))
+    db.create_table("stock", schema,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    txn = db.begin()
+    ref = db.insert(txn, "stock", (1, 10))
+    db.commit(txn)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the regenerated
+tables and figures.
+"""
+
+from repro.common import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    FlushThreshold,
+    HddConfig,
+    PageLayout,
+    SimClock,
+    SystemConfig,
+)
+from repro.db import ColType, Database, EngineKind, IndexDef, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferConfig",
+    "ColType",
+    "Database",
+    "EngineConfig",
+    "EngineKind",
+    "FlashConfig",
+    "FlushThreshold",
+    "HddConfig",
+    "IndexDef",
+    "PageLayout",
+    "Schema",
+    "SimClock",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baseline: classical in-place-invalidation Snapshot Isolation engine."""
+
+from repro.baseline.engine import SiEngine, SiStats
+from repro.baseline.fsm import FreeSpaceMap
+from repro.baseline.heap import HeapStats, HeapStore
+from repro.baseline.vacuum import Vacuum, VacuumReport
+
+__all__ = [
+    "FreeSpaceMap",
+    "HeapStats",
+    "HeapStore",
+    "SiEngine",
+    "SiStats",
+    "Vacuum",
+    "VacuumReport",
+]

@@ -1,0 +1,155 @@
+"""Classical Snapshot Isolation engine — the paper's comparison baseline.
+
+Faithful to the PostgreSQL behaviour the paper describes: every tuple version
+carries *both* timestamps; an update (i) stamps ``xmax`` **in place** on the
+old version's page and (ii) inserts the new version on an arbitrary page
+with free space (FSM).  That is two dirtied pages per update, scattered over
+the relation — the random-write pattern of the SI blocktrace.  A delete
+stamps ``xmax`` only.  Aborted transactions leave their versions in place
+(invisible via the commit log) for VACUUM to reclaim, exactly like
+PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.heap import HeapStore
+from repro.buffer.manager import BufferManager
+from repro.common.config import EngineConfig
+from repro.common.errors import SerializationError
+from repro.pages.layout import XMAX_INFINITY, HeapTuple, Tid
+from repro.txn.manager import Transaction, TransactionManager
+from repro.wal.records import WalRecord, WalRecordType
+
+
+@dataclass
+class SiStats:
+    """Baseline behaviour counters."""
+
+    reads: int = 0
+    visibility_checks: int = 0
+
+
+class SiEngine:
+    """Update-in-place MVCC engine for one relation."""
+
+    def __init__(self, relation_id: int, buffer: BufferManager,
+                 file_id: int, config: EngineConfig,
+                 txn_mgr: TransactionManager) -> None:
+        self.relation_id = relation_id
+        self.config = config
+        self.txn_mgr = txn_mgr
+        self.heap = HeapStore(buffer, file_id, config)
+        self.stats = SiStats()
+
+    # -- visibility ---------------------------------------------------------------
+
+    def is_visible(self, txn: Transaction, tuple_: HeapTuple) -> bool:
+        """Classical SI check over both on-tuple timestamps."""
+        self.stats.visibility_checks += 1
+        snapshot, clog = txn.snapshot, self.txn_mgr.clog
+        if not snapshot.sees_ts(tuple_.xmin, clog):
+            return False
+        if tuple_.xmax != XMAX_INFINITY and snapshot.sees_ts(tuple_.xmax,
+                                                             clog):
+            return False  # invalidated before our snapshot
+        return True
+
+    # -- write path --------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, payload: bytes) -> Tid:
+        """Create a tuple; returns its TID (the item handle under SI)."""
+        tuple_ = HeapTuple(xmin=txn.txid, xmax=XMAX_INFINITY,
+                           tombstone=False, payload=payload)
+        tid = self.heap.insert_tuple(tuple_)
+        self._log(txn, WalRecordType.INSERT, tid, payload)
+        txn.writes += 1
+        return tid
+
+    def update(self, txn: Transaction, tid: Tid, payload: bytes) -> Tid:
+        """Invalidate ``tid`` in place and insert the successor version.
+
+        Returns the new version's TID — callers (and indexes) must track it.
+        """
+        self._check_updatable(txn, tid)
+        self.txn_mgr.locks.acquire((self.relation_id, tid), txn.txid)
+        # 1st physical write: in-place xmax stamp on the old version's page.
+        self.heap.set_xmax(tid, txn.txid)
+        # 2nd physical write: the new version on an arbitrary FSM page.
+        new_tuple = HeapTuple(xmin=txn.txid, xmax=XMAX_INFINITY,
+                              tombstone=False, payload=payload)
+        new_tid = self.heap.insert_tuple(new_tuple)
+        self._log(txn, WalRecordType.UPDATE, new_tid, payload)
+        txn.writes += 1
+        return new_tid
+
+    def delete(self, txn: Transaction, tid: Tid) -> None:
+        """Invalidate ``tid`` in place (no new version)."""
+        self._check_updatable(txn, tid)
+        self.txn_mgr.locks.acquire((self.relation_id, tid), txn.txid)
+        self.heap.set_xmax(tid, txn.txid)
+        self._log(txn, WalRecordType.DELETE, tid, b"")
+        txn.writes += 1
+
+    def _check_updatable(self, txn: Transaction, tid: Tid) -> None:
+        tuple_ = self.heap.read(tid)
+        if not self.is_visible(txn, tuple_):
+            raise SerializationError(
+                f"tuple {tid} is not visible to txn {txn.txid}: "
+                "concurrent update (first-updater-wins)")
+        if tuple_.xmax != XMAX_INFINITY and tuple_.xmax != txn.txid:
+            # Someone else already stamped this version.  If they aborted
+            # the stamp is void and we may proceed; if they are running or
+            # committed (necessarily concurrent with us, or the version
+            # would be invisible) we are the second updater and lose.
+            if not self.txn_mgr.clog.is_aborted(tuple_.xmax):
+                raise SerializationError(
+                    f"tuple {tid} was invalidated by txn {tuple_.xmax} "
+                    "(first-updater-wins)")
+
+    def _log(self, txn: Transaction, rtype: WalRecordType, tid: Tid,
+             payload: bytes) -> None:
+        if self.txn_mgr.wal is not None:
+            item = (tid.page_no << 16) | tid.slot
+            self.txn_mgr.wal.append(WalRecord(rtype, txn.txid, item, payload,
+                                              self.relation_id))
+
+    # -- read path -------------------------------------------------------------------------
+
+    def is_dead_to_all(self, tid: Tid) -> bool:
+        """Whether no present or future snapshot can see this version.
+
+        Used for index *kill bits* (PostgreSQL's LP_DEAD hints): an index
+        scan that lands on such a version removes the entry immediately
+        instead of waiting for VACUUM, which keeps hot keys from
+        accumulating unbounded dead entries between vacuums.
+        """
+        tuple_ = self.heap.read(tid)
+        clog = self.txn_mgr.clog
+        if clog.is_aborted(tuple_.xmin):
+            return True
+        if tuple_.xmax == XMAX_INFINITY:
+            return False
+        return (tuple_.xmax < self.txn_mgr.horizon_txid()
+                and clog.is_committed(tuple_.xmax))
+
+    def read(self, txn: Transaction, tid: Tid) -> bytes | None:
+        """Payload at ``tid`` if that exact version is visible, else None."""
+        txn.reads += 1
+        self.stats.reads += 1
+        tuple_ = self.heap.read(tid)
+        if self.is_visible(txn, tuple_):
+            return tuple_.payload
+        return None
+
+    def scan(self, txn: Transaction):
+        """Traditional full scan: every page, every version, checked.
+
+        Pages are fetched one at a time (sequential — the HDD-era pattern);
+        yields ``(tid, payload)`` for visible versions.
+        """
+        for page_no, page in self.heap.pages():
+            for slot, tuple_ in page.tuples():
+                if self.is_visible(txn, tuple_):
+                    yield Tid(page_no, slot), tuple_.payload

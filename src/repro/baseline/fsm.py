@@ -1,0 +1,66 @@
+"""Free-space map for the baseline heap.
+
+PostgreSQL places new tuple versions on *any* page with enough free space.
+The map tracks approximate per-page free bytes and serves requests from a
+rotating cursor — so consecutive inserts land on different pages spread over
+the whole file.  This is the placement behaviour behind the scattered write
+pattern of the SI blocktrace (and behind SIAS-V's contrasting swimlanes).
+"""
+
+from __future__ import annotations
+
+
+class FreeSpaceMap:
+    """Approximate free-bytes-per-page tracking with rotating first-fit."""
+
+    def __init__(self) -> None:
+        self._free: list[int] = []
+        self._cursor = 0
+        # upper bound on max(self._free); lets find_page refuse in O(1)
+        # when no page can fit (tightened whenever a full scan fails)
+        self._max_free_bound = 0
+
+    @property
+    def page_count(self) -> int:
+        """Pages known to the map."""
+        return len(self._free)
+
+    def register_page(self, page_no: int, free_bytes: int) -> None:
+        """Add a page (must be registered in page-number order)."""
+        if page_no != len(self._free):
+            raise ValueError(
+                f"pages register sequentially: expected {len(self._free)}, "
+                f"got {page_no}")
+        self._free.append(free_bytes)
+        self._max_free_bound = max(self._max_free_bound, free_bytes)
+
+    def update(self, page_no: int, free_bytes: int) -> None:
+        """Refresh a page's free-byte estimate."""
+        self._free[page_no] = free_bytes
+        self._max_free_bound = max(self._max_free_bound, free_bytes)
+
+    def free_bytes(self, page_no: int) -> int:
+        """Current estimate for a page."""
+        return self._free[page_no]
+
+    def find_page(self, needed: int) -> int | None:
+        """First page (from the rotating cursor) with ``needed`` bytes free.
+
+        Returns None when no page fits — the caller extends the file.  The
+        cursor advances past a successful hit, spreading placements.
+        """
+        if needed > self._max_free_bound:
+            return None  # no page can possibly fit
+        n = len(self._free)
+        for step in range(n):
+            page_no = (self._cursor + step) % n
+            if self._free[page_no] >= needed:
+                self._cursor = (page_no + 1) % n
+                return page_no
+        # the bound was stale: tighten it so the next misses are O(1)
+        self._max_free_bound = max(self._free, default=0)
+        return None
+
+    def total_free(self) -> int:
+        """Sum of free bytes over all pages."""
+        return sum(self._free)

@@ -1,0 +1,112 @@
+"""Heap store: mutable slotted pages managed through the buffer pool.
+
+This is the update-in-place substrate of the SI baseline.  Every mutation —
+including the 8-byte ``xmax`` stamp of an invalidation — dirties the whole
+page, which the buffer eventually writes back in place: the exact I/O
+pattern the paper identifies as hostile to flash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buffer.manager import BufferManager
+from repro.common.config import EngineConfig
+from repro.common.errors import NoSuchItemError
+from repro.baseline.fsm import FreeSpaceMap
+from repro.pages.layout import HeapTuple, Tid
+from repro.pages.slotted import SlottedHeapPage
+
+
+@dataclass
+class HeapStats:
+    """Write-side counters of the baseline."""
+
+    tuple_inserts: int = 0
+    in_place_invalidations: int = 0  # xmax stamps (the paper's culprit)
+    killed_tuples: int = 0
+    pages_extended: int = 0
+
+
+class HeapStore:
+    """Per-relation heap file with FSM-driven placement."""
+
+    def __init__(self, buffer: BufferManager, file_id: int,
+                 config: EngineConfig) -> None:
+        self.buffer = buffer
+        self.file_id = file_id
+        self.config = config
+        self.fsm = FreeSpaceMap()
+        self.stats = HeapStats()
+
+    @property
+    def page_count(self) -> int:
+        """Heap pages allocated so far."""
+        return self.fsm.page_count
+
+    # -- placement -----------------------------------------------------------------
+
+    def _page_for(self, needed: int) -> tuple[int, SlottedHeapPage]:
+        page_no = self.fsm.find_page(needed)
+        if page_no is not None:
+            page = self._get(page_no)
+            if page.fits_bytes(needed):
+                return page_no, page
+            self.fsm.update(page_no, page.free_bytes())
+        new_no = self.fsm.page_count
+        page = SlottedHeapPage(new_no, self.config.page_size)
+        self.buffer.put_dirty(self.file_id, new_no, page)
+        self.fsm.register_page(new_no, page.free_bytes())
+        self.stats.pages_extended += 1
+        return new_no, page
+
+    def _get(self, page_no: int) -> SlottedHeapPage:
+        page = self.buffer.get_page(self.file_id, page_no)
+        if not isinstance(page, SlottedHeapPage):
+            raise NoSuchItemError(
+                f"page {page_no} is {type(page).__name__}, expected heap")
+        return page
+
+    # -- tuple operations ---------------------------------------------------------------
+
+    def insert_tuple(self, tuple_: HeapTuple) -> Tid:
+        """Place a tuple on any page with room (FSM); returns its TID."""
+        fillfactor_room = int(self.config.page_size
+                              * (1.0 - self.config.heap_fillfactor))
+        needed = tuple_.size + 2 + fillfactor_room
+        page_no, page = self._page_for(needed)
+        slot = page.insert(tuple_)
+        self.buffer.mark_dirty(self.file_id, page_no)
+        self.fsm.update(page_no, page.free_bytes())
+        self.stats.tuple_inserts += 1
+        return Tid(page_no, slot)
+
+    def read(self, tid: Tid) -> HeapTuple:
+        """Fetch the tuple at ``tid``."""
+        return self._get(tid.page_no).read(tid.slot)
+
+    def set_xmax(self, tid: Tid, xmax: int) -> None:
+        """In-place invalidation: stamp ``xmax`` and dirty the page."""
+        page = self._get(tid.page_no)
+        page.set_xmax(tid.slot, xmax)
+        self.buffer.mark_dirty(self.file_id, tid.page_no)
+        self.stats.in_place_invalidations += 1
+
+    def kill(self, tid: Tid) -> None:
+        """Remove a dead tuple's body (VACUUM) and free its space."""
+        page = self._get(tid.page_no)
+        page.kill(tid.slot)
+        self.buffer.mark_dirty(self.file_id, tid.page_no)
+        self.fsm.update(tid.page_no, page.free_bytes())
+        self.stats.killed_tuples += 1
+
+    # -- iteration -----------------------------------------------------------------------
+
+    def pages(self):
+        """Yield ``(page_no, page)`` front to back (sequential scan order)."""
+        for page_no in range(self.fsm.page_count):
+            yield page_no, self._get(page_no)
+
+    def space_bytes(self) -> int:
+        """Device footprint of the heap file."""
+        return self.fsm.page_count * self.config.page_size

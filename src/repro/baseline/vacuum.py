@@ -1,0 +1,60 @@
+"""VACUUM: dead-version reclamation for the SI baseline.
+
+A heap tuple is dead when (a) its creator aborted, or (b) it was invalidated
+by a transaction that committed before the GC horizon — no present or future
+snapshot can see it.  VACUUM kills dead tuples in place (another page
+write!), refreshes the free-space map so the space is reused, and reports
+``(tid, payload)`` pairs so the database layer can prune the per-version
+index entries the baseline accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baseline.engine import SiEngine
+from repro.pages.layout import XMAX_INFINITY, HeapTuple, Tid
+
+
+@dataclass
+class VacuumReport:
+    """What one VACUUM pass reclaimed."""
+
+    horizon: int = 0
+    tuples_examined: int = 0
+    tuples_killed: int = 0
+    pages_touched: int = 0
+    killed: list[tuple[Tid, bytes]] = field(default_factory=list)
+
+
+class Vacuum:
+    """Full-relation vacuum over a baseline engine."""
+
+    def __init__(self, engine: SiEngine) -> None:
+        self.engine = engine
+
+    def _is_dead(self, tuple_: HeapTuple, horizon: int) -> bool:
+        clog = self.engine.txn_mgr.clog
+        if clog.is_aborted(tuple_.xmin):
+            return True
+        if tuple_.xmax == XMAX_INFINITY:
+            return False
+        return (tuple_.xmax < horizon and clog.is_committed(tuple_.xmax))
+
+    def run(self) -> VacuumReport:
+        """One pass over every heap page; returns the report."""
+        engine = self.engine
+        report = VacuumReport(horizon=engine.txn_mgr.horizon_txid())
+        for page_no, page in engine.heap.pages():
+            page_killed = 0
+            for slot, tuple_ in page.tuples():
+                report.tuples_examined += 1
+                if self._is_dead(tuple_, report.horizon):
+                    tid = Tid(page_no, slot)
+                    report.killed.append((tid, tuple_.payload))
+                    engine.heap.kill(tid)
+                    page_killed += 1
+            if page_killed:
+                report.pages_touched += 1
+                report.tuples_killed += page_killed
+        return report

@@ -1,0 +1,13 @@
+"""Buffer management: page cache, background writer (t1), checkpointer (t2)."""
+
+from repro.buffer.background_writer import BackgroundWriter
+from repro.buffer.checkpointer import Checkpointer
+from repro.buffer.manager import BufferManager, BufferStats, PageKey
+
+__all__ = [
+    "BackgroundWriter",
+    "BufferManager",
+    "BufferStats",
+    "Checkpointer",
+    "PageKey",
+]

@@ -1,0 +1,59 @@
+"""Checkpointer — the paper's flush threshold *t2* (piggy-back).
+
+On a (long) checkpoint interval every dirty buffer page is written back and
+subscribed append stores are asked to seal their working pages.  Under
+threshold **t2** a SIAS-V append page normally reaches the device only when
+*full* (the append store seals at its fill target); the checkpoint merely
+piggy-backs the final partial page — so pages arrive densely packed, which is
+where the paper's 97 % write reduction and ~12 % space reduction come from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.buffer.manager import BufferManager
+from repro.common.clock import SimClock
+
+
+class Checkpointer:
+    """Interval-driven full flush with seal subscriptions."""
+
+    def __init__(self, buffer: BufferManager, clock: SimClock,
+                 interval_usec: int) -> None:
+        self.buffer = buffer
+        self.clock = clock
+        self.interval_usec = interval_usec
+        self._next_run = clock.now + interval_usec
+        self._subscribers: list[Callable[[], None]] = []
+        self._post_subscribers: list[Callable[[], object]] = []
+        self.checkpoints = 0
+        self.pages_written = 0
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Register a pre-flush callback (t2 piggy-back seal hook)."""
+        self._subscribers.append(callback)
+
+    def subscribe_post(self, callback: Callable[[], object]) -> None:
+        """Register a post-flush callback (e.g. WAL segment recycling)."""
+        self._post_subscribers.append(callback)
+
+    def maybe_run(self) -> int:
+        """Run due checkpoints; returns how many executed."""
+        ran = 0
+        while self.clock.now >= self._next_run:
+            self._next_run += self.interval_usec
+            self.run_now()
+            ran += 1
+        return ran
+
+    def run_now(self) -> int:
+        """Execute one checkpoint immediately; returns pages written."""
+        self.checkpoints += 1
+        for callback in self._subscribers:
+            callback()
+        written = self.buffer.flush_all()
+        self.pages_written += written
+        for callback in self._post_subscribers:
+            callback()
+        return written

@@ -1,0 +1,252 @@
+"""Buffer manager: clock-sweep page cache over a tablespace.
+
+Both engines run on the same buffer manager, so every performance delta in
+the experiments comes from the storage *algorithm*, not from cache tuning.
+Frames hold deserialised :class:`~repro.pages.base.Page` objects; dirty
+frames are written back on eviction, by the background writer, or at
+checkpoints.  The eviction policy is the clock-sweep second-chance algorithm
+PostgreSQL uses.
+
+A note on the paper's "simplified buffer management" claim: SIAS-V pages are
+immutable once flushed, so the buffer never needs to write back a SIAS-V data
+page a second time — only the baseline's heap pages cycle through the dirty
+state repeatedly.  This falls out naturally here: the SIAS-V engine inserts
+sealed append pages as *clean* frames via :meth:`BufferManager.put_clean`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import NoFreeFrameError, PinError
+from repro.pages.base import Page
+from repro.storage.tablespace import Tablespace
+
+#: Buffer key: (file_id, page_no).
+PageKey = tuple[int, int]
+
+
+@dataclass
+class BufferStats:
+    """Cache effectiveness and writeback counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits per lookup (1.0 when everything was cached)."""
+        total = self.hits + self.misses
+        return 1.0 if total == 0 else self.hits / total
+
+
+@dataclass
+class _Frame:
+    page: Page
+    dirty: bool = False
+    pins: int = 0
+    referenced: bool = True
+
+
+class BufferManager:
+    """Fixed-capacity page cache with clock-sweep eviction."""
+
+    def __init__(self, tablespace: Tablespace, pool_pages: int) -> None:
+        if pool_pages < 1:
+            raise NoFreeFrameError(f"pool needs frames, got {pool_pages}")
+        self.tablespace = tablespace
+        self.pool_pages = pool_pages
+        self._frames: dict[PageKey, _Frame] = {}
+        self._clock_order: list[PageKey] = []
+        self._clock_hand = 0
+        self.stats = BufferStats()
+
+    # -- lookups -----------------------------------------------------------------
+
+    def get_page(self, file_id: int, page_no: int) -> Page:
+        """Return the page, reading it from the device on a miss."""
+        key = (file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.referenced = True
+            return frame.page
+        self.stats.misses += 1
+        lba = self.tablespace.lba_of(file_id, page_no)
+        raw = self.tablespace.device.read_page(lba)
+        page = Page.from_bytes(raw)
+        self._install(key, _Frame(page=page, dirty=False))
+        return page
+
+    def get_pages(self, file_id: int, page_nos: list[int]) -> list[Page]:
+        """Batched lookup: misses are fetched with one parallel device batch.
+
+        This is the read path the paper calls "parallelisable, complementing
+        the parallelism of the Flash storage" — the VIDmap-mediated scan
+        fetches many independent pages at once.
+        """
+        result: dict[int, Page] = {}
+        missing: list[int] = []
+        for page_no in page_nos:
+            frame = self._frames.get((file_id, page_no))
+            if frame is not None:
+                self.stats.hits += 1
+                frame.referenced = True
+                result[page_no] = frame.page
+            elif page_no not in result:
+                missing.append(page_no)
+        missing = list(dict.fromkeys(missing))
+        if missing:
+            self.stats.misses += len(missing)
+            lbas = [self.tablespace.lba_of(file_id, p) for p in missing]
+            raws = self.tablespace.device.read_pages(lbas)
+            for page_no, raw in zip(missing, raws):
+                page = Page.from_bytes(raw)
+                self._install((file_id, page_no), _Frame(page=page))
+                result[page_no] = page
+        return [result[p] for p in page_nos]
+
+    # -- insertion of fresh pages ----------------------------------------------------
+
+    def put_dirty(self, file_id: int, page_no: int, page: Page) -> None:
+        """Register a freshly created mutable page (baseline heap extends)."""
+        self.tablespace.ensure_page(file_id, page_no)
+        self._install((file_id, page_no), _Frame(page=page, dirty=True))
+
+    def put_clean(self, file_id: int, page_no: int, page: Page) -> None:
+        """Cache a page that is already persistent (sealed append pages)."""
+        self.tablespace.ensure_page(file_id, page_no)
+        self._install((file_id, page_no), _Frame(page=page, dirty=False))
+
+    # -- state transitions ---------------------------------------------------------------
+
+    def _frame(self, key: PageKey) -> _Frame:
+        try:
+            return self._frames[key]
+        except KeyError:
+            raise PinError(f"page {key} is not resident in the pool") from None
+
+    def mark_dirty(self, file_id: int, page_no: int) -> None:
+        """Flag a cached page as modified."""
+        self._frame((file_id, page_no)).dirty = True
+
+    def pin(self, file_id: int, page_no: int) -> None:
+        """Protect a frame from eviction while a caller works on it."""
+        self._frame((file_id, page_no)).pins += 1
+
+    def unpin(self, file_id: int, page_no: int) -> None:
+        """Release a pin."""
+        frame = self._frame((file_id, page_no))
+        if frame.pins <= 0:
+            raise PinError(f"unpin without pin on {(file_id, page_no)}")
+        frame.pins -= 1
+
+    def is_cached(self, file_id: int, page_no: int) -> bool:
+        """Whether the page currently resides in the pool."""
+        return (file_id, page_no) in self._frames
+
+    def is_dirty(self, file_id: int, page_no: int) -> bool:
+        """Whether the cached page has unwritten modifications."""
+        return self._frame((file_id, page_no)).dirty
+
+    def dirty_keys(self) -> list[PageKey]:
+        """Keys of all dirty frames (bgwriter / checkpoint input)."""
+        return [k for k, f in self._frames.items() if f.dirty]
+
+    def drop(self, file_id: int, page_no: int) -> None:
+        """Discard a frame without writeback (GC'd / truncated pages)."""
+        self._frames.pop((file_id, page_no), None)
+
+    def invalidate_all(self) -> None:
+        """Empty the pool without writeback (cold-cache experiments)."""
+        self._frames.clear()
+        self._clock_order.clear()
+        self._clock_hand = 0
+
+    # -- writeback ----------------------------------------------------------------------------
+
+    def flush_page(self, file_id: int, page_no: int) -> bool:
+        """Write one dirty page back; returns True if a write happened."""
+        key = (file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is None or not frame.dirty:
+            return False
+        self._writeback(key, frame)
+        return True
+
+    def flush_batch(self, keys: list[PageKey]) -> int:
+        """Write a set of dirty pages asynchronously (background flush).
+
+        Background writers and checkpoints run off the transaction path:
+        the writes occupy device channels (later reads queue behind them)
+        but the caller does not wait.  Only the *eviction* writeback —
+        a foreground backend needing a frame right now — is synchronous.
+        """
+        flushed = 0
+        for key in keys:
+            frame = self._frames.get(key)
+            if frame is None or not frame.dirty:
+                continue
+            lba = self.tablespace.ensure_page(*key)
+            self.tablespace.device.write_page_async(lba,
+                                                    frame.page.to_bytes())
+            frame.dirty = False
+            self.stats.writebacks += 1
+            flushed += 1
+        return flushed
+
+    def flush_all(self) -> int:
+        """Checkpoint: write back every dirty frame."""
+        return self.flush_batch(self.dirty_keys())
+
+    def _writeback(self, key: PageKey, frame: _Frame) -> None:
+        lba = self.tablespace.ensure_page(*key)
+        self.tablespace.device.write_page(lba, frame.page.to_bytes())
+        frame.dirty = False
+        self.stats.writebacks += 1
+
+    # -- clock-sweep internals -----------------------------------------------------------------
+
+    def _install(self, key: PageKey, frame: _Frame) -> None:
+        existing = self._frames.get(key)
+        if existing is not None:
+            if existing.pins > 0:
+                raise PinError(
+                    f"page {key} is pinned; cannot replace its frame")
+            self._frames[key] = frame
+            return
+        if len(self._frames) >= self.pool_pages:
+            self._evict_one()
+        self._frames[key] = frame
+        self._clock_order.append(key)
+
+    def _evict_one(self) -> None:
+        swept = 0
+        limit = 2 * len(self._clock_order) + 1
+        while swept < limit:
+            if self._clock_hand >= len(self._clock_order):
+                self._clock_hand = 0
+            key = self._clock_order[self._clock_hand]
+            frame = self._frames.get(key)
+            if frame is None:
+                self._clock_order.pop(self._clock_hand)
+                continue
+            if frame.pins > 0:
+                self._clock_hand += 1
+                swept += 1
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                self._clock_hand += 1
+                swept += 1
+                continue
+            if frame.dirty:
+                self._writeback(key, frame)
+            del self._frames[key]
+            self._clock_order.pop(self._clock_hand)
+            self.stats.evictions += 1
+            return
+        raise NoFreeFrameError(
+            "all buffer frames are pinned; cannot evict")

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — narrated engine walkthrough (the quickstart, non-interactive);
+* ``bench`` — run one workload comparison (engines, warehouses, seconds)
+  and print throughput / response time / device I/O;
+* ``exhibit`` — regenerate one paper exhibit by id (f1, t1, t2, f3, f4,
+  t3, a1..a6) with quick parameters;
+* ``snapshot`` — run a short workload and print the full system snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common import units
+from repro.db.database import EngineKind
+from repro.workload.driver import DriverConfig
+from repro.workload.tpcc_schema import TpccScale
+
+QUICK_SCALE = TpccScale(districts_per_warehouse=4,
+                        customers_per_district=10, items=50,
+                        stock_per_warehouse=50,
+                        initial_orders_per_district=5)
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.common.errors import SerializationError
+    from repro.db.catalog import IndexDef
+    from repro.db.database import Database
+    from repro.db.schema import ColType, Schema
+
+    db = Database.on_flash(EngineKind.SIASV)
+    schema = Schema.of(("sku", ColType.INT), ("price", ColType.FLOAT))
+    db.create_table("products", schema,
+                    indexes=[IndexDef("pk", ("sku",), unique=True)])
+    engine = db.table("products").engine
+
+    txn = db.begin()
+    ref = db.insert(txn, "products", (1, 49.0))
+    db.commit(txn)
+    print(f"insert  -> VID {ref}, entrypoint {engine.vidmap.get(ref)}")
+
+    reader = db.begin()
+    writer = db.begin()
+    db.update(writer, "products", ref, (1, 44.0))
+    db.commit(writer)
+    print(f"update  -> appended a successor; old snapshot still reads "
+          f"{db.read(reader, 'products', ref)[1]}")
+    db.commit(reader)
+
+    t1, t2 = db.begin(), db.begin()
+    db.update(t1, "products", ref, (1, 39.0))
+    try:
+        db.update(t2, "products", ref, (1, 59.0))
+    except SerializationError:
+        print("conflict-> second concurrent updater lost "
+              "(first-updater-wins)")
+        db.abort(t2)
+    db.commit(t1)
+
+    engine.store.seal_working_page()
+    report = db.maintenance()["products"]
+    print(f"gc      -> discarded {report.records_discarded} dead versions, "
+          f"reclaimed {report.pages_reclaimed} page(s)")
+    db.shutdown()
+    stats = db.data_device.stats
+    print(f"device  -> {stats.writes} page writes, {stats.reads} reads "
+          f"({db.clock.now_sec * 1000:.2f} simulated ms)")
+    print("\n(run examples/quickstart.py for the fully narrated version)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import harness
+    from repro.experiments.render import format_table
+
+    rows = []
+    for engine in (EngineKind.SIASV, EngineKind.SI):
+        run = harness.run_tpcc(
+            engine, harness.ssd_single(), args.warehouses,
+            args.seconds * units.SEC, scale=QUICK_SCALE,
+            driver_config=DriverConfig(
+                clients=args.clients,
+                maintenance_interval_usec=5 * units.SEC))
+        summary = run.metrics.summary()
+        rows.append([engine.value, round(summary.notpm),
+                     round(summary.mean_response_sec * 1000, 1),
+                     summary.aborts, round(run.write_mib, 1),
+                     round(units.mib(run.device_delta.read_bytes), 1)])
+    print(format_table(
+        f"TPC-C-style: {args.warehouses} WH, {args.seconds} sim-s, "
+        f"{args.clients} clients",
+        ["engine", "NOTPM", "mean rt (ms)", "aborts", "write MiB",
+         "read MiB"],
+        rows))
+    return 0
+
+
+_EXHIBITS = {
+    "f1": ("blocktrace", dict(warehouses=3, duration_usec=6 * units.SEC)),
+    "t1": ("write_reduction",
+           dict(warehouses=3, durations_usec=(6 * units.SEC,))),
+    "t2": ("space", dict(warehouses=3, duration_usec=6 * units.SEC)),
+    "f3": ("tpcc_ssd", dict(warehouse_counts=(2, 5),
+                            duration_usec=5 * units.SEC)),
+    "f4": ("tpcc_ssd", dict(warehouse_counts=(2, 5),
+                            duration_usec=5 * units.SEC)),
+    "t3": ("tpcc_hdd", dict(warehouse_counts=(2, 4),
+                            duration_usec=5 * units.SEC)),
+    "f5": ("tolerable_load", dict(warehouses=4, client_counts=(4, 16),
+                                  duration_usec=5 * units.SEC,
+                                  pool_pages=64)),
+    "a1": ("ablation_layout",
+           dict(warehouses=3, duration_usec=6 * units.SEC)),
+    "a2": ("ablation_threshold",
+           dict(warehouses=3, duration_usec=6 * units.SEC)),
+    "a3": ("ablation_scan", dict(warehouses=3,
+                                 duration_usec=6 * units.SEC)),
+    "a4": ("endurance", dict(warehouses=1, capacity_mib=10,
+                             num_transactions=3000)),
+    "a5": ("ablation_noftl", dict(rows=200, updates=10_000,
+                                  capacity_mib=6, gc_every=1000)),
+    "a6": ("ablation_colocation",
+           dict(warehouses=3, duration_usec=6 * units.SEC)),
+}
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    if args.id not in _EXHIBITS:
+        print(f"unknown exhibit {args.id!r}; choose from "
+              f"{', '.join(sorted(_EXHIBITS))}", file=sys.stderr)
+        return 2
+    module_name, kwargs = _EXHIBITS[args.id]
+    module = getattr(experiments, module_name)
+    if module_name in ("blocktrace", "write_reduction", "space",
+                       "ablation_layout", "ablation_threshold",
+                       "ablation_scan", "ablation_colocation",
+                       "tolerable_load"):
+        kwargs = dict(kwargs, scale=QUICK_SCALE)
+    if args.id == "f4":
+        result = module.run(setup=experiments.ssd_raid6(pool_pages=96),
+                            scale=QUICK_SCALE, **kwargs)
+    elif args.id == "f3":
+        result = module.run(setup=experiments.ssd_raid2(pool_pages=64),
+                            scale=QUICK_SCALE, **kwargs)
+    elif args.id == "t3":
+        result = module.run(scale=QUICK_SCALE, **kwargs)
+    elif args.id == "a4":
+        result = module.run(scale=QUICK_SCALE, **kwargs)
+    else:
+        result = module.run(**kwargs)
+    print(result.render() if hasattr(result, "render") else result.table())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.report import write_report
+
+    results = pathlib.Path(args.results)
+    if not results.is_dir():
+        print(f"no results directory at {results}; run "
+              "examples/reproduce_paper.py first", file=sys.stderr)
+        return 2
+    out = write_report(results)
+    print(f"report written to {out}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.db.monitor import snapshot
+    from repro.experiments import harness
+
+    run = harness.run_tpcc(
+        EngineKind.SIASV if args.engine == "sias-v" else EngineKind.SI,
+        harness.ssd_single(), args.warehouses,
+        args.seconds * units.SEC, scale=QUICK_SCALE)
+    print(snapshot(run.db).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIAS-V reproduction: engines, workloads, exhibits")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="narrated engine walkthrough")
+
+    bench = sub.add_parser("bench", help="SIAS-V vs SI quick comparison")
+    bench.add_argument("--warehouses", type=int, default=4)
+    bench.add_argument("--seconds", type=int, default=6)
+    bench.add_argument("--clients", type=int, default=8)
+
+    exhibit = sub.add_parser("exhibit",
+                             help="regenerate one paper exhibit (quick)")
+    exhibit.add_argument("id", help="f1 t1 t2 f3 f4 f5 t3 a1..a6")
+
+    snap = sub.add_parser("snapshot", help="run briefly, dump all counters")
+    snap.add_argument("--engine", choices=("sias-v", "si"),
+                      default="sias-v")
+    snap.add_argument("--warehouses", type=int, default=3)
+    snap.add_argument("--seconds", type=int, default=4)
+
+    report = sub.add_parser("report",
+                            help="assemble RESULTS/ into REPORT.md")
+    report.add_argument("--results", default="RESULTS")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "bench": _cmd_bench,
+        "exhibit": _cmd_exhibit,
+        "snapshot": _cmd_snapshot,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Shared kernel: errors, units, simulated clock, deterministic RNG, config."""
+
+from repro.common.clock import SimClock
+from repro.common.config import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    FlushThreshold,
+    HddConfig,
+    PageLayout,
+    SystemConfig,
+)
+from repro.common.rng import NURand, make_rng
+
+__all__ = [
+    "BufferConfig",
+    "EngineConfig",
+    "FlashConfig",
+    "FlushThreshold",
+    "HddConfig",
+    "NURand",
+    "PageLayout",
+    "SimClock",
+    "SystemConfig",
+    "make_rng",
+]

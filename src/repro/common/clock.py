@@ -1,0 +1,59 @@
+"""Simulated clock for the discrete-time performance model.
+
+The reproduction never measures wall-clock time for the *experiments* (the
+paper's absolute numbers came from real SSD hardware, which is out of reach
+per the reproduction protocol).  Instead, every component charges its cost to
+a :class:`SimClock` in integer microseconds: device service times, queueing
+delay, CPU costs.  The workload driver reads the clock to compute
+transactions-per-minute and response times.
+
+The clock is deliberately tiny: a monotone integer with ``advance`` and
+``advance_to``.  Components that model *parallel* resources (flash channels,
+RAID members) keep their own per-resource "busy until" horizons and push the
+global clock only by the critical path; see :mod:`repro.storage.device`.
+"""
+
+from __future__ import annotations
+
+from repro.common import units
+
+
+class SimClock:
+    """A monotone simulated clock counting integer microseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_usec: int = 0) -> None:
+        if start_usec < 0:
+            raise ValueError(f"clock cannot start negative: {start_usec}")
+        self._now = int(start_usec)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def now_sec(self) -> float:
+        """Current simulated time in seconds."""
+        return units.sec_from_usec(self._now)
+
+    def advance(self, delta_usec: int) -> int:
+        """Move the clock forward by ``delta_usec``; returns the new time.
+
+        A zero delta is allowed (events with no modelled cost); negative
+        deltas are programming errors.
+        """
+        if delta_usec < 0:
+            raise ValueError(f"cannot advance clock by {delta_usec} us")
+        self._now += int(delta_usec)
+        return self._now
+
+    def advance_to(self, when_usec: int) -> int:
+        """Move the clock forward to an absolute time, never backwards."""
+        if when_usec > self._now:
+            self._now = int(when_usec)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={units.fmt_usec(self._now)})"

@@ -1,0 +1,213 @@
+"""Central configuration objects.
+
+Each subsystem takes a small frozen dataclass; :class:`SystemConfig` bundles
+them for the database facade.  Defaults reproduce the prototype configuration
+described for the SIAS line (8 KiB pages, 1024 VIDmap slots per bucket) and
+plausible enterprise-SLC flash timings for the simulated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.common import units
+from repro.common.errors import ConfigError
+
+
+class PageLayout(Enum):
+    """Physical layout of tuple versions inside an append page.
+
+    ``NSM`` packs whole version records contiguously (row store).  ``VECTOR``
+    stores the versions of a page decomposed into per-field column vectors
+    (PAX-style mini-columns) — the "V" of SIAS-V: visibility checks then touch
+    only the metadata vectors instead of whole records.
+    """
+
+    NSM = "nsm"
+    VECTOR = "vector"
+
+
+class Colocation(Enum):
+    """Which tuple versions share an append page.
+
+    ``RECENCY`` (SIAS-V): one working page per relation — versions created
+    around the same time are co-located.  ``TRANSACTION`` (SI-CV, Gottstein
+    et al., TPC-TC 2012): one working page per active transaction —
+    a transaction's versions are co-located, at the cost of more open pages
+    and (for small transactions) page sharing with later transactions.
+    """
+
+    RECENCY = "recency"
+    TRANSACTION = "transaction"
+
+
+class FlushThreshold(Enum):
+    """When an in-memory append page is persisted to the device.
+
+    ``T1`` models the PostgreSQL background-writer default: pages are flushed
+    eagerly on a short interval even if sparsely filled.  ``T2`` piggy-backs
+    on checkpoints: a page is flushed only when full (or at checkpoint), so
+    pages reach the device densely packed.
+    """
+
+    T1 = "t1"
+    T2 = "t2"
+
+
+@dataclass(frozen=True)
+class FlashConfig:
+    """Parameters of the simulated flash SSD.
+
+    Timings follow published characterisations of enterprise SLC flash of the
+    X25-E era: reads are an order of magnitude cheaper than programs, erases
+    an order of magnitude above that, and the device exposes internal channel
+    parallelism.
+    """
+
+    capacity_bytes: int = 16 * units.GIB
+    page_size: int = units.DB_PAGE_SIZE
+    pages_per_block: int = 64
+    read_latency_usec: int = 50
+    program_latency_usec: int = 400
+    erase_latency_usec: int = 1500
+    channels: int = 8
+    overprovision_ratio: float = 0.10
+    erase_endurance: int = 100_000
+    gc_free_block_low_watermark: int = 4
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent parameters."""
+        if self.capacity_bytes % (self.page_size * self.pages_per_block):
+            raise ConfigError("capacity must be a whole number of blocks")
+        if not 0.0 <= self.overprovision_ratio < 0.9:
+            raise ConfigError(
+                f"overprovision_ratio out of range: {self.overprovision_ratio}")
+        if self.channels < 1:
+            raise ConfigError("flash device needs at least one channel")
+        if min(self.read_latency_usec, self.program_latency_usec,
+               self.erase_latency_usec) <= 0:
+            raise ConfigError("flash latencies must be positive")
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per erase block."""
+        return self.page_size * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        """Logical page capacity exposed to the host."""
+        return self.capacity_bytes // self.page_size
+
+
+@dataclass(frozen=True)
+class HddConfig:
+    """Parameters of the simulated spinning disk (7200 rpm class).
+
+    Random access pays an average seek plus half a rotation; sequential
+    access pays only transfer time.  Reads and writes are symmetric, which is
+    exactly the asymmetry-free contrast the paper draws against flash.
+    """
+
+    capacity_bytes: int = 64 * units.GIB
+    page_size: int = units.DB_PAGE_SIZE
+    avg_seek_usec: int = 8500
+    rotational_latency_usec: int = 4170  # half a revolution at 7200 rpm
+    transfer_usec_per_page: int = 65     # ~125 MB/s sustained
+    track_pages: int = 256               # pages reachable without a new seek
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent parameters."""
+        if self.capacity_bytes % self.page_size:
+            raise ConfigError("capacity must be a whole number of pages")
+        if self.track_pages < 1:
+            raise ConfigError("track_pages must be positive")
+
+    @property
+    def total_pages(self) -> int:
+        """Logical page capacity exposed to the host."""
+        return self.capacity_bytes // self.page_size
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Buffer-pool and writeback policy parameters."""
+
+    pool_pages: int = 2048               # 16 MiB with 8 KiB pages
+    bgwriter_interval_usec: int = 200 * units.MSEC
+    bgwriter_batch_pages: int = 100
+    checkpoint_interval_usec: int = 30 * units.SEC
+    max_wal_bytes: int = 16 * units.MIB  # size-triggered checkpoint
+    page_size: int = units.DB_PAGE_SIZE
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent parameters."""
+        if self.pool_pages < 8:
+            raise ConfigError("buffer pool must hold at least 8 pages")
+        if self.bgwriter_interval_usec <= 0:
+            raise ConfigError("bgwriter interval must be positive")
+        if self.checkpoint_interval_usec <= 0:
+            raise ConfigError("checkpoint interval must be positive")
+        if self.max_wal_bytes < self.page_size:
+            raise ConfigError("max_wal_bytes must hold at least one page")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the SIAS-V storage engine (and baseline where shared)."""
+
+    page_size: int = units.DB_PAGE_SIZE
+    layout: PageLayout = PageLayout.VECTOR
+    flush_threshold: FlushThreshold = FlushThreshold.T2
+    colocation: Colocation = Colocation.RECENCY
+    vidmap_slots_per_bucket: int = 1024
+    append_fill_target: float = 0.95     # T2 flushes at this fill degree
+    gc_dead_ratio_trigger: float = 0.60  # victim pages above this dead ratio
+    heap_fillfactor: float = 0.90        # baseline heap insert fill limit
+    recycle_pages: bool = True           # reuse GC-reclaimed page numbers
+    # (disable on NoFTL raw flash: a logical address maps 1:1 to a physical
+    # page there, so a recycled address would program a non-erased page
+    # unless its whole erase block died first)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent parameters."""
+        if self.vidmap_slots_per_bucket < 1:
+            raise ConfigError("VIDmap bucket must hold at least one slot")
+        if not 0.0 < self.append_fill_target <= 1.0:
+            raise ConfigError(
+                f"append_fill_target out of (0,1]: {self.append_fill_target}")
+        if not 0.0 < self.heap_fillfactor <= 1.0:
+            raise ConfigError(
+                f"heap_fillfactor out of (0,1]: {self.heap_fillfactor}")
+        if not 0.0 <= self.gc_dead_ratio_trigger <= 1.0:
+            raise ConfigError("gc_dead_ratio_trigger out of [0,1]")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything the :class:`repro.db.database.Database` facade needs."""
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    buffer: BufferConfig = field(default_factory=BufferConfig)
+    flash: FlashConfig = field(default_factory=FlashConfig)
+    hdd: HddConfig = field(default_factory=HddConfig)
+    extent_pages: int = 256  # tablespace growth granularity
+    seed: int = 42
+
+    def validate(self) -> None:
+        """Validate every nested config."""
+        self.engine.validate()
+        self.buffer.validate()
+        self.flash.validate()
+        self.hdd.validate()
+        if self.extent_pages < 1:
+            raise ConfigError(
+                f"extent_pages must be >= 1, got {self.extent_pages}")
+
+    def with_engine(self, **changes: object) -> "SystemConfig":
+        """Return a copy with engine knobs replaced (convenience)."""
+        return replace(self, engine=replace(self.engine, **changes))
+
+    def with_buffer(self, **changes: object) -> "SystemConfig":
+        """Return a copy with buffer knobs replaced (convenience)."""
+        return replace(self, buffer=replace(self.buffer, **changes))

@@ -1,0 +1,149 @@
+"""Exception hierarchy for the SIAS-V reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the engine can catch one base class.  Sub-hierarchies mirror
+the package layout: storage devices, buffer manager, transactions, pages,
+indexes and the workload driver each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration value."""
+
+
+# ---------------------------------------------------------------------------
+# storage devices
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for device-level failures."""
+
+
+class OutOfSpaceError(StorageError):
+    """The device (or FTL over-provisioning pool) has no free space left."""
+
+
+class InvalidAddressError(StorageError):
+    """A logical or physical address is outside the device's range."""
+
+
+class ReadUnwrittenError(StorageError):
+    """A logical page was read before it was ever written."""
+
+
+class WornOutError(StorageError):
+    """A flash block exceeded its erase endurance budget."""
+
+
+# ---------------------------------------------------------------------------
+# pages
+# ---------------------------------------------------------------------------
+
+class PageError(ReproError):
+    """Base class for page-format violations."""
+
+
+class PageFullError(PageError):
+    """No room left in the page for the requested record."""
+
+
+class PageCorruptError(PageError):
+    """A page failed checksum or structural validation on deserialisation."""
+
+
+class SlotError(PageError):
+    """A slot number is invalid, dead, or out of range for the page."""
+
+
+# ---------------------------------------------------------------------------
+# buffer manager
+# ---------------------------------------------------------------------------
+
+class BufferError_(ReproError):
+    """Base class for buffer-manager failures.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`BufferError`.
+    """
+
+
+class NoFreeFrameError(BufferError_):
+    """Every frame in the buffer pool is pinned; eviction is impossible."""
+
+
+class PinError(BufferError_):
+    """Unpin without a matching pin, or eviction of a pinned frame."""
+
+
+# ---------------------------------------------------------------------------
+# transactions
+# ---------------------------------------------------------------------------
+
+class TxnError(ReproError):
+    """Base class for transaction-layer failures."""
+
+
+class TxnStateError(TxnError):
+    """Operation invalid for the transaction's current state."""
+
+
+class SerializationError(TxnError):
+    """First-updater-wins conflict: concurrent update of the same item.
+
+    Mirrors PostgreSQL's ``could not serialize access due to concurrent
+    update`` error under snapshot isolation.
+    """
+
+
+class LockTimeoutError(TxnError):
+    """A transactional lock could not be acquired within the wait budget."""
+
+
+class DeadlockError(TxnError):
+    """A wait-for cycle was detected between transactions."""
+
+
+# ---------------------------------------------------------------------------
+# engines
+# ---------------------------------------------------------------------------
+
+class EngineError(ReproError):
+    """Base class for storage-engine level failures."""
+
+
+class NoSuchItemError(EngineError):
+    """A VID / TID does not name a live data item."""
+
+
+class TombstoneError(EngineError):
+    """The data item was deleted (its entrypoint is a tombstone)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index failures (trailing underscore: builtin clash)."""
+
+
+class DuplicateKeyError(IndexError_):
+    """A unique index rejected a duplicate key."""
+
+
+# ---------------------------------------------------------------------------
+# workload
+# ---------------------------------------------------------------------------
+
+class WorkloadError(ReproError):
+    """Base class for workload generator / driver failures."""
+
+
+class SchemaError(WorkloadError):
+    """A row does not match its relation's declared schema."""

@@ -1,0 +1,71 @@
+"""Size and time units used throughout the simulator.
+
+All simulated time is kept in **microseconds** as integers, which keeps the
+discrete-event arithmetic exact; helpers convert to and from seconds and
+milliseconds.  Sizes are plain byte counts with ``KIB``/``MIB`` helpers.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Database page size used by both engines (PostgreSQL default).
+DB_PAGE_SIZE = 8 * KIB
+
+
+def mib(nbytes: int | float) -> float:
+    """Convert a byte count to mebibytes."""
+    return nbytes / MIB
+
+
+def as_bytes_mib(n_mib: float) -> int:
+    """Convert mebibytes to a byte count."""
+    return int(n_mib * MIB)
+
+
+# --- time (integers, microseconds) ------------------------------------------
+
+USEC = 1
+MSEC = 1000 * USEC
+SEC = 1000 * MSEC
+MINUTE = 60 * SEC
+
+
+def usec_from_sec(seconds: float) -> int:
+    """Convert seconds to integer microseconds."""
+    return int(round(seconds * SEC))
+
+
+def sec_from_usec(usec: int) -> float:
+    """Convert integer microseconds to (float) seconds."""
+    return usec / SEC
+
+
+def msec_from_usec(usec: int) -> float:
+    """Convert integer microseconds to (float) milliseconds."""
+    return usec / MSEC
+
+
+def fmt_bytes(nbytes: int | float) -> str:
+    """Human-readable byte count: ``fmt_bytes(3*MIB) == '3.0 MiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_usec(usec: int) -> str:
+    """Human-readable duration from integer microseconds."""
+    if usec < MSEC:
+        return f"{usec} us"
+    if usec < SEC:
+        return f"{usec / MSEC:.2f} ms"
+    if usec < MINUTE:
+        return f"{usec / SEC:.2f} s"
+    return f"{usec / MINUTE:.2f} min"

@@ -1,0 +1,22 @@
+"""SIAS-V core: VIDs, the VIDmap vector, append storage, engine, scan, GC."""
+
+from repro.core.append_store import AppendStore, AppendStoreStats
+from repro.core.engine import SiasVEngine, SiasVStats
+from repro.core.gc import GarbageCollector, GcItemOutcome, GcReport
+from repro.core.scan import full_relation_scan, vidmap_scan
+from repro.core.vid import VidAllocator
+from repro.core.vidmap import VidMap
+
+__all__ = [
+    "AppendStore",
+    "AppendStoreStats",
+    "GarbageCollector",
+    "GcItemOutcome",
+    "GcReport",
+    "SiasVEngine",
+    "SiasVStats",
+    "VidAllocator",
+    "VidMap",
+    "full_relation_scan",
+    "vidmap_scan",
+]

@@ -1,0 +1,311 @@
+"""Append storage manager (LbSM) in tuple-version granularity.
+
+Each relation owns one append store.  Freshly created tuple versions are
+packed into in-memory *open pages*; a page reaches the device exactly once —
+when it is *sealed* — after which it is immutable.  The seal moment is the
+paper's **flush threshold**:
+
+* **t2** (default): seal when the page reaches its fill target, so pages
+  arrive densely packed; the checkpointer piggy-backs the last partial
+  page.  This is the configuration behind the 97 % write reduction.
+* **t1**: the background writer seals every open page on its tick
+  regardless of fill degree — the paper's "sparsely filled pages are
+  persisted too frequently" configuration (more page writes, wasted space).
+
+Two **co-location policies** choose which versions share a page:
+
+* ``RECENCY`` (SIAS-V): one open page per relation; versions created
+  around the same time are co-located.
+* ``TRANSACTION`` (SI-CV): one open page per *transaction group* — the
+  engine passes its transaction id as the group key, so a transaction's
+  versions land together.  When a transaction finishes, its page is marked
+  idle and reused by later transactions (small transactions share pages
+  rather than sealing sparse ones).
+
+Sealed pages are written with a direct sequential device write inside the
+relation's extent region (the blocktrace "swimlane") and cached clean in
+the buffer pool: the buffer never needs to write a SIAS-V data page back,
+which is the paper's "simplified buffer management".
+
+Page numbers freed by garbage collection are recycled for future open
+pages (subject to the device's ``writable_hint`` on raw flash), bounding
+the relation's on-device footprint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.buffer.manager import BufferManager
+from repro.common.config import EngineConfig, FlushThreshold
+from repro.common.errors import NoSuchItemError, PageError
+from repro.pages.append_page import AppendPage
+from repro.pages.layout import Tid, VersionRecord
+
+#: Group key used by the RECENCY policy (one shared page).
+_SHARED = None
+
+
+@dataclass
+class AppendStoreStats:
+    """Write-side behaviour counters (feed the T1/T2/A2 experiments)."""
+
+    appended_records: int = 0
+    sealed_pages: int = 0
+    sealed_bytes: int = 0
+    wasted_bytes: int = 0          # capacity left unused in sealed pages
+    fill_degree_sum: float = 0.0   # for the average fill degree
+    reclaimed_pages: int = 0
+
+
+    @property
+    def avg_fill_degree(self) -> float:
+        """Mean fill degree of sealed pages (1.0 = perfectly packed)."""
+        if self.sealed_pages == 0:
+            return 1.0
+        return self.fill_degree_sum / self.sealed_pages
+
+
+@dataclass
+class _SealedPageInfo:
+    """GC bookkeeping for one sealed page."""
+
+    record_count: int
+    dead_count: int = 0
+
+
+class AppendStore:
+    """Per-relation append region with threshold-driven sealing."""
+
+    def __init__(self, buffer: BufferManager, file_id: int,
+                 config: EngineConfig) -> None:
+        self.buffer = buffer
+        self.file_id = file_id
+        self.config = config
+        self._next_page_no = 0
+        self._free_page_nos: list[int] = []
+        #: unsealed pages by page number
+        self._open: dict[int, AppendPage] = {}
+        #: group key → page number of that group's current open page
+        self._current: dict[object, int] = {}
+        #: open pages whose group finished (reusable by new groups)
+        self._idle_page_nos: list[int] = []
+        self.sealed: dict[int, _SealedPageInfo] = {}
+        self.stats = AppendStoreStats()
+
+    # -- open-page management -----------------------------------------------------
+
+    def _take_page_no(self) -> int:
+        if self.config.recycle_pages and self._free_page_nos:
+            tablespace = self.buffer.tablespace
+            deferred: list[int] = []
+            chosen: int | None = None
+            while self._free_page_nos:
+                candidate = heapq.heappop(self._free_page_nos)
+                lba = tablespace.lba_of(self.file_id, candidate)
+                if tablespace.device.writable_hint(lba):
+                    chosen = candidate
+                    break
+                # raw flash: the page's erase block still holds live
+                # neighbours — recycle it later, after the block erases
+                deferred.append(candidate)
+            for page_no in deferred:
+                heapq.heappush(self._free_page_nos, page_no)
+            if chosen is not None:
+                return chosen
+        page_no = self._next_page_no
+        self._next_page_no += 1
+        return page_no
+
+    def _page_for(self, group: object, record: VersionRecord) -> AppendPage:
+        page_no = self._current.get(group)
+        if page_no is not None:
+            page = self._open[page_no]
+            if page.fits(record):
+                return page
+            self.seal_page(page_no)
+        # adopt an idle page with room before opening a fresh one
+        while self._idle_page_nos:
+            idle_no = self._idle_page_nos.pop()
+            idle = self._open.get(idle_no)
+            if idle is None:
+                continue  # sealed meanwhile
+            if idle.fits(record):
+                self._current[group] = idle_no
+                return idle
+            self.seal_page(idle_no)
+        page = AppendPage(self._take_page_no(), self.config.layout,
+                          self.config.page_size)
+        self._open[page.page_no] = page
+        self._current[group] = page.page_no
+        return page
+
+    def open_page_nos(self) -> list[int]:
+        """Numbers of all unsealed (in-memory) pages."""
+        return sorted(self._open.keys())
+
+    def open_page(self, page_no: int) -> AppendPage | None:
+        """The open page with this number, if any."""
+        return self._open.get(page_no)
+
+    @property
+    def working_page_no(self) -> int | None:
+        """Page number of the shared (RECENCY) open page, if one exists."""
+        return self._current.get(_SHARED)
+
+    # -- appending --------------------------------------------------------------------
+
+    def append(self, record: VersionRecord,
+               group: object = _SHARED) -> Tid:
+        """Append one version; returns its TID.
+
+        ``group`` selects the co-location unit (the engine passes the
+        transaction id under the SI-CV policy).  Under threshold t2 the
+        page seals as soon as it reaches the fill target; under t1 sealing
+        is left to the background-writer tick.
+        """
+        page = self._page_for(group, record)
+        if not page.fits(record):
+            raise PageError(
+                f"record of {record.size} B cannot fit an empty append page")
+        slot = page.append(record)
+        tid = Tid(page.page_no, slot)
+        self.stats.appended_records += 1
+        if (self.config.flush_threshold is FlushThreshold.T2
+                and page.fill_degree() >= self.config.append_fill_target):
+            self.seal_page(page.page_no)
+        return tid
+
+    def release_group(self, group: object) -> None:
+        """The group (transaction) finished: its page becomes reusable."""
+        page_no = self._current.pop(group, None)
+        if page_no is not None and page_no in self._open:
+            self._idle_page_nos.append(page_no)
+
+    # -- sealing -----------------------------------------------------------------------
+
+    def seal_page(self, page_no: int) -> int | None:
+        """Persist one open page; returns its page number (None if empty).
+
+        The page is written to the device immediately (one sequential
+        append inside the relation's extents) and cached *clean*: it will
+        never be written again.
+        """
+        page = self._open.get(page_no)
+        if page is None:
+            return None
+        if page.record_count == 0:
+            del self._open[page_no]
+            self._unlink_current(page_no)
+            heapq.heappush(self._free_page_nos, page_no)
+            return None
+        del self._open[page_no]
+        self._unlink_current(page_no)
+        lba = self.buffer.tablespace.ensure_page(self.file_id, page.page_no)
+        # the seal is fire-and-forget: the transaction path never waits for
+        # data-page I/O, only for the WAL (recovery replays a lost seal)
+        self.buffer.tablespace.device.write_page_async(lba, page.to_bytes())
+        self.buffer.put_clean(self.file_id, page.page_no, page)
+        self.sealed[page.page_no] = _SealedPageInfo(page.record_count)
+        self.stats.sealed_pages += 1
+        self.stats.sealed_bytes += page.page_size
+        self.stats.wasted_bytes += page.free_bytes()
+        self.stats.fill_degree_sum += page.fill_degree()
+        return page.page_no
+
+    def _unlink_current(self, page_no: int) -> None:
+        for group, current_no in list(self._current.items()):
+            if current_no == page_no:
+                del self._current[group]
+
+    def seal_working_page(self) -> int | None:
+        """Seal every open page (bgwriter t1 tick / checkpoint piggy-back).
+
+        Returns the last sealed page number (None if nothing was open) —
+        the singular name survives from the single-working-page design and
+        keeps the t1/t2 subscription call sites trivial.
+        """
+        result: int | None = None
+        for page_no in self.open_page_nos():
+            sealed = self.seal_page(page_no)
+            if sealed is not None:
+                result = sealed
+        return result
+
+    # -- reads -----------------------------------------------------------------------
+
+    def read(self, tid: Tid) -> VersionRecord:
+        """Fetch one version (open-page hits cost no I/O)."""
+        page = self._open.get(tid.page_no)
+        if page is not None:
+            return page.read(tid.slot)
+        page = self.buffer.get_page(self.file_id, tid.page_no)
+        if not isinstance(page, AppendPage):
+            raise NoSuchItemError(
+                f"page {tid.page_no} is {type(page).__name__}, expected "
+                "AppendPage")
+        return page.read(tid.slot)
+
+    def read_many(self, tids: list[Tid]) -> list[VersionRecord]:
+        """Batched fetch: distinct pages are read with one parallel batch.
+
+        This is the parallelisable access path behind the VIDmap scan.
+        """
+        from_open: dict[int, VersionRecord] = {}
+        page_nos: list[int] = []
+        for i, tid in enumerate(tids):
+            open_page = self._open.get(tid.page_no)
+            if open_page is not None:
+                from_open[i] = open_page.read(tid.slot)
+            else:
+                page_nos.append(tid.page_no)
+        pages = {}
+        if page_nos:
+            unique = list(dict.fromkeys(page_nos))
+            for page_no, page in zip(unique,
+                                     self.buffer.get_pages(self.file_id,
+                                                           unique)):
+                pages[page_no] = page
+        out: list[VersionRecord] = []
+        for i, tid in enumerate(tids):
+            if i in from_open:
+                out.append(from_open[i])
+            else:
+                out.append(pages[tid.page_no].read(tid.slot))
+        return out
+
+    # -- GC support ------------------------------------------------------------------------
+
+    def sealed_page_nos(self) -> list[int]:
+        """Numbers of all sealed (device-resident) pages."""
+        return sorted(self.sealed.keys())
+
+    def page_record_count(self, page_no: int) -> int:
+        """Records on a sealed page."""
+        return self.sealed[page_no].record_count
+
+    def reclaim_page(self, page_no: int) -> None:
+        """Hand a fully-dead sealed page back: buffer drop + device trim.
+
+        The page number becomes reusable for future open pages; the trim
+        tells the simulated FTL the flash pages are dead (deterministic,
+        DBMS-driven erase behaviour).
+        """
+        if page_no not in self.sealed:
+            raise NoSuchItemError(f"page {page_no} is not a sealed page")
+        del self.sealed[page_no]
+        self.buffer.drop(self.file_id, page_no)
+        self.buffer.tablespace.trim_page(self.file_id, page_no)
+        heapq.heappush(self._free_page_nos, page_no)
+        self.stats.reclaimed_pages += 1
+
+    # -- space accounting ----------------------------------------------------------------------
+
+    def device_pages(self) -> int:
+        """Sealed pages currently occupying device space."""
+        return len(self.sealed)
+
+    def space_bytes(self) -> int:
+        """Device footprint of this relation's version data."""
+        return len(self.sealed) * self.config.page_size

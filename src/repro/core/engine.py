@@ -1,0 +1,254 @@
+"""The SIAS-V storage engine: one relation, versioned by appends.
+
+Mutation model (the paper's Algorithms 2/3 re-expressed):
+
+* **Insert** allocates a fresh VID, appends version ``X₀`` with
+  ``pred = NULL`` and points the VIDmap at it.
+* **Update** appends a successor version whose ``pred`` is the current
+  entrypoint and swings the VIDmap pointer.  *Nothing* is written to the old
+  version — its invalidation is implicit in the successor's existence.  The
+  first-updater-wins rule is enforced with a transactional lock per
+  ``(relation, VID)`` plus an entrypoint-visibility check: an updater that
+  cannot see the current entrypoint lost a race to a committed-concurrent
+  writer and aborts with a serialization error.
+* **Delete** appends a *tombstone* version — required as long as running
+  transactions may still view older versions of the item.
+* **Read** descends from the entrypoint through predecessor references and
+  returns the first version visible under the transaction's snapshot.
+
+On abort, registered undo actions swing VIDmap entrypoints back, so aborted
+versions become unreachable garbage for the page GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buffer.manager import BufferManager
+from repro.common.config import Colocation, EngineConfig
+from repro.common.errors import (
+    NoSuchItemError,
+    SerializationError,
+    TombstoneError,
+)
+from repro.core.append_store import AppendStore
+from repro.core.vid import VidAllocator
+from repro.core.vidmap import VidMap
+from repro.pages.append_page import AppendPage
+from repro.pages.layout import Tid, VersionRecord
+from repro.txn.manager import Transaction, TransactionManager
+from repro.wal.records import WalRecord, WalRecordType
+
+
+@dataclass
+class SiasVStats:
+    """Read-path behaviour counters."""
+
+    resolves: int = 0      # visible-version resolutions
+    chain_hops: int = 0    # predecessor fetches beyond the entrypoint
+    max_chain_hops: int = 0
+    tombstone_hits: int = 0
+
+
+class SiasVEngine:
+    """Append-storage MVCC engine for one relation."""
+
+    def __init__(self, relation_id: int, buffer: BufferManager,
+                 file_id: int, config: EngineConfig,
+                 txn_mgr: TransactionManager) -> None:
+        self.relation_id = relation_id
+        self.config = config
+        self.txn_mgr = txn_mgr
+        self.vidmap = VidMap(config.vidmap_slots_per_bucket, config.page_size)
+        self.allocator = VidAllocator()
+        self.store = AppendStore(buffer, file_id, config)
+        self.stats = SiasVStats()
+        #: vid → TID whose pred pointer is severed: GC discarded the chain
+        #: tail below this record, so walks must not follow its pred (the
+        #: target pages may have been reclaimed and recycled).  In-memory
+        #: like the VIDmap; rebuilt trivially on recovery (a missing pred
+        #: target means severed).
+        self.chain_severed: dict[int, Tid] = {}
+
+    # -- write path --------------------------------------------------------------
+
+    def _group(self, txn: Transaction) -> object:
+        """Co-location group for this transaction's appends."""
+        if self.config.colocation is Colocation.TRANSACTION:
+            return txn.txid
+        return None
+
+    def on_txn_finished(self, txid: int) -> None:
+        """Release the transaction's co-location page (SI-CV policy)."""
+        self.store.release_group(txid)
+
+    def insert(self, txn: Transaction, payload: bytes) -> int:
+        """Create a new data item; returns its VID."""
+        vid = self.allocator.allocate()
+        self.txn_mgr.locks.acquire((self.relation_id, vid), txn.txid)
+        record = VersionRecord(create_ts=txn.txid, vid=vid, pred=None,
+                               tombstone=False, payload=payload)
+        tid = self.store.append(record, group=self._group(txn))
+        self.vidmap.set(vid, tid)
+        txn.register_undo(lambda: self.vidmap.set(vid, None))
+        self._log(txn, WalRecordType.INSERT, vid, payload)
+        txn.writes += 1
+        return vid
+
+    def bulk_insert(self, txn: Transaction,
+                    payloads: list[bytes]) -> range:
+        """Page-wise bulk load: N items with one VID block reservation.
+
+        The paper's VIDmap section calls this out explicitly: "pre-loading
+        and bulk-loading can be supported, e.g. new VIDs can be generated
+        in a page-wise manner".  One lock acquisition covers the whole
+        block (the VIDs are fresh, nobody else can address them), one undo
+        action clears it, and one WAL record per row is still written so
+        crash recovery replays losslessly.
+        """
+        vids = self.allocator.allocate_block(len(payloads))
+        self.txn_mgr.locks.acquire((self.relation_id, ("bulk", vids.start)),
+                                   txn.txid)
+        group = self._group(txn)
+        for vid, payload in zip(vids, payloads):
+            record = VersionRecord(create_ts=txn.txid, vid=vid, pred=None,
+                                   tombstone=False, payload=payload)
+            tid = self.store.append(record, group=group)
+            self.vidmap.set(vid, tid)
+            self._log(txn, WalRecordType.INSERT, vid, payload)
+        txn.register_undo(
+            lambda: [self.vidmap.set(vid, None) for vid in vids])
+        txn.writes += len(payloads)
+        return vids
+
+    def update(self, txn: Transaction, vid: int, payload: bytes) -> None:
+        """Append a successor version of ``vid`` (implicit invalidation)."""
+        entry_tid = self._check_updatable(txn, vid)
+        self.txn_mgr.locks.acquire((self.relation_id, vid), txn.txid)
+        record = VersionRecord(create_ts=txn.txid, vid=vid, pred=entry_tid,
+                               tombstone=False, payload=payload)
+        new_tid = self.store.append(record, group=self._group(txn))
+        self.vidmap.set(vid, new_tid)
+        txn.register_undo(lambda: self.vidmap.set(vid, entry_tid))
+        self._log(txn, WalRecordType.UPDATE, vid, payload)
+        txn.writes += 1
+
+    def delete(self, txn: Transaction, vid: int) -> None:
+        """Append a tombstone version of ``vid``."""
+        entry_tid = self._check_updatable(txn, vid)
+        self.txn_mgr.locks.acquire((self.relation_id, vid), txn.txid)
+        record = VersionRecord(create_ts=txn.txid, vid=vid, pred=entry_tid,
+                               tombstone=True, payload=b"")
+        new_tid = self.store.append(record, group=self._group(txn))
+        self.vidmap.set(vid, new_tid)
+        txn.register_undo(lambda: self.vidmap.set(vid, entry_tid))
+        self._log(txn, WalRecordType.DELETE, vid, b"")
+        txn.writes += 1
+
+    def _check_updatable(self, txn: Transaction, vid: int) -> Tid:
+        """Algorithm-3 precondition: the entrypoint must be visible to us.
+
+        Returns the entrypoint TID the new version will chain to.
+        """
+        entry_tid = self.vidmap.get(vid)
+        if entry_tid is None:
+            raise NoSuchItemError(
+                f"relation {self.relation_id}: VID {vid} does not exist")
+        entry = self.store.read(entry_tid)
+        if not txn.snapshot.sees_ts(entry.create_ts, self.txn_mgr.clog):
+            # A newer version exists that we cannot see: either its writer
+            # is still running (lock conflict) or it committed after our
+            # snapshot (first-updater-wins loss).  Both abort us.
+            raise SerializationError(
+                f"concurrent update of VID {vid}: entrypoint created by "
+                f"txn {entry.create_ts} is invisible to txn {txn.txid}")
+        if entry.tombstone:
+            raise TombstoneError(
+                f"relation {self.relation_id}: VID {vid} was deleted")
+        return entry_tid
+
+    def _log(self, txn: Transaction, rtype: WalRecordType, vid: int,
+             payload: bytes) -> None:
+        if self.txn_mgr.wal is not None:
+            self.txn_mgr.wal.append(WalRecord(rtype, txn.txid, vid, payload,
+                                              self.relation_id))
+
+    # -- read path -----------------------------------------------------------------
+
+    def resolve_visible(self, txn: Transaction,
+                        vid: int) -> tuple[VersionRecord, Tid] | None:
+        """First visible version of ``vid``, walking entrypoint → preds.
+
+        Returns None for unknown VIDs and items with no visible version.
+        Tombstones are *returned* (callers distinguish deleted-and-visible
+        from never-visible).
+        """
+        tid = self.vidmap.get(vid)
+        if tid is None:
+            return None
+        self.stats.resolves += 1
+        hops = 0
+        while True:
+            record = self.store.read(tid)
+            if txn.snapshot.sees_ts(record.create_ts, self.txn_mgr.clog):
+                self.stats.max_chain_hops = max(self.stats.max_chain_hops,
+                                                hops)
+                return record, tid
+            if record.pred is None:
+                return None
+            tid = record.pred
+            hops += 1
+            self.stats.chain_hops += 1
+
+    def read(self, txn: Transaction, vid: int) -> bytes | None:
+        """Visible payload of ``vid`` (None if absent, invisible or deleted)."""
+        resolved = self.resolve_visible(txn, vid)
+        txn.reads += 1
+        if resolved is None:
+            return None
+        record, _tid = resolved
+        if record.tombstone:
+            self.stats.tombstone_hits += 1
+            return None
+        return record.payload
+
+    def exists(self, txn: Transaction, vid: int) -> bool:
+        """Whether ``vid`` has a visible non-tombstone version."""
+        return self.read(txn, vid) is not None
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def reconstruct_vidmap(self) -> VidMap:
+        """Rebuild the VIDmap from the version data alone.
+
+        All information required for reconstruction is stored on each tuple
+        version: for every VID the entrypoint is its committed version with
+        the greatest creation timestamp.  (Versions of uncommitted or
+        aborted transactions are skipped.)  Used by the recovery tests to
+        show the in-memory VIDmap is redundant state.
+        """
+        best: dict[int, tuple[int, Tid]] = {}
+        clog = self.txn_mgr.clog
+
+        def _consider(record: VersionRecord, tid: Tid) -> None:
+            if not clog.is_committed(record.create_ts):
+                return
+            current = best.get(record.vid)
+            if current is None or record.create_ts > current[0]:
+                best[record.vid] = (record.create_ts, tid)
+
+        for page_no in self.store.sealed_page_nos():
+            page = self.store.buffer.get_page(self.store.file_id, page_no)
+            assert isinstance(page, AppendPage)
+            for slot, record in page.records():
+                _consider(record, Tid(page_no, slot))
+        for page_no in self.store.open_page_nos():
+            open_page = self.store.open_page(page_no)
+            assert open_page is not None
+            for slot, record in open_page.records():
+                _consider(record, Tid(page_no, slot))
+        rebuilt = VidMap(self.config.vidmap_slots_per_bucket,
+                         self.config.page_size)
+        for vid, (_ts, tid) in best.items():
+            rebuilt.set(vid, tid)
+        return rebuilt

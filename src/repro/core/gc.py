@@ -1,0 +1,189 @@
+"""Space reclamation: page-granular garbage collection for the append store.
+
+Following the paper's discussion section, GC (i) finds victim pages,
+(ii) re-inserts live tuple versions and (iii) discards dead ones, handing
+whole pages back to the device as trims — a deterministic, DBMS-driven
+erase pattern instead of opaque device-side background GC.
+
+Deadness is derived purely from the chain structure and the transaction
+horizon: walking an item's chain from the entrypoint, the first version
+committed *before* the horizon is visible to every present and future
+snapshot; everything **older** than it is dead.  A committed tombstone at
+the entrypoint kills the whole item (and frees its VIDmap slot).  Versions
+left unreachable by aborted transactions are dead by construction — they are
+simply never reached by any chain walk.
+
+Because sealed pages are immutable, a live version can only be *relocated*
+when nothing points at it physically — i.e. it is its item's entrypoint
+(only the mutable VIDmap references it) and its whole predecessor chain is
+dead (the relocated copy carries ``pred = NULL``).  Pages whose records are
+all dead-or-relocatable are reclaimed; others are left for a later pass,
+which matches log-structured reality: cold mixed pages wait until the
+horizon advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import SiasVEngine
+from repro.pages.append_page import AppendPage
+from repro.pages.layout import Tid, VersionRecord
+
+
+@dataclass
+class GcItemOutcome:
+    """Index-maintenance payload for one affected data item."""
+
+    vid: int
+    dead_payloads: list[bytes] = field(default_factory=list)
+    live_payloads: list[bytes] = field(default_factory=list)
+    removed_entirely: bool = False
+
+
+@dataclass
+class GcReport:
+    """What one GC pass did."""
+
+    horizon: int = 0
+    pages_examined: int = 0
+    pages_reclaimed: int = 0
+    records_discarded: int = 0
+    records_relocated: int = 0
+    items_removed: int = 0
+    items: dict[int, GcItemOutcome] = field(default_factory=dict)
+
+    def outcome_for(self, vid: int) -> GcItemOutcome:
+        """Get-or-create the outcome entry for ``vid``."""
+        if vid not in self.items:
+            self.items[vid] = GcItemOutcome(vid)
+        return self.items[vid]
+
+
+class GarbageCollector:
+    """One-pass chain-walking collector over an engine's append store."""
+
+    def __init__(self, engine: SiasVEngine) -> None:
+        self.engine = engine
+
+    def collect(self) -> GcReport:
+        """Run one full GC pass; returns the report for index pruning."""
+        engine = self.engine
+        report = GcReport(horizon=engine.txn_mgr.horizon_txid())
+        live: dict[Tid, VersionRecord] = {}
+        relocatable: set[Tid] = set()
+        dead_reachable: dict[Tid, VersionRecord] = {}
+        self._classify_chains(report, live, relocatable, dead_reachable)
+        self._sweep_pages(report, live, relocatable)
+        return report
+
+    # -- phase 1: chain classification ----------------------------------------
+
+    def _classify_chains(self, report: GcReport,
+                         live: dict[Tid, VersionRecord],
+                         relocatable: set[Tid],
+                         dead_reachable: dict[Tid, VersionRecord]) -> None:
+        engine = self.engine
+        clog = engine.txn_mgr.clog
+        horizon = report.horizon
+        for vid, entry_tid in list(engine.vidmap.entries()):
+            chain: list[tuple[Tid, VersionRecord]] = []
+            tid: Tid | None = entry_tid
+            severed_at = engine.chain_severed.get(vid)
+            while tid is not None:
+                record = engine.store.read(tid)
+                chain.append((tid, record))
+                if tid == severed_at:
+                    # An earlier pass discarded (and index-pruned) the tail
+                    # below this record; its pred pointer may dangle into a
+                    # reclaimed-and-recycled page, so the walk stops here.
+                    break
+                tid = record.pred
+            if not chain:
+                continue
+            cutoff = self._horizon_visible_index(chain, clog, horizon)
+            entry_record = chain[0][1]
+            if (cutoff == 0 and entry_record.tombstone
+                    and clog.is_committed(entry_record.create_ts)):
+                # Deleted and the deletion is visible to everyone: the whole
+                # item is dead; free its VIDmap slot.
+                outcome = report.outcome_for(vid)
+                outcome.removed_entirely = True
+                for dtid, drecord in chain:
+                    dead_reachable[dtid] = drecord
+                    if not drecord.tombstone:
+                        outcome.dead_payloads.append(drecord.payload)
+                engine.vidmap.set(vid, None)
+                engine.chain_severed.pop(vid, None)
+                report.items_removed += 1
+                continue
+            last_live = len(chain) - 1 if cutoff is None else cutoff
+            for i, (ctid, crecord) in enumerate(chain):
+                if i <= last_live:
+                    live[ctid] = crecord
+                else:
+                    dead_reachable[ctid] = crecord
+            if len(chain) > last_live + 1:
+                outcome = report.outcome_for(vid)
+                for _ctid, crecord in chain[last_live + 1:]:
+                    if not crecord.tombstone:
+                        outcome.dead_payloads.append(crecord.payload)
+                for _ctid, crecord in chain[:last_live + 1]:
+                    if not crecord.tombstone:
+                        outcome.live_payloads.append(crecord.payload)
+                # the tail is logically discarded right now: sever the
+                # chain so no later walk follows the cutoff's pred pointer
+                engine.chain_severed[vid] = chain[last_live][0]
+            if cutoff == 0 and not entry_record.tombstone:
+                # Entrypoint is visible at the horizon: its whole pred chain
+                # is (now) dead, so only the VIDmap references it.
+                relocatable.add(entry_tid)
+
+    @staticmethod
+    def _horizon_visible_index(chain: list[tuple[Tid, VersionRecord]],
+                               clog, horizon: int) -> int | None:
+        """Index of the newest version visible to every future snapshot."""
+        for i, (_tid, record) in enumerate(chain):
+            if (record.create_ts < horizon
+                    and clog.is_committed(record.create_ts)):
+                return i
+        return None
+
+    # -- phase 2: page sweep ---------------------------------------------------------
+
+    def _sweep_pages(self, report: GcReport,
+                     live: dict[Tid, VersionRecord],
+                     relocatable: set[Tid]) -> None:
+        engine = self.engine
+        trigger = engine.config.gc_dead_ratio_trigger
+        for page_no in engine.store.sealed_page_nos():
+            report.pages_examined += 1
+            count = engine.store.page_record_count(page_no)
+            slots = [Tid(page_no, slot) for slot in range(count)]
+            live_slots = [t for t in slots if t in live]
+            dead_count = count - len(live_slots)
+            if dead_count == 0:
+                continue
+            movable = [t for t in live_slots if t in relocatable]
+            if len(movable) < len(live_slots):
+                # Some live record is pinned by physical references from a
+                # newer version's pred pointer: the page must wait.
+                continue
+            if dead_count / count < trigger and live_slots:
+                continue  # not dirty enough to pay the relocation writes
+            page = engine.store.buffer.get_page(engine.store.file_id,
+                                                page_no)
+            assert isinstance(page, AppendPage)
+            for tid in movable:
+                record = page.read(tid.slot)
+                copy = VersionRecord(create_ts=record.create_ts,
+                                     vid=record.vid, pred=None,
+                                     tombstone=record.tombstone,
+                                     payload=record.payload)
+                new_tid = engine.store.append(copy)
+                engine.vidmap.set(record.vid, new_tid)
+                engine.chain_severed.pop(record.vid, None)
+                report.records_relocated += 1
+            report.records_discarded += dead_count
+            engine.store.reclaim_page(page_no)
+            report.pages_reclaimed += 1

@@ -1,0 +1,27 @@
+"""Relational facade: schemas, rows, catalog and the Database public API."""
+
+from repro.db.catalog import IndexDef, IndexKind, Relation
+from repro.db.database import Database, EngineKind, ItemRef, SpaceReport
+from repro.db.monitor import SystemSnapshot, snapshot
+from repro.db.recovery import RecoveryReport, crash, recover
+from repro.db.row import RowCodec
+from repro.db.schema import ColType, Column, Schema
+
+__all__ = [
+    "ColType",
+    "Column",
+    "Database",
+    "EngineKind",
+    "IndexDef",
+    "IndexKind",
+    "ItemRef",
+    "RecoveryReport",
+    "Relation",
+    "RowCodec",
+    "Schema",
+    "SpaceReport",
+    "SystemSnapshot",
+    "crash",
+    "recover",
+    "snapshot",
+]

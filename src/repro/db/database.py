@@ -1,0 +1,458 @@
+"""The database facade: the library's primary public API.
+
+A :class:`Database` wires together one storage algorithm (SIAS-V or the SI
+baseline), the shared substrates (device, tablespace, buffer pool, WAL,
+transaction manager, background writer, checkpointer) and per-relation
+indexes.  The two engine kinds are interchangeable behind this facade —
+identical workloads run against both, which is how every experiment isolates
+the storage algorithm.
+
+Typical use::
+
+    from repro.db import Database, EngineKind, IndexDef
+    from repro.db.schema import Schema, ColType
+
+    db = Database.on_flash(EngineKind.SIASV)
+    schema = Schema.of(("id", ColType.INT), ("balance", ColType.FLOAT))
+    db.create_table("accounts", schema,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    txn = db.begin()
+    ref = db.insert(txn, "accounts", (1, 100.0))
+    db.commit(txn)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterator
+
+from repro.baseline.engine import SiEngine
+from repro.baseline.vacuum import Vacuum, VacuumReport
+from repro.buffer.background_writer import BackgroundWriter
+from repro.buffer.checkpointer import Checkpointer
+from repro.buffer.manager import BufferManager
+from repro.common.clock import SimClock
+from repro.common.config import FlushThreshold, SystemConfig
+from repro.common.errors import SchemaError
+from repro.core.engine import SiasVEngine
+from repro.core.gc import GarbageCollector, GcReport
+from repro.core.scan import vidmap_scan
+from repro.db.catalog import IndexDef, Relation
+from repro.db.row import RowCodec
+from repro.db.schema import Schema
+from repro.pages.layout import Tid
+from repro.storage.device import BlockDevice
+from repro.storage.flash import FlashDevice
+from repro.storage.hdd import HddDevice
+from repro.storage.tablespace import Tablespace
+from repro.storage.trace import TraceRecorder
+from repro.txn.manager import Transaction, TransactionManager
+from repro.wal.log import WriteAheadLog
+
+#: Item handle: a VID (int) under SIAS-V, a Tid under the SI baseline.
+ItemRef = int | Tid
+
+
+class EngineKind(Enum):
+    """Which storage algorithm a database instance runs."""
+
+    SIASV = "sias-v"
+    SI = "si"
+
+
+@dataclass
+class SpaceReport:
+    """Per-table device-space breakdown (experiment T2)."""
+
+    table: str
+    data_bytes: int
+    vidmap_bytes: int  # 0 for the SI baseline
+
+    @property
+    def total_bytes(self) -> int:
+        """Data plus mapping footprint."""
+        return self.data_bytes + self.vidmap_bytes
+
+
+class Database:
+    """One database instance bound to a storage algorithm and a device."""
+
+    def __init__(self, kind: EngineKind, data_device: BlockDevice,
+                 wal_device: BlockDevice,
+                 config: SystemConfig | None = None) -> None:
+        self.kind = kind
+        self.config = config or SystemConfig()
+        self.config.validate()
+        self.clock: SimClock = data_device.clock
+        self.data_device = data_device
+        self.tablespace = Tablespace(data_device,
+                                     extent_pages=self.config.extent_pages)
+        self.buffer = BufferManager(self.tablespace,
+                                    self.config.buffer.pool_pages)
+        self.wal = WriteAheadLog(wal_device, self.config.buffer.page_size)
+        self.txn_mgr = TransactionManager(wal=self.wal)
+        self.bgwriter = BackgroundWriter(
+            self.buffer, self.clock,
+            self.config.buffer.bgwriter_interval_usec,
+            self.config.buffer.bgwriter_batch_pages)
+        self.checkpointer = Checkpointer(
+            self.buffer, self.clock,
+            self.config.buffer.checkpoint_interval_usec)
+        # a completed checkpoint makes the log's history redundant for
+        # crash recovery: recycle its segments (WAL would otherwise grow
+        # without bound)
+        self.checkpointer.subscribe_post(self.wal.recycle)
+        self.tables: dict[str, Relation] = {}
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def on_flash(cls, kind: EngineKind, config: SystemConfig | None = None,
+                 trace: TraceRecorder | None = None) -> "Database":
+        """Database on a single simulated flash SSD (+ separate WAL SSD)."""
+        config = config or SystemConfig()
+        clock = SimClock()
+        data = FlashDevice(clock, config.flash, trace=trace, name="data-ssd")
+        wal = FlashDevice(clock, config.flash, name="wal-ssd")
+        return cls(kind, data, wal, config)
+
+    @classmethod
+    def on_hdd(cls, kind: EngineKind, config: SystemConfig | None = None,
+               trace: TraceRecorder | None = None) -> "Database":
+        """Database on a single simulated spinning disk (+ WAL disk)."""
+        config = config or SystemConfig()
+        clock = SimClock()
+        data = HddDevice(clock, config.hdd, trace=trace, name="data-hdd")
+        wal = HddDevice(clock, config.hdd, name="wal-hdd")
+        return cls(kind, data, wal, config)
+
+    # -- schema -------------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema,
+                     indexes: list[IndexDef] | None = None) -> Relation:
+        """Create a relation with its own storage file and indexes."""
+        if name in self.tables:
+            raise SchemaError(f"table {name!r} already exists")
+        relation_id = len(self.tables)
+        file_id = self.tablespace.create_file(f"rel.{name}")
+        engine: SiasVEngine | SiEngine
+        if self.kind is EngineKind.SIASV:
+            engine = SiasVEngine(relation_id, self.buffer, file_id,
+                                 self.config.engine, self.txn_mgr)
+            if self.config.engine.flush_threshold is FlushThreshold.T1:
+                self.bgwriter.subscribe(engine.store.seal_working_page)
+            self.checkpointer.subscribe(engine.store.seal_working_page)
+        else:
+            engine = SiEngine(relation_id, self.buffer, file_id,
+                              self.config.engine, self.txn_mgr)
+        relation = Relation(relation_id=relation_id, name=name,
+                            schema=schema, codec=RowCodec(schema),
+                            engine=engine)
+        for definition in indexes or []:
+            relation.add_index(definition)
+        self.tables[name] = relation
+        return relation
+
+    def table(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    # -- transactions ----------------------------------------------------------------------
+
+    def begin(self, serializable: bool = False) -> Transaction:
+        """Start a transaction (snapshot isolation; SSI if requested)."""
+        return self.txn_mgr.begin(serializable=serializable)
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit (forces the WAL) and release per-txn resources."""
+        self.txn_mgr.commit(txn)
+        self._release_txn_pages(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: undo actions run, locks release."""
+        self.txn_mgr.abort(txn)
+        self._release_txn_pages(txn)
+
+    def _release_txn_pages(self, txn: Transaction) -> None:
+        if self.kind is not EngineKind.SIASV:
+            return
+        for relation in self.tables.values():
+            relation.engine.on_txn_finished(txn.txid)
+
+    def run_in_txn(self, fn: Callable[[Transaction], object]) -> object:
+        """Run ``fn`` in a transaction, committing on success."""
+        txn = self.begin()
+        try:
+            result = fn(txn)
+        except BaseException:
+            if txn.phase.value == "active":
+                self.abort(txn)
+            raise
+        self.commit(txn)
+        return result
+
+    # -- data operations ----------------------------------------------------------------------
+
+    def insert(self, txn: Transaction, table: str, row: tuple) -> ItemRef:
+        """Insert a row; returns its item handle (VID or TID)."""
+        relation = self.table(table)
+        payload = relation.codec.encode(row)
+        ref = relation.engine.insert(txn, payload)
+        if txn.serializable:
+            self.txn_mgr.ssi.on_write(txn, (relation.relation_id, ref))
+        for definition, tree in relation.indexes.values():
+            key = definition.key_of(relation.schema, row)
+            tree.insert(key, ref)
+            if self.kind is EngineKind.SIASV:
+                # The VIDmap undo makes the VID unreachable; the index entry
+                # must go with it or it would dangle forever.
+                txn.register_undo(
+                    lambda t=tree, k=key, r=ref: t.delete(k, r))
+        return ref
+
+    def bulk_insert(self, txn: Transaction, table: str,
+                    rows: list[tuple]) -> list[ItemRef]:
+        """Load many rows at once (page-wise VID blocks under SIAS-V)."""
+        if not rows:
+            return []
+        relation = self.table(table)
+        payloads = [relation.codec.encode(row) for row in rows]
+        if self.kind is EngineKind.SIASV:
+            refs: list[ItemRef] = list(
+                relation.engine.bulk_insert(txn, payloads))
+        else:
+            refs = [relation.engine.insert(txn, payload)
+                    for payload in payloads]
+        for definition, tree in relation.indexes.values():
+            for row, ref in zip(rows, refs):
+                key = definition.key_of(relation.schema, row)
+                tree.insert(key, ref)
+                if self.kind is EngineKind.SIASV:
+                    txn.register_undo(
+                        lambda t=tree, k=key, r=ref: t.delete(k, r))
+        return refs
+
+    def scan_vid_range(self, txn: Transaction, table: str, lo: int,
+                       hi: int) -> list[tuple[int, tuple]]:
+        """Visible rows with ``lo <= VID < hi`` (SIAS-V only).
+
+        VID-range queries fall out of the VIDmap's sequential bucket
+        layout ("queries on VID ranges are also facilitated"); items whose
+        visible version is a tombstone are skipped.
+        """
+        relation = self.table(table)
+        if self.kind is not EngineKind.SIASV:
+            raise SchemaError("VID-range scans need the SIAS-V engine")
+        out: list[tuple[int, tuple]] = []
+        for vid, _entry in relation.engine.vidmap.vid_range(lo, hi):
+            payload = relation.engine.read(txn, vid)
+            if payload is not None:
+                out.append((vid, relation.codec.decode(payload)))
+        return out
+
+    def read(self, txn: Transaction, table: str,
+             ref: ItemRef) -> tuple | None:
+        """Visible row of an item handle (None if invisible or deleted)."""
+        relation = self.table(table)
+        payload = relation.engine.read(txn, ref)
+        if payload is None:
+            return None
+        if txn.serializable:
+            self.txn_mgr.ssi.on_read(txn, (relation.relation_id, ref))
+        return relation.codec.decode(payload)
+
+    def update(self, txn: Transaction, table: str, ref: ItemRef,
+               row: tuple) -> ItemRef:
+        """Replace an item's row; returns the (possibly new) handle.
+
+        Under SIAS-V the handle (VID) is stable and only key-changing
+        updates touch indexes.  Under SI every update yields a new TID and
+        every index gains an entry for it.
+        """
+        relation = self.table(table)
+        old_row = self.read(txn, table, ref)
+        payload = relation.codec.encode(row)
+        if txn.serializable:
+            self.txn_mgr.ssi.on_write(txn, (relation.relation_id, ref))
+        if self.kind is EngineKind.SIASV:
+            relation.engine.update(txn, ref, payload)
+            for definition, tree in relation.indexes.values():
+                new_key = definition.key_of(relation.schema, row)
+                old_key = (None if old_row is None
+                           else definition.key_of(relation.schema, old_row))
+                if old_key != new_key and not tree.contains(new_key, ref):
+                    tree.insert(new_key, ref)
+                    txn.register_undo(
+                        lambda t=tree, k=new_key, r=ref: t.delete(k, r))
+            return ref
+        new_tid = relation.engine.update(txn, ref, payload)
+        for definition, tree in relation.indexes.values():
+            tree.insert(definition.key_of(relation.schema, row), new_tid)
+        return new_tid
+
+    def delete(self, txn: Transaction, table: str, ref: ItemRef) -> None:
+        """Delete an item (tombstone under SIAS-V, xmax stamp under SI).
+
+        Index entries stay until maintenance (GC / VACUUM) prunes them;
+        lookups re-verify visibility so stale entries are harmless.
+        """
+        relation = self.table(table)
+        if txn.serializable:
+            self.txn_mgr.ssi.on_write(txn, (relation.relation_id, ref))
+        relation.engine.delete(txn, ref)
+
+    # -- index access -----------------------------------------------------------------------------
+
+    def lookup(self, txn: Transaction, table: str, index_name: str,
+               key) -> list[tuple[ItemRef, tuple]]:
+        """Exact-match index lookup, visibility-checked and key-verified.
+
+        Under the SI baseline, entries whose version is dead to every
+        snapshot are removed on the way (PostgreSQL's LP_DEAD kill bits) —
+        without this, hot keys accumulate one dead entry per update between
+        VACUUMs and every lookup re-reads them all.
+        """
+        relation = self.table(table)
+        definition, tree = relation.index(index_name)
+        out: list[tuple[ItemRef, tuple]] = []
+        kill: list[ItemRef] = []
+        for ref in tree.search(key):
+            row = self.read(txn, table, ref)
+            if row is None:
+                if (self.kind is EngineKind.SI
+                        and relation.engine.is_dead_to_all(ref)):
+                    kill.append(ref)
+                continue
+            if definition.key_of(relation.schema, row) != key:
+                continue  # stale entry: the visible version has another key
+            out.append((ref, row))
+        for ref in kill:
+            tree.delete(key, ref)
+        return out
+
+    def range_lookup(self, txn: Transaction, table: str, index_name: str,
+                     lo, hi) -> list[tuple[ItemRef, tuple]]:
+        """Range index lookup (inclusive bounds), visibility-checked."""
+        relation = self.table(table)
+        definition, tree = relation.index(index_name)
+        out: list[tuple[ItemRef, tuple]] = []
+        seen: set[object] = set()
+        kill: list[tuple[object, ItemRef]] = []
+        for found_key, ref in tree.range(lo, hi):
+            if ref in seen:
+                continue
+            row = self.read(txn, table, ref)
+            if row is None:
+                if (self.kind is EngineKind.SI
+                        and relation.engine.is_dead_to_all(ref)):
+                    kill.append((found_key, ref))
+                continue
+            actual = definition.key_of(relation.schema, row)
+            if actual != found_key:
+                continue
+            seen.add(ref)
+            out.append((ref, row))
+        for found_key, ref in kill:
+            tree.delete(found_key, ref)
+        return out
+
+    def scan(self, txn: Transaction,
+             table: str) -> Iterator[tuple[ItemRef, tuple]]:
+        """Visible-rows scan (VIDmap-mediated under SIAS-V)."""
+        relation = self.table(table)
+        ssi = self.txn_mgr.ssi if txn.serializable else None
+        if self.kind is EngineKind.SIASV:
+            for vid, record in vidmap_scan(relation.engine, txn):
+                if ssi is not None:
+                    ssi.on_read(txn, (relation.relation_id, vid))
+                yield vid, relation.codec.decode(record.payload)
+        else:
+            for tid, payload in relation.engine.scan(txn):
+                if ssi is not None:
+                    ssi.on_read(txn, (relation.relation_id, tid))
+                yield tid, relation.codec.decode(payload)
+
+    # -- background machinery ------------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance bgwriter/checkpointer to the current simulated time.
+
+        The workload driver calls this between transactions.  Besides the
+        timed checkpoints, a checkpoint also triggers when the WAL exceeds
+        its size budget (PostgreSQL's ``max_wal_size``), which both bounds
+        recovery work and recycles log segments.
+        """
+        self.bgwriter.maybe_run()
+        self.checkpointer.maybe_run()
+        if self.wal.device_bytes() >= self.config.buffer.max_wal_bytes:
+            self.checkpointer.run_now()
+
+    def maintenance(self) -> dict[str, object]:
+        """Run GC (SIAS-V) or VACUUM (SI) on every table; prune indexes."""
+        reports: dict[str, object] = {}
+        for name, relation in self.tables.items():
+            if self.kind is EngineKind.SIASV:
+                report = GarbageCollector(relation.engine).collect()
+                self._prune_after_gc(relation, report)
+            else:
+                report = Vacuum(relation.engine).run()
+                self._prune_after_vacuum(relation, report)
+            reports[name] = report
+        return reports
+
+    def _prune_after_gc(self, relation: Relation, report: GcReport) -> None:
+        for outcome in report.items.values():
+            for definition, tree in relation.indexes.values():
+                live_keys = {
+                    definition.key_of(relation.schema,
+                                      relation.codec.decode(p))
+                    for p in outcome.live_payloads}
+                for payload in outcome.dead_payloads:
+                    key = definition.key_of(relation.schema,
+                                            relation.codec.decode(payload))
+                    if key not in live_keys:
+                        tree.delete(key, outcome.vid)
+
+    def _prune_after_vacuum(self, relation: Relation,
+                            report: VacuumReport) -> None:
+        for tid, payload in report.killed:
+            row = relation.codec.decode(payload)
+            for definition, tree in relation.indexes.values():
+                tree.delete(definition.key_of(relation.schema, row), tid)
+
+    def shutdown(self) -> None:
+        """Clean shutdown: seal working pages, checkpoint, persist VIDmaps."""
+        if self.kind is EngineKind.SIASV:
+            for relation in self.tables.values():
+                relation.engine.store.seal_working_page()
+        self.checkpointer.run_now()
+        self.wal.force()
+        if self.kind is EngineKind.SIASV:
+            for relation in self.tables.values():
+                file_id = self.tablespace.create_file(
+                    f"vidmap.{relation.name}")
+                relation.engine.vidmap.persist(self.buffer, file_id)
+
+    # -- reporting ---------------------------------------------------------------------------------------
+
+    def space_reports(self) -> list[SpaceReport]:
+        """Per-table device-space footprint."""
+        out = []
+        for name, relation in self.tables.items():
+            if self.kind is EngineKind.SIASV:
+                data = relation.engine.store.space_bytes()
+                vidmap = relation.engine.vidmap.memory_bytes()
+            else:
+                data = relation.engine.heap.space_bytes()
+                vidmap = 0
+            out.append(SpaceReport(table=name, data_bytes=data,
+                                   vidmap_bytes=vidmap))
+        return out
+
+    def total_space_bytes(self) -> int:
+        """Whole-database data footprint."""
+        return sum(r.total_bytes for r in self.space_reports())

@@ -1,0 +1,141 @@
+"""System monitoring: one consolidated snapshot of a running database.
+
+Collects, in a single call, everything the experiments and examples keep
+reaching into subsystems for: device I/O counters (and FTL internals where
+present), buffer effectiveness, WAL volume, transaction outcomes, per-table
+engine statistics and space. ``render()`` pretty-prints the snapshot; the
+raw dataclass is stable API for dashboards and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baseline.engine import SiEngine
+from repro.common import units
+from repro.core.engine import SiasVEngine
+from repro.db.database import Database
+from repro.experiments.render import format_table
+from repro.storage.flash import FlashDevice
+from repro.storage.noftl import NoFtlFlashDevice
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """Per-relation engine statistics."""
+
+    name: str
+    engine: str
+    data_pages: int
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """One consistent reading of every subsystem's counters."""
+
+    sim_time_sec: float
+    device_reads: int
+    device_writes: int
+    device_read_mib: float
+    device_write_mib: float
+    device_erases: int
+    write_amplification: float
+    buffer_hit_ratio: float
+    buffer_evictions: int
+    buffer_writebacks: int
+    wal_records: int
+    wal_mib: float
+    wal_forces: int
+    txn_commits: int
+    txn_aborts: int
+    lock_conflicts: int
+    tables: tuple[TableSnapshot, ...]
+
+    def render(self) -> str:
+        """Pretty-print the snapshot."""
+        head = format_table(
+            f"system snapshot @ {self.sim_time_sec:.2f} sim-s",
+            ["metric", "value"],
+            [
+                ["device reads / writes",
+                 f"{self.device_reads} / {self.device_writes}"],
+                ["device read / write MiB",
+                 f"{self.device_read_mib:.1f} / {self.device_write_mib:.1f}"],
+                ["device erases", self.device_erases],
+                ["write amplification", round(self.write_amplification, 3)],
+                ["buffer hit ratio", round(self.buffer_hit_ratio, 4)],
+                ["buffer evictions / writebacks",
+                 f"{self.buffer_evictions} / {self.buffer_writebacks}"],
+                ["WAL records / MiB / forces",
+                 f"{self.wal_records} / {self.wal_mib:.1f} / "
+                 f"{self.wal_forces}"],
+                ["txn commits / aborts",
+                 f"{self.txn_commits} / {self.txn_aborts}"],
+                ["lock conflicts", self.lock_conflicts],
+            ])
+        rows = []
+        for table in self.tables:
+            extras = ", ".join(f"{k}={v:g}" for k, v in table.extra.items())
+            rows.append([table.name, table.engine, table.data_pages,
+                         extras])
+        return head + format_table(
+            "per-table", ["table", "engine", "pages", "stats"], rows)
+
+
+def snapshot(db: Database) -> SystemSnapshot:
+    """Collect a :class:`SystemSnapshot` from a live database."""
+    device = db.data_device
+    erases = 0
+    amp = 1.0
+    if isinstance(device, FlashDevice):
+        erases = device.ftl.stats.erases
+        amp = device.ftl.stats.write_amplification
+    elif isinstance(device, NoFtlFlashDevice):
+        erases = device.erases
+        amp = device.write_amplification
+    tables = []
+    for name, relation in db.tables.items():
+        engine = relation.engine
+        if isinstance(engine, SiasVEngine):
+            tables.append(TableSnapshot(
+                name=name, engine="sias-v",
+                data_pages=engine.store.device_pages(),
+                extra={
+                    "appended": engine.store.stats.appended_records,
+                    "sealed": engine.store.stats.sealed_pages,
+                    "reclaimed": engine.store.stats.reclaimed_pages,
+                    "avg_fill": round(engine.store.stats.avg_fill_degree,
+                                      3),
+                    "chain_hops": engine.stats.chain_hops,
+                    "vidmap_items": engine.vidmap.item_count(),
+                }))
+        elif isinstance(engine, SiEngine):
+            tables.append(TableSnapshot(
+                name=name, engine="si",
+                data_pages=engine.heap.page_count,
+                extra={
+                    "inserts": engine.heap.stats.tuple_inserts,
+                    "xmax_stamps":
+                        engine.heap.stats.in_place_invalidations,
+                    "killed": engine.heap.stats.killed_tuples,
+                }))
+    return SystemSnapshot(
+        sim_time_sec=db.clock.now_sec,
+        device_reads=device.stats.reads,
+        device_writes=device.stats.writes,
+        device_read_mib=units.mib(device.stats.read_bytes),
+        device_write_mib=units.mib(device.stats.write_bytes),
+        device_erases=erases,
+        write_amplification=amp,
+        buffer_hit_ratio=db.buffer.stats.hit_ratio,
+        buffer_evictions=db.buffer.stats.evictions,
+        buffer_writebacks=db.buffer.stats.writebacks,
+        wal_records=db.wal.records_written,
+        wal_mib=units.mib(db.wal.bytes_written),
+        wal_forces=db.wal.forces,
+        txn_commits=db.txn_mgr.commits,
+        txn_aborts=db.txn_mgr.aborts,
+        lock_conflicts=db.txn_mgr.locks.stats.conflicts,
+        tables=tuple(tables),
+    )

@@ -1,0 +1,82 @@
+"""Relation schemas: typed columns and row validation.
+
+Rows are plain tuples positionally matched to the schema.  Three column
+types cover the TPC-C-style workloads (and most OLTP schemas): 64-bit
+integers, doubles and variable-length strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import SchemaError
+
+
+class ColType(Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    def check(self, value: object, column: str) -> None:
+        """Raise :class:`SchemaError` if ``value`` has the wrong type."""
+        if self is ColType.INT:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError(f"column {column}: {value!r} is not INT")
+        elif self is ColType.FLOAT:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(f"column {column}: {value!r} is not FLOAT")
+        elif self is ColType.STR:
+            if not isinstance(value, str):
+                raise SchemaError(f"column {column}: {value!r} is not STR")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One named, typed column."""
+
+    name: str
+    type: ColType
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered, named, typed columns of a relation."""
+
+    columns: tuple[Column, ...]
+
+    @staticmethod
+    def of(*spec: tuple[str, ColType]) -> "Schema":
+        """Build a schema from ``("name", ColType)`` pairs."""
+        return Schema(tuple(Column(name, type_) for name, type_ in spec))
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in {names}")
+        if not self.columns:
+            raise SchemaError("schema needs at least one column")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def position(self, name: str) -> int:
+        """Ordinal of column ``name`` (raises on unknown names)."""
+        for i, column in enumerate(self.columns):
+            if column.name == name:
+                return i
+        raise SchemaError(f"unknown column {name!r}")
+
+    def validate(self, row: tuple) -> None:
+        """Raise :class:`SchemaError` unless ``row`` matches the schema."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.columns)}")
+        for column, value in zip(self.columns, row):
+            column.type.check(value, column.name)
+
+    def project(self, row: tuple, names: list[str]) -> tuple:
+        """Extract the named columns from ``row``, in the given order."""
+        return tuple(row[self.position(n)] for n in names)

@@ -1,0 +1,106 @@
+"""Ablation A6: version co-location — by recency (SIAS-V) vs by transaction.
+
+The paper's related work contrasts SIAS-V's recency co-location with SI-CV
+(Gottstein et al., TPC-TC 2012), which places all versions *of one
+transaction* together.  Both policies are append-only and share every other
+mechanism here, so the ablation isolates pure placement:
+
+* **pages/txn·rel** — over committed (transaction, relation) pairs with
+  several versions, how many distinct device pages hold them.  Transaction
+  co-location drives this toward 1 (a transaction's effects on a relation
+  read back with one page fetch); recency placement smears a transaction
+  across whatever pages were filling while it ran — the more concurrent
+  clients, the worse.
+* **txns/page** — the converse interleaving metric.
+* Write volume and fill degree — the cost side: per-transaction pages seal
+  sparser under light concurrency, so SI-CV trades some packing density.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.common.config import Colocation
+from repro.db.database import EngineKind
+from repro.experiments import harness
+from repro.experiments.render import format_table
+from repro.pages.append_page import AppendPage
+from repro.workload.driver import DriverConfig
+from repro.workload.mixes import UPDATE_HEAVY_MIX
+from repro.workload.tpcc_schema import TpccScale
+
+
+@dataclass
+class ColocationResult:
+    """One row per policy."""
+
+    rows: list[list[object]]
+    pages_per_txn: dict[str, float]
+
+    def table(self) -> str:
+        """Render the comparison."""
+        return format_table(
+            "A6 - version co-location: recency (SIAS-V) vs transaction "
+            "(SI-CV)",
+            ["policy", "pages/txn-rel", "txns/page", "write MiB",
+             "avg fill"],
+            self.rows)
+
+
+def _placement_metrics(run: harness.MeasuredRun) -> tuple[float, float]:
+    """(mean pages per txn·relation, mean txns per page)."""
+    txn_pages: dict[tuple[int, int], set] = defaultdict(set)
+    txn_records: dict[tuple[int, int], int] = defaultdict(int)
+    page_txns: dict[tuple, set] = defaultdict(set)
+    clog = run.db.txn_mgr.clog
+    for relation in run.db.tables.values():
+        store = relation.engine.store
+        for page_no in store.sealed_page_nos():
+            page = store.buffer.get_page(store.file_id, page_no)
+            assert isinstance(page, AppendPage)
+            for _slot, record in page.records():
+                if not clog.is_committed(record.create_ts):
+                    continue
+                txn_rel = (record.create_ts, relation.relation_id)
+                txn_pages[txn_rel].add(page_no)
+                txn_records[txn_rel] += 1
+                page_txns[(relation.relation_id, page_no)].add(
+                    record.create_ts)
+    # only (txn, relation) pairs with several versions can spread at all
+    spreads = [len(pages) for key, pages in txn_pages.items()
+               if txn_records[key] >= 4]
+    pages_per = sum(spreads) / len(spreads) if spreads else 0.0
+    txns_per_page = (sum(len(t) for t in page_txns.values())
+                     / len(page_txns) if page_txns else 0.0)
+    return pages_per, txns_per_page
+
+
+def run(warehouses: int = 6, duration_usec: int = 15 * units.SEC,
+        scale: TpccScale | None = None, clients: int = 16,
+        seed: int = 42) -> ColocationResult:
+    """Run the identical workload under both placement policies."""
+    driver_config = DriverConfig(clients=clients,
+                                 mix=dict(UPDATE_HEAVY_MIX),
+                                 maintenance_interval_usec=10_000 * units.SEC)
+    rows: list[list[object]] = []
+    pages_per_txn: dict[str, float] = {}
+    for policy in (Colocation.RECENCY, Colocation.TRANSACTION):
+        setup = harness.ssd_single()
+        setup = setup.with_config(setup.config.with_engine(
+            colocation=policy))
+        measured = harness.run_tpcc(EngineKind.SIASV, setup, warehouses,
+                                    duration_usec, scale=scale,
+                                    driver_config=driver_config, seed=seed)
+        spread, interleave = _placement_metrics(measured)
+        fills = pages = 0.0
+        for relation in measured.db.tables.values():
+            stats = relation.engine.store.stats
+            fills += stats.fill_degree_sum
+            pages += stats.sealed_pages
+        avg_fill = fills / pages if pages else 1.0
+        pages_per_txn[policy.value] = spread
+        rows.append([policy.value, round(spread, 2), round(interleave, 2),
+                     round(measured.write_mib, 1), round(avg_fill, 3)])
+    return ColocationResult(rows=rows, pages_per_txn=pages_per_txn)

@@ -1,0 +1,90 @@
+"""Ablation A1: NSM vs column-vector append-page layout (the "V").
+
+Quantifies what the vector layout buys on the read path: a visibility sweep
+over a page touches only the fixed-width metadata vectors instead of the
+whole interleaved records.  Both layouts run the identical workload; the
+runner then sums, over all sealed pages, the bytes a full visibility check
+of the relation would touch under each layout, and reports packing density
+for completeness (both layouts store the same logical content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.common.config import PageLayout
+from repro.db.database import EngineKind
+from repro.experiments import harness
+from repro.experiments.render import format_pct, format_table
+from repro.pages.append_page import AppendPage
+from repro.workload.driver import DriverConfig
+from repro.workload.mixes import UPDATE_HEAVY_MIX
+from repro.workload.tpcc_schema import TpccScale
+
+
+@dataclass
+class LayoutResult:
+    """One row per layout."""
+
+    rows: list[list[object]]
+    meta_bytes: dict[str, int]
+
+    @property
+    def vector_saving(self) -> float:
+        """Fraction of visibility-sweep bytes saved by the vector layout."""
+        nsm = self.meta_bytes.get("nsm", 0)
+        if nsm == 0:
+            return 0.0
+        return 1.0 - self.meta_bytes.get("vector", 0) / nsm
+
+    def table(self) -> str:
+        """Render the comparison."""
+        return format_table(
+            "A1 - append-page layout: NSM vs column vectors",
+            ["layout", "sealed pages", "records/page",
+             "visibility-sweep MiB", "page-content MiB", "sweep saving"],
+            self.rows)
+
+
+def _sweep_bytes(run: harness.MeasuredRun) -> tuple[int, int, int, int]:
+    """(meta bytes, used bytes, pages, records) over all sealed pages."""
+    meta = used = pages = records = 0
+    for relation in run.db.tables.values():
+        store = relation.engine.store
+        for page_no in store.sealed_page_nos():
+            page = store.buffer.get_page(store.file_id, page_no)
+            assert isinstance(page, AppendPage)
+            meta += page.meta_scan_bytes()
+            used += page.used_bytes
+            pages += 1
+            records += page.record_count
+    return meta, used, pages, records
+
+
+def run(warehouses: int = 8, duration_usec: int = 20 * units.SEC,
+        scale: TpccScale | None = None,
+        seed: int = 42) -> LayoutResult:
+    """Run the identical workload under both layouts and compare."""
+    driver_config = DriverConfig(clients=8, mix=dict(UPDATE_HEAVY_MIX),
+                                 maintenance_interval_usec=30 * units.SEC)
+    rows: list[list[object]] = []
+    meta_bytes: dict[str, int] = {}
+    sweeps: dict[str, tuple[int, int, int, int]] = {}
+    for layout in (PageLayout.NSM, PageLayout.VECTOR):
+        setup = harness.ssd_single()
+        setup = setup.with_config(setup.config.with_engine(layout=layout))
+        measured = harness.run_tpcc(EngineKind.SIASV, setup, warehouses,
+                                    duration_usec, scale=scale,
+                                    driver_config=driver_config, seed=seed)
+        sweeps[layout.value] = _sweep_bytes(measured)
+        meta_bytes[layout.value] = sweeps[layout.value][0]
+    nsm_meta = meta_bytes["nsm"]
+    for layout in (PageLayout.NSM, PageLayout.VECTOR):
+        meta, used, pages, records = sweeps[layout.value]
+        saving = 0.0 if nsm_meta == 0 else 1.0 - meta / nsm_meta
+        rows.append([layout.value, pages,
+                     round(records / pages, 1) if pages else 0,
+                     round(units.mib(meta), 2), round(units.mib(used), 2),
+                     format_pct(saving)])
+    return LayoutResult(rows=rows, meta_bytes=meta_bytes)

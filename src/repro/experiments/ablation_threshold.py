@@ -1,0 +1,97 @@
+"""Ablation A2: flush-threshold sweep (fill degree → writes and space).
+
+DESIGN.md calls the flush threshold out as the decisive knob behind both T1
+(write reduction) and T2 (space): "the optimal threshold for write
+efficiency is the maximum filling degree of a page".  This sweep runs the
+identical workload under t1 (eager background-writer sealing) and under t2
+at several fill targets, reporting write volume, sealed-page count, average
+fill degree and device footprint — the expected monotone trade: higher fill
+target → fewer, denser pages → less write volume and less space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.common.config import FlushThreshold
+from repro.db.database import EngineKind
+from repro.experiments import harness
+from repro.experiments.render import format_table
+from repro.workload.driver import DriverConfig
+from repro.workload.mixes import UPDATE_HEAVY_MIX
+from repro.workload.tpcc_schema import TpccScale
+
+
+@dataclass
+class ThresholdPoint:
+    """One configuration's outcome."""
+
+    label: str
+    write_mib: float
+    sealed_pages: int
+    avg_fill: float
+    space_mib: float
+
+
+@dataclass
+class ThresholdResult:
+    """All sweep points in run order."""
+
+    points: list[ThresholdPoint]
+
+    @property
+    def rows(self) -> list[list[object]]:
+        """Table rows."""
+        return [[p.label, round(p.write_mib, 1), p.sealed_pages,
+                 round(p.avg_fill, 3), round(p.space_mib, 1)]
+                for p in self.points]
+
+    def table(self) -> str:
+        """Render the sweep."""
+        return format_table(
+            "A2 - flush threshold sweep (SIAS-V)",
+            ["config", "write MiB", "sealed pages", "avg fill",
+             "space MiB"],
+            self.rows)
+
+
+def _fill_stats(run: harness.MeasuredRun) -> tuple[int, float]:
+    pages = 0
+    fill_sum = 0.0
+    for relation in run.db.tables.values():
+        stats = relation.engine.store.stats
+        pages += stats.sealed_pages
+        fill_sum += stats.fill_degree_sum
+    return pages, (fill_sum / pages if pages else 1.0)
+
+
+def run(warehouses: int = 8, duration_usec: int = 20 * units.SEC,
+        fill_targets: tuple[float, ...] = (0.25, 0.5, 0.75, 0.95),
+        scale: TpccScale | None = None,
+        seed: int = 42) -> ThresholdResult:
+    """Sweep t1 plus t2 at each fill target."""
+    driver_config = DriverConfig(clients=8, mix=dict(UPDATE_HEAVY_MIX),
+                                 maintenance_interval_usec=30 * units.SEC)
+    points: list[ThresholdPoint] = []
+
+    def _measure(label: str, threshold: FlushThreshold,
+                 fill_target: float) -> None:
+        setup = harness.ssd_single()
+        setup = setup.with_config(setup.config.with_engine(
+            flush_threshold=threshold, append_fill_target=fill_target))
+        measured = harness.run_tpcc(EngineKind.SIASV, setup, warehouses,
+                                    duration_usec, scale=scale,
+                                    driver_config=driver_config, seed=seed)
+        pages, avg_fill = _fill_stats(measured)
+        points.append(ThresholdPoint(
+            label=label,
+            write_mib=measured.write_mib,
+            sealed_pages=pages,
+            avg_fill=avg_fill,
+            space_mib=units.mib(measured.space_bytes)))
+
+    _measure("t1 (bgwriter)", FlushThreshold.T1, 0.95)
+    for target in fill_targets:
+        _measure(f"t2 fill={target:.2f}", FlushThreshold.T2, target)
+    return ThresholdResult(points=points)

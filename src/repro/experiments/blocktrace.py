@@ -1,0 +1,77 @@
+"""Exhibits F1/F2: blocktrace I/O-pattern figures (SIAS-V vs SI on SSD).
+
+Reproduces the paper's pair of blocktrace scatter plots: under SIAS-V the
+data device sees almost only reads, scattered selectively over the address
+space, while writes form compact append "swimlanes" per relation; under SI
+reads and writes are mixed and writes smear across the whole relation
+(in-place invalidations + FSM placement).
+
+The runner renders both traces as ASCII scatter plots and quantifies the
+contrast with two scalars per engine: the write-locality score (fraction of
+sequential-successor writes) and the read/write request ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.db.database import EngineKind
+from repro.experiments import harness
+from repro.experiments.render import format_table
+from repro.storage.trace import TraceRecorder, render_scatter, swimlane_locality
+from repro.workload.driver import DriverConfig
+from repro.workload.tpcc_schema import TpccScale
+
+
+@dataclass
+class BlocktraceResult:
+    """Both traces plus their summary scalars."""
+
+    traces: dict[str, TraceRecorder]
+    rows: list[list[object]]
+    figures: dict[str, str]
+
+    def table(self) -> str:
+        """Summary table printed under the figures."""
+        return format_table(
+            "F1/F2 - blocktrace summary (data device, measurement window)",
+            ["engine", "reads", "writes", "read MiB", "write MiB",
+             "write locality", "R/W ratio"],
+            self.rows)
+
+    def render(self) -> str:
+        """Figures plus table, ready to print."""
+        parts = [self.figures["sias-v"], self.figures["si"], self.table()]
+        return "\n".join(parts)
+
+
+def run(warehouses: int = 8, duration_usec: int = 20 * units.SEC,
+        scale: TpccScale | None = None,
+        driver_config: DriverConfig | None = None,
+        seed: int = 42) -> BlocktraceResult:
+    """Run both engines with tracing; returns figures + summary rows."""
+    traces: dict[str, TraceRecorder] = {}
+    rows: list[list[object]] = []
+    figures: dict[str, str] = {}
+    driver_config = driver_config or DriverConfig(
+        clients=8, maintenance_interval_usec=10 * units.SEC)
+    for engine in (EngineKind.SIASV, EngineKind.SI):
+        trace = TraceRecorder()
+        harness.run_tpcc(engine, harness.ssd_single(), warehouses,
+                         duration_usec, scale=scale,
+                         driver_config=driver_config, trace=trace,
+                         seed=seed)
+        label = engine.value
+        traces[label] = trace
+        summary = trace.summary()
+        locality = swimlane_locality(trace)
+        ratio = (summary.reads / summary.writes
+                 if summary.writes else float("inf"))
+        rows.append([label, summary.reads, summary.writes,
+                     round(summary.read_mib, 1), round(summary.write_mib, 1),
+                     round(locality, 3), round(ratio, 1)])
+        title = (f"Blocktrace: {label.upper()} - SSD - {warehouses} WH - "
+                 f"{units.fmt_usec(duration_usec)}")
+        figures[label] = render_scatter(trace, title=title)
+    return BlocktraceResult(traces=traces, rows=rows, figures=figures)

@@ -1,0 +1,198 @@
+"""Shared experiment machinery: system setups, measured runs, result rows.
+
+Every exhibit in the paper maps to a runner module in this package; they all
+build databases through :func:`build_database` so the two engines always run
+on byte-identical substrates, and they all measure through
+:class:`MeasuredRun` so device counters cover only the measurement window
+(the loader's I/O is excluded, exactly like attaching ``blktrace`` after the
+database is populated).
+
+The three evaluated hardware setups are modelled as :class:`SystemSetup`
+presets:
+
+* ``ssd_raid2`` — two SSDs striped, small buffer pool (the paper's 4 GB
+  Core2Duo box, scaled to the simulator's dataset sizes),
+* ``ssd_raid6`` — six SSDs striped, large buffer pool (the "Sylt" server),
+* ``hdd`` — the single 7200 rpm disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common import units
+from repro.common.clock import SimClock
+from repro.common.config import (
+    BufferConfig,
+    FlashConfig,
+    FlushThreshold,
+    HddConfig,
+    SystemConfig,
+)
+from repro.db.database import Database, EngineKind
+from repro.storage.device import BlockDevice, DeviceStats
+from repro.storage.flash import FlashDevice
+from repro.storage.hdd import HddDevice
+from repro.storage.raid import Raid0Device
+from repro.storage.trace import TraceRecorder
+from repro.workload.driver import DriverConfig, TpccDriver
+from repro.workload.metrics import Metrics
+from repro.workload.tpcc_data import TpccLoader
+from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+
+
+@dataclass(frozen=True)
+class SystemSetup:
+    """One evaluated hardware configuration."""
+
+    name: str
+    kind: str                    # "flash" or "hdd"
+    members: int                 # striped devices (1 = no RAID)
+    config: SystemConfig
+
+    def with_config(self, config: SystemConfig) -> "SystemSetup":
+        """Copy with another system config."""
+        return replace(self, config=config)
+
+
+def _flash_config(capacity_gib: int = 4) -> FlashConfig:
+    return FlashConfig(capacity_bytes=capacity_gib * units.GIB)
+
+
+def ssd_single(pool_pages: int = 1024) -> SystemSetup:
+    """One SSD (used by the blocktrace and ablation exhibits)."""
+    return SystemSetup(
+        name="ssd", kind="flash", members=1,
+        config=SystemConfig(flash=_flash_config(),
+                            buffer=BufferConfig(pool_pages=pool_pages)))
+
+
+def ssd_raid2(pool_pages: int = 192) -> SystemSetup:
+    """Two-SSD stripe with a small buffer pool (Figure: 2-SSD RAID)."""
+    return SystemSetup(
+        name="ssd-raid2", kind="flash", members=2,
+        config=SystemConfig(flash=_flash_config(2),
+                            buffer=BufferConfig(pool_pages=pool_pages)))
+
+
+def ssd_raid6(pool_pages: int = 4096) -> SystemSetup:
+    """Six-SSD stripe with a large buffer pool (Figure: 6-SSD RAID)."""
+    return SystemSetup(
+        name="ssd-raid6", kind="flash", members=6,
+        config=SystemConfig(flash=_flash_config(2),
+                            buffer=BufferConfig(pool_pages=pool_pages)))
+
+
+def hdd_single(pool_pages: int = 512) -> SystemSetup:
+    """One 7200 rpm disk (Table: TPC-C on HDD)."""
+    return SystemSetup(
+        name="hdd", kind="hdd", members=1,
+        config=SystemConfig(hdd=HddConfig(),
+                            buffer=BufferConfig(pool_pages=pool_pages)))
+
+
+def build_device(setup: SystemSetup, clock: SimClock,
+                 trace: TraceRecorder | None,
+                 name_prefix: str) -> BlockDevice:
+    """Construct the (possibly striped) device of a setup."""
+    if setup.kind == "flash":
+        if setup.members == 1:
+            return FlashDevice(clock, setup.config.flash, trace=trace,
+                               name=f"{name_prefix}-ssd")
+        members = [FlashDevice(clock, setup.config.flash,
+                               name=f"{name_prefix}-ssd{i}")
+                   for i in range(setup.members)]
+        return Raid0Device(members, trace=trace,
+                           name=f"{name_prefix}-raid{setup.members}")
+    if setup.members != 1:
+        raise ValueError("HDD setups are single-device")
+    return HddDevice(clock, setup.config.hdd, trace=trace,
+                     name=f"{name_prefix}-hdd")
+
+
+def build_database(engine: EngineKind, setup: SystemSetup,
+                   trace: TraceRecorder | None = None,
+                   threshold: FlushThreshold | None = None) -> Database:
+    """A fresh database of one engine kind on one hardware setup."""
+    config = setup.config
+    if threshold is not None:
+        config = config.with_engine(flush_threshold=threshold)
+    clock = SimClock()
+    data = build_device(setup, clock, trace, "data")
+    wal = build_device(setup, clock, None, "wal")
+    return Database(engine, data, wal, config)
+
+
+@dataclass
+class MeasuredRun:
+    """One loaded-then-measured workload run."""
+
+    engine: EngineKind
+    setup: SystemSetup
+    warehouses: int
+    metrics: Metrics
+    device_delta: DeviceStats     # data-device I/O inside the window only
+    wal_delta: DeviceStats
+    space_bytes: int
+    db: Database
+    driver: TpccDriver
+
+    @property
+    def write_mib(self) -> float:
+        """Data-device write volume during the measurement window."""
+        return units.mib(self.device_delta.write_bytes)
+
+    @property
+    def notpm(self) -> float:
+        """NewOrder throughput during the window."""
+        return self.metrics.notpm()
+
+
+def run_tpcc(engine: EngineKind, setup: SystemSetup, warehouses: int,
+             duration_usec: int, scale: TpccScale | None = None,
+             driver_config: DriverConfig | None = None,
+             trace: TraceRecorder | None = None,
+             threshold: FlushThreshold | None = None,
+             num_transactions: int | None = None,
+             seed: int = 42) -> MeasuredRun:
+    """Load ``warehouses`` and run the mix for ``duration_usec`` sim-time.
+
+    Device counters and the optional blocktrace cover only the measurement
+    window: the loader's I/O is cut away by snapshotting counters (and
+    clearing the trace) after the load, mirroring how the paper attached
+    blktrace to an already-populated DBT2 database.
+
+    If ``num_transactions`` is given, the run finishes after that many
+    transaction attempts instead of after ``duration_usec`` — the fixed-work
+    mode the write-volume comparisons use (the engines' throughputs differ,
+    so fixed-time windows would compare unequal amounts of work).
+    """
+    scale = scale or TpccScale()
+    db = build_database(engine, setup, trace=trace, threshold=threshold)
+    create_tpcc_tables(db)
+    TpccLoader(db, scale, seed=seed).load(warehouses)
+    db.maintenance()  # start the window with a clean version store
+    before = db.data_device.stats.snapshot()
+    wal_before = db.wal.device.stats.snapshot()
+    if trace is not None:
+        trace.clear()
+    driver = TpccDriver(db, warehouses, scale,
+                        config=driver_config or DriverConfig(), seed=seed)
+    if num_transactions is not None:
+        metrics = driver.run_transactions(num_transactions)
+    else:
+        metrics = driver.run_for(duration_usec)
+    # close the books: seal partial append pages / flush dirty heap pages so
+    # both engines' outstanding writes are charged inside the window.
+    db.shutdown()
+    return MeasuredRun(
+        engine=engine,
+        setup=setup,
+        warehouses=warehouses,
+        metrics=metrics,
+        device_delta=db.data_device.stats.diff(before),
+        wal_delta=db.wal.device.stats.diff(wal_before),
+        space_bytes=db.total_space_bytes(),
+        db=db,
+        driver=driver,
+    )

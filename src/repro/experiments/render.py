@@ -1,0 +1,64 @@
+"""Plain-text renderers for experiment tables and series.
+
+Every exhibit prints through these helpers, so benches, examples and the
+EXPERIMENTS.md regeneration all share one format: a fixed-width ASCII table
+with a title line, plus CSV export for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render a titled fixed-width table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def _line(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.rjust(w) for v, w in zip(values, widths)) \
+            + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [title, sep, _line(list(headers)), sep]
+    out.extend(_line(row) for row in cells)
+    out.append(sep)
+    return "\n".join(out) + "\n"
+
+
+def to_csv(headers: Sequence[str],
+           rows: Sequence[Sequence[object]]) -> str:
+    """CSV export of the same rows."""
+    lines = [",".join(headers)]
+    lines.extend(",".join(_fmt(v) for v in row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Human ratio like '33.1x' (guarding zero denominators)."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"
+
+
+def format_pct(fraction: float) -> str:
+    """Percentage with no decimals: 0.973 → '97%'."""
+    return f"{fraction * 100:.0f}%"

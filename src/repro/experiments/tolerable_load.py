@@ -1,0 +1,103 @@
+"""Exhibit F5: tolerable load — how much offered load stays responsive.
+
+The paper's conclusion claims a "higher amount of tolerable load" (and the
+HDD section: "SI stays responsive below 30 WHs; SIAS-Chains provides a
+responsive system with up to 75 WHs").  This exhibit sweeps *offered load*
+directly: a growing number of think-time-limited clients submit the
+standard mix against a fixed buffer-pressured database, and each engine's
+achieved throughput and p90 response time are recorded per load level.
+
+The *tolerable load* of an engine is the highest client count whose p90
+response time stays under a threshold (default 25 ms of simulated time).
+Expected shape: both engines track the offered load while unsaturated;
+SI saturates earlier — its response times blow past the threshold at a
+client count where SIAS-V is still flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.db.database import EngineKind
+from repro.experiments import harness
+from repro.experiments.render import format_table
+from repro.workload.driver import DriverConfig
+from repro.workload.tpcc_schema import TpccScale
+
+
+@dataclass
+class LoadPoint:
+    """Both engines at one offered-load level."""
+
+    clients: int
+    sias_notpm: float
+    si_notpm: float
+    sias_p90_sec: float
+    si_p90_sec: float
+
+
+@dataclass
+class TolerableLoadResult:
+    """The full sweep plus the per-engine saturation points."""
+
+    points: list[LoadPoint]
+    threshold_sec: float
+
+    @property
+    def rows(self) -> list[list[object]]:
+        """Table rows."""
+        return [[p.clients, round(p.sias_notpm), round(p.si_notpm),
+                 round(p.sias_p90_sec * 1000, 1),
+                 round(p.si_p90_sec * 1000, 1)]
+                for p in self.points]
+
+    def table(self) -> str:
+        """Render the sweep."""
+        return format_table(
+            f"F5 - tolerable load (p90 threshold "
+            f"{self.threshold_sec * 1000:.0f} ms)",
+            ["clients", "SIAS NOTPM", "SI NOTPM", "SIAS p90 (ms)",
+             "SI p90 (ms)"],
+            self.rows)
+
+    def tolerable(self, engine: str) -> int:
+        """Highest swept client count still under the p90 threshold."""
+        best = 0
+        for point in self.points:
+            p90 = point.sias_p90_sec if engine == "sias" else point.si_p90_sec
+            if p90 <= self.threshold_sec:
+                best = max(best, point.clients)
+        return best
+
+
+def run(warehouses: int = 8,
+        client_counts: tuple[int, ...] = (4, 8, 16, 24),
+        think_time_usec: int = 20 * units.MSEC,
+        duration_usec: int = 10 * units.SEC,
+        threshold_sec: float = 0.025,
+        pool_pages: int = 96,
+        scale: TpccScale | None = None,
+        seed: int = 42) -> TolerableLoadResult:
+    """Sweep offered load on a buffer-pressured single SSD."""
+    points: list[LoadPoint] = []
+    for clients in client_counts:
+        driver_config = DriverConfig(
+            clients=clients, think_time_usec=think_time_usec,
+            maintenance_interval_usec=5 * units.SEC)
+        sias = harness.run_tpcc(EngineKind.SIASV,
+                                harness.ssd_single(pool_pages=pool_pages),
+                                warehouses, duration_usec, scale=scale,
+                                driver_config=driver_config, seed=seed)
+        si = harness.run_tpcc(EngineKind.SI,
+                              harness.ssd_single(pool_pages=pool_pages),
+                              warehouses, duration_usec, scale=scale,
+                              driver_config=driver_config, seed=seed)
+        points.append(LoadPoint(
+            clients=clients,
+            sias_notpm=sias.notpm,
+            si_notpm=si.notpm,
+            sias_p90_sec=sias.metrics.response_sec(0.90),
+            si_p90_sec=si.metrics.response_sec(0.90),
+        ))
+    return TolerableLoadResult(points=points, threshold_sec=threshold_sec)

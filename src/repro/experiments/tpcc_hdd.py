@@ -1,0 +1,67 @@
+"""Exhibit T3: TPC-C on HDD — throughput and response time per warehouse.
+
+Regenerates the paper's HDD table (warehouses vs. NOTPM and response time
+for SIAS and SI).  Expected shape: SIAS-V *scales* with warehouse count
+while reads stay cached (appends are nearly free for the disk arm) and its
+response times stay low far longer; SI's throughput decays with warehouse
+count and its response times blow up — random in-place writes pay a full
+seek each, and the arm is a single serial resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import units
+from repro.db.database import EngineKind
+from repro.experiments import harness
+from repro.experiments.render import format_table
+from repro.workload.driver import DriverConfig
+from repro.workload.tpcc_schema import TpccScale
+
+
+@dataclass
+class HddResult:
+    """The regenerated HDD table, paper-style (metrics as rows)."""
+
+    warehouse_counts: list[int]
+    sias_notpm: list[float]
+    si_notpm: list[float]
+    sias_rt: list[float]
+    si_rt: list[float]
+
+    def table(self) -> str:
+        """Render with warehouses as columns, like the paper's Table 2."""
+        headers = ["metric"] + [str(w) for w in self.warehouse_counts]
+        rows = [
+            ["SIAS (NOTPM)"] + [round(v) for v in self.sias_notpm],
+            ["SI (NOTPM)"] + [round(v) for v in self.si_notpm],
+            ["SIAS (sec)"] + [round(v, 3) for v in self.sias_rt],
+            ["SI (sec)"] + [round(v, 3) for v in self.si_rt],
+        ]
+        return format_table("T3 - TPC-C on HDD (warehouses as columns)",
+                            headers, rows)
+
+
+def run(warehouse_counts: tuple[int, ...] = (3, 6, 9, 12),
+        duration_usec: int = 20 * units.SEC,
+        scale: TpccScale | None = None,
+        driver_config: DriverConfig | None = None,
+        seed: int = 42) -> HddResult:
+    """Sweep warehouse counts on the HDD with both engines."""
+    driver_config = driver_config or DriverConfig(
+        clients=4, maintenance_interval_usec=8 * units.SEC)
+    result = HddResult(warehouse_counts=list(warehouse_counts),
+                       sias_notpm=[], si_notpm=[], sias_rt=[], si_rt=[])
+    for warehouses in warehouse_counts:
+        sias = harness.run_tpcc(EngineKind.SIASV, harness.hdd_single(),
+                                warehouses, duration_usec, scale=scale,
+                                driver_config=driver_config, seed=seed)
+        si = harness.run_tpcc(EngineKind.SI, harness.hdd_single(),
+                              warehouses, duration_usec, scale=scale,
+                              driver_config=driver_config, seed=seed)
+        result.sias_notpm.append(sias.notpm)
+        result.si_notpm.append(si.notpm)
+        result.sias_rt.append(sias.metrics.mean_response_sec())
+        result.si_rt.append(si.metrics.mean_response_sec())
+    return result

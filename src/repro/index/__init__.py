@@ -1,0 +1,6 @@
+"""Indexing: B⁺ tree and extendible hash (⟨key,VID⟩ vs ⟨key,TID⟩)."""
+
+from repro.index.btree import BPlusTree
+from repro.index.hashindex import ExtendibleHashIndex
+
+__all__ = ["BPlusTree", "ExtendibleHashIndex"]

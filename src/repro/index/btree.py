@@ -1,0 +1,332 @@
+"""B⁺-tree index with duplicate-key support.
+
+Both engines index through this structure; only the *record type* differs:
+
+* SIAS-V stores ``⟨key, VID⟩`` — all versions of a data item share one index
+  entry, so updates that do not change the key never touch the index (the
+  indexing contribution of the paper).
+* The SI baseline stores ``⟨key, TID⟩`` — every new tuple version gets its
+  own entry (classical pre-HOT PostgreSQL behaviour), removed later by
+  VACUUM.
+
+The tree is an in-memory B⁺ tree with linked leaves: fixed fan-out,
+standard split/borrow/merge rebalancing, range scans via the leaf chain and
+an invariant checker used by the property-based tests.  Keys are any
+mutually comparable Python values (ints, strings, tuples); values are
+hashable and duplicate ``(key, value)`` pairs are rejected while duplicate
+keys are allowed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Hashable, Iterator
+
+from repro.common.errors import DuplicateKeyError
+
+
+class _Node:
+    """Internal or leaf node."""
+
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list = []
+        self.children: list["_Node"] | None = None if leaf else []
+        # leaf: values[i] is the list of values for keys[i]
+        self.values: list[list[Hashable]] | None = [] if leaf else None
+        self.next_leaf: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class BPlusTree:
+    """A B⁺ tree mapping comparable keys to sets of hashable values."""
+
+    def __init__(self, order: int = 64, unique: bool = False) -> None:
+        if order < 4:
+            raise ValueError(f"order must be >= 4, got {order}")
+        self.order = order
+        self.unique = unique
+        self._root = _Node(leaf=True)
+        self._size = 0  # number of (key, value) pairs
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def search(self, key) -> list[Hashable]:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._descend(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def contains(self, key, value: Hashable) -> bool:
+        """Whether the exact ``(key, value)`` pair is present."""
+        return value in self.search(key)
+
+    def range(self, lo=None, hi=None, *,
+              inclusive: tuple[bool, bool] = (True, True),
+              ) -> Iterator[tuple[object, Hashable]]:
+        """Yield ``(key, value)`` pairs with lo ≤/< key ≤/< hi, in key order."""
+        leaf = self._leftmost() if lo is None else self._descend(lo)
+        lo_inc, hi_inc = inclusive
+        while leaf is not None:
+            for i, key in enumerate(leaf.keys):
+                if lo is not None:
+                    if key < lo or (not lo_inc and key == lo):
+                        continue
+                if hi is not None:
+                    if key > hi or (not hi_inc and key == hi):
+                        return
+                for value in leaf.values[i]:
+                    yield key, value
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[object, Hashable]]:
+        """All pairs in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[object]:
+        """Distinct keys in order."""
+        leaf = self._leftmost()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next_leaf
+
+    def min_key(self):
+        """Smallest key (None when empty)."""
+        leaf = self._leftmost()
+        return leaf.keys[0] if leaf.keys else None
+
+    # -- mutation -------------------------------------------------------------------
+
+    def insert(self, key, value: Hashable) -> None:
+        """Insert one ``(key, value)`` pair.
+
+        Raises :class:`DuplicateKeyError` for a duplicate pair, or for a
+        duplicate key when the index was created ``unique=True``.
+        """
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep_key, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def delete(self, key, value: Hashable) -> bool:
+        """Remove one exact pair; returns True if it was present."""
+        removed = self._delete(self._root, key, value)
+        if removed:
+            self._size -= 1
+            if not self._root.is_leaf and len(self._root.children) == 1:
+                self._root = self._root.children[0]
+        return removed
+
+    # -- insertion internals ------------------------------------------------------------
+
+    def _insert(self, node: _Node, key, value) -> tuple[object, _Node] | None:
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if self.unique:
+                    raise DuplicateKeyError(f"key {key!r} already indexed")
+                if value in node.values[idx]:
+                    raise DuplicateKeyError(
+                        f"pair ({key!r}, {value!r}) already indexed")
+                node.values[idx].append(value)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep_key, right = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, right)
+        if len(node.children) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep_key, right
+
+    # -- deletion internals ----------------------------------------------------------------
+
+    def _min_fill(self) -> int:
+        return self.order // 2
+
+    def _delete(self, node: _Node, key, value) -> bool:
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            try:
+                node.values[idx].remove(value)
+            except ValueError:
+                return False
+            if not node.values[idx]:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+            return True
+        idx = bisect_right(node.keys, key)
+        child = node.children[idx]
+        removed = self._delete(child, key, value)
+        if removed:
+            self._rebalance(node, idx)
+        return removed
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        underfull = (len(child.keys) < self._min_fill() if child.is_leaf
+                     else len(child.children) < self._min_fill())
+        if not underfull:
+            return
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = (parent.children[idx + 1]
+                 if idx + 1 < len(parent.children) else None)
+        if left is not None and self._can_lend(left):
+            self._borrow_from_left(parent, idx)
+        elif right is not None and self._can_lend(right):
+            self._borrow_from_right(parent, idx)
+        elif left is not None:
+            self._merge(parent, idx - 1)
+        elif right is not None:
+            self._merge(parent, idx)
+
+    def _can_lend(self, node: _Node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) > self._min_fill()
+        return len(node.children) > self._min_fill()
+
+    def _borrow_from_left(self, parent: _Node, idx: int) -> None:
+        child, left = parent.children[idx], parent.children[idx - 1]
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent: _Node, idx: int) -> None:
+        child, right = parent.children[idx], parent.children[idx + 1]
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent: _Node, left_idx: int) -> None:
+        left = parent.children[left_idx]
+        right = parent.children[left_idx + 1]
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # -- traversal helpers ---------------------------------------------------------------------
+
+    def _descend(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def _leftmost(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf (1 for a single-leaf tree)."""
+        levels, node = 1, self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # -- invariant checking (used by property tests) -----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any B⁺-tree invariant is violated."""
+        leaves: list[_Node] = []
+        self._check_node(self._root, None, None, is_root=True,
+                         leaves=leaves)
+        # leaf chain covers exactly the leaves, left to right
+        chain: list[_Node] = []
+        node = self._leftmost()
+        while node is not None:
+            chain.append(node)
+            node = node.next_leaf
+        assert chain == leaves, "leaf chain does not match tree order"
+        flat = [k for leaf in leaves for k in leaf.keys]
+        assert flat == sorted(flat), "keys not globally sorted"
+        assert len(flat) == len(set(flat)), "duplicate key in leaves"
+        pairs = sum(len(v) for leaf in leaves for v in leaf.values)
+        assert pairs == self._size, f"size {self._size} != stored {pairs}"
+
+    def _check_node(self, node: _Node, lo, hi, *, is_root: bool,
+                    leaves: list[_Node]) -> int:
+        for key in node.keys:
+            assert lo is None or key >= lo, "key below subtree bound"
+            assert hi is None or key < hi, "key above subtree bound"
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        if node.is_leaf:
+            if not is_root:
+                assert len(node.keys) >= 1, "empty non-root leaf"
+            for values in node.values:
+                assert values, "key with no values"
+            leaves.append(node)
+            return 0
+        assert len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        if not is_root:
+            assert len(node.children) >= 2, "underfull internal node"
+        depths = set()
+        bounds = [lo, *node.keys, hi]
+        for i, child in enumerate(node.children):
+            depths.add(self._check_node(child, bounds[i], bounds[i + 1],
+                                        is_root=False, leaves=leaves))
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1

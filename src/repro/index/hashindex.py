@@ -1,0 +1,168 @@
+"""Extendible-hash index — the paper's alternative access path.
+
+The paper notes that hash-based index structures adapt to SIAS-V exactly
+like the B⁺ tree: records become ``⟨key, VID⟩`` and the VIDmap mediates to
+the entrypoint.  This implementation is a classic extendible hash table:
+a directory of 2^global_depth pointers to buckets, each bucket holding up
+to ``bucket_capacity`` distinct keys with their value lists; a bucket
+overflow splits the bucket (doubling the directory when the bucket's local
+depth equals the global depth).
+
+It intentionally mirrors the subset of :class:`~repro.index.btree.BPlusTree`
+the catalog uses — ``insert`` / ``delete`` / ``search`` / ``contains`` /
+``items`` / ``__len__`` — so the two are interchangeable for equality
+lookups; hash indexes reject range scans, exactly like real systems.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.common.errors import DuplicateKeyError, IndexError_
+
+
+class _Bucket:
+    """One hash bucket: key → list of values, with a local depth."""
+
+    __slots__ = ("local_depth", "entries")
+
+    def __init__(self, local_depth: int) -> None:
+        self.local_depth = local_depth
+        self.entries: dict[object, list[Hashable]] = {}
+
+
+class ExtendibleHashIndex:
+    """Extendible hashing with duplicate-key support."""
+
+    def __init__(self, bucket_capacity: int = 32,
+                 unique: bool = False) -> None:
+        if bucket_capacity < 2:
+            raise ValueError(
+                f"bucket_capacity must be >= 2, got {bucket_capacity}")
+        self.bucket_capacity = bucket_capacity
+        self.unique = unique
+        self._global_depth = 1
+        bucket0, bucket1 = _Bucket(1), _Bucket(1)
+        self._directory: list[_Bucket] = [bucket0, bucket1]
+        self._size = 0
+
+    # -- hashing ------------------------------------------------------------------
+
+    def _slot(self, key) -> int:
+        return hash(key) & ((1 << self._global_depth) - 1)
+
+    def _bucket(self, key) -> _Bucket:
+        return self._directory[self._slot(key)]
+
+    @property
+    def global_depth(self) -> int:
+        """Current directory depth (directory size is 2^depth)."""
+        return self._global_depth
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of distinct buckets."""
+        return len({id(b) for b in self._directory})
+
+    # -- queries --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def search(self, key) -> list[Hashable]:
+        """All values stored under ``key`` (empty list if absent)."""
+        return list(self._bucket(key).entries.get(key, ()))
+
+    def contains(self, key, value: Hashable) -> bool:
+        """Whether the exact pair is present."""
+        return value in self._bucket(key).entries.get(key, ())
+
+    def items(self) -> Iterator[tuple[object, Hashable]]:
+        """All pairs, in no particular order (hash indexes are unordered)."""
+        seen: set[int] = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            for key, values in bucket.entries.items():
+                for value in values:
+                    yield key, value
+
+    def range(self, lo=None, hi=None, **_kwargs):
+        """Hash indexes do not support range scans."""
+        raise IndexError_("hash index does not support range scans")
+
+    # -- mutation ---------------------------------------------------------------------
+
+    def insert(self, key, value: Hashable) -> None:
+        """Insert one pair (splitting buckets / doubling as needed)."""
+        bucket = self._bucket(key)
+        values = bucket.entries.get(key)
+        if values is not None:
+            if self.unique:
+                raise DuplicateKeyError(f"key {key!r} already indexed")
+            if value in values:
+                raise DuplicateKeyError(
+                    f"pair ({key!r}, {value!r}) already indexed")
+            values.append(value)
+            self._size += 1
+            return
+        while len(bucket.entries) >= self.bucket_capacity:
+            self._split(bucket)
+            bucket = self._bucket(key)
+        bucket.entries[key] = [value]
+        self._size += 1
+
+    def delete(self, key, value: Hashable) -> bool:
+        """Remove one exact pair; returns True if it was present."""
+        bucket = self._bucket(key)
+        values = bucket.entries.get(key)
+        if values is None or value not in values:
+            return False
+        values.remove(value)
+        if not values:
+            del bucket.entries[key]
+        self._size -= 1
+        return True
+
+    # -- splitting ----------------------------------------------------------------------
+
+    def _split(self, bucket: _Bucket) -> None:
+        if bucket.local_depth == self._global_depth:
+            self._directory = self._directory + self._directory
+            self._global_depth += 1
+        bucket.local_depth += 1
+        sibling = _Bucket(bucket.local_depth)
+        high_bit = 1 << (bucket.local_depth - 1)
+        moved = [key for key in bucket.entries
+                 if hash(key) & high_bit]
+        for key in moved:
+            sibling.entries[key] = bucket.entries.pop(key)
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket and slot & high_bit:
+                self._directory[slot] = sibling
+
+    # -- invariants (property tests) --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any extendible-hash invariant breaks."""
+        assert len(self._directory) == 1 << self._global_depth
+        pairs = 0
+        seen: set[int] = set()
+        for slot, bucket in enumerate(self._directory):
+            assert bucket.local_depth <= self._global_depth
+            mask = (1 << bucket.local_depth) - 1
+            for key, values in bucket.entries.items():
+                assert values, f"key {key!r} with no values"
+                # every key lives in a slot matching its hash prefix
+                assert hash(key) & mask == slot & mask, \
+                    f"key {key!r} in wrong bucket"
+            if id(bucket) not in seen:
+                seen.add(id(bucket))
+                pairs += sum(len(v) for v in bucket.entries.values())
+            # each bucket is referenced by exactly 2^(g-l) slots
+        for bucket_id in seen:
+            refs = sum(1 for b in self._directory if id(b) == bucket_id)
+            bucket = next(b for b in self._directory if id(b) == bucket_id)
+            assert refs == 1 << (self._global_depth - bucket.local_depth)
+        assert pairs == self._size

@@ -1,0 +1,33 @@
+"""Page formats: slotted heap (SI), append pages (SIAS-V), VIDmap buckets."""
+
+from repro.pages.append_page import VECTOR_META_SIZE, AppendPage
+from repro.pages.base import PAGE_HEADER_SIZE, Page, PageKind
+from repro.pages.layout import (
+    HEAP_HEADER_SIZE,
+    TID_SIZE,
+    VERSION_HEADER_SIZE,
+    XMAX_INFINITY,
+    HeapTuple,
+    Tid,
+    VersionRecord,
+)
+from repro.pages.slotted import SlottedHeapPage
+from repro.pages.vidmap_page import DEFAULT_SLOTS_PER_BUCKET, VidMapPage
+
+__all__ = [
+    "AppendPage",
+    "DEFAULT_SLOTS_PER_BUCKET",
+    "HEAP_HEADER_SIZE",
+    "HeapTuple",
+    "PAGE_HEADER_SIZE",
+    "Page",
+    "PageKind",
+    "SlottedHeapPage",
+    "TID_SIZE",
+    "Tid",
+    "VECTOR_META_SIZE",
+    "VERSION_HEADER_SIZE",
+    "VersionRecord",
+    "VidMapPage",
+    "XMAX_INFINITY",
+]

@@ -1,0 +1,208 @@
+"""Append page — SIAS-V's storage unit, in NSM or column-vector layout.
+
+An append page collects freshly created tuple versions in memory and is
+written to the device **once**, when its fill threshold is reached (or a
+checkpoint forces it out).  After that it is logically immutable: SIAS-V
+never updates a flushed page in place; space is reclaimed only by whole-page
+garbage collection.
+
+Two physical layouts are supported (the "V" of SIAS-V):
+
+* ``NSM`` — whole version records packed contiguously, like a row store.
+* ``VECTOR`` — the records of the page decomposed into per-field column
+  vectors (PAX-style mini-columns): one vector each for creation timestamps,
+  VIDs, predecessor TIDs and flags, then a payload heap.  A visibility check
+  over the page touches only the fixed-width metadata vectors —
+  :meth:`AppendPage.meta_scan_bytes` quantifies the difference, which the
+  layout-ablation experiment (A1) measures.
+
+Both layouts hold identical logical content; ``read``/``read_meta`` are
+layout-independent.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common import units
+from repro.common.config import PageLayout
+from repro.common.errors import PageCorruptError, PageFullError, SlotError
+from repro.pages.base import Page, PageKind
+from repro.pages.layout import (
+    VERSION_HEADER_SIZE,
+    FLAG_TOMBSTONE,
+    Tid,
+    VersionRecord,
+    pack_tid,
+)
+
+_COUNT = struct.Struct("<H")
+_META = struct.Struct("<qq6sB")  # create_ts, vid, pred, flags
+_OFFSET = struct.Struct("<HH")   # payload offset, payload length
+
+#: Per-record cost in the VECTOR layout's metadata vectors.
+VECTOR_META_SIZE = _META.size + _OFFSET.size
+
+
+class AppendPage(Page):
+    """Append-only page of :class:`VersionRecord` entries."""
+
+    def __init__(self, page_no: int, layout: PageLayout,
+                 page_size: int = units.DB_PAGE_SIZE) -> None:
+        super().__init__(page_no, page_size)
+        self.layout = layout
+        self._records: list[VersionRecord] = []
+        self._used = _COUNT.size
+
+    @property
+    def kind(self) -> PageKind:  # type: ignore[override]
+        """Serialisation discriminator depends on the layout."""
+        if self.layout is PageLayout.NSM:
+            return PageKind.APPEND_NSM
+        return PageKind.APPEND_VECTOR
+
+    # -- space accounting -----------------------------------------------------
+
+    def _record_cost(self, record: VersionRecord) -> int:
+        if self.layout is PageLayout.NSM:
+            return record.size
+        return VECTOR_META_SIZE + len(record.payload)
+
+    @property
+    def record_count(self) -> int:
+        """Number of versions appended so far."""
+        return len(self._records)
+
+    @property
+    def used_bytes(self) -> int:
+        """Payload bytes consumed so far."""
+        return self._used
+
+    def free_bytes(self) -> int:
+        """Payload bytes still available."""
+        return self.capacity - self._used
+
+    def fill_degree(self) -> float:
+        """Fraction of the payload capacity in use (drives flush policy)."""
+        return self._used / self.capacity
+
+    def fits(self, record: VersionRecord) -> bool:
+        """Whether ``record`` still fits on this page."""
+        return self._record_cost(record) <= self.free_bytes()
+
+    # -- append & read -----------------------------------------------------------
+
+    def append(self, record: VersionRecord) -> int:
+        """Append one version; returns its slot number."""
+        if not self.fits(record):
+            raise PageFullError(
+                f"append page {self.page_no}: no room for "
+                f"{self._record_cost(record)} B")
+        self._records.append(record)
+        self._used += self._record_cost(record)
+        return len(self._records) - 1
+
+    def read(self, slot: int) -> VersionRecord:
+        """Full version record in ``slot``."""
+        return self._records[self._check(slot)]
+
+    def read_meta(self, slot: int) -> tuple[int, int, Tid | None, bool]:
+        """Visibility metadata only: ``(create_ts, vid, pred, tombstone)``.
+
+        In the VECTOR layout this models touching only the metadata vectors.
+        """
+        r = self._records[self._check(slot)]
+        return r.create_ts, r.vid, r.pred, r.tombstone
+
+    def records(self) -> list[tuple[int, VersionRecord]]:
+        """All ``(slot, record)`` pairs in append order."""
+        return list(enumerate(self._records))
+
+    def _check(self, slot: int) -> int:
+        if not 0 <= slot < len(self._records):
+            raise SlotError(
+                f"append page {self.page_no}: slot {slot} out of range "
+                f"[0, {len(self._records)})")
+        return slot
+
+    # -- layout-dependent scan cost ------------------------------------------------
+
+    def meta_scan_bytes(self) -> int:
+        """Bytes touched to visibility-check every record on the page.
+
+        VECTOR reads just the metadata vectors; NSM must walk the full
+        interleaved records (headers are adjacent to payloads), i.e. all
+        used bytes.
+        """
+        if self.layout is PageLayout.VECTOR:
+            return _COUNT.size + VECTOR_META_SIZE * len(self._records)
+        return self._used
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def payload_bytes(self) -> bytes:
+        if self.layout is PageLayout.NSM:
+            parts = [_COUNT.pack(len(self._records))]
+            parts.extend(r.pack() for r in self._records)
+            return b"".join(parts)
+        # VECTOR: meta vector | offset vector | payload heap
+        parts = [_COUNT.pack(len(self._records))]
+        for r in self._records:
+            flags = FLAG_TOMBSTONE if r.tombstone else 0
+            parts.append(_META.pack(r.create_ts, r.vid, pack_tid(r.pred),
+                                    flags))
+        heap_parts: list[bytes] = []
+        offset = 0
+        for r in self._records:
+            parts.append(_OFFSET.pack(offset, len(r.payload)))
+            heap_parts.append(r.payload)
+            offset += len(r.payload)
+        return b"".join(parts) + b"".join(heap_parts)
+
+    @classmethod
+    def from_payload(cls, page_no: int, payload: bytes,
+                     page_size: int) -> "AppendPage":
+        raise PageCorruptError(
+            "append pages must be decoded via from_payload_kind")
+
+    @classmethod
+    def from_payload_kind(cls, page_no: int, payload: bytes, page_size: int,
+                          kind: PageKind) -> "AppendPage":
+        """Decode an append page whose layout is given by the header kind."""
+        layout = (PageLayout.NSM if kind is PageKind.APPEND_NSM
+                  else PageLayout.VECTOR)
+        page = cls(page_no, layout, page_size)
+        (count,) = _COUNT.unpack_from(payload, 0)
+        if layout is PageLayout.NSM:
+            offset = _COUNT.size
+            for _ in range(count):
+                record, offset = VersionRecord.unpack(payload, offset)
+                page.append(record)
+            return page
+        meta_base = _COUNT.size
+        offsets_base = meta_base + _META.size * count
+        heap_base = offsets_base + _OFFSET.size * count
+        for i in range(count):
+            create_ts, vid, pred_raw, flags = _META.unpack_from(
+                payload, meta_base + i * _META.size)
+            poff, plen = _OFFSET.unpack_from(payload,
+                                             offsets_base + i * _OFFSET.size)
+            start = heap_base + poff
+            if start + plen > len(payload):
+                raise PageCorruptError(
+                    f"append page {page_no}: payload slice out of bounds")
+            record = VersionRecord(
+                create_ts=create_ts,
+                vid=vid,
+                pred=Tid.unpack(pred_raw),
+                tombstone=bool(flags & FLAG_TOMBSTONE),
+                payload=bytes(payload[start:start + plen]),
+            )
+            page.append(record)
+        return page
+
+    def min_record_size(self) -> int:
+        """Smallest record cost (for capacity maths in tests)."""
+        if self.layout is PageLayout.NSM:
+            return VERSION_HEADER_SIZE
+        return VECTOR_META_SIZE

@@ -1,0 +1,110 @@
+"""Common page header, checksumming and (de)serialisation dispatch.
+
+Every on-device page is exactly ``page_size`` bytes: a fixed header
+(magic, kind, page number, payload length, CRC32 of the payload) followed by
+the format-specific payload and zero padding.  ``Page.to_bytes`` /
+``Page.from_bytes`` round-trip any concrete page class; the checksum catches
+corruption (and, in tests, serialisation bugs).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from abc import ABC, abstractmethod
+from enum import IntEnum
+
+from repro.common import units
+from repro.common.errors import PageCorruptError
+
+_HEADER = struct.Struct("<HBxIII")  # magic, kind, page_no, payload_len, crc32
+PAGE_HEADER_SIZE = _HEADER.size
+_MAGIC = 0x51A5  # "SIAS"
+
+
+class PageKind(IntEnum):
+    """Discriminator stored in every page header."""
+
+    HEAP = 1
+    APPEND_NSM = 2
+    APPEND_VECTOR = 3
+    VIDMAP = 4
+    META = 5
+
+
+class Page(ABC):
+    """Base class for all page formats."""
+
+    kind: PageKind
+
+    def __init__(self, page_no: int,
+                 page_size: int = units.DB_PAGE_SIZE) -> None:
+        self.page_no = page_no
+        self.page_size = page_size
+
+    @property
+    def capacity(self) -> int:
+        """Payload bytes available after the common header."""
+        return self.page_size - PAGE_HEADER_SIZE
+
+    @abstractmethod
+    def payload_bytes(self) -> bytes:
+        """Serialise the format-specific payload (≤ :attr:`capacity`)."""
+
+    @classmethod
+    @abstractmethod
+    def from_payload(cls, page_no: int, payload: bytes,
+                     page_size: int) -> "Page":
+        """Reconstruct a page from its payload bytes."""
+
+    def to_bytes(self) -> bytes:
+        """Serialise to exactly ``page_size`` bytes with header + checksum.
+
+        The CRC covers the whole body (payload *and* zero padding), like
+        PostgreSQL's page checksums: a flipped bit anywhere outside the
+        header is detected on read.
+        """
+        payload = self.payload_bytes()
+        if len(payload) > self.capacity:
+            raise PageCorruptError(
+                f"page {self.page_no}: payload {len(payload)} B exceeds "
+                f"capacity {self.capacity} B")
+        body = payload + b"\x00" * (self.capacity - len(payload))
+        header = _HEADER.pack(_MAGIC, int(self.kind), self.page_no,
+                              len(payload), zlib.crc32(body))
+        return header + body
+
+    @staticmethod
+    def peek_kind(data: bytes) -> PageKind:
+        """Read the page kind without full deserialisation."""
+        magic, kind, _page_no, _plen, _crc = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise PageCorruptError(f"bad page magic 0x{magic:04x}")
+        return PageKind(kind)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Page":
+        """Deserialise any page, dispatching on the header's kind field."""
+        # Imported here to avoid a circular import between the page formats
+        # and this base module.
+        from repro.pages.append_page import AppendPage
+        from repro.pages.slotted import SlottedHeapPage
+        from repro.pages.vidmap_page import VidMapPage
+
+        page_size = len(data)
+        magic, kind, page_no, plen, crc = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise PageCorruptError(f"bad page magic 0x{magic:04x}")
+        body = bytes(data[PAGE_HEADER_SIZE:])
+        if zlib.crc32(body) != crc:
+            raise PageCorruptError(f"page {page_no}: checksum mismatch")
+        payload = body[:plen]
+        kind_enum = PageKind(kind)
+        if kind_enum is PageKind.HEAP:
+            return SlottedHeapPage.from_payload(page_no, payload, page_size)
+        if kind_enum in (PageKind.APPEND_NSM, PageKind.APPEND_VECTOR):
+            return AppendPage.from_payload_kind(page_no, payload, page_size,
+                                                kind_enum)
+        if kind_enum is PageKind.VIDMAP:
+            return VidMapPage.from_payload(page_no, payload, page_size)
+        raise PageCorruptError(f"page {page_no}: unknown kind {kind}")

@@ -1,0 +1,169 @@
+"""Binary codecs shared by the page formats.
+
+Tuple IDs follow the PostgreSQL shape the prototype used: a 32-bit block
+(page) number plus a 16-bit offset — 6 bytes on disk.  Version records carry
+the on-tuple information of the SIAS design: creation timestamp, VID,
+predecessor TID and flags; note there is deliberately **no invalidation
+timestamp field** — invalidation is implicit in the successor's existence.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.common.errors import PageCorruptError
+
+#: ``(block, offset)`` packed like a PostgreSQL ItemPointer: 6 bytes.
+TID_STRUCT = struct.Struct("<IH")
+TID_SIZE = TID_STRUCT.size
+
+#: The null TID (no predecessor / unset slot).
+NULL_TID_BYTES = b"\xff\xff\xff\xff\xff\xff"
+
+
+@dataclass(frozen=True, order=True)
+class Tid:
+    """Physical tuple-version address: page number + slot within the page."""
+
+    page_no: int
+    slot: int
+
+    def pack(self) -> bytes:
+        """Encode as 6 bytes (PostgreSQL ItemPointer shape)."""
+        return TID_STRUCT.pack(self.page_no, self.slot)
+
+    @staticmethod
+    def unpack(data: bytes) -> "Tid | None":
+        """Decode 6 bytes; the all-ones pattern decodes to ``None``."""
+        if data == NULL_TID_BYTES:
+            return None
+        page_no, slot = TID_STRUCT.unpack(data)
+        return Tid(page_no, slot)
+
+
+def pack_tid(tid: Tid | None) -> bytes:
+    """Encode an optional TID (None becomes the null pattern)."""
+    return NULL_TID_BYTES if tid is None else tid.pack()
+
+
+# --- version record (SIAS-V on-tuple information) ----------------------------
+
+#: Fixed version-record header: create_ts(8) vid(8) pred(6) flags(1) len(2).
+_VERSION_HEADER = struct.Struct("<qq6sBH")
+VERSION_HEADER_SIZE = _VERSION_HEADER.size
+
+#: Flag bit: this version is a deletion tombstone.
+FLAG_TOMBSTONE = 0x01
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One tuple version as stored by SIAS-V.
+
+    ``create_ts`` is the creating transaction's ID; ``vid`` is the data
+    item's virtual ID (identical across all of its versions); ``pred`` points
+    to the physical location of the predecessor version (None for the first
+    version); ``tombstone`` marks a delete marker; ``payload`` is the encoded
+    row.  There is no invalidation timestamp: the successor's ``create_ts``
+    *is* this record's logical invalidation timestamp.
+    """
+
+    create_ts: int
+    vid: int
+    pred: Tid | None
+    tombstone: bool
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        """On-disk footprint of this record in NSM layout."""
+        return VERSION_HEADER_SIZE + len(self.payload)
+
+    def pack(self) -> bytes:
+        """Encode header + payload."""
+        flags = FLAG_TOMBSTONE if self.tombstone else 0
+        header = _VERSION_HEADER.pack(self.create_ts, self.vid,
+                                      pack_tid(self.pred), flags,
+                                      len(self.payload))
+        return header + self.payload
+
+    @staticmethod
+    def unpack(data: bytes, offset: int = 0) -> tuple["VersionRecord", int]:
+        """Decode one record at ``offset``; returns ``(record, next_offset)``."""
+        end = offset + VERSION_HEADER_SIZE
+        if end > len(data):
+            raise PageCorruptError("version header extends past page end")
+        create_ts, vid, pred_raw, flags, plen = _VERSION_HEADER.unpack(
+            data[offset:end])
+        if end + plen > len(data):
+            raise PageCorruptError("version payload extends past page end")
+        payload = bytes(data[end:end + plen])
+        record = VersionRecord(
+            create_ts=create_ts,
+            vid=vid,
+            pred=Tid.unpack(pred_raw),
+            tombstone=bool(flags & FLAG_TOMBSTONE),
+            payload=payload,
+        )
+        return record, end + plen
+
+
+# --- heap tuple (baseline SI on-tuple information) -----------------------------
+
+#: Heap tuple header: xmin(8) xmax(8) flags(1) len(2).
+_HEAP_HEADER = struct.Struct("<qqBH")
+HEAP_HEADER_SIZE = _HEAP_HEADER.size
+
+#: xmax value meaning "not invalidated".
+XMAX_INFINITY = -1
+
+
+@dataclass(frozen=True)
+class HeapTuple:
+    """One tuple version as stored by the classical SI baseline.
+
+    Carries **both** timestamps on the tuple: ``xmin`` (creation) and
+    ``xmax`` (invalidation, :data:`XMAX_INFINITY` while live).  Invalidation
+    is an in-place update of ``xmax`` — the small write the paper blames for
+    flash write amplification.
+    """
+
+    xmin: int
+    xmax: int
+    tombstone: bool
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        """On-disk footprint of this tuple."""
+        return HEAP_HEADER_SIZE + len(self.payload)
+
+    @property
+    def invalidated(self) -> bool:
+        """True once a later transaction set ``xmax``."""
+        return self.xmax != XMAX_INFINITY
+
+    def with_xmax(self, xmax: int) -> "HeapTuple":
+        """Copy with the invalidation timestamp set (the in-place update)."""
+        return HeapTuple(self.xmin, xmax, self.tombstone, self.payload)
+
+    def pack(self) -> bytes:
+        """Encode header + payload."""
+        flags = FLAG_TOMBSTONE if self.tombstone else 0
+        header = _HEAP_HEADER.pack(self.xmin, self.xmax, flags,
+                                   len(self.payload))
+        return header + self.payload
+
+    @staticmethod
+    def unpack(data: bytes, offset: int = 0) -> tuple["HeapTuple", int]:
+        """Decode one tuple at ``offset``; returns ``(tuple, next_offset)``."""
+        end = offset + HEAP_HEADER_SIZE
+        if end > len(data):
+            raise PageCorruptError("heap header extends past page end")
+        xmin, xmax, flags, plen = _HEAP_HEADER.unpack(data[offset:end])
+        if end + plen > len(data):
+            raise PageCorruptError("heap payload extends past page end")
+        payload = bytes(data[end:end + plen])
+        return HeapTuple(xmin, xmax, bool(flags & FLAG_TOMBSTONE),
+                         payload), end + plen

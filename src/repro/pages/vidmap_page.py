@@ -1,0 +1,82 @@
+"""VIDmap bucket page: a fixed vector of TID slots.
+
+The VIDmap maps each data item's VID to the TID of its newest version (the
+*entrypoint*).  Because VIDs are assigned sequentially, the map is a dense
+vector chopped into page-sized buckets: bucket number and slot position are
+pure arithmetic — ``bucket = VID // slots_per_bucket`` and
+``slot = VID % slots_per_bucket`` — so lookups are O(1) with no overflow
+chains, and VID-range scans walk buckets sequentially.
+
+The prototype configuration stores 1024 six-byte TIDs per 8 KiB bucket
+(the page could hold 1365; capping at a power of two keeps the position
+arithmetic to shifts/masks, exactly as the SIAS prototype chose).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common import units
+from repro.common.errors import SlotError
+from repro.pages.base import Page, PageKind
+from repro.pages.layout import NULL_TID_BYTES, TID_SIZE, Tid, pack_tid
+
+_HEADER = struct.Struct("<H")  # slots per bucket
+
+#: Prototype default: 1024 TIDs per 8 KiB bucket.
+DEFAULT_SLOTS_PER_BUCKET = 1024
+
+
+class VidMapPage(Page):
+    """One bucket of the VIDmap vector."""
+
+    kind = PageKind.VIDMAP
+
+    def __init__(self, page_no: int,
+                 slots_per_bucket: int = DEFAULT_SLOTS_PER_BUCKET,
+                 page_size: int = units.DB_PAGE_SIZE) -> None:
+        super().__init__(page_no, page_size)
+        needed = _HEADER.size + slots_per_bucket * TID_SIZE
+        if needed > self.capacity:
+            raise SlotError(
+                f"{slots_per_bucket} TID slots need {needed} B, bucket "
+                f"capacity is {self.capacity} B")
+        self.slots_per_bucket = slots_per_bucket
+        self._slots: list[Tid | None] = [None] * slots_per_bucket
+
+    def get(self, slot: int) -> Tid | None:
+        """Entrypoint TID stored in ``slot`` (None if unset)."""
+        return self._slots[self._check(slot)]
+
+    def set(self, slot: int, tid: Tid | None) -> None:
+        """Overwrite ``slot`` — the O(1) entrypoint update of SIAS-V."""
+        self._slots[self._check(slot)] = tid
+
+    def occupied(self) -> int:
+        """Number of slots holding a TID."""
+        return sum(1 for t in self._slots if t is not None)
+
+    def _check(self, slot: int) -> int:
+        if not 0 <= slot < self.slots_per_bucket:
+            raise SlotError(
+                f"VIDmap bucket {self.page_no}: slot {slot} out of range "
+                f"[0, {self.slots_per_bucket})")
+        return slot
+
+    # -- serialisation ---------------------------------------------------------
+
+    def payload_bytes(self) -> bytes:
+        parts = [_HEADER.pack(self.slots_per_bucket)]
+        parts.extend(pack_tid(t) for t in self._slots)
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, page_no: int, payload: bytes,
+                     page_size: int) -> "VidMapPage":
+        (slots,) = _HEADER.unpack_from(payload, 0)
+        page = cls(page_no, slots, page_size)
+        base = _HEADER.size
+        for i in range(slots):
+            raw = payload[base + i * TID_SIZE:base + (i + 1) * TID_SIZE]
+            page._slots[i] = None if raw == NULL_TID_BYTES else Tid.unpack(raw)
+        return page

@@ -1,0 +1,40 @@
+"""Storage substrate: simulated flash SSD, HDD, RAID-0 and block tracing."""
+
+from repro.storage.device import BlockDevice, DeviceStats
+from repro.storage.faults import FaultyDevice, TransientReadError
+from repro.storage.flash import FlashDevice
+from repro.storage.ftl import FtlStats, PageMappedFtl
+from repro.storage.hdd import HddDevice
+from repro.storage.noftl import NoFtlFlashDevice
+from repro.storage.raid import Raid0Device
+from repro.storage.trace import (
+    TraceEvent,
+    TraceOp,
+    TraceRecorder,
+    TraceSummary,
+    render_scatter,
+    swimlane_locality,
+    to_csv,
+    write_locality,
+)
+
+__all__ = [
+    "BlockDevice",
+    "DeviceStats",
+    "FaultyDevice",
+    "FlashDevice",
+    "TransientReadError",
+    "FtlStats",
+    "HddDevice",
+    "NoFtlFlashDevice",
+    "PageMappedFtl",
+    "Raid0Device",
+    "swimlane_locality",
+    "TraceEvent",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceSummary",
+    "render_scatter",
+    "to_csv",
+    "write_locality",
+]

@@ -1,0 +1,241 @@
+"""Block-device abstraction shared by the flash and HDD simulators.
+
+Devices expose a flat array of logical pages (LBAs in page units).  All
+operations charge simulated time to a :class:`~repro.common.clock.SimClock`
+and are optionally recorded by a :class:`~repro.storage.trace.TraceRecorder`
+(the repo's ``blktrace`` substitute).
+
+Parallelism model
+-----------------
+Flash SSDs serve independent requests on parallel channels.  The simulator
+models this with per-channel "busy until" horizons: a batch submitted via
+:meth:`BlockDevice.read_pages` / :meth:`BlockDevice.write_pages` is spread
+over the channels, and the caller's clock advances to the *latest* channel
+completion — so a batch of N reads on C channels costs ~``ceil(N/C)`` service
+times instead of N.  Single-page calls are synchronous and advance the clock
+by the full service time, which is how a sequential scan experiences the
+device.  The HDD has one channel (one arm), so batches degrade to sequential
+service there, matching the paper's observation that only flash rewards the
+parallel VIDmap access path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.errors import InvalidAddressError
+from repro.storage.trace import TraceOp, TraceRecorder
+
+
+@dataclass
+class DeviceStats:
+    """Host-visible I/O counters (what ``blkparse`` would report)."""
+
+    reads: int = 0
+    writes: int = 0
+    trims: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    busy_usec: int = 0
+
+    def snapshot(self) -> "DeviceStats":
+        """Return an independent copy of the counters."""
+        return DeviceStats(self.reads, self.writes, self.trims,
+                           self.read_bytes, self.write_bytes, self.busy_usec)
+
+    def diff(self, earlier: "DeviceStats") -> "DeviceStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return DeviceStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            trims=self.trims - earlier.trims,
+            read_bytes=self.read_bytes - earlier.read_bytes,
+            write_bytes=self.write_bytes - earlier.write_bytes,
+            busy_usec=self.busy_usec - earlier.busy_usec,
+        )
+
+
+@dataclass
+class _ChannelSchedule:
+    """Per-channel busy horizons for the batch parallelism model."""
+
+    busy_until: list[int] = field(default_factory=list)
+
+    def init(self, channels: int) -> None:
+        self.busy_until = [0] * channels
+
+    def dispatch(self, now: int, service_usec: int) -> int:
+        """Place one request on the least-busy channel; return finish time."""
+        idx = min(range(len(self.busy_until)), key=self.busy_until.__getitem__)
+        start = max(now, self.busy_until[idx])
+        finish = start + service_usec
+        self.busy_until[idx] = finish
+        return finish
+
+
+class BlockDevice(ABC):
+    """Abstract page-addressed device with simulated timing."""
+
+    def __init__(self, clock: SimClock, total_pages: int, page_size: int,
+                 channels: int, name: str,
+                 trace: TraceRecorder | None = None) -> None:
+        if total_pages <= 0:
+            raise InvalidAddressError(f"device needs pages, got {total_pages}")
+        self.clock = clock
+        self.total_pages = total_pages
+        self.page_size = page_size
+        self.name = name
+        self.trace = trace
+        self.stats = DeviceStats()
+        #: per-write service times (µs) — feeds latency-distribution
+        #: analyses like the NoFTL predictability ablation
+        self.write_service_log: list[int] = []
+        self._schedule = _ChannelSchedule()
+        self._schedule.init(max(1, channels))
+
+    # -- address checks ------------------------------------------------------
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.total_pages:
+            raise InvalidAddressError(
+                f"{self.name}: LBA {lba} outside [0, {self.total_pages})")
+
+    # -- service-time hooks (implemented by concrete devices) ----------------
+
+    @abstractmethod
+    def _service_read(self, lba: int) -> int:
+        """Simulated service time of one page read, in microseconds."""
+
+    @abstractmethod
+    def _service_write(self, lba: int) -> int:
+        """Simulated service time of one page write, in microseconds."""
+
+    @abstractmethod
+    def _store(self, lba: int, data: bytes) -> None:
+        """Persist page data at ``lba`` (no timing)."""
+
+    @abstractmethod
+    def _load(self, lba: int) -> bytes:
+        """Fetch page data at ``lba`` (no timing)."""
+
+    def _discard(self, lba: int) -> None:
+        """Drop page data at ``lba`` (no timing). Optional for devices."""
+
+    def writable_hint(self, lba: int) -> bool:
+        """Whether a write to ``lba`` would succeed right now.
+
+        FTL-backed devices remap transparently, so everything is writable.
+        Raw (NoFTL) flash overrides this: a page is writable only while its
+        erase block is erased — the DBMS uses the hint to defer recycling
+        page addresses whose block still holds live neighbours.
+        """
+        return True
+
+    # -- public synchronous ops ----------------------------------------------
+
+    def read_page(self, lba: int) -> bytes:
+        """Read one page; the caller waits for completion.
+
+        The request queues on the least-busy channel, so a read arriving
+        while earlier (possibly asynchronous) requests are in flight waits
+        behind them — device saturation backpressure.
+        """
+        self._check_lba(lba)
+        service = self._service_read(lba)
+        self._account(TraceOp.READ, lba, 1, service)
+        self.clock.advance_to(self._schedule.dispatch(self.clock.now,
+                                                      service))
+        return self._load(lba)
+
+    def write_page(self, lba: int, data: bytes) -> None:
+        """Write one page; the caller waits for completion."""
+        self._check_lba(lba)
+        self._check_payload(data)
+        service = self._service_write(lba)
+        self._account(TraceOp.WRITE, lba, 1, service)
+        self.clock.advance_to(self._schedule.dispatch(self.clock.now,
+                                                      service))
+        self._store(lba, data)
+
+    def write_page_async(self, lba: int, data: bytes) -> None:
+        """Write one page without waiting (DMA-style fire-and-forget).
+
+        The service time occupies a channel — later synchronous requests
+        queue behind it — but the caller's clock does not advance.  This is
+        how background writers, checkpoints and SIAS-V page seals reach the
+        device: the transaction path waits only for the WAL.
+        """
+        self._check_lba(lba)
+        self._check_payload(data)
+        service = self._service_write(lba)
+        self._account(TraceOp.WRITE, lba, 1, service)
+        self._schedule.dispatch(self.clock.now, service)
+        self._store(lba, data)
+
+    def trim(self, lba: int) -> None:
+        """Tell the device a logical page is dead (free-page hint)."""
+        self._check_lba(lba)
+        self.stats.trims += 1
+        if self.trace is not None:
+            self.trace.record(self.clock.now, TraceOp.TRIM, lba, 1)
+        self._discard(lba)
+
+    # -- public batched (parallel) ops ----------------------------------------
+
+    def read_pages(self, lbas: list[int]) -> list[bytes]:
+        """Read a batch, exploiting channel parallelism.
+
+        The clock advances to the completion of the *slowest* channel, so C
+        channels serve a batch of N in roughly ``ceil(N/C)`` service times.
+        """
+        if not lbas:
+            return []
+        now = self.clock.now
+        finish = now
+        out: list[bytes] = []
+        for lba in lbas:
+            self._check_lba(lba)
+            service = self._service_read(lba)
+            self._account(TraceOp.READ, lba, 1, service)
+            finish = max(finish, self._schedule.dispatch(now, service))
+            out.append(self._load(lba))
+        self.clock.advance_to(finish)
+        return out
+
+    def write_pages(self, writes: list[tuple[int, bytes]]) -> None:
+        """Write a batch, exploiting channel parallelism (see read_pages)."""
+        if not writes:
+            return
+        now = self.clock.now
+        finish = now
+        for lba, data in writes:
+            self._check_lba(lba)
+            self._check_payload(data)
+            service = self._service_write(lba)
+            self._account(TraceOp.WRITE, lba, 1, service)
+            finish = max(finish, self._schedule.dispatch(now, service))
+            self._store(lba, data)
+        self.clock.advance_to(finish)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_payload(self, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise InvalidAddressError(
+                f"{self.name}: payload {len(data)} B != page {self.page_size} B")
+
+    def _account(self, op: TraceOp, lba: int, npages: int,
+                 service_usec: int) -> None:
+        nbytes = npages * self.page_size
+        if op is TraceOp.READ:
+            self.stats.reads += npages
+            self.stats.read_bytes += nbytes
+        elif op is TraceOp.WRITE:
+            self.stats.writes += npages
+            self.stats.write_bytes += nbytes
+            self.write_service_log.append(service_usec)
+        self.stats.busy_usec += service_usec
+        if self.trace is not None:
+            self.trace.record(self.clock.now, op, lba, npages)

@@ -1,0 +1,70 @@
+"""Fault injection: a wrapper device that corrupts or fails I/O.
+
+Testing utility for the failure paths real storage forces on a database:
+bit rot on reads (page checksums must catch it), transient read errors, and
+torn (partially applied) writes.  The wrapper delegates everything to an
+inner device and perturbs results according to a deterministic seeded plan,
+so failing tests replay exactly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StorageError
+from repro.common.rng import make_rng
+from repro.storage.device import BlockDevice
+
+
+class TransientReadError(StorageError):
+    """A read failed but may succeed on retry (injected)."""
+
+
+class FaultyDevice:
+    """Wraps a :class:`BlockDevice`, injecting faults on reads.
+
+    Parameters are probabilities per page read: ``bitrot`` flips one byte of
+    the returned data (the page checksum must detect it downstream);
+    ``transient`` raises :class:`TransientReadError` instead of returning.
+    Writes pass through untouched (torn writes are simulated by crashing
+    before a seal; see the recovery tests).
+    """
+
+    def __init__(self, inner: BlockDevice, bitrot: float = 0.0,
+                 transient: float = 0.0, seed: int = 42) -> None:
+        if not 0.0 <= bitrot <= 1.0 or not 0.0 <= transient <= 1.0:
+            raise ValueError("fault probabilities must be in [0, 1]")
+        self._inner = inner
+        self.bitrot = bitrot
+        self.transient = transient
+        self._rng = make_rng(seed, "faults", inner.name)
+        self.injected_bitrot = 0
+        self.injected_transient = 0
+
+    # -- perturbed reads ----------------------------------------------------------
+
+    def read_page(self, lba: int) -> bytes:
+        """Read one page, possibly corrupted or failing."""
+        data = self._inner.read_page(lba)
+        return self._perturb(lba, data)
+
+    def read_pages(self, lbas: list[int]) -> list[bytes]:
+        """Batched read with per-page perturbation."""
+        return [self._perturb(lba, data)
+                for lba, data in zip(lbas, self._inner.read_pages(lbas))]
+
+    def _perturb(self, lba: int, data: bytes) -> bytes:
+        if self.transient and self._rng.random() < self.transient:
+            self.injected_transient += 1
+            raise TransientReadError(
+                f"injected transient read failure at LBA {lba}")
+        if self.bitrot and self._rng.random() < self.bitrot:
+            self.injected_bitrot += 1
+            position = self._rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0xFF
+            return bytes(corrupted)
+        return data
+
+    # -- passthrough --------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)

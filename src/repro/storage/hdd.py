@@ -1,0 +1,72 @@
+"""Simulated spinning disk (7200 rpm class).
+
+The HDD is the paper's legacy-storage contrast: **symmetric** random access
+costs (a random read is as expensive as a random write) and **no internal
+parallelism** (one arm).  The cost model keeps a head position: accessing an
+LBA within the current "track window" costs only transfer time; anything
+further pays the average seek plus rotational latency.  Sequential appends —
+the SIAS-V write pattern — are therefore nearly free on HDD too, which is why
+the paper still observes wins there while the working set is cached.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.config import HddConfig
+from repro.common.errors import ReadUnwrittenError
+from repro.storage.device import BlockDevice
+from repro.storage.trace import TraceRecorder
+
+
+class HddDevice(BlockDevice):
+    """A single spinning disk with a seek+rotation+transfer cost model."""
+
+    def __init__(self, clock: SimClock, config: HddConfig | None = None,
+                 trace: TraceRecorder | None = None,
+                 name: str = "hdd0") -> None:
+        self.config = config or HddConfig()
+        self.config.validate()
+        super().__init__(
+            clock=clock,
+            total_pages=self.config.total_pages,
+            page_size=self.config.page_size,
+            channels=1,  # one arm: batches gain nothing
+            name=name,
+            trace=trace,
+        )
+        self._head_lba = 0
+        self._data: dict[int, bytes] = {}
+        self.seeks = 0
+
+    # -- cost model -------------------------------------------------------------
+
+    def _access_cost(self, lba: int) -> int:
+        """Positioning + transfer cost; symmetric for reads and writes."""
+        cost = self.config.transfer_usec_per_page
+        if abs(lba - self._head_lba) > self.config.track_pages:
+            cost += self.config.avg_seek_usec
+            cost += self.config.rotational_latency_usec
+            self.seeks += 1
+        self._head_lba = lba + 1  # head rests after the accessed page
+        return cost
+
+    # -- BlockDevice hooks --------------------------------------------------------
+
+    def _service_read(self, lba: int) -> int:
+        return self._access_cost(lba)
+
+    def _service_write(self, lba: int) -> int:
+        return self._access_cost(lba)
+
+    def _store(self, lba: int, data: bytes) -> None:
+        self._data[lba] = data
+
+    def _load(self, lba: int) -> bytes:
+        try:
+            return self._data[lba]
+        except KeyError:
+            raise ReadUnwrittenError(
+                f"{self.name}: LBA {lba} read before first write") from None
+
+    def _discard(self, lba: int) -> None:
+        self._data.pop(lba, None)

@@ -1,0 +1,132 @@
+"""NoFTL flash: direct chip access without a translation layer.
+
+The paper's discussion argues that integrating append-storage GC into the
+MV-DBMS "transfers yet more control over the Flash storage into the
+MV-DBMS", citing the NoFTL line of work (Hardock et al., VLDB 2013): strip
+the FTL entirely and let the database drive erases deterministically.
+
+This device exposes raw flash semantics:
+
+* a page is ERASED, VALID or DEAD; **programming a non-erased page is an
+  error** — there is no transparent remapping, so an update-in-place engine
+  (the SI baseline) physically cannot run here, while SIAS-V's write-once
+  append pages fit naturally;
+* ``trim`` marks pages dead; when the *last* page of an erase block dies,
+  the device erases the block immediately — a deterministic, DBMS-triggered
+  erase instead of opaque background GC;
+* there is **no relocation**: write amplification is 1.0 by construction
+  and foreground writes never stall behind garbage collection, which is
+  exactly the predictability claim the ablation (A5) measures.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common.clock import SimClock
+from repro.common.config import FlashConfig
+from repro.common.errors import ReadUnwrittenError, StorageError
+from repro.storage.device import BlockDevice
+from repro.storage.trace import TraceOp, TraceRecorder
+
+
+class _PageState(Enum):
+    ERASED = "erased"
+    VALID = "valid"
+    DEAD = "dead"
+
+
+class NoFtlFlashDevice(BlockDevice):
+    """Raw flash with DBMS-driven, block-deterministic erases."""
+
+    def __init__(self, clock: SimClock, config: FlashConfig | None = None,
+                 trace: TraceRecorder | None = None,
+                 name: str = "noftl0") -> None:
+        self.config = config or FlashConfig()
+        self.config.validate()
+        super().__init__(
+            clock=clock,
+            total_pages=self.config.total_pages,
+            page_size=self.config.page_size,
+            channels=self.config.channels,
+            name=name,
+            trace=trace,
+        )
+        self._state = [_PageState.ERASED] * self.config.total_pages
+        self._data: dict[int, bytes] = {}
+        self.pages_per_block = self.config.pages_per_block
+        n_blocks = self.config.total_pages // self.pages_per_block
+        self._dead_in_block = [0] * n_blocks
+        self.erase_counts = [0] * n_blocks
+        self.erases = 0
+        self.programs = 0
+
+    # -- raw-flash service model ------------------------------------------------
+
+    def _service_read(self, lba: int) -> int:
+        return self.config.read_latency_usec
+
+    def _service_write(self, lba: int) -> int:
+        if self._state[lba] is not _PageState.ERASED:
+            raise StorageError(
+                f"{self.name}: program of non-erased page {lba} "
+                f"({self._state[lba].value}); NoFTL has no remapping — "
+                "only append-style engines can run on raw flash")
+        self._state[lba] = _PageState.VALID
+        self.programs += 1
+        return self.config.program_latency_usec
+
+    def _store(self, lba: int, data: bytes) -> None:
+        self._data[lba] = data
+
+    def _load(self, lba: int) -> bytes:
+        if self._state[lba] is not _PageState.VALID:
+            raise ReadUnwrittenError(
+                f"{self.name}: page {lba} is {self._state[lba].value}")
+        return self._data[lba]
+
+    def _discard(self, lba: int) -> None:
+        """DBMS trim: mark dead; erase the block when it is fully dead."""
+        if self._state[lba] is not _PageState.VALID:
+            return
+        self._state[lba] = _PageState.DEAD
+        self._data.pop(lba, None)
+        block = lba // self.pages_per_block
+        self._dead_in_block[block] += 1
+        if self._dead_in_block[block] == self.pages_per_block:
+            self._erase_block(block)
+
+    def _erase_block(self, block: int) -> None:
+        """Deterministic erase, charged to the (DBMS GC) caller."""
+        base = block * self.pages_per_block
+        for lba in range(base, base + self.pages_per_block):
+            self._state[lba] = _PageState.ERASED
+            self._data.pop(lba, None)
+        self._dead_in_block[block] = 0
+        self.erase_counts[block] += 1
+        self.erases += 1
+        self.stats.busy_usec += self.config.erase_latency_usec
+        self.clock.advance(self.config.erase_latency_usec)
+        if self.trace is not None:
+            self.trace.record(self.clock.now, TraceOp.ERASE, base,
+                              self.pages_per_block)
+
+    def writable_hint(self, lba: int) -> bool:
+        """Only erased pages can be programmed on raw flash."""
+        return self._state[lba] is _PageState.ERASED
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def write_amplification(self) -> float:
+        """Always 1.0: no relocation exists on raw flash."""
+        return 1.0
+
+    def page_state(self, lba: int) -> str:
+        """State name of one page (tests, debugging)."""
+        return self._state[lba].value
+
+    def wear_stats(self) -> tuple[int, int, float]:
+        """``(min, max, mean)`` per-block erase counts."""
+        counts = self.erase_counts
+        return min(counts), max(counts), sum(counts) / len(counts)

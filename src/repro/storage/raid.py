@@ -1,0 +1,87 @@
+"""Software RAID-0 (striping) over homogeneous block devices.
+
+The paper evaluates two- and six-SSD stripe sets.  :class:`Raid0Device`
+presents one flat LBA space; fixed-size stripes are distributed round-robin
+over the members.  Requests are *serviced by* the member devices' own cost
+models (so flash members keep their FTL/wear state), while queueing happens
+at the RAID level: the aggregate exposes the sum of the members' channels to
+the batch scheduler, so striping multiplies usable parallelism exactly the
+way the hardware stripe set does.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.storage.device import BlockDevice
+from repro.storage.trace import TraceRecorder
+
+
+class Raid0Device(BlockDevice):
+    """Stripe a flat LBA space over member block devices."""
+
+    def __init__(self, members: list[BlockDevice], stripe_pages: int = 8,
+                 trace: TraceRecorder | None = None,
+                 name: str = "raid0") -> None:
+        if not members:
+            raise ConfigError("RAID-0 needs at least one member device")
+        page_size = members[0].page_size
+        min_pages = min(m.total_pages for m in members)
+        if any(m.page_size != page_size for m in members):
+            raise ConfigError("RAID-0 members must share a page size")
+        if stripe_pages < 1:
+            raise ConfigError(f"stripe_pages must be >= 1, got {stripe_pages}")
+        clock: SimClock = members[0].clock
+        channels = sum(len(m._schedule.busy_until) for m in members)
+        super().__init__(
+            clock=clock,
+            total_pages=min_pages * len(members),
+            page_size=page_size,
+            channels=channels,
+            name=name,
+            trace=trace,
+        )
+        self.members = members
+        self.stripe_pages = stripe_pages
+
+    # -- address mapping ---------------------------------------------------------
+
+    def map_lba(self, lba: int) -> tuple[int, int]:
+        """Map a RAID LBA to ``(member_index, member_lba)``."""
+        stripe = lba // self.stripe_pages
+        offset = lba % self.stripe_pages
+        member = stripe % len(self.members)
+        member_stripe = stripe // len(self.members)
+        return member, member_stripe * self.stripe_pages + offset
+
+    # -- BlockDevice hooks (delegate service & storage to the member) --------------
+
+    def _service_read(self, lba: int) -> int:
+        member, mlba = self.map_lba(lba)
+        device = self.members[member]
+        service = device._service_read(mlba)
+        device.stats.reads += 1
+        device.stats.read_bytes += self.page_size
+        device.stats.busy_usec += service
+        return service
+
+    def _service_write(self, lba: int) -> int:
+        member, mlba = self.map_lba(lba)
+        device = self.members[member]
+        service = device._service_write(mlba)
+        device.stats.writes += 1
+        device.stats.write_bytes += self.page_size
+        device.stats.busy_usec += service
+        return service
+
+    def _store(self, lba: int, data: bytes) -> None:
+        member, mlba = self.map_lba(lba)
+        self.members[member]._store(mlba, data)
+
+    def _load(self, lba: int) -> bytes:
+        member, mlba = self.map_lba(lba)
+        return self.members[member]._load(mlba)
+
+    def _discard(self, lba: int) -> None:
+        member, mlba = self.map_lba(lba)
+        self.members[member]._discard(mlba)

@@ -1,0 +1,20 @@
+"""Transactions: snapshot isolation semantics shared by both engines."""
+
+from repro.txn.commitlog import CommitLog, TxnState
+from repro.txn.ids import BOOTSTRAP_TXID, TxidAllocator
+from repro.txn.locks import LockStats, LockTable
+from repro.txn.manager import Transaction, TransactionManager, TxnPhase
+from repro.txn.snapshot import Snapshot
+
+__all__ = [
+    "BOOTSTRAP_TXID",
+    "CommitLog",
+    "LockStats",
+    "LockTable",
+    "Snapshot",
+    "Transaction",
+    "TransactionManager",
+    "TxidAllocator",
+    "TxnPhase",
+    "TxnState",
+]

@@ -1,0 +1,33 @@
+"""Transaction id allocation.
+
+Txids are monotonically increasing positive integers and double as the
+*timestamps* of snapshot isolation: a version's creation timestamp is the
+creating transaction's txid, and ordering between txids is ordering between
+transaction start events (the "SIAS transactional time" the paper
+distinguishes from wall-clock logical time).
+"""
+
+from __future__ import annotations
+
+#: Txid 0 is reserved as "bootstrap" (initial data loading, visible to all).
+BOOTSTRAP_TXID = 0
+
+
+class TxidAllocator:
+    """Hands out monotonically increasing transaction ids."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ValueError(f"txids start at 1, got {start}")
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return a fresh txid, strictly larger than all previous ones."""
+        txid = self._next
+        self._next += 1
+        return txid
+
+    @property
+    def last_allocated(self) -> int:
+        """The most recently handed-out txid (0 if none yet)."""
+        return self._next - 1

@@ -1,0 +1,155 @@
+"""Transaction lifecycle: begin / commit / abort, snapshots and GC horizon.
+
+The manager owns the txid allocator, commit log, lock table and — optionally
+— the WAL.  Engines attach *undo actions* to a running transaction (e.g.
+"restore this VIDmap entrypoint"); on abort the actions run in reverse order,
+after which the versions the transaction created are unreachable garbage for
+the page GC.  The *GC horizon* (:meth:`TransactionManager.horizon_txid`) is
+the largest txid below which every transaction has finished — versions
+superseded before the horizon are invisible to every current and future
+snapshot and may be reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.common.errors import TxnStateError
+from repro.txn.commitlog import CommitLog, TxnState
+from repro.txn.ids import TxidAllocator
+from repro.txn.locks import LockTable
+from repro.txn.snapshot import Snapshot
+from repro.wal.log import WriteAheadLog
+
+
+class TxnPhase(Enum):
+    """Lifecycle phase of a transaction handle."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """A running transaction: identity, snapshot and rollback actions."""
+
+    txid: int
+    snapshot: Snapshot
+    phase: TxnPhase = TxnPhase.ACTIVE
+    serializable: bool = False
+    _undo: list[Callable[[], None]] = field(default_factory=list)
+    reads: int = 0
+    writes: int = 0
+
+    def register_undo(self, action: Callable[[], None]) -> None:
+        """Add a rollback action (run in reverse order on abort)."""
+        self._assert_active()
+        self._undo.append(action)
+
+    def _assert_active(self) -> None:
+        if self.phase is not TxnPhase.ACTIVE:
+            raise TxnStateError(
+                f"txn {self.txid} is {self.phase.value}, expected active")
+
+
+class TransactionManager:
+    """Coordinates snapshots, commit state, locks and undo."""
+
+    def __init__(self, wal: WriteAheadLog | None = None) -> None:
+        from repro.txn.ssi import SsiTracker
+
+        self._allocator = TxidAllocator()
+        self.clog = CommitLog()
+        self.locks = LockTable()
+        self.wal = wal
+        self.ssi = SsiTracker()
+        self._active: dict[int, Transaction] = {}
+        self.commits = 0
+        self.aborts = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self, serializable: bool = False) -> Transaction:
+        """Start a transaction with a fresh snapshot.
+
+        ``serializable=True`` upgrades the transaction from plain SI to
+        SSI: its reads and writes are tracked for rw-antidependencies and
+        it may abort with a serialization failure even without a
+        write-write conflict (see :mod:`repro.txn.ssi`).
+        """
+        txid = self._allocator.allocate()
+        self.clog.register(txid)
+        snapshot = Snapshot(txid=txid,
+                            concurrent=frozenset(self._active.keys()))
+        txn = Transaction(txid=txid, snapshot=snapshot,
+                          serializable=serializable)
+        self._active[txid] = txn
+        if serializable:
+            self.ssi.register(txn)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: clog flip, WAL force, lock release."""
+        txn._assert_active()
+        self.clog.set_committed(txn.txid)
+        txn.phase = TxnPhase.COMMITTED
+        if self.wal is not None:
+            self.wal.log_commit(txn.txid)
+        self._finish(txn)
+        self.commits += 1
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort: run undo actions in reverse, clog flip, lock release."""
+        txn._assert_active()
+        for action in reversed(txn._undo):
+            action()
+        self.clog.set_aborted(txn.txid)
+        txn.phase = TxnPhase.ABORTED
+        if self.wal is not None:
+            self.wal.log_abort(txn.txid)
+        self._finish(txn)
+        self.aborts += 1
+
+    def _finish(self, txn: Transaction) -> None:
+        txn._undo.clear()
+        self.locks.release_all(txn.txid)
+        del self._active[txn.txid]
+        if txn.serializable:
+            self.ssi.on_finish(txn)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def active_txids(self) -> set[int]:
+        """Txids currently running."""
+        return set(self._active.keys())
+
+    def active_count(self) -> int:
+        """Number of running transactions."""
+        return len(self._active)
+
+    def horizon_txid(self) -> int:
+        """GC horizon: txids below it are visible to every live snapshot.
+
+        A creation timestamp ``ts < horizon`` is (a) committed-or-aborted,
+        and (b) outside every active snapshot's concurrent set — so a
+        committed one is visible to every present and future snapshot.
+        This is PostgreSQL's *RecentGlobalXmin*: the minimum over all
+        active transactions of their snapshot xmin (their own txid and
+        everything they saw as still running when they started).
+        """
+        if not self._active:
+            return self._allocator.last_allocated + 1
+        return min(min({txn.txid, *txn.snapshot.concurrent})
+                   for txn in self._active.values())
+
+    def is_committed(self, txid: int) -> bool:
+        """Convenience passthrough to the commit log."""
+        return self.clog.is_committed(txid)
+
+    def state_of(self, txid: int) -> TxnState:
+        """Convenience passthrough to the commit log."""
+        return self.clog.state_of(txid)

@@ -1,0 +1,46 @@
+"""Snapshots and the SI visibility predicate.
+
+A snapshot freezes, at transaction start, the set of concurrently running
+transactions.  The visibility rule is the paper's Algorithm 1 criterion
+re-expressed with explicit commit-state handling:
+
+    ``visible(ts) ⇔ ts == own txid``
+    ``          ∨ (ts ≤ own txid ∧ ts ∉ concurrent ∧ committed(ts))``
+
+Because txids are allocated monotonically at start, ``ts ≤ own txid`` says
+"that transaction started before me"; ``ts ∉ concurrent`` says "and it was
+no longer running when I started"; ``committed(ts)`` filters aborted
+transactions.  Both engines — SIAS-V and the SI baseline — evaluate exactly
+this predicate, so any behavioural difference between them is physical, not
+semantic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.txn.commitlog import CommitLog
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable view definition taken at transaction start."""
+
+    txid: int
+    concurrent: frozenset[int] = field(default_factory=frozenset)
+
+    def sees_ts(self, ts: int, clog: CommitLog) -> bool:
+        """The SI visibility predicate over a creation timestamp."""
+        if ts == self.txid:
+            return True  # own writes are visible
+        if ts > self.txid:
+            return False  # started after me
+        if ts in self.concurrent:
+            return False  # still running when I started
+        return clog.is_committed(ts)
+
+    def overlaps(self, other: "Snapshot") -> bool:
+        """Whether the two transactions ran concurrently."""
+        return (other.txid in self.concurrent or
+                self.txid in other.concurrent or
+                other.txid == self.txid)

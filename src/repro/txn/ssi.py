@@ -1,0 +1,144 @@
+"""Serializable Snapshot Isolation (SSI) — optional isolation level.
+
+Plain SI permits *write skew*; the paper points to Cahill et al. (SIGMOD
+2008) and the PostgreSQL implementation by Ports & Grittner (VLDB 2012) for
+the fix: track read/write **rw-antidependencies** between concurrent
+snapshot transactions and abort one of them whenever a transaction ends up
+with both an inbound and an outbound rw-edge (the *pivot* of a dangerous
+structure); every SI anomaly contains such a pivot.
+
+This implementation follows the Cahill design:
+
+* every read by a serializable transaction takes a **SIREAD** marker on the
+  data item (``(relation_id, item)`` — the same identity the engines lock);
+* a write checks SIREAD markers of concurrent serializable transactions and
+  raises the rw-edges ``reader --rw--> writer``; a read checks writes of
+  concurrent transactions for the converse edge;
+* a transaction observing itself with both ``in_conflict`` and
+  ``out_conflict`` aborts with a serialization failure;
+* markers of committed transactions are retained until no running
+  serializable transaction overlaps them (they can still form edges).
+
+Like the original paper (and unlike full PostgreSQL SSI) this tracks item
+granularity only — predicate (phantom) protection via index-range locks is
+out of scope and documented as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SerializationError
+from repro.txn.manager import Transaction, TxnPhase
+
+
+@dataclass
+class _SsiState:
+    """Per-transaction dependency bookkeeping."""
+
+    txn: Transaction
+    reads: set = field(default_factory=set)
+    writes: set = field(default_factory=set)
+    in_conflict: bool = False    # someone has an rw-edge INTO me
+    out_conflict: bool = False   # I have an rw-edge OUT to someone
+
+    @property
+    def finished(self) -> bool:
+        return self.txn.phase is not TxnPhase.ACTIVE
+
+    @property
+    def committed(self) -> bool:
+        return self.txn.phase is TxnPhase.COMMITTED
+
+
+class SsiTracker:
+    """Tracks rw-antidependencies among serializable transactions."""
+
+    def __init__(self) -> None:
+        self._states: dict[int, _SsiState] = {}
+        self.aborts_prevented_anomalies = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def register(self, txn: Transaction) -> None:
+        """Start tracking a serializable transaction."""
+        self._states[txn.txid] = _SsiState(txn=txn)
+
+    def is_tracked(self, txid: int) -> bool:
+        """Whether the txid belongs to a tracked serializable txn."""
+        return txid in self._states
+
+    def on_finish(self, txn: Transaction) -> None:
+        """Called after commit/abort: drop markers nobody can conflict with.
+
+        A committed transaction's SIREAD markers must outlive it while any
+        running serializable transaction overlaps it.
+        """
+        self._garbage_collect()
+
+    def _garbage_collect(self) -> None:
+        active = [s for s in self._states.values() if not s.finished]
+        keep: set[int] = {s.txn.txid for s in active}
+        for state in self._states.values():
+            if not state.committed:
+                continue
+            if any(a.txn.snapshot.overlaps(state.txn.snapshot)
+                   for a in active):
+                keep.add(state.txn.txid)
+        self._states = {txid: s for txid, s in self._states.items()
+                        if txid in keep}
+
+    # -- dependency hooks ----------------------------------------------------------
+
+    def on_read(self, txn: Transaction, key: object) -> None:
+        """Record a read and raise the ``me --rw--> writer`` edges."""
+        me = self._states.get(txn.txid)
+        if me is None:
+            return
+        me.reads.add(key)
+        for other in list(self._states.values()):
+            if other.txn.txid == txn.txid or key not in other.writes:
+                continue
+            if other.txn.phase is TxnPhase.ABORTED:
+                continue
+            if not txn.snapshot.overlaps(other.txn.snapshot):
+                continue
+            # I read a version that `other` concurrently overwrote:
+            # me --rw--> other
+            self._raise_edge(reader=me, writer=other)
+
+    def on_write(self, txn: Transaction, key: object) -> None:
+        """Record a write and raise the ``reader --rw--> me`` edges."""
+        me = self._states.get(txn.txid)
+        if me is None:
+            return
+        me.writes.add(key)
+        for other in list(self._states.values()):
+            if other.txn.txid == txn.txid or key not in other.reads:
+                continue
+            if other.txn.phase is TxnPhase.ABORTED:
+                continue
+            if not txn.snapshot.overlaps(other.txn.snapshot):
+                continue
+            # `other` read the version I am overwriting: other --rw--> me
+            self._raise_edge(reader=other, writer=me)
+
+    def _raise_edge(self, reader: _SsiState, writer: _SsiState) -> None:
+        reader.out_conflict = True
+        writer.in_conflict = True
+        for state, other in ((reader, writer), (writer, reader)):
+            if not (state.in_conflict and state.out_conflict):
+                continue
+            # `state` is the pivot of a dangerous structure.  Abort it if
+            # it is still active; if it already committed, the structure
+            # can only be broken by killing the still-active neighbour.
+            victim = state if not state.finished else (
+                other if not other.finished else None)
+            if victim is not None:
+                self._abort_victim(victim)
+
+    def _abort_victim(self, victim: _SsiState) -> None:
+        self.aborts_prevented_anomalies += 1
+        raise SerializationError(
+            f"txn {victim.txn.txid}: dangerous rw-antidependency structure "
+            "detected; aborting to preserve serializability")

@@ -1,0 +1,6 @@
+"""Write-ahead logging (shared, unaffected by the storage algorithm)."""
+
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import WalRecord, WalRecordType
+
+__all__ = ["WalRecord", "WalRecordType", "WriteAheadLog"]

@@ -1,0 +1,49 @@
+"""TPC-C-style workload: schema, loader, transactions, driver, metrics."""
+
+from repro.workload.consistency import ConsistencyReport, check
+from repro.workload.driver import DriverConfig, TpccDriver
+from repro.workload.synthetic import SyntheticWorkload, create_synth_table
+from repro.workload.metrics import Metrics, RunSummary, TxnOutcome, percentile
+from repro.workload.mixes import (
+    PROFILES,
+    READ_MOSTLY_MIX,
+    STANDARD_MIX,
+    UPDATE_HEAVY_MIX,
+    TxnType,
+    validate_mix,
+)
+from repro.workload.tpcc_data import LoadStats, TpccLoader, last_name
+from repro.workload.tpcc_schema import (
+    ALL_TABLES,
+    INDEXES,
+    SCHEMAS,
+    TpccScale,
+    create_tpcc_tables,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "ConsistencyReport",
+    "DriverConfig",
+    "INDEXES",
+    "LoadStats",
+    "Metrics",
+    "PROFILES",
+    "READ_MOSTLY_MIX",
+    "RunSummary",
+    "SCHEMAS",
+    "STANDARD_MIX",
+    "SyntheticWorkload",
+    "TpccDriver",
+    "TpccLoader",
+    "TpccScale",
+    "TxnOutcome",
+    "TxnType",
+    "UPDATE_HEAVY_MIX",
+    "check",
+    "create_synth_table",
+    "create_tpcc_tables",
+    "last_name",
+    "percentile",
+    "validate_mix",
+]

@@ -1,0 +1,158 @@
+"""TPC-C consistency conditions as executable checks.
+
+The TPC-C specification (clause 3.3.2) defines consistency conditions that
+must hold before and after any benchmark run.  They make a merciless
+engine-correctness oracle: every lost update, phantom insert, broken index
+or GC bug eventually violates one.  The stress tests run them after churny
+interleaved workloads on both engines.
+
+Implemented conditions (numbered as in the spec):
+
+1. ``W_YTD = Σ D_YTD`` over each warehouse's districts.
+2. ``D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID)`` per district.
+3. The NEW-ORDER ids of a district form a contiguous range.
+4. ``Σ O_OL_CNT = count(ORDER-LINE)`` per district.
+
+Plus two structural checks this implementation adds:
+
+5. Every order's line count matches its ``O_OL_CNT`` exactly.
+6. Primary-key uniqueness: no two *visible* rows share a primary key.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.txn.manager import Transaction
+from repro.workload import tpcc_schema as ts
+
+
+@dataclass
+class ConsistencyReport:
+    """Violations found by one full check (empty == consistent)."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when every condition held."""
+        return not self.violations
+
+    def _fail(self, condition: int, message: str) -> None:
+        self.violations.append(f"condition {condition}: {message}")
+
+
+def check(db: Database, txn: Transaction | None = None,
+          ytd_baseline_per_district: float = 30_000.0,
+          ) -> ConsistencyReport:
+    """Run every condition against a consistent snapshot.
+
+    ``ytd_baseline_per_district`` is the loader's initial D_YTD (the spec
+    loads 30 000.00 per district and 300 000.00 per warehouse, which the
+    scaled loader keeps).
+    """
+    report = ConsistencyReport()
+    own_txn = txn is None
+    if own_txn:
+        txn = db.begin()
+    try:
+        _check_ytd(db, txn, report, ytd_baseline_per_district)
+        orders = [row for _r, row in db.scan(txn, ts.ORDERS)]
+        new_orders = [row for _r, row in db.scan(txn, ts.NEW_ORDER)]
+        lines = [row for _r, row in db.scan(txn, ts.ORDER_LINE)]
+        districts = [row for _r, row in db.scan(txn, ts.DISTRICT)]
+        _check_order_ids(report, districts, orders, new_orders)
+        _check_new_order_contiguous(report, new_orders)
+        _check_order_line_counts(report, orders, lines)
+        _check_pk_uniqueness(db, txn, report)
+    finally:
+        if own_txn:
+            db.commit(txn)
+    return report
+
+
+def _check_ytd(db: Database, txn: Transaction, report: ConsistencyReport,
+               baseline: float) -> None:
+    w_ytd = {row[0]: row[7] for _r, row in db.scan(txn, ts.WAREHOUSE)}
+    d_ytd: dict[int, float] = defaultdict(float)
+    d_count: dict[int, int] = defaultdict(int)
+    for _r, row in db.scan(txn, ts.DISTRICT):
+        d_ytd[row[0]] += row[8]
+        d_count[row[0]] += 1
+    for w_id, ytd in w_ytd.items():
+        district_delta = d_ytd[w_id] - baseline * d_count[w_id]
+        warehouse_delta = ytd - 300_000.0
+        if abs(district_delta - warehouse_delta) > 0.01:
+            report._fail(1, f"W{w_id}: W_YTD delta {warehouse_delta:.2f} "
+                            f"!= sum(D_YTD) delta {district_delta:.2f}")
+
+
+def _check_order_ids(report: ConsistencyReport, districts, orders,
+                     new_orders) -> None:
+    max_o: dict[tuple[int, int], int] = defaultdict(int)
+    for row in orders:
+        key = (row[0], row[1])
+        max_o[key] = max(max_o[key], row[2])
+    max_no: dict[tuple[int, int], int] = defaultdict(int)
+    for row in new_orders:
+        key = (row[0], row[1])
+        max_no[key] = max(max_no[key], row[2])
+    for district in districts:
+        key = (district[0], district[1])
+        next_o_id = district[9]
+        if max_o[key] and next_o_id - 1 != max_o[key]:
+            report._fail(2, f"district {key}: D_NEXT_O_ID-1="
+                            f"{next_o_id - 1} != max(O_ID)={max_o[key]}")
+        if max_no[key] and max_no[key] > max_o[key]:
+            report._fail(2, f"district {key}: max(NO_O_ID)={max_no[key]} "
+                            f"> max(O_ID)={max_o[key]}")
+
+
+def _check_new_order_contiguous(report: ConsistencyReport,
+                                new_orders) -> None:
+    per_district: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for row in new_orders:
+        per_district[(row[0], row[1])].append(row[2])
+    for key, o_ids in per_district.items():
+        o_ids.sort()
+        expected = list(range(o_ids[0], o_ids[0] + len(o_ids)))
+        if o_ids != expected:
+            report._fail(3, f"district {key}: NEW-ORDER ids {o_ids[:5]}... "
+                            "are not contiguous")
+
+
+def _check_order_line_counts(report: ConsistencyReport, orders,
+                             lines) -> None:
+    line_counts: dict[tuple[int, int, int], int] = defaultdict(int)
+    district_lines: dict[tuple[int, int], int] = defaultdict(int)
+    for row in lines:
+        line_counts[(row[0], row[1], row[2])] += 1
+        district_lines[(row[0], row[1])] += 1
+    district_ol_cnt: dict[tuple[int, int], int] = defaultdict(int)
+    for row in orders:
+        key = (row[0], row[1], row[2])
+        district_ol_cnt[(row[0], row[1])] += row[6]
+        if line_counts[key] != row[6]:
+            report._fail(5, f"order {key}: O_OL_CNT={row[6]} but "
+                            f"{line_counts[key]} order lines exist")
+    for key, expected in district_ol_cnt.items():
+        if district_lines[key] != expected:
+            report._fail(4, f"district {key}: sum(O_OL_CNT)={expected} != "
+                            f"count(ORDER-LINE)={district_lines[key]}")
+
+
+def _check_pk_uniqueness(db: Database, txn: Transaction,
+                         report: ConsistencyReport) -> None:
+    for name in ts.ALL_TABLES:
+        relation = db.table(name)
+        if "pk" not in relation.indexes:
+            continue
+        definition, _tree = relation.index("pk")
+        seen: set = set()
+        for _ref, row in db.scan(txn, name):
+            key = definition.key_of(relation.schema, row)
+            if key in seen:
+                report._fail(6, f"{name}: duplicate visible pk {key!r}")
+            seen.add(key)

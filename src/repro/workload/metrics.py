@@ -1,0 +1,146 @@
+"""Run metrics: NOTPM, response times, abort accounting.
+
+The paper reports throughput in **NOTPM** (NewOrder transactions per
+minute) and response time in seconds — both over *simulated* time here.
+Response-time percentiles come from the recorded per-transaction spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import units
+from repro.workload.mixes import TxnType
+
+
+@dataclass
+class TxnOutcome:
+    """One finished transaction attempt."""
+
+    type: TxnType
+    committed: bool
+    response_usec: int
+    spec_rollback: bool = False
+    serialization_abort: bool = False
+
+
+def percentile(values: list[int], q: float) -> int:
+    """Nearest-rank percentile (0 for empty input)."""
+    if not values:
+        return 0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q out of [0,1]: {q}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class Metrics:
+    """Accumulates outcomes over one run."""
+
+    outcomes: list[TxnOutcome] = field(default_factory=list)
+    finish_times_usec: list[int] = field(default_factory=list)
+    start_usec: int = 0
+    end_usec: int = 0
+
+    def record(self, outcome: TxnOutcome,
+               finished_at_usec: int | None = None) -> None:
+        """Add one finished attempt (with its completion time if known)."""
+        self.outcomes.append(outcome)
+        self.finish_times_usec.append(
+            self.end_usec if finished_at_usec is None else finished_at_usec)
+
+    def timeline(self, bucket_usec: int = units.SEC,
+                 type_: TxnType | None = TxnType.NEW_ORDER,
+                 ) -> list[tuple[float, int]]:
+        """Commits per time bucket: ``[(bucket_start_sec, commits), ...]``.
+
+        The per-second throughput series behind "tolerable load" analyses:
+        a saturated system shows the series flattening or collapsing.
+        """
+        if bucket_usec <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket_usec}")
+        buckets: dict[int, int] = {}
+        for outcome, finished in zip(self.outcomes, self.finish_times_usec):
+            if not outcome.committed:
+                continue
+            if type_ is not None and outcome.type is not type_:
+                continue
+            buckets[finished // bucket_usec] = \
+                buckets.get(finished // bucket_usec, 0) + 1
+        return [(bucket * bucket_usec / units.SEC, count)
+                for bucket, count in sorted(buckets.items())]
+
+    # -- aggregate views --------------------------------------------------------
+
+    def commits(self, type_: TxnType | None = None) -> int:
+        """Committed attempts (optionally of one type)."""
+        return sum(1 for o in self.outcomes if o.committed
+                   and (type_ is None or o.type is type_))
+
+    def aborts(self) -> int:
+        """All aborted attempts (spec rollbacks + serialization losses)."""
+        return sum(1 for o in self.outcomes if not o.committed)
+
+    def serialization_aborts(self) -> int:
+        """First-updater-wins losers."""
+        return sum(1 for o in self.outcomes if o.serialization_abort)
+
+    @property
+    def span_usec(self) -> int:
+        """Measured simulated interval."""
+        return max(0, self.end_usec - self.start_usec)
+
+    def notpm(self) -> float:
+        """NewOrder commits per simulated minute (the headline metric)."""
+        if self.span_usec == 0:
+            return 0.0
+        minutes = self.span_usec / units.MINUTE
+        return self.commits(TxnType.NEW_ORDER) / minutes
+
+    def response_times_usec(self, type_: TxnType | None = None,
+                            committed_only: bool = True) -> list[int]:
+        """Raw response-time samples."""
+        return [o.response_usec for o in self.outcomes
+                if (type_ is None or o.type is type_)
+                and (o.committed or not committed_only)]
+
+    def response_sec(self, q: float = 0.90,
+                     type_: TxnType | None = TxnType.NEW_ORDER) -> float:
+        """Response-time percentile in seconds (paper reports seconds)."""
+        return units.sec_from_usec(
+            percentile(self.response_times_usec(type_), q))
+
+    def mean_response_sec(self,
+                          type_: TxnType | None = TxnType.NEW_ORDER) -> float:
+        """Mean response time in seconds."""
+        samples = self.response_times_usec(type_)
+        if not samples:
+            return 0.0
+        return units.sec_from_usec(sum(samples) / len(samples))
+
+    def summary(self) -> "RunSummary":
+        """Freeze into a compact summary record."""
+        return RunSummary(
+            notpm=self.notpm(),
+            commits=self.commits(),
+            aborts=self.aborts(),
+            serialization_aborts=self.serialization_aborts(),
+            mean_response_sec=self.mean_response_sec(),
+            p90_response_sec=self.response_sec(0.90),
+            span_sec=units.sec_from_usec(self.span_usec),
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Headline numbers of one workload run."""
+
+    notpm: float
+    commits: int
+    aborts: int
+    serialization_aborts: int
+    mean_response_sec: float
+    p90_response_sec: float
+    span_sec: float

@@ -1,0 +1,67 @@
+"""Transaction mixes.
+
+The standard mix mirrors DBT2/TPC-C's minimum-percentage mix (NewOrder is
+the throughput carrier at 45 %).  Two extra mixes feed the ablation
+benches: an update-heavy mix that maximises version churn, and a read-mostly
+mix for the scan/read-path experiments.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.workload import tpcc_txns
+
+
+class TxnType(Enum):
+    """The five TPC-C transaction profiles."""
+
+    NEW_ORDER = "new_order"
+    PAYMENT = "payment"
+    ORDER_STATUS = "order_status"
+    DELIVERY = "delivery"
+    STOCK_LEVEL = "stock_level"
+
+
+#: Generator factory per transaction type.
+PROFILES = {
+    TxnType.NEW_ORDER: tpcc_txns.new_order,
+    TxnType.PAYMENT: tpcc_txns.payment,
+    TxnType.ORDER_STATUS: tpcc_txns.order_status,
+    TxnType.DELIVERY: tpcc_txns.delivery,
+    TxnType.STOCK_LEVEL: tpcc_txns.stock_level,
+}
+
+#: DBT2 / TPC-C standard mix.
+STANDARD_MIX: dict[TxnType, float] = {
+    TxnType.NEW_ORDER: 0.45,
+    TxnType.PAYMENT: 0.43,
+    TxnType.ORDER_STATUS: 0.04,
+    TxnType.DELIVERY: 0.04,
+    TxnType.STOCK_LEVEL: 0.04,
+}
+
+#: Version-churn maximiser for the write-reduction ablations.
+UPDATE_HEAVY_MIX: dict[TxnType, float] = {
+    TxnType.NEW_ORDER: 0.50,
+    TxnType.PAYMENT: 0.50,
+}
+
+#: Read path / scan experiments.
+READ_MOSTLY_MIX: dict[TxnType, float] = {
+    TxnType.NEW_ORDER: 0.05,
+    TxnType.PAYMENT: 0.05,
+    TxnType.ORDER_STATUS: 0.45,
+    TxnType.STOCK_LEVEL: 0.45,
+}
+
+
+def validate_mix(mix: dict[TxnType, float]) -> None:
+    """Raise ValueError unless the weights form a distribution."""
+    if not mix:
+        raise ValueError("empty transaction mix")
+    total = sum(mix.values())
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"mix weights sum to {total}, expected 1.0")
+    if any(w < 0 for w in mix.values()):
+        raise ValueError("negative mix weight")

@@ -1,0 +1,158 @@
+"""TPC-C initial population (DBT2-style loader).
+
+Rows are generated deterministically from the run seed, with TPC-C's
+last-name syllable construction and padded string fields sized so relative
+row weights track the spec (stock and customer rows dominate the initial
+footprint; order lines dominate growth).  Loading runs in batched
+transactions so the append stores / heap fill realistically rather than in
+one giant transaction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+from repro.db.database import Database
+from repro.txn.manager import Transaction
+from repro.workload import tpcc_schema as ts
+from repro.workload.tpcc_schema import TpccScale
+
+#: TPC-C clause 4.3.2.3 last-name syllables.
+NAME_SYLLABLES = ("BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                  "ESE", "ANTI", "CALLY", "ATION", "EING")
+
+
+def last_name(number: int) -> str:
+    """Spec last-name construction from a three-digit number."""
+    return (NAME_SYLLABLES[(number // 100) % 10]
+            + NAME_SYLLABLES[(number // 10) % 10]
+            + NAME_SYLLABLES[number % 10])
+
+
+def _pad(rng: random.Random, n: int) -> str:
+    """Deterministic filler string of length ``n``."""
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(n))
+
+
+@dataclass
+class LoadStats:
+    """What the loader inserted."""
+
+    warehouses: int = 0
+    rows: int = 0
+    transactions: int = 0
+
+
+class TpccLoader:
+    """Populates a Database with ``warehouses`` of scaled TPC-C data."""
+
+    def __init__(self, db: Database, scale: TpccScale | None = None,
+                 seed: int = 42, batch_rows: int = 500) -> None:
+        self.db = db
+        self.scale = scale or TpccScale()
+        self.scale.validate()
+        self.seed = seed
+        self.batch_rows = batch_rows
+        self.stats = LoadStats()
+        self._txn: Transaction | None = None
+        self._txn_rows = 0
+
+    # -- batched-transaction plumbing ------------------------------------------
+
+    def _insert(self, table: str, row: tuple) -> None:
+        if self._txn is None:
+            self._txn = self.db.begin()
+        self.db.insert(self._txn, table, row)
+        self.stats.rows += 1
+        self._txn_rows += 1
+        if self._txn_rows >= self.batch_rows:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._txn is not None:
+            self.db.commit(self._txn)
+            self.stats.transactions += 1
+            self._txn = None
+            self._txn_rows = 0
+            self.db.tick()
+
+    # -- population --------------------------------------------------------------
+
+    def load(self, warehouses: int) -> LoadStats:
+        """Populate items plus ``warehouses`` full warehouses."""
+        if warehouses < 1:
+            raise ValueError(f"need at least one warehouse, got {warehouses}")
+        self._load_items()
+        for w_id in range(1, warehouses + 1):
+            self._load_warehouse(w_id)
+        self._flush()
+        self.stats.warehouses = warehouses
+        return self.stats
+
+    def _load_items(self) -> None:
+        rng = make_rng(self.seed, "items")
+        for i_id in range(1, self.scale.items + 1):
+            self._insert(ts.ITEM, (
+                i_id, rng.randint(1, 10_000), f"item-{i_id:06d}",
+                round(rng.uniform(1.0, 100.0), 2), _pad(rng, 26)))
+
+    def _load_warehouse(self, w_id: int) -> None:
+        rng = make_rng(self.seed, "wh", w_id)
+        self._insert(ts.WAREHOUSE, (
+            w_id, f"W{w_id:04d}", _pad(rng, 20), _pad(rng, 20),
+            _pad(rng, 2).upper(), f"{rng.randint(0, 99999):05d}1111",
+            round(rng.uniform(0.0, 0.2), 4), 300_000.0))
+        for i_id in range(1, self.scale.stock_per_warehouse + 1):
+            self._insert(ts.STOCK, (
+                w_id, i_id, rng.randint(10, 100), _pad(rng, 24),
+                0.0, 0, 0, _pad(rng, 40)))
+        for d_id in range(1, self.scale.districts_per_warehouse + 1):
+            self._load_district(w_id, d_id, rng)
+
+    def _load_district(self, w_id: int, d_id: int,
+                       rng: random.Random) -> None:
+        next_o_id = self.scale.initial_orders_per_district + 1
+        self._insert(ts.DISTRICT, (
+            w_id, d_id, f"D{d_id:02d}", _pad(rng, 20), _pad(rng, 20),
+            _pad(rng, 2).upper(), f"{rng.randint(0, 99999):05d}1111",
+            round(rng.uniform(0.0, 0.2), 4), 30_000.0, next_o_id))
+        for c_id in range(1, self.scale.customers_per_district + 1):
+            self._load_customer(w_id, d_id, c_id, rng)
+        self._load_initial_orders(w_id, d_id, rng)
+
+    def _load_customer(self, w_id: int, d_id: int, c_id: int,
+                       rng: random.Random) -> None:
+        name_no = c_id - 1 if c_id <= 1000 else rng.randint(0, 999)
+        credit = "BC" if rng.random() < 0.10 else "GC"
+        self._insert(ts.CUSTOMER, (
+            w_id, d_id, c_id, _pad(rng, 12), "OE", last_name(name_no),
+            _pad(rng, 20), _pad(rng, 20), _pad(rng, 2).upper(),
+            f"{rng.randint(0, 99999):05d}1111", _pad(rng, 16), 0,
+            credit, 50_000.0, round(rng.uniform(0.0, 0.5), 4),
+            -10.0, 10.0, 1, 0, _pad(rng, 120)))
+        self._insert(ts.HISTORY, (
+            c_id, d_id, w_id, d_id, w_id, 0, 10.0, _pad(rng, 18)))
+
+    def _load_initial_orders(self, w_id: int, d_id: int,
+                             rng: random.Random) -> None:
+        customers = list(range(1, self.scale.customers_per_district + 1))
+        rng.shuffle(customers)
+        for o_id in range(1, self.scale.initial_orders_per_district + 1):
+            c_id = customers[(o_id - 1) % len(customers)]
+            ol_cnt = rng.randint(self.scale.min_order_lines,
+                                 self.scale.max_order_lines)
+            undelivered = (o_id
+                           > self.scale.initial_orders_per_district * 7 // 10)
+            carrier = 0 if undelivered else rng.randint(1, 10)
+            self._insert(ts.ORDERS, (
+                w_id, d_id, o_id, c_id, 0, carrier, ol_cnt, 1))
+            if undelivered:
+                self._insert(ts.NEW_ORDER, (w_id, d_id, o_id))
+            for number in range(1, ol_cnt + 1):
+                self._insert(ts.ORDER_LINE, (
+                    w_id, d_id, o_id, number,
+                    rng.randint(1, self.scale.items), w_id,
+                    0 if undelivered else 1,
+                    5, round(rng.uniform(0.01, 9999.99), 2), _pad(rng, 24)))

@@ -1,0 +1,136 @@
+"""TPC-C-style schema (DBT2 substitute).
+
+All nine TPC-C relations with their standard columns (string paddings are
+shortened but keep realistic relative row sizes) and the index set DBT2
+uses: primary keys everywhere, the customer-by-last-name path, and the
+order/new-order navigation indexes.
+
+Scaling is intentionally configurable and defaults far below the spec
+(3000 customers per district would be pointless in a pure-Python simulator):
+:class:`TpccScale` preserves the *ratios* that matter to the experiments —
+stock dominates the footprint, order lines dominate growth, and the working
+set grows linearly with warehouses so buffer pressure arrives on schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.catalog import IndexDef
+from repro.db.schema import ColType, Schema
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    """Scaled-down TPC-C cardinalities (per warehouse unless noted)."""
+
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 200                  # global, shared across warehouses
+    stock_per_warehouse: int = 200    # one stock row per item
+    initial_orders_per_district: int = 10
+    max_order_lines: int = 15
+    min_order_lines: int = 5
+
+    def validate(self) -> None:
+        """Raise ValueError for inconsistent scales."""
+        if self.stock_per_warehouse != self.items:
+            raise ValueError("stock rows per warehouse must equal items")
+        if not 1 <= self.min_order_lines <= self.max_order_lines:
+            raise ValueError("bad order-line bounds")
+        if min(self.districts_per_warehouse, self.customers_per_district,
+               self.items, self.initial_orders_per_district) < 1:
+            raise ValueError("all cardinalities must be >= 1")
+
+
+#: Table name constants (single source of truth for the workload code).
+WAREHOUSE = "warehouse"
+DISTRICT = "district"
+CUSTOMER = "customer"
+HISTORY = "history"
+NEW_ORDER = "new_order"
+ORDERS = "orders"
+ORDER_LINE = "order_line"
+ITEM = "item"
+STOCK = "stock"
+
+SCHEMAS: dict[str, Schema] = {
+    WAREHOUSE: Schema.of(
+        ("w_id", ColType.INT), ("w_name", ColType.STR),
+        ("w_street", ColType.STR), ("w_city", ColType.STR),
+        ("w_state", ColType.STR), ("w_zip", ColType.STR),
+        ("w_tax", ColType.FLOAT), ("w_ytd", ColType.FLOAT)),
+    DISTRICT: Schema.of(
+        ("d_w_id", ColType.INT), ("d_id", ColType.INT),
+        ("d_name", ColType.STR), ("d_street", ColType.STR),
+        ("d_city", ColType.STR), ("d_state", ColType.STR),
+        ("d_zip", ColType.STR), ("d_tax", ColType.FLOAT),
+        ("d_ytd", ColType.FLOAT), ("d_next_o_id", ColType.INT)),
+    CUSTOMER: Schema.of(
+        ("c_w_id", ColType.INT), ("c_d_id", ColType.INT),
+        ("c_id", ColType.INT), ("c_first", ColType.STR),
+        ("c_middle", ColType.STR), ("c_last", ColType.STR),
+        ("c_street", ColType.STR), ("c_city", ColType.STR),
+        ("c_state", ColType.STR), ("c_zip", ColType.STR),
+        ("c_phone", ColType.STR), ("c_since", ColType.INT),
+        ("c_credit", ColType.STR), ("c_credit_lim", ColType.FLOAT),
+        ("c_discount", ColType.FLOAT), ("c_balance", ColType.FLOAT),
+        ("c_ytd_payment", ColType.FLOAT), ("c_payment_cnt", ColType.INT),
+        ("c_delivery_cnt", ColType.INT), ("c_data", ColType.STR)),
+    HISTORY: Schema.of(
+        ("h_c_id", ColType.INT), ("h_c_d_id", ColType.INT),
+        ("h_c_w_id", ColType.INT), ("h_d_id", ColType.INT),
+        ("h_w_id", ColType.INT), ("h_date", ColType.INT),
+        ("h_amount", ColType.FLOAT), ("h_data", ColType.STR)),
+    NEW_ORDER: Schema.of(
+        ("no_w_id", ColType.INT), ("no_d_id", ColType.INT),
+        ("no_o_id", ColType.INT)),
+    ORDERS: Schema.of(
+        ("o_w_id", ColType.INT), ("o_d_id", ColType.INT),
+        ("o_id", ColType.INT), ("o_c_id", ColType.INT),
+        ("o_entry_d", ColType.INT), ("o_carrier_id", ColType.INT),
+        ("o_ol_cnt", ColType.INT), ("o_all_local", ColType.INT)),
+    ORDER_LINE: Schema.of(
+        ("ol_w_id", ColType.INT), ("ol_d_id", ColType.INT),
+        ("ol_o_id", ColType.INT), ("ol_number", ColType.INT),
+        ("ol_i_id", ColType.INT), ("ol_supply_w_id", ColType.INT),
+        ("ol_delivery_d", ColType.INT), ("ol_quantity", ColType.INT),
+        ("ol_amount", ColType.FLOAT), ("ol_dist_info", ColType.STR)),
+    ITEM: Schema.of(
+        ("i_id", ColType.INT), ("i_im_id", ColType.INT),
+        ("i_name", ColType.STR), ("i_price", ColType.FLOAT),
+        ("i_data", ColType.STR)),
+    STOCK: Schema.of(
+        ("s_w_id", ColType.INT), ("s_i_id", ColType.INT),
+        ("s_quantity", ColType.INT), ("s_dist_info", ColType.STR),
+        ("s_ytd", ColType.FLOAT), ("s_order_cnt", ColType.INT),
+        ("s_remote_cnt", ColType.INT), ("s_data", ColType.STR)),
+}
+
+INDEXES: dict[str, list[IndexDef]] = {
+    WAREHOUSE: [IndexDef("pk", ("w_id",), unique=True)],
+    DISTRICT: [IndexDef("pk", ("d_w_id", "d_id"), unique=True)],
+    CUSTOMER: [
+        IndexDef("pk", ("c_w_id", "c_d_id", "c_id"), unique=True),
+        IndexDef("by_last", ("c_w_id", "c_d_id", "c_last")),
+    ],
+    HISTORY: [],
+    NEW_ORDER: [IndexDef("pk", ("no_w_id", "no_d_id", "no_o_id"),
+                         unique=True)],
+    ORDERS: [
+        IndexDef("pk", ("o_w_id", "o_d_id", "o_id"), unique=True),
+        IndexDef("by_customer", ("o_w_id", "o_d_id", "o_c_id")),
+    ],
+    ORDER_LINE: [IndexDef("pk", ("ol_w_id", "ol_d_id", "ol_o_id",
+                                 "ol_number"), unique=True)],
+    ITEM: [IndexDef("pk", ("i_id",), unique=True)],
+    STOCK: [IndexDef("pk", ("s_w_id", "s_i_id"), unique=True)],
+}
+
+ALL_TABLES = list(SCHEMAS.keys())
+
+
+def create_tpcc_tables(db) -> None:
+    """Create all nine relations with their indexes on a Database."""
+    for name in ALL_TABLES:
+        db.create_table(name, SCHEMAS[name], indexes=INDEXES[name])

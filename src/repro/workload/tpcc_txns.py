@@ -1,0 +1,264 @@
+"""The five TPC-C transaction profiles, written as interleavable generators.
+
+Each profile is a generator that performs its reads and writes through the
+:class:`~repro.db.database.Database` API and ``yield``s between logical
+steps.  The driver advances several transactions round-robin, so snapshots
+genuinely overlap and first-updater-wins conflicts genuinely happen (two
+in-flight NewOrders incrementing the same district's ``d_next_o_id``, two
+Deliveries draining the same district queue, ...).
+
+Spec-faithful behaviours kept: the NewOrder 1 %-invalid-item rollback,
+NURand customer/item selection, payment-by-last-name (60 %) with the
+middle-row rule, remote payments (15 %), and the delivery carrier sweep
+over every district.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import NURand
+from repro.db.database import Database, ItemRef
+from repro.txn.manager import Transaction
+from repro.workload import tpcc_schema as ts
+from repro.workload.tpcc_schema import TpccScale
+
+
+class SpecRollback(WorkloadError):
+    """TPC-C's intentional NewOrder rollback (unused item number)."""
+
+
+@dataclass
+class TpccContext:
+    """Shared state of one workload run."""
+
+    db: Database
+    scale: TpccScale
+    warehouses: int
+    rng: random.Random
+    nurand: NURand
+
+    def pk(self, txn: Transaction, table: str, key) -> tuple[ItemRef, tuple]:
+        """Primary-key point lookup that must succeed."""
+        hits = self.db.lookup(txn, table, "pk", key)
+        if not hits:
+            raise WorkloadError(f"{table} pk {key!r} not found")
+        return hits[0]
+
+    def random_wd(self) -> tuple[int, int]:
+        """Uniform warehouse + district pair."""
+        return (self.rng.randint(1, self.warehouses),
+                self.rng.randint(1, self.scale.districts_per_warehouse))
+
+    def nurand_customer(self) -> int:
+        """Clause 2.1.6 customer id (scaled into range)."""
+        c = self.nurand(1023, 1, 1023)
+        return 1 + (c - 1) % self.scale.customers_per_district
+
+    def nurand_item(self) -> int:
+        """Clause 2.1.6 item id (scaled into range)."""
+        i = self.nurand(8191, 1, 8191)
+        return 1 + (i - 1) % self.scale.items
+
+
+TxnGen = Generator[None, None, None]
+
+
+# ---------------------------------------------------------------------------
+# NewOrder (the throughput metric: NOTPM counts these)
+# ---------------------------------------------------------------------------
+
+def new_order(ctx: TpccContext, txn: Transaction) -> TxnGen:
+    """Clause 2.4: order entry with 5–15 stock-updating lines."""
+    db, rng = ctx.db, ctx.rng
+    w_id, d_id = ctx.random_wd()
+    c_id = ctx.nurand_customer()
+    _wref, warehouse = ctx.pk(txn, ts.WAREHOUSE, w_id)
+    dref, district = ctx.pk(txn, ts.DISTRICT, (w_id, d_id))
+    _cref, _customer = ctx.pk(txn, ts.CUSTOMER, (w_id, d_id, c_id))
+    yield
+
+    o_id = district[9]
+    district = district[:9] + (o_id + 1,)
+    db.update(txn, ts.DISTRICT, dref, district)
+    ol_cnt = rng.randint(ctx.scale.min_order_lines,
+                         ctx.scale.max_order_lines)
+    db.insert(txn, ts.ORDERS, (w_id, d_id, o_id, c_id, 0, 0, ol_cnt, 1))
+    db.insert(txn, ts.NEW_ORDER, (w_id, d_id, o_id))
+    yield
+
+    rollback_line = (rng.randint(1, ol_cnt)
+                     if rng.random() < 0.01 else 0)
+    for number in range(1, ol_cnt + 1):
+        if number == rollback_line:
+            raise SpecRollback("unused item number (clause 2.4.1.4)")
+        i_id = ctx.nurand_item()
+        _iref, item = ctx.pk(txn, ts.ITEM, i_id)
+        supply_w = w_id
+        if ctx.warehouses > 1 and rng.random() < 0.01:
+            supply_w = rng.choice(
+                [w for w in range(1, ctx.warehouses + 1) if w != w_id])
+        sref, stock = ctx.pk(txn, ts.STOCK, (supply_w, i_id))
+        quantity = rng.randint(1, 10)
+        s_quantity = stock[2] - quantity
+        if s_quantity < 10:
+            s_quantity += 91
+        stock = (stock[0], stock[1], s_quantity, stock[3],
+                 stock[4] + quantity, stock[5] + 1,
+                 stock[6] + (0 if supply_w == w_id else 1), stock[7])
+        db.update(txn, ts.STOCK, sref, stock)
+        amount = round(quantity * item[3], 2)
+        db.insert(txn, ts.ORDER_LINE, (
+            w_id, d_id, o_id, number, i_id, supply_w, 0, quantity,
+            amount, stock[3]))
+        yield
+
+
+# ---------------------------------------------------------------------------
+# Payment
+# ---------------------------------------------------------------------------
+
+def _customer_by_last_name(ctx: TpccContext, txn: Transaction, w_id: int,
+                           d_id: int) -> tuple[ItemRef, tuple] | None:
+    """Clause 2.5.2.2: middle row (rounded up) of the last-name matches."""
+    from repro.workload.tpcc_data import last_name
+    name = last_name(ctx.nurand(255, 0, 999))
+    hits = ctx.db.lookup(txn, ts.CUSTOMER, "by_last", (w_id, d_id, name))
+    if not hits:
+        return None
+    hits.sort(key=lambda pair: pair[1][3])  # order by c_first
+    return hits[(len(hits) - 1) // 2 + (len(hits) - 1) % 2]
+
+
+def payment(ctx: TpccContext, txn: Transaction) -> TxnGen:
+    """Clause 2.5: warehouse/district YTD and customer balance update."""
+    db, rng = ctx.db, ctx.rng
+    w_id, d_id = ctx.random_wd()
+    amount = round(rng.uniform(1.0, 5000.0), 2)
+    wref, warehouse = ctx.pk(txn, ts.WAREHOUSE, w_id)
+    db.update(txn, ts.WAREHOUSE, wref,
+              warehouse[:7] + (warehouse[7] + amount,))
+    yield
+
+    dref, district = ctx.pk(txn, ts.DISTRICT, (w_id, d_id))
+    db.update(txn, ts.DISTRICT, dref,
+              district[:8] + (district[8] + amount,) + district[9:])
+    yield
+
+    c_w, c_d = w_id, d_id
+    if ctx.warehouses > 1 and rng.random() < 0.15:  # remote customer
+        c_w = rng.choice(
+            [w for w in range(1, ctx.warehouses + 1) if w != w_id])
+        c_d = rng.randint(1, ctx.scale.districts_per_warehouse)
+    found = None
+    if rng.random() < 0.60:
+        found = _customer_by_last_name(ctx, txn, c_w, c_d)
+    if found is None:
+        found = ctx.pk(txn, ts.CUSTOMER,
+                       (c_w, c_d, ctx.nurand_customer()))
+    cref, customer = found
+    c_data = customer[19]
+    if customer[12] == "BC":  # bad credit: prepend payment info
+        c_data = (f"{customer[2]} {c_d} {c_w} {d_id} {w_id} {amount};"
+                  + c_data)[:120]
+    customer = (customer[:15]
+                + (customer[15] - amount, customer[16] + amount,
+                   customer[17] + 1, customer[18], c_data))
+    db.update(txn, ts.CUSTOMER, cref, customer)
+    yield
+
+    db.insert(txn, ts.HISTORY,
+              (customer[2], c_d, c_w, d_id, w_id, 0, amount, "payment"))
+
+
+# ---------------------------------------------------------------------------
+# Order-Status (read only)
+# ---------------------------------------------------------------------------
+
+def order_status(ctx: TpccContext, txn: Transaction) -> TxnGen:
+    """Clause 2.6: a customer's most recent order and its lines."""
+    db, rng = ctx.db, ctx.rng
+    w_id, d_id = ctx.random_wd()
+    found = None
+    if rng.random() < 0.60:
+        found = _customer_by_last_name(ctx, txn, w_id, d_id)
+    if found is None:
+        found = ctx.pk(txn, ts.CUSTOMER, (w_id, d_id, ctx.nurand_customer()))
+    _cref, customer = found
+    yield
+
+    orders = db.lookup(txn, ts.ORDERS, "by_customer",
+                       (w_id, d_id, customer[2]))
+    if not orders:
+        return
+    _oref, order = max(orders, key=lambda pair: pair[1][2])
+    yield
+
+    db.range_lookup(txn, ts.ORDER_LINE, "pk",
+                    (w_id, d_id, order[2], 0),
+                    (w_id, d_id, order[2], 10_000))
+
+
+# ---------------------------------------------------------------------------
+# Delivery
+# ---------------------------------------------------------------------------
+
+def delivery(ctx: TpccContext, txn: Transaction) -> TxnGen:
+    """Clause 2.7: drain the oldest new-order of every district."""
+    db, rng = ctx.db, ctx.rng
+    w_id = rng.randint(1, ctx.warehouses)
+    carrier = rng.randint(1, 10)
+    for d_id in range(1, ctx.scale.districts_per_warehouse + 1):
+        queue = db.range_lookup(txn, ts.NEW_ORDER, "pk",
+                                (w_id, d_id, 0),
+                                (w_id, d_id, 1 << 30))
+        if not queue:
+            continue
+        no_ref, no_row = min(queue, key=lambda pair: pair[1][2])
+        o_id = no_row[2]
+        db.delete(txn, ts.NEW_ORDER, no_ref)
+        oref, order = ctx.pk(txn, ts.ORDERS, (w_id, d_id, o_id))
+        db.update(txn, ts.ORDERS, oref,
+                  order[:5] + (carrier,) + order[6:])
+        lines = db.range_lookup(txn, ts.ORDER_LINE, "pk",
+                                (w_id, d_id, o_id, 0),
+                                (w_id, d_id, o_id, 10_000))
+        total = 0.0
+        for lref, line in lines:
+            total += line[8]
+            db.update(txn, ts.ORDER_LINE, lref,
+                      line[:6] + (1,) + line[7:])
+        cref, customer = ctx.pk(txn, ts.CUSTOMER, (w_id, d_id, order[3]))
+        db.update(txn, ts.CUSTOMER, cref,
+                  customer[:15] + (customer[15] + total,)
+                  + customer[16:18] + (customer[18] + 1, customer[19]))
+        yield
+
+
+# ---------------------------------------------------------------------------
+# Stock-Level (read only)
+# ---------------------------------------------------------------------------
+
+def stock_level(ctx: TpccContext, txn: Transaction) -> TxnGen:
+    """Clause 2.8: count recent low-stock items of one district."""
+    db, rng = ctx.db, ctx.rng
+    w_id, d_id = ctx.random_wd()
+    threshold = rng.randint(10, 20)
+    _dref, district = ctx.pk(txn, ts.DISTRICT, (w_id, d_id))
+    next_o_id = district[9]
+    yield
+
+    lines = db.range_lookup(txn, ts.ORDER_LINE, "pk",
+                            (w_id, d_id, max(1, next_o_id - 20), 0),
+                            (w_id, d_id, next_o_id, 10_000))
+    item_ids = {line[4] for _ref, line in lines}
+    yield
+
+    low = 0
+    for i_id in sorted(item_ids):
+        hits = db.lookup(txn, ts.STOCK, "pk", (w_id, i_id))
+        if hits and hits[0][1][2] < threshold:
+            low += 1

@@ -1,0 +1,124 @@
+"""Shared fixtures: tiny devices, substrates and databases for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.common import units
+from repro.common.clock import SimClock
+from repro.common.config import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    SystemConfig,
+)
+from repro.core.engine import SiasVEngine
+from repro.baseline.engine import SiEngine
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
+from repro.db.schema import ColType, Schema
+from repro.storage.flash import FlashDevice
+from repro.storage.tablespace import Tablespace
+from repro.storage.trace import TraceRecorder
+from repro.txn.manager import TransactionManager
+from repro.wal.log import WriteAheadLog
+
+SMALL_FLASH = FlashConfig(capacity_bytes=64 * units.MIB)
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    """A fresh simulated clock."""
+    return SimClock()
+
+
+@pytest.fixture
+def trace() -> TraceRecorder:
+    """A fresh trace recorder."""
+    return TraceRecorder()
+
+
+@pytest.fixture
+def flash(clock: SimClock, trace: TraceRecorder) -> FlashDevice:
+    """A small flash device with tracing."""
+    return FlashDevice(clock, SMALL_FLASH, trace=trace)
+
+
+@pytest.fixture
+def tablespace(flash: FlashDevice) -> Tablespace:
+    """A tablespace with small extents over the flash fixture."""
+    return Tablespace(flash, extent_pages=16)
+
+
+@pytest.fixture
+def buffer(tablespace: Tablespace) -> BufferManager:
+    """A 64-frame buffer pool."""
+    return BufferManager(tablespace, pool_pages=64)
+
+
+@pytest.fixture
+def txn_mgr(clock: SimClock) -> TransactionManager:
+    """A transaction manager with a WAL on its own flash device."""
+    wal_device = FlashDevice(clock, SMALL_FLASH, name="wal")
+    return TransactionManager(wal=WriteAheadLog(wal_device))
+
+
+@pytest.fixture
+def sias_engine(buffer: BufferManager, tablespace: Tablespace,
+                txn_mgr: TransactionManager) -> SiasVEngine:
+    """A SIAS-V engine over one fresh relation file."""
+    file_id = tablespace.create_file("rel.test")
+    return SiasVEngine(relation_id=0, buffer=buffer, file_id=file_id,
+                       config=EngineConfig(), txn_mgr=txn_mgr)
+
+
+@pytest.fixture
+def si_engine(buffer: BufferManager, tablespace: Tablespace,
+              txn_mgr: TransactionManager) -> SiEngine:
+    """A baseline SI engine over one fresh relation file."""
+    file_id = tablespace.create_file("rel.test")
+    return SiEngine(relation_id=0, buffer=buffer, file_id=file_id,
+                    config=EngineConfig(), txn_mgr=txn_mgr)
+
+
+def small_system_config(**buffer_kwargs) -> SystemConfig:
+    """A SystemConfig sized for unit tests."""
+    return SystemConfig(
+        flash=SMALL_FLASH,
+        buffer=BufferConfig(pool_pages=buffer_kwargs.pop("pool_pages", 128)),
+        extent_pages=16,
+    )
+
+
+ACCOUNTS = Schema.of(("id", ColType.INT), ("owner", ColType.STR),
+                     ("balance", ColType.FLOAT))
+
+
+def make_accounts_db(kind: EngineKind, **kwargs) -> Database:
+    """A flash database with one indexed 'accounts' table."""
+    db = Database.on_flash(kind, small_system_config(**kwargs))
+    db.create_table("accounts", ACCOUNTS, indexes=[
+        IndexDef("pk", ("id",), unique=True),
+        IndexDef("by_owner", ("owner",)),
+    ])
+    return db
+
+
+@pytest.fixture(params=[EngineKind.SIASV, EngineKind.SI],
+                ids=["sias-v", "si"])
+def any_db(request) -> Database:
+    """Parametrised database fixture: every test runs on both engines."""
+    return make_accounts_db(request.param)
+
+
+@pytest.fixture
+def sias_db() -> Database:
+    """A SIAS-V accounts database."""
+    return make_accounts_db(EngineKind.SIASV)
+
+
+@pytest.fixture
+def si_db() -> Database:
+    """A baseline SI accounts database."""
+    return make_accounts_db(EngineKind.SI)

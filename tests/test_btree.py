@@ -1,0 +1,195 @@
+"""B⁺-tree tests: unit coverage plus hypothesis property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DuplicateKeyError
+from repro.index.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert tree.min_key() is None
+        assert list(tree.items()) == []
+
+    def test_insert_search(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        assert tree.search(5) == ["a"]
+        assert tree.contains(5, "a")
+        assert not tree.contains(5, "b")
+
+    def test_duplicate_keys_allowed(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert sorted(tree.search(5)) == ["a", "b"]
+
+    def test_duplicate_pair_rejected(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(5, "a")
+
+    def test_unique_mode(self):
+        tree = BPlusTree(unique=True)
+        tree.insert(5, "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(5, "b")
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        assert tree.delete(5, "a") is True
+        assert tree.delete(5, "a") is False
+        assert tree.search(5) == []
+
+    def test_delete_one_of_duplicates(self):
+        tree = BPlusTree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.delete(5, "a")
+        assert tree.search(5) == ["b"]
+
+    def test_composite_tuple_keys(self):
+        tree = BPlusTree()
+        tree.insert((1, 2, "x"), 100)
+        tree.insert((1, 3, "a"), 200)
+        assert tree.search((1, 2, "x")) == [100]
+        keys = [k for k, _ in tree.range((1, 0, ""), (1, 99, "zzz"))]
+        assert keys == [(1, 2, "x"), (1, 3, "a")]
+
+    def test_growth_splits_root(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height >= 3
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_range_inclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range(5, 8)] == [5, 6, 7, 8]
+        assert [k for k, _ in tree.range(5, 8, inclusive=(False, False))] \
+            == [6, 7]
+
+    def test_range_open_ends(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range(None, 3)] == [0, 1, 2, 3]
+        assert [k for k, _ in tree.range(7, None)] == [7, 8, 9]
+
+    def test_shrink_collapses_root(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        for i in range(100):
+            assert tree.delete(i, i)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_reverse_insertion_order(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(50)):
+            tree.insert(i, i)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(50))
+
+    def test_min_key(self):
+        tree = BPlusTree(order=4)
+        for i in (7, 3, 9):
+            tree.insert(i, i)
+        assert tree.min_key() == 3
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "melon", "fig"]:
+            tree.insert(word, word.upper())
+        assert [k for k, _ in tree.items()] == \
+            ["apple", "fig", "melon", "pear"]
+
+
+# --- hypothesis property tests ------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]),
+              st.integers(0, 60), st.integers(0, 5)),
+    max_size=300)
+
+
+class TestProperties:
+    @given(ops)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_model(self, operations):
+        """The tree behaves exactly like a dict-of-sets reference model."""
+        tree = BPlusTree(order=4)
+        model: dict[int, set[int]] = {}
+        for op, key, value in operations:
+            if op == "insert":
+                if value in model.get(key, set()):
+                    with pytest.raises(DuplicateKeyError):
+                        tree.insert(key, value)
+                else:
+                    tree.insert(key, value)
+                    model.setdefault(key, set()).add(value)
+            else:
+                expected = value in model.get(key, set())
+                assert tree.delete(key, value) == expected
+                if expected:
+                    model[key].discard(value)
+                    if not model[key]:
+                        del model[key]
+        tree.check_invariants()
+        assert len(tree) == sum(len(s) for s in model.values())
+        for key, values in model.items():
+            assert set(tree.search(key)) == values
+
+    @given(st.lists(st.integers(0, 1000), unique=True, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_items_always_sorted(self, keys):
+        tree = BPlusTree(order=6)
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        tree.check_invariants()
+
+    @given(st.lists(st.integers(0, 200), unique=True, min_size=1,
+                    max_size=120),
+           st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_range_equals_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert [k for k, _ in tree.range(lo, hi)] == expected
+
+    @given(st.lists(st.integers(0, 50), unique=True, min_size=1,
+                    max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_delete_everything_in_random_order(self, keys):
+        import random
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        order = list(keys)
+        random.Random(1).shuffle(order)
+        for key in order:
+            assert tree.delete(key, key)
+            tree.check_invariants()
+        assert len(tree) == 0

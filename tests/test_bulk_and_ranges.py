@@ -1,0 +1,125 @@
+"""Bulk loading and VID-range scan tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.db.database import EngineKind
+from tests.conftest import make_accounts_db
+
+
+class TestBulkInsert:
+    def test_bulk_equals_singles(self, any_db):
+        rows = [(i, f"u{i % 3}", float(i)) for i in range(100)]
+        txn = any_db.begin()
+        refs = any_db.bulk_insert(txn, "accounts", rows)
+        any_db.commit(txn)
+        assert len(refs) == 100
+        txn = any_db.begin()
+        assert sorted(r for _x, r in any_db.scan(txn, "accounts")) == rows
+        hits = any_db.lookup(txn, "accounts", "pk", 42)
+        assert hits[0][1] == (42, "u0", 42.0)
+        any_db.commit(txn)
+
+    def test_sias_bulk_vids_are_contiguous(self, sias_db):
+        txn = sias_db.begin()
+        refs = sias_db.bulk_insert(
+            txn, "accounts", [(i, "u", 0.0) for i in range(20)])
+        sias_db.commit(txn)
+        assert refs == list(range(refs[0], refs[0] + 20))
+
+    def test_bulk_abort_rolls_back(self, any_db):
+        txn = any_db.begin()
+        any_db.bulk_insert(txn, "accounts",
+                           [(i, "u", 0.0) for i in range(10)])
+        any_db.abort(txn)
+        txn = any_db.begin()
+        assert list(any_db.scan(txn, "accounts")) == []
+        assert any_db.lookup(txn, "accounts", "pk", 3) == []
+        any_db.commit(txn)
+
+    def test_bulk_uncommitted_invisible(self, any_db):
+        writer = any_db.begin()
+        any_db.bulk_insert(writer, "accounts",
+                           [(i, "u", 0.0) for i in range(5)])
+        reader = any_db.begin()
+        assert list(any_db.scan(reader, "accounts")) == []
+        any_db.commit(writer)
+        any_db.commit(reader)
+
+    def test_bulk_survives_crash_recovery(self, sias_db):
+        from repro.db.recovery import crash, recover
+        txn = sias_db.begin()
+        sias_db.bulk_insert(txn, "accounts",
+                            [(i, "u", float(i)) for i in range(30)])
+        sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        txn = sias_db.begin()
+        assert len(list(sias_db.scan(txn, "accounts"))) == 30
+        sias_db.commit(txn)
+
+
+class TestVidRangeScan:
+    def test_range_returns_span(self, sias_db):
+        txn = sias_db.begin()
+        refs = sias_db.bulk_insert(
+            txn, "accounts", [(i, "u", float(i)) for i in range(50)])
+        sias_db.commit(txn)
+        txn = sias_db.begin()
+        rows = sias_db.scan_vid_range(txn, "accounts", refs[10], refs[20])
+        assert [vid for vid, _ in rows] == refs[10:20]
+        sias_db.commit(txn)
+
+    def test_range_skips_deleted(self, sias_db):
+        txn = sias_db.begin()
+        refs = sias_db.bulk_insert(
+            txn, "accounts", [(i, "u", 0.0) for i in range(10)])
+        sias_db.commit(txn)
+        txn = sias_db.begin()
+        sias_db.delete(txn, "accounts", refs[5])
+        sias_db.commit(txn)
+        txn = sias_db.begin()
+        rows = sias_db.scan_vid_range(txn, "accounts", 0, 10)
+        assert refs[5] not in [vid for vid, _ in rows]
+        assert len(rows) == 9
+        sias_db.commit(txn)
+
+    def test_range_respects_snapshot(self, sias_db):
+        txn = sias_db.begin()
+        ref, = sias_db.bulk_insert(txn, "accounts", [(1, "old", 0.0)])
+        sias_db.commit(txn)
+        reader = sias_db.begin()
+        writer = sias_db.begin()
+        sias_db.update(writer, "accounts", ref, (1, "new", 1.0))
+        sias_db.commit(writer)
+        rows = sias_db.scan_vid_range(reader, "accounts", 0, 10)
+        assert rows[0][1][1] == "old"
+        sias_db.commit(reader)
+
+    def test_si_rejects_vid_ranges(self, si_db):
+        txn = si_db.begin()
+        with pytest.raises(SchemaError):
+            si_db.scan_vid_range(txn, "accounts", 0, 10)
+        si_db.commit(txn)
+
+
+class TestEdgeCases:
+    def test_empty_bulk_insert(self, any_db):
+        txn = any_db.begin()
+        assert any_db.bulk_insert(txn, "accounts", []) == []
+        any_db.commit(txn)
+
+    def test_empty_vid_range(self, sias_db):
+        txn = sias_db.begin()
+        assert sias_db.scan_vid_range(txn, "accounts", 5, 5) == []
+        assert sias_db.scan_vid_range(txn, "accounts", 10, 3) == []
+        sias_db.commit(txn)
+
+    def test_bulk_insert_schema_validated(self, any_db):
+        from repro.common.errors import SchemaError
+        txn = any_db.begin()
+        with pytest.raises(SchemaError):
+            any_db.bulk_insert(txn, "accounts", [("bad", "row", 1.0)])
+        any_db.abort(txn)

@@ -1,0 +1,196 @@
+"""Unit tests for the common kernel: units, clock, RNG, config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import NURand, SimClock, make_rng, units
+from repro.common.config import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    FlushThreshold,
+    HddConfig,
+    PageLayout,
+    SystemConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestUnits:
+    def test_page_size_is_8k(self):
+        assert units.DB_PAGE_SIZE == 8192
+
+    def test_mib_roundtrip(self):
+        assert units.mib(units.as_bytes_mib(3.5)) == pytest.approx(3.5)
+
+    def test_usec_from_sec(self):
+        assert units.usec_from_sec(1.5) == 1_500_000
+
+    def test_sec_from_usec(self):
+        assert units.sec_from_usec(2_500_000) == pytest.approx(2.5)
+
+    def test_msec_from_usec(self):
+        assert units.msec_from_usec(1500) == pytest.approx(1.5)
+
+    def test_fmt_bytes_scales(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(3 * units.MIB) == "3.0 MiB"
+        assert units.fmt_bytes(2 * units.GIB) == "2.0 GiB"
+
+    def test_fmt_usec_scales(self):
+        assert units.fmt_usec(500) == "500 us"
+        assert units.fmt_usec(2 * units.MSEC) == "2.00 ms"
+        assert units.fmt_usec(3 * units.SEC) == "3.00 s"
+        assert units.fmt_usec(2 * units.MINUTE) == "2.00 min"
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(100)
+        clock.advance(0)
+        assert clock.now == 100
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-5)
+
+    def test_advance_to_moves_forward_only(self):
+        clock = SimClock(50)
+        clock.advance_to(80)
+        assert clock.now == 80
+        clock.advance_to(30)  # never backwards
+        assert clock.now == 80
+
+    def test_now_sec(self):
+        assert SimClock(2_000_000).now_sec == pytest.approx(2.0)
+
+
+class TestRng:
+    def test_same_scope_same_stream(self):
+        a = make_rng(1, "x")
+        b = make_rng(1, "x")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_different_scope_different_stream(self):
+        a = make_rng(1, "x")
+        b = make_rng(1, "y")
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_different_seed_different_stream(self):
+        assert make_rng(1, "x").random() != make_rng(2, "x").random()
+
+    def test_nurand_in_range(self):
+        nurand = NURand(make_rng(7))
+        for _ in range(500):
+            assert 1 <= nurand(1023, 1, 100) <= 100
+            assert 0 <= nurand(255, 0, 999) <= 999
+            assert 1 <= nurand(8191, 1, 5000) <= 5000
+
+    def test_nurand_rejects_bad_a(self):
+        nurand = NURand(make_rng(7))
+        with pytest.raises(ValueError):
+            nurand(100, 1, 10)
+
+    def test_nurand_rejects_empty_range(self):
+        nurand = NURand(make_rng(7))
+        with pytest.raises(ValueError):
+            nurand(255, 10, 1)
+
+    def test_nurand_is_nonuniform(self):
+        # the C constant skews the distribution away from uniform
+        nurand = NURand(make_rng(3))
+        draws = [nurand(255, 0, 255) for _ in range(4000)]
+        counts = [draws.count(v) for v in range(256)]
+        # a uniform distribution would put ~15.6 in each bucket; NURand's OR
+        # folding makes some buckets far denser
+        assert max(counts) > 3 * (len(draws) / 256)
+
+
+class TestConfig:
+    def test_default_system_config_valid(self):
+        SystemConfig().validate()
+
+    def test_flash_capacity_alignment(self):
+        bad = FlashConfig(capacity_bytes=8192 * 64 + 1)
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_flash_overprovision_range(self):
+        with pytest.raises(ConfigError):
+            FlashConfig(overprovision_ratio=0.95).validate()
+
+    def test_flash_needs_channels(self):
+        with pytest.raises(ConfigError):
+            FlashConfig(channels=0).validate()
+
+    def test_flash_block_size(self):
+        cfg = FlashConfig()
+        assert cfg.block_size == cfg.page_size * cfg.pages_per_block
+        assert cfg.total_pages * cfg.page_size == cfg.capacity_bytes
+
+    def test_hdd_alignment(self):
+        with pytest.raises(ConfigError):
+            HddConfig(capacity_bytes=8191).validate()
+
+    def test_buffer_minimum_pool(self):
+        with pytest.raises(ConfigError):
+            BufferConfig(pool_pages=2).validate()
+
+    def test_engine_fill_target_range(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(append_fill_target=0.0).validate()
+        with pytest.raises(ConfigError):
+            EngineConfig(append_fill_target=1.5).validate()
+
+    def test_engine_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.layout is PageLayout.VECTOR
+        assert cfg.flush_threshold is FlushThreshold.T2
+        assert cfg.vidmap_slots_per_bucket == 1024
+
+    def test_with_engine_replaces(self):
+        cfg = SystemConfig().with_engine(layout=PageLayout.NSM)
+        assert cfg.engine.layout is PageLayout.NSM
+        assert SystemConfig().engine.layout is PageLayout.VECTOR
+
+    def test_with_buffer_replaces(self):
+        cfg = SystemConfig().with_buffer(pool_pages=99)
+        assert cfg.buffer.pool_pages == 99
+
+    def test_extent_pages_validated(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(extent_pages=0).validate()
+
+
+class TestRenderHelpers:
+    def test_format_ratio(self):
+        from repro.experiments.render import format_ratio
+        assert format_ratio(33.0, 1.0) == "33.0x"
+        assert format_ratio(1.0, 0.0) == "inf"
+
+    def test_format_pct(self):
+        from repro.experiments.render import format_pct
+        assert format_pct(0.973) == "97%"
+        assert format_pct(-0.12) == "-12%"
+
+    def test_fmt_bool_and_large_floats(self):
+        from repro.experiments.render import format_table
+        table = format_table("t", ["a", "b", "c"],
+                             [[True, 123456.0, 0.0]])
+        assert "yes" in table and "123,456" in table and " 0 " in table

@@ -1,0 +1,114 @@
+"""TPC-C consistency-condition tests (the engine-correctness oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.config import BufferConfig, SystemConfig
+from repro.db.database import Database, EngineKind
+from repro.workload import consistency
+from repro.workload.driver import DriverConfig, TpccDriver
+from repro.workload.mixes import STANDARD_MIX, TxnType
+from repro.workload.tpcc_data import TpccLoader
+from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+from tests.conftest import SMALL_FLASH
+
+SCALE = TpccScale(districts_per_warehouse=3, customers_per_district=6,
+                  items=25, stock_per_warehouse=25,
+                  initial_orders_per_district=4,
+                  min_order_lines=2, max_order_lines=4)
+
+
+def _db(kind):
+    db = Database.on_flash(
+        kind, SystemConfig(flash=SMALL_FLASH,
+                           buffer=BufferConfig(pool_pages=256),
+                           extent_pages=16))
+    create_tpcc_tables(db)
+    TpccLoader(db, SCALE).load(2)
+    return db
+
+
+class TestAfterLoad:
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_fresh_load_is_consistent(self, kind):
+        report = consistency.check(_db(kind))
+        assert report.consistent, report.violations
+
+
+class TestAfterWorkload:
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_standard_mix_preserves_consistency(self, kind):
+        db = _db(kind)
+        driver = TpccDriver(db, 2, SCALE, config=DriverConfig(
+            clients=4, maintenance_interval_usec=units.SEC,
+            mix=dict(STANDARD_MIX)))
+        driver.run_for(4 * units.SEC)
+        report = consistency.check(db)
+        assert report.consistent, report.violations
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_conflict_storm_preserves_consistency(self, kind):
+        """Heavy contention: many aborts, consistency must still hold."""
+        db = _db(kind)
+        driver = TpccDriver(db, 2, SCALE, config=DriverConfig(
+            clients=8, maintenance_interval_usec=units.SEC,
+            mix={TxnType.NEW_ORDER: 0.6, TxnType.PAYMENT: 0.4}))
+        metrics = driver.run_for(4 * units.SEC)
+        assert metrics.serialization_aborts() > 0  # contention happened
+        report = consistency.check(db)
+        assert report.consistent, report.violations
+
+    def test_consistency_after_crash_recovery(self):
+        from repro.db.recovery import crash, recover
+
+        db = _db(EngineKind.SIASV)
+        driver = TpccDriver(db, 2, SCALE, config=DriverConfig(clients=4))
+        driver.run_for(2 * units.SEC)
+        crash(db)
+        recover(db)
+        report = consistency.check(db)
+        assert report.consistent, report.violations
+
+
+class TestDetectsCorruption:
+    def test_flags_broken_ytd(self):
+        db = _db(EngineKind.SIASV)
+        txn = db.begin()
+        (ref, row), = db.lookup(txn, "warehouse", "pk", 1)
+        db.update(txn, "warehouse", ref, row[:7] + (row[7] + 123.0,))
+        db.commit(txn)
+        report = consistency.check(db)
+        assert not report.consistent
+        assert any("condition 1" in v for v in report.violations)
+
+    def test_flags_broken_next_o_id(self):
+        db = _db(EngineKind.SIASV)
+        txn = db.begin()
+        (ref, row), = db.lookup(txn, "district", "pk", (1, 1))
+        db.update(txn, "district", ref, row[:9] + (row[9] + 5,))
+        db.commit(txn)
+        report = consistency.check(db)
+        assert any("condition 2" in v for v in report.violations)
+
+    def test_flags_duplicate_pk(self):
+        db = _db(EngineKind.SIASV)
+        txn = db.begin()
+        db.insert(txn, "item", (1, 1, "dup", 1.0, "x"))  # id 1 exists
+        db.commit(txn)
+        report = consistency.check(db)
+        assert any("condition 6" in v for v in report.violations)
+
+    def test_flags_missing_order_line(self):
+        db = _db(EngineKind.SIASV)
+        txn = db.begin()
+        hits = db.range_lookup(txn, "order_line", "pk",
+                               (1, 1, 1, 0), (1, 1, 1, 99))
+        db.delete(txn, "order_line", hits[0][0])
+        db.commit(txn)
+        report = consistency.check(db)
+        assert any("condition" in v for v in report.violations)

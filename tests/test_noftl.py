@@ -1,0 +1,150 @@
+"""NoFTL raw-flash tests: semantics, engine compatibility, the A5 shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.clock import SimClock
+from repro.common.config import (
+    BufferConfig,
+    FlashConfig,
+    SystemConfig,
+)
+from repro.common.errors import ReadUnwrittenError, StorageError
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
+from repro.db.schema import ColType, Schema
+from repro.experiments import ablation_noftl
+from repro.storage.flash import FlashDevice
+from repro.storage.noftl import NoFtlFlashDevice
+
+TINY = FlashConfig(capacity_bytes=4 * units.MIB)
+PAGE = units.DB_PAGE_SIZE
+
+
+def _payload(tag: int) -> bytes:
+    return bytes([tag % 256]) * PAGE
+
+
+class TestRawFlashSemantics:
+    def test_write_read_roundtrip(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        device.write_page(5, _payload(1))
+        assert device.read_page(5) == _payload(1)
+
+    def test_overwrite_without_erase_is_an_error(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        device.write_page(0, _payload(1))
+        with pytest.raises(StorageError):
+            device.write_page(0, _payload(2))
+
+    def test_trim_marks_dead_and_block_erases_when_full_dead(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        block_pages = device.pages_per_block
+        for lba in range(block_pages):
+            device.write_page(lba, _payload(lba))
+        for lba in range(block_pages - 1):
+            device.trim(lba)
+        assert device.erases == 0  # one page still valid
+        assert device.page_state(0) == "dead"
+        device.trim(block_pages - 1)
+        assert device.erases == 1  # whole block died: deterministic erase
+        assert device.page_state(0) == "erased"
+
+    def test_erased_page_programmable_again(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        block_pages = device.pages_per_block
+        for lba in range(block_pages):
+            device.write_page(lba, _payload(lba))
+        for lba in range(block_pages):
+            device.trim(lba)
+        device.write_page(0, _payload(9))  # no error: block was erased
+        assert device.read_page(0) == _payload(9)
+
+    def test_dead_page_not_readable(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        device.write_page(0, _payload(0))
+        device.trim(0)
+        with pytest.raises(ReadUnwrittenError):
+            device.read_page(0)
+
+    def test_writable_hint(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        assert device.writable_hint(3)
+        device.write_page(3, _payload(3))
+        assert not device.writable_hint(3)
+
+    def test_write_amp_is_one_by_construction(self, clock):
+        device = NoFtlFlashDevice(clock, TINY)
+        assert device.write_amplification == 1.0
+
+
+def _db_on(device_cls, clock=None):
+    clock = clock or SimClock()
+    config = SystemConfig(flash=TINY,
+                          buffer=BufferConfig(pool_pages=64),
+                          extent_pages=FlashConfig().pages_per_block)
+    data = device_cls(clock, TINY, name="data")
+    wal = FlashDevice(clock, TINY, name="wal")
+    db = Database(
+        EngineKind.SIASV if device_cls is NoFtlFlashDevice
+        else EngineKind.SI, data, wal, config)
+    return db
+
+
+class TestEngineCompatibility:
+    def test_sias_runs_on_raw_flash(self):
+        db = _db_on(NoFtlFlashDevice)
+        schema = Schema.of(("id", ColType.INT), ("v", ColType.INT))
+        db.create_table("t", schema,
+                        indexes=[IndexDef("pk", ("id",), unique=True)])
+        txn = db.begin()
+        refs = [db.insert(txn, "t", (i, 0)) for i in range(300)]
+        db.commit(txn)
+        for round_ in range(10):
+            txn = db.begin()
+            for ref in refs[:50]:
+                row = db.read(txn, "t", ref)
+                db.update(txn, "t", ref, (row[0], row[1] + 1))
+            db.commit(txn)
+            db.maintenance()
+        txn = db.begin()
+        assert len(list(db.scan(txn, "t"))) == 300
+        db.commit(txn)
+
+    def test_si_baseline_cannot_run_on_raw_flash(self):
+        """In-place writeback programs a non-erased page: raw flash says no."""
+        clock = SimClock()
+        config = SystemConfig(flash=TINY, buffer=BufferConfig(pool_pages=64))
+        data = NoFtlFlashDevice(clock, TINY, name="data")
+        wal = FlashDevice(clock, TINY, name="wal")
+        db = Database(EngineKind.SI, data, wal, config)
+        schema = Schema.of(("id", ColType.INT), ("v", ColType.INT))
+        db.create_table("t", schema,
+                        indexes=[IndexDef("pk", ("id",), unique=True)])
+        with pytest.raises(StorageError):
+            for round_ in range(20):
+                txn = db.begin()
+                if round_ == 0:
+                    ref = db.insert(txn, "t", (1, 0))
+                else:
+                    ref, row = db.lookup(txn, "t", "pk", 1)[0]
+                    db.update(txn, "t", ref, (1, round_))
+                db.commit(txn)
+                db.checkpointer.run_now()  # heap page rewritten in place
+
+
+class TestA5Shape:
+    def test_noftl_latency_tail_flat(self):
+        result = ablation_noftl.run(rows=200, updates=8000,
+                                    capacity_mib=6, gc_every=800,
+                                    cold_rows=100)
+        by = {row[0]: row for row in result.rows}
+        # NoFTL host writes never stall behind erases
+        assert result.max_latency["noftl"] == 400
+        assert result.max_latency["ftl"] > result.max_latency["noftl"]
+        # write counts comparable: same workload, same engine
+        assert abs(by["ftl"][1] - by["noftl"][1]) <= 0.1 * by["ftl"][1]
+        # raw flash never amplifies
+        assert result.write_amp["noftl"] == 1.0

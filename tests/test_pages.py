@@ -1,0 +1,335 @@
+"""Unit tests for page formats: codecs, slotted heap, append, VIDmap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.config import PageLayout
+from repro.common.errors import (
+    PageCorruptError,
+    PageFullError,
+    SlotError,
+)
+from repro.pages.append_page import VECTOR_META_SIZE, AppendPage
+from repro.pages.base import PAGE_HEADER_SIZE, Page, PageKind
+from repro.pages.layout import (
+    HEAP_HEADER_SIZE,
+    NULL_TID_BYTES,
+    TID_SIZE,
+    VERSION_HEADER_SIZE,
+    XMAX_INFINITY,
+    HeapTuple,
+    Tid,
+    VersionRecord,
+)
+from repro.pages.slotted import SlottedHeapPage
+from repro.pages.vidmap_page import VidMapPage
+
+
+class TestTid:
+    def test_roundtrip(self):
+        tid = Tid(123456, 789)
+        assert Tid.unpack(tid.pack()) == tid
+
+    def test_packed_size_matches_postgres(self):
+        assert TID_SIZE == 6
+        assert len(Tid(0, 0).pack()) == 6
+
+    def test_null_pattern(self):
+        assert Tid.unpack(NULL_TID_BYTES) is None
+
+    def test_ordering(self):
+        assert Tid(1, 5) < Tid(2, 0)
+        assert Tid(1, 5) < Tid(1, 6)
+
+
+class TestVersionRecord:
+    def test_roundtrip_with_pred(self):
+        record = VersionRecord(create_ts=42, vid=7, pred=Tid(3, 1),
+                               tombstone=False, payload=b"data!")
+        back, offset = VersionRecord.unpack(record.pack())
+        assert back == record
+        assert offset == record.size
+
+    def test_roundtrip_without_pred(self):
+        record = VersionRecord(5, 0, None, True, b"")
+        back, _ = VersionRecord.unpack(record.pack())
+        assert back.pred is None
+        assert back.tombstone
+
+    def test_no_invalidation_field(self):
+        """The on-tuple info has no xmax — invalidation is implicit."""
+        record = VersionRecord(1, 1, None, False, b"x")
+        assert not hasattr(record, "xmax")
+        assert record.size == VERSION_HEADER_SIZE + 1
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(PageCorruptError):
+            VersionRecord.unpack(b"\x00" * (VERSION_HEADER_SIZE - 1))
+
+    def test_truncated_payload_raises(self):
+        record = VersionRecord(1, 1, None, False, b"abcdef")
+        with pytest.raises(PageCorruptError):
+            VersionRecord.unpack(record.pack()[:-2])
+
+
+class TestHeapTuple:
+    def test_roundtrip(self):
+        t = HeapTuple(xmin=10, xmax=20, tombstone=False, payload=b"row")
+        back, _ = HeapTuple.unpack(t.pack())
+        assert back == t
+
+    def test_live_tuple_has_infinite_xmax(self):
+        t = HeapTuple(1, XMAX_INFINITY, False, b"")
+        assert not t.invalidated
+
+    def test_with_xmax_is_the_in_place_update(self):
+        t = HeapTuple(1, XMAX_INFINITY, False, b"abc")
+        stamped = t.with_xmax(9)
+        assert stamped.invalidated and stamped.xmax == 9
+        assert stamped.payload == t.payload and stamped.xmin == t.xmin
+
+
+class TestSlottedHeapPage:
+    def _tuple(self, n=0, size=50):
+        return HeapTuple(n, XMAX_INFINITY, False, bytes(size))
+
+    def test_insert_read(self):
+        page = SlottedHeapPage(0)
+        slot = page.insert(self._tuple(1))
+        assert page.read(slot).xmin == 1
+
+    def test_slots_sequential(self):
+        page = SlottedHeapPage(0)
+        assert [page.insert(self._tuple(i)) for i in range(5)] == \
+            list(range(5))
+
+    def test_set_xmax_in_place(self):
+        page = SlottedHeapPage(0)
+        slot = page.insert(self._tuple())
+        page.set_xmax(slot, 99)
+        assert page.read(slot).xmax == 99
+
+    def test_page_full(self):
+        page = SlottedHeapPage(0)
+        big = HeapTuple(1, XMAX_INFINITY, False, bytes(4000))
+        page.insert(big)
+        page.insert(big)
+        with pytest.raises(PageFullError):
+            page.insert(big)
+
+    def test_free_bytes_decrease(self):
+        page = SlottedHeapPage(0)
+        before = page.free_bytes()
+        page.insert(self._tuple(size=100))
+        assert page.free_bytes() < before - 100
+
+    def test_kill_frees_space(self):
+        page = SlottedHeapPage(0)
+        slot = page.insert(self._tuple(size=500))
+        before = page.free_bytes()
+        page.kill(slot)
+        assert page.free_bytes() > before
+        with pytest.raises(SlotError):
+            page.read(slot)
+
+    def test_kill_twice_raises(self):
+        page = SlottedHeapPage(0)
+        slot = page.insert(self._tuple())
+        page.kill(slot)
+        with pytest.raises(SlotError):
+            page.kill(slot)
+
+    def test_killed_slot_not_reused(self):
+        page = SlottedHeapPage(0)
+        slot = page.insert(self._tuple(1))
+        page.kill(slot)
+        new_slot = page.insert(self._tuple(2))
+        assert new_slot != slot  # TIDs stay stable
+
+    def test_out_of_range_slot(self):
+        page = SlottedHeapPage(0)
+        with pytest.raises(SlotError):
+            page.read(3)
+
+    def test_serialise_roundtrip_with_dead_slots(self):
+        page = SlottedHeapPage(7)
+        s0 = page.insert(self._tuple(1, 30))
+        s1 = page.insert(self._tuple(2, 40))
+        s2 = page.insert(self._tuple(3, 50))
+        page.kill(s1)
+        page.set_xmax(s0, 77)
+        back = Page.from_bytes(page.to_bytes())
+        assert isinstance(back, SlottedHeapPage)
+        assert back.page_no == 7
+        assert back.read(s0).xmax == 77
+        assert back.read(s2).xmin == 3
+        with pytest.raises(SlotError):
+            back.read(s1)
+        assert back.live_slots() == [s0, s2]
+
+    def test_tuples_iterates_live_only(self):
+        page = SlottedHeapPage(0)
+        s0 = page.insert(self._tuple(1))
+        s1 = page.insert(self._tuple(2))
+        page.kill(s0)
+        assert [slot for slot, _ in page.tuples()] == [s1]
+
+
+class TestAppendPage:
+    def _record(self, ts=1, vid=0, size=40, pred=None, tomb=False):
+        return VersionRecord(ts, vid, pred, tomb, bytes(size))
+
+    @pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR])
+    def test_roundtrip(self, layout):
+        page = AppendPage(9, layout)
+        page.append(self._record(1, 10, 30))
+        page.append(self._record(2, 10, 60, pred=Tid(9, 0)))
+        page.append(self._record(3, 11, 0, tomb=True))
+        back = Page.from_bytes(page.to_bytes())
+        assert isinstance(back, AppendPage)
+        assert back.layout is layout
+        assert back.record_count == 3
+        assert back.read(1).pred == Tid(9, 0)
+        assert back.read(2).tombstone
+        assert back.read(0).payload == bytes(30)
+
+    @pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR])
+    def test_append_until_full(self, layout):
+        page = AppendPage(0, layout)
+        record = self._record(size=100)
+        count = 0
+        while page.fits(record):
+            page.append(record)
+            count += 1
+        assert count > 50
+        with pytest.raises(PageFullError):
+            page.append(record)
+
+    def test_vector_meta_scan_cheaper(self):
+        nsm = AppendPage(0, PageLayout.NSM)
+        vec = AppendPage(0, PageLayout.VECTOR)
+        for i in range(40):
+            nsm.append(self._record(i, i, 150))
+            vec.append(self._record(i, i, 150))
+        assert vec.meta_scan_bytes() < nsm.meta_scan_bytes() / 3
+
+    def test_meta_matches_full_record(self):
+        page = AppendPage(0, PageLayout.VECTOR)
+        page.append(self._record(5, 3, 20, pred=Tid(1, 2)))
+        ts, vid, pred, tomb = page.read_meta(0)
+        record = page.read(0)
+        assert (ts, vid, pred, tomb) == (record.create_ts, record.vid,
+                                         record.pred, record.tombstone)
+
+    def test_fill_degree_monotone(self):
+        page = AppendPage(0, PageLayout.VECTOR)
+        fills = []
+        for i in range(10):
+            page.append(self._record(size=200))
+            fills.append(page.fill_degree())
+        assert fills == sorted(fills)
+        assert 0 < fills[0] < fills[-1] <= 1.0
+
+    def test_kind_tracks_layout(self):
+        assert AppendPage(0, PageLayout.NSM).kind is PageKind.APPEND_NSM
+        assert AppendPage(0, PageLayout.VECTOR).kind is PageKind.APPEND_VECTOR
+
+    def test_empty_page_roundtrip(self):
+        page = AppendPage(4, PageLayout.VECTOR)
+        back = Page.from_bytes(page.to_bytes())
+        assert back.record_count == 0
+
+    def test_slot_bounds(self):
+        page = AppendPage(0, PageLayout.NSM)
+        page.append(self._record())
+        with pytest.raises(SlotError):
+            page.read(1)
+
+    def test_vector_records_cost_offset_entry(self):
+        page = AppendPage(0, PageLayout.VECTOR)
+        before = page.free_bytes()
+        page.append(self._record(size=10))
+        assert before - page.free_bytes() == VECTOR_META_SIZE + 10
+
+
+class TestVidMapPage:
+    def test_default_capacity_is_1024(self):
+        page = VidMapPage(0)
+        assert page.slots_per_bucket == 1024
+
+    def test_many_more_tids_would_fit_but_we_cap_at_1024(self):
+        """The prototype caps at 1024 TIDs although ~1360 fit the page."""
+        capacity = units.DB_PAGE_SIZE - PAGE_HEADER_SIZE
+        assert capacity // TID_SIZE > 1300
+        with pytest.raises(SlotError):
+            VidMapPage(0, slots_per_bucket=1400)
+
+    def test_get_set(self):
+        page = VidMapPage(0)
+        assert page.get(0) is None
+        page.set(0, Tid(5, 6))
+        assert page.get(0) == Tid(5, 6)
+        page.set(0, None)
+        assert page.get(0) is None
+
+    def test_occupied_counts(self):
+        page = VidMapPage(0)
+        page.set(1, Tid(0, 0))
+        page.set(1000, Tid(1, 1))
+        assert page.occupied() == 2
+
+    def test_slot_bounds(self):
+        page = VidMapPage(0)
+        with pytest.raises(SlotError):
+            page.get(1024)
+        with pytest.raises(SlotError):
+            page.set(-1, None)
+
+    def test_roundtrip(self):
+        page = VidMapPage(3)
+        page.set(0, Tid(1, 2))
+        page.set(512, Tid(3, 4))
+        back = Page.from_bytes(page.to_bytes())
+        assert isinstance(back, VidMapPage)
+        assert back.get(0) == Tid(1, 2)
+        assert back.get(512) == Tid(3, 4)
+        assert back.get(511) is None
+
+
+class TestPageBase:
+    def test_checksum_detects_corruption(self):
+        page = SlottedHeapPage(0)
+        page.insert(HeapTuple(1, XMAX_INFINITY, False, b"payload"))
+        raw = bytearray(page.to_bytes())
+        raw[PAGE_HEADER_SIZE + 4] ^= 0xFF  # flip a bit inside the payload
+        with pytest.raises(PageCorruptError):
+            Page.from_bytes(bytes(raw))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PageCorruptError):
+            Page.from_bytes(b"\x00" * units.DB_PAGE_SIZE)
+
+    def test_serialised_size_is_exact(self):
+        for page in (SlottedHeapPage(0), AppendPage(0, PageLayout.VECTOR),
+                     VidMapPage(0)):
+            assert len(page.to_bytes()) == units.DB_PAGE_SIZE
+
+    def test_peek_kind(self):
+        page = VidMapPage(0)
+        assert Page.peek_kind(page.to_bytes()) is PageKind.VIDMAP
+
+    def test_dispatch_by_kind(self):
+        pages = [SlottedHeapPage(1), AppendPage(2, PageLayout.NSM),
+                 AppendPage(3, PageLayout.VECTOR), VidMapPage(4)]
+        kinds = [PageKind.HEAP, PageKind.APPEND_NSM, PageKind.APPEND_VECTOR,
+                 PageKind.VIDMAP]
+        for page, kind in zip(pages, kinds):
+            back = Page.from_bytes(page.to_bytes())
+            assert back.kind is kind
+            assert back.page_no == page.page_no
+
+    def test_heap_header_sizes(self):
+        assert HEAP_HEADER_SIZE == 19
+        assert VERSION_HEADER_SIZE == 25

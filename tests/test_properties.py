@@ -1,0 +1,219 @@
+"""Cross-cutting hypothesis property tests on core data structures.
+
+Complements the per-module unit tests with randomised invariants: binary
+round-trips for every page format, FTL bookkeeping under arbitrary
+write/trim interleavings, VIDmap-vs-dict equivalence, and row-codec
+round-trips over randomly generated schemas.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import units
+from repro.common.config import FlashConfig, PageLayout
+from repro.common.rng import make_rng
+from repro.core.vidmap import VidMap
+from repro.db.row import RowCodec
+from repro.db.schema import ColType, Schema
+from repro.pages.append_page import AppendPage
+from repro.pages.base import Page
+from repro.pages.layout import XMAX_INFINITY, HeapTuple, Tid, VersionRecord
+from repro.pages.slotted import SlottedHeapPage
+from repro.storage.ftl import PageMappedFtl
+
+# --- strategies ---------------------------------------------------------------
+
+tids = st.one_of(
+    st.none(),
+    st.builds(Tid, st.integers(0, 2**31 - 1), st.integers(0, 2**15 - 1)))
+
+version_records = st.builds(
+    VersionRecord,
+    create_ts=st.integers(0, 2**40),
+    vid=st.integers(0, 2**40),
+    pred=tids,
+    tombstone=st.booleans(),
+    payload=st.binary(max_size=300),
+)
+
+heap_tuples = st.builds(
+    HeapTuple,
+    xmin=st.integers(0, 2**40),
+    xmax=st.one_of(st.just(XMAX_INFINITY), st.integers(0, 2**40)),
+    tombstone=st.booleans(),
+    payload=st.binary(max_size=300),
+)
+
+
+class TestPageRoundtrips:
+    @given(st.lists(version_records, max_size=20),
+           st.sampled_from([PageLayout.NSM, PageLayout.VECTOR]))
+    @settings(max_examples=80, deadline=None)
+    def test_append_page(self, records, layout):
+        page = AppendPage(7, layout)
+        stored = []
+        for record in records:
+            if page.fits(record):
+                page.append(record)
+                stored.append(record)
+        back = Page.from_bytes(page.to_bytes())
+        assert isinstance(back, AppendPage)
+        assert back.record_count == len(stored)
+        for slot, record in enumerate(stored):
+            assert back.read(slot) == record
+
+    @given(st.lists(heap_tuples, max_size=20),
+           st.lists(st.integers(0, 19), max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_slotted_page_with_kills(self, tuples, kills):
+        page = SlottedHeapPage(3)
+        stored: dict[int, HeapTuple] = {}
+        for tuple_ in tuples:
+            if page.fits(tuple_):
+                stored[page.insert(tuple_)] = tuple_
+        for slot in kills:
+            if slot in stored:
+                page.kill(slot)
+                del stored[slot]
+        back = Page.from_bytes(page.to_bytes())
+        assert isinstance(back, SlottedHeapPage)
+        assert set(back.live_slots()) == set(stored)
+        for slot, tuple_ in stored.items():
+            assert back.read(slot) == tuple_
+
+    @given(st.lists(version_records, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_layouts_hold_identical_content(self, records):
+        nsm = AppendPage(0, PageLayout.NSM)
+        vec = AppendPage(0, PageLayout.VECTOR)
+        for record in records:
+            if nsm.fits(record) and vec.fits(record):
+                nsm.append(record)
+                vec.append(record)
+        assert nsm.record_count == vec.record_count
+        for slot in range(nsm.record_count):
+            assert nsm.read(slot) == vec.read(slot)
+            assert nsm.read_meta(slot) == vec.read_meta(slot)
+
+
+class TestFtlProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["write", "trim"]),
+                              st.integers(0, 63)),
+                    max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_count_matches_mapping(self, ops):
+        ftl = PageMappedFtl(FlashConfig(capacity_bytes=4 * units.MIB))
+        live: set[int] = set()
+        for op, lpn in ops:
+            if op == "write":
+                ftl.host_write(lpn)
+                live.add(lpn)
+            else:
+                ftl.host_trim(lpn)
+                live.discard(lpn)
+        total_valid = sum(ftl.valid_pages_in(b) for b in range(ftl.n_blocks))
+        assert total_valid == len(live)
+        for lpn in live:
+            assert ftl.physical_of(lpn) is not None
+        assert ftl.stats.write_amplification >= 1.0 or not live
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=600))
+    @settings(max_examples=30, deadline=None)
+    def test_mapping_always_unique(self, lpns):
+        ftl = PageMappedFtl(FlashConfig(capacity_bytes=4 * units.MIB))
+        for lpn in lpns:
+            ftl.host_write(lpn)
+        physical = [ftl.physical_of(lpn) for lpn in set(lpns)]
+        assert len(physical) == len(set(physical))  # no aliased pages
+
+
+class TestVidMapProperties:
+    @given(st.lists(st.tuples(st.integers(0, 200),
+                              st.one_of(st.none(),
+                                        st.integers(0, 1000))),
+                    max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        vidmap = VidMap(slots_per_bucket=16)
+        model: dict[int, Tid] = {}
+        for vid, page_no in ops:
+            if page_no is None:
+                vidmap.set(vid, None)
+                model.pop(vid, None)
+            else:
+                tid = Tid(page_no, 0)
+                vidmap.set(vid, tid)
+                model[vid] = tid
+        for vid in range(201):
+            assert vidmap.get(vid) == model.get(vid)
+        assert dict(vidmap.entries()) == model
+        assert vidmap.item_count() == len(model)
+
+
+names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    min_size=1, max_size=6, unique=True)
+types = st.sampled_from([ColType.INT, ColType.FLOAT, ColType.STR])
+
+
+class TestRowCodecProperties:
+    @given(names, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_over_random_schemas(self, columns, data):
+        col_types = [data.draw(types) for _ in columns]
+        schema = Schema.of(*zip(columns, col_types))
+        row = []
+        for col_type in col_types:
+            if col_type is ColType.INT:
+                row.append(data.draw(st.integers(-2**60, 2**60)))
+            elif col_type is ColType.FLOAT:
+                row.append(data.draw(st.floats(allow_nan=False,
+                                               allow_infinity=False,
+                                               width=32)))
+            else:
+                row.append(data.draw(st.text(max_size=40)))
+        codec = RowCodec(schema)
+        decoded = codec.decode(codec.encode(tuple(row)))
+        for original, got, col_type in zip(row, decoded, col_types):
+            if col_type is ColType.FLOAT:
+                assert got == pytest.approx(original)
+            else:
+                assert got == original
+
+
+class TestMetamorphic:
+    """Relations between whole simulation runs."""
+
+    def _run(self, think_ms: int, seed: int = 9):
+        from repro.common.config import BufferConfig, SystemConfig
+        from repro.db.database import Database, EngineKind
+        from repro.workload.driver import DriverConfig, TpccDriver
+        from repro.workload.mixes import TxnType
+        from repro.workload.tpcc_data import TpccLoader
+        from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+        from tests.conftest import SMALL_FLASH
+
+        scale = TpccScale(districts_per_warehouse=3,
+                          customers_per_district=6, items=20,
+                          stock_per_warehouse=20,
+                          initial_orders_per_district=3)
+        db = Database.on_flash(
+            EngineKind.SIASV,
+            SystemConfig(flash=SMALL_FLASH,
+                         buffer=BufferConfig(pool_pages=256),
+                         extent_pages=16))
+        create_tpcc_tables(db)
+        TpccLoader(db, scale, seed=seed).load(2)
+        driver = TpccDriver(db, 2, scale, config=DriverConfig(
+            clients=2, think_time_usec=think_ms * units.MSEC,
+            mix={TxnType.ORDER_STATUS: 1.0}), seed=seed)
+        return driver.run_for(3 * units.SEC)
+
+    def test_doubling_think_time_halves_read_only_throughput(self):
+        fast = self._run(think_ms=10)
+        slow = self._run(think_ms=20)
+        ratio = len(fast.outcomes) / max(1, len(slow.outcomes))
+        assert 1.6 < ratio < 2.4  # rate-limited regime scales inversely

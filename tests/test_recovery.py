@@ -1,0 +1,212 @@
+"""Crash-recovery tests: durability semantics after simulated power loss.
+
+The contract: everything a *committed* transaction wrote survives a crash
+(commit forces the WAL); uncommitted work disappears; the SIAS-V in-memory
+structures (VIDmap, working page, index trees) are fully rebuilt from the
+immutable sealed pages plus WAL redo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import EngineKind
+from repro.db.recovery import crash, recover
+from repro.wal.records import WalRecordType
+from tests.conftest import make_accounts_db
+
+
+def _rows(db) -> dict[int, tuple]:
+    txn = db.begin()
+    state = {row[0]: row for _ref, row in db.scan(txn, "accounts")}
+    db.commit(txn)
+    return state
+
+
+class TestWalDurability:
+    def test_commit_makes_records_durable(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "a", 1.0))
+        assert all(r.type is not WalRecordType.INSERT
+                   for r in sias_db.wal.durable_records())
+        sias_db.commit(txn)
+        durable = sias_db.wal.durable_records()
+        assert any(r.type is WalRecordType.INSERT for r in durable)
+        assert any(r.type is WalRecordType.COMMIT for r in durable)
+
+    def test_uncommitted_tail_not_durable(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "a", 1.0))
+        # no commit: the INSERT sits in the volatile tail
+        tail = [r for r in sias_db.wal.replay()
+                if r.type is WalRecordType.INSERT]
+        assert tail and tail[0] not in sias_db.wal.durable_records()
+
+    def test_records_carry_relation_id(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "a", 1.0))
+        sias_db.commit(txn)
+        inserts = [r for r in sias_db.wal.durable_records()
+                   if r.type is WalRecordType.INSERT]
+        assert inserts[0].relation_id == \
+            sias_db.table("accounts").relation_id
+
+
+class TestSiasRecovery:
+    def test_committed_data_survives(self, sias_db):
+        txn = sias_db.begin()
+        for i in range(30):
+            sias_db.insert(txn, "accounts", (i, f"u{i}", float(i)))
+        sias_db.commit(txn)
+        before = _rows(sias_db)
+        crash(sias_db)
+        report = recover(sias_db)
+        assert _rows(sias_db) == before
+        assert report.index_entries_rebuilt > 0
+
+    def test_working_page_versions_redone_from_wal(self, sias_db):
+        """Versions that never reached a sealed page come back via redo."""
+        txn = sias_db.begin()
+        refs = [sias_db.insert(txn, "accounts", (i, "u", float(i)))
+                for i in range(5)]
+        sias_db.commit(txn)
+        engine = sias_db.table("accounts").engine
+        assert engine.store.stats.sealed_pages == 0  # all in working page
+        before = _rows(sias_db)
+        crash(sias_db)
+        report = recover(sias_db)
+        assert _rows(sias_db) == before
+        assert report.engine_reports["accounts"].redo_applied >= 5
+
+    def test_uncommitted_work_disappears(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "committed", 1.0))
+        sias_db.commit(txn)
+        doomed = sias_db.begin()
+        sias_db.insert(doomed, "accounts", (2, "phantom", 2.0))
+        hits = sias_db.lookup(doomed, "accounts", "pk", 1)
+        sias_db.update(doomed, "accounts", hits[0][0],
+                       (1, "mutated", 9.0))
+        crash(sias_db)  # doomed never committed
+        recover(sias_db)
+        state = _rows(sias_db)
+        assert state == {1: (1, "committed", 1.0)}
+
+    def test_updates_recover_to_newest_committed(self, sias_db):
+        txn = sias_db.begin()
+        ref = sias_db.insert(txn, "accounts", (1, "v0", 0.0))
+        sias_db.commit(txn)
+        for i in range(1, 6):
+            txn = sias_db.begin()
+            sias_db.update(txn, "accounts", ref, (1, f"v{i}", float(i)))
+            sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        assert _rows(sias_db)[1] == (1, "v5", 5.0)
+
+    def test_deletes_survive(self, sias_db):
+        txn = sias_db.begin()
+        keep = sias_db.insert(txn, "accounts", (1, "keep", 0.0))
+        gone = sias_db.insert(txn, "accounts", (2, "gone", 0.0))
+        sias_db.commit(txn)
+        txn = sias_db.begin()
+        sias_db.delete(txn, "accounts", gone)
+        sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        assert set(_rows(sias_db)) == {1}
+
+    def test_recovery_after_gc_and_page_recycling(self, sias_db):
+        txn = sias_db.begin()
+        refs = [sias_db.insert(txn, "accounts", (i, "x" * 60, 0.0))
+                for i in range(10)]
+        sias_db.commit(txn)
+        for round_ in range(15):
+            txn = sias_db.begin()
+            for ref in refs:
+                row = sias_db.read(txn, "accounts", ref)
+                sias_db.update(txn, "accounts", ref,
+                               (row[0], "x" * 60, row[2] + 1))
+            sias_db.commit(txn)
+            if round_ % 4 == 3:
+                sias_db.maintenance()
+        before = _rows(sias_db)
+        crash(sias_db)
+        report = recover(sias_db)
+        assert _rows(sias_db) == before
+        assert report.engine_reports["accounts"].pages_reusable >= 0
+
+    def test_new_inserts_work_after_recovery(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "old", 0.0))
+        sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        txn = sias_db.begin()
+        ref = sias_db.insert(txn, "accounts", (2, "new", 1.0))
+        sias_db.commit(txn)
+        txn = sias_db.begin()
+        # VID allocation resumed above recovered items: no collision
+        assert len(sias_db.lookup(txn, "accounts", "pk", 1)) == 1
+        assert len(sias_db.lookup(txn, "accounts", "pk", 2)) == 1
+        sias_db.commit(txn)
+
+    def test_index_lookups_after_recovery(self, sias_db):
+        txn = sias_db.begin()
+        for i in range(20):
+            sias_db.insert(txn, "accounts", (i, f"grp{i % 4}", float(i)))
+        sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        txn = sias_db.begin()
+        hits = sias_db.lookup(txn, "accounts", "by_owner", "grp2")
+        assert sorted(r[0] for _x, r in hits) == [2, 6, 10, 14, 18]
+        sias_db.commit(txn)
+
+    def test_double_crash_recover(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "a", 1.0))
+        sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (2, "b", 2.0))
+        sias_db.commit(txn)
+        crash(sias_db)
+        recover(sias_db)
+        assert set(_rows(sias_db)) == {1, 2}
+
+
+class TestSiRecovery:
+    def test_checkpoint_consistent_recovery(self, si_db):
+        txn = si_db.begin()
+        for i in range(15):
+            si_db.insert(txn, "accounts", (i, "u", float(i)))
+        si_db.commit(txn)
+        si_db.checkpointer.run_now()  # make the heap durable
+        before = _rows(si_db)
+        crash(si_db)
+        report = recover(si_db)
+        assert _rows(si_db) == before
+        assert report.heap_pages_recovered["accounts"] >= 1
+
+    def test_unflushed_heap_mutations_lost_without_checkpoint(self, si_db):
+        txn = si_db.begin()
+        si_db.insert(txn, "accounts", (1, "a", 1.0))
+        si_db.commit(txn)
+        # no checkpoint: dirty heap pages die with the buffer pool
+        crash(si_db)
+        recover(si_db)
+        assert _rows(si_db) == {}
+
+    def test_post_checkpoint_updates_lost_but_consistent(self, si_db):
+        txn = si_db.begin()
+        ref = si_db.insert(txn, "accounts", (1, "v0", 0.0))
+        si_db.commit(txn)
+        si_db.checkpointer.run_now()
+        txn = si_db.begin()
+        si_db.update(txn, "accounts", ref, (1, "v1", 1.0))
+        si_db.commit(txn)
+        crash(si_db)  # the update only lived in the buffer pool
+        recover(si_db)
+        assert _rows(si_db)[1] == (1, "v0", 0.0)  # checkpoint-consistent

@@ -1,0 +1,228 @@
+"""Baseline SI engine semantics: in-place invalidation, FSM, VACUUM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.fsm import FreeSpaceMap
+from repro.baseline.vacuum import Vacuum
+from repro.common.errors import SerializationError
+from repro.pages.layout import XMAX_INFINITY
+
+
+def _seed(engine, txn_mgr, payload=b"v0"):
+    txn = txn_mgr.begin()
+    tid = engine.insert(txn, payload)
+    txn_mgr.commit(txn)
+    return tid
+
+
+class TestFsm:
+    def test_register_sequentially(self):
+        fsm = FreeSpaceMap()
+        fsm.register_page(0, 100)
+        with pytest.raises(ValueError):
+            fsm.register_page(5, 100)
+
+    def test_find_page_first_fit(self):
+        fsm = FreeSpaceMap()
+        fsm.register_page(0, 10)
+        fsm.register_page(1, 500)
+        assert fsm.find_page(100) == 1
+        assert fsm.find_page(1000) is None
+
+    def test_cursor_rotates(self):
+        fsm = FreeSpaceMap()
+        for i in range(4):
+            fsm.register_page(i, 500)
+        hits = [fsm.find_page(100) for _ in range(4)]
+        assert sorted(hits) == [0, 1, 2, 3]  # spread over all pages
+
+    def test_update_and_total(self):
+        fsm = FreeSpaceMap()
+        fsm.register_page(0, 100)
+        fsm.update(0, 40)
+        assert fsm.free_bytes(0) == 40
+        assert fsm.total_free() == 40
+
+
+class TestVisibility:
+    def test_basic_insert_visibility(self, si_engine, txn_mgr):
+        writer = txn_mgr.begin()
+        tid = si_engine.insert(writer, b"row")
+        assert si_engine.read(writer, tid) == b"row"
+        reader = txn_mgr.begin()
+        assert si_engine.read(reader, tid) is None
+        txn_mgr.commit(writer)
+        txn_mgr.commit(reader)
+        late = txn_mgr.begin()
+        assert si_engine.read(late, tid) == b"row"
+        txn_mgr.commit(late)
+
+    def test_update_stamps_xmax_in_place(self, si_engine, txn_mgr):
+        """The exact physical behaviour SIAS-V eliminates."""
+        tid = _seed(si_engine, txn_mgr)
+        assert si_engine.heap.read(tid).xmax == XMAX_INFINITY
+        txn = txn_mgr.begin()
+        new_tid = si_engine.update(txn, tid, b"v1")
+        # old version's page was modified in place
+        assert si_engine.heap.read(tid).xmax == txn.txid
+        assert new_tid != tid
+        assert si_engine.heap.stats.in_place_invalidations == 1
+        txn_mgr.commit(txn)
+
+    def test_old_version_visible_to_old_snapshot(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr, b"old")
+        reader = txn_mgr.begin()
+        writer = txn_mgr.begin()
+        new_tid = si_engine.update(writer, tid, b"new")
+        txn_mgr.commit(writer)
+        assert si_engine.read(reader, tid) == b"old"
+        assert si_engine.read(reader, new_tid) is None
+        txn_mgr.commit(reader)
+        late = txn_mgr.begin()
+        assert si_engine.read(late, tid) is None
+        assert si_engine.read(late, new_tid) == b"new"
+        txn_mgr.commit(late)
+
+    def test_aborted_xmax_ignored(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr, b"keep")
+        txn = txn_mgr.begin()
+        si_engine.update(txn, tid, b"discard")
+        txn_mgr.abort(txn)
+        reader = txn_mgr.begin()
+        assert si_engine.read(reader, tid) == b"keep"  # xmax from aborted txn
+        txn_mgr.commit(reader)
+
+    def test_aborted_insert_invisible(self, si_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        tid = si_engine.insert(txn, b"phantom")
+        txn_mgr.abort(txn)
+        reader = txn_mgr.begin()
+        assert si_engine.read(reader, tid) is None
+        txn_mgr.commit(reader)
+
+    def test_delete_sets_xmax_only(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr)
+        inserts_before = si_engine.heap.stats.tuple_inserts
+        txn = txn_mgr.begin()
+        si_engine.delete(txn, tid)
+        txn_mgr.commit(txn)
+        assert si_engine.heap.stats.tuple_inserts == inserts_before
+        late = txn_mgr.begin()
+        assert si_engine.read(late, tid) is None
+        txn_mgr.commit(late)
+
+
+class TestConflicts:
+    def test_first_updater_wins(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr)
+        t1 = txn_mgr.begin()
+        t2 = txn_mgr.begin()
+        si_engine.update(t1, tid, b"t1")
+        with pytest.raises(SerializationError):
+            si_engine.update(t2, tid, b"t2")
+        txn_mgr.commit(t1)
+        txn_mgr.abort(t2)
+
+    def test_loser_after_commit_aborts(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr)
+        t2 = txn_mgr.begin()
+        t1 = txn_mgr.begin()
+        si_engine.update(t1, tid, b"t1")
+        txn_mgr.commit(t1)
+        with pytest.raises(SerializationError):
+            si_engine.update(t2, tid, b"t2")
+        txn_mgr.abort(t2)
+
+    def test_update_after_abort_succeeds(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr)
+        t1 = txn_mgr.begin()
+        si_engine.update(t1, tid, b"t1")
+        txn_mgr.abort(t1)
+        t2 = txn_mgr.begin()
+        si_engine.update(t2, tid, b"t2")
+        txn_mgr.commit(t2)
+
+
+class TestScan:
+    def test_scan_visible_versions_only(self, si_engine, txn_mgr):
+        tids = []
+        txn = txn_mgr.begin()
+        for i in range(20):
+            tids.append(si_engine.insert(txn, b"row%02d" % i))
+        txn_mgr.commit(txn)
+        txn = txn_mgr.begin()
+        si_engine.update(txn, tids[0], b"updated")
+        txn_mgr.commit(txn)
+        reader = txn_mgr.begin()
+        rows = {payload for _tid, payload in si_engine.scan(reader)}
+        assert len(rows) == 20
+        assert b"updated" in rows and b"row00" not in rows
+        txn_mgr.commit(reader)
+
+    def test_scan_reads_all_pages(self, si_engine, txn_mgr, flash, buffer):
+        txn = txn_mgr.begin()
+        for i in range(200):
+            si_engine.insert(txn, bytes(300))
+        txn_mgr.commit(txn)
+        buffer.flush_all()
+        buffer.invalidate_all()
+        reads_before = flash.stats.reads
+        reader = txn_mgr.begin()
+        list(si_engine.scan(reader))
+        txn_mgr.commit(reader)
+        assert flash.stats.reads - reads_before == si_engine.heap.page_count
+
+
+class TestVacuum:
+    def test_vacuum_removes_dead_versions(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr, b"gen0")
+        txn = txn_mgr.begin()
+        si_engine.update(txn, tid, b"gen1")
+        txn_mgr.commit(txn)
+        report = Vacuum(si_engine).run()
+        assert report.tuples_killed == 1
+        assert report.killed[0][0] == tid
+        assert report.killed[0][1] == b"gen0"
+
+    def test_vacuum_respects_snapshots(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr, b"gen0")
+        old_reader = txn_mgr.begin()
+        txn = txn_mgr.begin()
+        si_engine.update(txn, tid, b"gen1")
+        txn_mgr.commit(txn)
+        report = Vacuum(si_engine).run()
+        assert report.tuples_killed == 0  # old_reader still needs gen0
+        assert si_engine.read(old_reader, tid) == b"gen0"
+        txn_mgr.commit(old_reader)
+        report = Vacuum(si_engine).run()
+        assert report.tuples_killed == 1
+
+    def test_vacuum_removes_aborted_inserts(self, si_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        si_engine.insert(txn, b"phantom")
+        txn_mgr.abort(txn)
+        report = Vacuum(si_engine).run()
+        assert report.tuples_killed == 1
+
+    def test_vacuumed_space_reused(self, si_engine, txn_mgr):
+        """FSM reuse keeps the heap from growing without bound."""
+        tid = _seed(si_engine, txn_mgr, b"x" * 1000)
+        for i in range(50):
+            txn = txn_mgr.begin()
+            tid = si_engine.update(txn, tid, b"y" * 1000)
+            txn_mgr.commit(txn)
+            if i % 10 == 9:
+                Vacuum(si_engine).run()
+        # 51 versions of ~1 KB with vacuum every 10: far less than 51 pages
+        assert si_engine.heap.page_count < 15
+
+    def test_vacuum_idempotent(self, si_engine, txn_mgr):
+        tid = _seed(si_engine, txn_mgr)
+        txn = txn_mgr.begin()
+        si_engine.update(txn, tid, b"v1")
+        txn_mgr.commit(txn)
+        Vacuum(si_engine).run()
+        second = Vacuum(si_engine).run()
+        assert second.tuples_killed == 0

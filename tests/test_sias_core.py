@@ -1,0 +1,260 @@
+"""Unit tests for the SIAS-V core: VIDs, VIDmap, append store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.config import EngineConfig, FlushThreshold, PageLayout
+from repro.common.errors import NoSuchItemError
+from repro.core.append_store import AppendStore
+from repro.core.vid import VidAllocator
+from repro.core.vidmap import VidMap
+from repro.pages.layout import Tid, VersionRecord
+
+
+class TestVidAllocator:
+    def test_sequential(self):
+        alloc = VidAllocator()
+        assert [alloc.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert alloc.high_water == 5
+
+    def test_bulk_allocation(self):
+        alloc = VidAllocator()
+        block = alloc.allocate_block(100)
+        assert list(block) == list(range(100))
+        assert alloc.allocate() == 100
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            VidAllocator().allocate_block(0)
+
+
+class TestVidMap:
+    def test_position_arithmetic(self):
+        vidmap = VidMap(slots_per_bucket=1024)
+        assert vidmap.bucket_of(0) == 0
+        assert vidmap.bucket_of(1023) == 0
+        assert vidmap.bucket_of(1024) == 1
+        assert vidmap.slot_of(1025) == 1
+
+    def test_get_unset_returns_none(self):
+        assert VidMap().get(17) is None
+
+    def test_set_get_roundtrip(self):
+        vidmap = VidMap()
+        vidmap.set(5, Tid(10, 3))
+        assert vidmap.get(5) == Tid(10, 3)
+
+    def test_entrypoint_update_replaces(self):
+        """Each TID update substitutes the old TID' (no overflow chains)."""
+        vidmap = VidMap()
+        vidmap.set(5, Tid(10, 3))
+        vidmap.set(5, Tid(11, 0))
+        assert vidmap.get(5) == Tid(11, 0)
+
+    def test_buckets_allocated_on_demand(self):
+        vidmap = VidMap(slots_per_bucket=4)
+        vidmap.set(0, Tid(0, 0))
+        assert vidmap.bucket_count == 1
+        vidmap.set(9, Tid(0, 1))
+        assert vidmap.bucket_count == 3  # buckets 0..2 now exist
+
+    def test_memory_bytes_counts_buckets(self):
+        vidmap = VidMap(slots_per_bucket=4, page_size=8192)
+        vidmap.set(11, Tid(0, 0))
+        assert vidmap.memory_bytes() == 3 * 8192
+
+    def test_entries_in_vid_order(self):
+        vidmap = VidMap(slots_per_bucket=4)
+        vidmap.set(9, Tid(9, 0))
+        vidmap.set(2, Tid(2, 0))
+        vidmap.set(4, Tid(4, 0))
+        assert [vid for vid, _ in vidmap.entries()] == [2, 4, 9]
+
+    def test_cleared_slot_skipped_by_entries(self):
+        vidmap = VidMap(slots_per_bucket=4)
+        vidmap.set(1, Tid(0, 0))
+        vidmap.set(2, Tid(0, 1))
+        vidmap.set(1, None)
+        assert [vid for vid, _ in vidmap.entries()] == [2]
+
+    def test_vid_range(self):
+        vidmap = VidMap(slots_per_bucket=4)
+        for vid in range(10):
+            vidmap.set(vid, Tid(vid, 0))
+        assert [vid for vid, _ in vidmap.vid_range(3, 7)] == [3, 4, 5, 6]
+
+    def test_negative_vid_rejected(self):
+        with pytest.raises(NoSuchItemError):
+            VidMap().get(-1)
+        with pytest.raises(NoSuchItemError):
+            VidMap().set(-1, None)
+
+    def test_item_count(self):
+        vidmap = VidMap(slots_per_bucket=4)
+        vidmap.set(0, Tid(0, 0))
+        vidmap.set(7, Tid(0, 1))
+        assert vidmap.item_count() == 2
+
+    def test_lookup_counters(self):
+        vidmap = VidMap()
+        vidmap.set(0, Tid(0, 0))
+        vidmap.get(0)
+        vidmap.get(1)
+        assert vidmap.lookups == 2
+        assert vidmap.updates == 1
+
+    def test_persist_load_roundtrip(self, buffer, tablespace):
+        vidmap = VidMap(slots_per_bucket=8)
+        for vid in range(20):
+            vidmap.set(vid, Tid(vid * 2, vid % 3))
+        file_id = tablespace.create_file("vidmap.test")
+        pages = vidmap.persist(buffer, file_id)
+        assert pages == vidmap.bucket_count
+        buffer.invalidate_all()
+        loaded = VidMap.load(buffer, file_id, vidmap.bucket_count,
+                             slots_per_bucket=8)
+        assert list(loaded.entries()) == list(vidmap.entries())
+
+
+def _record(ts=1, vid=0, size=40, pred=None, tomb=False):
+    return VersionRecord(ts, vid, pred, tomb, bytes(size))
+
+
+class TestAppendStore:
+    def _store(self, buffer, tablespace, **engine_kwargs):
+        import dataclasses
+        config = dataclasses.replace(EngineConfig(), **engine_kwargs)
+        file_id = tablespace.create_file("rel.append")
+        return AppendStore(buffer, file_id, config)
+
+    def test_append_returns_tids(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        t0 = store.append(_record(vid=0))
+        t1 = store.append(_record(vid=1))
+        assert t0 == Tid(0, 0)
+        assert t1 == Tid(0, 1)
+
+    def test_read_from_working_page_costs_no_io(self, buffer, tablespace,
+                                                flash):
+        store = self._store(buffer, tablespace)
+        tid = store.append(_record(vid=7, size=10))
+        reads_before = flash.stats.reads
+        record = store.read(tid)
+        assert record.vid == 7
+        assert flash.stats.reads == reads_before
+
+    def test_t2_seals_at_fill_target(self, buffer, tablespace, flash):
+        store = self._store(buffer, tablespace,
+                            flush_threshold=FlushThreshold.T2,
+                            append_fill_target=0.5)
+        writes_before = flash.stats.writes
+        while store.stats.sealed_pages == 0:
+            store.append(_record(size=200))
+        assert flash.stats.writes == writes_before + 1
+        # the sealed page is about half full
+        assert 0.5 <= store.stats.avg_fill_degree < 0.6
+
+    def test_t1_does_not_seal_on_fill(self, buffer, tablespace):
+        store = self._store(buffer, tablespace,
+                            flush_threshold=FlushThreshold.T1,
+                            append_fill_target=0.5)
+        for _ in range(20):  # well past 50% of a page
+            store.append(_record(size=200))
+        assert store.stats.sealed_pages == 0  # waits for the bgwriter tick
+        store.seal_working_page()
+        assert store.stats.sealed_pages == 1
+
+    def test_overflow_always_seals(self, buffer, tablespace):
+        store = self._store(buffer, tablespace,
+                            flush_threshold=FlushThreshold.T1)
+        for _ in range(200):
+            store.append(_record(size=200))
+        assert store.stats.sealed_pages >= 4  # full pages cannot wait
+
+    def test_seal_empty_is_noop(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        assert store.seal_working_page() is None
+
+    def test_sealed_page_readable_after_cache_drop(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        tid = store.append(_record(vid=3, size=100))
+        store.seal_working_page()
+        buffer.invalidate_all()
+        assert store.read(tid).vid == 3
+
+    def test_read_many_parallel(self, buffer, tablespace, flash):
+        store = self._store(buffer, tablespace, append_fill_target=1.0)
+        tids = [store.append(_record(vid=i, size=500)) for i in range(64)]
+        store.seal_working_page()
+        buffer.invalidate_all()
+        t0 = flash.clock.now
+        records = store.read_many(tids)
+        elapsed = flash.clock.now - t0
+        assert [r.vid for r in records] == list(range(64))
+        distinct_pages = len({t.page_no for t in tids})
+        # parallel channels beat serial page fetches
+        assert elapsed < distinct_pages * 50
+
+    def test_wasted_bytes_accounting(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        store.append(_record(size=10))
+        store.seal_working_page()
+        assert store.stats.wasted_bytes > 7000  # nearly a whole page
+
+    def test_reclaim_page_trims_and_recycles(self, buffer, tablespace,
+                                             flash):
+        store = self._store(buffer, tablespace)
+        store.append(_record(size=100))
+        page_no = store.seal_working_page()
+        store.reclaim_page(page_no)
+        assert flash.stats.trims == 1
+        assert store.device_pages() == 0
+        # the freed page number is reused by the next working page
+        store.append(_record(size=100))
+        assert store.working_page_no == page_no
+
+    def test_reclaim_unknown_page_raises(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        with pytest.raises(NoSuchItemError):
+            store.reclaim_page(5)
+
+    def test_space_bytes(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        for _ in range(60):
+            store.append(_record(size=300))
+        store.seal_working_page()
+        assert store.space_bytes() == store.device_pages() * 8192
+        assert store.device_pages() >= 2
+
+    def test_layout_respected(self, buffer, tablespace):
+        store = self._store(buffer, tablespace, layout=PageLayout.NSM)
+        store.append(_record())
+        open_page = store.open_page(store.working_page_no)
+        assert open_page is not None
+        assert open_page.layout is PageLayout.NSM
+
+    def test_transaction_colocation_groups(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        t1 = store.append(_record(vid=0, size=50), group=101)
+        t2 = store.append(_record(vid=1, size=50), group=202)
+        t1b = store.append(_record(vid=2, size=50), group=101)
+        # each transaction's versions share a page; different txns don't
+        assert t1.page_no == t1b.page_no
+        assert t1.page_no != t2.page_no
+
+    def test_idle_pages_reused_after_release(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        t1 = store.append(_record(vid=0, size=50), group=101)
+        store.release_group(101)
+        t2 = store.append(_record(vid=1, size=50), group=202)
+        assert t2.page_no == t1.page_no  # small txns share pages
+
+    def test_seal_working_page_seals_all_groups(self, buffer, tablespace):
+        store = self._store(buffer, tablespace)
+        store.append(_record(vid=0, size=50), group=101)
+        store.append(_record(vid=1, size=50), group=202)
+        store.seal_working_page()
+        assert store.open_page_nos() == []
+        assert store.stats.sealed_pages == 2

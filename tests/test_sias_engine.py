@@ -1,0 +1,338 @@
+"""SIAS-V engine semantics: versioning, visibility, conflicts, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    NoSuchItemError,
+    SerializationError,
+    TombstoneError,
+)
+from repro.core.scan import full_relation_scan, vidmap_scan
+
+
+def _commit(txn_mgr, txn):
+    txn_mgr.commit(txn)
+
+
+class TestInsertRead:
+    def test_insert_assigns_sequential_vids(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        vids = [sias_engine.insert(txn, b"r%d" % i) for i in range(3)]
+        assert vids == [0, 1, 2]
+        _commit(txn_mgr, txn)
+
+    def test_own_insert_visible_before_commit(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        vid = sias_engine.insert(txn, b"mine")
+        assert sias_engine.read(txn, vid) == b"mine"
+        _commit(txn_mgr, txn)
+
+    def test_uncommitted_invisible_to_others(self, sias_engine, txn_mgr):
+        writer = txn_mgr.begin()
+        vid = sias_engine.insert(writer, b"secret")
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) is None
+        _commit(txn_mgr, writer)
+        _commit(txn_mgr, reader)
+
+    def test_committed_visible_to_later_txns(self, sias_engine, txn_mgr):
+        writer = txn_mgr.begin()
+        vid = sias_engine.insert(writer, b"row")
+        _commit(txn_mgr, writer)
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) == b"row"
+        _commit(txn_mgr, reader)
+
+    def test_concurrent_snapshot_never_sees(self, sias_engine, txn_mgr):
+        reader = txn_mgr.begin()
+        writer = txn_mgr.begin()
+        vid = sias_engine.insert(writer, b"row")
+        _commit(txn_mgr, writer)
+        # writer was concurrent with reader's snapshot: stays invisible
+        assert sias_engine.read(reader, vid) is None
+        _commit(txn_mgr, reader)
+
+    def test_unknown_vid_reads_none(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        assert sias_engine.read(txn, 999) is None
+        _commit(txn_mgr, txn)
+
+
+class TestUpdate:
+    def _seed(self, engine, txn_mgr, payload=b"v0"):
+        txn = txn_mgr.begin()
+        vid = engine.insert(txn, payload)
+        txn_mgr.commit(txn)
+        return vid
+
+    def test_update_chains_version(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        txn = txn_mgr.begin()
+        sias_engine.update(txn, vid, b"v1")
+        _commit(txn_mgr, txn)
+        reader = txn_mgr.begin()
+        record, _tid = sias_engine.resolve_visible(reader, vid)
+        assert record.payload == b"v1"
+        assert record.pred is not None  # chained to the old version
+        _commit(txn_mgr, reader)
+
+    def test_old_version_untouched(self, sias_engine, txn_mgr):
+        """The heart of SIAS: invalidation writes nothing to the old version."""
+        vid = self._seed(sias_engine, txn_mgr, b"old")
+        old_tid = sias_engine.vidmap.get(vid)
+        old_before = sias_engine.store.read(old_tid)
+        txn = txn_mgr.begin()
+        sias_engine.update(txn, vid, b"new")
+        _commit(txn_mgr, txn)
+        old_after = sias_engine.store.read(old_tid)
+        assert old_after == old_before  # bit-identical, no xmax stamp
+
+    def test_snapshot_reads_old_version_through_chain(self, sias_engine,
+                                                      txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr, b"old")
+        reader = txn_mgr.begin()
+        writer = txn_mgr.begin()
+        sias_engine.update(writer, vid, b"new")
+        _commit(txn_mgr, writer)
+        assert sias_engine.read(reader, vid) == b"old"
+        _commit(txn_mgr, reader)
+        late = txn_mgr.begin()
+        assert sias_engine.read(late, vid) == b"new"
+        _commit(txn_mgr, late)
+
+    def test_first_updater_wins(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        t1 = txn_mgr.begin()
+        t2 = txn_mgr.begin()
+        sias_engine.update(t1, vid, b"t1")
+        with pytest.raises(SerializationError):
+            sias_engine.update(t2, vid, b"t2")
+        _commit(txn_mgr, t1)
+        txn_mgr.abort(t2)
+
+    def test_loser_after_winner_commit_also_aborts(self, sias_engine,
+                                                   txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        t2 = txn_mgr.begin()   # snapshot taken before t1 commits
+        t1 = txn_mgr.begin()
+        sias_engine.update(t1, vid, b"t1")
+        _commit(txn_mgr, t1)
+        with pytest.raises(SerializationError):
+            sias_engine.update(t2, vid, b"t2")
+        txn_mgr.abort(t2)
+
+    def test_sequential_updates_ok(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        for i in range(5):
+            txn = txn_mgr.begin()
+            sias_engine.update(txn, vid, b"v%d" % i)
+            _commit(txn_mgr, txn)
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) == b"v4"
+        _commit(txn_mgr, reader)
+
+    def test_own_double_update_chains_on_own_version(self, sias_engine,
+                                                     txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        txn = txn_mgr.begin()
+        sias_engine.update(txn, vid, b"a")
+        sias_engine.update(txn, vid, b"b")
+        assert sias_engine.read(txn, vid) == b"b"
+        _commit(txn_mgr, txn)
+
+    def test_update_unknown_vid(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        with pytest.raises(NoSuchItemError):
+            sias_engine.update(txn, 42, b"x")
+        txn_mgr.abort(txn)
+
+    def test_abort_restores_entrypoint(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr, b"keep")
+        before = sias_engine.vidmap.get(vid)
+        txn = txn_mgr.begin()
+        sias_engine.update(txn, vid, b"discard")
+        txn_mgr.abort(txn)
+        assert sias_engine.vidmap.get(vid) == before
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) == b"keep"
+        _commit(txn_mgr, reader)
+
+    def test_aborted_insert_unreachable(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        vid = sias_engine.insert(txn, b"phantom")
+        txn_mgr.abort(txn)
+        assert sias_engine.vidmap.get(vid) is None
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) is None
+        _commit(txn_mgr, reader)
+
+    def test_update_after_winner_abort_succeeds(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr, b"base")
+        t1 = txn_mgr.begin()
+        sias_engine.update(t1, vid, b"t1")
+        txn_mgr.abort(t1)
+        t2 = txn_mgr.begin()
+        sias_engine.update(t2, vid, b"t2")  # no raise: lock was released
+        _commit(txn_mgr, t2)
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) == b"t2"
+        _commit(txn_mgr, reader)
+
+
+class TestDelete:
+    def _seed(self, engine, txn_mgr):
+        txn = txn_mgr.begin()
+        vid = engine.insert(txn, b"doomed")
+        txn_mgr.commit(txn)
+        return vid
+
+    def test_delete_hides_item(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        txn = txn_mgr.begin()
+        sias_engine.delete(txn, vid)
+        _commit(txn_mgr, txn)
+        reader = txn_mgr.begin()
+        assert sias_engine.read(reader, vid) is None
+        assert not sias_engine.exists(reader, vid)
+        _commit(txn_mgr, reader)
+
+    def test_tombstone_preserves_old_snapshot_reads(self, sias_engine,
+                                                    txn_mgr):
+        """The paper's reason for tombstones: older snapshots still read."""
+        vid = self._seed(sias_engine, txn_mgr)
+        old_reader = txn_mgr.begin()
+        deleter = txn_mgr.begin()
+        sias_engine.delete(deleter, vid)
+        _commit(txn_mgr, deleter)
+        assert sias_engine.read(old_reader, vid) == b"doomed"
+        _commit(txn_mgr, old_reader)
+
+    def test_update_after_delete_raises(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        txn = txn_mgr.begin()
+        sias_engine.delete(txn, vid)
+        _commit(txn_mgr, txn)
+        late = txn_mgr.begin()
+        with pytest.raises(TombstoneError):
+            sias_engine.update(late, vid, b"zombie")
+        txn_mgr.abort(late)
+
+    def test_delete_conflict(self, sias_engine, txn_mgr):
+        vid = self._seed(sias_engine, txn_mgr)
+        t1 = txn_mgr.begin()
+        t2 = txn_mgr.begin()
+        sias_engine.delete(t1, vid)
+        with pytest.raises(SerializationError):
+            sias_engine.delete(t2, vid)
+        _commit(txn_mgr, t1)
+        txn_mgr.abort(t2)
+
+
+class TestScan:
+    def _populate(self, engine, txn_mgr, count=50):
+        txn = txn_mgr.begin()
+        vids = [engine.insert(txn, b"row%03d" % i) for i in range(count)]
+        txn_mgr.commit(txn)
+        return vids
+
+    def test_vidmap_scan_returns_all_visible(self, sias_engine, txn_mgr):
+        self._populate(sias_engine, txn_mgr)
+        txn = txn_mgr.begin()
+        rows = list(vidmap_scan(sias_engine, txn))
+        assert len(rows) == 50
+        assert [vid for vid, _ in rows] == sorted(vid for vid, _ in rows)
+        _commit(txn_mgr, txn)
+
+    def test_scan_sees_one_version_per_item(self, sias_engine, txn_mgr):
+        vids = self._populate(sias_engine, txn_mgr, 10)
+        for vid in vids[:5]:
+            txn = txn_mgr.begin()
+            sias_engine.update(txn, vid, b"updated")
+            _commit(txn_mgr, txn)
+        txn = txn_mgr.begin()
+        rows = dict(vidmap_scan(sias_engine, txn))
+        assert len(rows) == 10
+        assert rows[vids[0]].payload == b"updated"
+        assert rows[vids[9]].payload == b"row009"
+        _commit(txn_mgr, txn)
+
+    def test_scan_skips_tombstones(self, sias_engine, txn_mgr):
+        vids = self._populate(sias_engine, txn_mgr, 10)
+        txn = txn_mgr.begin()
+        sias_engine.delete(txn, vids[3])
+        _commit(txn_mgr, txn)
+        txn = txn_mgr.begin()
+        rows = dict(vidmap_scan(sias_engine, txn))
+        assert vids[3] not in rows and len(rows) == 9
+        _commit(txn_mgr, txn)
+
+    def test_full_scan_equals_vidmap_scan(self, sias_engine, txn_mgr):
+        vids = self._populate(sias_engine, txn_mgr, 30)
+        for vid in vids[::3]:
+            txn = txn_mgr.begin()
+            sias_engine.update(txn, vid, b"u%d" % vid)
+            _commit(txn_mgr, txn)
+        sias_engine.store.seal_working_page()
+        txn = txn_mgr.begin()
+        via_vidmap = {(v, r.payload) for v, r in vidmap_scan(sias_engine,
+                                                             txn)}
+        via_full = {(v, r.payload)
+                    for v, r in full_relation_scan(sias_engine, txn)}
+        assert via_vidmap == via_full
+        _commit(txn_mgr, txn)
+
+    def test_scan_respects_snapshot(self, sias_engine, txn_mgr):
+        vids = self._populate(sias_engine, txn_mgr, 5)
+        reader = txn_mgr.begin()
+        writer = txn_mgr.begin()
+        sias_engine.update(writer, vids[0], b"newer")
+        sias_engine.insert(writer, b"extra")
+        _commit(txn_mgr, writer)
+        rows = dict(vidmap_scan(sias_engine, reader))
+        assert len(rows) == 5  # the extra item is invisible
+        assert rows[vids[0]].payload == b"row000"
+        _commit(txn_mgr, reader)
+
+
+class TestChainStats:
+    def test_chain_hops_counted(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        vid = sias_engine.insert(txn, b"v0")
+        txn_mgr.commit(txn)
+        old_reader = txn_mgr.begin()
+        for i in range(4):
+            txn = txn_mgr.begin()
+            sias_engine.update(txn, vid, b"v%d" % (i + 1))
+            txn_mgr.commit(txn)
+        assert sias_engine.read(old_reader, vid) == b"v0"
+        assert sias_engine.stats.max_chain_hops >= 4
+        txn_mgr.commit(old_reader)
+
+
+class TestRecovery:
+    def test_reconstruct_matches_live_vidmap(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        vids = [sias_engine.insert(txn, b"r%d" % i) for i in range(40)]
+        txn_mgr.commit(txn)
+        for vid in vids[::2]:
+            txn = txn_mgr.begin()
+            sias_engine.update(txn, vid, b"u%d" % vid)
+            txn_mgr.commit(txn)
+        # in-flight txn at "crash" time must not leak into the rebuild
+        pending = txn_mgr.begin()
+        sias_engine.update(pending, vids[1], b"uncommitted")
+        rebuilt = sias_engine.reconstruct_vidmap()
+        live = dict(sias_engine.vidmap.entries())
+        # the pending update is in the live map (as uncommitted entrypoint)
+        # but reconstruct must resolve vids[1] to its committed version
+        assert rebuilt.get(vids[1]) != live[vids[1]]
+        for vid in vids:
+            if vid == vids[1]:
+                continue
+            assert rebuilt.get(vid) == live[vid]
+        txn_mgr.abort(pending)
+        # after the abort the live map agrees with the rebuild completely
+        assert dict(sias_engine.vidmap.entries()) == \
+            dict(rebuilt.entries())

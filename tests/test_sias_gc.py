@@ -1,0 +1,166 @@
+"""Garbage collection tests: dead classification, reclamation, relocation."""
+
+from __future__ import annotations
+
+from repro.core.gc import GarbageCollector
+from repro.core.scan import vidmap_scan
+
+
+def _seed(engine, txn_mgr, count=10, size=100):
+    txn = txn_mgr.begin()
+    vids = [engine.insert(txn, bytes([i]) * size) for i in range(count)]
+    txn_mgr.commit(txn)
+    return vids
+
+
+def _update(engine, txn_mgr, vid, payload):
+    txn = txn_mgr.begin()
+    engine.update(txn, vid, payload)
+    txn_mgr.commit(txn)
+
+
+def _delete(engine, txn_mgr, vid):
+    txn = txn_mgr.begin()
+    engine.delete(txn, vid)
+    txn_mgr.commit(txn)
+
+
+class TestDeadClassification:
+    def test_no_garbage_no_reclaim(self, sias_engine, txn_mgr):
+        _seed(sias_engine, txn_mgr)
+        sias_engine.store.seal_working_page()
+        report = GarbageCollector(sias_engine).collect()
+        assert report.pages_reclaimed == 0
+        assert report.records_discarded == 0
+
+    def test_superseded_versions_discarded(self, sias_engine, txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=5, size=1000)
+        for _ in range(4):
+            for vid in vids:
+                _update(sias_engine, txn_mgr, vid, b"x" * 1000)
+        sias_engine.store.seal_working_page()
+        before_pages = sias_engine.store.device_pages()
+        report = GarbageCollector(sias_engine).collect()
+        assert report.records_discarded > 0
+        assert report.pages_reclaimed > 0
+        assert sias_engine.store.device_pages() < before_pages
+
+    def test_versions_needed_by_snapshot_survive(self, sias_engine,
+                                                 txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=3, size=500)
+        old_reader = txn_mgr.begin()  # pins the horizon
+        for vid in vids:
+            _update(sias_engine, txn_mgr, vid, b"new" * 100)
+        sias_engine.store.seal_working_page()
+        GarbageCollector(sias_engine).collect()
+        # the old reader must still see the original versions
+        assert sias_engine.read(old_reader, vids[0]) == bytes([0]) * 500
+        txn_mgr.commit(old_reader)
+
+    def test_horizon_advance_enables_collection(self, sias_engine, txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=3, size=1500)
+        old_reader = txn_mgr.begin()
+        for vid in vids:
+            for _ in range(3):
+                _update(sias_engine, txn_mgr, vid, b"v" * 1500)
+        sias_engine.store.seal_working_page()
+        held = GarbageCollector(sias_engine).collect()
+        txn_mgr.commit(old_reader)
+        released = GarbageCollector(sias_engine).collect()
+        assert released.records_discarded >= held.records_discarded
+
+    def test_scan_unchanged_by_gc(self, sias_engine, txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=8, size=800)
+        for vid in vids[::2]:
+            _update(sias_engine, txn_mgr, vid, b"fresh" * 100)
+        sias_engine.store.seal_working_page()
+        txn = txn_mgr.begin()
+        before = {(v, r.payload) for v, r in vidmap_scan(sias_engine, txn)}
+        txn_mgr.commit(txn)
+        GarbageCollector(sias_engine).collect()
+        txn = txn_mgr.begin()
+        after = {(v, r.payload) for v, r in vidmap_scan(sias_engine, txn)}
+        txn_mgr.commit(txn)
+        assert before == after
+
+
+class TestTombstoneCollection:
+    def test_deleted_item_fully_removed(self, sias_engine, txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=4, size=1500)
+        _delete(sias_engine, txn_mgr, vids[1])
+        sias_engine.store.seal_working_page()
+        report = GarbageCollector(sias_engine).collect()
+        assert report.items_removed == 1
+        assert sias_engine.vidmap.get(vids[1]) is None
+        outcome = report.items[vids[1]]
+        assert outcome.removed_entirely
+        assert outcome.dead_payloads  # index pruning material
+
+    def test_tombstone_kept_while_old_snapshot_lives(self, sias_engine,
+                                                     txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=2)
+        old_reader = txn_mgr.begin()
+        _delete(sias_engine, txn_mgr, vids[0])
+        sias_engine.store.seal_working_page()
+        report = GarbageCollector(sias_engine).collect()
+        assert report.items_removed == 0
+        assert sias_engine.read(old_reader, vids[0]) is not None
+        txn_mgr.commit(old_reader)
+
+
+class TestRelocation:
+    def test_live_entrypoints_relocated_from_dirty_pages(self, sias_engine,
+                                                         txn_mgr):
+        # two items share a page; one is updated repeatedly so the page is
+        # mostly dead, the other's single version must be relocated
+        txn = txn_mgr.begin()
+        stable = sias_engine.insert(txn, b"stable" * 200)
+        churner = sias_engine.insert(txn, b"churn" * 200)
+        txn_mgr.commit(txn)
+        for i in range(20):
+            _update(sias_engine, txn_mgr, churner, b"c%d" % i * 300)
+        sias_engine.store.seal_working_page()
+        report = GarbageCollector(sias_engine).collect()
+        assert report.records_relocated >= 1
+        txn = txn_mgr.begin()
+        assert sias_engine.read(txn, stable) == b"stable" * 200
+        assert sias_engine.read(txn, churner).startswith(b"c19")
+        txn_mgr.commit(txn)
+
+    def test_relocated_record_keeps_create_ts(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        stable = sias_engine.insert(txn, b"keepme" * 100)
+        churner = sias_engine.insert(txn, b"x" * 100)
+        txn_mgr.commit(txn)
+        original_ts = sias_engine.store.read(
+            sias_engine.vidmap.get(stable)).create_ts
+        for i in range(30):
+            _update(sias_engine, txn_mgr, churner, b"y" * 500)
+        sias_engine.store.seal_working_page()
+        GarbageCollector(sias_engine).collect()
+        relocated = sias_engine.store.read(sias_engine.vidmap.get(stable))
+        assert relocated.create_ts == original_ts
+        assert relocated.pred is None
+
+    def test_gc_reports_live_and_dead_payloads(self, sias_engine, txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=1, size=1000)
+        _update(sias_engine, txn_mgr, vids[0], b"second" * 200)
+        _update(sias_engine, txn_mgr, vids[0], b"third" * 200)
+        sias_engine.store.seal_working_page()
+        report = GarbageCollector(sias_engine).collect()
+        outcome = report.items[vids[0]]
+        assert len(outcome.dead_payloads) == 2
+        assert outcome.live_payloads == [b"third" * 200]
+
+
+class TestGcIdempotence:
+    def test_second_pass_finds_nothing(self, sias_engine, txn_mgr):
+        vids = _seed(sias_engine, txn_mgr, count=5, size=800)
+        for vid in vids:
+            _update(sias_engine, txn_mgr, vid, b"n" * 800)
+        sias_engine.store.seal_working_page()
+        GarbageCollector(sias_engine).collect()
+        sias_engine.store.seal_working_page()
+        second = GarbageCollector(sias_engine).collect()
+        assert second.records_discarded == 0
+        assert second.pages_reclaimed == 0

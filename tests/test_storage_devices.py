@@ -1,0 +1,309 @@
+"""Unit tests for the device simulators: flash, FTL, HDD, RAID-0."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.clock import SimClock
+from repro.common.config import FlashConfig, HddConfig
+from repro.common.errors import (
+    ConfigError,
+    InvalidAddressError,
+    OutOfSpaceError,
+    ReadUnwrittenError,
+    WornOutError,
+)
+from repro.storage.flash import FlashDevice
+from repro.storage.ftl import PageMappedFtl
+from repro.storage.hdd import HddDevice
+from repro.storage.raid import Raid0Device
+from repro.storage.trace import TraceOp, TraceRecorder
+
+PAGE = units.DB_PAGE_SIZE
+TINY = FlashConfig(capacity_bytes=4 * units.MIB)  # 512 pages, 8 blocks
+
+
+def _payload(tag: int) -> bytes:
+    return bytes([tag % 256]) * PAGE
+
+
+class TestFlashDevice:
+    def test_write_read_roundtrip(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        ssd.write_page(3, _payload(7))
+        assert ssd.read_page(3) == _payload(7)
+
+    def test_read_unwritten_raises(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        with pytest.raises(ReadUnwrittenError):
+            ssd.read_page(0)
+
+    def test_lba_bounds_checked(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        with pytest.raises(InvalidAddressError):
+            ssd.read_page(ssd.total_pages)
+        with pytest.raises(InvalidAddressError):
+            ssd.write_page(-1, _payload(0))
+
+    def test_wrong_payload_size_rejected(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        with pytest.raises(InvalidAddressError):
+            ssd.write_page(0, b"short")
+
+    def test_asymmetric_latency(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        t0 = clock.now
+        ssd.write_page(0, _payload(1))
+        write_cost = clock.now - t0
+        t0 = clock.now
+        ssd.read_page(0)
+        read_cost = clock.now - t0
+        assert write_cost > read_cost  # flash asymmetry
+        assert read_cost == TINY.read_latency_usec
+        assert write_cost == TINY.program_latency_usec
+
+    def test_batch_reads_exploit_channels(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        for lba in range(16):
+            ssd.write_page(lba, _payload(lba))
+        serial_clock = SimClock()
+        serial = FlashDevice(serial_clock, TINY)
+        for lba in range(16):
+            serial.write_page(lba, _payload(lba))
+        t0 = clock.now
+        batch = ssd.read_pages(list(range(16)))
+        batch_cost = clock.now - t0
+        t0 = serial_clock.now
+        singles = [serial.read_page(lba) for lba in range(16)]
+        serial_cost = serial_clock.now - t0
+        assert batch == singles
+        # 16 reads over 8 channels should take ~2 service times, not 16
+        assert batch_cost < serial_cost / 4
+
+    def test_batch_write_roundtrip(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        ssd.write_pages([(lba, _payload(lba)) for lba in range(8)])
+        assert all(ssd.read_page(lba) == _payload(lba) for lba in range(8))
+
+    def test_stats_accumulate(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        ssd.write_page(0, _payload(0))
+        ssd.write_page(1, _payload(1))
+        ssd.read_page(0)
+        assert ssd.stats.writes == 2
+        assert ssd.stats.reads == 1
+        assert ssd.stats.write_bytes == 2 * PAGE
+        assert ssd.stats.read_bytes == PAGE
+
+    def test_stats_diff(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        ssd.write_page(0, _payload(0))
+        snap = ssd.stats.snapshot()
+        ssd.write_page(1, _payload(1))
+        delta = ssd.stats.diff(snap)
+        assert delta.writes == 1
+
+    def test_trace_records_ops(self, clock, trace):
+        ssd = FlashDevice(clock, TINY, trace=trace)
+        ssd.write_page(5, _payload(5))
+        ssd.read_page(5)
+        ssd.trim(5)
+        ops = [e.op for e in trace.events]
+        assert ops == [TraceOp.WRITE, TraceOp.READ, TraceOp.TRIM]
+        assert all(e.lba == 5 for e in trace.events)
+
+    def test_trim_forgets_data(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        ssd.write_page(0, _payload(0))
+        ssd.trim(0)
+        with pytest.raises(ReadUnwrittenError):
+            ssd.read_page(0)
+
+    def test_overwrite_returns_new_data(self, clock):
+        ssd = FlashDevice(clock, TINY)
+        ssd.write_page(0, _payload(1))
+        ssd.write_page(0, _payload(2))
+        assert ssd.read_page(0) == _payload(2)
+
+
+class TestFtl:
+    def test_mapping_moves_on_overwrite(self):
+        ftl = PageMappedFtl(TINY)
+        ftl.host_write(0)
+        first = ftl.physical_of(0)
+        ftl.host_write(0)
+        assert ftl.physical_of(0) != first  # out-of-place
+
+    def test_write_amp_starts_at_one(self):
+        ftl = PageMappedFtl(TINY)
+        for lpn in range(10):
+            ftl.host_write(lpn)
+        assert ftl.stats.write_amplification == 1.0
+
+    def test_gc_triggers_under_pressure(self):
+        ftl = PageMappedFtl(TINY)
+        # hammer a small logical range so blocks fill with invalid pages
+        for i in range(TINY.total_pages * 2):
+            ftl.host_write(i % 32)
+        assert ftl.stats.erases > 0
+        assert ftl.stats.gc_runs > 0
+
+    def test_gc_cost_charged(self):
+        ftl = PageMappedFtl(TINY)
+        costs = [ftl.host_write(i % 32)
+                 for i in range(TINY.total_pages * 2)]
+        # some write paid more than a bare program (GC stall)
+        assert max(costs) > TINY.program_latency_usec
+
+    def test_trim_reduces_gc_work(self):
+        with_trim = PageMappedFtl(TINY)
+        without = PageMappedFtl(TINY)
+        for i in range(TINY.total_pages):
+            with_trim.host_write(i % 64)
+            with_trim.host_trim(i % 64)
+            without.host_write(i % 64)
+        assert with_trim.stats.gc_relocated <= without.stats.gc_relocated
+
+    def test_valid_count_consistency(self):
+        ftl = PageMappedFtl(TINY)
+        for i in range(100):
+            ftl.host_write(i % 16)
+        total_valid = sum(ftl.valid_pages_in(b) for b in range(ftl.n_blocks))
+        assert total_valid == 16  # one valid page per live logical page
+
+    def test_wear_stats(self):
+        ftl = PageMappedFtl(TINY)
+        for i in range(TINY.total_pages * 2):
+            ftl.host_write(i % 32)
+        lo, hi, mean = ftl.wear_stats()
+        assert 0 <= lo <= mean <= hi
+
+    def test_endurance_exhaustion(self):
+        cfg = FlashConfig(capacity_bytes=4 * units.MIB, erase_endurance=2)
+        ftl = PageMappedFtl(cfg)
+        with pytest.raises(WornOutError):
+            for i in range(cfg.total_pages * 30):
+                ftl.host_write(i % 16)
+
+    def test_overfull_device_raises(self):
+        cfg = FlashConfig(capacity_bytes=4 * units.MIB,
+                          overprovision_ratio=0.0,
+                          gc_free_block_low_watermark=0)
+        ftl = PageMappedFtl(cfg)
+        with pytest.raises(OutOfSpaceError):
+            # more live pages than physical space (logical + the single
+            # minimum over-provision block)
+            for lpn in range(cfg.total_pages + 2 * cfg.pages_per_block):
+                ftl.host_write(lpn)
+
+
+class TestHdd:
+    def test_roundtrip(self, clock):
+        hdd = HddDevice(clock, HddConfig(capacity_bytes=4 * units.MIB))
+        hdd.write_page(9, _payload(9))
+        assert hdd.read_page(9) == _payload(9)
+
+    def test_sequential_cheaper_than_random(self):
+        cfg = HddConfig(capacity_bytes=64 * units.MIB)
+        seq_clock = SimClock()
+        seq = HddDevice(seq_clock, cfg)
+        for lba in range(64):
+            seq.write_page(lba, _payload(lba))
+        rand_clock = SimClock()
+        rand = HddDevice(rand_clock, cfg)
+        for i in range(64):
+            rand.write_page((i * 1997) % cfg.total_pages, _payload(i))
+        assert seq_clock.now < rand_clock.now / 10
+
+    def test_symmetric_read_write(self, clock):
+        cfg = HddConfig(capacity_bytes=4 * units.MIB)
+        hdd = HddDevice(clock, cfg)
+        hdd.write_page(0, _payload(0))
+        far = cfg.total_pages - 1
+        hdd.write_page(far, _payload(1))
+        t0 = clock.now
+        hdd.read_page(0)        # long seek back
+        read_cost = clock.now - t0
+        t0 = clock.now
+        hdd.write_page(far, _payload(2))  # long seek forward
+        write_cost = clock.now - t0
+        assert read_cost == write_cost  # both pay a full seek
+
+    def test_seek_counted(self, clock):
+        cfg = HddConfig(capacity_bytes=4 * units.MIB)
+        hdd = HddDevice(clock, cfg)
+        hdd.write_page(0, _payload(0))
+        hdd.write_page(cfg.total_pages - 1, _payload(1))
+        assert hdd.seeks >= 1
+
+    def test_no_parallelism_for_batches(self, clock):
+        cfg = HddConfig(capacity_bytes=4 * units.MIB)
+        hdd = HddDevice(clock, cfg)
+        for lba in range(8):
+            hdd.write_page(lba, _payload(lba))
+        t0 = clock.now
+        hdd.read_pages(list(range(8)))
+        batch_cost = clock.now - t0
+        # single head: batch costs the sum of transfers, no speedup
+        assert batch_cost >= 8 * cfg.transfer_usec_per_page
+
+
+class TestRaid0:
+    def _members(self, clock, n=2):
+        return [FlashDevice(clock, TINY, name=f"m{i}") for i in range(n)]
+
+    def test_requires_members(self, clock):
+        with pytest.raises(ConfigError):
+            Raid0Device([])
+
+    def test_capacity_is_sum(self, clock):
+        raid = Raid0Device(self._members(clock, 3))
+        assert raid.total_pages == 3 * TINY.total_pages
+
+    def test_roundtrip_through_stripes(self, clock):
+        raid = Raid0Device(self._members(clock, 2), stripe_pages=4)
+        for lba in range(32):
+            raid.write_page(lba, _payload(lba))
+        assert all(raid.read_page(lba) == _payload(lba) for lba in range(32))
+
+    def test_striping_distributes_evenly(self, clock):
+        members = self._members(clock, 2)
+        raid = Raid0Device(members, stripe_pages=4)
+        for lba in range(64):
+            raid.write_page(lba, _payload(lba))
+        assert members[0].stats.writes == members[1].stats.writes == 32
+
+    def test_map_lba_alternates_stripes(self, clock):
+        raid = Raid0Device(self._members(clock, 2), stripe_pages=4)
+        assert raid.map_lba(0) == (0, 0)
+        assert raid.map_lba(3) == (0, 3)
+        assert raid.map_lba(4) == (1, 0)
+        assert raid.map_lba(8) == (0, 4)
+
+    def test_more_members_more_parallelism(self):
+        def batch_cost(n):
+            clock = SimClock()
+            raid = Raid0Device([FlashDevice(clock, TINY, name=f"m{i}")
+                                for i in range(n)], stripe_pages=1)
+            raid.write_pages([(lba, _payload(lba)) for lba in range(48)])
+            t0 = clock.now
+            raid.read_pages(list(range(48)))
+            return clock.now - t0
+
+        assert batch_cost(6) < batch_cost(2)
+
+    def test_mismatched_page_size_rejected(self, clock):
+        a = FlashDevice(clock, TINY, name="a")
+        b = HddDevice(clock, HddConfig(capacity_bytes=4 * units.MIB,
+                                       page_size=4096), name="b")
+        with pytest.raises(ConfigError):
+            Raid0Device([a, b])
+
+    def test_trim_reaches_member(self, clock):
+        members = self._members(clock, 2)
+        raid = Raid0Device(members, stripe_pages=1)
+        raid.write_page(0, _payload(0))
+        raid.trim(0)
+        with pytest.raises(ReadUnwrittenError):
+            raid.read_page(0)

@@ -1,0 +1,115 @@
+"""Synthetic-workload and metrics-timeline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.db.database import EngineKind
+from repro.workload.metrics import Metrics, TxnOutcome
+from repro.workload.mixes import TxnType
+from repro.workload.synthetic import SyntheticWorkload
+from tests.conftest import make_accounts_db, small_system_config
+
+from repro.db.database import Database
+
+
+def _db(kind):
+    return Database.on_flash(kind, small_system_config(pool_pages=256))
+
+
+class TestSyntheticWorkload:
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_update_rounds_keep_consistency(self, kind):
+        workload = SyntheticWorkload(_db(kind), rows=50, seed=1)
+        workload.update_round(200)
+        workload.maintain()
+        workload.update_round(200)
+        assert workload.verify()
+        assert workload.stats.updates == 400
+        # counters sum equals the number of updates applied
+        assert workload.read_round(0) == 0
+        txn = workload.db.begin()
+        total = sum(row[2] for _r, row in workload.db.scan(txn, "synth"))
+        workload.db.commit(txn)
+        assert total == 400
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_skew_concentrates_updates(self, kind):
+        workload = SyntheticWorkload(_db(kind), rows=100, seed=3)
+        workload.update_round(500, skew=2.0)
+        txn = workload.db.begin()
+        counters = sorted((row[2] for _r, row in
+                           workload.db.scan(txn, "synth")), reverse=True)
+        workload.db.commit(txn)
+        # skewed: the hottest decile holds most of the updates
+        assert sum(counters[:10]) > 0.5 * sum(counters)
+
+    def test_delete_fraction(self):
+        workload = SyntheticWorkload(_db(EngineKind.SIASV), rows=40,
+                                     seed=5)
+        deleted = workload.delete_fraction(0.25)
+        assert deleted == 10
+        assert workload.verify()
+        assert len(workload.refs) == 30
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(_db(EngineKind.SIASV), rows=0)
+        workload = SyntheticWorkload(_db(EngineKind.SIASV), rows=5)
+        with pytest.raises(ValueError):
+            workload.delete_fraction(1.5)
+
+
+class TestTimeline:
+    def _metrics(self):
+        m = Metrics()
+        m.start_usec = 0
+        for second in range(4):
+            for i in range(second + 1):  # 1,2,3,4 commits per second
+                m.record(TxnOutcome(TxnType.NEW_ORDER, True, 100),
+                         finished_at_usec=second * units.SEC + i * 1000)
+        m.end_usec = 4 * units.SEC
+        return m
+
+    def test_buckets(self):
+        series = self._metrics().timeline()
+        assert series == [(0.0, 1), (1.0, 2), (2.0, 3), (3.0, 4)]
+
+    def test_type_filter(self):
+        m = self._metrics()
+        m.record(TxnOutcome(TxnType.PAYMENT, True, 100),
+                 finished_at_usec=0)
+        assert m.timeline(type_=TxnType.NEW_ORDER)[0] == (0.0, 1)
+        assert m.timeline(type_=None)[0] == (0.0, 2)
+
+    def test_aborts_excluded(self):
+        m = Metrics()
+        m.record(TxnOutcome(TxnType.NEW_ORDER, False, 100,
+                            serialization_abort=True), finished_at_usec=0)
+        assert m.timeline() == []
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            Metrics().timeline(bucket_usec=0)
+
+    def test_driver_populates_timeline(self):
+        from repro.workload.driver import DriverConfig, TpccDriver
+        from repro.workload.tpcc_data import TpccLoader
+        from repro.workload.tpcc_schema import TpccScale, \
+            create_tpcc_tables
+
+        scale = TpccScale(districts_per_warehouse=3,
+                          customers_per_district=6, items=20,
+                          stock_per_warehouse=20,
+                          initial_orders_per_district=3)
+        db = _db(EngineKind.SIASV)
+        create_tpcc_tables(db)
+        TpccLoader(db, scale).load(1)
+        driver = TpccDriver(db, 1, scale, config=DriverConfig(clients=2))
+        metrics = driver.run_for(3 * units.SEC)
+        series = metrics.timeline(type_=None)
+        assert len(series) >= 3
+        assert all(count > 0 for _t, count in series)

