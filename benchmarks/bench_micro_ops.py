@@ -118,17 +118,131 @@ def test_btree_insert_search(benchmark):
     benchmark(search_one)
 
 
-@pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR],
-                         ids=["nsm", "vector"])
-def test_append_page_serialise(benchmark, layout):
+def _full_append_page(layout: PageLayout) -> AppendPage:
     page = AppendPage(0, layout)
     i = 0
     record = VersionRecord(1, 0, None, False, b"x" * 120)
     while page.fits(record):
         page.append(VersionRecord(i, i, None, False, b"x" * 120))
         i += 1
+    return page
+
+
+@pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR],
+                         ids=["nsm", "vector"])
+def test_append_page_serialise(benchmark, layout):
+    page = _full_append_page(layout)
     raw = benchmark(page.to_bytes)
     assert Page.from_bytes(raw).record_count == page.record_count
+
+
+@pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR],
+                         ids=["nsm", "vector"])
+def test_append_page_decode_meta(benchmark, layout):
+    """Sealed-page decode + visibility-only scan (the chain-walk pattern).
+
+    The zero-copy codec makes this lazy: no payload bytes materialise.
+    """
+    page = _full_append_page(layout)
+    raw = page.to_bytes()
+    count = page.record_count
+
+    def decode_and_meta_scan():
+        decoded = Page.from_bytes(raw)
+        return sum(ts for ts, _vid, _pred, _tomb in
+                   (decoded.read_meta(slot) for slot in range(count)))
+
+    benchmark(decode_and_meta_scan)
+
+
+@pytest.mark.parametrize("layout", [PageLayout.NSM, PageLayout.VECTOR],
+                         ids=["nsm", "vector"])
+def test_append_page_decode_one_record(benchmark, layout):
+    """Sealed-page decode + single record read (the point-lookup pattern)."""
+    page = _full_append_page(layout)
+    raw = page.to_bytes()
+    slot = page.record_count // 2
+
+    def decode_and_read():
+        return Page.from_bytes(raw).read(slot).payload
+
+    assert benchmark(decode_and_read) == b"x" * 120
+
+
+def test_buffer_clock_install_evict(benchmark):
+    """Clock-sweep churn: every install evicts (O(1) bookkeeping path)."""
+    from repro.buffer.manager import BufferManager
+    from repro.common.clock import SimClock
+    from repro.storage.flash import FlashDevice
+    from repro.storage.tablespace import Tablespace
+
+    device = FlashDevice(SimClock(),
+                         FlashConfig(capacity_bytes=64 * units.MIB))
+    tablespace = Tablespace(device, extent_pages=64)
+    buffer = BufferManager(tablespace, pool_pages=256)
+    f = tablespace.create_file("bench")
+    page = _full_append_page(PageLayout.VECTOR)
+    # cycle far beyond the pool so nearly every install must evict
+    page_nos = itertools.cycle(range(4096))
+    for _ in range(256):  # warm the pool to capacity
+        buffer.put_clean(f, next(page_nos), page)
+
+    def install_one():
+        buffer.put_clean(f, next(page_nos), page)
+
+    benchmark(install_one)
+
+
+def test_buffer_dirty_bookkeeping(benchmark):
+    """bgwriter-style sweep: dirty_keys() + flush on a mostly-clean pool."""
+    from repro.buffer.manager import BufferManager
+    from repro.common.clock import SimClock
+    from repro.storage.flash import FlashDevice
+    from repro.storage.tablespace import Tablespace
+
+    device = FlashDevice(SimClock(),
+                         FlashConfig(capacity_bytes=64 * units.MIB))
+    tablespace = Tablespace(device, extent_pages=64)
+    buffer = BufferManager(tablespace, pool_pages=1024)
+    f = tablespace.create_file("bench")
+    page = _full_append_page(PageLayout.VECTOR)
+    for i in range(1024):
+        buffer.put_clean(f, i, page)
+    marks = itertools.cycle(range(8))
+
+    def tick():
+        buffer.mark_dirty(f, next(marks))
+        return buffer.flush_batch(buffer.dirty_keys()[:8])
+
+    benchmark(tick)
+
+
+def test_vidmap_scan_batched(benchmark):
+    """VIDmap scan over a relation with predecessor chains (cold cache)."""
+    from repro.core.scan import vidmap_scan
+
+    db = _accounts_db(EngineKind.SIASV)
+    txn = db.begin()
+    for i in range(1000):
+        db.insert(txn, "accounts", (i, f"owner{i % 40}", float(i)))
+    db.commit(txn)
+    for _round in range(3):  # grow version chains
+        txn = db.begin()
+        for i in range(0, 1000, 2):
+            ref, row = db.lookup(txn, "accounts", "pk", i)[0]
+            db.update(txn, "accounts", ref, (i, row[1], row[2] + 1))
+        db.commit(txn)
+    db.checkpointer.run_now()
+    engine = db.table("accounts").engine
+
+    def scan_cold():
+        db.buffer.invalidate_all()
+        txn = db.begin()
+        count = sum(1 for _ in vidmap_scan(engine, txn))
+        db.commit(txn)
+        return count
+
+    assert benchmark(scan_cold) == 1000
 
 
 def test_ftl_host_write(benchmark):

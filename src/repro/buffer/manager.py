@@ -12,11 +12,25 @@ immutable once flushed, so the buffer never needs to write back a SIAS-V data
 page a second time — only the baseline's heap pages cycle through the dirty
 state repeatedly.  This falls out naturally here: the SIAS-V engine inserts
 sealed append pages as *clean* frames via :meth:`BufferManager.put_clean`.
+
+Hot-path engineering (all behaviour-preserving):
+
+* **O(1) clock sweep** — frames carry intrusive prev/next links forming a
+  circular sweep order; install, drop and eviction are pointer splices
+  instead of list shifts, and stale keys never linger in the order.
+* **O(1) dirty bookkeeping** — an incrementally maintained dirty set
+  replaces the full-pool scan the background writer and checkpointer used
+  to pay per tick.
+* **Sealed-page byte cache** — clean frames remember their encoded page
+  image (the bytes read from, or just written to, the device).  Because
+  sealed SIAS-V pages and persisted VIDmap buckets never change, their
+  ``to_bytes`` on writeback is free; the cache is invalidated the moment a
+  frame is dirtied.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import NoFreeFrameError, PinError
 from repro.pages.base import Page
@@ -48,6 +62,12 @@ class _Frame:
     dirty: bool = False
     pins: int = 0
     referenced: bool = True
+    #: encoded page image while the frame is clean (None once dirtied)
+    raw: bytes | None = None
+    #: intrusive circular clock links (keys of the sweep-order neighbours)
+    key: PageKey = field(default=(0, 0))
+    prev: PageKey = field(default=(0, 0))
+    next: PageKey = field(default=(0, 0))
 
 
 class BufferManager:
@@ -59,8 +79,10 @@ class BufferManager:
         self.tablespace = tablespace
         self.pool_pages = pool_pages
         self._frames: dict[PageKey, _Frame] = {}
-        self._clock_order: list[PageKey] = []
-        self._clock_hand = 0
+        #: clock hand: key of the next frame the sweep will examine
+        self._hand: PageKey | None = None
+        #: incrementally maintained dirty set (insertion-ordered)
+        self._dirty: dict[PageKey, None] = {}
         self.stats = BufferStats()
 
     # -- lookups -----------------------------------------------------------------
@@ -77,7 +99,7 @@ class BufferManager:
         lba = self.tablespace.lba_of(file_id, page_no)
         raw = self.tablespace.device.read_page(lba)
         page = Page.from_bytes(raw)
-        self._install(key, _Frame(page=page, dirty=False))
+        self._install(key, _Frame(page=page, dirty=False, raw=raw))
         return page
 
     def get_pages(self, file_id: int, page_nos: list[int]) -> list[Page]:
@@ -104,7 +126,7 @@ class BufferManager:
             raws = self.tablespace.device.read_pages(lbas)
             for page_no, raw in zip(missing, raws):
                 page = Page.from_bytes(raw)
-                self._install((file_id, page_no), _Frame(page=page))
+                self._install((file_id, page_no), _Frame(page=page, raw=raw))
                 result[page_no] = page
         return [result[p] for p in page_nos]
 
@@ -115,10 +137,16 @@ class BufferManager:
         self.tablespace.ensure_page(file_id, page_no)
         self._install((file_id, page_no), _Frame(page=page, dirty=True))
 
-    def put_clean(self, file_id: int, page_no: int, page: Page) -> None:
-        """Cache a page that is already persistent (sealed append pages)."""
+    def put_clean(self, file_id: int, page_no: int, page: Page,
+                  raw: bytes | None = None) -> None:
+        """Cache a page that is already persistent (sealed append pages).
+
+        ``raw`` optionally carries the encoded image the caller just wrote
+        to the device, seeding the byte cache so the frame never re-encodes.
+        """
         self.tablespace.ensure_page(file_id, page_no)
-        self._install((file_id, page_no), _Frame(page=page, dirty=False))
+        self._install((file_id, page_no),
+                      _Frame(page=page, dirty=False, raw=raw))
 
     # -- state transitions ---------------------------------------------------------------
 
@@ -129,8 +157,12 @@ class BufferManager:
             raise PinError(f"page {key} is not resident in the pool") from None
 
     def mark_dirty(self, file_id: int, page_no: int) -> None:
-        """Flag a cached page as modified."""
-        self._frame((file_id, page_no)).dirty = True
+        """Flag a cached page as modified (drops its cached byte image)."""
+        key = (file_id, page_no)
+        frame = self._frame(key)
+        frame.dirty = True
+        frame.raw = None
+        self._dirty[key] = None
 
     def pin(self, file_id: int, page_no: int) -> None:
         """Protect a frame from eviction while a caller works on it."""
@@ -151,19 +183,30 @@ class BufferManager:
         """Whether the cached page has unwritten modifications."""
         return self._frame((file_id, page_no)).dirty
 
+    def cached_bytes(self, file_id: int, page_no: int) -> bytes | None:
+        """Encoded image of a clean resident page, if the cache holds one."""
+        frame = self._frames.get((file_id, page_no))
+        if frame is None:
+            return None
+        return frame.raw
+
     def dirty_keys(self) -> list[PageKey]:
-        """Keys of all dirty frames (bgwriter / checkpoint input)."""
-        return [k for k, f in self._frames.items() if f.dirty]
+        """Keys of all dirty frames (bgwriter / checkpoint input) — O(dirty)."""
+        return list(self._dirty)
 
     def drop(self, file_id: int, page_no: int) -> None:
         """Discard a frame without writeback (GC'd / truncated pages)."""
-        self._frames.pop((file_id, page_no), None)
+        key = (file_id, page_no)
+        frame = self._frames.pop(key, None)
+        if frame is not None:
+            self._unlink(frame)
+            self._dirty.pop(key, None)
 
     def invalidate_all(self) -> None:
         """Empty the pool without writeback (cold-cache experiments)."""
         self._frames.clear()
-        self._clock_order.clear()
-        self._clock_hand = 0
+        self._dirty.clear()
+        self._hand = None
 
     # -- writeback ----------------------------------------------------------------------------
 
@@ -190,9 +233,11 @@ class BufferManager:
             if frame is None or not frame.dirty:
                 continue
             lba = self.tablespace.ensure_page(*key)
-            self.tablespace.device.write_page_async(lba,
-                                                    frame.page.to_bytes())
+            data = frame.page.to_bytes()
+            self.tablespace.device.write_page_async(lba, data)
             frame.dirty = False
+            frame.raw = data
+            self._dirty.pop(key, None)
             self.stats.writebacks += 1
             flushed += 1
         return flushed
@@ -203,8 +248,11 @@ class BufferManager:
 
     def _writeback(self, key: PageKey, frame: _Frame) -> None:
         lba = self.tablespace.ensure_page(*key)
-        self.tablespace.device.write_page(lba, frame.page.to_bytes())
+        data = frame.raw if frame.raw is not None else frame.page.to_bytes()
+        self.tablespace.device.write_page(lba, data)
         frame.dirty = False
+        frame.raw = data
+        self._dirty.pop(key, None)
         self.stats.writebacks += 1
 
     # -- clock-sweep internals -----------------------------------------------------------------
@@ -215,37 +263,77 @@ class BufferManager:
             if existing.pins > 0:
                 raise PinError(
                     f"page {key} is pinned; cannot replace its frame")
+            # Keep the clock position of the replaced frame, and never
+            # silently lose modifications: a dirty frame replaced by a
+            # clean one stays dirty until the new content is flushed.
+            frame.key = key
+            frame.prev = existing.prev
+            frame.next = existing.next
+            if existing.dirty and not frame.dirty:
+                frame.dirty = True
+                frame.raw = None
             self._frames[key] = frame
+            if frame.dirty:
+                self._dirty[key] = None
+            self._relink(frame)
             return
         if len(self._frames) >= self.pool_pages:
             self._evict_one()
         self._frames[key] = frame
-        self._clock_order.append(key)
+        frame.key = key
+        self._append_to_clock(frame)
+        if frame.dirty:
+            self._dirty[key] = None
+
+    def _append_to_clock(self, frame: _Frame) -> None:
+        """Insert the frame at the tail of the sweep order (before the hand)."""
+        if self._hand is None:
+            frame.prev = frame.next = frame.key
+            self._hand = frame.key
+            return
+        hand = self._frames[self._hand]
+        tail = self._frames[hand.prev]
+        frame.prev = tail.key
+        frame.next = hand.key
+        tail.next = frame.key
+        hand.prev = frame.key
+
+    def _relink(self, frame: _Frame) -> None:
+        """Point the neighbours (and self-loops) at the replacing frame."""
+        self._frames[frame.prev].next = frame.key
+        self._frames[frame.next].prev = frame.key
+
+    def _unlink(self, frame: _Frame) -> None:
+        """Splice a frame out of the sweep order (frame already popped)."""
+        if frame.next == frame.key:  # last frame in the pool
+            self._hand = None
+            return
+        prev = self._frames[frame.prev]
+        nxt = self._frames[frame.next]
+        prev.next = nxt.key
+        nxt.prev = prev.key
+        if self._hand == frame.key:
+            self._hand = nxt.key
 
     def _evict_one(self) -> None:
         swept = 0
-        limit = 2 * len(self._clock_order) + 1
+        limit = 2 * len(self._frames) + 1
         while swept < limit:
-            if self._clock_hand >= len(self._clock_order):
-                self._clock_hand = 0
-            key = self._clock_order[self._clock_hand]
-            frame = self._frames.get(key)
-            if frame is None:
-                self._clock_order.pop(self._clock_hand)
-                continue
+            assert self._hand is not None
+            frame = self._frames[self._hand]
             if frame.pins > 0:
-                self._clock_hand += 1
+                self._hand = frame.next
                 swept += 1
                 continue
             if frame.referenced:
                 frame.referenced = False
-                self._clock_hand += 1
+                self._hand = frame.next
                 swept += 1
                 continue
             if frame.dirty:
-                self._writeback(key, frame)
-            del self._frames[key]
-            self._clock_order.pop(self._clock_hand)
+                self._writeback(frame.key, frame)
+            del self._frames[frame.key]
+            self._unlink(frame)
             self.stats.evictions += 1
             return
         raise NoFreeFrameError(

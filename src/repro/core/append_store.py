@@ -204,9 +204,12 @@ class AppendStore:
         self._unlink_current(page_no)
         lba = self.buffer.tablespace.ensure_page(self.file_id, page.page_no)
         # the seal is fire-and-forget: the transaction path never waits for
-        # data-page I/O, only for the WAL (recovery replays a lost seal)
-        self.buffer.tablespace.device.write_page_async(lba, page.to_bytes())
-        self.buffer.put_clean(self.file_id, page.page_no, page)
+        # data-page I/O, only for the WAL (recovery replays a lost seal).
+        # The page is encoded exactly once: the same image goes to the
+        # device and seeds the buffer's sealed-page byte cache.
+        encoded = page.to_bytes()
+        self.buffer.tablespace.device.write_page_async(lba, encoded)
+        self.buffer.put_clean(self.file_id, page.page_no, page, raw=encoded)
         self.sealed[page.page_no] = _SealedPageInfo(page.record_count)
         self.stats.sealed_pages += 1
         self.stats.sealed_bytes += page.page_size

@@ -200,6 +200,64 @@ class SiasVEngine:
             hops += 1
             self.stats.chain_hops += 1
 
+    def descend_visible_batch(
+            self, txn: Transaction, entries: list[Tid | None],
+    ) -> tuple[list[tuple[VersionRecord, Tid] | None], list[int], int]:
+        """Batched chain descent: one ``read_many`` per chain *level*.
+
+        All entrypoints are fetched together; the not-yet-visible survivors
+        of each level descend to their predecessors with another batched
+        fetch — so chain hops ride the device's channel parallelism exactly
+        like the entrypoint fetches do, instead of serialising one read per
+        hop.  TIDs repeated within a level are fetched once.
+
+        Returns ``(resolutions, depths, total_hops)``: per-entry visible
+        ``(record, tid)`` or None, the chain depth each resolution was found
+        at, and the total predecessor hops taken (for stats, which the
+        callers update exactly as the serial walk did).
+        """
+        clog = self.txn_mgr.clog
+        sees = txn.snapshot.sees_ts
+        results: list[tuple[VersionRecord, Tid] | None] = [None] * len(entries)
+        depths = [0] * len(entries)
+        pending = [(i, tid) for i, tid in enumerate(entries)
+                   if tid is not None]
+        depth = 0
+        total_hops = 0
+        while pending:
+            unique = list(dict.fromkeys(tid for _i, tid in pending))
+            fetched = dict(zip(unique, self.store.read_many(unique)))
+            descended: list[tuple[int, Tid]] = []
+            for i, tid in pending:
+                record = fetched[tid]
+                if sees(record.create_ts, clog):
+                    results[i] = (record, tid)
+                    depths[i] = depth
+                elif record.pred is not None:
+                    descended.append((i, record.pred))
+                    total_hops += 1
+                # else: chain exhausted with nothing visible → stays None
+            pending = descended
+            depth += 1
+        return results, depths, total_hops
+
+    def resolve_visible_many(
+            self, txn: Transaction,
+            vids: list[int]) -> list[tuple[VersionRecord, Tid] | None]:
+        """Batched :meth:`resolve_visible` with identical stats accounting."""
+        entries: list[Tid | None] = []
+        for vid in vids:
+            tid = self.vidmap.get(vid)
+            if tid is not None:
+                self.stats.resolves += 1
+            entries.append(tid)
+        results, depths, hops = self.descend_visible_batch(txn, entries)
+        self.stats.chain_hops += hops
+        for result, found_depth in zip(results, depths):
+            if result is not None and found_depth > self.stats.max_chain_hops:
+                self.stats.max_chain_hops = found_depth
+        return results
+
     def read(self, txn: Transaction, vid: int) -> bytes | None:
         """Visible payload of ``vid`` (None if absent, invisible or deleted)."""
         resolved = self.resolve_visible(txn, vid)
@@ -211,6 +269,24 @@ class SiasVEngine:
             self.stats.tombstone_hits += 1
             return None
         return record.payload
+
+    def read_many(self, txn: Transaction,
+                  vids: list[int]) -> list[bytes | None]:
+        """Batched :meth:`read` — the index-lookup fast path."""
+        resolved = self.resolve_visible_many(txn, vids)
+        txn.reads += len(vids)
+        out: list[bytes | None] = []
+        for item in resolved:
+            if item is None:
+                out.append(None)
+                continue
+            record, _tid = item
+            if record.tombstone:
+                self.stats.tombstone_hits += 1
+                out.append(None)
+            else:
+                out.append(record.payload)
+        return out
 
     def exists(self, txn: Transaction, vid: int) -> bool:
         """Whether ``vid`` has a visible non-tombstone version."""

@@ -33,27 +33,23 @@ def vidmap_scan(engine: SiasVEngine, txn: Transaction,
                 ) -> Iterator[tuple[int, VersionRecord]]:
     """Yield ``(vid, visible_record)`` via the VIDmap (Algorithm 1).
 
-    Entrypoints are fetched in parallel batches; items whose entrypoint is
-    not visible descend their predecessor chain individually.  Tombstoned
+    Entrypoints are fetched in parallel batches and items whose entrypoint
+    is not visible descend their predecessor chains *level-synchronously*:
+    each chain level of the whole batch is one ``read_many`` round-trip, so
+    the descent exploits the device's channel parallelism just like the
+    entrypoint fetches (instead of one serial read per hop).  Tombstoned
     (deleted) items are skipped.
     """
     pending: list[tuple[int, Tid]] = []
 
     def _drain(batch: list[tuple[int, Tid]],
                ) -> Iterator[tuple[int, VersionRecord]]:
-        records = engine.store.read_many([tid for _vid, tid in batch])
-        for (vid, _tid), record in zip(batch, records):
-            clog = engine.txn_mgr.clog
-            hops = 0
-            while not txn.snapshot.sees_ts(record.create_ts, clog):
-                if record.pred is None:
-                    record = None  # type: ignore[assignment]
-                    break
-                record = engine.store.read(record.pred)
-                hops += 1
-            engine.stats.chain_hops += hops
-            if record is not None and not record.tombstone:
-                yield vid, record
+        results, _depths, hops = engine.descend_visible_batch(
+            txn, [tid for _vid, tid in batch])
+        engine.stats.chain_hops += hops
+        for (vid, _tid), result in zip(batch, results):
+            if result is not None and not result[0].tombstone:
+                yield vid, result[0]
 
     for vid, tid in engine.vidmap.entries():
         pending.append((vid, tid))

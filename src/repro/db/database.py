@@ -319,8 +319,24 @@ class Database:
         relation = self.table(table)
         definition, tree = relation.index(index_name)
         out: list[tuple[ItemRef, tuple]] = []
+        refs = list(tree.search(key))
+        if self.kind is EngineKind.SIASV and len(refs) > 1:
+            # batched resolution: all candidates' chains descend with one
+            # parallel device round-trip per chain level
+            payloads = relation.engine.read_many(txn, refs)
+            for ref, payload in zip(refs, payloads):
+                if payload is None:
+                    continue
+                if txn.serializable:
+                    self.txn_mgr.ssi.on_read(txn,
+                                             (relation.relation_id, ref))
+                row = relation.codec.decode(payload)
+                if definition.key_of(relation.schema, row) != key:
+                    continue  # stale entry: visible version has another key
+                out.append((ref, row))
+            return out
         kill: list[ItemRef] = []
-        for ref in tree.search(key):
+        for ref in refs:
             row = self.read(txn, table, ref)
             if row is None:
                 if (self.kind is EngineKind.SI

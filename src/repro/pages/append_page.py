@@ -18,6 +18,14 @@ Two physical layouts are supported (the "V" of SIAS-V):
 
 Both layouts hold identical logical content; ``read``/``read_meta`` are
 layout-independent.
+
+Decoding is **lazy and zero-copy**: :meth:`AppendPage.from_payload_kind`
+keeps a ``memoryview`` over the sealed payload and decodes individual
+records only when they are first read.  ``read_meta`` unpacks just the
+fixed-width visibility fields in place, so a visibility-only chain walk
+over a sealed page never materialises payload bytes.  Sealed pages are
+immutable, so the view stays authoritative; an ``append`` to a decoded page
+(never done by the engine, but allowed) materialises every record first.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.common.config import PageLayout
 from repro.common.errors import PageCorruptError, PageFullError, SlotError
 from repro.pages.base import Page, PageKind
 from repro.pages.layout import (
+    VERSION_HEADER_STRUCT,
     VERSION_HEADER_SIZE,
     FLAG_TOMBSTONE,
     Tid,
@@ -39,6 +48,7 @@ from repro.pages.layout import (
 _COUNT = struct.Struct("<H")
 _META = struct.Struct("<qq6sB")  # create_ts, vid, pred, flags
 _OFFSET = struct.Struct("<HH")   # payload offset, payload length
+_PLEN = struct.Struct("<H")      # trailing payload-length header field
 
 #: Per-record cost in the VECTOR layout's metadata vectors.
 VECTOR_META_SIZE = _META.size + _OFFSET.size
@@ -51,8 +61,15 @@ class AppendPage(Page):
                  page_size: int = units.DB_PAGE_SIZE) -> None:
         super().__init__(page_no, page_size)
         self.layout = layout
-        self._records: list[VersionRecord] = []
+        self._records: list[VersionRecord | None] = []
         self._used = _COUNT.size
+        #: sealed payload bytes (zero-copy lazy decode); None for open pages
+        self._view: memoryview | None = None
+        #: NSM: record start offsets within the sealed payload (built lazily)
+        self._nsm_offsets: list[int] | None = None
+        #: VECTOR: precomputed vector base offsets
+        self._offsets_base = 0
+        self._heap_base = 0
 
     @property
     def kind(self) -> PageKind:  # type: ignore[override]
@@ -98,25 +115,49 @@ class AppendPage(Page):
             raise PageFullError(
                 f"append page {self.page_no}: no room for "
                 f"{self._record_cost(record)} B")
+        if self._view is not None:
+            # decoded sealed page diverges from its byte image: materialise
+            # every record and drop the view before mutating
+            self._materialise()
+            self._view = None
+            self._nsm_offsets = None
         self._records.append(record)
         self._used += self._record_cost(record)
         return len(self._records) - 1
 
     def read(self, slot: int) -> VersionRecord:
         """Full version record in ``slot``."""
-        return self._records[self._check(slot)]
+        record = self._records[self._check(slot)]
+        if record is None:
+            record = self._decode(slot)
+            self._records[slot] = record
+        return record
 
     def read_meta(self, slot: int) -> tuple[int, int, Tid | None, bool]:
         """Visibility metadata only: ``(create_ts, vid, pred, tombstone)``.
 
-        In the VECTOR layout this models touching only the metadata vectors.
+        In the VECTOR layout this models touching only the metadata vectors;
+        on a lazily-decoded page the payload bytes are never materialised.
         """
-        r = self._records[self._check(slot)]
-        return r.create_ts, r.vid, r.pred, r.tombstone
+        record = self._records[self._check(slot)]
+        if record is not None:
+            return record.create_ts, record.vid, record.pred, record.tombstone
+        view = self._view
+        assert view is not None
+        if self.layout is PageLayout.VECTOR:
+            create_ts, vid, pred_raw, flags = _META.unpack_from(
+                view, _COUNT.size + slot * _META.size)
+        else:
+            create_ts, vid, pred_raw, flags, _plen = \
+                VERSION_HEADER_STRUCT.unpack_from(view,
+                                                  self._nsm_offset(slot))
+        return (create_ts, vid, Tid.unpack(pred_raw),
+                bool(flags & FLAG_TOMBSTONE))
 
     def records(self) -> list[tuple[int, VersionRecord]]:
         """All ``(slot, record)`` pairs in append order."""
-        return list(enumerate(self._records))
+        self._materialise()
+        return list(enumerate(self._records))  # type: ignore[arg-type]
 
     def _check(self, slot: int) -> int:
         if not 0 <= slot < len(self._records):
@@ -124,6 +165,106 @@ class AppendPage(Page):
                 f"append page {self.page_no}: slot {slot} out of range "
                 f"[0, {len(self._records)})")
         return slot
+
+    # -- lazy decode internals ------------------------------------------------------
+
+    def _init_sealed(self, view: memoryview, count: int) -> None:
+        """Adopt a sealed payload for lazy decoding (from_payload_kind)."""
+        self._view = view
+        self._records = [None] * count
+        self._used = len(view)  # payload length == used bytes, both layouts
+        if self.layout is PageLayout.VECTOR:
+            self._offsets_base = _COUNT.size + _META.size * count
+            self._heap_base = self._offsets_base + _OFFSET.size * count
+            if self._heap_base > len(view):
+                raise PageCorruptError(
+                    f"append page {self.page_no}: metadata vectors extend "
+                    "past payload end")
+
+    def _decode(self, slot: int) -> VersionRecord:
+        view = self._view
+        assert view is not None
+        if self.layout is PageLayout.NSM:
+            record, _next = VersionRecord.unpack(view,
+                                                 self._nsm_offset(slot))
+            return record
+        create_ts, vid, pred_raw, flags = _META.unpack_from(
+            view, _COUNT.size + slot * _META.size)
+        poff, plen = _OFFSET.unpack_from(
+            view, self._offsets_base + slot * _OFFSET.size)
+        start = self._heap_base + poff
+        if start + plen > len(view):
+            raise PageCorruptError(
+                f"append page {self.page_no}: payload slice out of bounds")
+        return VersionRecord(
+            create_ts=create_ts,
+            vid=vid,
+            pred=Tid.unpack(pred_raw),
+            tombstone=bool(flags & FLAG_TOMBSTONE),
+            payload=bytes(view[start:start + plen]),
+        )
+
+    def _nsm_offset(self, slot: int) -> int:
+        """Record start offset in an NSM payload (index built on demand).
+
+        One header-only walk over the page — payload bytes are skipped, not
+        copied — then every later access is O(1).
+        """
+        offsets = self._nsm_offsets
+        if offsets is None:
+            view = self._view
+            assert view is not None
+            offsets = []
+            offset = _COUNT.size
+            for _ in range(len(self._records)):
+                if offset + VERSION_HEADER_SIZE > len(view):
+                    raise PageCorruptError(
+                        f"append page {self.page_no}: version header "
+                        "extends past payload end")
+                offsets.append(offset)
+                (plen,) = _PLEN.unpack_from(
+                    view, offset + VERSION_HEADER_SIZE - _PLEN.size)
+                offset += VERSION_HEADER_SIZE + plen
+                if offset > len(view):
+                    raise PageCorruptError(
+                        f"append page {self.page_no}: version payload "
+                        "extends past payload end")
+            self._nsm_offsets = offsets
+        return offsets[slot]
+
+    def _materialise(self) -> None:
+        """Decode every not-yet-decoded record (records()/append paths)."""
+        if self._view is None:
+            return
+        if self.layout is PageLayout.VECTOR and None in self._records:
+            # batch-decode the fixed-width vectors with iter_unpack
+            view = self._view
+            count = len(self._records)
+            metas = _META.iter_unpack(view[_COUNT.size:self._offsets_base])
+            offs = _OFFSET.iter_unpack(
+                view[self._offsets_base:self._heap_base])
+            heap_base = self._heap_base
+            for slot, ((create_ts, vid, pred_raw, flags),
+                       (poff, plen)) in enumerate(zip(metas, offs)):
+                if self._records[slot] is not None:
+                    continue
+                start = heap_base + poff
+                if start + plen > len(view):
+                    raise PageCorruptError(
+                        f"append page {self.page_no}: payload slice out "
+                        "of bounds")
+                self._records[slot] = VersionRecord(
+                    create_ts=create_ts,
+                    vid=vid,
+                    pred=Tid.unpack(pred_raw),
+                    tombstone=bool(flags & FLAG_TOMBSTONE),
+                    payload=bytes(view[start:start + plen]),
+                )
+            assert count == len(self._records)
+            return
+        for slot, record in enumerate(self._records):
+            if record is None:
+                self._records[slot] = self._decode(slot)
 
     # -- layout-dependent scan cost ------------------------------------------------
 
@@ -141,19 +282,24 @@ class AppendPage(Page):
     # -- serialisation -----------------------------------------------------------------
 
     def payload_bytes(self) -> bytes:
+        if self._view is not None:
+            # sealed pages are immutable: the original image is authoritative
+            return bytes(self._view)
         if self.layout is PageLayout.NSM:
             parts = [_COUNT.pack(len(self._records))]
-            parts.extend(r.pack() for r in self._records)
+            parts.extend(r.pack() for r in self._records)  # type: ignore[union-attr]
             return b"".join(parts)
         # VECTOR: meta vector | offset vector | payload heap
         parts = [_COUNT.pack(len(self._records))]
         for r in self._records:
+            assert r is not None
             flags = FLAG_TOMBSTONE if r.tombstone else 0
             parts.append(_META.pack(r.create_ts, r.vid, pack_tid(r.pred),
                                     flags))
         heap_parts: list[bytes] = []
         offset = 0
         for r in self._records:
+            assert r is not None
             parts.append(_OFFSET.pack(offset, len(r.payload)))
             heap_parts.append(r.payload)
             offset += len(r.payload)
@@ -166,39 +312,20 @@ class AppendPage(Page):
             "append pages must be decoded via from_payload_kind")
 
     @classmethod
-    def from_payload_kind(cls, page_no: int, payload: bytes, page_size: int,
-                          kind: PageKind) -> "AppendPage":
-        """Decode an append page whose layout is given by the header kind."""
+    def from_payload_kind(cls, page_no: int, payload: bytes | memoryview,
+                          page_size: int, kind: PageKind) -> "AppendPage":
+        """Decode an append page whose layout is given by the header kind.
+
+        The payload is *adopted*, not parsed: records decode lazily over a
+        ``memoryview`` on first access (see the module docstring).
+        """
         layout = (PageLayout.NSM if kind is PageKind.APPEND_NSM
                   else PageLayout.VECTOR)
         page = cls(page_no, layout, page_size)
         (count,) = _COUNT.unpack_from(payload, 0)
-        if layout is PageLayout.NSM:
-            offset = _COUNT.size
-            for _ in range(count):
-                record, offset = VersionRecord.unpack(payload, offset)
-                page.append(record)
-            return page
-        meta_base = _COUNT.size
-        offsets_base = meta_base + _META.size * count
-        heap_base = offsets_base + _OFFSET.size * count
-        for i in range(count):
-            create_ts, vid, pred_raw, flags = _META.unpack_from(
-                payload, meta_base + i * _META.size)
-            poff, plen = _OFFSET.unpack_from(payload,
-                                             offsets_base + i * _OFFSET.size)
-            start = heap_base + poff
-            if start + plen > len(payload):
-                raise PageCorruptError(
-                    f"append page {page_no}: payload slice out of bounds")
-            record = VersionRecord(
-                create_ts=create_ts,
-                vid=vid,
-                pred=Tid.unpack(pred_raw),
-                tombstone=bool(flags & FLAG_TOMBSTONE),
-                payload=bytes(payload[start:start + plen]),
-            )
-            page.append(record)
+        view = payload if isinstance(payload, memoryview) \
+            else memoryview(payload)
+        page._init_sealed(view, count)
         return page
 
     def min_record_size(self) -> int:

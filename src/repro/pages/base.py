@@ -84,7 +84,14 @@ class Page(ABC):
 
     @staticmethod
     def from_bytes(data: bytes) -> "Page":
-        """Deserialise any page, dispatching on the header's kind field."""
+        """Deserialise any page, dispatching on the header's kind field.
+
+        Zero-copy: the payload is handed to the format decoder as a
+        ``memoryview`` slice of ``data`` — append pages decode it lazily, so
+        a visibility-only scan never materialises payload bytes.  ``data``
+        must therefore not be mutated after the call (device reads return
+        immutable ``bytes``, so this holds on every read path).
+        """
         # Imported here to avoid a circular import between the page formats
         # and this base module.
         from repro.pages.append_page import AppendPage
@@ -95,7 +102,7 @@ class Page(ABC):
         magic, kind, page_no, plen, crc = _HEADER.unpack_from(data)
         if magic != _MAGIC:
             raise PageCorruptError(f"bad page magic 0x{magic:04x}")
-        body = bytes(data[PAGE_HEADER_SIZE:])
+        body = memoryview(data)[PAGE_HEADER_SIZE:]
         if zlib.crc32(body) != crc:
             raise PageCorruptError(f"page {page_no}: checksum mismatch")
         payload = body[:plen]

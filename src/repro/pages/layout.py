@@ -53,6 +53,9 @@ def pack_tid(tid: Tid | None) -> bytes:
 _VERSION_HEADER = struct.Struct("<qq6sBH")
 VERSION_HEADER_SIZE = _VERSION_HEADER.size
 
+#: Public alias for zero-copy decoders that unpack headers in place.
+VERSION_HEADER_STRUCT = _VERSION_HEADER
+
 #: Flag bit: this version is a deletion tombstone.
 FLAG_TOMBSTONE = 0x01
 
@@ -89,13 +92,18 @@ class VersionRecord:
         return header + self.payload
 
     @staticmethod
-    def unpack(data: bytes, offset: int = 0) -> tuple["VersionRecord", int]:
-        """Decode one record at ``offset``; returns ``(record, next_offset)``."""
+    def unpack(data: bytes | memoryview,
+               offset: int = 0) -> tuple["VersionRecord", int]:
+        """Decode one record at ``offset``; returns ``(record, next_offset)``.
+
+        Zero-copy: the header is decoded in place with ``unpack_from`` and
+        only the payload is materialised (records outlive the page buffer).
+        """
         end = offset + VERSION_HEADER_SIZE
         if end > len(data):
             raise PageCorruptError("version header extends past page end")
-        create_ts, vid, pred_raw, flags, plen = _VERSION_HEADER.unpack(
-            data[offset:end])
+        create_ts, vid, pred_raw, flags, plen = _VERSION_HEADER.unpack_from(
+            data, offset)
         if end + plen > len(data):
             raise PageCorruptError("version payload extends past page end")
         payload = bytes(data[end:end + plen])
@@ -156,12 +164,13 @@ class HeapTuple:
         return header + self.payload
 
     @staticmethod
-    def unpack(data: bytes, offset: int = 0) -> tuple["HeapTuple", int]:
+    def unpack(data: bytes | memoryview,
+               offset: int = 0) -> tuple["HeapTuple", int]:
         """Decode one tuple at ``offset``; returns ``(tuple, next_offset)``."""
         end = offset + HEAP_HEADER_SIZE
         if end > len(data):
             raise PageCorruptError("heap header extends past page end")
-        xmin, xmax, flags, plen = _HEAP_HEADER.unpack(data[offset:end])
+        xmin, xmax, flags, plen = _HEAP_HEADER.unpack_from(data, offset)
         if end + plen > len(data):
             raise PageCorruptError("heap payload extends past page end")
         payload = bytes(data[end:end + plen])

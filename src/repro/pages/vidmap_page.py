@@ -19,7 +19,13 @@ import struct
 from repro.common import units
 from repro.common.errors import SlotError
 from repro.pages.base import Page, PageKind
-from repro.pages.layout import NULL_TID_BYTES, TID_SIZE, Tid, pack_tid
+from repro.pages.layout import (
+    NULL_TID_BYTES,
+    TID_SIZE,
+    TID_STRUCT,
+    Tid,
+    pack_tid,
+)
 
 _HEADER = struct.Struct("<H")  # slots per bucket
 
@@ -71,12 +77,16 @@ class VidMapPage(Page):
         return b"".join(parts)
 
     @classmethod
-    def from_payload(cls, page_no: int, payload: bytes,
+    def from_payload(cls, page_no: int, payload: bytes | memoryview,
                      page_size: int) -> "VidMapPage":
         (slots,) = _HEADER.unpack_from(payload, 0)
         page = cls(page_no, slots, page_size)
         base = _HEADER.size
-        for i in range(slots):
-            raw = payload[base + i * TID_SIZE:base + (i + 1) * TID_SIZE]
-            page._slots[i] = None if raw == NULL_TID_BYTES else Tid.unpack(raw)
+        # one batched pass over the TID vector instead of per-slot slicing
+        view = memoryview(payload)[base:base + slots * TID_SIZE]
+        null_pair = TID_STRUCT.unpack(NULL_TID_BYTES)
+        page._slots = [
+            None if pair == null_pair else Tid(*pair)
+            for pair in TID_STRUCT.iter_unpack(view)
+        ]
         return page

@@ -1,0 +1,109 @@
+"""Batched chain descent must be observably identical to the serial walk.
+
+``descend_visible_batch`` fetches predecessor chains level-synchronously
+(one ``read_many`` per chain level) instead of one read per hop.  The
+optimisation is only legal if the *resolutions* and the *stats accounting*
+match the serial ``resolve_visible`` exactly — these tests build version
+chains of mixed depth (updates, deletes, uncommitted writers, repeated
+VIDs) and compare both code paths on the same engine state.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SiasVStats
+from repro.core.scan import vidmap_scan
+
+
+def _build_chains(engine, txn_mgr, items=12, rounds=3):
+    """items with chain depths 0..rounds, one deleted, one never-committed."""
+    txn = txn_mgr.begin()
+    vids = [engine.insert(txn, bytes([i + 1]) * 64) for i in range(items)]
+    txn_mgr.commit(txn)
+    for r in range(rounds):
+        txn = txn_mgr.begin()
+        for vid in vids[: items - r * (items // rounds)]:
+            engine.update(txn, vid, bytes([r + 1]) * 96)
+        txn_mgr.commit(txn)
+    txn = txn_mgr.begin()
+    engine.delete(txn, vids[0])
+    txn_mgr.commit(txn)
+    return vids
+
+
+class TestBatchedDescentEquivalence:
+    def test_resolutions_match_serial(self, sias_engine, txn_mgr):
+        vids = _build_chains(sias_engine, txn_mgr)
+        old_reader = txn_mgr.begin()  # mid-history snapshot walks chains
+        txn = txn_mgr.begin()
+        sias_engine.update(txn, vids[1], b"z" * 32)
+        txn_mgr.commit(txn)
+        for reader in (old_reader, txn_mgr.begin()):
+            probe = vids + [vids[0], 10_000]  # repeated VID + unknown VID
+            serial = [sias_engine.resolve_visible(reader, v) for v in probe]
+            batched = sias_engine.resolve_visible_many(reader, probe)
+            assert batched == serial
+        txn_mgr.commit(old_reader)
+
+    def test_stats_accounting_matches_serial(self, sias_engine, txn_mgr):
+        vids = _build_chains(sias_engine, txn_mgr)
+        old_reader = txn_mgr.begin()
+        txn = txn_mgr.begin()
+        for vid in vids[1:5]:  # vids[0] is tombstoned
+            sias_engine.update(txn, vid, b"w" * 48)
+        txn_mgr.commit(txn)
+
+        probe = vids + [99_999]
+        sias_engine.stats = SiasVStats()
+        for vid in probe:
+            sias_engine.resolve_visible(old_reader, vid)
+        serial = sias_engine.stats
+
+        sias_engine.stats = SiasVStats()
+        sias_engine.resolve_visible_many(old_reader, probe)
+        batched = sias_engine.stats
+
+        assert batched.resolves == serial.resolves
+        assert batched.chain_hops == serial.chain_hops
+        assert batched.max_chain_hops == serial.max_chain_hops
+        txn_mgr.commit(old_reader)
+
+    def test_read_many_matches_serial_reads(self, sias_engine, txn_mgr):
+        vids = _build_chains(sias_engine, txn_mgr)
+        reader = txn_mgr.begin()
+        probe = vids + [vids[0], 77_777]
+        serial = [sias_engine.read(reader, v) for v in probe]
+        reads_after_serial = reader.reads
+        sias_engine.stats = SiasVStats()
+        batched = sias_engine.read_many(reader, probe)
+        assert batched == serial
+        assert serial[probe.index(vids[0])] is None  # tombstone reads None
+        assert reader.reads == reads_after_serial + len(probe)
+        txn_mgr.commit(reader)
+
+    def test_uncommitted_writer_invisible_to_batch(self, sias_engine,
+                                                   txn_mgr):
+        vids = _build_chains(sias_engine, txn_mgr, items=6, rounds=2)
+        writer = txn_mgr.begin()
+        sias_engine.update(writer, vids[2], b"uncommitted" * 4)
+        reader = txn_mgr.begin()
+        serial = [sias_engine.resolve_visible(reader, v) for v in vids]
+        batched = sias_engine.resolve_visible_many(reader, vids)
+        assert batched == serial
+        assert batched[2] is not None
+        assert batched[2][0].payload != b"uncommitted" * 4
+        txn_mgr.commit(writer)
+        txn_mgr.commit(reader)
+
+    def test_vidmap_scan_matches_serial_resolution(self, sias_engine,
+                                                   txn_mgr):
+        vids = _build_chains(sias_engine, txn_mgr)
+        sias_engine.store.seal_working_page()
+        reader = txn_mgr.begin()
+        expected = {}
+        for vid in vids:
+            resolved = sias_engine.resolve_visible(reader, vid)
+            if resolved is not None and not resolved[0].tombstone:
+                expected[vid] = resolved[0]
+        scanned = dict(vidmap_scan(sias_engine, reader, batch_size=4))
+        assert scanned == expected
+        txn_mgr.commit(reader)

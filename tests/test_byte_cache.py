@@ -1,0 +1,175 @@
+"""Sealed-page byte-cache tests: seeding, invalidation, never-stale reads.
+
+Clean frames remember their encoded page image (``BufferManager.cached_bytes``)
+so sealed append pages never re-encode on writeback.  These tests pin the
+invalidation contract: the cache must vanish the moment a frame is dirtied,
+dropped (GC reclaim) or the pool is invalidated — a stale image must never
+reach the device or a reader.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.manager import BufferManager
+from repro.core.gc import GarbageCollector
+from repro.pages.base import Page
+from repro.pages.layout import HeapTuple, XMAX_INFINITY
+from repro.pages.slotted import SlottedHeapPage
+
+
+def _heap_page(page_no: int, tag: int = 0) -> SlottedHeapPage:
+    page = SlottedHeapPage(page_no)
+    page.insert(HeapTuple(tag, XMAX_INFINITY, False, b"x" * 16))
+    return page
+
+
+class TestByteCacheSeeding:
+    def test_device_read_seeds_cache(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        buffer.put_dirty(f, 0, _heap_page(0, 5))
+        buffer.flush_all()
+        buffer.invalidate_all()
+        page = buffer.get_page(f, 0)
+        raw = buffer.cached_bytes(f, 0)
+        assert raw is not None
+        assert raw == page.to_bytes()
+
+    def test_batched_read_seeds_cache(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        for i in range(4):
+            buffer.put_dirty(f, i, _heap_page(i, i))
+        buffer.flush_all()
+        buffer.invalidate_all()
+        buffer.get_pages(f, [0, 1, 2, 3])
+        for i in range(4):
+            assert buffer.cached_bytes(f, i) is not None
+
+    def test_put_clean_with_raw_seeds_cache(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        page = _heap_page(0, 9)
+        encoded = page.to_bytes()
+        buffer.put_clean(f, 0, page, raw=encoded)
+        assert buffer.cached_bytes(f, 0) == encoded
+
+    def test_flush_populates_cache(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        page = _heap_page(0, 3)
+        buffer.put_dirty(f, 0, page)
+        assert buffer.cached_bytes(f, 0) is None  # dirty ⇒ no image
+        buffer.flush_page(f, 0)
+        assert buffer.cached_bytes(f, 0) == page.to_bytes()
+
+    def test_seal_seeds_cache_with_written_image(self, sias_engine, txn_mgr):
+        txn = txn_mgr.begin()
+        for i in range(20):
+            sias_engine.insert(txn, bytes([i]) * 400)
+        txn_mgr.commit(txn)
+        sias_engine.store.seal_working_page()
+        store = sias_engine.store
+        for page_no in store.sealed_page_nos():
+            raw = store.buffer.cached_bytes(store.file_id, page_no)
+            if raw is None:  # frame may have been evicted since sealing
+                continue
+            assert Page.from_bytes(raw).record_count == \
+                store.buffer.get_page(store.file_id, page_no).record_count
+
+
+class TestByteCacheInvalidation:
+    def test_mark_dirty_drops_cached_image(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        page = _heap_page(0, 1)
+        buffer.put_clean(f, 0, page, raw=page.to_bytes())
+        buffer.mark_dirty(f, 0)
+        assert buffer.cached_bytes(f, 0) is None
+
+    def test_dirtied_page_writes_new_content(self, buffer, tablespace):
+        """After mark_dirty the writeback must re-encode, not replay raw."""
+        f = tablespace.create_file("f")
+        page = _heap_page(0, 1)
+        buffer.put_clean(f, 0, page, raw=page.to_bytes())
+        page.insert(HeapTuple(2, XMAX_INFINITY, False, b"y" * 16))
+        buffer.mark_dirty(f, 0)
+        buffer.flush_all()
+        buffer.invalidate_all()
+        reread = buffer.get_page(f, 0)
+        assert reread.read(0).xmin == 1
+        assert reread.read(1).xmin == 2
+        assert reread.read(1).payload == b"y" * 16
+
+    def test_drop_then_reread_serves_device_content(self, buffer, tablespace):
+        """drop() forgets the image; a re-read must decode device bytes."""
+        f = tablespace.create_file("f")
+        page_v1 = _heap_page(0, 1)
+        buffer.put_clean(f, 0, page_v1, raw=page_v1.to_bytes())
+        buffer.drop(f, 0)
+        assert buffer.cached_bytes(f, 0) is None
+        # the device now holds different content at the same slot
+        page_v2 = _heap_page(0, 77)
+        lba = tablespace.ensure_page(f, 0)
+        tablespace.device.write_page(lba, page_v2.to_bytes())
+        assert buffer.get_page(f, 0).read(0).xmin == 77
+
+    def test_invalidate_all_never_serves_stale_bytes(self, buffer,
+                                                     tablespace):
+        f = tablespace.create_file("f")
+        page_v1 = _heap_page(0, 1)
+        buffer.put_clean(f, 0, page_v1, raw=page_v1.to_bytes())
+        buffer.invalidate_all()
+        assert buffer.cached_bytes(f, 0) is None
+        page_v2 = _heap_page(0, 42)
+        lba = tablespace.ensure_page(f, 0)
+        tablespace.device.write_page(lba, page_v2.to_bytes())
+        reread = buffer.get_page(f, 0)
+        assert reread.read(0).xmin == 42
+        assert buffer.cached_bytes(f, 0) == page_v2.to_bytes()
+
+    def test_gc_reclaim_drops_frames_and_scan_survives(self, sias_engine,
+                                                       txn_mgr):
+        """GC drop + re-read: reclaimed pages leave the pool entirely and
+        relocated survivors are re-read correctly afterwards."""
+        txn = txn_mgr.begin()
+        vids = [sias_engine.insert(txn, bytes([i]) * 1000) for i in range(5)]
+        txn_mgr.commit(txn)
+        for _ in range(4):
+            txn = txn_mgr.begin()
+            for vid in vids:
+                sias_engine.update(txn, vid, b"x" * 1000)
+            txn_mgr.commit(txn)
+        sias_engine.store.seal_working_page()
+        before = set(sias_engine.store.sealed_page_nos())
+        report = GarbageCollector(sias_engine).collect()
+        assert report.pages_reclaimed > 0
+        reclaimed = before - set(sias_engine.store.sealed_page_nos())
+        buffer = sias_engine.store.buffer
+        for page_no in reclaimed:
+            assert not buffer.is_cached(sias_engine.store.file_id, page_no)
+            assert buffer.cached_bytes(sias_engine.store.file_id,
+                                       page_no) is None
+        # every item still resolves to its latest payload via fresh reads
+        reader = txn_mgr.begin()
+        for vid in vids:
+            assert sias_engine.read(reader, vid) == b"x" * 1000
+        txn_mgr.commit(reader)
+
+
+class TestByteCacheInvariant:
+    def test_dirty_frame_never_carries_image(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        buffer.put_dirty(f, 0, _heap_page(0))
+        assert buffer.is_dirty(f, 0)
+        assert buffer.cached_bytes(f, 0) is None
+
+    def test_eviction_writeback_uses_cached_image(self, tablespace):
+        """A clean frame's eviction must not change what is on the device."""
+        buffer = BufferManager(tablespace, pool_pages=2)
+        f = tablespace.create_file("f")
+        page = _heap_page(0, 11)
+        encoded = page.to_bytes()
+        tablespace.device.write_page(tablespace.ensure_page(f, 0), encoded)
+        buffer.put_clean(f, 0, page, raw=encoded)
+        wb = buffer.stats.writebacks
+        buffer.put_clean(f, 1, _heap_page(1))
+        buffer.put_clean(f, 2, _heap_page(2))  # evicts page 0 eventually
+        buffer.put_clean(f, 3, _heap_page(3))
+        assert not buffer.is_cached(f, 0)
+        assert buffer.stats.writebacks == wb  # clean victims: no writes
+        assert buffer.get_page(f, 0).read(0).xmin == 11

@@ -1,0 +1,171 @@
+"""Clock-sweep behaviour after the O(1) intrusive-list rewrite.
+
+The sweep order used to live in a Python list that was rebuilt and scanned
+on every install; it is now a circular doubly-linked structure threaded
+through the frames.  These tests pin the *observable* second-chance
+semantics — victim order, pin handling, eviction stats — so the pointer
+surgery can never drift from the seed behaviour.  The frame-replacement
+dirtiness fix (``_install`` on a resident key) is covered here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.common.errors import NoFreeFrameError, PinError
+from repro.pages.layout import HeapTuple, XMAX_INFINITY
+from repro.pages.slotted import SlottedHeapPage
+
+
+def _heap_page(page_no: int, tag: int = 0) -> SlottedHeapPage:
+    page = SlottedHeapPage(page_no)
+    page.insert(HeapTuple(tag, XMAX_INFINITY, False, b"x" * 16))
+    return page
+
+
+@pytest.fixture
+def pool4(tablespace) -> BufferManager:
+    return BufferManager(tablespace, pool_pages=4)
+
+
+class TestSecondChance:
+    def test_fifo_when_untouched(self, pool4, tablespace):
+        """With no re-references the sweep degrades to FIFO."""
+        f = tablespace.create_file("f")
+        for i in range(4):
+            pool4.put_clean(f, i, _heap_page(i, i))
+        pool4.put_clean(f, 4, _heap_page(4))
+        assert not pool4.is_cached(f, 0)          # oldest went first
+        assert all(pool4.is_cached(f, i) for i in (1, 2, 3, 4))
+        pool4.put_clean(f, 5, _heap_page(5))
+        assert not pool4.is_cached(f, 1)          # then the next oldest
+
+    def test_reference_grants_second_chance(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        for i in range(4):
+            pool4.put_dirty(f, i, _heap_page(i, i))
+        pool4.flush_all()
+        # first eviction clears every reference bit, then takes page 0
+        pool4.put_clean(f, 4, _heap_page(4))
+        assert not pool4.is_cached(f, 0)
+        # re-reference page 1: the hit sets its bit again
+        pool4.get_page(f, 1)
+        pool4.put_clean(f, 5, _heap_page(5))
+        assert pool4.is_cached(f, 1)              # survived on second chance
+        assert not pool4.is_cached(f, 2)          # unreferenced victim
+
+    def test_replacement_keeps_clock_position(self, pool4, tablespace):
+        """Re-installing a resident key must not move it to the tail."""
+        f = tablespace.create_file("f")
+        for i in range(4):
+            pool4.put_clean(f, i, _heap_page(i, i))
+        pool4.put_clean(f, 1, _heap_page(1, 99))  # replace in place
+        pool4.put_clean(f, 4, _heap_page(4))      # evicts 0 (oldest)
+        assert not pool4.is_cached(f, 0)
+        pool4.put_clean(f, 5, _heap_page(5))
+        # had the replacement re-queued page 1 at the tail, page 2 would
+        # have been the victim here
+        assert not pool4.is_cached(f, 1)
+        assert pool4.is_cached(f, 2)
+
+    def test_drop_of_hand_frame_keeps_sweep_sound(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        for i in range(4):
+            pool4.put_clean(f, i, _heap_page(i, i))
+        pool4.put_clean(f, 4, _heap_page(4))      # hand now points past 0
+        for i in (1, 2, 3, 4):
+            pool4.drop(f, i)                      # including the hand frame
+        for i in range(10, 16):                   # pool refills and churns
+            pool4.put_clean(f, i, _heap_page(i))
+        assert sum(pool4.is_cached(f, i) for i in range(10, 16)) == 4
+
+    def test_drop_everything_then_reuse(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        for i in range(3):
+            pool4.put_clean(f, i, _heap_page(i))
+        for i in range(3):
+            pool4.drop(f, i)
+        for i in range(5):
+            pool4.put_clean(f, 20 + i, _heap_page(20 + i))
+        assert sum(pool4.is_cached(f, 20 + i) for i in range(5)) == 4
+
+
+class TestPinsUnderSweep:
+    def test_all_pinned_raises(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        for i in range(4):
+            pool4.put_clean(f, i, _heap_page(i))
+            pool4.pin(f, i)
+        with pytest.raises(NoFreeFrameError):
+            pool4.put_clean(f, 4, _heap_page(4))
+        # releasing one pin makes the install succeed again
+        pool4.unpin(f, 2)
+        pool4.put_clean(f, 4, _heap_page(4))
+        assert not pool4.is_cached(f, 2)
+
+    def test_sweep_skips_pinned_frames(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        for i in range(4):
+            pool4.put_clean(f, i, _heap_page(i, i))
+        pool4.pin(f, 0)                           # oldest, but untouchable
+        pool4.put_clean(f, 4, _heap_page(4))
+        assert pool4.is_cached(f, 0)
+        assert not pool4.is_cached(f, 1)          # next unpinned victim
+        pool4.unpin(f, 0)
+
+    def test_eviction_stats_match_churn(self, pool4, tablespace):
+        """Stats semantics unchanged: one eviction per forced install, one
+        writeback per dirty victim."""
+        f = tablespace.create_file("f")
+        for i in range(10):
+            pool4.put_dirty(f, i, _heap_page(i, i))
+        assert pool4.stats.evictions == 6
+        assert pool4.stats.writebacks == 6
+        wb = pool4.stats.writebacks
+        pool4.flush_all()
+        for i in range(20, 30):
+            pool4.put_clean(f, i, _heap_page(i))
+        assert pool4.stats.evictions == 16
+        assert pool4.stats.writebacks == wb + 4   # only the 4 dirty frames
+
+
+class TestInstallReplacement:
+    def test_replacing_dirty_frame_stays_dirty(self, pool4, tablespace):
+        """Regression: put_clean over a dirty resident frame used to drop
+        the dirty flag, losing the (new) content on eviction."""
+        f = tablespace.create_file("f")
+        pool4.put_dirty(f, 0, _heap_page(0, 1))
+        replacement = _heap_page(0, 2)
+        pool4.put_clean(f, 0, replacement)
+        assert pool4.is_dirty(f, 0)
+        assert pool4.cached_bytes(f, 0) is None
+        assert pool4.flush_all() == 1             # replacement reaches disk
+        pool4.invalidate_all()
+        assert pool4.get_page(f, 0).read(0).xmin == 2
+
+    def test_replacing_clean_frame_stays_clean(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        page = _heap_page(0, 1)
+        pool4.put_dirty(f, 0, page)
+        pool4.flush_all()
+        pool4.put_clean(f, 0, page, raw=page.to_bytes())
+        assert not pool4.is_dirty(f, 0)
+        assert pool4.flush_all() == 0
+
+    def test_replacing_pinned_frame_raises(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        pool4.put_dirty(f, 0, _heap_page(0))
+        pool4.pin(f, 0)
+        with pytest.raises(PinError):
+            pool4.put_clean(f, 0, _heap_page(0, 9))
+        pool4.unpin(f, 0)
+
+    def test_dirty_set_tracks_replacement(self, pool4, tablespace):
+        f = tablespace.create_file("f")
+        pool4.put_dirty(f, 0, _heap_page(0))
+        assert pool4.dirty_keys() == [(f, 0)]
+        pool4.put_dirty(f, 0, _heap_page(0, 5))   # replace dirty with dirty
+        assert pool4.dirty_keys() == [(f, 0)]     # no duplicates
+        pool4.flush_all()
+        assert pool4.dirty_keys() == []
