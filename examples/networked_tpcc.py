@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""TPC-C over the wire: the workload driver against a live ``repro`` server.
+
+Boots a :class:`~repro.server.DatabaseServer` (SIAS-V on simulated flash)
+on a background thread, then runs the *unchanged*
+:class:`~repro.workload.driver.TpccDriver` — loader, transaction profiles,
+simulated clock and all — through a :class:`~repro.client.RemoteDatabase`
+over a real TCP socket.  At the end the client-side
+:class:`~repro.workload.metrics.Metrics` are reconciled against the
+server's own transaction counters: every commit and abort the driver saw
+must exist server-side too, and no transaction may be left in flight.
+
+Run:  PYTHONPATH=src python examples/networked_tpcc.py
+"""
+
+from __future__ import annotations
+
+from repro.client import RemoteDatabase
+from repro.common import units
+from repro.db.database import Database, EngineKind
+from repro.server import DatabaseServer, ServerConfig
+from repro.workload.driver import DriverConfig, TpccDriver
+from repro.workload.tpcc_data import TpccLoader
+from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+
+#: Tiny scale so the demo finishes in seconds over loopback RPC.
+DEMO_SCALE = TpccScale(districts_per_warehouse=2, customers_per_district=4,
+                       items=10, stock_per_warehouse=10,
+                       initial_orders_per_district=2)
+
+
+def main(port: int = 0, transactions: int = 30, clients: int = 4,
+         quiet: bool = False) -> dict:
+    """Serve, load, drive, reconcile.  Returns the reconciled numbers."""
+    def say(text: str) -> None:
+        if not quiet:
+            print(text, flush=True)
+
+    db = Database.on_flash(EngineKind.SIASV)
+    server = DatabaseServer(db, ServerConfig(
+        port=port, max_in_flight=4, max_queue_depth=32,
+        idle_timeout_sec=60.0))
+    host, bound_port = server.start_in_background()
+    say(f"server listening on {host}:{bound_port}")
+    try:
+        remote = RemoteDatabase.connect(host, bound_port, pool_size=clients)
+        try:
+            create_tpcc_tables(remote)
+            load = TpccLoader(remote, scale=DEMO_SCALE).load(warehouses=1)
+            say(f"loaded {load.rows} rows in {load.transactions} "
+                f"transactions over the wire")
+
+            before = remote.monitor_snapshot()
+            driver = TpccDriver(
+                remote, warehouses=1, scale=DEMO_SCALE,
+                config=DriverConfig(
+                    clients=clients,
+                    maintenance_interval_usec=3600 * units.SEC))
+            metrics = driver.run_transactions(transactions)
+            summary = metrics.summary()
+            say(f"driver: {summary.commits} commits, {summary.aborts} "
+                f"aborts, {summary.notpm:.0f} NOTPM over "
+                f"{summary.span_sec:.2f} sim-s")
+
+            after = remote.monitor_snapshot()
+            server_commits = after["txn_commits"] - before["txn_commits"]
+            server_aborts = after["txn_aborts"] - before["txn_aborts"]
+            say(f"server: {server_commits} commits, {server_aborts} aborts "
+                f"in the same window; {after['txn_active']} still active")
+            assert server_commits == summary.commits, \
+                f"commit mismatch: server {server_commits} vs " \
+                f"driver {summary.commits}"
+            assert server_aborts == summary.aborts, \
+                f"abort mismatch: server {server_aborts} vs " \
+                f"driver {summary.aborts}"
+            assert after["txn_active"] == 0, "driver left txns in flight"
+
+            stats = remote.server_stats()
+            say(f"service layer: {stats['admitted']} commands admitted, "
+                f"{stats['shed_total']} shed, "
+                f"{stats['sessions']['opened']} sessions")
+            return {"summary": summary, "server_commits": server_commits,
+                    "server_aborts": server_aborts, "stats": stats}
+        finally:
+            remote.close()
+    finally:
+        server.stop_in_background()
+        say("server stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,10 @@ Commands:
   and print throughput / response time / device I/O;
 * ``exhibit`` — regenerate one paper exhibit by id (f1, t1, t2, f3, f4,
   t3, a1..a6) with quick parameters;
-* ``snapshot`` — run a short workload and print the full system snapshot.
+* ``snapshot`` — run a short workload and print the full system snapshot;
+* ``serve`` — expose a live database over TCP (see ``docs/SERVER.md``).
+
+Also installed as the ``repro`` console script (``pip install -e .``).
 """
 
 from __future__ import annotations
@@ -173,6 +176,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.db.database import Database
+    from repro.db.monitor import snapshot
+    from repro.server import DatabaseServer, ServerConfig
+
+    kind = EngineKind.SIASV if args.engine == "sias-v" else EngineKind.SI
+    db = Database.on_flash(kind)
+    if args.tpcc:
+        from repro.workload.tpcc_schema import create_tpcc_tables
+        create_tpcc_tables(db)
+        print("created TPC-C tables", flush=True)
+    server = DatabaseServer(db, ServerConfig(
+        host=args.host, port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.queue_depth,
+        idle_timeout_sec=args.idle_timeout))
+    server.run()
+    db.shutdown()
+    print(snapshot(db, server=server).render())
+    print("clean shutdown", flush=True)
+    return 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.db.monitor import snapshot
     from repro.experiments import harness
@@ -212,6 +238,23 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report",
                             help="assemble RESULTS/ into REPORT.md")
     report.add_argument("--results", default="RESULTS")
+
+    serve = sub.add_parser("serve",
+                           help="serve a database over TCP (docs/SERVER.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7654,
+                       help="0 binds an ephemeral port (printed on start)")
+    serve.add_argument("--engine", choices=("sias-v", "si"),
+                       default="sias-v")
+    serve.add_argument("--max-in-flight", type=int, default=8,
+                       help="commands submitted to the engine at once")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="waiting commands beyond which load is shed")
+    serve.add_argument("--idle-timeout", type=float, default=60.0,
+                       help="seconds before an idle session is reaped "
+                            "(<= 0 disables)")
+    serve.add_argument("--tpcc", action="store_true",
+                       help="pre-create the nine TPC-C tables")
     return parser
 
 
@@ -224,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         "exhibit": _cmd_exhibit,
         "snapshot": _cmd_snapshot,
         "report": _cmd_report,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,32 @@
+"""Synchronous client library for the ``repro`` wire protocol.
+
+Public surface::
+
+    from repro.client import RemoteDatabase
+
+    remote = RemoteDatabase.connect("127.0.0.1", 7654)
+    remote.create_table("accounts", schema, indexes=[...])
+    ref = remote.run_in_txn(lambda t: remote.insert(t, "accounts", row))
+
+``RemoteDatabase`` matches the in-process ``Database`` method signatures,
+pins each transaction to one pooled connection, and transparently retries
+``OVERLOADED`` sheds with exponential backoff.
+"""
+
+from repro.client.connection import ClientConnection
+from repro.client.pool import ConnectionPool, PoolStats, RetryPolicy
+from repro.client.remote import (
+    RemoteClock,
+    RemoteDatabase,
+    RemoteTransaction,
+)
+
+__all__ = [
+    "ClientConnection",
+    "ConnectionPool",
+    "PoolStats",
+    "RemoteClock",
+    "RemoteDatabase",
+    "RemoteTransaction",
+    "RetryPolicy",
+]

@@ -1,0 +1,117 @@
+"""One synchronous client connection: framing, request/response, errors.
+
+A :class:`ClientConnection` is deliberately plain ``socket`` code — no
+asyncio on the client side — so it works from scripts, the workload driver
+and test harnesses without an event loop.  One request is in flight at a
+time per connection; concurrency comes from the pool
+(:mod:`repro.client.pool`), which leases one connection per caller.
+
+Every response's echoed request id is checked against the request's, so a
+desynchronised stream (dropped frame, crossed responses) surfaces as a
+:class:`~repro.common.errors.ProtocolError` instead of silently returning
+another command's payload.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.common.errors import ProtocolError
+from repro.server.protocol import (
+    Command,
+    decode_response,
+    encode_request,
+    frame_length,
+    raise_for_status,
+)
+
+
+class ClientConnection:
+    """A blocking request/response channel to one ``repro`` server."""
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout_sec: float = 5.0,
+                 request_timeout_sec: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_sec = connect_timeout_sec
+        self.request_timeout_sec = request_timeout_sec
+        self._sock: socket.socket | None = None
+        self._next_request_id = 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self) -> "ClientConnection":
+        """Open the socket (no-op if already connected)."""
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_sec)
+            sock.settimeout(self.request_timeout_sec)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self
+
+    @property
+    def connected(self) -> bool:
+        """Whether the socket is (nominally) open."""
+        return self._sock is not None
+
+    def close(self) -> None:
+        """Close the socket; in-flight server-side txns will be orphaned."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ClientConnection":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- request/response ----------------------------------------------------
+
+    def request(self, command: Command, *args: object) -> object:
+        """Send one command and return its payload (raises on error status).
+
+        Connection-level failures close the socket and re-raise as
+        :class:`ConnectionError`; protocol-status errors map back to the
+        library's exception hierarchy via
+        :func:`repro.server.protocol.raise_for_status`.
+        """
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        try:
+            self._sock.sendall(encode_request(request_id, command, args))
+            header = self._recv_exact(4)
+            body = self._recv_exact(frame_length(header))
+        except (OSError, ConnectionError) as exc:
+            self.close()
+            raise ConnectionError(
+                f"{command.name} to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        echoed_id, status, payload = decode_response(body)
+        if echoed_id != request_id:
+            self.close()
+            raise ProtocolError(
+                f"response id {echoed_id} does not match request "
+                f"{request_id}: stream desynchronised")
+        raise_for_status(status, str(payload))
+        return payload
+
+    def _recv_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)

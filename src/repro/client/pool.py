@@ -1,0 +1,166 @@
+"""Connection pooling and retry policy for the synchronous client.
+
+The pool keeps up to ``size`` idle connections warm and hands them out one
+per caller; when the free list is empty it *creates* an overflow connection
+instead of blocking, because a single-threaded caller (the workload driver)
+legitimately holds one leased connection per in-flight transaction — a
+blocking pool would deadlock it.  Overflow connections are closed on
+release once the free list is full again.
+
+Retry semantics honour the server's backpressure contract: ``OVERLOADED``
+responses are shed *before* execution, so they are always safe to retry
+with exponential backoff.  Connect-time failures retry the same way (the
+server may still be booting).  A connection that dies *mid-request* is NOT
+retried by default — the server may or may not have executed the command —
+that error propagates to the caller, whose transaction is orphaned and
+will be aborted server-side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import OverloadedError
+from repro.client.connection import ClientConnection
+from repro.server.protocol import Command
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for retryable failures."""
+
+    max_attempts: int = 10
+    base_delay_sec: float = 0.005
+    max_delay_sec: float = 0.25
+    multiplier: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.max_delay_sec,
+                   self.base_delay_sec * (self.multiplier ** attempt))
+
+
+@dataclass
+class PoolStats:
+    """Pool effectiveness and retry counters."""
+
+    created: int = 0
+    reused: int = 0
+    overflow_closed: int = 0
+    overload_retries: int = 0
+    connect_retries: int = 0
+    broken: int = 0
+
+
+class ConnectionPool:
+    """Thread-safe pool of :class:`ClientConnection` with retry-on-shed."""
+
+    def __init__(self, host: str, port: int, size: int = 4,
+                 retry: RetryPolicy | None = None,
+                 connect_timeout_sec: float = 5.0,
+                 request_timeout_sec: float = 60.0) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.retry = retry or RetryPolicy()
+        self.connect_timeout_sec = connect_timeout_sec
+        self.request_timeout_sec = request_timeout_sec
+        self.stats = PoolStats()
+        self._lock = threading.Lock()
+        self._free: list[ClientConnection] = []
+        self._closed = False
+
+    # -- leasing -------------------------------------------------------------
+
+    def acquire(self) -> ClientConnection:
+        """Lease a connection (reuses an idle one, else dials a new one).
+
+        Connect failures back off and retry per the policy, so a client
+        racing a still-booting server converges instead of failing.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("pool is closed")
+            if self._free:
+                self.stats.reused += 1
+                return self._free.pop()
+        last_error: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                conn = ClientConnection(
+                    self.host, self.port,
+                    connect_timeout_sec=self.connect_timeout_sec,
+                    request_timeout_sec=self.request_timeout_sec).connect()
+                with self._lock:
+                    self.stats.created += 1
+                return conn
+            except (OSError, ConnectionError) as exc:
+                last_error = exc
+                with self._lock:
+                    self.stats.connect_retries += 1
+                time.sleep(self.retry.delay(attempt))
+        raise ConnectionError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retry.max_attempts} attempts: {last_error}")
+
+    def release(self, conn: ClientConnection) -> None:
+        """Return a leased connection (broken ones are discarded)."""
+        if not conn.connected:
+            with self._lock:
+                self.stats.broken += 1
+            return
+        with self._lock:
+            if not self._closed and len(self._free) < self.size:
+                self._free.append(conn)
+                return
+            self.stats.overflow_closed += 1
+        conn.close()
+
+    # -- calling -------------------------------------------------------------
+
+    def request(self, conn: ClientConnection, command: Command,
+                *args: object) -> object:
+        """One command on a *leased* connection, retrying only sheds.
+
+        ``OVERLOADED`` means the server rejected the command before
+        executing it, so resending after backoff is always safe — even for
+        non-idempotent commands inside a transaction.
+        """
+        for attempt in range(self.retry.max_attempts):
+            try:
+                return conn.request(command, *args)
+            except OverloadedError:
+                with self._lock:
+                    self.stats.overload_retries += 1
+                if attempt == self.retry.max_attempts - 1:
+                    raise
+                time.sleep(self.retry.delay(attempt))
+        raise AssertionError("unreachable")
+
+    def call(self, command: Command, *args: object) -> object:
+        """Lease, run one command with retry, release."""
+        conn = self.acquire()
+        try:
+            return self.request(conn, command, *args)
+        finally:
+            self.release(conn)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle connection and refuse new leases."""
+        with self._lock:
+            self._closed = True
+            free, self._free = self._free, []
+        for conn in free:
+            conn.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

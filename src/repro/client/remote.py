@@ -1,0 +1,270 @@
+"""``RemoteDatabase``: the :class:`Database` facade over a live socket.
+
+Method-for-method compatible with the in-process
+:class:`~repro.db.database.Database` surface the workloads use —
+``begin/commit/abort``, ``insert/bulk_insert/read/update/delete``,
+``lookup/range_lookup/scan/scan_vid_range``, ``tick/maintenance``,
+``run_in_txn`` and a ``clock`` — so :class:`~repro.workload.driver.
+TpccDriver`, :class:`~repro.workload.tpcc_data.TpccLoader` and
+``create_tpcc_tables`` run unchanged against a server.
+
+Transactions are pinned to one pooled connection for their whole life:
+server-side transaction state is per-session (per-connection), and the pin
+is also what makes the server's disconnect semantics meaningful — if this
+process dies, the connection dies, and the server aborts the transaction.
+Non-transactional commands (clock, tick, snapshot, stats, DDL) use any
+pooled connection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+from repro.client.connection import ClientConnection
+from repro.client.pool import ConnectionPool, RetryPolicy
+from repro.db.catalog import IndexDef
+from repro.db.schema import Schema
+from repro.server.protocol import Command
+from repro.txn.manager import TxnPhase
+
+
+class RemoteTransaction:
+    """Client-side handle of one server-side transaction.
+
+    Mirrors the :class:`~repro.txn.manager.Transaction` attributes the
+    workloads touch (``txid``, ``serializable``, ``phase``); the pinned
+    connection is an implementation detail of the pin-per-txn contract.
+    """
+
+    __slots__ = ("txid", "serializable", "phase", "_conn")
+
+    def __init__(self, txid: int, serializable: bool,
+                 conn: ClientConnection) -> None:
+        self.txid = txid
+        self.serializable = serializable
+        self.phase = TxnPhase.ACTIVE
+        self._conn = conn
+
+    def __repr__(self) -> str:
+        return (f"RemoteTransaction(txid={self.txid}, "
+                f"phase={self.phase.value})")
+
+
+def _schema_wire(schema: Schema) -> tuple:
+    return tuple((c.name, c.type.value) for c in schema.columns)
+
+
+def _indexes_wire(indexes: list[IndexDef] | None) -> tuple:
+    return tuple((d.name, d.columns, d.unique, d.kind.value)
+                 for d in indexes or [])
+
+
+class RemoteClock:
+    """Proxy of the server's simulated clock (the driver's timebase)."""
+
+    def __init__(self, pool: ConnectionPool) -> None:
+        self._pool = pool
+
+    @property
+    def now(self) -> int:
+        """Server-side simulated time in microseconds."""
+        return self._pool.call(Command.CLOCK_NOW)
+
+    @property
+    def now_sec(self) -> float:
+        """Server-side simulated time in seconds."""
+        return self.now / 1_000_000
+
+    def advance(self, usec: int) -> int:
+        """Advance the server's simulated clock; returns the new time."""
+        return self._pool.call(Command.CLOCK_ADVANCE, usec)
+
+    def advance_to(self, usec: int) -> int:
+        """Advance the server's clock to at least ``usec``."""
+        return self._pool.call(Command.CLOCK_ADVANCE_TO, usec)
+
+
+class RemoteDatabase:
+    """A pooled, retrying client presenting the ``Database`` facade."""
+
+    def __init__(self, host: str, port: int, pool_size: int = 4,
+                 retry: RetryPolicy | None = None,
+                 request_timeout_sec: float = 60.0) -> None:
+        self.pool = ConnectionPool(host, port, size=pool_size, retry=retry,
+                                   request_timeout_sec=request_timeout_sec)
+        self.clock = RemoteClock(self.pool)
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                ready_timeout_sec: float = 10.0,
+                **kwargs) -> "RemoteDatabase":
+        """Build a client and block until the server answers a ping."""
+        remote = cls(host, port, **kwargs)
+        remote.wait_ready(ready_timeout_sec)
+        return remote
+
+    def wait_ready(self, timeout_sec: float = 10.0) -> None:
+        """Ping until the server answers (it may still be booting)."""
+        deadline = time.monotonic() + timeout_sec
+        while True:
+            try:
+                self.ping()
+                return
+            except (ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, serializable: bool = False) -> RemoteTransaction:
+        """Start a server-side transaction pinned to one connection."""
+        conn = self.pool.acquire()
+        try:
+            txid = self.pool.request(conn, Command.BEGIN, serializable)
+        except BaseException:
+            self.pool.release(conn)
+            raise
+        return RemoteTransaction(txid, serializable, conn)
+
+    def commit(self, txn: RemoteTransaction) -> None:
+        """Commit; the pinned connection returns to the pool."""
+        try:
+            self.pool.request(txn._conn, Command.COMMIT, txn.txid)
+            txn.phase = TxnPhase.COMMITTED
+        except BaseException:
+            # server-side commit failure (e.g. SSI abort) rolled it back
+            txn.phase = TxnPhase.ABORTED
+            raise
+        finally:
+            self._unpin(txn)
+
+    def abort(self, txn: RemoteTransaction) -> None:
+        """Roll back; the pinned connection returns to the pool."""
+        try:
+            self.pool.request(txn._conn, Command.ABORT, txn.txid)
+        finally:
+            txn.phase = TxnPhase.ABORTED
+            self._unpin(txn)
+
+    def _unpin(self, txn: RemoteTransaction) -> None:
+        conn, txn._conn = txn._conn, None  # type: ignore[assignment]
+        if conn is not None:
+            self.pool.release(conn)
+
+    def _txn_call(self, txn: RemoteTransaction, command: Command,
+                  *args: object) -> object:
+        if txn.phase is not TxnPhase.ACTIVE or txn._conn is None:
+            raise ValueError(
+                f"txn {txn.txid} is {txn.phase.value}, expected active")
+        return self.pool.request(txn._conn, command, txn.txid, *args)
+
+    def run_in_txn(self, fn: Callable[[RemoteTransaction], object],
+                   serializable: bool = False) -> object:
+        """Run ``fn`` in a remote transaction, committing on success."""
+        txn = self.begin(serializable=serializable)
+        try:
+            result = fn(txn)
+        except BaseException:
+            if txn.phase is TxnPhase.ACTIVE:
+                self.abort(txn)
+            raise
+        self.commit(txn)
+        return result
+
+    # -- schema --------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema,
+                     indexes: list[IndexDef] | None = None) -> None:
+        """Create a relation (accepts the same ``Schema``/``IndexDef``)."""
+        self.pool.call(Command.CREATE_TABLE, name, _schema_wire(schema),
+                       _indexes_wire(indexes))
+
+    # -- data operations -----------------------------------------------------
+
+    def insert(self, txn: RemoteTransaction, table: str,
+               row: tuple) -> object:
+        """Insert a row; returns its item handle (VID or TID)."""
+        return self._txn_call(txn, Command.INSERT, table, row)
+
+    def bulk_insert(self, txn: RemoteTransaction, table: str,
+                    rows: list[tuple]) -> list:
+        """Load many rows in one round trip."""
+        return list(self._txn_call(txn, Command.BULK_INSERT, table,
+                                   tuple(rows)))
+
+    def read(self, txn: RemoteTransaction, table: str,
+             ref: object) -> tuple | None:
+        """Visible row of an item handle (None if invisible or deleted)."""
+        return self._txn_call(txn, Command.READ, table, ref)
+
+    def update(self, txn: RemoteTransaction, table: str, ref: object,
+               row: tuple) -> object:
+        """Replace an item's row; returns the (possibly new) handle."""
+        return self._txn_call(txn, Command.UPDATE, table, ref, row)
+
+    def delete(self, txn: RemoteTransaction, table: str,
+               ref: object) -> None:
+        """Delete an item."""
+        self._txn_call(txn, Command.DELETE, table, ref)
+
+    def lookup(self, txn: RemoteTransaction, table: str, index_name: str,
+               key: object) -> list[tuple]:
+        """Exact-match index lookup."""
+        return list(self._txn_call(txn, Command.LOOKUP, table, index_name,
+                                   key))
+
+    def range_lookup(self, txn: RemoteTransaction, table: str,
+                     index_name: str, lo: object,
+                     hi: object) -> list[tuple]:
+        """Range index lookup (inclusive bounds)."""
+        return list(self._txn_call(txn, Command.RANGE_LOOKUP, table,
+                                   index_name, lo, hi))
+
+    def scan(self, txn: RemoteTransaction,
+             table: str) -> Iterator[tuple]:
+        """Visible-rows scan (materialised server-side, streamed here)."""
+        yield from self._txn_call(txn, Command.SCAN, table)
+
+    def scan_vid_range(self, txn: RemoteTransaction, table: str, lo: int,
+                       hi: int) -> list[tuple]:
+        """Visible rows with ``lo <= VID < hi`` (SIAS-V only)."""
+        return list(self._txn_call(txn, Command.SCAN_VID_RANGE, table, lo,
+                                   hi))
+
+    # -- background machinery / monitoring -----------------------------------
+
+    def tick(self) -> None:
+        """Advance the server's bgwriter/checkpointer."""
+        self.pool.call(Command.TICK)
+
+    def maintenance(self) -> dict:
+        """Run GC / VACUUM on every table; returns per-table summaries."""
+        return self.pool.call(Command.MAINTENANCE)
+
+    def monitor_snapshot(self) -> dict:
+        """The server's full :func:`repro.db.monitor.snapshot` as a dict."""
+        return self.pool.call(Command.SNAPSHOT)
+
+    def server_stats(self) -> dict:
+        """Admission-control, session and per-command service counters."""
+        return self.pool.call(Command.STATS)
+
+    def ping(self) -> str:
+        """Liveness probe."""
+        return self.pool.call(Command.PING)
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop cleanly (it answers, then winds down)."""
+        self.pool.call(Command.SHUTDOWN)
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        self.pool.close()
+
+    def __enter__(self) -> "RemoteDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

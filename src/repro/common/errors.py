@@ -147,3 +147,32 @@ class WorkloadError(ReproError):
 
 class SchemaError(WorkloadError):
     """A row does not match its relation's declared schema."""
+
+
+# ---------------------------------------------------------------------------
+# service layer (repro.server / repro.client)
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for wire-protocol service failures."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed frame, unknown command, or a codec violation."""
+
+
+class OverloadedError(ServiceError):
+    """The server shed this request (admission control).
+
+    Retryable by contract: the command was rejected *before* execution, so
+    a client may safely resend it after backing off.
+    """
+
+
+class SessionError(ServiceError):
+    """A command referenced a transaction its session does not own, or the
+    session was closed (idle timeout / server shutdown)."""
+
+
+class RemoteError(ServiceError):
+    """An unexpected server-side failure relayed to the client."""

@@ -104,6 +104,8 @@ class Database:
         # without bound)
         self.checkpointer.subscribe_post(self.wal.recycle)
         self.tables: dict[str, Relation] = {}
+        self._shut_down = False
+        self._vidmap_file_ids: dict[str, int] = {}
 
     # -- constructors -------------------------------------------------------------
 
@@ -183,9 +185,14 @@ class Database:
         for relation in self.tables.values():
             relation.engine.on_txn_finished(txn.txid)
 
-    def run_in_txn(self, fn: Callable[[Transaction], object]) -> object:
-        """Run ``fn`` in a transaction, committing on success."""
-        txn = self.begin()
+    def run_in_txn(self, fn: Callable[[Transaction], object],
+                   serializable: bool = False) -> object:
+        """Run ``fn`` in a transaction, committing on success.
+
+        ``serializable=True`` runs under SSI instead of plain snapshot
+        isolation (same passthrough as :meth:`begin`).
+        """
+        txn = self.begin(serializable=serializable)
         try:
             result = fn(txn)
         except BaseException:
@@ -441,7 +448,14 @@ class Database:
                 tree.delete(definition.key_of(relation.schema, row), tid)
 
     def shutdown(self) -> None:
-        """Clean shutdown: seal working pages, checkpoint, persist VIDmaps."""
+        """Clean shutdown: seal working pages, checkpoint, persist VIDmaps.
+
+        Idempotent: a repeated call is a no-op.  (Without the guard a
+        second call would re-create duplicate ``vidmap.<table>`` tablespace
+        files and re-run sealing against already-sealed stores.)
+        """
+        if self._shut_down:
+            return
         if self.kind is EngineKind.SIASV:
             for relation in self.tables.values():
                 relation.engine.store.seal_working_page()
@@ -449,9 +463,13 @@ class Database:
         self.wal.force()
         if self.kind is EngineKind.SIASV:
             for relation in self.tables.values():
-                file_id = self.tablespace.create_file(
-                    f"vidmap.{relation.name}")
+                file_id = self._vidmap_file_ids.get(relation.name)
+                if file_id is None:
+                    file_id = self.tablespace.create_file(
+                        f"vidmap.{relation.name}")
+                    self._vidmap_file_ids[relation.name] = file_id
                 relation.engine.vidmap.persist(self.buffer, file_id)
+        self._shut_down = True
 
     # -- reporting ---------------------------------------------------------------------------------------
 

@@ -31,6 +31,24 @@ class TableSnapshot:
 
 
 @dataclass(frozen=True)
+class CommandStat:
+    """One served command's latency/throughput counters.
+
+    Populated when a snapshot is taken through the service layer
+    (``snapshot(db, server=...)`` or the wire ``SNAPSHOT`` command);
+    empty for purely in-process databases.
+    """
+
+    command: str
+    calls: int
+    ok: int
+    errors: int
+    shed: int
+    mean_wall_usec: float
+    max_wall_usec: float
+
+
+@dataclass(frozen=True)
 class SystemSnapshot:
     """One consistent reading of every subsystem's counters."""
 
@@ -49,8 +67,10 @@ class SystemSnapshot:
     wal_forces: int
     txn_commits: int
     txn_aborts: int
+    txn_active: int
     lock_conflicts: int
     tables: tuple[TableSnapshot, ...]
+    commands: tuple[CommandStat, ...] = ()
 
     def render(self) -> str:
         """Pretty-print the snapshot."""
@@ -70,8 +90,9 @@ class SystemSnapshot:
                 ["WAL records / MiB / forces",
                  f"{self.wal_records} / {self.wal_mib:.1f} / "
                  f"{self.wal_forces}"],
-                ["txn commits / aborts",
-                 f"{self.txn_commits} / {self.txn_aborts}"],
+                ["txn commits / aborts / active",
+                 f"{self.txn_commits} / {self.txn_aborts} / "
+                 f"{self.txn_active}"],
                 ["lock conflicts", self.lock_conflicts],
             ])
         rows = []
@@ -79,12 +100,26 @@ class SystemSnapshot:
             extras = ", ".join(f"{k}={v:g}" for k, v in table.extra.items())
             rows.append([table.name, table.engine, table.data_pages,
                          extras])
-        return head + format_table(
+        out = head + format_table(
             "per-table", ["table", "engine", "pages", "stats"], rows)
+        if self.commands:
+            out += format_table(
+                "per-command (service layer)",
+                ["command", "calls", "ok", "errors", "shed",
+                 "mean us", "max us"],
+                [[c.command, c.calls, c.ok, c.errors, c.shed,
+                  c.mean_wall_usec, c.max_wall_usec]
+                 for c in self.commands])
+        return out
 
 
-def snapshot(db: Database) -> SystemSnapshot:
-    """Collect a :class:`SystemSnapshot` from a live database."""
+def snapshot(db: Database, server: object | None = None) -> SystemSnapshot:
+    """Collect a :class:`SystemSnapshot` from a live database.
+
+    ``server`` (anything with a ``command_stats()`` returning a tuple of
+    :class:`CommandStat`, e.g. :class:`repro.server.DatabaseServer`) adds
+    the service layer's per-command counters to the snapshot.
+    """
     device = db.data_device
     erases = 0
     amp = 1.0
@@ -136,6 +171,9 @@ def snapshot(db: Database) -> SystemSnapshot:
         wal_forces=db.wal.forces,
         txn_commits=db.txn_mgr.commits,
         txn_aborts=db.txn_mgr.aborts,
+        txn_active=db.txn_mgr.active_count(),
         lock_conflicts=db.txn_mgr.locks.stats.conflicts,
         tables=tuple(tables),
+        commands=(server.command_stats()  # type: ignore[attr-defined]
+                  if server is not None else ()),
     )

@@ -1,0 +1,170 @@
+"""Executor offload with admission control and per-command telemetry.
+
+The storage engine underneath :class:`~repro.db.database.Database` is
+synchronous and **not** thread-safe, so the server must never run two
+commands against it concurrently — yet the asyncio accept loop must stay
+responsive while a scan chews through pages.  The dispatcher resolves this
+by running every database command on a dedicated
+:class:`~concurrent.futures.ThreadPoolExecutor` (one worker by default,
+which *is* the engine's concurrency contract) and bounding the work the
+event loop is allowed to park in front of it:
+
+* ``max_in_flight`` commands may be submitted to the executor at once
+  (an :class:`asyncio.Semaphore`);
+* at most ``max_queue_depth`` further commands may wait for the semaphore.
+
+A command arriving beyond both limits is **shed** with
+:class:`~repro.common.errors.OverloadedError` before any work happens —
+the retryable backpressure signal the client pool understands.  Shedding
+instead of queueing without bound is what keeps an overloaded server
+answering (the "tolerable load" lesson of the paper's Figure 5, applied to
+the service layer).
+
+Cleanup work (aborting a disconnected session's transactions) and cheap
+control commands bypass admission via ``exempt=True`` but still serialise
+through the executor, so engine single-threading holds even under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.common.errors import OverloadedError
+
+T = TypeVar("T")
+
+
+@dataclass
+class CommandCounter:
+    """Latency / throughput / shedding counters for one command."""
+
+    calls: int = 0
+    ok: int = 0
+    errors: int = 0
+    shed: int = 0
+    total_wall_sec: float = 0.0
+    max_wall_sec: float = 0.0
+
+    def observe(self, elapsed_sec: float) -> None:
+        """Record one completed (admitted) call."""
+        self.calls += 1
+        self.total_wall_sec += elapsed_sec
+        if elapsed_sec > self.max_wall_sec:
+            self.max_wall_sec = elapsed_sec
+
+    @property
+    def mean_wall_sec(self) -> float:
+        """Mean wall-clock latency of admitted calls."""
+        return self.total_wall_sec / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Wire-friendly view."""
+        return {"calls": self.calls, "ok": self.ok, "errors": self.errors,
+                "shed": self.shed,
+                "mean_wall_usec": round(self.mean_wall_sec * 1e6, 1),
+                "max_wall_usec": round(self.max_wall_sec * 1e6, 1)}
+
+
+@dataclass
+class DispatchStats:
+    """Aggregate admission-control counters plus the per-command map."""
+
+    admitted: int = 0
+    shed_total: int = 0
+    commands: dict[str, CommandCounter] = field(default_factory=dict)
+
+    def of(self, name: str) -> CommandCounter:
+        """The (auto-created) counter for one command name."""
+        counter = self.commands.get(name)
+        if counter is None:
+            counter = self.commands[name] = CommandCounter()
+        return counter
+
+    def per_command(self) -> dict[str, dict[str, float]]:
+        """Wire-friendly per-command snapshot."""
+        return {name: counter.as_dict()
+                for name, counter in sorted(self.commands.items())}
+
+
+class Dispatcher:
+    """Admission-controlled bridge from the event loop to the engine."""
+
+    def __init__(self, max_in_flight: int = 8, max_queue_depth: int = 64,
+                 executor_workers: int = 1) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.stats = DispatchStats()
+        self._sem = asyncio.Semaphore(max_in_flight)
+        self._waiting = 0
+        self._executing = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="repro-engine")
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def executing(self) -> int:
+        """Commands currently submitted to the executor."""
+        return self._executing
+
+    @property
+    def queued(self) -> int:
+        """Commands waiting for an in-flight slot."""
+        return self._waiting
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def run(self, name: str, fn: Callable[[], T], *,
+                  exempt: bool = False) -> T:
+        """Run ``fn`` on the engine executor, or shed with ``OVERLOADED``.
+
+        ``exempt`` skips the admission check (commit/abort, clock ticks,
+        cleanup) but still serialises through the executor.
+        """
+        if self._closed:
+            raise OverloadedError("dispatcher is shut down")
+        counter = self.stats.of(name)
+        if (not exempt and self._sem.locked()
+                and self._waiting >= self.max_queue_depth):
+            counter.shed += 1
+            self.stats.shed_total += 1
+            raise OverloadedError(
+                f"{name}: {self._executing} in flight, {self._waiting} "
+                f"queued (limit {self.max_in_flight}+"
+                f"{self.max_queue_depth}); retry after backoff")
+        start = time.monotonic()
+        self._waiting += 1
+        try:
+            await self._sem.acquire()
+        finally:
+            self._waiting -= 1
+        self._executing += 1
+        self.stats.admitted += 1
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(self._executor, fn)
+            counter.ok += 1
+            return result
+        except Exception:
+            counter.errors += 1
+            raise
+        finally:
+            self._executing -= 1
+            self._sem.release()
+            counter.observe(time.monotonic() - start)
+
+    def close(self) -> None:
+        """Stop accepting work and drain the executor."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)

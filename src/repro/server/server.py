@@ -1,0 +1,592 @@
+"""The asyncio TCP server exposing a :class:`Database` over the wire.
+
+One :class:`DatabaseServer` binds one database instance to a listening
+socket.  Each accepted connection gets a :class:`~repro.server.session.
+Session`; each request frame is decoded, admission-checked and executed on
+the engine executor by the :class:`~repro.server.dispatch.Dispatcher`; the
+response frame echoes the client's request id with a status code.
+
+Lifecycle contracts:
+
+* a connection's transactions never outlive it — disconnect, reset and
+  idle timeout all abort the session's in-flight transactions (undo runs,
+  locks release) before the session is forgotten;
+* overload never kills the server — excess load is shed per-command with
+  the retryable ``OVERLOADED`` status while commit/abort, clock and stats
+  commands stay admissible;
+* ``SHUTDOWN`` (or SIGINT/SIGTERM under :meth:`DatabaseServer.run`) stops
+  accepting, closes every connection, drains the executor and returns.
+
+The server can run in the foreground (:meth:`run`, used by ``repro
+serve``) or on a background thread with its own event loop
+(:meth:`start_in_background`, used by tests and the networked example).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.common.errors import ProtocolError
+from repro.db.catalog import IndexDef, IndexKind
+from repro.db.database import Database
+from repro.db.monitor import CommandStat, snapshot
+from repro.db.schema import ColType, Schema
+from repro.pages.layout import Tid
+from repro.server.dispatch import Dispatcher
+from repro.server.protocol import (
+    Command,
+    Status,
+    decode_request,
+    encode_response,
+    error_payload,
+    frame_length,
+    status_for_exception,
+)
+from repro.server.session import Session, SessionManager
+from repro.txn.manager import Transaction, TxnPhase
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Service-layer knobs (the engine's own config lives on the Database).
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    :attr:`DatabaseServer.address` after start.  ``idle_timeout_sec <= 0``
+    disables idle reaping.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_in_flight: int = 8
+    max_queue_depth: int = 64
+    executor_workers: int = 1
+    idle_timeout_sec: float = 60.0
+    reaper_interval_sec: float = 1.0
+
+    def validate(self) -> None:
+        """Raise on inconsistent settings."""
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+
+
+#: Commands that bypass admission control: finishing work (commit/abort
+#: must never be shed once a txn is open), cheap control-plane traffic,
+#: and observability that must answer precisely when the server is busy.
+_EXEMPT = frozenset({
+    Command.PING, Command.COMMIT, Command.ABORT, Command.TICK,
+    Command.CLOCK_NOW, Command.CLOCK_ADVANCE, Command.CLOCK_ADVANCE_TO,
+    Command.STATS, Command.SHUTDOWN,
+})
+
+
+def _arity(args: tuple, n: int) -> tuple:
+    if len(args) != n:
+        raise ProtocolError(f"expected {n} argument(s), got {len(args)}")
+    return args
+
+
+def _as_int(value: object, what: str = "integer") -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"expected {what}, got {value!r}")
+    return value
+
+
+def _as_str(value: object, what: str = "string") -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(f"expected {what}, got {value!r}")
+    return value
+
+
+def _as_row(value: object) -> tuple:
+    if not isinstance(value, tuple):
+        raise ProtocolError(f"expected row tuple, got {value!r}")
+    return value
+
+
+def _as_ref(value: object) -> object:
+    if isinstance(value, bool) or not isinstance(value, (int, Tid)):
+        raise ProtocolError(f"expected item handle, got {value!r}")
+    return value
+
+
+class DatabaseServer:
+    """Serves one :class:`Database` over length-prefixed TCP frames."""
+
+    def __init__(self, db: Database,
+                 config: ServerConfig | None = None) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.sessions = SessionManager(self.config.idle_timeout_sec)
+        self.dispatch = Dispatcher(self.config.max_in_flight,
+                                   self.config.max_queue_depth,
+                                   self.config.executor_workers)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._reaper_task: asyncio.Task | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._thread: threading.Thread | None = None
+        self._started_monotonic = 0.0
+        self._handlers = {
+            Command.PING: self._cmd_ping,
+            Command.BEGIN: self._cmd_begin,
+            Command.COMMIT: self._cmd_commit,
+            Command.ABORT: self._cmd_abort,
+            Command.CREATE_TABLE: self._cmd_create_table,
+            Command.INSERT: self._cmd_insert,
+            Command.BULK_INSERT: self._cmd_bulk_insert,
+            Command.READ: self._cmd_read,
+            Command.UPDATE: self._cmd_update,
+            Command.DELETE: self._cmd_delete,
+            Command.LOOKUP: self._cmd_lookup,
+            Command.RANGE_LOOKUP: self._cmd_range_lookup,
+            Command.SCAN: self._cmd_scan,
+            Command.SCAN_VID_RANGE: self._cmd_scan_vid_range,
+            Command.TICK: self._cmd_tick,
+            Command.MAINTENANCE: self._cmd_maintenance,
+            Command.SNAPSHOT: self._cmd_snapshot,
+            Command.STATS: self._cmd_stats,
+            Command.CLOCK_NOW: self._cmd_clock_now,
+            Command.CLOCK_ADVANCE: self._cmd_clock_advance,
+            Command.CLOCK_ADVANCE_TO: self._cmd_clock_advance_to,
+            Command.SHUTDOWN: self._cmd_shutdown,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listening socket; returns the bound ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._started_monotonic = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        sock = self._server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        self._reaper_task = asyncio.create_task(self._reaper())
+        return self.address
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to wind down (safe from the loop thread)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop`, then tear everything down."""
+        assert self._stop_event is not None, "start() first"
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, close connections, drain the executor."""
+        if self._server is None:
+            return
+        self.request_stop()
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper_task
+            self._reaper_task = None
+        for writer in list(self._writers.values()):
+            writer.close()
+        if self._handler_tasks:
+            # handlers abort their orphaned transactions on the way out
+            await asyncio.wait(self._handler_tasks, timeout=5.0)
+        self.dispatch.close()
+
+    def run(self) -> int:
+        """Foreground serve loop (``repro serve``); returns 0 on clean stop."""
+        async def main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(signum, self.request_stop)
+            host, port = self.address  # type: ignore[misc]
+            print(f"repro server listening on {host}:{port}", flush=True)
+            await self.serve_until_stopped()
+
+        asyncio.run(main())
+        return 0
+
+    def start_in_background(self) -> tuple[str, int]:
+        """Serve from a dedicated thread; returns once the port is bound.
+
+        For embedding (tests, examples): the caller's thread stays free to
+        run clients against :attr:`address`.  Pair with
+        :meth:`stop_in_background`.
+        """
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            async def main() -> None:
+                await self.start()
+                ready.set()
+                await self.serve_until_stopped()
+            try:
+                asyncio.run(main())
+            except BaseException as exc:  # surfaced to the caller below
+                failure.append(exc)
+            finally:
+                ready.set()
+
+        self._thread = threading.Thread(target=runner, name="repro-server",
+                                        daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise TimeoutError("server did not start within 10s")
+        if failure:
+            raise failure[0]
+        assert self.address is not None
+        return self.address
+
+    def stop_in_background(self, timeout: float = 10.0) -> None:
+        """Stop a :meth:`start_in_background` server and join its thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.request_stop)
+        self._thread.join(timeout)
+        self._thread = None
+
+    # -- monitoring ----------------------------------------------------------
+
+    def command_stats(self) -> tuple[CommandStat, ...]:
+        """Per-command counters in :mod:`repro.db.monitor` shape."""
+        out = []
+        for name, counter in sorted(self.dispatch.stats.commands.items()):
+            out.append(CommandStat(
+                command=name, calls=counter.calls, ok=counter.ok,
+                errors=counter.errors, shed=counter.shed,
+                mean_wall_usec=round(counter.mean_wall_sec * 1e6, 1),
+                max_wall_usec=round(counter.max_wall_sec * 1e6, 1)))
+        return tuple(out)
+
+    def stats_payload(self) -> dict:
+        """The ``STATS`` command's response body."""
+        return {
+            "uptime_sec": round(time.monotonic() - self._started_monotonic,
+                                3),
+            "in_flight": self.dispatch.executing,
+            "queued": self.dispatch.queued,
+            "admitted": self.dispatch.stats.admitted,
+            "shed_total": self.dispatch.stats.shed_total,
+            "max_in_flight": self.config.max_in_flight,
+            "max_queue_depth": self.config.max_queue_depth,
+            "sessions": {"live": self.sessions.count(),
+                         "in_flight_txns": self.sessions.in_flight_txns(),
+                         **self.sessions.stats.as_dict()},
+            "commands": self.dispatch.stats.per_command(),
+        }
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        peer = writer.get_extra_info("peername")
+        session = self.sessions.open(str(peer), time.monotonic())
+        self._writers[session.session_id] = writer
+        try:
+            await self._serve_connection(session, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-frame: treated as a disconnect
+        finally:
+            self._writers.pop(session.session_id, None)
+            await self._abort_orphans(self.sessions.close(session))
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+            if task is not None:
+                self._handler_tasks.discard(task)
+
+    async def _serve_connection(self, session: Session,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while self._stop_event is not None and not self._stop_event.is_set():
+            payload = await self._read_frame(reader)
+            if payload is None:
+                return
+            session.touch(time.monotonic())
+            try:
+                request_id, command, args = decode_request(payload)
+            except ProtocolError as exc:
+                writer.write(encode_response(0, Status.BAD_REQUEST,
+                                             error_payload(exc)))
+                await writer.drain()
+                return  # a desynchronised stream cannot be resumed
+            status, result = await self._execute(session, command, args)
+            writer.write(encode_response(request_id, status, result))
+            await writer.drain()
+            if command == Command.SHUTDOWN and status == Status.OK:
+                self.request_stop()
+                return
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+        """One frame payload, or None on clean EOF between frames."""
+        try:
+            header = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        return await reader.readexactly(frame_length(header))
+
+    async def _execute(self, session: Session, command: int,
+                       args: tuple) -> tuple[Status, object]:
+        handler = self._handlers.get(command)
+        if handler is None:
+            return Status.BAD_REQUEST, f"unknown command {command}"
+        if (self._stop_event is not None and self._stop_event.is_set()
+                and command != Command.SHUTDOWN):
+            return Status.SHUTTING_DOWN, "server is stopping"
+        try:
+            return Status.OK, await handler(session, args)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            return status_for_exception(exc), error_payload(exc)
+
+    async def _run(self, command: Command, fn) -> object:
+        return await self.dispatch.run(command.name, fn,
+                                       exempt=command in _EXEMPT)
+
+    async def _abort_orphans(self, orphans: list[Transaction]) -> None:
+        """Abort a closed session's in-flight transactions on the engine."""
+        for txn in orphans:
+            def work(txn: Transaction = txn) -> bool:
+                if txn.phase is TxnPhase.ACTIVE:
+                    self.db.abort(txn)
+                    return True
+                return False
+            with contextlib.suppress(Exception):
+                if await self.dispatch.run("ABORT_ORPHAN", work,
+                                           exempt=True):
+                    self.sessions.stats.orphans_aborted += 1
+
+    async def _reaper(self) -> None:
+        """Close sessions that out-idled the timeout (aborting their txns)."""
+        interval = self.config.reaper_interval_sec
+        if self.config.idle_timeout_sec > 0:
+            interval = min(interval, self.config.idle_timeout_sec / 4)
+        interval = max(interval, 0.02)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for session in self.sessions.idle_sessions(now):
+                self.sessions.stats.idle_closed += 1
+                await self._abort_orphans(self.sessions.close(session))
+                writer = self._writers.pop(session.session_id, None)
+                if writer is not None:
+                    writer.close()
+
+    # -- command handlers ----------------------------------------------------
+
+    async def _cmd_ping(self, _session: Session, args: tuple) -> str:
+        _arity(args, 0)
+        return "pong"
+
+    async def _cmd_begin(self, session: Session, args: tuple) -> int:
+        (serializable,) = _arity(args, 1)
+        txn = await self._run(
+            Command.BEGIN,
+            lambda: self.db.begin(serializable=bool(serializable)))
+        session.register(txn)
+        return txn.txid
+
+    async def _cmd_commit(self, session: Session, args: tuple) -> None:
+        (txid,) = _arity(args, 1)
+        txn = session.claim(_as_int(txid, "txid"))
+
+        def work() -> None:
+            try:
+                self.db.commit(txn)
+            except BaseException:
+                # an SSI commit-time abort must still release locks
+                if txn.phase is TxnPhase.ACTIVE:
+                    self.db.abort(txn)
+                raise
+        try:
+            await self._run(Command.COMMIT, work)
+        finally:
+            if txn.phase is not TxnPhase.ACTIVE:
+                session.forget(txn.txid)
+
+    async def _cmd_abort(self, session: Session, args: tuple) -> None:
+        (txid,) = _arity(args, 1)
+        txn = session.claim(_as_int(txid, "txid"))
+        try:
+            await self._run(Command.ABORT, lambda: self.db.abort(txn))
+        finally:
+            if txn.phase is not TxnPhase.ACTIVE:
+                session.forget(txn.txid)
+
+    async def _cmd_create_table(self, _session: Session,
+                                args: tuple) -> None:
+        name, columns, indexes = _arity(args, 3)
+        table = _as_str(name, "table name")
+        try:
+            schema = Schema.of(*[(_as_str(cn), ColType(ct))
+                                 for cn, ct in columns])
+            defs = [IndexDef(_as_str(iname), tuple(cols), bool(unique),
+                             IndexKind(kind))
+                    for iname, cols, unique, kind in indexes]
+        except (ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad table definition: {exc}") from None
+        await self._run(
+            Command.CREATE_TABLE,
+            lambda: self.db.create_table(table, schema, indexes=defs))
+
+    async def _cmd_insert(self, session: Session, args: tuple) -> object:
+        txid, table, row = _arity(args, 3)
+        txn = session.claim(_as_int(txid, "txid"))
+        return await self._run(
+            Command.INSERT,
+            lambda: self.db.insert(txn, _as_str(table), _as_row(row)))
+
+    async def _cmd_bulk_insert(self, session: Session,
+                               args: tuple) -> tuple:
+        txid, table, rows = _arity(args, 3)
+        txn = session.claim(_as_int(txid, "txid"))
+        if not isinstance(rows, tuple):
+            raise ProtocolError(f"expected rows tuple, got {rows!r}")
+        payload = [_as_row(row) for row in rows]
+        return tuple(await self._run(
+            Command.BULK_INSERT,
+            lambda: self.db.bulk_insert(txn, _as_str(table), payload)))
+
+    async def _cmd_read(self, session: Session, args: tuple) -> object:
+        txid, table, ref = _arity(args, 3)
+        txn = session.claim(_as_int(txid, "txid"))
+        return await self._run(
+            Command.READ,
+            lambda: self.db.read(txn, _as_str(table), _as_ref(ref)))
+
+    async def _cmd_update(self, session: Session, args: tuple) -> object:
+        txid, table, ref, row = _arity(args, 4)
+        txn = session.claim(_as_int(txid, "txid"))
+        return await self._run(
+            Command.UPDATE,
+            lambda: self.db.update(txn, _as_str(table), _as_ref(ref),
+                                   _as_row(row)))
+
+    async def _cmd_delete(self, session: Session, args: tuple) -> None:
+        txid, table, ref = _arity(args, 3)
+        txn = session.claim(_as_int(txid, "txid"))
+        await self._run(
+            Command.DELETE,
+            lambda: self.db.delete(txn, _as_str(table), _as_ref(ref)))
+
+    async def _cmd_lookup(self, session: Session, args: tuple) -> tuple:
+        txid, table, index, key = _arity(args, 4)
+        txn = session.claim(_as_int(txid, "txid"))
+        return tuple(await self._run(
+            Command.LOOKUP,
+            lambda: self.db.lookup(txn, _as_str(table), _as_str(index),
+                                   key)))
+
+    async def _cmd_range_lookup(self, session: Session,
+                                args: tuple) -> tuple:
+        txid, table, index, lo, hi = _arity(args, 5)
+        txn = session.claim(_as_int(txid, "txid"))
+        return tuple(await self._run(
+            Command.RANGE_LOOKUP,
+            lambda: self.db.range_lookup(txn, _as_str(table),
+                                         _as_str(index), lo, hi)))
+
+    async def _cmd_scan(self, session: Session, args: tuple) -> tuple:
+        txid, table = _arity(args, 2)
+        txn = session.claim(_as_int(txid, "txid"))
+        return tuple(await self._run(
+            Command.SCAN,
+            lambda: list(self.db.scan(txn, _as_str(table)))))
+
+    async def _cmd_scan_vid_range(self, session: Session,
+                                  args: tuple) -> tuple:
+        txid, table, lo, hi = _arity(args, 4)
+        txn = session.claim(_as_int(txid, "txid"))
+        return tuple(await self._run(
+            Command.SCAN_VID_RANGE,
+            lambda: self.db.scan_vid_range(txn, _as_str(table),
+                                           _as_int(lo), _as_int(hi))))
+
+    async def _cmd_tick(self, _session: Session, args: tuple) -> None:
+        _arity(args, 0)
+        await self._run(Command.TICK, self.db.tick)
+
+    async def _cmd_maintenance(self, _session: Session,
+                               args: tuple) -> dict:
+        _arity(args, 0)
+
+        def work() -> dict:
+            out: dict[str, dict[str, int]] = {}
+            for table, report in self.db.maintenance().items():
+                summary: dict[str, int] = {}
+                for attr in ("records_discarded", "pages_reclaimed"):
+                    if hasattr(report, attr):
+                        summary[attr] = int(getattr(report, attr))
+                if hasattr(report, "killed"):
+                    summary["killed"] = len(report.killed)
+                out[table] = summary
+            return out
+        return await self._run(Command.MAINTENANCE, work)
+
+    async def _cmd_snapshot(self, _session: Session, args: tuple) -> dict:
+        _arity(args, 0)
+        return await self._run(
+            Command.SNAPSHOT,
+            lambda: dataclasses.asdict(snapshot(self.db, server=self)))
+
+    async def _cmd_stats(self, _session: Session, args: tuple) -> dict:
+        _arity(args, 0)
+        return self.stats_payload()
+
+    async def _cmd_clock_now(self, _session: Session, args: tuple) -> int:
+        _arity(args, 0)
+        return await self._run(Command.CLOCK_NOW,
+                               lambda: self.db.clock.now)
+
+    async def _cmd_clock_advance(self, _session: Session,
+                                 args: tuple) -> int:
+        (usec,) = _arity(args, 1)
+        delta = _as_int(usec, "microseconds")
+
+        def work() -> int:
+            self.db.clock.advance(delta)
+            return self.db.clock.now
+        return await self._run(Command.CLOCK_ADVANCE, work)
+
+    async def _cmd_clock_advance_to(self, _session: Session,
+                                    args: tuple) -> int:
+        (usec,) = _arity(args, 1)
+        target = _as_int(usec, "microseconds")
+
+        def work() -> int:
+            self.db.clock.advance_to(target)
+            return self.db.clock.now
+        return await self._run(Command.CLOCK_ADVANCE_TO, work)
+
+    async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
+        _arity(args, 0)
+        return None

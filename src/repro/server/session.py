@@ -1,0 +1,123 @@
+"""Per-connection sessions: transaction ownership and idle reaping.
+
+A *session* is the server-side shadow of one client connection.  It owns
+every transaction the connection began and has not yet finished, so the
+server can uphold the contract a crashing client cannot: **no transaction
+outlives its connection**.  On disconnect (clean close, reset, or idle
+timeout) the server aborts the session's in-flight transactions, which runs
+their undo actions and releases their locks — exactly what PostgreSQL does
+when a backend loses its client.
+
+All bookkeeping here runs on the event-loop thread; only the actual aborts
+go through the executor (see :mod:`repro.server.dispatch`), so no locking
+is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import SessionError
+from repro.txn.manager import Transaction
+
+
+@dataclass
+class SessionStats:
+    """Counters the ``STATS`` command reports for the session layer."""
+
+    opened: int = 0
+    closed: int = 0
+    idle_closed: int = 0
+    orphans_aborted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Wire-friendly view."""
+        return {"opened": self.opened, "closed": self.closed,
+                "idle_closed": self.idle_closed,
+                "orphans_aborted": self.orphans_aborted}
+
+
+@dataclass
+class Session:
+    """One connection's server-side state."""
+
+    session_id: int
+    peer: str
+    last_active: float
+    txns: dict[int, Transaction] = field(default_factory=dict)
+    closed: bool = False
+
+    def touch(self, now: float) -> None:
+        """Record activity (resets the idle clock)."""
+        self.last_active = now
+
+    def register(self, txn: Transaction) -> None:
+        """Adopt a transaction this session began."""
+        self.txns[txn.txid] = txn
+
+    def claim(self, txid: int) -> Transaction:
+        """The session's transaction with ``txid`` (raises if not owned)."""
+        try:
+            return self.txns[txid]
+        except KeyError:
+            raise SessionError(
+                f"txn {txid} is not owned by session {self.session_id}"
+            ) from None
+
+    def forget(self, txid: int) -> None:
+        """Drop a finished transaction (no-op if already gone)."""
+        self.txns.pop(txid, None)
+
+
+class SessionManager:
+    """Owns every live session and decides which ones have gone idle."""
+
+    def __init__(self, idle_timeout_sec: float) -> None:
+        self.idle_timeout_sec = idle_timeout_sec
+        self.stats = SessionStats()
+        self._sessions: dict[int, Session] = {}
+        self._next_id = 1
+
+    def open(self, peer: str, now: float) -> Session:
+        """Create the session for a freshly accepted connection."""
+        session = Session(session_id=self._next_id, peer=peer,
+                          last_active=now)
+        self._next_id += 1
+        self._sessions[session.session_id] = session
+        self.stats.opened += 1
+        return session
+
+    def close(self, session: Session) -> list[Transaction]:
+        """Retire a session; returns its orphaned (still-active) txns.
+
+        Idempotent: the idle reaper and the connection handler may both
+        try to close the same session, and only the first call collects
+        the orphans.
+        """
+        if session.closed:
+            return []
+        session.closed = True
+        self._sessions.pop(session.session_id, None)
+        self.stats.closed += 1
+        orphans = list(session.txns.values())
+        session.txns.clear()
+        return orphans
+
+    def idle_sessions(self, now: float) -> list[Session]:
+        """Sessions whose idle time exceeded the timeout."""
+        if self.idle_timeout_sec <= 0:
+            return []
+        return [s for s in self._sessions.values()
+                if now - s.last_active > self.idle_timeout_sec]
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(list(self._sessions.values()))
+
+    def count(self) -> int:
+        """Number of live sessions."""
+        return len(self._sessions)
+
+    def in_flight_txns(self) -> int:
+        """Transactions currently owned by any session."""
+        return sum(len(s.txns) for s in self._sessions.values())

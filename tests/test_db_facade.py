@@ -351,3 +351,42 @@ class TestShutdownAndSpace:
         else:
             assert reports[0].vidmap_bytes == 0
         assert any_db.total_space_bytes() == reports[0].total_bytes
+
+
+class TestShutdownIdempotence:
+    def test_second_shutdown_is_a_noop(self, any_db):
+        txn = any_db.begin()
+        any_db.insert(txn, "accounts", (1, "u", 1.0))
+        any_db.commit(txn)
+        any_db.shutdown()
+        files_after_first = len(any_db.tablespace._files)
+        checkpoints = any_db.checkpointer.checkpoints
+        any_db.shutdown()
+        # no duplicate vidmap.<table> files, no re-run sealing/checkpoint
+        assert len(any_db.tablespace._files) == files_after_first
+        assert any_db.checkpointer.checkpoints == checkpoints
+
+    def test_sias_vidmap_file_created_exactly_once(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "u", 1.0))
+        sias_db.commit(txn)
+        sias_db.shutdown()
+        sias_db.shutdown()
+        names = [f.name for f in sias_db.tablespace._files]
+        assert names.count("vidmap.accounts") == 1
+
+
+class TestRunInTxn:
+    def test_defaults_to_snapshot_isolation(self, any_db):
+        seen = {}
+        any_db.run_in_txn(lambda t: seen.setdefault("ser", t.serializable))
+        assert seen["ser"] is False
+
+    def test_serializable_passthrough(self, any_db):
+        def work(txn):
+            assert txn.serializable
+            return any_db.insert(txn, "accounts", (7, "ssi", 7.0))
+        ref = any_db.run_in_txn(work, serializable=True)
+        check = any_db.begin()
+        assert any_db.read(check, "accounts", ref) == (7, "ssi", 7.0)
+        any_db.commit(check)
