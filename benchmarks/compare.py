@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -41,6 +42,20 @@ QUICK_ARGS = ["--benchmark-min-rounds=3", "--benchmark-max-time=0.2",
               "--benchmark-warmup=off"]
 
 
+def engine_concurrency_info() -> dict:
+    """Execution-context record stored alongside the benchmark numbers.
+
+    The micro benches drive the engine embedded — exactly one thread, the
+    configuration the single-worker regression gate protects.  The server
+    default is recorded too so a baseline taken before/after a change to
+    the worker-pool policy is self-describing.
+    """
+    return {
+        "executor_workers": 1,
+        "server_default_workers": min(4, os.cpu_count() or 1),
+    }
+
+
 def run_benchmarks(quick: bool) -> dict:
     """Execute the micro benches; returns the pytest-benchmark JSON dict."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
@@ -50,7 +65,6 @@ def run_benchmarks(quick: bool) -> dict:
     if quick:
         cmd.extend(QUICK_ARGS)
     env_path = str(REPO_ROOT / "src")
-    import os
     env = dict(os.environ)
     env["PYTHONPATH"] = env_path + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
@@ -59,6 +73,7 @@ def run_benchmarks(quick: bool) -> dict:
         raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
     data = json.loads(out_path.read_text())
     out_path.unlink(missing_ok=True)
+    data["engine_concurrency"] = engine_concurrency_info()
     return data
 
 
@@ -118,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         data = run_benchmarks(quick=args.quick)
     current = extract_means(data)
+    workers = data.get("engine_concurrency", {}).get("executor_workers")
+    if workers is not None:
+        print(f"executor workers: {workers} (embedded engine; server "
+              f"default would be "
+              f"{data['engine_concurrency']['server_default_workers']})")
 
     if args.save:
         args.baseline.write_text(json.dumps(data, indent=1, sort_keys=True))

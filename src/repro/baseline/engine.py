@@ -71,9 +71,14 @@ class SiEngine:
         """Invalidate ``tid`` in place and insert the successor version.
 
         Returns the new version's TID — callers (and indexes) must track it.
+
+        The item lock is taken first: with lock waiting enabled a second
+        updater blocks until the holder finishes, then re-validates —
+        committed holder means first-updater-wins abort, aborted holder
+        means the stamp was void and the waiter proceeds.
         """
-        self._check_updatable(txn, tid)
         self.txn_mgr.locks.acquire((self.relation_id, tid), txn.txid)
+        self._check_updatable(txn, tid)
         # 1st physical write: in-place xmax stamp on the old version's page.
         self.heap.set_xmax(tid, txn.txid)
         # 2nd physical write: the new version on an arbitrary FSM page.
@@ -86,8 +91,8 @@ class SiEngine:
 
     def delete(self, txn: Transaction, tid: Tid) -> None:
         """Invalidate ``tid`` in place (no new version)."""
-        self._check_updatable(txn, tid)
         self.txn_mgr.locks.acquire((self.relation_id, tid), txn.txid)
+        self._check_updatable(txn, tid)
         self.heap.set_xmax(tid, txn.txid)
         self._log(txn, WalRecordType.DELETE, tid, b"")
         txn.writes += 1

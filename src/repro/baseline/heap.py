@@ -8,11 +8,13 @@ pattern the paper identifies as hostile to flash.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.buffer.manager import BufferManager
 from repro.common.config import EngineConfig
 from repro.common.errors import NoSuchItemError
+from repro.common.latch import LatchStripes
 from repro.baseline.fsm import FreeSpaceMap
 from repro.pages.layout import HeapTuple, Tid
 from repro.pages.slotted import SlottedHeapPage
@@ -38,6 +40,13 @@ class HeapStore:
         self.config = config
         self.fsm = FreeSpaceMap()
         self.stats = HeapStats()
+        # Placement mutex: FSM search + file extension are check-then-act
+        # over shared state, so inserts serialise here.  Page-granular
+        # stripe latches protect individual page mutations — an xmax stamp
+        # on one page proceeds in parallel with inserts on another.
+        # Lock order: placement mutex → page stripe.
+        self._place_mu = threading.Lock()
+        self.latches = LatchStripes(16)
 
     @property
     def page_count(self) -> int:
@@ -74,12 +83,14 @@ class HeapStore:
         fillfactor_room = int(self.config.page_size
                               * (1.0 - self.config.heap_fillfactor))
         needed = tuple_.size + 2 + fillfactor_room
-        page_no, page = self._page_for(needed)
-        slot = page.insert(tuple_)
-        self.buffer.mark_dirty(self.file_id, page_no)
-        self.fsm.update(page_no, page.free_bytes())
-        self.stats.tuple_inserts += 1
-        return Tid(page_no, slot)
+        with self._place_mu:
+            page_no, page = self._page_for(needed)
+            with self.latches.of((self.file_id, page_no)):
+                slot = page.insert(tuple_)
+                self.buffer.mark_dirty(self.file_id, page_no)
+            self.fsm.update(page_no, page.free_bytes())
+            self.stats.tuple_inserts += 1
+            return Tid(page_no, slot)
 
     def read(self, tid: Tid) -> HeapTuple:
         """Fetch the tuple at ``tid``."""
@@ -87,18 +98,21 @@ class HeapStore:
 
     def set_xmax(self, tid: Tid, xmax: int) -> None:
         """In-place invalidation: stamp ``xmax`` and dirty the page."""
-        page = self._get(tid.page_no)
-        page.set_xmax(tid.slot, xmax)
-        self.buffer.mark_dirty(self.file_id, tid.page_no)
-        self.stats.in_place_invalidations += 1
+        with self.latches.of((self.file_id, tid.page_no)):
+            page = self._get(tid.page_no)
+            page.set_xmax(tid.slot, xmax)
+            self.buffer.mark_dirty(self.file_id, tid.page_no)
+            self.stats.in_place_invalidations += 1
 
     def kill(self, tid: Tid) -> None:
         """Remove a dead tuple's body (VACUUM) and free its space."""
-        page = self._get(tid.page_no)
-        page.kill(tid.slot)
-        self.buffer.mark_dirty(self.file_id, tid.page_no)
-        self.fsm.update(tid.page_no, page.free_bytes())
-        self.stats.killed_tuples += 1
+        with self._place_mu:
+            with self.latches.of((self.file_id, tid.page_no)):
+                page = self._get(tid.page_no)
+                page.kill(tid.slot)
+                self.buffer.mark_dirty(self.file_id, tid.page_no)
+            self.fsm.update(tid.page_no, page.free_bytes())
+            self.stats.killed_tuples += 1
 
     # -- iteration -----------------------------------------------------------------------
 

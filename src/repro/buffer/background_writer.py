@@ -11,6 +11,7 @@ wasting space and multiplying write requests.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.buffer.manager import BufferManager
@@ -30,6 +31,7 @@ class BackgroundWriter:
         self._subscribers: list[Callable[[], None]] = []
         self.runs = 0
         self.pages_written = 0
+        self._mu = threading.Lock()
 
     def subscribe(self, callback: Callable[[], None]) -> None:
         """Register a callback fired once per tick (t1 seal hook)."""
@@ -42,19 +44,34 @@ class BackgroundWriter:
         ticks executed.  Each tick notifies subscribers first (so append
         engines can seal working pages into the dirty set) and then flushes
         up to ``batch_pages`` dirty pages in one parallel batch.
+
+        Thread-safe and non-blocking: when several workers race a due
+        tick, one runs it and the rest return 0 immediately rather than
+        queueing up to run the same tick again.
         """
-        ticks = 0
-        while self.clock.now >= self._next_run:
-            self._next_run += self.interval_usec
-            ticks += 1
+        if not self._mu.acquire(blocking=False):
+            return 0
+        try:
+            ticks = 0
+            while self.clock.now >= self._next_run:
+                self._next_run += self.interval_usec
+                ticks += 1
+                self.runs += 1
+                for callback in self._subscribers:
+                    callback()
+                dirty = self.buffer.dirty_keys()[: self.batch_pages]
+                self.pages_written += self.buffer.flush_batch(dirty)
+            return ticks
+        finally:
+            self._mu.release()
+
+    def force_tick(self) -> None:
+        """Run one tick immediately (tests and shutdown paths)."""
+        with self._mu:
+            self._next_run = self.clock.now
             self.runs += 1
             for callback in self._subscribers:
                 callback()
             dirty = self.buffer.dirty_keys()[: self.batch_pages]
             self.pages_written += self.buffer.flush_batch(dirty)
-        return ticks
-
-    def force_tick(self) -> None:
-        """Run one tick immediately (tests and shutdown paths)."""
-        self._next_run = self.clock.now
-        self.maybe_run()
+            self._next_run = self.clock.now + self.interval_usec

@@ -10,6 +10,7 @@ where the paper's 97 % write reduction and ~12 % space reduction come from.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.buffer.manager import BufferManager
@@ -29,6 +30,7 @@ class Checkpointer:
         self._post_subscribers: list[Callable[[], object]] = []
         self.checkpoints = 0
         self.pages_written = 0
+        self._mu = threading.RLock()
 
     def subscribe(self, callback: Callable[[], None]) -> None:
         """Register a pre-flush callback (t2 piggy-back seal hook)."""
@@ -39,21 +41,31 @@ class Checkpointer:
         self._post_subscribers.append(callback)
 
     def maybe_run(self) -> int:
-        """Run due checkpoints; returns how many executed."""
-        ran = 0
-        while self.clock.now >= self._next_run:
-            self._next_run += self.interval_usec
-            self.run_now()
-            ran += 1
-        return ran
+        """Run due checkpoints; returns how many executed.
+
+        Thread-safe and non-blocking: when workers race a due checkpoint,
+        one runs it and the rest return 0 instead of re-running it.
+        """
+        if not self._mu.acquire(blocking=False):
+            return 0
+        try:
+            ran = 0
+            while self.clock.now >= self._next_run:
+                self._next_run += self.interval_usec
+                self.run_now()
+                ran += 1
+            return ran
+        finally:
+            self._mu.release()
 
     def run_now(self) -> int:
         """Execute one checkpoint immediately; returns pages written."""
-        self.checkpoints += 1
-        for callback in self._subscribers:
-            callback()
-        written = self.buffer.flush_all()
-        self.pages_written += written
-        for callback in self._post_subscribers:
-            callback()
-        return written
+        with self._mu:
+            self.checkpoints += 1
+            for callback in self._subscribers:
+                callback()
+            written = self.buffer.flush_all()
+            self.pages_written += written
+            for callback in self._post_subscribers:
+                callback()
+            return written

@@ -30,6 +30,7 @@ Hot-path engineering (all behaviour-preserving):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.common.errors import NoFreeFrameError, PinError
@@ -58,7 +59,9 @@ class BufferStats:
 
 @dataclass
 class _Frame:
-    page: Page
+    #: None while the frame is a *placeholder* — installed by the thread
+    #: that took the miss, holding ``latch`` for the duration of the read.
+    page: Page | None
     dirty: bool = False
     pins: int = 0
     referenced: bool = True
@@ -68,10 +71,31 @@ class _Frame:
     key: PageKey = field(default=(0, 0))
     prev: PageKey = field(default=(0, 0))
     next: PageKey = field(default=(0, 0))
+    #: frame latch, held across the miss I/O; a second thread faulting the
+    #: same page blocks here instead of issuing a duplicate device read
+    latch: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
 
 class BufferManager:
-    """Fixed-capacity page cache with clock-sweep eviction."""
+    """Fixed-capacity page cache with clock-sweep eviction.
+
+    Thread-safe: one pool mutex guards the frame table, clock order and
+    dirty set; it is held for bookkeeping and eviction writeback but
+    **not** across miss I/O.  A miss installs an io-pinned *placeholder*
+    frame whose per-frame latch is held while the device read runs, so two
+    workers faulting *different* pages read concurrently, while a worker
+    faulting the *same* page blocks on the frame latch instead of issuing
+    a duplicate read.  The clock sweep is pin-count-aware: placeholders
+    are io-pinned and therefore never evicted mid-load.
+
+    The *hit* path takes no lock at all: a frame lookup is one GIL-atomic
+    dict read, and the page it returns stays valid even if the sweep
+    evicts the frame concurrently (eviction writes dirty pages back but
+    never mutates the page object).  The referenced-bit store and the hit
+    counter are benign races — the former only biases the sweep, the
+    latter is monitoring.
+    """
 
     def __init__(self, tablespace: Tablespace, pool_pages: int) -> None:
         if pool_pages < 1:
@@ -84,22 +108,49 @@ class BufferManager:
         #: incrementally maintained dirty set (insertion-ordered)
         self._dirty: dict[PageKey, None] = {}
         self.stats = BufferStats()
+        # Plain (non-reentrant) mutex: no locked method calls another
+        # locked method, and a plain Lock's fast path is cheaper on the
+        # install/evict/flush paths that do take it.
+        self._mu = threading.Lock()
 
     # -- lookups -----------------------------------------------------------------
 
     def get_page(self, file_id: int, page_no: int) -> Page:
         """Return the page, reading it from the device on a miss."""
         key = (file_id, page_no)
+        # Lock-free hit: one dict read plus a `page is not None` check.
+        # An in-flight placeholder (page still None) and a miss both fall
+        # through to the locked slow path, which re-checks under the mutex.
         frame = self._frames.get(key)
         if frame is not None:
-            self.stats.hits += 1
-            frame.referenced = True
-            return frame.page
-        self.stats.misses += 1
-        lba = self.tablespace.lba_of(file_id, page_no)
-        raw = self.tablespace.device.read_page(lba)
-        page = Page.from_bytes(raw)
-        self._install(key, _Frame(page=page, dirty=False, raw=raw))
+            page = frame.page
+            if page is not None:
+                frame.referenced = True
+                self.stats.hits += 1
+                return page
+        while True:
+            with self._mu:
+                frame = self._frames.get(key)
+                if frame is not None and frame.page is not None:
+                    self.stats.hits += 1
+                    frame.referenced = True
+                    return frame.page
+                if frame is None:
+                    self.stats.misses += 1
+                    placeholder = self._install_placeholder(key)
+                    break
+            # another thread is mid-read on this page: block on its frame
+            # latch until the read completes, then retry the lookup
+            with frame.latch:
+                pass
+        try:
+            lba = self.tablespace.lba_of(file_id, page_no)
+            raw = self.tablespace.device.read_page(lba)
+            page = Page.from_bytes(raw)
+        except BaseException:
+            self._abandon_placeholder(key, placeholder)
+            raise
+        self._publish_placeholder(key, placeholder, page, raw)
         return page
 
     def get_pages(self, file_id: int, page_nos: list[int]) -> list[Page]:
@@ -109,33 +160,108 @@ class BufferManager:
         the parallelism of the Flash storage" — the VIDmap-mediated scan
         fetches many independent pages at once.
         """
+        # Lock-free fast path: every page resident and published.  A miss
+        # or in-flight placeholder abandons it for the locked path below
+        # (hits are only counted here on full success, so nothing is
+        # double-counted when we fall through).
+        frames = self._frames
+        pages: dict[int, Page] = {}
+        for page_no in page_nos:
+            if page_no in pages:
+                continue
+            frame = frames.get((file_id, page_no))
+            if frame is None:
+                break
+            page = frame.page
+            if page is None:
+                break
+            frame.referenced = True
+            pages[page_no] = page
+        else:
+            self.stats.hits += len(pages)
+            return [pages[p] for p in page_nos]
         result: dict[int, Page] = {}
         missing: list[int] = []
-        for page_no in page_nos:
-            frame = self._frames.get((file_id, page_no))
-            if frame is not None:
-                self.stats.hits += 1
-                frame.referenced = True
-                result[page_no] = frame.page
-            elif page_no not in result:
-                missing.append(page_no)
-        missing = list(dict.fromkeys(missing))
+        in_flight: list[_Frame] = []
+        with self._mu:
+            for page_no in page_nos:
+                if page_no in result or page_no in missing:
+                    continue
+                frame = self._frames.get((file_id, page_no))
+                if frame is not None and frame.page is not None:
+                    self.stats.hits += 1
+                    frame.referenced = True
+                    result[page_no] = frame.page
+                elif frame is not None:
+                    in_flight.append(frame)
+                else:
+                    missing.append(page_no)
+            placeholders = {}
+            if missing:
+                self.stats.misses += len(missing)
+                for page_no in missing:
+                    placeholders[page_no] = self._install_placeholder(
+                        (file_id, page_no))
         if missing:
-            self.stats.misses += len(missing)
-            lbas = [self.tablespace.lba_of(file_id, p) for p in missing]
-            raws = self.tablespace.device.read_pages(lbas)
+            try:
+                lbas = [self.tablespace.lba_of(file_id, p) for p in missing]
+                raws = self.tablespace.device.read_pages(lbas)
+            except BaseException:
+                for page_no, placeholder in placeholders.items():
+                    self._abandon_placeholder((file_id, page_no), placeholder)
+                raise
             for page_no, raw in zip(missing, raws):
                 page = Page.from_bytes(raw)
-                self._install((file_id, page_no), _Frame(page=page, raw=raw))
+                self._publish_placeholder((file_id, page_no),
+                                          placeholders[page_no], page, raw)
                 result[page_no] = page
-        return [result[p] for p in page_nos]
+        for frame in in_flight:
+            with frame.latch:
+                pass
+        # pages that were in flight are resolved via the ordinary path
+        return [result[p] if p in result else self.get_page(file_id, p)
+                for p in page_nos]
+
+    def _install_placeholder(self, key: PageKey) -> _Frame:
+        """Reserve a frame for a page being read (pool mutex held).
+
+        The placeholder is io-pinned (the sweep skips it) and its latch is
+        pre-acquired so same-page faulters block until the read publishes.
+        """
+        placeholder = _Frame(page=None, dirty=False, pins=1)
+        placeholder.latch.acquire()
+        try:
+            self._install(key, placeholder)
+        except BaseException:
+            placeholder.latch.release()
+            raise
+        return placeholder
+
+    def _publish_placeholder(self, key: PageKey, placeholder: _Frame,
+                             page: Page, raw: bytes) -> None:
+        """Fill a placeholder with the page just read and wake waiters."""
+        with self._mu:
+            placeholder.page = page
+            placeholder.raw = raw
+            placeholder.referenced = True
+            placeholder.pins -= 1
+        placeholder.latch.release()
+
+    def _abandon_placeholder(self, key: PageKey, placeholder: _Frame) -> None:
+        """Undo a failed miss: drop the placeholder and wake waiters."""
+        with self._mu:
+            if self._frames.get(key) is placeholder:
+                del self._frames[key]
+                self._unlink(placeholder)
+        placeholder.latch.release()
 
     # -- insertion of fresh pages ----------------------------------------------------
 
     def put_dirty(self, file_id: int, page_no: int, page: Page) -> None:
         """Register a freshly created mutable page (baseline heap extends)."""
-        self.tablespace.ensure_page(file_id, page_no)
-        self._install((file_id, page_no), _Frame(page=page, dirty=True))
+        with self._mu:
+            self.tablespace.ensure_page(file_id, page_no)
+            self._install((file_id, page_no), _Frame(page=page, dirty=True))
 
     def put_clean(self, file_id: int, page_no: int, page: Page,
                   raw: bytes | None = None) -> None:
@@ -144,9 +270,10 @@ class BufferManager:
         ``raw`` optionally carries the encoded image the caller just wrote
         to the device, seeding the byte cache so the frame never re-encodes.
         """
-        self.tablespace.ensure_page(file_id, page_no)
-        self._install((file_id, page_no),
-                      _Frame(page=page, dirty=False, raw=raw))
+        with self._mu:
+            self.tablespace.ensure_page(file_id, page_no)
+            self._install((file_id, page_no),
+                          _Frame(page=page, dirty=False, raw=raw))
 
     # -- state transitions ---------------------------------------------------------------
 
@@ -159,21 +286,24 @@ class BufferManager:
     def mark_dirty(self, file_id: int, page_no: int) -> None:
         """Flag a cached page as modified (drops its cached byte image)."""
         key = (file_id, page_no)
-        frame = self._frame(key)
-        frame.dirty = True
-        frame.raw = None
-        self._dirty[key] = None
+        with self._mu:
+            frame = self._frame(key)
+            frame.dirty = True
+            frame.raw = None
+            self._dirty[key] = None
 
     def pin(self, file_id: int, page_no: int) -> None:
         """Protect a frame from eviction while a caller works on it."""
-        self._frame((file_id, page_no)).pins += 1
+        with self._mu:
+            self._frame((file_id, page_no)).pins += 1
 
     def unpin(self, file_id: int, page_no: int) -> None:
         """Release a pin."""
-        frame = self._frame((file_id, page_no))
-        if frame.pins <= 0:
-            raise PinError(f"unpin without pin on {(file_id, page_no)}")
-        frame.pins -= 1
+        with self._mu:
+            frame = self._frame((file_id, page_no))
+            if frame.pins <= 0:
+                raise PinError(f"unpin without pin on {(file_id, page_no)}")
+            frame.pins -= 1
 
     def is_cached(self, file_id: int, page_no: int) -> bool:
         """Whether the page currently resides in the pool."""
@@ -192,32 +322,36 @@ class BufferManager:
 
     def dirty_keys(self) -> list[PageKey]:
         """Keys of all dirty frames (bgwriter / checkpoint input) — O(dirty)."""
-        return list(self._dirty)
+        with self._mu:
+            return list(self._dirty)
 
     def drop(self, file_id: int, page_no: int) -> None:
         """Discard a frame without writeback (GC'd / truncated pages)."""
         key = (file_id, page_no)
-        frame = self._frames.pop(key, None)
-        if frame is not None:
-            self._unlink(frame)
-            self._dirty.pop(key, None)
+        with self._mu:
+            frame = self._frames.pop(key, None)
+            if frame is not None:
+                self._unlink(frame)
+                self._dirty.pop(key, None)
 
     def invalidate_all(self) -> None:
         """Empty the pool without writeback (cold-cache experiments)."""
-        self._frames.clear()
-        self._dirty.clear()
-        self._hand = None
+        with self._mu:
+            self._frames.clear()
+            self._dirty.clear()
+            self._hand = None
 
     # -- writeback ----------------------------------------------------------------------------
 
     def flush_page(self, file_id: int, page_no: int) -> bool:
         """Write one dirty page back; returns True if a write happened."""
         key = (file_id, page_no)
-        frame = self._frames.get(key)
-        if frame is None or not frame.dirty:
-            return False
-        self._writeback(key, frame)
-        return True
+        with self._mu:
+            frame = self._frames.get(key)
+            if frame is None or not frame.dirty:
+                return False
+            self._writeback(key, frame)
+            return True
 
     def flush_batch(self, keys: list[PageKey]) -> int:
         """Write a set of dirty pages asynchronously (background flush).
@@ -228,18 +362,19 @@ class BufferManager:
         a foreground backend needing a frame right now — is synchronous.
         """
         flushed = 0
-        for key in keys:
-            frame = self._frames.get(key)
-            if frame is None or not frame.dirty:
-                continue
-            lba = self.tablespace.ensure_page(*key)
-            data = frame.page.to_bytes()
-            self.tablespace.device.write_page_async(lba, data)
-            frame.dirty = False
-            frame.raw = data
-            self._dirty.pop(key, None)
-            self.stats.writebacks += 1
-            flushed += 1
+        with self._mu:
+            for key in keys:
+                frame = self._frames.get(key)
+                if frame is None or not frame.dirty:
+                    continue
+                lba = self.tablespace.ensure_page(*key)
+                data = frame.page.to_bytes()
+                self.tablespace.device.write_page_async(lba, data)
+                frame.dirty = False
+                frame.raw = data
+                self._dirty.pop(key, None)
+                self.stats.writebacks += 1
+                flushed += 1
         return flushed
 
     def flush_all(self) -> int:

@@ -191,7 +191,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port,
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.queue_depth,
+        executor_workers=args.workers,
         idle_timeout_sec=args.idle_timeout))
+    print(f"engine workers: {server.dispatch.executor_workers}",
+          flush=True)
     server.run()
     db.shutdown()
     print(snapshot(db, server=server).render())
@@ -248,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="sias-v")
     serve.add_argument("--max-in-flight", type=int, default=8,
                        help="commands submitted to the engine at once")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="engine worker threads; 0 = auto "
+                            "(min(4, cpu count))")
     serve.add_argument("--queue-depth", type=int, default=64,
                        help="waiting commands beyond which load is shed")
     serve.add_argument("--idle-timeout", type=float, default=60.0,

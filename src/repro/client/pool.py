@@ -18,9 +18,11 @@ will be aborted server-side.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import OverloadedError
 from repro.client.connection import ClientConnection
@@ -29,17 +31,37 @@ from repro.server.protocol import Command
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff schedule for retryable failures."""
+    """Exponential backoff with **full jitter** for retryable failures.
+
+    The backoff *ceiling* grows exponentially; the actual sleep is drawn
+    uniformly from ``[0, ceiling]``.  Without jitter, every client shed by
+    the same overload burst retries in lockstep and re-collides on every
+    wave; full jitter spreads the retry storm across the whole window
+    (the classic AWS "exponential backoff and jitter" result).
+
+    ``rng`` takes any 0-arg callable returning floats in ``[0, 1)`` —
+    inject ``random.Random(seed).random`` for deterministic tests, or set
+    ``jitter=False`` to fall back to the bare exponential schedule.
+    """
 
     max_attempts: int = 10
     base_delay_sec: float = 0.005
     max_delay_sec: float = 0.25
     multiplier: float = 2.0
+    jitter: bool = True
+    rng: Callable[[], float] = field(default=random.random, compare=False)
+
+    def ceiling(self, attempt: int) -> float:
+        """The capped exponential bound for retry number ``attempt``."""
+        return min(self.max_delay_sec,
+                   self.base_delay_sec * (self.multiplier ** attempt))
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based)."""
-        return min(self.max_delay_sec,
-                   self.base_delay_sec * (self.multiplier ** attempt))
+        bound = self.ceiling(attempt)
+        if not self.jitter:
+            return bound
+        return self.rng() * bound
 
 
 @dataclass

@@ -15,18 +15,27 @@ global clock only by the critical path; see :mod:`repro.storage.device`.
 
 from __future__ import annotations
 
+import threading
+
 from repro.common import units
 
 
 class SimClock:
-    """A monotone simulated clock counting integer microseconds."""
+    """A monotone simulated clock counting integer microseconds.
 
-    __slots__ = ("_now",)
+    ``advance``/``advance_to`` are read-modify-write, so they serialise on
+    an internal mutex; multi-worker executors charge device service times
+    from several threads at once.  Reads stay lock-free — a single int
+    load is atomic and monotonicity makes a stale read harmless.
+    """
+
+    __slots__ = ("_now", "_mu")
 
     def __init__(self, start_usec: int = 0) -> None:
         if start_usec < 0:
             raise ValueError(f"clock cannot start negative: {start_usec}")
         self._now = int(start_usec)
+        self._mu = threading.Lock()
 
     @property
     def now(self) -> int:
@@ -46,14 +55,22 @@ class SimClock:
         """
         if delta_usec < 0:
             raise ValueError(f"cannot advance clock by {delta_usec} us")
-        self._now += int(delta_usec)
-        return self._now
+        with self._mu:
+            self._now += int(delta_usec)
+            return self._now
 
     def advance_to(self, when_usec: int) -> int:
-        """Move the clock forward to an absolute time, never backwards."""
-        if when_usec > self._now:
-            self._now = int(when_usec)
-        return self._now
+        """Move the clock forward to an absolute time, never backwards.
+
+        Lock-free when the clock is already past ``when_usec``: the clock
+        is monotone, so a stale read that says "already there" stays true.
+        """
+        if when_usec <= self._now:
+            return self._now
+        with self._mu:
+            if when_usec > self._now:
+                self._now = int(when_usec)
+            return self._now
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimClock(now={units.fmt_usec(self._now)})"

@@ -1,0 +1,68 @@
+"""Striped latches: a fixed array of locks addressed by hashable key.
+
+The engines protect shared mutable structures (VIDmap entrypoints, heap
+pages, the FSM) with *striped* latches: a key — ``(relation_id, vid)`` or
+``(relation_id, page_no)`` — hashes to one of ``n`` mutexes, so unrelated
+items proceed in parallel while two writers touching the same item
+serialise.  Stripes are reentrant (``RLock``) because an engine call that
+holds a stripe may re-enter it through an undo action registered under the
+same latch.
+
+``acquire_all`` takes every stripe in index order; it is the quiesce
+primitive for structure-wide operations (GC swinging many entrypoints,
+chain severing).  Because per-key users also map to a single stripe and
+never hold two stripes at once, index-ordered acquisition cannot deadlock
+against them.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class LatchStripes:
+    """A fixed pool of reentrant locks addressed by hashable key."""
+
+    __slots__ = ("_stripes",)
+
+    def __init__(self, n: int = 16) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one stripe, got {n}")
+        self._stripes = tuple(threading.RLock() for _ in range(n))
+
+    def __len__(self) -> int:
+        return len(self._stripes)
+
+    def of(self, key: object) -> threading.RLock:
+        """The stripe responsible for ``key``."""
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    @contextmanager
+    def holding(self, key: object) -> Iterator[None]:
+        """Context manager: hold ``key``'s stripe for the block."""
+        stripe = self.of(key)
+        stripe.acquire()
+        try:
+            yield
+        finally:
+            stripe.release()
+
+    @contextmanager
+    def holding_all(self) -> Iterator[None]:
+        """Hold *every* stripe, acquired in index order (quiesce).
+
+        Single-stripe users acquire exactly one stripe, so ordered
+        acquisition here cannot form a cycle with them; two concurrent
+        ``holding_all`` calls serialise on stripe 0.
+        """
+        acquired = 0
+        try:
+            for stripe in self._stripes:
+                stripe.acquire()
+                acquired += 1
+            yield
+        finally:
+            for stripe in reversed(self._stripes[:acquired]):
+                stripe.release()

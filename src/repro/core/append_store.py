@@ -35,6 +35,7 @@ the relation's on-device footprint.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 
 from repro.buffer.manager import BufferManager
@@ -93,6 +94,12 @@ class AppendStore:
         self._idle_page_nos: list[int] = []
         self.sealed: dict[int, _SealedPageInfo] = {}
         self.stats = AppendStoreStats()
+        # The *append-page tail latch*: serialises open-page selection,
+        # appends, seals and page-number recycling.  Reads stay lock-free —
+        # seal_page publishes the page to the buffer pool *before* removing
+        # it from the open set, so a concurrent reader always finds the
+        # page in one of the two places.
+        self._mu = threading.RLock()
 
     # -- open-page management -----------------------------------------------------
 
@@ -143,7 +150,8 @@ class AppendStore:
 
     def open_page_nos(self) -> list[int]:
         """Numbers of all unsealed (in-memory) pages."""
-        return sorted(self._open.keys())
+        with self._mu:
+            return sorted(self._open.keys())
 
     def open_page(self, page_no: int) -> AppendPage | None:
         """The open page with this number, if any."""
@@ -165,23 +173,26 @@ class AppendStore:
         page seals as soon as it reaches the fill target; under t1 sealing
         is left to the background-writer tick.
         """
-        page = self._page_for(group, record)
-        if not page.fits(record):
-            raise PageError(
-                f"record of {record.size} B cannot fit an empty append page")
-        slot = page.append(record)
-        tid = Tid(page.page_no, slot)
-        self.stats.appended_records += 1
-        if (self.config.flush_threshold is FlushThreshold.T2
-                and page.fill_degree() >= self.config.append_fill_target):
-            self.seal_page(page.page_no)
-        return tid
+        with self._mu:
+            page = self._page_for(group, record)
+            if not page.fits(record):
+                raise PageError(
+                    f"record of {record.size} B cannot fit an empty append "
+                    "page")
+            slot = page.append(record)
+            tid = Tid(page.page_no, slot)
+            self.stats.appended_records += 1
+            if (self.config.flush_threshold is FlushThreshold.T2
+                    and page.fill_degree() >= self.config.append_fill_target):
+                self.seal_page(page.page_no)
+            return tid
 
     def release_group(self, group: object) -> None:
         """The group (transaction) finished: its page becomes reusable."""
-        page_no = self._current.pop(group, None)
-        if page_no is not None and page_no in self._open:
-            self._idle_page_nos.append(page_no)
+        with self._mu:
+            page_no = self._current.pop(group, None)
+            if page_no is not None and page_no in self._open:
+                self._idle_page_nos.append(page_no)
 
     # -- sealing -----------------------------------------------------------------------
 
@@ -192,30 +203,36 @@ class AppendStore:
         append inside the relation's extents) and cached *clean*: it will
         never be written again.
         """
-        page = self._open.get(page_no)
-        if page is None:
-            return None
-        if page.record_count == 0:
+        with self._mu:
+            page = self._open.get(page_no)
+            if page is None:
+                return None
+            if page.record_count == 0:
+                del self._open[page_no]
+                self._unlink_current(page_no)
+                heapq.heappush(self._free_page_nos, page_no)
+                return None
+            lba = self.buffer.tablespace.ensure_page(self.file_id,
+                                                     page.page_no)
+            # the seal is fire-and-forget: the transaction path never waits
+            # for data-page I/O, only for the WAL (recovery replays a lost
+            # seal).  The page is encoded exactly once: the same image goes
+            # to the device and seeds the buffer's sealed-page byte cache.
+            encoded = page.to_bytes()
+            self.buffer.tablespace.device.write_page_async(lba, encoded)
+            self.buffer.put_clean(self.file_id, page.page_no, page,
+                                  raw=encoded)
+            # remove from the open set only after the buffer holds the
+            # page: a lock-free reader racing the seal finds the page
+            # either open or cached, never neither
             del self._open[page_no]
             self._unlink_current(page_no)
-            heapq.heappush(self._free_page_nos, page_no)
-            return None
-        del self._open[page_no]
-        self._unlink_current(page_no)
-        lba = self.buffer.tablespace.ensure_page(self.file_id, page.page_no)
-        # the seal is fire-and-forget: the transaction path never waits for
-        # data-page I/O, only for the WAL (recovery replays a lost seal).
-        # The page is encoded exactly once: the same image goes to the
-        # device and seeds the buffer's sealed-page byte cache.
-        encoded = page.to_bytes()
-        self.buffer.tablespace.device.write_page_async(lba, encoded)
-        self.buffer.put_clean(self.file_id, page.page_no, page, raw=encoded)
-        self.sealed[page.page_no] = _SealedPageInfo(page.record_count)
-        self.stats.sealed_pages += 1
-        self.stats.sealed_bytes += page.page_size
-        self.stats.wasted_bytes += page.free_bytes()
-        self.stats.fill_degree_sum += page.fill_degree()
-        return page.page_no
+            self.sealed[page.page_no] = _SealedPageInfo(page.record_count)
+            self.stats.sealed_pages += 1
+            self.stats.sealed_bytes += page.page_size
+            self.stats.wasted_bytes += page.free_bytes()
+            self.stats.fill_degree_sum += page.fill_degree()
+            return page.page_no
 
     def _unlink_current(self, page_no: int) -> None:
         for group, current_no in list(self._current.items()):
@@ -229,12 +246,13 @@ class AppendStore:
         the singular name survives from the single-working-page design and
         keeps the t1/t2 subscription call sites trivial.
         """
-        result: int | None = None
-        for page_no in self.open_page_nos():
-            sealed = self.seal_page(page_no)
-            if sealed is not None:
-                result = sealed
-        return result
+        with self._mu:
+            result: int | None = None
+            for page_no in self.open_page_nos():
+                sealed = self.seal_page(page_no)
+                if sealed is not None:
+                    result = sealed
+            return result
 
     # -- reads -----------------------------------------------------------------------
 
@@ -295,13 +313,14 @@ class AppendStore:
         tells the simulated FTL the flash pages are dead (deterministic,
         DBMS-driven erase behaviour).
         """
-        if page_no not in self.sealed:
-            raise NoSuchItemError(f"page {page_no} is not a sealed page")
-        del self.sealed[page_no]
-        self.buffer.drop(self.file_id, page_no)
-        self.buffer.tablespace.trim_page(self.file_id, page_no)
-        heapq.heappush(self._free_page_nos, page_no)
-        self.stats.reclaimed_pages += 1
+        with self._mu:
+            if page_no not in self.sealed:
+                raise NoSuchItemError(f"page {page_no} is not a sealed page")
+            del self.sealed[page_no]
+            self.buffer.drop(self.file_id, page_no)
+            self.buffer.tablespace.trim_page(self.file_id, page_no)
+            heapq.heappush(self._free_page_nos, page_no)
+            self.stats.reclaimed_pages += 1
 
     # -- space accounting ----------------------------------------------------------------------
 

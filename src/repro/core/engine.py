@@ -31,6 +31,7 @@ from repro.common.errors import (
     SerializationError,
     TombstoneError,
 )
+from repro.common.latch import LatchStripes
 from repro.core.append_store import AppendStore
 from repro.core.vid import VidAllocator
 from repro.core.vidmap import VidMap
@@ -63,6 +64,11 @@ class SiasVEngine:
         self.allocator = VidAllocator()
         self.store = AppendStore(buffer, file_id, config)
         self.stats = SiasVStats()
+        #: striped latches keyed by ``(relation_id, vid)``: each write path
+        #: holds exactly one stripe around its append + entrypoint swing,
+        #: so unrelated items proceed in parallel; GC quiesces writers by
+        #: holding all stripes (``holding_all``)
+        self.latches = LatchStripes(64)
         #: vid → TID whose pred pointer is severed: GC discarded the chain
         #: tail below this record, so walks must not follow its pred (the
         #: target pages may have been reclaimed and recycled).  In-memory
@@ -86,11 +92,13 @@ class SiasVEngine:
         """Create a new data item; returns its VID."""
         vid = self.allocator.allocate()
         self.txn_mgr.locks.acquire((self.relation_id, vid), txn.txid)
+        key = (self.relation_id, vid)
         record = VersionRecord(create_ts=txn.txid, vid=vid, pred=None,
                                tombstone=False, payload=payload)
-        tid = self.store.append(record, group=self._group(txn))
-        self.vidmap.set(vid, tid)
-        txn.register_undo(lambda: self.vidmap.set(vid, None))
+        with self.latches.of(key):
+            tid = self.store.append(record, group=self._group(txn))
+            self.vidmap.set(vid, tid)
+        txn.register_undo(lambda: self._undo_entrypoint(vid, None))
         self._log(txn, WalRecordType.INSERT, vid, payload)
         txn.writes += 1
         return vid
@@ -122,28 +130,45 @@ class SiasVEngine:
         return vids
 
     def update(self, txn: Transaction, vid: int, payload: bytes) -> None:
-        """Append a successor version of ``vid`` (implicit invalidation)."""
-        entry_tid = self._check_updatable(txn, vid)
+        """Append a successor version of ``vid`` (implicit invalidation).
+
+        The item lock is taken *before* the visibility check: with lock
+        waiting enabled (multi-worker server) a second updater blocks here
+        until the holder finishes, then re-validates the entrypoint — if
+        the holder committed a conflicting version, the check aborts the
+        waiter (first-updater-wins); if the holder aborted, the waiter
+        proceeds.  That is PostgreSQL's wait-then-recheck discipline.
+        """
         self.txn_mgr.locks.acquire((self.relation_id, vid), txn.txid)
+        entry_tid = self._check_updatable(txn, vid)
+        key = (self.relation_id, vid)
         record = VersionRecord(create_ts=txn.txid, vid=vid, pred=entry_tid,
                                tombstone=False, payload=payload)
-        new_tid = self.store.append(record, group=self._group(txn))
-        self.vidmap.set(vid, new_tid)
-        txn.register_undo(lambda: self.vidmap.set(vid, entry_tid))
+        with self.latches.of(key):
+            new_tid = self.store.append(record, group=self._group(txn))
+            self.vidmap.set(vid, new_tid)
+        txn.register_undo(lambda: self._undo_entrypoint(vid, entry_tid))
         self._log(txn, WalRecordType.UPDATE, vid, payload)
         txn.writes += 1
 
     def delete(self, txn: Transaction, vid: int) -> None:
         """Append a tombstone version of ``vid``."""
-        entry_tid = self._check_updatable(txn, vid)
         self.txn_mgr.locks.acquire((self.relation_id, vid), txn.txid)
+        entry_tid = self._check_updatable(txn, vid)
+        key = (self.relation_id, vid)
         record = VersionRecord(create_ts=txn.txid, vid=vid, pred=entry_tid,
                                tombstone=True, payload=b"")
-        new_tid = self.store.append(record, group=self._group(txn))
-        self.vidmap.set(vid, new_tid)
-        txn.register_undo(lambda: self.vidmap.set(vid, entry_tid))
+        with self.latches.of(key):
+            new_tid = self.store.append(record, group=self._group(txn))
+            self.vidmap.set(vid, new_tid)
+        txn.register_undo(lambda: self._undo_entrypoint(vid, entry_tid))
         self._log(txn, WalRecordType.DELETE, vid, b"")
         txn.writes += 1
+
+    def _undo_entrypoint(self, vid: int, entry_tid: Tid | None) -> None:
+        """Abort path: swing the entrypoint back under the item's stripe."""
+        with self.latches.of((self.relation_id, vid)):
+            self.vidmap.set(vid, entry_tid)
 
     def _check_updatable(self, txn: Transaction, vid: int) -> Tid:
         """Algorithm-3 precondition: the entrypoint must be visible to us.

@@ -67,15 +67,24 @@ class GarbageCollector:
         self.engine = engine
 
     def collect(self) -> GcReport:
-        """Run one full GC pass; returns the report for index pruning."""
+        """Run one full GC pass; returns the report for index pruning.
+
+        The pass runs with *every* stripe latch of the engine held
+        (``holding_all``): concurrent writers are quiesced while chains are
+        classified, entrypoints swung and pages reclaimed.  Readers are
+        excluded at a higher level — the server dispatches MAINTENANCE on
+        its exclusive lane, so no command overlaps a reclaim that could
+        recycle a page a lock-free reader is descending into.
+        """
         engine = self.engine
-        report = GcReport(horizon=engine.txn_mgr.horizon_txid())
-        live: dict[Tid, VersionRecord] = {}
-        relocatable: set[Tid] = set()
-        dead_reachable: dict[Tid, VersionRecord] = {}
-        self._classify_chains(report, live, relocatable, dead_reachable)
-        self._sweep_pages(report, live, relocatable)
-        return report
+        with engine.latches.holding_all():
+            report = GcReport(horizon=engine.txn_mgr.horizon_txid())
+            live: dict[Tid, VersionRecord] = {}
+            relocatable: set[Tid] = set()
+            dead_reachable: dict[Tid, VersionRecord] = {}
+            self._classify_chains(report, live, relocatable, dead_reachable)
+            self._sweep_pages(report, live, relocatable)
+            return report
 
     # -- phase 1: chain classification ----------------------------------------
 

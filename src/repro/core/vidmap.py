@@ -19,6 +19,7 @@ crash recovery instead rebuilds the map from the append pages (see
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.buffer.manager import BufferManager
@@ -38,6 +39,12 @@ class VidMap:
         self._buckets: list[VidMapPage] = []
         self.lookups = 0
         self.updates = 0
+        # Growth-only mutex: appending new buckets is check-then-append and
+        # must not race (two workers would misnumber buckets).  Slot get/set
+        # on existing buckets stays lock-free — single list/array element
+        # reads and writes are atomic under the GIL, and per-item stripe
+        # latches in the engine already serialise same-VID writers.
+        self._grow_mu = threading.Lock()
 
     # -- position arithmetic (the paper's DIFF / MOD operations) ----------------
 
@@ -71,10 +78,12 @@ class VidMap:
             raise NoSuchItemError(f"negative VID {vid}")
         self.updates += 1
         bucket = self.bucket_of(vid)
-        while bucket >= len(self._buckets):
-            self._buckets.append(
-                VidMapPage(len(self._buckets), self.slots_per_bucket,
-                           self.page_size))
+        if bucket >= len(self._buckets):
+            with self._grow_mu:
+                while bucket >= len(self._buckets):
+                    self._buckets.append(
+                        VidMapPage(len(self._buckets), self.slots_per_bucket,
+                                   self.page_size))
         self._buckets[bucket].set(self.slot_of(vid), tid)
 
     def entries(self) -> Iterator[tuple[int, Tid]]:

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Iterator
@@ -106,6 +107,9 @@ class Database:
         self.tables: dict[str, Relation] = {}
         self._shut_down = False
         self._vidmap_file_ids: dict[str, int] = {}
+        # DDL mutex: relation-id assignment and catalog insertion are
+        # check-then-act over ``self.tables``
+        self._schema_mu = threading.Lock()
 
     # -- constructors -------------------------------------------------------------
 
@@ -134,27 +138,28 @@ class Database:
     def create_table(self, name: str, schema: Schema,
                      indexes: list[IndexDef] | None = None) -> Relation:
         """Create a relation with its own storage file and indexes."""
-        if name in self.tables:
-            raise SchemaError(f"table {name!r} already exists")
-        relation_id = len(self.tables)
-        file_id = self.tablespace.create_file(f"rel.{name}")
-        engine: SiasVEngine | SiEngine
-        if self.kind is EngineKind.SIASV:
-            engine = SiasVEngine(relation_id, self.buffer, file_id,
-                                 self.config.engine, self.txn_mgr)
-            if self.config.engine.flush_threshold is FlushThreshold.T1:
-                self.bgwriter.subscribe(engine.store.seal_working_page)
-            self.checkpointer.subscribe(engine.store.seal_working_page)
-        else:
-            engine = SiEngine(relation_id, self.buffer, file_id,
-                              self.config.engine, self.txn_mgr)
-        relation = Relation(relation_id=relation_id, name=name,
-                            schema=schema, codec=RowCodec(schema),
-                            engine=engine)
-        for definition in indexes or []:
-            relation.add_index(definition)
-        self.tables[name] = relation
-        return relation
+        with self._schema_mu:
+            if name in self.tables:
+                raise SchemaError(f"table {name!r} already exists")
+            relation_id = len(self.tables)
+            file_id = self.tablespace.create_file(f"rel.{name}")
+            engine: SiasVEngine | SiEngine
+            if self.kind is EngineKind.SIASV:
+                engine = SiasVEngine(relation_id, self.buffer, file_id,
+                                     self.config.engine, self.txn_mgr)
+                if self.config.engine.flush_threshold is FlushThreshold.T1:
+                    self.bgwriter.subscribe(engine.store.seal_working_page)
+                self.checkpointer.subscribe(engine.store.seal_working_page)
+            else:
+                engine = SiEngine(relation_id, self.buffer, file_id,
+                                  self.config.engine, self.txn_mgr)
+            relation = Relation(relation_id=relation_id, name=name,
+                                schema=schema, codec=RowCodec(schema),
+                                engine=engine)
+            for definition in indexes or []:
+                relation.add_index(definition)
+            self.tables[name] = relation
+            return relation
 
     def table(self, name: str) -> Relation:
         """Look up a relation by name."""

@@ -71,6 +71,8 @@ class SystemSnapshot:
     lock_conflicts: int
     tables: tuple[TableSnapshot, ...]
     commands: tuple[CommandStat, ...] = ()
+    lock_waits: int = 0
+    lock_wait_timeouts: int = 0
 
     def render(self) -> str:
         """Pretty-print the snapshot."""
@@ -93,7 +95,9 @@ class SystemSnapshot:
                 ["txn commits / aborts / active",
                  f"{self.txn_commits} / {self.txn_aborts} / "
                  f"{self.txn_active}"],
-                ["lock conflicts", self.lock_conflicts],
+                ["lock conflicts / waits / wait timeouts",
+                 f"{self.lock_conflicts} / {self.lock_waits} / "
+                 f"{self.lock_wait_timeouts}"],
             ])
         rows = []
         for table in self.tables:
@@ -155,6 +159,9 @@ def snapshot(db: Database, server: object | None = None) -> SystemSnapshot:
                         engine.heap.stats.in_place_invalidations,
                     "killed": engine.heap.stats.killed_tuples,
                 }))
+    # one reading under the txn mutex: commits + aborts + active always
+    # add up even while worker threads finish transactions mid-snapshot
+    commits, aborts, active = db.txn_mgr.counters()
     return SystemSnapshot(
         sim_time_sec=db.clock.now_sec,
         device_reads=device.stats.reads,
@@ -169,10 +176,12 @@ def snapshot(db: Database, server: object | None = None) -> SystemSnapshot:
         wal_records=db.wal.records_written,
         wal_mib=units.mib(db.wal.bytes_written),
         wal_forces=db.wal.forces,
-        txn_commits=db.txn_mgr.commits,
-        txn_aborts=db.txn_mgr.aborts,
-        txn_active=db.txn_mgr.active_count(),
+        txn_commits=commits,
+        txn_aborts=aborts,
+        txn_active=active,
         lock_conflicts=db.txn_mgr.locks.stats.conflicts,
+        lock_waits=db.txn_mgr.locks.stats.waits,
+        lock_wait_timeouts=db.txn_mgr.locks.stats.wait_timeouts,
         tables=tuple(tables),
         commands=(server.command_stats()  # type: ignore[attr-defined]
                   if server is not None else ()),

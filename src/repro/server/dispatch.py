@@ -1,13 +1,12 @@
 """Executor offload with admission control and per-command telemetry.
 
 The storage engine underneath :class:`~repro.db.database.Database` is
-synchronous and **not** thread-safe, so the server must never run two
-commands against it concurrently — yet the asyncio accept loop must stay
-responsive while a scan chews through pages.  The dispatcher resolves this
-by running every database command on a dedicated
-:class:`~concurrent.futures.ThreadPoolExecutor` (one worker by default,
-which *is* the engine's concurrency contract) and bounding the work the
-event loop is allowed to park in front of it:
+synchronous; since the core latching work (txn mutex, per-frame buffer
+latches, WAL append mutex, engine stripe latches) it is also thread-safe,
+so the server runs commands on a *pool* of engine workers — by default
+``min(4, cpu_count)`` — while the asyncio accept loop stays responsive.
+The dispatcher still bounds the work the event loop is allowed to park in
+front of the pool:
 
 * ``max_in_flight`` commands may be submitted to the executor at once
   (an :class:`asyncio.Semaphore`);
@@ -21,13 +20,25 @@ answering (the "tolerable load" lesson of the paper's Figure 5, applied to
 the service layer).
 
 Cleanup work (aborting a disconnected session's transactions) and cheap
-control commands bypass admission via ``exempt=True`` but still serialise
-through the executor, so engine single-threading holds even under load.
+control commands bypass admission via ``exempt=True`` but still count
+against the in-flight bound, so the executor is never oversubscribed.
+
+Two commands need more than thread safety: garbage collection and DDL
+mutate structures that lock-free readers traverse without latches.  They
+run on the **exclusive lane** (``exclusive=True``): the dispatcher drains
+every executing command, runs the exclusive one alone, and only then
+admits new work.  While an exclusive command waits, newly admitted
+commands queue behind it (holding their in-flight slots), so a steady
+stream of reads cannot starve maintenance.  The lane is implemented with
+plain counters and :class:`asyncio.Event` — every mutation happens on the
+event-loop thread, and the *leave* path is synchronous, so a cancelled
+handler can never leak a gate token.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -36,6 +47,11 @@ from typing import Callable, TypeVar
 from repro.common.errors import OverloadedError
 
 T = TypeVar("T")
+
+
+def default_executor_workers() -> int:
+    """The default engine-worker pool size: ``min(4, cpu_count)``."""
+    return min(4, os.cpu_count() or 1)
 
 
 @dataclass
@@ -75,6 +91,7 @@ class DispatchStats:
 
     admitted: int = 0
     shed_total: int = 0
+    exclusive_runs: int = 0
     commands: dict[str, CommandCounter] = field(default_factory=dict)
 
     def of(self, name: str) -> CommandCounter:
@@ -94,17 +111,30 @@ class Dispatcher:
     """Admission-controlled bridge from the event loop to the engine."""
 
     def __init__(self, max_in_flight: int = 8, max_queue_depth: int = 64,
-                 executor_workers: int = 1) -> None:
+                 executor_workers: int | None = None) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         if max_queue_depth < 0:
             raise ValueError("max_queue_depth must be >= 0")
+        if executor_workers is None:
+            executor_workers = default_executor_workers()
+        if executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
         self.max_in_flight = max_in_flight
         self.max_queue_depth = max_queue_depth
+        self.executor_workers = executor_workers
         self.stats = DispatchStats()
         self._sem = asyncio.Semaphore(max_in_flight)
         self._waiting = 0
+        # Exclusive-lane state.  Touched only from the event-loop thread:
+        # no lock needed, and _leave_gate is synchronous so cancellation
+        # between enter and leave cannot strand the lane closed.
         self._executing = 0
+        self._exclusive_active = False
+        self._exclusive_pending = 0
+        self._lane_open = asyncio.Event()   # no exclusive active or waiting
+        self._lane_open.set()
+        self._drained = asyncio.Event()     # _executing just reached zero
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers,
             thread_name_prefix="repro-engine")
@@ -125,11 +155,14 @@ class Dispatcher:
     # -- dispatch ------------------------------------------------------------
 
     async def run(self, name: str, fn: Callable[[], T], *,
-                  exempt: bool = False) -> T:
+                  exempt: bool = False, exclusive: bool = False) -> T:
         """Run ``fn`` on the engine executor, or shed with ``OVERLOADED``.
 
         ``exempt`` skips the admission check (commit/abort, clock ticks,
-        cleanup) but still serialises through the executor.
+        cleanup) but still occupies an in-flight slot.  ``exclusive``
+        drains the executor and runs ``fn`` with no other command in
+        flight — for work (GC, DDL) that restructures state lock-free
+        readers traverse unlatched.
         """
         if self._closed:
             raise OverloadedError("dispatcher is shut down")
@@ -148,20 +181,54 @@ class Dispatcher:
             await self._sem.acquire()
         finally:
             self._waiting -= 1
-        self._executing += 1
-        self.stats.admitted += 1
         try:
-            loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(self._executor, fn)
-            counter.ok += 1
-            return result
-        except Exception:
-            counter.errors += 1
-            raise
+            await self._enter_gate(exclusive)
+            self.stats.admitted += 1
+            if exclusive:
+                self.stats.exclusive_runs += 1
+            try:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(self._executor, fn)
+                counter.ok += 1
+                return result
+            except Exception:
+                counter.errors += 1
+                raise
+            finally:
+                self._leave_gate(exclusive)
         finally:
-            self._executing -= 1
             self._sem.release()
             counter.observe(time.monotonic() - start)
+
+    async def _enter_gate(self, exclusive: bool) -> None:
+        if exclusive:
+            self._exclusive_pending += 1
+            self._lane_open.clear()
+            try:
+                while self._exclusive_active or self._executing > 0:
+                    self._drained.clear()
+                    await self._drained.wait()
+                self._exclusive_active = True
+            finally:
+                # on success the active flag keeps the lane closed; on
+                # cancellation this reopens it if we were the last waiter
+                self._exclusive_pending -= 1
+                if (not self._exclusive_active
+                        and self._exclusive_pending == 0):
+                    self._lane_open.set()
+        else:
+            while not self._lane_open.is_set():
+                await self._lane_open.wait()
+        self._executing += 1
+
+    def _leave_gate(self, exclusive: bool) -> None:
+        self._executing -= 1
+        if exclusive:
+            self._exclusive_active = False
+            if self._exclusive_pending == 0:
+                self._lane_open.set()
+        if self._executing == 0:
+            self._drained.set()
 
     def close(self) -> None:
         """Stop accepting work and drain the executor."""

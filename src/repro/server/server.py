@@ -65,9 +65,13 @@ class ServerConfig:
     port: int = 0
     max_in_flight: int = 8
     max_queue_depth: int = 64
-    executor_workers: int = 1
+    #: engine worker threads; 0 means auto (``min(4, cpu_count)``)
+    executor_workers: int = 0
     idle_timeout_sec: float = 60.0
     reaper_interval_sec: float = 1.0
+    #: how long a writer blocks on a held item lock before aborting with
+    #: ``SerializationError``; applied when more than one worker runs
+    lock_wait_timeout_sec: float = 0.2
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -75,8 +79,10 @@ class ServerConfig:
             raise ValueError("max_in_flight must be >= 1")
         if self.max_queue_depth < 0:
             raise ValueError("max_queue_depth must be >= 0")
-        if self.executor_workers < 1:
-            raise ValueError("executor_workers must be >= 1")
+        if self.executor_workers < 0:
+            raise ValueError("executor_workers must be >= 0")
+        if self.lock_wait_timeout_sec < 0:
+            raise ValueError("lock_wait_timeout_sec must be >= 0")
 
 
 #: Commands that bypass admission control: finishing work (commit/abort
@@ -87,6 +93,11 @@ _EXEMPT = frozenset({
     Command.CLOCK_NOW, Command.CLOCK_ADVANCE, Command.CLOCK_ADVANCE_TO,
     Command.STATS, Command.SHUTDOWN,
 })
+
+#: Commands that run on the dispatcher's exclusive lane: they restructure
+#: state (GC page reclaim, catalog growth) that lock-free read paths
+#: traverse without latches, so no other command may be in flight.
+_EXCLUSIVE = frozenset({Command.MAINTENANCE, Command.CREATE_TABLE})
 
 
 def _arity(args: tuple, n: int) -> tuple:
@@ -130,7 +141,15 @@ class DatabaseServer:
         self.sessions = SessionManager(self.config.idle_timeout_sec)
         self.dispatch = Dispatcher(self.config.max_in_flight,
                                    self.config.max_queue_depth,
-                                   self.config.executor_workers)
+                                   self.config.executor_workers or None)
+        # With several engine workers, writers contending for the same
+        # item wait (bounded) instead of aborting on first touch — the
+        # single-worker default (0.0: immediate first-updater-wins abort)
+        # stays untouched so embedded/one-worker behaviour is unchanged.
+        if (self.dispatch.executor_workers > 1
+                and db.txn_mgr.locks.wait_timeout_sec <= 0):
+            db.txn_mgr.locks.wait_timeout_sec = (
+                self.config.lock_wait_timeout_sec)
         self.address: tuple[str, int] | None = None
         self._server: asyncio.Server | None = None
         self._stop_event: asyncio.Event | None = None
@@ -291,10 +310,31 @@ class DatabaseServer:
             "shed_total": self.dispatch.stats.shed_total,
             "max_in_flight": self.config.max_in_flight,
             "max_queue_depth": self.config.max_queue_depth,
+            "executor_workers": self.dispatch.executor_workers,
+            "exclusive_runs": self.dispatch.stats.exclusive_runs,
             "sessions": {"live": self.sessions.count(),
                          "in_flight_txns": self.sessions.in_flight_txns(),
                          **self.sessions.stats.as_dict()},
+            "engine": self._engine_payload(),
             "commands": self.dispatch.stats.per_command(),
+        }
+
+    def _engine_payload(self) -> dict:
+        """Engine-core counters (txn + lock table) for ``STATS``.
+
+        Lets clients and the CI smoke assert engine invariants over the
+        wire — e.g. that the lock table drained after a workload.
+        """
+        commits, aborts, active = self.db.txn_mgr.counters()
+        locks = self.db.txn_mgr.locks
+        return {
+            "txns": {"commits": commits, "aborts": aborts,
+                     "active": active},
+            "locks": {"held": locks.held_count(),
+                      "acquired": locks.stats.acquired,
+                      "conflicts": locks.stats.conflicts,
+                      "waits": locks.stats.waits,
+                      "wait_timeouts": locks.stats.wait_timeouts},
         }
 
     # -- connection handling -------------------------------------------------
@@ -370,7 +410,8 @@ class DatabaseServer:
 
     async def _run(self, command: Command, fn) -> object:
         return await self.dispatch.run(command.name, fn,
-                                       exempt=command in _EXEMPT)
+                                       exempt=command in _EXEMPT,
+                                       exclusive=command in _EXCLUSIVE)
 
     async def _abort_orphans(self, orphans: list[Transaction]) -> None:
         """Abort a closed session's in-flight transactions on the engine."""

@@ -21,6 +21,7 @@ parallel VIDmap access path.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -94,6 +95,12 @@ class BlockDevice(ABC):
         self.write_service_log: list[int] = []
         self._schedule = _ChannelSchedule()
         self._schedule.init(max(1, channels))
+        # One mutex per device serialises stats/schedule/backing-store
+        # mutation.  Plain (non-reentrant): no device op calls another
+        # public op of the *same* device.  Composite devices (RAID) call
+        # member devices while holding their own mutex, but each member has
+        # its own lock — a fixed parent→member order, so no cycles.
+        self._mu = threading.Lock()
 
     # -- address checks ------------------------------------------------------
 
@@ -143,21 +150,23 @@ class BlockDevice(ABC):
         behind them — device saturation backpressure.
         """
         self._check_lba(lba)
-        service = self._service_read(lba)
-        self._account(TraceOp.READ, lba, 1, service)
-        self.clock.advance_to(self._schedule.dispatch(self.clock.now,
-                                                      service))
-        return self._load(lba)
+        with self._mu:
+            service = self._service_read(lba)
+            self._account(TraceOp.READ, lba, 1, service)
+            self.clock.advance_to(self._schedule.dispatch(self.clock.now,
+                                                          service))
+            return self._load(lba)
 
     def write_page(self, lba: int, data: bytes) -> None:
         """Write one page; the caller waits for completion."""
         self._check_lba(lba)
         self._check_payload(data)
-        service = self._service_write(lba)
-        self._account(TraceOp.WRITE, lba, 1, service)
-        self.clock.advance_to(self._schedule.dispatch(self.clock.now,
-                                                      service))
-        self._store(lba, data)
+        with self._mu:
+            service = self._service_write(lba)
+            self._account(TraceOp.WRITE, lba, 1, service)
+            self.clock.advance_to(self._schedule.dispatch(self.clock.now,
+                                                          service))
+            self._store(lba, data)
 
     def write_page_async(self, lba: int, data: bytes) -> None:
         """Write one page without waiting (DMA-style fire-and-forget).
@@ -169,18 +178,20 @@ class BlockDevice(ABC):
         """
         self._check_lba(lba)
         self._check_payload(data)
-        service = self._service_write(lba)
-        self._account(TraceOp.WRITE, lba, 1, service)
-        self._schedule.dispatch(self.clock.now, service)
-        self._store(lba, data)
+        with self._mu:
+            service = self._service_write(lba)
+            self._account(TraceOp.WRITE, lba, 1, service)
+            self._schedule.dispatch(self.clock.now, service)
+            self._store(lba, data)
 
     def trim(self, lba: int) -> None:
         """Tell the device a logical page is dead (free-page hint)."""
         self._check_lba(lba)
-        self.stats.trims += 1
-        if self.trace is not None:
-            self.trace.record(self.clock.now, TraceOp.TRIM, lba, 1)
-        self._discard(lba)
+        with self._mu:
+            self.stats.trims += 1
+            if self.trace is not None:
+                self.trace.record(self.clock.now, TraceOp.TRIM, lba, 1)
+            self._discard(lba)
 
     # -- public batched (parallel) ops ----------------------------------------
 
@@ -192,32 +203,34 @@ class BlockDevice(ABC):
         """
         if not lbas:
             return []
-        now = self.clock.now
-        finish = now
-        out: list[bytes] = []
-        for lba in lbas:
-            self._check_lba(lba)
-            service = self._service_read(lba)
-            self._account(TraceOp.READ, lba, 1, service)
-            finish = max(finish, self._schedule.dispatch(now, service))
-            out.append(self._load(lba))
-        self.clock.advance_to(finish)
-        return out
+        with self._mu:
+            now = self.clock.now
+            finish = now
+            out: list[bytes] = []
+            for lba in lbas:
+                self._check_lba(lba)
+                service = self._service_read(lba)
+                self._account(TraceOp.READ, lba, 1, service)
+                finish = max(finish, self._schedule.dispatch(now, service))
+                out.append(self._load(lba))
+            self.clock.advance_to(finish)
+            return out
 
     def write_pages(self, writes: list[tuple[int, bytes]]) -> None:
         """Write a batch, exploiting channel parallelism (see read_pages)."""
         if not writes:
             return
-        now = self.clock.now
-        finish = now
-        for lba, data in writes:
-            self._check_lba(lba)
-            self._check_payload(data)
-            service = self._service_write(lba)
-            self._account(TraceOp.WRITE, lba, 1, service)
-            finish = max(finish, self._schedule.dispatch(now, service))
-            self._store(lba, data)
-        self.clock.advance_to(finish)
+        with self._mu:
+            now = self.clock.now
+            finish = now
+            for lba, data in writes:
+                self._check_lba(lba)
+                self._check_payload(data)
+                service = self._service_write(lba)
+                self._account(TraceOp.WRITE, lba, 1, service)
+                finish = max(finish, self._schedule.dispatch(now, service))
+                self._store(lba, data)
+            self.clock.advance_to(finish)
 
     # -- helpers ---------------------------------------------------------------
 

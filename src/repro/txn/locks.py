@@ -3,14 +3,31 @@
 SIAS-V serialises updates per data item: an update in progress holds an
 exclusive transaction lock on the item, and a second updater either waits for
 the holder or — if the holder commits a conflicting version the waiter cannot
-see — aborts with a serialization error.  The simulated driver retries
-aborted transactions, so raising immediately on conflict models the
-"first-updater-wins, loser rolls back" outcome; a holder that already
-finished releases its locks lazily here.
+see — aborts with a serialization error.
+
+Two wait disciplines, selected by :attr:`LockTable.wait_timeout_sec`:
+
+* ``0.0`` (default) — conflicts raise :class:`SerializationError`
+  immediately.  This models "first-updater-wins, loser rolls back" for
+  single-threaded drivers (the simulated TPC-C driver retries aborted
+  transactions), where a waiter could only ever deadlock itself.
+* ``> 0`` — the second updater *blocks* until the holder finishes or the
+  timeout expires.  On wake-up the caller re-validates visibility: if the
+  holder committed a conflicting version, the engine raises the
+  serialization error; if the holder aborted, the waiter proceeds.  The
+  timeout bounds waits so worker threads cannot deadlock through lock
+  cycles — a timed-out wait aborts the waiter (counted in
+  ``stats.wait_timeouts``), exactly the fallback PostgreSQL's
+  ``deadlock_timeout`` provides.
+
+The multi-worker server enables waiting; a holder that already finished
+releases its locks via :meth:`release_all`, which wakes every waiter.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import SerializationError, TxnStateError
@@ -23,6 +40,8 @@ class LockStats:
     acquired: int = 0
     reentrant: int = 0
     conflicts: int = 0
+    waits: int = 0
+    wait_timeouts: int = 0
 
 
 @dataclass
@@ -31,25 +50,76 @@ class LockTable:
 
     Items are identified by an opaque hashable key — the engines use
     ``(relation_id, vid)`` (SIAS-V) or ``(relation_id, root_tid)`` (SI).
+
+    The uncontended path is lock-free: a claim is one GIL-atomic
+    ``dict.setdefault`` (a test-and-set — exactly one thread receives its
+    own txid back), and a release is per-key ``del``.  The condition
+    variable is engaged only when a conflict actually blocks: waiters
+    park on it, and a releaser notifies only when ``_waiters`` says
+    someone is parked.  Waiters bump ``_waiters`` *before* re-testing the
+    key, which closes the missed-wakeup race — a release that ran before
+    the waiter's bump also freed the key before the waiter's re-test.
     """
 
     _holders: dict[object, int] = field(default_factory=dict)
     _held_by_txn: dict[int, set[object]] = field(default_factory=dict)
     stats: LockStats = field(default_factory=LockStats)
+    #: > 0 enables bounded blocking waits on conflict (multi-worker mode);
+    #: 0 keeps the immediate first-updater-wins abort.
+    wait_timeout_sec: float = 0.0
+    _cond: threading.Condition = field(default_factory=threading.Condition,
+                                       repr=False, compare=False)
+    #: acquirers currently parked on ``_cond`` (mutated under it); lets
+    #: ``release_all`` skip the condition when nobody waits
+    _waiters: int = field(default=0, repr=False, compare=False)
 
     def acquire(self, key: object, txid: int) -> None:
-        """Take the exclusive lock or raise :class:`SerializationError`."""
-        holder = self._holders.get(key)
-        if holder == txid:
+        """Take the exclusive lock on ``key`` for ``txid``.
+
+        Raises :class:`SerializationError` if another transaction holds the
+        lock and either waiting is disabled (``wait_timeout_sec == 0``) or
+        the bounded wait expires before the holder releases.
+        """
+        held = self._held_by_txn.get(txid)
+        if held is not None and key in held:
             self.stats.reentrant += 1
             return
-        if holder is not None:
+        # Atomic test-and-set: exactly one thread gets its own txid back.
+        holder = self._holders.setdefault(key, txid)
+        if holder == txid:
+            if held is None:
+                held = self._held_by_txn[txid] = set()
+            held.add(key)
+            self.stats.acquired += 1
+            return
+        if self.wait_timeout_sec <= 0.0:
             self.stats.conflicts += 1
             raise SerializationError(
                 f"item {key!r} is locked by txn {holder}; "
                 f"first-updater-wins aborts txn {txid}")
-        self._holders[key] = txid
-        self._held_by_txn.setdefault(txid, set()).add(key)
+        with self._cond:
+            self.stats.waits += 1
+            deadline = time.monotonic() + self.wait_timeout_sec
+            self._waiters += 1
+            try:
+                while True:
+                    holder = self._holders.setdefault(key, txid)
+                    if holder == txid:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.wait_timeouts += 1
+                        self.stats.conflicts += 1
+                        raise SerializationError(
+                            f"txn {txid} timed out after "
+                            f"{self.wait_timeout_sec:.3f}s waiting for item "
+                            f"{key!r} held by txn {holder}")
+                    self._cond.wait(remaining)
+            finally:
+                self._waiters -= 1
+        if held is None:
+            held = self._held_by_txn[txid] = set()
+        held.add(key)
         self.stats.acquired += 1
 
     def holder_of(self, key: object) -> int | None:
@@ -61,13 +131,25 @@ class LockTable:
         return self._holders.get(key) == txid
 
     def release_all(self, txid: int) -> int:
-        """Release every lock of a finishing transaction; returns count."""
-        keys = self._held_by_txn.pop(txid, set())
+        """Release every lock of a finishing transaction; returns count.
+
+        Wakes all blocked acquirers so they re-check their keys (and
+        re-validate visibility against whatever the releaser committed).
+        """
+        # Only the transaction's own thread ever adds entries for its
+        # txid, so the pop (GIL-atomic) returning nothing means there is
+        # nothing to release — read-only transactions pay one dict probe.
+        keys = self._held_by_txn.pop(txid, None)
+        if keys is None:
+            return 0
         for key in keys:
             if self._holders.get(key) != txid:
                 raise TxnStateError(
                     f"lock table corrupt: {key!r} not held by {txid}")
             del self._holders[key]
+        if self._waiters:
+            with self._cond:
+                self._cond.notify_all()
         return len(keys)
 
     def held_count(self) -> int:

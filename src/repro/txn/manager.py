@@ -12,6 +12,7 @@ snapshot and may be reclaimed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
@@ -56,7 +57,16 @@ class Transaction:
 
 
 class TransactionManager:
-    """Coordinates snapshots, commit state, locks and undo."""
+    """Coordinates snapshots, commit state, locks and undo.
+
+    Thread-safe: an internal mutex makes snapshot acquisition and
+    commit-log publication atomic, so concurrent workers serialise on a
+    well-defined commit point.  The mutex is the *txn mutex* in the lock
+    hierarchy (``docs/CONCURRENCY.md``): it is acquired before any stripe
+    latch or WAL mutex and never while holding one, and it is held only
+    for in-memory bookkeeping — WAL forces and undo actions run outside
+    it.
+    """
 
     def __init__(self, wal: WriteAheadLog | None = None) -> None:
         from repro.txn.ssi import SsiTracker
@@ -69,54 +79,80 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.commits = 0
         self.aborts = 0
+        # Plain (non-reentrant) mutex: no path acquires it twice, and the
+        # begin/commit fast paths are hot enough for the difference to show.
+        self._mu = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def begin(self, serializable: bool = False) -> Transaction:
         """Start a transaction with a fresh snapshot.
 
+        Txid allocation, clog registration and the concurrent-set capture
+        happen atomically: a snapshot can never miss a transaction that
+        allocated its txid first but had not yet registered as active.
+
         ``serializable=True`` upgrades the transaction from plain SI to
         SSI: its reads and writes are tracked for rw-antidependencies and
         it may abort with a serialization failure even without a
         write-write conflict (see :mod:`repro.txn.ssi`).
         """
-        txid = self._allocator.allocate()
-        self.clog.register(txid)
-        snapshot = Snapshot(txid=txid,
-                            concurrent=frozenset(self._active.keys()))
-        txn = Transaction(txid=txid, snapshot=snapshot,
-                          serializable=serializable)
-        self._active[txid] = txn
-        if serializable:
-            self.ssi.register(txn)
-        return txn
+        with self._mu:
+            txid = self._allocator.allocate()
+            self.clog.register(txid)
+            snapshot = Snapshot(txid=txid,
+                                concurrent=frozenset(self._active.keys()))
+            txn = Transaction(txid=txid, snapshot=snapshot,
+                              serializable=serializable)
+            self._active[txid] = txn
+            if serializable:
+                self.ssi.register(txn)
+            return txn
 
     def commit(self, txn: Transaction) -> None:
-        """Commit: clog flip, WAL force, lock release."""
+        """Commit: WAL force (durability), then the atomic commit point.
+
+        The WAL commit record is forced *before* the clog flips — a
+        transaction becomes visible only once durable (concurrent
+        ``log_commit`` calls batch into one force; see
+        :meth:`repro.wal.log.WriteAheadLog.log_commit`).  The clog flip,
+        active-set removal and counter bump then happen under the txn
+        mutex: that is the commit point concurrent snapshots serialise
+        against.  Lock release comes after the commit point, so a lock
+        waiter that wakes up always observes the holder's final state.
+        """
         txn._assert_active()
-        self.clog.set_committed(txn.txid)
-        txn.phase = TxnPhase.COMMITTED
         if self.wal is not None:
             self.wal.log_commit(txn.txid)
+        with self._mu:
+            self.clog.set_committed(txn.txid)
+            txn.phase = TxnPhase.COMMITTED
+            del self._active[txn.txid]
+            self.commits += 1
         self._finish(txn)
-        self.commits += 1
 
     def abort(self, txn: Transaction) -> None:
-        """Abort: run undo actions in reverse, clog flip, lock release."""
+        """Abort: run undo actions in reverse, clog flip, lock release.
+
+        Undo runs *before* the clog flip and before lock release: the
+        aborting transaction still holds its item locks, so no concurrent
+        updater can observe a half-rolled-back chain.
+        """
         txn._assert_active()
         for action in reversed(txn._undo):
             action()
-        self.clog.set_aborted(txn.txid)
-        txn.phase = TxnPhase.ABORTED
+        with self._mu:
+            self.clog.set_aborted(txn.txid)
+            txn.phase = TxnPhase.ABORTED
+            del self._active[txn.txid]
+            self.aborts += 1
         if self.wal is not None:
             self.wal.log_abort(txn.txid)
         self._finish(txn)
-        self.aborts += 1
 
     def _finish(self, txn: Transaction) -> None:
         txn._undo.clear()
         self.locks.release_all(txn.txid)
-        del self._active[txn.txid]
         if txn.serializable:
             self.ssi.on_finish(txn)
 
@@ -125,11 +161,21 @@ class TransactionManager:
     @property
     def active_txids(self) -> set[int]:
         """Txids currently running."""
-        return set(self._active.keys())
+        with self._mu:
+            return set(self._active.keys())
 
     def active_count(self) -> int:
         """Number of running transactions."""
         return len(self._active)
+
+    def counters(self) -> tuple[int, int, int]:
+        """(commits, aborts, active) read atomically under the txn mutex.
+
+        ``SystemSnapshot`` uses this so its transaction numbers are a
+        consistent cut even while workers are committing.
+        """
+        with self._mu:
+            return self.commits, self.aborts, len(self._active)
 
     def horizon_txid(self) -> int:
         """GC horizon: txids below it are visible to every live snapshot.
@@ -141,10 +187,11 @@ class TransactionManager:
         active transactions of their snapshot xmin (their own txid and
         everything they saw as still running when they started).
         """
-        if not self._active:
-            return self._allocator.last_allocated + 1
-        return min(min({txn.txid, *txn.snapshot.concurrent})
-                   for txn in self._active.values())
+        with self._mu:
+            if not self._active:
+                return self._allocator.last_allocated + 1
+            return min(min({txn.txid, *txn.snapshot.concurrent})
+                       for txn in self._active.values())
 
     def is_committed(self, txid: int) -> bool:
         """Convenience passthrough to the commit log."""

@@ -26,6 +26,7 @@ out of scope and documented as such.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.common.errors import SerializationError
@@ -52,17 +53,25 @@ class _SsiState:
 
 
 class SsiTracker:
-    """Tracks rw-antidependencies among serializable transactions."""
+    """Tracks rw-antidependencies among serializable transactions.
+
+    Thread-safe: one internal mutex covers the whole dependency graph —
+    edges connect arbitrary transaction pairs, so finer locking would buy
+    nothing.  The mutex is a leaf in the lock hierarchy: no SSI method
+    calls back into the manager, engines or WAL.
+    """
 
     def __init__(self) -> None:
         self._states: dict[int, _SsiState] = {}
         self.aborts_prevented_anomalies = 0
+        self._mu = threading.RLock()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def register(self, txn: Transaction) -> None:
         """Start tracking a serializable transaction."""
-        self._states[txn.txid] = _SsiState(txn=txn)
+        with self._mu:
+            self._states[txn.txid] = _SsiState(txn=txn)
 
     def is_tracked(self, txid: int) -> bool:
         """Whether the txid belongs to a tracked serializable txn."""
@@ -74,7 +83,8 @@ class SsiTracker:
         A committed transaction's SIREAD markers must outlive it while any
         running serializable transaction overlaps it.
         """
-        self._garbage_collect()
+        with self._mu:
+            self._garbage_collect()
 
     def _garbage_collect(self) -> None:
         active = [s for s in self._states.values() if not s.finished]
@@ -92,6 +102,10 @@ class SsiTracker:
 
     def on_read(self, txn: Transaction, key: object) -> None:
         """Record a read and raise the ``me --rw--> writer`` edges."""
+        with self._mu:
+            self._on_read(txn, key)
+
+    def _on_read(self, txn: Transaction, key: object) -> None:
         me = self._states.get(txn.txid)
         if me is None:
             return
@@ -109,6 +123,10 @@ class SsiTracker:
 
     def on_write(self, txn: Transaction, key: object) -> None:
         """Record a write and raise the ``reader --rw--> me`` edges."""
+        with self._mu:
+            self._on_write(txn, key)
+
+    def _on_write(self, txn: Transaction, key: object) -> None:
         me = self._states.get(txn.txid)
         if me is None:
             return

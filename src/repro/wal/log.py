@@ -6,9 +6,19 @@ like an ``fsync`` of the WAL tail.  The log device is separate from the data
 device by default — mirroring the evaluated DBT2 setups, where blocktraces of
 the data volume exclude WAL traffic — but any
 :class:`~repro.storage.device.BlockDevice` works.
+
+Concurrency: one append mutex serialises buffer mutation, and forces use
+**group commit** — while a leader thread writes the tail to the device (with
+the mutex released), other committers append their COMMIT records and wait
+on a condition; the next force covers them all in one device write.  A
+committer whose record was appended before the leader snapshotted the buffer
+rides that very force and never touches the device (counted in
+``group_commits``).
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.common import units
 from repro.storage.device import BlockDevice
@@ -24,27 +34,49 @@ class WriteAheadLog:
         self.page_size = page_size
         self._buffer = bytearray()
         self._next_lba = 0
-        self._flushed_upto = 0  # bytes durably on the device
+        self._flushed_upto = 0   # bytes in full pages durably on the device
+        self._appended_upto = 0  # bytes ever appended (the LSN cursor)
+        self._durable_upto = 0   # bytes durable incl. the partial tail page
         self._history: list[WalRecord] = []
         self._durable_count = 0  # records fully covered by the last force
         self.records_written = 0
         self.bytes_written = 0
         self.forces = 0
+        #: commits made durable by another thread's force (group commit)
+        self.group_commits = 0
+        self._mu = threading.Lock()
+        self._cond = threading.Condition(self._mu)
+        self._forcing = False
+        #: committers currently parked in ``_force_upto`` (mutex held);
+        #: lets the leader skip ``notify_all`` when nobody waits
+        self._waiters = 0
 
     # -- appending ------------------------------------------------------------
 
     def append(self, record: WalRecord) -> int:
         """Buffer a record; returns its LSN (byte offset in the log)."""
-        lsn = self._flushed_upto + len(self._buffer)
-        self._buffer.extend(record.pack())
+        with self._mu:
+            return self._append_locked(record)
+
+    def _append_locked(self, record: WalRecord) -> int:
+        lsn = self._appended_upto
+        packed = record.pack()
+        self._buffer.extend(packed)
+        self._appended_upto += len(packed)
         self._history.append(record)
         self.records_written += 1
         return lsn
 
     def log_commit(self, txid: int) -> None:
-        """Append a commit record and force the log (durability point)."""
-        self.append(WalRecord(WalRecordType.COMMIT, txid, 0))
-        self.force()
+        """Append a commit record and force the log (durability point).
+
+        Concurrent callers batch: whichever thread finds no force in
+        progress becomes the *leader* and writes the tail for everyone;
+        the rest wait and return once their record's LSN is durable.
+        """
+        with self._mu:
+            self._append_locked(WalRecord(WalRecordType.COMMIT, txid, 0))
+            self._force_upto(self._appended_upto, commit=True)
 
     def log_abort(self, txid: int) -> None:
         """Append an abort record (no force needed for aborts)."""
@@ -59,29 +91,64 @@ class WriteAheadLog:
         written too (it will be rewritten by the next force — the usual WAL
         tail rewrite), so every force costs at least one page program.
         """
-        if not self._buffer:
-            return 0
-        self.forces += 1
-        writes: list[tuple[int, bytes]] = []
-        data = bytes(self._buffer)
-        full_pages, remainder = divmod(len(data), self.page_size)
-        for i in range(full_pages):
-            chunk = data[i * self.page_size:(i + 1) * self.page_size]
-            writes.append((self._next_lba, chunk))
-            self._next_lba += 1
-        if remainder:
-            tail = data[full_pages * self.page_size:]
-            writes.append((self._next_lba,
-                           tail + b"\x00" * (self.page_size - remainder)))
-            # note: _next_lba not advanced — the tail page will be rewritten.
-        self.device.write_pages(writes)
-        self._flushed_upto += full_pages * self.page_size
-        self._buffer = bytearray(data[full_pages * self.page_size:])
-        self.bytes_written += len(data) - len(self._buffer) + remainder
-        # the partial tail page was written too, so every appended record
-        # is durable as of this force
-        self._durable_count = len(self._history)
-        return len(writes)
+        with self._mu:
+            return self._force_upto(self._appended_upto)
+
+    def _force_upto(self, target_lsn: int, commit: bool = False) -> int:
+        """Make every byte below ``target_lsn`` durable (mutex held).
+
+        Leader/follower group commit: the leader snapshots the buffer,
+        releases the mutex for the device write, then publishes the new
+        durability horizon and wakes the followers.  A follower whose
+        target is covered by the leader's snapshot never writes.
+        """
+        pages = 0
+        waited = False
+        while self._durable_upto < target_lsn:
+            if self._forcing:
+                waited = True
+                self._waiters += 1
+                try:
+                    self._cond.wait()
+                finally:
+                    self._waiters -= 1
+                continue
+            self._forcing = True
+            data = bytes(self._buffer)
+            snapshot_lsn = self._appended_upto
+            snapshot_count = len(self._history)
+            self.forces += 1
+            writes: list[tuple[int, bytes]] = []
+            full_pages, remainder = divmod(len(data), self.page_size)
+            for i in range(full_pages):
+                writes.append((self._next_lba + i,
+                               data[i * self.page_size:
+                                    (i + 1) * self.page_size]))
+            if remainder:
+                tail = data[full_pages * self.page_size:]
+                writes.append((self._next_lba + full_pages,
+                               tail + b"\x00" * (self.page_size - remainder)))
+                # note: the tail LBA is not consumed — the partial page
+                # will be rewritten in place by the next force.
+            self._next_lba += full_pages
+            self._mu.release()
+            try:
+                if writes:
+                    self.device.write_pages(writes)
+            finally:
+                self._mu.acquire()
+                self._forcing = False
+            del self._buffer[:full_pages * self.page_size]
+            self._flushed_upto += full_pages * self.page_size
+            self._durable_upto = snapshot_lsn
+            self._durable_count = snapshot_count
+            self.bytes_written += len(data)
+            pages += len(writes)
+            if self._waiters:
+                self._cond.notify_all()
+        if commit and waited and pages == 0:
+            self.group_commits += 1
+        return pages
 
     def device_bytes(self) -> int:
         """On-device log footprint since the last recycle."""
@@ -98,17 +165,20 @@ class WriteAheadLog:
         from the beginning — PostgreSQL's WAL segment recycling.  Without
         this the log grows without bound and eventually fills its device.
         """
-        self.force()
-        trimmed = 0
-        for lba in range(self._next_lba + 1):
-            self.device.trim(lba)
-            trimmed += 1
-        self._next_lba = 0
-        self._flushed_upto = 0
-        self._buffer.clear()
-        self._history.clear()
-        self._durable_count = 0
-        return trimmed
+        with self._mu:
+            self._force_upto(self._appended_upto)
+            trimmed = 0
+            for lba in range(self._next_lba + 1):
+                self.device.trim(lba)
+                trimmed += 1
+            self._next_lba = 0
+            self._flushed_upto = 0
+            self._appended_upto = 0
+            self._durable_upto = 0
+            self._buffer.clear()
+            self._history.clear()
+            self._durable_count = 0
+            return trimmed
 
     # -- recovery support -----------------------------------------------------------
 
@@ -120,7 +190,8 @@ class WriteAheadLog:
         a committed transaction's records (appended before its COMMIT) are
         always durable.
         """
-        return list(self._history[:self._durable_count])
+        with self._mu:
+            return list(self._history[:self._durable_count])
 
     def replay(self) -> list[WalRecord]:
         """Return the full logical record history (recovery tests).
@@ -129,9 +200,11 @@ class WriteAheadLog:
         retained in memory as well and is byte-equivalent (tested), which
         keeps replay independent of partial-tail handling.
         """
-        return list(self._history)
+        with self._mu:
+            return list(self._history)
 
     def committed_txids(self) -> set[int]:
         """Transaction ids with a COMMIT record in the log."""
-        return {r.txid for r in self._history
-                if r.type is WalRecordType.COMMIT}
+        with self._mu:
+            return {r.txid for r in self._history
+                    if r.type is WalRecordType.COMMIT}

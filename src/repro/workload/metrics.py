@@ -7,6 +7,7 @@ Response-time percentiles come from the recorded per-transaction spans.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.common import units
@@ -43,13 +44,19 @@ class Metrics:
     finish_times_usec: list[int] = field(default_factory=list)
     start_usec: int = 0
     end_usec: int = 0
+    # record() is called from every client thread; the lock keeps the two
+    # parallel lists the same length so aggregate views zip them safely
+    _mu: threading.Lock = field(default_factory=threading.Lock,
+                                repr=False, compare=False)
 
     def record(self, outcome: TxnOutcome,
                finished_at_usec: int | None = None) -> None:
         """Add one finished attempt (with its completion time if known)."""
-        self.outcomes.append(outcome)
-        self.finish_times_usec.append(
-            self.end_usec if finished_at_usec is None else finished_at_usec)
+        with self._mu:
+            self.outcomes.append(outcome)
+            self.finish_times_usec.append(
+                self.end_usec if finished_at_usec is None
+                else finished_at_usec)
 
     def timeline(self, bucket_usec: int = units.SEC,
                  type_: TxnType | None = TxnType.NEW_ORDER,

@@ -1,0 +1,474 @@
+"""Concurrency tests: latched engine core under real OS threads.
+
+Covers the multi-worker contract end to end:
+
+* bounded lock waits — a blocked writer observes the holder's *final*
+  commit-log state (commit → first-updater-wins abort; abort → the lock
+  transfers and the write proceeds) and times out into
+  ``SerializationError`` instead of deadlocking;
+* a deterministic two-thread commit-ordering scenario (the waiter can
+  only be released *after* the holder's commit point is published);
+* WAL group commit — concurrent committers batch onto one leader's
+  device write;
+* a hot-key transfer stress (no lost updates: money is conserved, the
+  lock table drains);
+* a threaded TPC-C mix checked against the clause 3.3.2 consistency
+  conditions;
+* the multi-worker server conserving balances over the wire.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.common import units
+from repro.common.errors import SerializationError
+from repro.common.rng import NURand
+from repro.db.database import EngineKind
+from repro.storage.flash import FlashDevice
+from repro.txn.locks import LockTable
+from repro.wal.log import WriteAheadLog
+from repro.workload import consistency
+from repro.workload import tpcc_schema as ts
+from repro.workload.tpcc_data import TpccLoader
+from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+from repro.workload.tpcc_txns import SpecRollback, TpccContext, new_order, payment
+from tests.conftest import SMALL_FLASH, make_accounts_db
+
+
+def _wait_until(predicate, timeout_sec: float = 5.0,
+                interval_sec: float = 0.005) -> None:
+    deadline = time.monotonic() + timeout_sec
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail("condition not reached within timeout")
+        time.sleep(interval_sec)
+
+
+def _join_all(threads: list[threading.Thread],
+              timeout_sec: float = 60.0) -> None:
+    for thread in threads:
+        thread.join(timeout_sec)
+        assert not thread.is_alive(), "worker thread did not finish"
+
+
+# ---------------------------------------------------------------------------
+# Lock-wait semantics
+# ---------------------------------------------------------------------------
+
+
+class TestLockWaits:
+    def test_immediate_conflict_by_default(self):
+        table = LockTable()
+        table.acquire(("t", 1), txid=10)
+        with pytest.raises(SerializationError):
+            table.acquire(("t", 1), txid=11)
+        assert table.stats.waits == 0  # no wait discipline configured
+
+    def test_wait_times_out_into_serialization_error(self):
+        table = LockTable(wait_timeout_sec=0.05)
+        table.acquire(("t", 1), txid=10)
+        start = time.monotonic()
+        with pytest.raises(SerializationError):
+            table.acquire(("t", 1), txid=11)
+        assert time.monotonic() - start >= 0.04
+        assert table.stats.waits == 1
+        assert table.stats.wait_timeouts == 1
+        assert table.stats.conflicts == 1
+
+    def test_wait_is_granted_when_holder_releases(self):
+        table = LockTable(wait_timeout_sec=5.0)
+        table.acquire(("t", 1), txid=10)
+        acquired = threading.Event()
+
+        def waiter() -> None:
+            table.acquire(("t", 1), txid=11)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        _wait_until(lambda: table.stats.waits == 1)
+        assert not acquired.is_set()
+        table.release_all(10)
+        _join_all([thread], 5.0)
+        assert acquired.is_set()
+        assert table.holder_of(("t", 1)) == 11
+        assert table.stats.wait_timeouts == 0
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_waiter_aborts_after_holder_commits(self, kind):
+        """Wait-then-recheck: a committed holder means the waiter is the
+        second updater of the same version and must lose."""
+        db = make_accounts_db(kind)
+        db.txn_mgr.locks.wait_timeout_sec = 5.0
+        seed = db.begin()
+        db.insert(seed, "accounts", (1, "a", 10.0))
+        db.commit(seed)
+
+        holder = db.begin()
+        [(href, _)] = db.lookup(holder, "accounts", "pk", 1)
+        db.update(holder, "accounts", href, (1, "a", 20.0))
+
+        outcome: list[object] = []
+
+        def contender() -> None:
+            txn = db.begin()
+            [(ref, _)] = db.lookup(txn, "accounts", "pk", 1)
+            try:
+                db.update(txn, "accounts", ref, (1, "a", 99.0))
+                db.commit(txn)
+                outcome.append("committed")
+            except SerializationError:
+                db.abort(txn)
+                outcome.append("aborted")
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        _wait_until(lambda: db.txn_mgr.locks.stats.waits >= 1)
+        db.commit(holder)
+        _join_all([thread], 10.0)
+
+        assert outcome == ["aborted"]
+        check = db.begin()
+        [(_, row)] = db.lookup(check, "accounts", "pk", 1)
+        assert row == (1, "a", 20.0)  # the holder's write, not the waiter's
+        db.commit(check)
+        assert db.txn_mgr.locks.held_count() == 0
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_waiter_proceeds_after_holder_aborts(self, kind):
+        """An aborted holder's write is void: the waiter inherits the lock
+        and its update succeeds."""
+        db = make_accounts_db(kind)
+        db.txn_mgr.locks.wait_timeout_sec = 5.0
+        seed = db.begin()
+        db.insert(seed, "accounts", (1, "a", 10.0))
+        db.commit(seed)
+
+        holder = db.begin()
+        [(href, _)] = db.lookup(holder, "accounts", "pk", 1)
+        db.update(holder, "accounts", href, (1, "a", 20.0))
+
+        outcome: list[object] = []
+
+        def contender() -> None:
+            txn = db.begin()
+            [(ref, _)] = db.lookup(txn, "accounts", "pk", 1)
+            try:
+                db.update(txn, "accounts", ref, (1, "a", 30.0))
+                db.commit(txn)
+                outcome.append("committed")
+            except SerializationError:
+                db.abort(txn)
+                outcome.append("aborted")
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        _wait_until(lambda: db.txn_mgr.locks.stats.waits >= 1)
+        db.abort(holder)
+        _join_all([thread], 10.0)
+
+        assert outcome == ["committed"]
+        check = db.begin()
+        [(_, row)] = db.lookup(check, "accounts", "pk", 1)
+        assert row == (1, "a", 30.0)
+        db.commit(check)
+        assert db.txn_mgr.locks.held_count() == 0
+
+
+class TestCommitOrdering:
+    def test_waiter_wakes_only_after_commit_point_published(self, sias_db):
+        """Deterministic two-thread ordering: locks release strictly after
+        the commit point (WAL force + clog flip), so a woken waiter always
+        sees the holder as COMMITTED — never a torn in-between state."""
+        db = sias_db
+        db.txn_mgr.locks.wait_timeout_sec = 5.0
+        seed = db.begin()
+        db.insert(seed, "accounts", (1, "x", 1.0))
+        db.commit(seed)
+
+        holder = db.begin()
+        [(ref, _)] = db.lookup(holder, "accounts", "pk", 1)
+        db.update(holder, "accounts", ref, (1, "x", 2.0))
+
+        observed: list[tuple[bool, bool]] = []
+
+        def contender() -> None:
+            txn = db.begin()
+            [(cref, _)] = db.lookup(txn, "accounts", "pk", 1)
+            try:
+                db.update(txn, "accounts", cref, (1, "x", 3.0))
+                db.abort(txn)
+            except SerializationError:
+                # the instant the wait ends, the holder's outcome must
+                # already be fully published
+                observed.append((
+                    db.txn_mgr.clog.is_committed(holder.txid),
+                    holder.txid in db.txn_mgr.active_txids,
+                ))
+                db.abort(txn)
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        _wait_until(lambda: db.txn_mgr.locks.stats.waits >= 1)
+        db.commit(holder)
+        _join_all([thread], 10.0)
+        assert observed == [(True, False)]
+
+
+# ---------------------------------------------------------------------------
+# WAL group commit
+# ---------------------------------------------------------------------------
+
+
+class TestGroupCommit:
+    def test_concurrent_commits_batch_onto_one_force(self, clock):
+        device = FlashDevice(clock, SMALL_FLASH, name="wal")
+        wal = WriteAheadLog(device)
+        gate = threading.Event()
+        first_write_started = threading.Event()
+        real_write_pages = device.write_pages
+        write_calls: list[int] = []
+
+        def slow_write_pages(writes):
+            write_calls.append(len(writes))
+            if len(write_calls) == 1:
+                first_write_started.set()
+                assert gate.wait(10.0)
+            return real_write_pages(writes)
+
+        device.write_pages = slow_write_pages
+
+        threads = [threading.Thread(target=wal.log_commit, args=(txid,))
+                   for txid in (1, 2, 3)]
+        threads[0].start()
+        assert first_write_started.wait(10.0)
+        threads[1].start()
+        threads[2].start()
+        # both followers have appended their COMMIT records and are
+        # parked on the condition behind the stalled leader
+        _wait_until(lambda: wal.records_written == 3)
+        time.sleep(0.1)
+        gate.set()
+        _join_all(threads, 10.0)
+
+        assert wal.committed_txids() == {1, 2, 3}
+        durable_commits = {r.txid for r in wal.durable_records()}
+        assert durable_commits == {1, 2, 3}
+        # the second force covers both followers: at least one of them
+        # rode it without touching the device
+        assert wal.group_commits >= 1
+        assert wal.forces <= 3
+
+
+# ---------------------------------------------------------------------------
+# Hot-key transfer stress (lost-update oracle)
+# ---------------------------------------------------------------------------
+
+
+class TestTransferStress:
+    ACCOUNTS = 8
+    THREADS = 4
+    TRANSFERS_PER_THREAD = 40
+    BALANCE = 100.0
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_money_is_conserved(self, kind):
+        db = make_accounts_db(kind)
+        db.txn_mgr.locks.wait_timeout_sec = 0.2
+        seed = db.begin()
+        for i in range(self.ACCOUNTS):
+            db.insert(seed, "accounts", (i, f"acct{i}", self.BALANCE))
+        db.commit(seed)
+
+        committed = [0] * self.THREADS
+        failures: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            rng = random.Random(1000 + index)
+            try:
+                done = 0
+                while done < self.TRANSFERS_PER_THREAD:
+                    src, dst = rng.sample(range(self.ACCOUNTS), 2)
+                    amount = round(rng.uniform(0.5, 5.0), 2)
+                    txn = db.begin()
+                    try:
+                        [(sref, srow)] = db.lookup(txn, "accounts", "pk",
+                                                   src)
+                        [(dref, drow)] = db.lookup(txn, "accounts", "pk",
+                                                   dst)
+                        db.update(txn, "accounts", sref,
+                                  (src, srow[1], srow[2] - amount))
+                        db.update(txn, "accounts", dref,
+                                  (dst, drow[1], drow[2] + amount))
+                        db.commit(txn)
+                        done += 1
+                    except SerializationError:
+                        db.abort(txn)  # losing updater retries
+                committed[index] = done
+            except BaseException as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        _join_all(threads, 120.0)
+        assert not failures, failures
+
+        assert sum(committed) == self.THREADS * self.TRANSFERS_PER_THREAD
+        assert db.txn_mgr.locks.held_count() == 0
+        assert db.txn_mgr.active_count() == 0
+        check = db.begin()
+        rows = [row for _ref, row in db.scan(check, "accounts")]
+        db.commit(check)
+        assert len(rows) == self.ACCOUNTS
+        total = sum(row[2] for row in rows)
+        assert total == pytest.approx(self.ACCOUNTS * self.BALANCE,
+                                      abs=0.01)
+        # every committed transfer is a real commit (plus seed + check)
+        assert db.txn_mgr.commits == sum(committed) + 2
+
+
+# ---------------------------------------------------------------------------
+# Threaded TPC-C mix + clause 3.3.2 consistency conditions
+# ---------------------------------------------------------------------------
+
+
+class TestThreadedTpcc:
+    SCALE = TpccScale(districts_per_warehouse=3, customers_per_district=6,
+                      items=30, stock_per_warehouse=30,
+                      initial_orders_per_district=4, max_order_lines=6,
+                      min_order_lines=2)
+    THREADS = 4
+    TXNS_PER_THREAD = 20
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_consistency_survives_threaded_mix(self, kind):
+        from repro.db.database import Database
+        from tests.conftest import small_system_config
+
+        db = Database.on_flash(kind, small_system_config(pool_pages=256))
+        db.txn_mgr.locks.wait_timeout_sec = 0.2
+        create_tpcc_tables(db)
+        TpccLoader(db, self.SCALE, seed=7).load(warehouses=1)
+
+        failures: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            rng = random.Random(42 + index)
+            ctx = TpccContext(db=db, scale=self.SCALE, warehouses=1,
+                              rng=rng, nurand=NURand(rng))
+            try:
+                done = 0
+                while done < self.TXNS_PER_THREAD:
+                    profile = payment if rng.random() < 0.5 else new_order
+                    txn = db.begin()
+                    try:
+                        for _ in profile(ctx, txn):
+                            pass
+                        db.commit(txn)
+                        done += 1
+                    except SpecRollback:
+                        db.abort(txn)
+                        done += 1  # the spec's intentional rollback counts
+                    except SerializationError:
+                        db.abort(txn)
+            except BaseException as exc:
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        _join_all(threads, 300.0)
+        assert not failures, failures
+
+        assert db.txn_mgr.locks.held_count() == 0
+        assert db.txn_mgr.active_count() == 0
+        report = consistency.check(db)
+        assert report.consistent, report.violations
+
+
+# ---------------------------------------------------------------------------
+# Multi-worker server over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestMultiWorkerServer:
+    def test_transfers_conserve_balance_with_four_workers(self):
+        from repro.client import RemoteDatabase
+        from repro.server import DatabaseServer, ServerConfig
+
+        db = make_accounts_db(EngineKind.SIASV)
+        server = DatabaseServer(db, ServerConfig(
+            port=0, executor_workers=4, idle_timeout_sec=30.0))
+        host, port = server.start_in_background()
+        remote = RemoteDatabase(host, port, pool_size=8)
+        accounts, threads_n, per_thread = 6, 4, 15
+        try:
+            assert server.dispatch.executor_workers == 4
+            # multi-worker mode switched the lock table to bounded waits
+            assert db.txn_mgr.locks.wait_timeout_sec > 0
+
+            seed = remote.begin()
+            for i in range(accounts):
+                remote.insert(seed, "accounts", (i, f"a{i}", 50.0))
+            remote.commit(seed)
+
+            failures: list[BaseException] = []
+
+            def worker(index: int) -> None:
+                rng = random.Random(index)
+                try:
+                    done = 0
+                    while done < per_thread:
+                        src, dst = rng.sample(range(accounts), 2)
+                        txn = remote.begin()
+                        try:
+                            [(sref, srow)] = remote.lookup(
+                                txn, "accounts", "pk", src)
+                            [(dref, drow)] = remote.lookup(
+                                txn, "accounts", "pk", dst)
+                            remote.update(txn, "accounts", sref,
+                                          (src, srow[1], srow[2] - 1.0))
+                            remote.update(txn, "accounts", dref,
+                                          (dst, drow[1], drow[2] + 1.0))
+                            remote.commit(txn)
+                            done += 1
+                        except SerializationError:
+                            remote.abort(txn)
+                except BaseException as exc:
+                    failures.append(exc)
+
+            workers = [threading.Thread(target=worker, args=(i,))
+                       for i in range(threads_n)]
+            for w in workers:
+                w.start()
+            _join_all(workers, 120.0)
+            assert not failures, failures
+
+            check = remote.begin()
+            total = 0.0
+            for i in range(accounts):
+                [(_, row)] = remote.lookup(check, "accounts", "pk", i)
+                total += row[2]
+            remote.commit(check)
+            assert total == pytest.approx(accounts * 50.0)
+            assert db.txn_mgr.locks.held_count() == 0
+            stats = remote.server_stats()
+            assert stats["executor_workers"] == 4
+            # same invariants asserted over the wire (what CI's smoke uses)
+            assert stats["engine"]["locks"]["held"] == 0
+            assert stats["engine"]["txns"]["active"] == 0
+        finally:
+            remote.close()
+            server.stop_in_background()

@@ -287,9 +287,12 @@ class TestSessionLifecycle:
             assert db.txn_mgr.locks.held_count() == 1
             doomed.close()  # mid-transaction, no COMMIT/ABORT
 
-            _wait_until(lambda: db.txn_mgr.active_count() == 0)
+            # the counter is bumped on the event loop *after* the abort
+            # completes on an executor worker, so waiting on it (rather
+            # than active_count) also guarantees the abort is done
+            _wait_until(lambda: server.sessions.stats.orphans_aborted == 1)
+            assert db.txn_mgr.active_count() == 0
             assert db.txn_mgr.locks.held_count() == 0
-            assert server.sessions.stats.orphans_aborted == 1
 
             # the orphan's update was undone and its lock released:
             # a fresh transaction can update the row without conflict
