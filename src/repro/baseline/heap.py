@@ -56,15 +56,17 @@ class HeapStore:
     # -- placement -----------------------------------------------------------------
 
     def _page_for(self, needed: int) -> tuple[int, SlottedHeapPage]:
+        """Find-or-extend a page with room; returned page is *pinned*."""
         page_no = self.fsm.find_page(needed)
         if page_no is not None:
-            page = self._get(page_no)
+            page = self._get_pinned(page_no)
             if page.fits_bytes(needed):
                 return page_no, page
             self.fsm.update(page_no, page.free_bytes())
+            self.buffer.unpin(self.file_id, page_no)
         new_no = self.fsm.page_count
         page = SlottedHeapPage(new_no, self.config.page_size)
-        self.buffer.put_dirty(self.file_id, new_no, page)
+        self.buffer.put_dirty(self.file_id, new_no, page, pinned=True)
         self.fsm.register_page(new_no, page.free_bytes())
         self.stats.pages_extended += 1
         return new_no, page
@@ -72,6 +74,22 @@ class HeapStore:
     def _get(self, page_no: int) -> SlottedHeapPage:
         page = self.buffer.get_page(self.file_id, page_no)
         if not isinstance(page, SlottedHeapPage):
+            raise NoSuchItemError(
+                f"page {page_no} is {type(page).__name__}, expected heap")
+        return page
+
+    def _get_pinned(self, page_no: int) -> SlottedHeapPage:
+        """Fetch a page with an eviction pin held (write paths).
+
+        Every mutate-then-``mark_dirty`` sequence must pin: without the
+        pin a concurrent miss in another worker can evict the clean
+        frame mid-mutation, so the change would land on an orphaned page
+        object (silently lost if the page is re-faulted).  The page
+        stripe latch cannot prevent this — eviction never takes stripes.
+        """
+        page = self.buffer.get_page_pinned(self.file_id, page_no)
+        if not isinstance(page, SlottedHeapPage):
+            self.buffer.unpin(self.file_id, page_no)
             raise NoSuchItemError(
                 f"page {page_no} is {type(page).__name__}, expected heap")
         return page
@@ -85,9 +103,12 @@ class HeapStore:
         needed = tuple_.size + 2 + fillfactor_room
         with self._place_mu:
             page_no, page = self._page_for(needed)
-            with self.latches.of((self.file_id, page_no)):
-                slot = page.insert(tuple_)
-                self.buffer.mark_dirty(self.file_id, page_no)
+            try:
+                with self.latches.of((self.file_id, page_no)):
+                    slot = page.insert(tuple_)
+                    self.buffer.mark_dirty(self.file_id, page_no)
+            finally:
+                self.buffer.unpin(self.file_id, page_no)
             self.fsm.update(page_no, page.free_bytes())
             self.stats.tuple_inserts += 1
             return Tid(page_no, slot)
@@ -99,18 +120,24 @@ class HeapStore:
     def set_xmax(self, tid: Tid, xmax: int) -> None:
         """In-place invalidation: stamp ``xmax`` and dirty the page."""
         with self.latches.of((self.file_id, tid.page_no)):
-            page = self._get(tid.page_no)
-            page.set_xmax(tid.slot, xmax)
-            self.buffer.mark_dirty(self.file_id, tid.page_no)
+            page = self._get_pinned(tid.page_no)
+            try:
+                page.set_xmax(tid.slot, xmax)
+                self.buffer.mark_dirty(self.file_id, tid.page_no)
+            finally:
+                self.buffer.unpin(self.file_id, tid.page_no)
             self.stats.in_place_invalidations += 1
 
     def kill(self, tid: Tid) -> None:
         """Remove a dead tuple's body (VACUUM) and free its space."""
         with self._place_mu:
             with self.latches.of((self.file_id, tid.page_no)):
-                page = self._get(tid.page_no)
-                page.kill(tid.slot)
-                self.buffer.mark_dirty(self.file_id, tid.page_no)
+                page = self._get_pinned(tid.page_no)
+                try:
+                    page.kill(tid.slot)
+                    self.buffer.mark_dirty(self.file_id, tid.page_no)
+                finally:
+                    self.buffer.unpin(self.file_id, tid.page_no)
             self.fsm.update(tid.page_no, page.free_bytes())
             self.stats.killed_tuples += 1
 

@@ -153,6 +153,29 @@ class BufferManager:
         self._publish_placeholder(key, placeholder, page, raw)
         return page
 
+    def get_page_pinned(self, file_id: int, page_no: int) -> Page:
+        """Return the page with an eviction pin held; caller must unpin.
+
+        This is the get-for-write path: a caller about to mutate a page
+        object and ``mark_dirty`` it must hold a pin for the duration,
+        otherwise a concurrent miss can evict the (clean) frame between
+        the lock-free lookup and the dirtying — the mutation would land
+        on an orphaned page object (lost if the page is re-faulted, or a
+        spurious :class:`PinError` if it is not).  The pin is taken under
+        the pool mutex only after re-checking that the frame still holds
+        the very object the lookup returned; an eviction that slips in
+        between simply costs one more fault-and-retry.
+        """
+        key = (file_id, page_no)
+        while True:
+            page = self.get_page(file_id, page_no)
+            with self._mu:
+                frame = self._frames.get(key)
+                if frame is not None and frame.page is page:
+                    frame.pins += 1
+                    return page
+            # evicted between the lookup and the pin: fault it back in
+
     def get_pages(self, file_id: int, page_nos: list[int]) -> list[Page]:
         """Batched lookup: misses are fetched with one parallel device batch.
 
@@ -257,11 +280,19 @@ class BufferManager:
 
     # -- insertion of fresh pages ----------------------------------------------------
 
-    def put_dirty(self, file_id: int, page_no: int, page: Page) -> None:
-        """Register a freshly created mutable page (baseline heap extends)."""
+    def put_dirty(self, file_id: int, page_no: int, page: Page,
+                  pinned: bool = False) -> None:
+        """Register a freshly created mutable page (baseline heap extends).
+
+        With ``pinned=True`` the frame is installed already holding one
+        pin, so the caller can keep mutating the page object without an
+        eviction window between install and pin (caller must unpin).
+        """
         with self._mu:
             self.tablespace.ensure_page(file_id, page_no)
-            self._install((file_id, page_no), _Frame(page=page, dirty=True))
+            self._install((file_id, page_no),
+                          _Frame(page=page, dirty=True,
+                                 pins=1 if pinned else 0))
 
     def put_clean(self, file_id: int, page_no: int, page: Page,
                   raw: bytes | None = None) -> None:

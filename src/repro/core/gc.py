@@ -77,8 +77,15 @@ class GarbageCollector:
         recycle a page a lock-free reader is descending into.
         """
         engine = self.engine
+        # Capture the horizon *before* taking the stripe latches: reading
+        # it inside would acquire the txn mutex (hierarchy level 2) while
+        # holding level-5 latches — an upward acquisition the lock
+        # hierarchy forbids.  A horizon captured a moment earlier is
+        # strictly conservative: it can only under-estimate what is dead,
+        # never reclaim a version some snapshot still needs.
+        horizon = engine.txn_mgr.horizon_txid()
         with engine.latches.holding_all():
-            report = GcReport(horizon=engine.txn_mgr.horizon_txid())
+            report = GcReport(horizon=horizon)
             live: dict[Tid, VersionRecord] = {}
             relocatable: set[Tid] = set()
             dead_reachable: dict[Tid, VersionRecord] = {}

@@ -136,16 +136,21 @@ class WriteAheadLog:
                 if writes:
                     self.device.write_pages(writes)
             finally:
+                # Hand the leader role back and wake the followers even
+                # when the device write raised: a parked follower re-checks
+                # durability and becomes the new leader (or returns).  Were
+                # the wakeup skipped on failure, followers in an untimed
+                # wait would hang until some unrelated force signalled.
                 self._mu.acquire()
                 self._forcing = False
+                if self._waiters:
+                    self._cond.notify_all()
             del self._buffer[:full_pages * self.page_size]
             self._flushed_upto += full_pages * self.page_size
             self._durable_upto = snapshot_lsn
             self._durable_count = snapshot_count
             self.bytes_written += len(data)
             pages += len(writes)
-            if self._waiters:
-                self._cond.notify_all()
         if commit and waited and pages == 0:
             self.group_commits += 1
         return pages

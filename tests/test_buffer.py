@@ -149,6 +149,39 @@ class TestBufferManager:
         assert not buffer.is_cached(f, 0)
         assert buffer.stats.writebacks == wb
 
+    def test_get_page_pinned_faults_on_miss(self, buffer, tablespace):
+        f = tablespace.create_file("f")
+        buffer.put_dirty(f, 0, _heap_page(0, 7))
+        buffer.flush_all()
+        buffer.invalidate_all()
+        page = buffer.get_page_pinned(f, 0)
+        assert page.read(0).xmin == 7
+        buffer.unpin(f, 0)
+
+    def test_get_page_pinned_survives_eviction_pressure(self, tablespace):
+        buffer = BufferManager(tablespace, pool_pages=4)
+        f = tablespace.create_file("f")
+        buffer.put_dirty(f, 0, _heap_page(0, 7))
+        buffer.flush_all()  # clean frames are the sweep's preferred victims
+        page = buffer.get_page_pinned(f, 0)
+        for i in range(1, 12):
+            buffer.put_dirty(f, i, _heap_page(i, i))
+        assert buffer.is_cached(f, 0)
+        assert buffer.get_page(f, 0) is page  # same object, not a re-fault
+        buffer.unpin(f, 0)
+
+    def test_put_dirty_pinned_installs_with_pin_held(self, tablespace):
+        buffer = BufferManager(tablespace, pool_pages=4)
+        f = tablespace.create_file("f")
+        buffer.put_dirty(f, 0, _heap_page(0, 7), pinned=True)
+        for i in range(1, 12):
+            buffer.put_dirty(f, i, _heap_page(i, i))
+        assert buffer.is_cached(f, 0)
+        buffer.unpin(f, 0)
+        for i in range(12, 24):
+            buffer.put_dirty(f, i, _heap_page(i, i))
+        assert not buffer.is_cached(f, 0)  # unpinned frames evict normally
+
     def test_hit_ratio(self, buffer, tablespace):
         f = tablespace.create_file("f")
         buffer.put_dirty(f, 0, _heap_page(0))

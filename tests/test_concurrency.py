@@ -472,3 +472,198 @@ class TestMultiWorkerServer:
         finally:
             remote.close()
             server.stop_in_background()
+
+
+# ---------------------------------------------------------------------------
+# Eviction-vs-mutation races (review regressions)
+# ---------------------------------------------------------------------------
+
+
+class TestHeapWritePins:
+    """Heap write paths must pin the frame across mutate -> mark_dirty.
+
+    Without the pin, a concurrent miss in another worker can evict the
+    clean frame between the lookup and the dirtying; the mutation then
+    lands on an orphaned page object (silently lost if the page is
+    re-faulted, a spurious ``PinError`` if not).  The hostile schedule is
+    reproduced deterministically by injecting eviction pressure *inside*
+    the mutation itself.
+    """
+
+    def _make_heap(self, tablespace, pool_pages: int = 4):
+        from repro.baseline.heap import HeapStore
+        from repro.buffer.manager import BufferManager
+        from repro.common.config import EngineConfig
+
+        buffer = BufferManager(tablespace, pool_pages=pool_pages)
+        file_id = tablespace.create_file("heap.test")
+        return buffer, HeapStore(buffer, file_id, EngineConfig())
+
+    def _fill_filler_file(self, tablespace, buffer, count: int = 8) -> int:
+        from repro.pages.layout import HeapTuple, XMAX_INFINITY
+        from repro.pages.slotted import SlottedHeapPage
+
+        filler = tablespace.create_file("filler.test")
+        for i in range(count):
+            page = SlottedHeapPage(i)
+            page.insert(HeapTuple(i, XMAX_INFINITY, False, b"f" * 16))
+            buffer.put_dirty(filler, i, page)
+        buffer.flush_all()
+        return filler
+
+    def test_set_xmax_survives_mid_mutation_eviction_sweep(
+            self, tablespace, monkeypatch):
+        from repro.pages.layout import HeapTuple, XMAX_INFINITY
+        from repro.pages.slotted import SlottedHeapPage
+
+        buffer, heap = self._make_heap(tablespace)
+        tid = heap.insert_tuple(HeapTuple(1, XMAX_INFINITY, False, b"x" * 16))
+        filler = self._fill_filler_file(tablespace, buffer)
+        buffer.flush_all()  # the heap page is now a clean (evictable) frame
+
+        real_set_xmax = SlottedHeapPage.set_xmax
+        fired = []
+
+        def hostile_set_xmax(self, slot, xmax):
+            if not fired:
+                fired.append(True)
+                # a "concurrent" worker faults enough pages to sweep the
+                # whole pool several times over before the stamp lands
+                for _ in range(3):
+                    for n in range(8):
+                        buffer.get_page(filler, n)
+            real_set_xmax(self, slot, xmax)
+
+        monkeypatch.setattr(SlottedHeapPage, "set_xmax", hostile_set_xmax)
+        heap.set_xmax(tid, 99)
+        monkeypatch.undo()
+
+        assert fired
+        assert heap.read(tid).xmax == 99
+        # and the stamp reaches the device, not an orphaned page object
+        buffer.flush_all()
+        buffer.invalidate_all()
+        assert heap.read(tid).xmax == 99
+
+    def test_insert_survives_mid_mutation_eviction_sweep(
+            self, tablespace, monkeypatch):
+        from repro.pages.layout import HeapTuple, XMAX_INFINITY
+        from repro.pages.slotted import SlottedHeapPage
+
+        buffer, heap = self._make_heap(tablespace)
+        first = heap.insert_tuple(HeapTuple(1, XMAX_INFINITY, False,
+                                            b"x" * 16))
+        filler = self._fill_filler_file(tablespace, buffer)
+        buffer.flush_all()
+
+        real_insert = SlottedHeapPage.insert
+        fired = []
+
+        def hostile_insert(self, tuple_):
+            if not fired:
+                fired.append(True)
+                for _ in range(3):
+                    for n in range(8):
+                        buffer.get_page(filler, n)
+            return real_insert(self, tuple_)
+
+        monkeypatch.setattr(SlottedHeapPage, "insert", hostile_insert)
+        second = heap.insert_tuple(HeapTuple(2, XMAX_INFINITY, False,
+                                             b"y" * 16))
+        monkeypatch.undo()
+
+        assert fired
+        buffer.flush_all()
+        buffer.invalidate_all()
+        assert heap.read(first).xmin == 1
+        assert heap.read(second).xmin == 2
+
+
+class TestWalLeaderFailure:
+    """A failed leader force must still wake parked followers."""
+
+    class _FailOnceDevice:
+        def __init__(self, release: threading.Event) -> None:
+            self.pages: dict[int, bytes] = {}
+            self.release = release
+            self.write_calls = 0
+
+        def write_pages(self, writes) -> None:
+            self.write_calls += 1
+            if self.write_calls == 1:
+                assert self.release.wait(10.0)
+                raise OSError("injected device failure")
+            for lba, data in writes:
+                self.pages[lba] = data
+
+        def trim(self, lba: int) -> None:
+            self.pages.pop(lba, None)
+
+    def test_follower_takes_over_after_leader_write_fails(self):
+        release = threading.Event()
+        device = self._FailOnceDevice(release)
+        wal = WriteAheadLog(device)
+        leader_errors: list[BaseException] = []
+        follower_done = threading.Event()
+
+        def leader() -> None:
+            try:
+                wal.log_commit(1)
+            except OSError as exc:
+                leader_errors.append(exc)
+
+        def follower() -> None:
+            wal.log_commit(2)
+            follower_done.set()
+
+        leader_thread = threading.Thread(target=leader, daemon=True)
+        leader_thread.start()
+        _wait_until(lambda: device.write_calls == 1)  # leader mid-write
+        follower_thread = threading.Thread(target=follower, daemon=True)
+        follower_thread.start()
+        _wait_until(lambda: wal._waiters == 1)  # follower parked
+        release.set()  # leader's device write now raises
+
+        # pre-fix, the follower hangs here forever (never notified)
+        _join_all([leader_thread, follower_thread], 10.0)
+        assert leader_errors and isinstance(leader_errors[0], OSError)
+        assert follower_done.is_set()
+        # the follower became the new leader and its force covered both
+        # buffered COMMIT records
+        assert device.write_calls == 2
+        assert {r.txid for r in wal.durable_records()} == {1, 2}
+
+
+class TestGcLockOrder:
+    def test_horizon_is_read_before_stripes_are_held(self, sias_engine,
+                                                     monkeypatch):
+        """GC must not acquire the txn mutex while holding stripe latches."""
+        from contextlib import contextmanager
+
+        from repro.common.latch import LatchStripes
+        from repro.core.gc import GarbageCollector
+        from repro.txn.manager import TransactionManager
+
+        engine = sias_engine
+        order: list[str] = []
+        real_holding_all = LatchStripes.holding_all
+
+        @contextmanager
+        def tracking_holding_all(self):
+            order.append("latch")
+            with real_holding_all(self):
+                yield
+            order.append("unlatch")
+
+        real_horizon = TransactionManager.horizon_txid
+
+        def tracking_horizon(self) -> int:
+            order.append("horizon")
+            return real_horizon(self)
+
+        monkeypatch.setattr(LatchStripes, "holding_all", tracking_holding_all)
+        monkeypatch.setattr(TransactionManager, "horizon_txid",
+                            tracking_horizon)
+        GarbageCollector(engine).collect()
+        assert "horizon" in order and "latch" in order
+        assert order.index("horizon") < order.index("latch")
