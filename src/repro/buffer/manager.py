@@ -145,7 +145,9 @@ class BufferManager:
                 pass
         try:
             lba = self.tablespace.lba_of(file_id, page_no)
-            raw = self.tablespace.device.read_page(lba)
+            # read via the tablespace: transient device faults get a
+            # bounded retry before the miss fails
+            raw = self.tablespace.read_page(lba)
             page = Page.from_bytes(raw)
         except BaseException:
             self._abandon_placeholder(key, placeholder)
@@ -228,7 +230,7 @@ class BufferManager:
         if missing:
             try:
                 lbas = [self.tablespace.lba_of(file_id, p) for p in missing]
-                raws = self.tablespace.device.read_pages(lbas)
+                raws = self.tablespace.read_pages(lbas)
             except BaseException:
                 for page_no, placeholder in placeholders.items():
                     self._abandon_placeholder((file_id, page_no), placeholder)

@@ -8,7 +8,9 @@ Commands:
 * ``exhibit`` — regenerate one paper exhibit by id (f1, t1, t2, f3, f4,
   t3, a1..a6) with quick parameters;
 * ``snapshot`` — run a short workload and print the full system snapshot;
-* ``serve`` — expose a live database over TCP (see ``docs/SERVER.md``).
+* ``serve`` — expose a live database over TCP (see ``docs/SERVER.md``);
+* ``crash-sweep`` — fault-injection sweep: crash at every k-th device
+  write, recover, verify invariants (see ``docs/RECOVERY.md``).
 
 Also installed as the ``repro`` console script (``pip install -e .``).
 """
@@ -192,7 +194,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.queue_depth,
         executor_workers=args.workers,
-        idle_timeout_sec=args.idle_timeout))
+        idle_timeout_sec=args.idle_timeout,
+        recover_on_start=args.recover))
+    if server.recovery_report is not None:
+        rep = server.recovery_report
+        print(f"recovered: {rep.committed_txns} committed, "
+              f"{rep.rolled_back_txns} rolled back, "
+              f"{rep.index_entries_rebuilt} index entries rebuilt",
+              flush=True)
     print(f"engine workers: {server.dispatch.executor_workers}",
           flush=True)
     server.run()
@@ -200,6 +209,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(snapshot(db, server=server).render())
     print("clean shutdown", flush=True)
     return 0
+
+
+def _cmd_crash_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import crash_sweep
+
+    engine = {"sias-v": "siasv", "si": "si", "both": "both"}[args.engine]
+    return crash_sweep.main(["--engine", engine,
+                             "--stride", str(args.stride),
+                             "--transfers", str(args.transfers),
+                             "--accounts", str(args.accounts),
+                             "--seed", str(args.seed)])
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -261,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(<= 0 disables)")
     serve.add_argument("--tpcc", action="store_true",
                        help="pre-create the nine TPC-C tables")
+    serve.add_argument("--recover", action="store_true",
+                       help="run crash recovery before serving "
+                            "(docs/RECOVERY.md)")
+
+    sweep = sub.add_parser("crash-sweep",
+                           help="crash at every k-th write, recover, "
+                                "verify (docs/RECOVERY.md)")
+    sweep.add_argument("--engine", choices=("sias-v", "si", "both"),
+                       default="both")
+    sweep.add_argument("--stride", type=int, default=10,
+                       help="crash at every stride-th device write")
+    sweep.add_argument("--transfers", type=int, default=120)
+    sweep.add_argument("--accounts", type=int, default=20)
+    sweep.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -274,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         "snapshot": _cmd_snapshot,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "crash-sweep": _cmd_crash_sweep,
     }
     return handlers[args.command](args)
 

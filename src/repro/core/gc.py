@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.errors import ReadUnwrittenError
 from repro.core.engine import SiasVEngine
 from repro.pages.append_page import AppendPage
 from repro.pages.layout import Tid, VersionRecord
@@ -107,7 +108,14 @@ class GarbageCollector:
             tid: Tid | None = entry_tid
             severed_at = engine.chain_severed.get(vid)
             while tid is not None:
-                record = engine.store.read(tid)
+                try:
+                    record = engine.store.read(tid)
+                except ReadUnwrittenError:
+                    # The pred pointer dangles into a page crash recovery
+                    # reclaimed (a torn seal, trimmed during rescan).  The
+                    # tail below this point was never durable; stop the
+                    # walk as a severed marker would.
+                    break
                 chain.append((tid, record))
                 if tid == severed_at:
                     # An earlier pass discarded (and index-pruned) the tail

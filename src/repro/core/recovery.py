@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import ReadUnwrittenError
+from repro.common.errors import PageCorruptError, ReadUnwrittenError
 from repro.core.engine import SiasVEngine
 from repro.pages.append_page import AppendPage
 from repro.pages.base import Page
@@ -48,6 +48,7 @@ class SiasRecoveryReport:
 
     pages_rescanned: int = 0
     pages_reusable: int = 0
+    pages_torn: int = 0  # checksum-failing (partially written) pages
     items_mapped: int = 0
     redo_applied: int = 0
     redo_skipped: int = 0  # already present on a sealed page
@@ -90,13 +91,28 @@ def _rescan_pages(engine: SiasVEngine, report: SiasRecoveryReport) -> None:
     for page_no in range(allocated):
         lba = tablespace.lba_of(store.file_id, page_no)
         try:
-            raw = tablespace.device.read_page(lba)
+            raw = tablespace.read_page(lba)
         except ReadUnwrittenError:
             # never written, or trimmed by GC: reusable address space
             store._free_page_nos.append(page_no)
             report.pages_reusable += 1
             continue
-        page = Page.from_bytes(raw)
+        try:
+            page = Page.from_bytes(raw)
+        except PageCorruptError:
+            # torn write: the crash interrupted this page's seal, so its
+            # checksum fails.  Its versions were not durable — any
+            # committed ones come back via WAL redo (a seal in flight at
+            # the crash postdates the last completed checkpoint, so its
+            # records were never truncated).  The address is reusable.
+            # Trim the half-written content so any surviving pred pointer
+            # into this page faults as *unwritten* (the signal every chain
+            # walk already tolerates) instead of as a checksum failure.
+            tablespace.trim_page(store.file_id, page_no)
+            store._free_page_nos.append(page_no)
+            report.pages_torn += 1
+            report.pages_reusable += 1
+            continue
         if not isinstance(page, AppendPage):
             continue  # e.g. persisted VIDmap buckets share no file, skip
         store.buffer.put_clean(store.file_id, page_no, page)

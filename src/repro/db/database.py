@@ -100,10 +100,17 @@ class Database:
         self.checkpointer = Checkpointer(
             self.buffer, self.clock,
             self.config.buffer.checkpoint_interval_usec)
-        # a completed checkpoint makes the log's history redundant for
-        # crash recovery: recycle its segments (WAL would otherwise grow
-        # without bound)
-        self.checkpointer.subscribe_post(self.wal.recycle)
+        # Checkpoint-anchored WAL truncation.  The pre-flush hook (first
+        # in line, registered before any table's seal hook) snapshots the
+        # redo anchor: the earliest record still needed once everything
+        # the checkpoint flushes is durable.  The post hook appends a
+        # CHECKPOINT record and truncates history + device behind the
+        # anchor — recovery redo then starts at the last durable
+        # checkpoint instead of the beginning of time, and neither the
+        # log device nor the in-memory history grows without bound.
+        self._ckpt_redo_index = 0
+        self.checkpointer.subscribe(self._begin_wal_checkpoint)
+        self.checkpointer.subscribe_post(self._complete_wal_checkpoint)
         self.tables: dict[str, Relation] = {}
         self._shut_down = False
         self._vidmap_file_ids: dict[str, int] = {}
@@ -405,6 +412,15 @@ class Database:
                 yield tid, relation.codec.decode(payload)
 
     # -- background machinery ------------------------------------------------------------------------
+
+    def _begin_wal_checkpoint(self) -> None:
+        """Checkpoint pre-hook: pin the redo anchor before any flushing."""
+        self._ckpt_redo_index = self.wal.begin_checkpoint(
+            self.txn_mgr.active_txids)
+
+    def _complete_wal_checkpoint(self) -> None:
+        """Checkpoint post-hook: log CHECKPOINT, truncate behind the anchor."""
+        self.wal.log_checkpoint(self._ckpt_redo_index)
 
     def tick(self) -> None:
         """Advance bgwriter/checkpointer to the current simulated time.

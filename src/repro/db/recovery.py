@@ -1,23 +1,32 @@
 """Database-level crash simulation and recovery.
 
 ``crash(db)`` throws away everything a power loss would: the buffer pool,
-in-flight transactions, the WAL tail, all in-memory index trees, and the
-engines' volatile structures (VIDmap, working pages, FSM).  ``recover(db)``
-brings the database back:
+in-flight transactions, the WAL tail (both the unflushed byte buffer *and*
+the unforced record history — a record the leader never forced is not
+durable), all in-memory index trees, and the engines' volatile structures
+(VIDmap, working pages, FSM).  ``recover(db)`` brings the database back:
 
 * transaction fates re-derived from the durable WAL prefix (a COMMIT record
-  is the durability point; anything else is treated as aborted),
+  is the durability point; anything else is treated as aborted).  The
+  report distinguishes transactions that *settled before* the crash
+  (``aborted_txns`` — the application saw the abort) from those the crash
+  interrupted and recovery rolled back (``rolled_back_txns`` — the
+  application may have seen nothing, or a hang),
 * **SIAS-V** relations run the full engine recovery of
-  :mod:`repro.core.recovery` — device rescan, VIDmap rebuild, WAL redo of
-  versions lost with the working page,
-* **SI baseline** relations rebuild their FSM from the surviving heap pages.
-  Heap mutations since the last flush of each page are lost: the baseline
-  is recovered *checkpoint-consistent* (PostgreSQL would replay physical
-  page images from its WAL; reproducing ARIES physical redo is out of scope
-  and orthogonal to the paper — run a checkpoint before crashing to make
-  the baseline lose nothing).  The asymmetry is itself a result: SIAS-V
-  needs no page images because sealed pages are immutable.
+  :mod:`repro.core.recovery` — device rescan (tolerating torn page seals),
+  VIDmap rebuild, WAL redo of versions lost with the working page,
+* **SI baseline** relations rebuild their FSM from the surviving heap
+  pages.  Heap mutations since the last flush of each page are lost: the
+  baseline is recovered *checkpoint-consistent* (PostgreSQL would replay
+  physical page images from its WAL; reproducing ARIES physical redo is out
+  of scope and orthogonal to the paper — run a checkpoint before crashing
+  to make the baseline lose nothing).  The asymmetry is itself a result:
+  SIAS-V needs no page images because sealed pages are immutable.
 * all index trees rebuilt by scanning the recovered relations.
+
+Redo is bounded: :meth:`~repro.wal.log.WriteAheadLog.durable_records`
+starts at the last durable CHECKPOINT record, so recovery work is
+proportional to activity since the last checkpoint, not to history.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from repro.core.recovery import (
     crash_engine,
     recover_engine,
 )
-from repro.common.errors import ReadUnwrittenError
+from repro.common.errors import PageCorruptError, ReadUnwrittenError
 from repro.db.database import Database
 from repro.pages.base import Page
 from repro.pages.slotted import SlottedHeapPage
@@ -44,17 +53,25 @@ class RecoveryReport:
     """Outcome of one database recovery."""
 
     committed_txns: int = 0
+    #: settled *before* the crash: a durable record trail but the clog
+    #: already said ABORTED (first-updater-wins losers, explicit rollbacks)
     aborted_txns: int = 0
+    #: interrupted by the crash and settled *by recovery* (no durable
+    #: COMMIT record — includes committed-but-not-forced transactions)
+    rolled_back_txns: int = 0
     engine_reports: dict[str, SiasRecoveryReport] = field(
         default_factory=dict)
     heap_pages_recovered: dict[str, int] = field(default_factory=dict)
+    #: heap pages whose flush never completed (gap or torn) — re-registered
+    #: empty; their rows are lost, the baseline's by-design asymmetry
+    heap_pages_lost: dict[str, int] = field(default_factory=dict)
     index_entries_rebuilt: int = 0
 
 
 def crash(db: Database) -> None:
     """Simulate a power loss: drop every volatile structure."""
     db.buffer.invalidate_all()  # dirty pages die with the page cache
-    db.wal._buffer.clear()      # the unforced WAL tail dies too
+    db.wal.lose_tail()          # unforced WAL records die with their buffer
     for relation in db.tables.values():
         # index structures are in-memory: recreate them empty
         for index_name, (definition, _tree) in list(
@@ -63,7 +80,10 @@ def crash(db: Database) -> None:
             relation.add_index(definition)
         if isinstance(relation.engine, SiasVEngine):
             crash_engine(relation.engine)
-    db.txn_mgr.locks = type(db.txn_mgr.locks)()
+    # Empty the lock table but keep its configuration — a fresh LockTable()
+    # would silently discard wait_timeout_sec and demote a multi-worker
+    # server back to immediate first-updater-wins aborts after recovery.
+    db.txn_mgr.locks.clear()
     db.txn_mgr._active.clear()
 
 
@@ -82,8 +102,9 @@ def recover(db: Database) -> RecoveryReport:
             report.engine_reports[name] = recover_engine(relation.engine,
                                                          mine)
         else:
-            report.heap_pages_recovered[name] = _recover_heap(
-                relation.engine)
+            recovered, lost = _recover_heap(relation.engine)
+            report.heap_pages_recovered[name] = recovered
+            report.heap_pages_lost[name] = lost
     report.index_entries_rebuilt = _rebuild_indexes(db)
     return report
 
@@ -91,37 +112,74 @@ def recover(db: Database) -> RecoveryReport:
 def _settle_transaction_fates(clog: CommitLog, durable, report) -> None:
     committed = {r.txid for r in durable
                  if r.type is WalRecordType.COMMIT}
-    seen = {r.txid for r in durable}
+    # CHECKPOINT records carry txid -1 (no transaction); keep them out of
+    # the fate bookkeeping.
+    seen = {r.txid for r in durable if r.txid >= 0}
     for txid in seen | set(clog._states):
         state = clog._states.get(txid)
         if state is TxnState.IN_PROGRESS:
             if txid in committed:
+                # forced COMMIT record but the clog flip was lost: the
+                # transaction *was* durably committed — finish the flip.
                 clog.set_committed(txid)
             else:
+                # in flight at the crash with no durable COMMIT: recovery
+                # settles its fate now.
                 clog.set_aborted(txid)
+                report.rolled_back_txns += 1
+        elif state is TxnState.ABORTED and txid in seen:
+            # settled before the crash; counted separately from rollbacks
+            report.aborted_txns += 1
         if txid in committed:
             report.committed_txns += 1
-    report.aborted_txns = len(seen - committed)
 
 
-def _recover_heap(engine: SiEngine) -> int:
-    """Rebuild the FSM (and page cache) from surviving heap pages."""
-    tablespace = engine.heap.buffer.tablespace
-    allocated = tablespace.file_pages(engine.heap.file_id)
-    engine.heap.fsm = type(engine.heap.fsm)()
-    recovered = 0
+def _recover_heap(engine: SiEngine) -> tuple[int, int]:
+    """Rebuild the FSM (and page cache) from surviving heap pages.
+
+    Pages are classified up to the high-water mark — the greatest page
+    number with *any* device content.  Below it, an unwritten gap (the
+    background writer flushes out of order, so page 7 can hit the device
+    before page 3) or a torn flush is a real page whose content is lost:
+    it is re-registered as a fresh empty page so the FSM can place rows
+    there again.  Above the high-water mark lie never-used extent-tail
+    addresses, which stay unregistered.
+
+    Returns ``(recovered, lost)`` page counts.
+    """
+    heap = engine.heap
+    tablespace = heap.buffer.tablespace
+    allocated = tablespace.file_pages(heap.file_id)
+    heap.fsm = type(heap.fsm)()
+    survivors: dict[int, SlottedHeapPage] = {}
+    high = -1
     for page_no in range(allocated):
-        lba = tablespace.lba_of(engine.heap.file_id, page_no)
+        lba = tablespace.lba_of(heap.file_id, page_no)
         try:
-            raw = tablespace.device.read_page(lba)
+            raw = tablespace.read_page(lba)
         except ReadUnwrittenError:
-            break  # pages are flushed in order; nothing beyond this point
-        page = Page.from_bytes(raw)
+            continue  # gap: flushed out of order, or never flushed
+        try:
+            page = Page.from_bytes(raw)
+        except PageCorruptError:
+            high = max(high, page_no)  # torn flush: content present, lost
+            continue
         assert isinstance(page, SlottedHeapPage)
-        engine.heap.buffer.put_clean(engine.heap.file_id, page_no, page)
-        engine.heap.fsm.register_page(page_no, page.free_bytes())
-        recovered += 1
-    return recovered
+        survivors[page_no] = page
+        high = max(high, page_no)
+    recovered = 0
+    lost = 0
+    for page_no in range(high + 1):
+        page = survivors.get(page_no)
+        if page is not None:
+            heap.buffer.put_clean(heap.file_id, page_no, page)
+            recovered += 1
+        else:
+            page = SlottedHeapPage(page_no, heap.config.page_size)
+            heap.buffer.put_dirty(heap.file_id, page_no, page)
+            lost += 1
+        heap.fsm.register_page(page_no, page.free_bytes())
+    return recovered, lost
 
 
 def _rebuild_indexes(db: Database) -> int:

@@ -24,6 +24,7 @@ from repro.experiments import (
     ablation_scan,
     ablation_threshold,
     blocktrace,
+    crash_sweep,
     endurance,
     report,
     space,
@@ -53,6 +54,7 @@ __all__ = [
     "ablation_scan",
     "ablation_threshold",
     "blocktrace",
+    "crash_sweep",
     "build_database",
     "endurance",
     "format_table",

@@ -1,0 +1,328 @@
+"""Crash-sweep fault injection: crash at every k-th device write, recover.
+
+The sweep is the recovery subsystem's adversary.  One seeded run of a
+bank-transfer workload is executed once in *count mode* to learn how many
+device writes it issues; the sweep then re-executes the identical run once
+per crash point, arming a :class:`~repro.storage.faults.CrashPoint` that
+kills the process model exactly at the k-th write (data and WAL devices
+share the counter, so every write the system issues — WAL forces, page
+seals, heap flushes, checkpoint work — is a candidate crash site).  Every
+other crash point is *torn*: the fatal write persists only a prefix of the
+page, leaving a checksum-failing partial page for recovery to detect.
+
+After each crash, :func:`repro.db.recovery.recover` runs and the recovered
+state is checked against a mirror oracle maintained alongside the workload:
+
+* **SIAS-V** — the full oracle.  Exactly the transfers whose ``commit()``
+  returned are visible (commit forces the WAL, so a returned commit is
+  durable; the one in-flight transaction is not), the balance total is
+  conserved, every primary-key lookup agrees with the scan, and the
+  recovered database accepts further committed work.
+* **SI baseline** — the structural oracle.  The baseline is recovered
+  checkpoint-consistent (heap mutations after a page's last flush are lost
+  by design — the paper's asymmetry result), so value-level equality is
+  *not* asserted; recovery must instead complete without error, produce a
+  well-formed scan (unique ids, non-negative balances), agree with its own
+  indexes, and accept further committed work.
+
+Run it from the command line::
+
+    python -m repro.experiments.crash_sweep --engine both --stride 25
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.common import units
+from repro.common.config import BufferConfig, FlashConfig, SystemConfig
+from repro.common.rng import make_rng
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
+from repro.db.recovery import crash, recover
+from repro.db.schema import ColType, Schema
+from repro.storage.faults import CrashPoint, FaultyDevice, SimulatedCrash
+from repro.storage.flash import FlashDevice
+from repro.common.clock import SimClock
+
+ACCOUNTS = Schema.of(("id", ColType.INT), ("owner", ColType.STR),
+                     ("balance", ColType.FLOAT))
+
+
+@dataclass
+class SweepConfig:
+    """One crash sweep's parameters (fully determined by the seed)."""
+
+    kind: EngineKind = EngineKind.SIASV
+    accounts: int = 20
+    transfers: int = 120
+    stride: int = 1            # test every stride-th write
+    seed: int = 7
+    initial_balance: float = 100.0
+    #: one-page WAL ceiling so ``tick()`` fires real checkpoints mid-run
+    #: and the sweep exercises checkpoint-anchored (bounded) redo
+    max_wal_bytes: int = 8 * units.KIB
+
+
+@dataclass
+class CrashOutcome:
+    """What happened at one crash point."""
+
+    at_write: int
+    crashed: bool               # False once k exceeds the run's writes
+    torn: bool
+    committed: int              # transfers whose commit() returned
+    rolled_back_txns: int
+    recovered_rows: int
+    pages_torn: int
+
+
+@dataclass
+class SweepReport:
+    """Aggregate over every crash point tested."""
+
+    kind: EngineKind
+    total_writes: int
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def points_crashed(self) -> int:
+        return sum(1 for o in self.outcomes if o.crashed)
+
+
+class SweepInvariantError(AssertionError):
+    """A recovery invariant failed at a specific crash point."""
+
+
+@dataclass
+class _WorkloadState:
+    """Oracle state the workload maintains as it commits."""
+
+    mirror: dict[int, float] = field(default_factory=dict)
+    committed: int = 0  # transfers whose commit() returned
+
+
+def _build_db(cfg: SweepConfig,
+              crash_point: CrashPoint | None) -> Database:
+    """The workload's database: both devices share one crash counter."""
+    system = SystemConfig(
+        flash=FlashConfig(capacity_bytes=64 * units.MIB),
+        buffer=BufferConfig(pool_pages=128,
+                            max_wal_bytes=cfg.max_wal_bytes),
+        extent_pages=16,
+    )
+    clock = SimClock()
+    data = FaultyDevice(FlashDevice(clock, system.flash, name="data-ssd"),
+                        seed=cfg.seed, crash_point=crash_point)
+    wal = FaultyDevice(FlashDevice(clock, system.flash, name="wal-ssd"),
+                       seed=cfg.seed, crash_point=crash_point)
+    db = Database(cfg.kind, data, wal, system)
+    db.create_table("accounts", ACCOUNTS, indexes=[
+        IndexDef("pk", ("id",), unique=True),
+        IndexDef("by_owner", ("owner",)),
+    ])
+    return db
+
+
+def _run_workload(db: Database, cfg: SweepConfig,
+                  state: _WorkloadState) -> None:
+    """Seeded transfers; ``state.mirror`` tracks the committed effects.
+
+    Raises :class:`SimulatedCrash` wherever the armed crash point fires.
+    Uses explicit begin/commit (not ``run_in_txn``) so a crash
+    mid-transaction leaves the victim genuinely unfinished instead of
+    letting the driver's error path abort it.
+    """
+    rng = make_rng(cfg.seed, "crash-sweep", "workload")
+    txn = db.begin()
+    for i in range(cfg.accounts):
+        db.insert(txn, "accounts", (i, f"acct-{i}", cfg.initial_balance))
+    db.commit(txn)
+    for i in range(cfg.accounts):
+        state.mirror[i] = cfg.initial_balance
+    for _ in range(cfg.transfers):
+        src = rng.randrange(cfg.accounts)
+        dst = (src + 1 + rng.randrange(cfg.accounts - 1)) % cfg.accounts
+        amount = float(rng.randrange(1, 10))
+        txn = db.begin()
+        (src_ref, src_row), = db.lookup(txn, "accounts", "pk", src)
+        (dst_ref, dst_row), = db.lookup(txn, "accounts", "pk", dst)
+        db.update(txn, "accounts", src_ref,
+                  (src, src_row[1], src_row[2] - amount))
+        db.update(txn, "accounts", dst_ref,
+                  (dst, dst_row[1], dst_row[2] + amount))
+        db.commit(txn)
+        # commit returned: the WAL force completed, so this transfer is
+        # durable — fold it into the oracle only now
+        state.mirror[src] -= amount
+        state.mirror[dst] += amount
+        state.committed += 1
+        db.tick()  # lets the checkpointer truncate the WAL mid-run
+
+
+def _scan_rows(db: Database) -> dict[int, tuple]:
+    txn = db.begin()
+    rows = {row[0]: row for _ref, row in db.scan(txn, "accounts")}
+    db.commit(txn)
+    return rows
+
+
+def _check_liveness(db: Database, rows: dict[int, tuple]) -> None:
+    """The recovered database must accept new committed work."""
+    if len(rows) < 2:
+        return
+    ids = sorted(rows)
+    a, b = ids[0], ids[1]
+    txn = db.begin()
+    (a_ref, a_row), = db.lookup(txn, "accounts", "pk", a)
+    (b_ref, b_row), = db.lookup(txn, "accounts", "pk", b)
+    db.update(txn, "accounts", a_ref, (a, a_row[1], a_row[2] - 1.0))
+    db.update(txn, "accounts", b_ref, (b, b_row[1], b_row[2] + 1.0))
+    db.commit(txn)
+    after = _scan_rows(db)
+    if after[a][2] != a_row[2] - 1.0 or after[b][2] != b_row[2] + 1.0:
+        raise SweepInvariantError(
+            "post-recovery transfer did not take effect")
+
+
+def _check_index_agreement(db: Database, rows: dict[int, tuple]) -> None:
+    txn = db.begin()
+    for acct_id, row in rows.items():
+        hits = db.lookup(txn, "accounts", "pk", acct_id)
+        if len(hits) != 1 or hits[0][1] != row:
+            raise SweepInvariantError(
+                f"pk index disagrees with scan for id {acct_id}: "
+                f"{hits!r} vs {row!r}")
+    db.commit(txn)
+
+
+def _verify_siasv(db: Database, mirror: dict[int, float],
+                  cfg: SweepConfig) -> dict[int, tuple]:
+    """Full oracle: recovered state == committed mirror, money conserved."""
+    rows = _scan_rows(db)
+    if set(rows) != set(mirror):
+        raise SweepInvariantError(
+            f"recovered ids {sorted(rows)} != committed ids "
+            f"{sorted(mirror)}")
+    for acct_id, expected in mirror.items():
+        got = rows[acct_id][2]
+        if got != expected:
+            raise SweepInvariantError(
+                f"account {acct_id}: balance {got} != durable {expected}")
+    if mirror:
+        total = sum(row[2] for row in rows.values())
+        if total != cfg.initial_balance * cfg.accounts:
+            raise SweepInvariantError(
+                f"money not conserved: {total} != "
+                f"{cfg.initial_balance * cfg.accounts}")
+    _check_index_agreement(db, rows)
+    return rows
+
+
+def _verify_si(db: Database, mirror: dict[int, float],
+               cfg: SweepConfig) -> dict[int, tuple]:
+    """Structural oracle: the baseline is checkpoint-consistent only."""
+    rows = _scan_rows(db)
+    if not set(rows) <= set(range(cfg.accounts)):
+        raise SweepInvariantError(f"unknown account ids: {sorted(rows)}")
+    for acct_id, row in rows.items():
+        if row[1] != f"acct-{acct_id}":
+            raise SweepInvariantError(f"mangled row for id {acct_id}: "
+                                      f"{row!r}")
+    _check_index_agreement(db, rows)
+    return rows
+
+
+def run_one(cfg: SweepConfig, at_write: int,
+            torn: bool) -> CrashOutcome:
+    """Run the seeded workload with a crash armed at ``at_write``."""
+    point = CrashPoint(at_write=at_write, torn=torn)
+    db = _build_db(cfg, point)
+    state = _WorkloadState()
+    crashed = False
+    try:
+        _run_workload(db, cfg, state)
+        db.shutdown()
+    except SimulatedCrash:
+        crashed = True
+    point.disarm()  # the machine is dead; recovery may touch the device
+    crash(db)
+    report = recover(db)
+    verify = (_verify_siasv if cfg.kind is EngineKind.SIASV
+              else _verify_si)
+    rows = verify(db, state.mirror, cfg)
+    _check_liveness(db, rows)
+    pages_torn = sum(r.pages_torn for r in report.engine_reports.values())
+    return CrashOutcome(
+        at_write=at_write,
+        crashed=crashed,
+        torn=torn,
+        committed=state.committed,
+        rolled_back_txns=report.rolled_back_txns,
+        recovered_rows=len(rows),
+        pages_torn=pages_torn,
+    )
+
+
+def count_writes(cfg: SweepConfig) -> int:
+    """Count mode: how many device writes does one clean run issue?"""
+    point = CrashPoint(at_write=0)  # never fires, only counts
+    db = _build_db(cfg, point)
+    _run_workload(db, cfg, _WorkloadState())
+    db.shutdown()
+    return point.writes_seen
+
+
+def run_sweep(cfg: SweepConfig) -> SweepReport:
+    """Crash at every ``stride``-th write of the run; verify each time.
+
+    Raises :class:`SweepInvariantError` (with the crash point in the
+    message) the moment any recovery invariant fails.
+    """
+    total = count_writes(cfg)
+    report = SweepReport(kind=cfg.kind, total_writes=total)
+    for k in range(1, total + 1, cfg.stride):
+        torn = (k // cfg.stride) % 2 == 1  # every other point tears
+        try:
+            outcome = run_one(cfg, k, torn)
+        except SweepInvariantError as exc:
+            raise SweepInvariantError(
+                f"[{cfg.kind.name} crash at write {k}"
+                f"{' torn' if torn else ''}] {exc}") from exc
+        report.outcomes.append(outcome)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Crash-sweep fault injection against recovery")
+    parser.add_argument("--engine", choices=["siasv", "si", "both"],
+                        default="both")
+    parser.add_argument("--stride", type=int, default=10,
+                        help="crash at every stride-th device write")
+    parser.add_argument("--transfers", type=int, default=120)
+    parser.add_argument("--accounts", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    kinds = {"siasv": [EngineKind.SIASV], "si": [EngineKind.SI],
+             "both": [EngineKind.SIASV, EngineKind.SI]}[args.engine]
+    for kind in kinds:
+        cfg = SweepConfig(kind=kind, accounts=args.accounts,
+                          transfers=args.transfers, stride=args.stride,
+                          seed=args.seed)
+        report = run_sweep(cfg)
+        torn_seen = sum(o.pages_torn for o in report.outcomes)
+        print(f"{kind.name:6s}: {report.points_tested} crash points over "
+              f"{report.total_writes} writes "
+              f"({report.points_crashed} crashed, "
+              f"{torn_seen} torn pages detected) — all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

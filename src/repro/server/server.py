@@ -72,6 +72,9 @@ class ServerConfig:
     #: how long a writer blocks on a held item lock before aborting with
     #: ``SerializationError``; applied when more than one worker runs
     lock_wait_timeout_sec: float = 0.2
+    #: run crash recovery on the attached database before serving — for
+    #: databases whose device state outlived an unclean stop
+    recover_on_start: bool = False
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -159,6 +162,15 @@ class DatabaseServer:
         self._handler_tasks: set[asyncio.Task] = set()
         self._thread: threading.Thread | None = None
         self._started_monotonic = 0.0
+        #: set when ``recover_on_start`` ran: what recovery found/redid
+        self.recovery_report = None
+        if self.config.recover_on_start:
+            from repro.db.recovery import crash, recover
+            # Re-derive every volatile structure from durable state, as a
+            # restart after power loss would: drop whatever in-memory
+            # state the handed-in Database object carries, then recover.
+            crash(db)
+            self.recovery_report = recover(db)
         self._handlers = {
             Command.PING: self._cmd_ping,
             Command.BEGIN: self._cmd_begin,

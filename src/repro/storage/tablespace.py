@@ -13,12 +13,23 @@ relations are placed at different locations to reduce contention.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 from repro.common.errors import InvalidAddressError, OutOfSpaceError
 from repro.storage.device import BlockDevice
+from repro.storage.faults import TransientReadError
 
 #: Default extent granularity (pages): 2 MiB with 8 KiB pages.
 DEFAULT_EXTENT_PAGES = 256
+
+#: Bounded retry of transient read faults ("may succeed on retry") before
+#: the error propagates — mirrors a driver re-issuing a timed-out request.
+TRANSIENT_READ_RETRIES = 3
+#: Deterministic backoff: simulated microseconds charged per retry,
+#: growing linearly with the attempt number.
+TRANSIENT_BACKOFF_USEC = 200
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -97,6 +108,48 @@ class Tablespace:
         state.extents.append(self._next_lba)
         self._next_lba += self.extent_pages
         state.allocated_pages += self.extent_pages
+
+    # -- retrying reads -----------------------------------------------------------
+
+    def read_page(self, lba: int) -> bytes:
+        """Device read with bounded retry of transient faults.
+
+        The fault-in paths (buffer misses, recovery rescans) read through
+        here: a :class:`~repro.storage.faults.TransientReadError` is
+        retried up to :data:`TRANSIENT_READ_RETRIES` times with a
+        deterministic simulated-time backoff; exhaustion re-raises and is
+        counted on the device's ``retries_exhausted`` (when the device
+        exposes one — :class:`~repro.storage.faults.FaultyDevice` does).
+
+        The fault-free fast path is a plain delegation: the retry loop
+        (and its per-call bookkeeping) engages only once a fault fires.
+        """
+        try:
+            return self.device.read_page(lba)
+        except TransientReadError:
+            return self._retry_read(self.device.read_page, lba)
+
+    def read_pages(self, lbas: list[int]) -> list[bytes]:
+        """Batched device read with the same bounded transient retry."""
+        try:
+            return self.device.read_pages(lbas)
+        except TransientReadError:
+            return self._retry_read(self.device.read_pages, lbas)
+
+    def _retry_read(self, op: Callable[[object], _T], arg: object) -> _T:
+        """Slow path: the first attempt already failed transiently."""
+        last: TransientReadError | None = None
+        for attempt in range(1, TRANSIENT_READ_RETRIES + 1):
+            self.device.clock.advance(attempt * TRANSIENT_BACKOFF_USEC)
+            try:
+                return op(arg)
+            except TransientReadError as exc:
+                last = exc
+        exhausted = getattr(self.device, "retries_exhausted", None)
+        if exhausted is not None:
+            self.device.retries_exhausted = exhausted + 1
+        assert last is not None
+        raise last
 
     # -- space reclamation ------------------------------------------------------------
 

@@ -155,3 +155,19 @@ class LockTable:
     def held_count(self) -> int:
         """Number of currently held locks (across all transactions)."""
         return len(self._holders)
+
+    def clear(self) -> None:
+        """Drop every lock (crash recovery) but keep the configuration.
+
+        Crash simulation must empty the table without discarding
+        ``wait_timeout_sec`` — replacing the table with ``LockTable()``
+        would silently demote a multi-worker server from bounded waits
+        back to immediate first-updater-wins aborts.  Cumulative stats
+        survive too (counters model monitoring state, not lock state).
+        Parked waiters are woken so they re-check their keys.
+        """
+        self._holders.clear()
+        self._held_by_txn.clear()
+        if self._waiters:
+            with self._cond:
+                self._cond.notify_all()

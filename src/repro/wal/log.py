@@ -18,6 +18,7 @@ rides that very force and never touches the device (counted in
 
 from __future__ import annotations
 
+import struct
 import threading
 
 from repro.common import units
@@ -130,7 +131,6 @@ class WriteAheadLog:
                                tail + b"\x00" * (self.page_size - remainder)))
                 # note: the tail LBA is not consumed — the partial page
                 # will be rewritten in place by the next force.
-            self._next_lba += full_pages
             self._mu.release()
             try:
                 if writes:
@@ -141,10 +141,17 @@ class WriteAheadLog:
                 # durability and becomes the new leader (or returns).  Were
                 # the wakeup skipped on failure, followers in an untimed
                 # wait would hang until some unrelated force signalled.
+                # Nothing below the durability horizon moved: on failure
+                # the buffer keeps every unflushed byte, ``_next_lba`` is
+                # untouched (advanced only on success, under the mutex the
+                # leader role guards), and the retry rewrites the same
+                # LBAs — a mid-force device failure costs the caller an
+                # exception, never a hole in the log.
                 self._mu.acquire()
                 self._forcing = False
                 if self._waiters:
                     self._cond.notify_all()
+            self._next_lba += full_pages
             del self._buffer[:full_pages * self.page_size]
             self._flushed_upto += full_pages * self.page_size
             self._durable_upto = snapshot_lsn
@@ -185,7 +192,106 @@ class WriteAheadLog:
             self._durable_count = 0
             return trimmed
 
+    def begin_checkpoint(self, active_txids: set[int]) -> int:
+        """Snapshot the redo anchor for a checkpoint starting *now*.
+
+        The anchor is the earliest history index still needed for crash
+        recovery once the checkpoint completes: everything before it
+        belongs to transactions that finished before the checkpoint began,
+        whose versions the checkpoint itself makes durable (working pages
+        sealed, dirty pages flushed).  Records of transactions still
+        active when the checkpoint starts are *retained* — their versions
+        may land in a working page that dies with the next crash, so redo
+        must be able to replay them (ARIES's redo LSN, computed over the
+        in-memory history this model replays from).
+        """
+        with self._mu:
+            anchor = len(self._history)
+            if active_txids:
+                for index, record in enumerate(self._history):
+                    if record.txid in active_txids:
+                        return index
+            return anchor
+
+    def log_checkpoint(self, redo_index: int) -> int:
+        """Complete a checkpoint: CHECKPOINT record, force, truncate.
+
+        Appends a CHECKPOINT record carrying the redo anchor (item_id)
+        and the durable LSN horizon (payload), forces it, then drops
+        every record before ``redo_index`` from the in-memory history and
+        rewrites the compacted log on the device — PostgreSQL's
+        checkpoint-bounded redo plus segment recycling in one step.  The
+        in-memory bookkeeping is updated *before* the device rewrite, so
+        a device failure (or injected crash) mid-rewrite cannot corrupt
+        the durable history the model recovers from.  Returns the number
+        of records dropped.
+        """
+        with self._mu:
+            # a concurrent recycle() may have emptied the history since
+            # the anchor was snapshotted
+            redo_index = min(redo_index, len(self._history))
+            self._append_locked(WalRecord(
+                WalRecordType.CHECKPOINT, -1, redo_index,
+                payload=struct.pack("<q", self._appended_upto)))
+            self._force_upto(self._appended_upto)
+            return self._truncate_before(redo_index)
+
+    def _truncate_before(self, redo_index: int) -> int:
+        """Drop history below the anchor; compact the device log (mutex held).
+
+        Followers may have appended (not yet durable) records while the
+        completing force ran with the mutex released, so the retained
+        tail can extend past the durable horizon: the durable prefix is
+        rewritten to the device from LBA 0, the rest goes back into the
+        in-memory segment buffer for the next force.
+        """
+        if redo_index <= 0:
+            return 0
+        retained = self._history[redo_index:]
+        durable_retained = max(0, self._durable_count - redo_index)
+        data = b"".join(r.pack() for r in retained)
+        durable_len = sum(r.size for r in retained[:durable_retained])
+        full_pages, _remainder = divmod(durable_len, self.page_size)
+        old_footprint = self._next_lba
+        self._history = retained
+        self._durable_count = durable_retained
+        self._appended_upto = len(data)
+        self._durable_upto = durable_len
+        self._flushed_upto = full_pages * self.page_size
+        self._buffer = bytearray(data[self._flushed_upto:])
+        self._next_lba = full_pages
+        for lba in range(old_footprint + 1):
+            self.device.trim(lba)
+        writes = [(i, data[i * self.page_size:(i + 1) * self.page_size])
+                  for i in range(full_pages)]
+        tail = data[self._flushed_upto:durable_len]
+        if tail:
+            writes.append((full_pages,
+                           tail + b"\x00" * (self.page_size - len(tail))))
+        if writes:
+            self.device.write_pages(writes)
+        return redo_index
+
     # -- recovery support -----------------------------------------------------------
+
+    def lose_tail(self) -> int:
+        """Simulate power loss: drop every record the last force missed.
+
+        Crash simulation calls this — the unforced tail lives only in the
+        in-memory segment buffer and dies with it.  Returns the number of
+        records lost.
+        """
+        with self._mu:
+            lost = len(self._history) - self._durable_count
+            del self._history[self._durable_count:]
+            # the segment buffer holds [_flushed_upto, _appended_upto);
+            # keep the durable prefix of it — those bytes sit on the
+            # device's partial tail page, which the next force rewrites
+            # in place — and drop only the never-forced remainder
+            keep = self._durable_upto - self._flushed_upto
+            del self._buffer[keep:]
+            self._appended_upto = self._durable_upto
+            return lost
 
     def durable_records(self) -> list[WalRecord]:
         """Records that survive a crash: everything up to the last force.

@@ -6,12 +6,19 @@ import pytest
 
 from repro.buffer.manager import BufferManager
 from repro.common import units
-from repro.common.errors import PageCorruptError
+from repro.common.errors import PageCorruptError, ReadUnwrittenError
+from repro.pages.base import Page
 from repro.pages.layout import HeapTuple, XMAX_INFINITY
 from repro.pages.slotted import SlottedHeapPage
-from repro.storage.faults import FaultyDevice, TransientReadError
+from repro.storage.faults import (
+    CrashPoint,
+    FaultyDevice,
+    InjectedWriteError,
+    SimulatedCrash,
+    TransientReadError,
+)
 from repro.storage.flash import FlashDevice
-from repro.storage.tablespace import Tablespace
+from repro.storage.tablespace import TRANSIENT_READ_RETRIES, Tablespace
 from tests.conftest import SMALL_FLASH
 
 
@@ -19,6 +26,18 @@ def _page(tag: int) -> SlottedHeapPage:
     page = SlottedHeapPage(0)
     page.insert(HeapTuple(tag, XMAX_INFINITY, False, b"x" * 64))
     return page
+
+
+def _full_page(tag: int) -> SlottedHeapPage:
+    """A page packed with tuples, so a torn prefix always corrupts it."""
+    page = SlottedHeapPage(0)
+    n = 0
+    while True:
+        tuple_ = HeapTuple(tag * 1000 + n, XMAX_INFINITY, False, b"y" * 64)
+        if not page.fits(tuple_):
+            return page
+        page.insert(tuple_)
+        n += 1
 
 
 class TestFaultyDevice:
@@ -85,3 +104,179 @@ class TestFaultyDevice:
         results = device.read_pages(list(range(4)))
         assert all(r != raw for r in results)
         assert device.injected_bitrot == 4
+
+class TestWriteFaults:
+    def test_torn_write_fails_checksum(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              torn_write=1.0)
+        device.write_page(0, _full_page(1).to_bytes())
+        assert device.injected_torn == 1
+        with pytest.raises(PageCorruptError):
+            Page.from_bytes(device.read_page(0))
+
+    def test_failed_write_zero_then_partial(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              failed_write=1.0)
+        raw = _page(1).to_bytes()
+        with pytest.raises(InjectedWriteError):
+            device.write_page(0, raw)
+        # first failure persists nothing at all
+        with pytest.raises(ReadUnwrittenError):
+            device.read_page(0)
+        with pytest.raises(InjectedWriteError):
+            device.write_page(1, raw)
+        # second failure persists a torn prefix: content exists but is
+        # not the full write
+        assert device.injected_write_fails == 2
+        assert isinstance(device.read_page(1), bytes)
+
+    def test_torn_batch_applies_prefix(self, clock):
+        point = CrashPoint(at_write=3)
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              crash_point=point)
+        raw = _page(1).to_bytes()
+        with pytest.raises(SimulatedCrash):
+            device.write_pages([(lba, raw) for lba in range(5)])
+        point.disarm()
+        assert device.read_page(0) == raw
+        assert device.read_page(1) == raw
+        for lba in (2, 3, 4):  # crash write and beyond never landed
+            with pytest.raises(ReadUnwrittenError):
+                device.read_page(lba)
+
+
+class TestCrashPoint:
+    def test_count_mode_never_fires(self, clock):
+        point = CrashPoint(at_write=0)
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              crash_point=point)
+        raw = _page(1).to_bytes()
+        for lba in range(5):
+            device.write_page(lba, raw)
+        assert point.writes_seen == 5
+        assert not point.tripped
+
+    def test_fires_at_kth_write_and_stays_tripped(self, clock):
+        point = CrashPoint(at_write=3)
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              crash_point=point)
+        raw = _page(1).to_bytes()
+        device.write_page(0, raw)
+        device.write_page(1, raw)
+        with pytest.raises(SimulatedCrash):
+            device.write_page(2, raw)
+        assert point.tripped
+        # the dead machine rejects all further writes...
+        with pytest.raises(SimulatedCrash):
+            device.write_page(3, raw)
+        # ...and the crash write itself persisted nothing (torn=False)
+        with pytest.raises(ReadUnwrittenError):
+            device.read_page(2)
+        point.disarm()  # reboot: I/O works again
+        device.write_page(3, raw)
+        assert device.read_page(3) == raw
+
+    def test_torn_crash_persists_checksum_failing_prefix(self, clock):
+        point = CrashPoint(at_write=1, torn=True)
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              crash_point=point)
+        raw = _full_page(1).to_bytes()
+        with pytest.raises(SimulatedCrash):
+            device.write_page(0, raw)
+        point.disarm()
+        stored = device.read_page(0)
+        half = len(raw) // 2
+        assert stored[:half] == raw[:half]
+        assert stored != raw
+        with pytest.raises(PageCorruptError):
+            Page.from_bytes(stored)
+
+    def test_shared_counter_across_devices(self, clock):
+        point = CrashPoint(at_write=3)
+        data = FaultyDevice(FlashDevice(clock, SMALL_FLASH, name="a"),
+                            crash_point=point)
+        wal = FaultyDevice(FlashDevice(clock, SMALL_FLASH, name="b"),
+                           crash_point=point)
+        raw = _page(1).to_bytes()
+        data.write_page(0, raw)
+        wal.write_page(0, raw)
+        with pytest.raises(SimulatedCrash):
+            data.write_page(1, raw)  # third write system-wide
+
+    def test_deterministic_same_seed_same_prefix(self, clock):
+        def run(k):
+            point = CrashPoint(at_write=k)
+            device = FaultyDevice(FlashDevice(clock, SMALL_FLASH,
+                                              name=f"det{k}"),
+                                  crash_point=point)
+            landed = []
+            try:
+                for lba in range(6):
+                    device.write_page(lba, _page(lba).to_bytes())
+                    landed.append(lba)
+            except SimulatedCrash:
+                pass
+            return landed
+
+        # a crash at write k leaves exactly the first k-1 writes
+        assert run(4) == [0, 1, 2]
+        assert run(4) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashPoint(at_write=-1)
+
+
+class TestTransientRetry:
+    def test_fault_in_retries_to_success(self, clock):
+        fails = {"remaining": 2}
+
+        class _FlakyTwice:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def read_page(self, lba):
+                if fails["remaining"]:
+                    fails["remaining"] -= 1
+                    raise TransientReadError("injected flake")
+                return self._inner.read_page(lba)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        inner = FlashDevice(clock, SMALL_FLASH)
+        raw = _page(1).to_bytes()
+        inner.write_page(0, raw)
+        tablespace = Tablespace(_FlakyTwice(inner), extent_pages=16)
+        f = tablespace.create_file("f")
+        tablespace.ensure_page(f, 0)
+        assert tablespace.read_page(tablespace.lba_of(f, 0)) == raw
+        assert fails["remaining"] == 0
+
+    def test_exhaustion_raises_and_counts(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              transient=1.0)
+        device.write_page(0, _page(1).to_bytes())
+        tablespace = Tablespace(device, extent_pages=16)
+        f = tablespace.create_file("f")
+        tablespace.ensure_page(f, 0)
+        with pytest.raises(TransientReadError):
+            tablespace.read_page(tablespace.lba_of(f, 0))
+        assert device.retries_exhausted == 1
+        # the first attempt plus every retry hit the fault
+        assert device.injected_transient == 1 + TRANSIENT_READ_RETRIES
+
+    def test_buffer_fault_in_survives_transients(self, clock):
+        device = FaultyDevice(FlashDevice(clock, SMALL_FLASH),
+                              transient=0.4, seed=11)
+        raw = _page(1).to_bytes()
+        for lba in range(8):
+            device.write_page(lba, raw)
+        tablespace = Tablespace(device, extent_pages=16)
+        f = tablespace.create_file("f")
+        tablespace.ensure_page(f, 7)
+        buffer = BufferManager(tablespace, pool_pages=4)
+        for page_no in range(8):  # pool of 4: every read is a fault-in
+            assert buffer.get_page(f, page_no).to_bytes() == raw
+        assert device.injected_transient > 0
+        assert device.retries_exhausted == 0

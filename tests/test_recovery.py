@@ -210,3 +210,78 @@ class TestSiRecovery:
         crash(si_db)  # the update only lived in the buffer pool
         recover(si_db)
         assert _rows(si_db)[1] == (1, "v0", 0.0)  # checkpoint-consistent
+
+class TestCrashDiscards:
+    def test_lock_config_survives_crash(self, any_db):
+        any_db.txn_mgr.locks.wait_timeout_sec = 0.25
+        txn = any_db.begin()
+        any_db.insert(txn, "accounts", (1, "a", 1.0))
+        any_db.commit(txn)
+        crash(any_db)
+        recover(any_db)
+        assert any_db.txn_mgr.locks.wait_timeout_sec == 0.25
+        assert any_db.txn_mgr.locks.held_count() == 0
+
+    def test_unforced_records_die_with_wal_tail(self, sias_db):
+        txn = sias_db.begin()
+        sias_db.insert(txn, "accounts", (1, "a", 1.0))
+        # no commit: the INSERT was appended but never forced
+        crash(sias_db)
+        assert all(r.txid != txn.txid for r in sias_db.wal.replay())
+
+    def test_fate_split_aborted_vs_rolled_back(self, any_db):
+        # B settles (aborts) before the crash; A commits; C is in flight
+        b = any_db.begin()
+        any_db.insert(b, "accounts", (2, "b", 2.0))
+        any_db.abort(b)
+        a = any_db.begin()
+        any_db.insert(a, "accounts", (1, "a", 1.0))
+        any_db.commit(a)  # forces the WAL, making B's trail durable too
+        c = any_db.begin()
+        any_db.insert(c, "accounts", (3, "c", 3.0))
+        crash(any_db)
+        report = recover(any_db)
+        assert report.committed_txns == 1
+        assert report.aborted_txns == 1
+        assert report.rolled_back_txns == 1
+
+
+class TestHeapOutOfOrderFlush:
+    def _fill_pages(self, si_db, pages: int) -> None:
+        """Commit rows until the heap spans at least ``pages`` pages."""
+        engine = si_db.table("accounts").engine
+        i = 0
+        while engine.heap.fsm.page_count < pages:
+            txn = si_db.begin()
+            for _ in range(20):
+                si_db.insert(txn, "accounts", (i, "u" * 40, float(i)))
+                i += 1
+            si_db.commit(txn)
+
+    def test_gap_pages_recovered_not_truncated(self, si_db):
+        """Out-of-order flushing must not hide later-flushed pages.
+
+        The bgwriter flushes whatever the clock sweep hands it, so page 7
+        can reach the device while page 3 is still dirty.  Recovery used
+        to stop at the first unwritten page, silently dropping every
+        flushed page after the gap.
+        """
+        self._fill_pages(si_db, 10)
+        engine = si_db.table("accounts").engine
+        heap_file = engine.heap.file_id
+        # flush only the upper half: pages 0..4 stay dirty (the gap)
+        flushed = si_db.buffer.flush_batch(
+            [(heap_file, page_no) for page_no in range(5, 10)])
+        assert flushed == 5
+        crash(si_db)
+        report = recover(si_db)
+        assert report.heap_pages_recovered["accounts"] == 5
+        assert report.heap_pages_lost["accounts"] == 5
+        assert engine.heap.fsm.page_count == 10
+        rows = _rows(si_db)
+        assert rows  # the flushed pages' rows survived the gap
+        # the re-registered gap pages accept new inserts
+        txn = si_db.begin()
+        si_db.insert(txn, "accounts", (100000, "fresh", 1.0))
+        si_db.commit(txn)
+        assert 100000 in _rows(si_db)

@@ -367,3 +367,31 @@ class TestMonitorThroughServer:
             assert "INSERT" in text
         finally:
             remote.close()
+
+class TestRecoverOnStart:
+    def test_recovery_runs_before_serving(self):
+        db = make_accounts_db(EngineKind.SIASV)
+        txn = db.begin()
+        db.insert(txn, "accounts", (1, "durable", 10.0))
+        db.commit(txn)
+        txn = db.begin()
+        db.insert(txn, "accounts", (2, "in-flight", 20.0))
+        # never committed: a restart must roll this back
+        server = DatabaseServer(db, ServerConfig(recover_on_start=True))
+        assert server.recovery_report is not None
+        assert server.recovery_report.committed_txns >= 1
+        assert server.recovery_report.rolled_back_txns >= 1
+        check = db.begin()
+        rows = {row[0] for _ref, row in db.scan(check, "accounts")}
+        db.commit(check)
+        assert rows == {1}
+
+    def test_recover_keeps_multiworker_lock_waits(self):
+        db = make_accounts_db(EngineKind.SIASV)
+        server = DatabaseServer(db, ServerConfig(recover_on_start=True,
+                                                 executor_workers=4))
+        assert server.recovery_report is not None
+        # crash()'s lock-table reset must not discard the bounded-wait
+        # configuration the multi-worker server just applied
+        assert db.txn_mgr.locks.wait_timeout_sec == \
+            server.config.lock_wait_timeout_sec
