@@ -10,7 +10,9 @@ Commands:
 * ``snapshot`` — run a short workload and print the full system snapshot;
 * ``serve`` — expose a live database over TCP (see ``docs/SERVER.md``);
 * ``crash-sweep`` — fault-injection sweep: crash at every k-th device
-  write, recover, verify invariants (see ``docs/RECOVERY.md``).
+  write, recover, verify invariants (see ``docs/RECOVERY.md``);
+* ``chaos-sweep`` — network fault-injection sweep: break the connection
+  at every k-th frame, verify settlement (see ``docs/SERVER.md``).
 
 Also installed as the ``repro`` console script (``pip install -e .``).
 """
@@ -195,7 +197,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         executor_workers=args.workers,
         idle_timeout_sec=args.idle_timeout,
-        recover_on_start=args.recover))
+        recover_on_start=args.recover,
+        drain_timeout_sec=args.drain_timeout))
     if server.recovery_report is not None:
         rep = server.recovery_report
         print(f"recovered: {rep.committed_txns} committed, "
@@ -216,6 +219,17 @@ def _cmd_crash_sweep(args: argparse.Namespace) -> int:
 
     engine = {"sias-v": "siasv", "si": "si", "both": "both"}[args.engine]
     return crash_sweep.main(["--engine", engine,
+                             "--stride", str(args.stride),
+                             "--transfers", str(args.transfers),
+                             "--accounts", str(args.accounts),
+                             "--seed", str(args.seed)])
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos_sweep
+
+    engine = {"sias-v": "siasv", "si": "si", "both": "both"}[args.engine]
+    return chaos_sweep.main(["--engine", engine,
                              "--stride", str(args.stride),
                              "--transfers", str(args.transfers),
                              "--accounts", str(args.accounts),
@@ -279,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--idle-timeout", type=float, default=60.0,
                        help="seconds before an idle session is reaped "
                             "(<= 0 disables)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds a stopping server lets in-flight "
+                            "transactions finish before aborting them")
     serve.add_argument("--tpcc", action="store_true",
                        help="pre-create the nine TPC-C tables")
     serve.add_argument("--recover", action="store_true",
@@ -295,6 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--transfers", type=int, default=120)
     sweep.add_argument("--accounts", type=int, default=20)
     sweep.add_argument("--seed", type=int, default=7)
+
+    chaos = sub.add_parser("chaos-sweep",
+                           help="break the connection at every k-th "
+                                "network frame, verify settlement "
+                                "(docs/SERVER.md)")
+    chaos.add_argument("--engine", choices=("sias-v", "si", "both"),
+                       default="both")
+    chaos.add_argument("--stride", type=int, default=1,
+                       help="fault at every stride-th network frame")
+    chaos.add_argument("--transfers", type=int, default=30)
+    chaos.add_argument("--accounts", type=int, default=8)
+    chaos.add_argument("--seed", type=int, default=11)
     return parser
 
 
@@ -309,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "serve": _cmd_serve,
         "crash-sweep": _cmd_crash_sweep,
+        "chaos-sweep": _cmd_chaos_sweep,
     }
     return handlers[args.command](args)
 

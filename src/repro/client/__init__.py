@@ -9,12 +9,22 @@ Public surface::
     ref = remote.run_in_txn(lambda t: remote.insert(t, "accounts", row))
 
 ``RemoteDatabase`` matches the in-process ``Database`` method signatures,
-pins each transaction to one pooled connection, and transparently retries
-``OVERLOADED`` sheds with exponential backoff.
+pins each transaction to one pooled connection, transparently retries
+``OVERLOADED``/``DEADLINE_EXCEEDED`` sheds with exponential backoff, and
+fails fast behind a per-endpoint :class:`CircuitBreaker` when the server
+stops answering.  A commit whose ack is lost surfaces as
+``CommitUncertainError`` and is resolved — never blindly retried — via
+``RemoteDatabase.resolve_commit``.
 """
 
 from repro.client.connection import ClientConnection
-from repro.client.pool import ConnectionPool, PoolStats, RetryPolicy
+from repro.client.pool import (
+    BreakerState,
+    CircuitBreaker,
+    ConnectionPool,
+    PoolStats,
+    RetryPolicy,
+)
 from repro.client.remote import (
     RemoteClock,
     RemoteDatabase,
@@ -22,6 +32,8 @@ from repro.client.remote import (
 )
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "ClientConnection",
     "ConnectionPool",
     "PoolStats",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import socket
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import AmbiguousResultError, ProtocolError
 from repro.server.protocol import (
     Command,
     decode_response,
@@ -27,15 +27,22 @@ from repro.server.protocol import (
 
 
 class ClientConnection:
-    """A blocking request/response channel to one ``repro`` server."""
+    """A blocking request/response channel to one ``repro`` server.
+
+    ``chaos`` (a :class:`repro.server.chaos.ChaosPlan`) wraps the socket
+    in the fault-injecting adapter; None — the default — keeps the plain
+    socket, so the fault-free path has no wrapper in it at all.
+    """
 
     def __init__(self, host: str, port: int,
                  connect_timeout_sec: float = 5.0,
-                 request_timeout_sec: float = 60.0) -> None:
+                 request_timeout_sec: float = 60.0,
+                 chaos: object | None = None) -> None:
         self.host = host
         self.port = port
         self.connect_timeout_sec = connect_timeout_sec
         self.request_timeout_sec = request_timeout_sec
+        self.chaos = chaos
         self._sock: socket.socket | None = None
         self._next_request_id = 1
 
@@ -48,6 +55,8 @@ class ClientConnection:
                 (self.host, self.port), timeout=self.connect_timeout_sec)
             sock.settimeout(self.request_timeout_sec)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self.chaos is not None:
+                sock = self.chaos.wrap_socket(sock)
             self._sock = sock
         return self
 
@@ -73,11 +82,20 @@ class ClientConnection:
 
     # -- request/response ----------------------------------------------------
 
-    def request(self, command: Command, *args: object) -> object:
+    def request(self, command: Command, *args: object,
+                deadline_ms: int | None = None) -> object:
         """Send one command and return its payload (raises on error status).
 
-        Connection-level failures close the socket and re-raise as
-        :class:`ConnectionError`; protocol-status errors map back to the
+        ``deadline_ms`` is the remaining time budget the server may spend
+        before starting the command (relative, so no clock sync needed).
+
+        Failures *before* the request frame is attempted close the socket
+        and raise plain :class:`ConnectionError` — nothing was sent, a
+        retry is safe.  Failures at any point *after* the send began raise
+        :class:`~repro.common.errors.AmbiguousResultError`: the server may
+        or may not have executed the command (the lost-ack window), so the
+        caller must resolve the fate (``TXN_STATUS``) before retrying
+        anything non-idempotent.  Protocol-status errors map back to the
         library's exception hierarchy via
         :func:`repro.server.protocol.raise_for_status`.
         """
@@ -86,12 +104,20 @@ class ClientConnection:
         assert self._sock is not None
         request_id = self._next_request_id
         self._next_request_id += 1
+        frame = encode_request(request_id, command, args,
+                               deadline_ms=deadline_ms)
+        attempted = False
         try:
-            self._sock.sendall(encode_request(request_id, command, args))
+            attempted = True
+            self._sock.sendall(frame)
             header = self._recv_exact(4)
             body = self._recv_exact(frame_length(header))
         except (OSError, ConnectionError) as exc:
             self.close()
+            if attempted:
+                raise AmbiguousResultError(
+                    f"{command.name} to {self.host}:{self.port} died after "
+                    f"the request may have been sent: {exc}") from exc
             raise ConnectionError(
                 f"{command.name} to {self.host}:{self.port} failed: {exc}"
             ) from exc

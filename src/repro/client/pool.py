@@ -1,4 +1,4 @@
-"""Connection pooling and retry policy for the synchronous client.
+"""Connection pooling, retry policy and circuit breaking for the client.
 
 The pool keeps up to ``size`` idle connections warm and hands them out one
 per caller; when the free list is empty it *creates* an overflow connection
@@ -8,12 +8,22 @@ blocking pool would deadlock it.  Overflow connections are closed on
 release once the free list is full again.
 
 Retry semantics honour the server's backpressure contract: ``OVERLOADED``
-responses are shed *before* execution, so they are always safe to retry
-with exponential backoff.  Connect-time failures retry the same way (the
-server may still be booting).  A connection that dies *mid-request* is NOT
-retried by default — the server may or may not have executed the command —
-that error propagates to the caller, whose transaction is orphaned and
-will be aborted server-side.
+and ``DEADLINE_EXCEEDED`` responses are shed *before* execution, so they
+are always safe to retry with exponential backoff — even ``COMMIT``.
+Connect-time failures retry the same way (the server may still be
+booting).  A connection that dies *mid-request* is NOT retried unless the
+command is session-free and read-only (``_IDEMPOTENT``) — the server may
+or may not have executed it — so it surfaces as
+:class:`~repro.common.errors.AmbiguousResultError` to the caller, whose
+transaction is orphaned and will be aborted server-side (or, for a commit
+in the lost-ack window, resolved via ``TXN_STATUS``).
+
+The :class:`CircuitBreaker` sits in front of all of it: after
+``failure_threshold`` consecutive retryable failures the endpoint is
+presumed down and calls fail fast with
+:class:`~repro.common.errors.CircuitOpenError` instead of burning a full
+backoff schedule each; after ``reset_timeout_sec`` a single probe is let
+through, and its outcome closes or re-opens the circuit.
 """
 
 from __future__ import annotations
@@ -22,11 +32,27 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Callable
 
-from repro.common.errors import OverloadedError
+from repro.common.errors import (
+    AmbiguousResultError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+)
 from repro.client.connection import ClientConnection
 from repro.server.protocol import Command
+
+# Session-free, read-only commands: re-executing one on a *fresh*
+# connection after an ambiguous failure cannot double-apply anything,
+# so ``call()`` retries them transparently.  Everything txn-scoped
+# stays ambiguous — the session that owned the txid died with the
+# connection, and only the caller knows what to do about it.
+_IDEMPOTENT = frozenset({
+    Command.PING, Command.TXN_STATUS, Command.STATS,
+    Command.SNAPSHOT, Command.CLOCK_NOW,
+})
 
 
 @dataclass(frozen=True)
@@ -64,25 +90,139 @@ class RetryPolicy:
         return self.rng() * bound
 
 
+class BreakerState(Enum):
+    """Where a :class:`CircuitBreaker` currently stands."""
+
+    CLOSED = "closed"        # healthy: calls flow
+    OPEN = "open"            # presumed down: calls fail fast
+    HALF_OPEN = "half_open"  # cooling off: one probe in flight
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one endpoint.
+
+    CLOSED → OPEN after ``failure_threshold`` consecutive failures;
+    OPEN → HALF_OPEN once ``reset_timeout_sec`` has passed, admitting
+    exactly one probe; the probe's success closes the circuit, its
+    failure re-opens it (and restarts the cooldown).  Thread-safe —
+    several pool users may hit the same breaker.  ``clock`` is injectable
+    (``time.monotonic``-shaped) so tests need not sleep through
+    cooldowns.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_sec: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_sec < 0:
+            raise ValueError("reset_timeout_sec must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_sec = reset_timeout_sec
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        #: times the breaker tripped CLOSED/HALF_OPEN → OPEN
+        self.opened_total = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (OPEN reports HALF_OPEN once cooled down)."""
+        with self._lock:
+            if (self._state is BreakerState.OPEN
+                    and self._cooled_down()):
+                return BreakerState.HALF_OPEN
+            return self._state
+
+    def _cooled_down(self) -> bool:
+        return self._clock() - self._opened_at >= self.reset_timeout_sec
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Claims the half-open probe.)"""
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if not self._cooled_down():
+                    return False
+                self._state = BreakerState.HALF_OPEN
+                self._probe_out = True
+                return True
+            # HALF_OPEN: only one probe at a time
+            if self._probe_out:
+                return False
+            self._probe_out = True
+            return True
+
+    def record_success(self) -> None:
+        """A call completed: close the circuit, reset the count."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._probe_out = False
+
+    def record_failure(self) -> None:
+        """A call failed retryably: maybe trip the circuit open."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_out = False
+            tripped = (self._state is BreakerState.HALF_OPEN
+                       or self._consecutive_failures
+                       >= self.failure_threshold)
+            if tripped:
+                if self._state is not BreakerState.OPEN:
+                    self.opened_total += 1
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+
+    def as_dict(self) -> dict[str, object]:
+        """Wire/telemetry-friendly view."""
+        return {"state": self.state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "opened_total": self.opened_total}
+
+
 @dataclass
 class PoolStats:
-    """Pool effectiveness and retry counters."""
+    """Pool effectiveness, retry and resilience counters."""
 
     created: int = 0
     reused: int = 0
     overflow_closed: int = 0
     overload_retries: int = 0
+    #: server-side DEADLINE_EXCEEDED sheds that were retried
+    deadline_retries: int = 0
     connect_retries: int = 0
     broken: int = 0
+    #: calls refused locally because the circuit breaker was open
+    circuit_rejections: int = 0
+    #: commits whose ack was lost (resolved out-of-band via TXN_STATUS)
+    uncertain_commits: int = 0
+    #: idempotent commands re-run on a fresh connection after an
+    #: ambiguous failure (see ``_IDEMPOTENT``)
+    ambiguous_retries: int = 0
 
 
 class ConnectionPool:
-    """Thread-safe pool of :class:`ClientConnection` with retry-on-shed."""
+    """Thread-safe pool of :class:`ClientConnection` with retry-on-shed.
+
+    ``deadline_ms`` is the pool's default per-call time budget (None —
+    the default — sends no deadline); per-call values override it.  The
+    budget spans the *whole* retry schedule of one logical call: each
+    resend tells the server only the time remaining, and once the budget
+    is spent the call fails client-side without another round trip.
+    """
 
     def __init__(self, host: str, port: int, size: int = 4,
                  retry: RetryPolicy | None = None,
                  connect_timeout_sec: float = 5.0,
-                 request_timeout_sec: float = 60.0) -> None:
+                 request_timeout_sec: float = 60.0,
+                 breaker: CircuitBreaker | None = None,
+                 deadline_ms: int | None = None,
+                 chaos: object | None = None) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.host = host
@@ -91,6 +231,9 @@ class ConnectionPool:
         self.retry = retry or RetryPolicy()
         self.connect_timeout_sec = connect_timeout_sec
         self.request_timeout_sec = request_timeout_sec
+        self.breaker = breaker or CircuitBreaker()
+        self.deadline_ms = deadline_ms
+        self.chaos = chaos
         self.stats = PoolStats()
         self._lock = threading.Lock()
         self._free: list[ClientConnection] = []
@@ -102,7 +245,9 @@ class ConnectionPool:
         """Lease a connection (reuses an idle one, else dials a new one).
 
         Connect failures back off and retry per the policy, so a client
-        racing a still-booting server converges instead of failing.
+        racing a still-booting server converges instead of failing —
+        unless the circuit breaker is open, in which case the lease
+        fails fast without touching the network.
         """
         with self._lock:
             if self._closed:
@@ -112,16 +257,25 @@ class ConnectionPool:
                 return self._free.pop()
         last_error: Exception | None = None
         for attempt in range(self.retry.max_attempts):
+            if not self.breaker.allow():
+                with self._lock:
+                    self.stats.circuit_rejections += 1
+                raise CircuitOpenError(
+                    f"circuit open for {self.host}:{self.port} "
+                    f"({self.breaker.as_dict()})", breaker=self.breaker)
             try:
                 conn = ClientConnection(
                     self.host, self.port,
                     connect_timeout_sec=self.connect_timeout_sec,
-                    request_timeout_sec=self.request_timeout_sec).connect()
+                    request_timeout_sec=self.request_timeout_sec,
+                    chaos=self.chaos).connect()
                 with self._lock:
                     self.stats.created += 1
+                self.breaker.record_success()
                 return conn
             except (OSError, ConnectionError) as exc:
                 last_error = exc
+                self.breaker.record_failure()
                 with self._lock:
                     self.stats.connect_retries += 1
                 time.sleep(self.retry.delay(attempt))
@@ -145,31 +299,78 @@ class ConnectionPool:
     # -- calling -------------------------------------------------------------
 
     def request(self, conn: ClientConnection, command: Command,
-                *args: object) -> object:
+                *args: object, deadline_ms: int | None = None) -> object:
         """One command on a *leased* connection, retrying only sheds.
 
-        ``OVERLOADED`` means the server rejected the command before
-        executing it, so resending after backoff is always safe — even for
-        non-idempotent commands inside a transaction.
+        ``OVERLOADED`` and ``DEADLINE_EXCEEDED`` both mean the server
+        rejected the command *before* executing it, so resending after
+        backoff is always safe — even for non-idempotent commands inside
+        a transaction.  An :class:`AmbiguousResultError` (the connection
+        died after the send began) is never retried here: the command may
+        have executed, and only the caller knows whether it is idempotent.
         """
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
+        expires = (None if deadline_ms is None
+                   else time.monotonic() + deadline_ms / 1000.0)
         for attempt in range(self.retry.max_attempts):
+            remaining_ms: int | None = None
+            if expires is not None:
+                remaining = expires - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"{command.name}: client-side deadline "
+                        f"({deadline_ms}ms) spent across retries")
+                remaining_ms = max(1, int(remaining * 1000))
             try:
-                return conn.request(command, *args)
-            except OverloadedError:
+                result = conn.request(command, *args,
+                                      deadline_ms=remaining_ms)
+                self.breaker.record_success()
+                return result
+            except (OverloadedError, DeadlineExceededError) as exc:
+                self.breaker.record_failure()
                 with self._lock:
-                    self.stats.overload_retries += 1
+                    if isinstance(exc, OverloadedError):
+                        self.stats.overload_retries += 1
+                    else:
+                        self.stats.deadline_retries += 1
                 if attempt == self.retry.max_attempts - 1:
                     raise
-                time.sleep(self.retry.delay(attempt))
+                delay = self.retry.delay(attempt)
+                if expires is not None:
+                    delay = min(delay, max(0.0,
+                                           expires - time.monotonic()))
+                time.sleep(delay)
+            except ConnectionError:
+                self.breaker.record_failure()
+                raise
         raise AssertionError("unreachable")
 
-    def call(self, command: Command, *args: object) -> object:
-        """Lease, run one command with retry, release."""
-        conn = self.acquire()
-        try:
-            return self.request(conn, command, *args)
-        finally:
-            self.release(conn)
+    def call(self, command: Command, *args: object,
+             deadline_ms: int | None = None) -> object:
+        """Lease, run one command with retry, release.
+
+        An :class:`AmbiguousResultError` (e.g. a pooled connection the
+        server closed while draining) is retried on a *fresh* connection
+        — but only for the session-free read-only commands in
+        ``_IDEMPOTENT``; this is what lets ``resolve_commit`` poll
+        ``TXN_STATUS`` right through the connection that just died.
+        """
+        for attempt in range(self.retry.max_attempts):
+            conn = self.acquire()
+            try:
+                return self.request(conn, command, *args,
+                                    deadline_ms=deadline_ms)
+            except AmbiguousResultError:
+                if (command not in _IDEMPOTENT
+                        or attempt == self.retry.max_attempts - 1):
+                    raise
+                with self._lock:
+                    self.stats.ambiguous_retries += 1
+                time.sleep(self.retry.delay(attempt))
+            finally:
+                self.release(conn)
+        raise AssertionError("unreachable")
 
     # -- lifecycle -----------------------------------------------------------
 

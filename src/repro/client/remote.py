@@ -21,8 +21,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterator
 
+from repro.common.errors import (
+    AmbiguousResultError,
+    CircuitOpenError,
+    CommitUncertainError,
+)
 from repro.client.connection import ClientConnection
-from repro.client.pool import ConnectionPool, RetryPolicy
+from repro.client.pool import CircuitBreaker, ConnectionPool, RetryPolicy
 from repro.db.catalog import IndexDef
 from repro.db.schema import Schema
 from repro.server.protocol import Command
@@ -90,9 +95,14 @@ class RemoteDatabase:
 
     def __init__(self, host: str, port: int, pool_size: int = 4,
                  retry: RetryPolicy | None = None,
-                 request_timeout_sec: float = 60.0) -> None:
+                 request_timeout_sec: float = 60.0,
+                 breaker: CircuitBreaker | None = None,
+                 deadline_ms: int | None = None,
+                 chaos: object | None = None) -> None:
         self.pool = ConnectionPool(host, port, size=pool_size, retry=retry,
-                                   request_timeout_sec=request_timeout_sec)
+                                   request_timeout_sec=request_timeout_sec,
+                                   breaker=breaker, deadline_ms=deadline_ms,
+                                   chaos=chaos)
         self.clock = RemoteClock(self.pool)
 
     @classmethod
@@ -111,7 +121,7 @@ class RemoteDatabase:
             try:
                 self.ping()
                 return
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, CircuitOpenError):
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.05)
@@ -129,10 +139,23 @@ class RemoteDatabase:
         return RemoteTransaction(txid, serializable, conn)
 
     def commit(self, txn: RemoteTransaction) -> None:
-        """Commit; the pinned connection returns to the pool."""
+        """Commit; the pinned connection returns to the pool.
+
+        If the connection dies after the commit request may have been
+        sent, the outcome is genuinely unknown — the server may have
+        committed and the ack was lost.  That is surfaced as
+        :class:`~repro.common.errors.CommitUncertainError` (never blindly
+        retried: a resend could double-apply); resolve the fate with
+        :meth:`resolve_commit` on a fresh connection.
+        """
         try:
             self.pool.request(txn._conn, Command.COMMIT, txn.txid)
             txn.phase = TxnPhase.COMMITTED
+        except AmbiguousResultError as exc:
+            self.pool.stats.uncertain_commits += 1
+            raise CommitUncertainError(
+                f"commit of txn {txn.txid} is uncertain (ack lost): {exc}",
+                txid=txn.txid) from exc
         except BaseException:
             # server-side commit failure (e.g. SSI abort) rolled it back
             txn.phase = TxnPhase.ABORTED
@@ -141,12 +164,48 @@ class RemoteDatabase:
             self._unpin(txn)
 
     def abort(self, txn: RemoteTransaction) -> None:
-        """Roll back; the pinned connection returns to the pool."""
+        """Roll back; the pinned connection returns to the pool.
+
+        A transaction whose pinned connection is already gone (or dead)
+        is settled locally: the server aborts the orphan itself on
+        disconnect, and resending ``ABORT`` over a fresh connection would
+        only hit a session that no longer owns the transaction.
+        """
+        if txn._conn is None or not txn._conn.connected:
+            txn.phase = TxnPhase.ABORTED
+            self._unpin(txn)
+            return
         try:
             self.pool.request(txn._conn, Command.ABORT, txn.txid)
         finally:
             txn.phase = TxnPhase.ABORTED
             self._unpin(txn)
+
+    def txn_status(self, txid: int) -> str:
+        """The server-side fate of ``txid``.
+
+        One of ``"committed"``, ``"aborted"``, ``"active"`` (still open
+        somewhere) or ``"unknown"`` (never allocated).  Runs on a fresh
+        pooled connection, so it works precisely when the transaction's
+        own connection is dead.
+        """
+        return self.pool.call(Command.TXN_STATUS, txid)
+
+    def resolve_commit(self, txid: int, timeout_sec: float = 5.0,
+                       poll_interval_sec: float = 0.02) -> str:
+        """Resolve an uncertain commit to its final fate.
+
+        ``"active"`` is transient after a dead connection — the server
+        aborts the orphan when it notices the disconnect — so this polls
+        until the fate is final or ``timeout_sec`` elapses (returning the
+        last observed status in that case).
+        """
+        deadline = time.monotonic() + timeout_sec
+        while True:
+            status = self.txn_status(txid)
+            if status != "active" or time.monotonic() >= deadline:
+                return status
+            time.sleep(poll_interval_sec)
 
     def _unpin(self, txn: RemoteTransaction) -> None:
         conn, txn._conn = txn._conn, None  # type: ignore[assignment]

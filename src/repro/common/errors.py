@@ -176,3 +176,49 @@ class SessionError(ServiceError):
 
 class RemoteError(ServiceError):
     """An unexpected server-side failure relayed to the client."""
+
+
+class DeadlineExceededError(ServiceError):
+    """The command's deadline passed before the server executed it.
+
+    Retryable by contract: the server rejects expired work *before* it
+    touches the engine (on arrival, or while still queued for a worker),
+    so resending with a fresh budget can never double-execute.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open for this endpoint.
+
+    Raised without any network I/O: the endpoint failed enough consecutive
+    times that the breaker fast-fails calls until a half-open probe
+    succeeds.  Carries the breaker so callers can inspect state.
+    """
+
+    def __init__(self, message: str, breaker: object | None = None) -> None:
+        super().__init__(message)
+        self.breaker = breaker
+
+
+class AmbiguousResultError(ServiceError, ConnectionError):
+    """The connection died after the request was (possibly) sent.
+
+    The server may or may not have executed the command — the classic
+    lost-ack window.  Subclasses :class:`ConnectionError` so existing
+    disconnect handling still applies, but stays distinguishable: a
+    command that provably never left the client raises a plain
+    :class:`ConnectionError` instead and is safe to resend.
+    """
+
+
+class CommitUncertainError(ServiceError):
+    """A ``COMMIT``'s ack was lost: the transaction's fate is unknown.
+
+    Never blindly retried — a resent commit could double-apply.  Carries
+    the txid so the caller can resolve the fate with ``TXN_STATUS``
+    (:meth:`repro.client.remote.RemoteDatabase.txn_status`).
+    """
+
+    def __init__(self, message: str, txid: int) -> None:
+        super().__init__(message)
+        self.txid = txid

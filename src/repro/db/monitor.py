@@ -73,6 +73,15 @@ class SystemSnapshot:
     commands: tuple[CommandStat, ...] = ()
     lock_waits: int = 0
     lock_wait_timeouts: int = 0
+    #: service-layer resilience counters (zero for in-process databases):
+    #: deadline sheds, drain casualties, and — when a client is passed to
+    #: :func:`snapshot` — its breaker state and uncertain commits
+    deadline_rejections: int = 0
+    deadline_shed: int = 0
+    drain_aborts: int = 0
+    drain_refused: int = 0
+    breaker_state: str = ""
+    uncertain_commits: int = 0
 
     def render(self) -> str:
         """Pretty-print the snapshot."""
@@ -98,6 +107,13 @@ class SystemSnapshot:
                 ["lock conflicts / waits / wait timeouts",
                  f"{self.lock_conflicts} / {self.lock_waits} / "
                  f"{self.lock_wait_timeouts}"],
+                ["deadline rejected / shed (service)",
+                 f"{self.deadline_rejections} / {self.deadline_shed}"],
+                ["drain aborts / refused (service)",
+                 f"{self.drain_aborts} / {self.drain_refused}"],
+                ["client breaker / uncertain commits",
+                 f"{self.breaker_state or 'n/a'} / "
+                 f"{self.uncertain_commits}"],
             ])
         rows = []
         for table in self.tables:
@@ -117,12 +133,17 @@ class SystemSnapshot:
         return out
 
 
-def snapshot(db: Database, server: object | None = None) -> SystemSnapshot:
+def snapshot(db: Database, server: object | None = None,
+             client: object | None = None) -> SystemSnapshot:
     """Collect a :class:`SystemSnapshot` from a live database.
 
     ``server`` (anything with a ``command_stats()`` returning a tuple of
     :class:`CommandStat`, e.g. :class:`repro.server.DatabaseServer`) adds
-    the service layer's per-command counters to the snapshot.
+    the service layer's per-command counters and resilience counters to
+    the snapshot.  ``client`` (anything with a ``pool`` carrying a
+    ``breaker`` and ``stats``, e.g. :class:`repro.client.RemoteDatabase`)
+    adds the client-side view: circuit-breaker state and commits whose
+    acknowledgement was lost.
     """
     device = db.data_device
     erases = 0
@@ -185,4 +206,22 @@ def snapshot(db: Database, server: object | None = None) -> SystemSnapshot:
         tables=tuple(tables),
         commands=(server.command_stats()  # type: ignore[attr-defined]
                   if server is not None else ()),
+        deadline_rejections=(
+            server.dispatch.stats.deadline_rejected  # type: ignore[attr-defined]
+            if server is not None else 0),
+        deadline_shed=(
+            server.dispatch.stats.deadline_shed  # type: ignore[attr-defined]
+            if server is not None else 0),
+        drain_aborts=(
+            server.sessions.stats.drain_aborts  # type: ignore[attr-defined]
+            if server is not None else 0),
+        drain_refused=(
+            server.sessions.stats.drain_refused  # type: ignore[attr-defined]
+            if server is not None else 0),
+        breaker_state=(
+            client.pool.breaker.state.value  # type: ignore[attr-defined]
+            if client is not None else ""),
+        uncertain_commits=(
+            client.pool.stats.uncertain_commits  # type: ignore[attr-defined]
+            if client is not None else 0),
     )

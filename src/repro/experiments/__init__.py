@@ -24,6 +24,7 @@ from repro.experiments import (
     ablation_scan,
     ablation_threshold,
     blocktrace,
+    chaos_sweep,
     crash_sweep,
     endurance,
     report,
@@ -54,6 +55,7 @@ __all__ = [
     "ablation_scan",
     "ablation_threshold",
     "blocktrace",
+    "chaos_sweep",
     "crash_sweep",
     "build_database",
     "endurance",

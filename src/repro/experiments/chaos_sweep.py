@@ -1,0 +1,383 @@
+"""Chaos sweep: break the connection at every k-th network frame, settle.
+
+The service layer's adversary, the wire twin of
+:mod:`repro.experiments.crash_sweep`: one seeded run of a bank-transfer
+workload is executed once in *count mode* to learn how many request
+frames it sends; the sweep then re-executes the identical run once per
+fault point, arming a :class:`~repro.server.chaos.NetCrashPoint` that
+breaks the client's connection exactly at the k-th frame.  Fault kinds
+cycle through the disruptive set — torn frame, reset before send, reset
+after send (the lost-ack window) — so every frame position is eventually
+hit by each failure shape as ``k`` advances.
+
+Unlike the crash sweep, the *engine* never dies here: only connections
+do.  The oracle is therefore the **full value oracle for both engines**:
+
+* exactly the transfers whose commit was *confirmed* — an acked
+  ``COMMIT``, or an ambiguous one that ``TXN_STATUS`` later resolved to
+  ``committed`` — are visible;
+* the balance total is conserved;
+* every orphaned transaction was settled exactly once — sessions drain
+  to zero, the lock table drains to zero, no transaction stays active;
+* the server still serves a fresh client (liveness).
+
+An ambiguous ``COMMIT`` (the connection died after the request may have
+been sent) is never blindly retried: the workload resolves its fate via
+``TXN_STATUS`` on a fresh connection and folds the transfer into the
+oracle mirror only if the server says ``committed``.
+
+Run it from the command line::
+
+    python -m repro.experiments.chaos_sweep --engine both --stride 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+from repro.client.pool import CircuitBreaker, RetryPolicy
+from repro.client.remote import RemoteDatabase, RemoteTransaction
+from repro.common.errors import (
+    CommitUncertainError,
+    DeadlineExceededError,
+    RemoteError,
+    ServiceError,
+)
+from repro.common.rng import make_rng
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
+from repro.db.schema import ColType, Schema
+from repro.server.chaos import (
+    DISRUPTIVE_KINDS,
+    ChaosPlan,
+    NetCrashPoint,
+    NetFaultKind,
+)
+from repro.server.server import DatabaseServer, ServerConfig
+from repro.txn.manager import TxnPhase
+
+ACCOUNTS = Schema.of(("id", ColType.INT), ("owner", ColType.STR),
+                     ("balance", ColType.FLOAT))
+
+
+@dataclass
+class ChaosSweepConfig:
+    """One chaos sweep's parameters (fully determined by the seed)."""
+
+    kind: EngineKind = EngineKind.SIASV
+    accounts: int = 8
+    transfers: int = 30
+    stride: int = 1            # fault every stride-th frame
+    seed: int = 11
+    initial_balance: float = 100.0
+    #: per-call deadline the chaos client sends (generous: the sweep
+    #: tests connection faults, not deadline pressure)
+    deadline_ms: int = 10_000
+    settle_timeout_sec: float = 5.0
+
+
+@dataclass
+class ChaosOutcome:
+    """What happened at one fault point."""
+
+    at_frame: int
+    kind: NetFaultKind
+    tripped: bool              # False once k exceeds the run's frames
+    confirmed: int             # transfers folded into the oracle
+    failed: int                # transfers lost to the fault
+    uncertain: int             # commits resolved via TXN_STATUS
+    uncertain_committed: int   # ... of which the server had committed
+
+
+@dataclass
+class ChaosSweepReport:
+    """Aggregate over every fault point tested."""
+
+    kind: EngineKind
+    total_frames: int
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def points_tripped(self) -> int:
+        return sum(1 for o in self.outcomes if o.tripped)
+
+    @property
+    def uncertain_total(self) -> int:
+        return sum(o.uncertain for o in self.outcomes)
+
+
+class ChaosInvariantError(AssertionError):
+    """A settlement invariant failed at a specific fault point."""
+
+
+@dataclass
+class _WorkloadState:
+    """Oracle state the workload maintains as commits are confirmed."""
+
+    mirror: dict[int, float] = field(default_factory=dict)
+    confirmed: int = 0
+    failed: int = 0
+    uncertain: int = 0
+    uncertain_committed: int = 0
+
+
+def _start_server(cfg: ChaosSweepConfig) -> DatabaseServer:
+    db = Database.on_flash(cfg.kind)
+    db.create_table("accounts", ACCOUNTS, indexes=[
+        IndexDef("pk", ("id",), unique=True),
+        IndexDef("by_owner", ("owner",)),
+    ])
+    server = DatabaseServer(db, ServerConfig(
+        port=0, idle_timeout_sec=30.0, drain_timeout_sec=2.0))
+    server.start_in_background()
+    return server
+
+
+def _chaos_client(server: DatabaseServer,
+                  cfg: ChaosSweepConfig,
+                  plan: ChaosPlan) -> RemoteDatabase:
+    host, port = server.address  # type: ignore[misc]
+    # Deterministic backoff (no wall-clock jitter), generous breaker: one
+    # injected fault must never trip the sweep into fail-fast mode.
+    retry = RetryPolicy(base_delay_sec=0.001, max_delay_sec=0.01,
+                        jitter=False)
+    breaker = CircuitBreaker(failure_threshold=10, reset_timeout_sec=0.05)
+    return RemoteDatabase(host, port, pool_size=2, retry=retry,
+                          breaker=breaker, deadline_ms=cfg.deadline_ms,
+                          chaos=plan)
+
+
+def _setup_accounts(server: DatabaseServer, cfg: ChaosSweepConfig,
+                    state: _WorkloadState) -> None:
+    """Seed balances through a clean client (setup is not under test)."""
+    host, port = server.address  # type: ignore[misc]
+    with RemoteDatabase(host, port, pool_size=1) as clean:
+        txn = clean.begin()
+        clean.bulk_insert(txn, "accounts", [
+            (i, f"acct-{i}", cfg.initial_balance)
+            for i in range(cfg.accounts)])
+        clean.commit(txn)
+    for i in range(cfg.accounts):
+        state.mirror[i] = cfg.initial_balance
+
+
+def _run_workload(remote: RemoteDatabase, cfg: ChaosSweepConfig,
+                  state: _WorkloadState) -> None:
+    """Seeded transfers through the chaos client; mirror on confirmation.
+
+    A transfer is folded into the oracle only when its commit is
+    *confirmed*: the commit call returned, or its uncertain fate resolved
+    to ``committed`` via ``TXN_STATUS``.  Connection deaths anywhere else
+    abandon the transaction — the server aborts the orphan on disconnect.
+    """
+    rng = make_rng(cfg.seed, "chaos-sweep", "workload")
+    for _ in range(cfg.transfers):
+        src = rng.randrange(cfg.accounts)
+        dst = (src + 1 + rng.randrange(cfg.accounts - 1)) % cfg.accounts
+        amount = float(rng.randrange(1, 10))
+        txn: RemoteTransaction | None = None
+        try:
+            txn = remote.begin()
+            (src_ref, src_row), = remote.lookup(txn, "accounts", "pk", src)
+            (dst_ref, dst_row), = remote.lookup(txn, "accounts", "pk", dst)
+            remote.update(txn, "accounts", src_ref,
+                          (src, src_row[1], src_row[2] - amount))
+            remote.update(txn, "accounts", dst_ref,
+                          (dst, dst_row[1], dst_row[2] + amount))
+            remote.commit(txn)
+        except CommitUncertainError as exc:
+            state.uncertain += 1
+            fate = remote.resolve_commit(exc.txid,
+                                         timeout_sec=cfg.settle_timeout_sec)
+            if fate == "committed":
+                state.uncertain_committed += 1
+                state.mirror[src] -= amount
+                state.mirror[dst] += amount
+                state.confirmed += 1
+            elif fate in ("aborted", "unknown"):
+                state.failed += 1
+            else:
+                raise ChaosInvariantError(
+                    f"uncertain commit of txn {exc.txid} never settled: "
+                    f"fate {fate!r}")
+            continue
+        except (ConnectionError, OSError, DeadlineExceededError,
+                RemoteError, ServiceError):
+            # the fault hit before COMMIT was attempted: the transfer is
+            # simply lost, and the server aborts the orphan on disconnect
+            state.failed += 1
+            if txn is not None and txn.phase is TxnPhase.ACTIVE:
+                with contextlib.suppress(Exception):
+                    remote.abort(txn)
+            continue
+        state.mirror[src] -= amount
+        state.mirror[dst] += amount
+        state.confirmed += 1
+
+
+def _settle(server: DatabaseServer, cfg: ChaosSweepConfig,
+            at_frame: int) -> None:
+    """After the clients are gone, the server must be quiescent."""
+    deadline = time.monotonic() + cfg.settle_timeout_sec
+    while True:
+        commits, aborts, active = server.db.txn_mgr.counters()
+        quiet = (server.sessions.count() == 0 and active == 0
+                 and server.db.txn_mgr.locks.held_count() == 0)
+        if quiet:
+            return
+        if time.monotonic() >= deadline:
+            raise ChaosInvariantError(
+                f"server did not settle after fault at frame {at_frame}: "
+                f"{server.sessions.count()} sessions, {active} active "
+                f"txns, {server.db.txn_mgr.locks.held_count()} locks held")
+        time.sleep(0.01)
+
+
+def _verify(server: DatabaseServer, cfg: ChaosSweepConfig,
+            state: _WorkloadState) -> None:
+    """Full value oracle through a fresh, fault-free client."""
+    host, port = server.address  # type: ignore[misc]
+    with RemoteDatabase(host, port, pool_size=1) as clean:
+        txn = clean.begin()
+        rows = {row[0]: row for _ref, row in clean.scan(txn, "accounts")}
+        if set(rows) != set(state.mirror):
+            raise ChaosInvariantError(
+                f"row ids {sorted(rows)} != confirmed ids "
+                f"{sorted(state.mirror)}")
+        for acct_id, expected in state.mirror.items():
+            got = rows[acct_id][2]
+            if got != expected:
+                raise ChaosInvariantError(
+                    f"account {acct_id}: balance {got} != confirmed "
+                    f"{expected} (a transfer was lost or double-applied)")
+        total = sum(row[2] for row in rows.values())
+        if total != cfg.initial_balance * cfg.accounts:
+            raise ChaosInvariantError(
+                f"money not conserved: {total} != "
+                f"{cfg.initial_balance * cfg.accounts}")
+        for acct_id, row in rows.items():
+            hits = clean.lookup(txn, "accounts", "pk", acct_id)
+            if len(hits) != 1 or hits[0][1] != row:
+                raise ChaosInvariantError(
+                    f"pk index disagrees with scan for id {acct_id}: "
+                    f"{hits!r} vs {row!r}")
+        clean.commit(txn)
+        # liveness: the server still accepts new committed work
+        ids = sorted(rows)
+        a, b = ids[0], ids[1]
+        txn = clean.begin()
+        (a_ref, a_row), = clean.lookup(txn, "accounts", "pk", a)
+        (b_ref, b_row), = clean.lookup(txn, "accounts", "pk", b)
+        clean.update(txn, "accounts", a_ref, (a, a_row[1], a_row[2] - 1.0))
+        clean.update(txn, "accounts", b_ref, (b, b_row[1], b_row[2] + 1.0))
+        clean.commit(txn)
+
+
+def run_one(cfg: ChaosSweepConfig, at_frame: int,
+            kind: NetFaultKind) -> ChaosOutcome:
+    """Run the seeded workload with a network fault armed at ``at_frame``."""
+    point = NetCrashPoint(at_event=at_frame, kind=kind)
+    plan = ChaosPlan(crash_point=point)
+    server = _start_server(cfg)
+    state = _WorkloadState()
+    try:
+        _setup_accounts(server, cfg, state)
+        remote = _chaos_client(server, cfg, plan)
+        try:
+            _run_workload(remote, cfg, state)
+        finally:
+            remote.close()
+        point.disarm()
+        _settle(server, cfg, at_frame)
+        _verify(server, cfg, state)
+        _settle(server, cfg, at_frame)  # the oracle client left cleanly too
+    finally:
+        server.stop_in_background()
+    return ChaosOutcome(
+        at_frame=at_frame,
+        kind=kind,
+        tripped=point.tripped,
+        confirmed=state.confirmed,
+        failed=state.failed,
+        uncertain=state.uncertain,
+        uncertain_committed=state.uncertain_committed,
+    )
+
+
+def count_frames(cfg: ChaosSweepConfig) -> int:
+    """Count mode: how many frames does one fault-free run send?"""
+    point = NetCrashPoint(at_event=0)  # never fires, only counts
+    plan = ChaosPlan(crash_point=point)
+    server = _start_server(cfg)
+    try:
+        state = _WorkloadState()
+        _setup_accounts(server, cfg, state)
+        remote = _chaos_client(server, cfg, plan)
+        try:
+            _run_workload(remote, cfg, state)
+        finally:
+            remote.close()
+        if state.confirmed != cfg.transfers:
+            raise ChaosInvariantError(
+                f"count mode lost transfers without faults: "
+                f"{state.confirmed}/{cfg.transfers}")
+    finally:
+        server.stop_in_background()
+    return point.events_seen
+
+
+def run_sweep(cfg: ChaosSweepConfig) -> ChaosSweepReport:
+    """Fault every ``stride``-th frame of the run; verify each time.
+
+    Raises :class:`ChaosInvariantError` (with the fault point in the
+    message) the moment any settlement invariant fails.
+    """
+    total = count_frames(cfg)
+    report = ChaosSweepReport(kind=cfg.kind, total_frames=total)
+    for k in range(1, total + 1, cfg.stride):
+        kind = DISRUPTIVE_KINDS[k % len(DISRUPTIVE_KINDS)]
+        try:
+            outcome = run_one(cfg, k, kind)
+        except ChaosInvariantError as exc:
+            raise ChaosInvariantError(
+                f"[{cfg.kind.name} {kind.value} at frame {k}] "
+                f"{exc}") from exc
+        report.outcomes.append(outcome)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chaos sweep: network faults against the service layer")
+    parser.add_argument("--engine", choices=["siasv", "si", "both"],
+                        default="both")
+    parser.add_argument("--stride", type=int, default=1,
+                        help="fault at every stride-th network frame")
+    parser.add_argument("--transfers", type=int, default=30)
+    parser.add_argument("--accounts", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+    kinds = {"siasv": [EngineKind.SIASV], "si": [EngineKind.SI],
+             "both": [EngineKind.SIASV, EngineKind.SI]}[args.engine]
+    for kind in kinds:
+        cfg = ChaosSweepConfig(kind=kind, accounts=args.accounts,
+                               transfers=args.transfers, stride=args.stride,
+                               seed=args.seed)
+        report = run_sweep(cfg)
+        print(f"{kind.name:6s}: {report.points_tested} fault points over "
+              f"{report.total_frames} frames "
+              f"({report.points_tripped} tripped, "
+              f"{report.uncertain_total} ambiguous commits resolved) — "
+              f"all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

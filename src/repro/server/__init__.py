@@ -14,15 +14,25 @@ contract) are documented in ``docs/SERVER.md`` and implemented in
 :mod:`repro.server.protocol`.
 """
 
+from repro.server.chaos import (
+    ChaosConfig,
+    ChaosPlan,
+    NetCrashPoint,
+    NetFaultKind,
+)
 from repro.server.dispatch import Dispatcher
 from repro.server.protocol import Command, Status
 from repro.server.server import DatabaseServer, ServerConfig
 from repro.server.session import Session, SessionManager
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosPlan",
     "Command",
     "DatabaseServer",
     "Dispatcher",
+    "NetCrashPoint",
+    "NetFaultKind",
     "ServerConfig",
     "Session",
     "SessionManager",

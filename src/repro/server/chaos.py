@@ -1,0 +1,350 @@
+"""Network fault injection: a deterministic chaos transport wrapper.
+
+The service layer's adversary, mirroring :mod:`repro.storage.faults` for
+the wire: where the storage crash sweep kills the process at the k-th
+*device write*, the chaos layer breaks the *connection* at the k-th
+network frame — torn mid-frame, reset before the bytes leave, reset after
+they arrive (the lost-ack window), or a slow-loris stall.  Everything is
+seeded and counted, so a failing sweep point replays exactly.
+
+Two adapters speak the same :class:`ChaosPlan`:
+
+* :class:`ChaosSocket` wraps the synchronous client socket
+  (:class:`~repro.client.connection.ClientConnection` installs it when a
+  plan is armed);
+* :class:`ChaosStreamWriter` / :meth:`chaos_readexactly` wrap the server's
+  asyncio stream pair (:class:`~repro.server.server.DatabaseServer`
+  installs them when ``ServerConfig.chaos`` is set).
+
+When no plan is armed neither side constructs a wrapper — the fault-free
+fast path is the plain socket / stream code, byte for byte.
+
+:class:`NetCrashPoint` mirrors :class:`repro.storage.faults.CrashPoint`:
+one instance is shared by every wrapped endpoint of a run, counting frame
+transmissions globally, so ``at_event=k`` means the k-th frame the
+*conversation* moves, wherever it happens.  ``at_event=0`` never fires —
+the counting mode the chaos sweep uses to size a workload's network
+footprint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.rng import make_rng
+
+
+class NetFaultKind(Enum):
+    """What happens to one network frame."""
+
+    DELAY = "delay"               # late, but intact
+    SPLIT = "split"               # byte-level fragmentation (reassembly)
+    TORN = "torn"                 # a prefix leaves, then the line dies
+    RESET_BEFORE = "reset_before"  # dies before any byte leaves
+    RESET_AFTER = "reset_after"    # frame arrives, then the line dies
+    STALL = "stall"               # slow-loris: partial header, then silence
+
+
+#: Crash-point kinds the sweep cycles through (DELAY/SPLIT are benign —
+#: they perturb timing and framing but never lose a frame).
+DISRUPTIVE_KINDS = (NetFaultKind.TORN, NetFaultKind.RESET_BEFORE,
+                    NetFaultKind.RESET_AFTER)
+
+
+class NetCrashPoint:
+    """Deterministic network-fault trigger counting frames across endpoints.
+
+    The wire twin of :class:`repro.storage.faults.CrashPoint`: share one
+    instance between every :class:`ChaosPlan` of a run (client and server
+    side) and the k-th frame transmission anywhere fires ``kind``.  Once
+    tripped the point stays inert — the connection it killed is gone, and
+    the interesting question is whether the *rest* of the system settles;
+    later frames (new connections, other sessions) pass untouched.
+    """
+
+    def __init__(self, at_event: int = 0,
+                 kind: NetFaultKind = NetFaultKind.RESET_BEFORE) -> None:
+        if at_event < 0:
+            raise ValueError(f"at_event must be >= 0, got {at_event}")
+        self.at_event = at_event
+        self.kind = kind
+        self.events_seen = 0
+        self.tripped = False
+        self._armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting (and stop counting)."""
+        self._armed = False
+
+    def on_event(self) -> NetFaultKind | None:
+        """Count one frame; returns the fault kind iff this frame is it."""
+        if not self._armed:
+            return None
+        self.events_seen += 1
+        if (not self.tripped and self.at_event
+                and self.events_seen == self.at_event):
+            self.tripped = True
+            return self.kind
+        return None
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded per-frame fault probabilities (all default off).
+
+    Probabilities apply independently per frame, checked in the order
+    ``reset``, ``torn``, ``stall``, ``delay``, ``split`` — at most one
+    fault fires per frame.  ``delay_sec``/``stall_sec`` are real
+    wall-clock sleeps (the service layer runs on wall time, unlike the
+    storage stack's simulated clock).
+    """
+
+    seed: int = 42
+    delay_prob: float = 0.0
+    delay_sec: float = 0.002
+    split_prob: float = 0.0
+    torn_prob: float = 0.0
+    reset_prob: float = 0.0
+    stall_prob: float = 0.0
+    stall_sec: float = 0.25
+
+    def validate(self) -> None:
+        """Raise on out-of-range settings."""
+        for name in ("delay_prob", "split_prob", "torn_prob",
+                     "reset_prob", "stall_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"fault probability {name} must be in [0, 1], got {p}")
+        if self.delay_sec < 0 or self.stall_sec < 0:
+            raise ValueError("delay_sec / stall_sec must be >= 0")
+
+
+class ChaosPlan:
+    """One run's fault decisions, shared by every wrapped endpoint.
+
+    Per-frame the plan asks the crash point first (deterministic
+    sweeps), then the seeded probability table (randomised soak runs).
+    Thread-safety note: the counters are bumped under the GIL from
+    whatever thread moves the frame; they are telemetry, not control
+    flow.
+    """
+
+    def __init__(self, config: ChaosConfig | None = None,
+                 crash_point: NetCrashPoint | None = None) -> None:
+        self.config = config or ChaosConfig()
+        self.config.validate()
+        self.crash_point = crash_point
+        self._rng = make_rng(self.config.seed, "chaos", "plan")
+        self.injected: dict[str, int] = {k.value: 0 for k in NetFaultKind}
+
+    @property
+    def events_seen(self) -> int:
+        """Frames counted by the crash point (0 without one)."""
+        return self.crash_point.events_seen if self.crash_point else 0
+
+    def on_frame(self) -> NetFaultKind | None:
+        """Decide one frame's fate; counts it against the crash point."""
+        kind: NetFaultKind | None = None
+        if self.crash_point is not None:
+            kind = self.crash_point.on_event()
+        if kind is None:
+            kind = self._roll()
+        if kind is not None:
+            self.injected[kind.value] += 1
+        return kind
+
+    def _roll(self) -> NetFaultKind | None:
+        cfg = self.config
+        if not (cfg.reset_prob or cfg.torn_prob or cfg.stall_prob
+                or cfg.delay_prob or cfg.split_prob):
+            return None
+        draw = self._rng.random()
+        for prob, kind in ((cfg.reset_prob, NetFaultKind.RESET_BEFORE),
+                           (cfg.torn_prob, NetFaultKind.TORN),
+                           (cfg.stall_prob, NetFaultKind.STALL),
+                           (cfg.delay_prob, NetFaultKind.DELAY),
+                           (cfg.split_prob, NetFaultKind.SPLIT)):
+            if draw < prob:
+                return kind
+            draw -= prob
+        return None
+
+    def split_points(self, n: int) -> list[int]:
+        """Deterministic byte-level cut positions for a SPLIT of size n."""
+        if n <= 1:
+            return []
+        cuts = sorted({self._rng.randrange(1, n)
+                       for _ in range(min(3, n - 1))})
+        return cuts
+
+    def torn_cut(self, n: int) -> int:
+        """Where a TORN frame is severed (at least one byte short)."""
+        if n <= 1:
+            return 0
+        return self._rng.randrange(1, n)
+
+    def wrap_socket(self, sock) -> "ChaosSocket":
+        """The synchronous-client adapter."""
+        return ChaosSocket(sock, self)
+
+    def wrap_stream_writer(self, writer) -> "ChaosStreamWriter":
+        """The asyncio-server adapter (faults *response* frames)."""
+        return ChaosStreamWriter(writer, self)
+
+
+class ChaosSocket:
+    """Synchronous socket wrapper: the client half of the chaos layer.
+
+    Presents exactly the surface :class:`ClientConnection` touches
+    (``sendall``/``recv``/``close`` plus passthrough).  Each ``sendall``
+    is one frame event; read-side failures are modelled by
+    ``RESET_AFTER`` — the frame departs intact, then the socket dies, so
+    the *response* is what the caller loses (the ambiguous-ack window).
+    """
+
+    def __init__(self, sock, plan: ChaosPlan) -> None:
+        self._sock = sock
+        self._plan = plan
+
+    def sendall(self, data: bytes) -> None:
+        """Send one frame through the fault plan."""
+        kind = self._plan.on_frame()
+        if kind is None:
+            self._sock.sendall(data)
+            return
+        if kind is NetFaultKind.DELAY:
+            time.sleep(self._plan.config.delay_sec)
+            self._sock.sendall(data)
+            return
+        if kind is NetFaultKind.SPLIT:
+            prev = 0
+            for cut in self._plan.split_points(len(data)) + [len(data)]:
+                self._sock.sendall(data[prev:cut])
+                prev = cut
+            return
+        if kind is NetFaultKind.TORN:
+            cut = self._plan.torn_cut(len(data))
+            if cut:
+                self._sock.sendall(data[:cut])
+            self.close()
+            raise ConnectionResetError(
+                f"chaos: frame torn after {cut}/{len(data)} bytes")
+        if kind is NetFaultKind.RESET_BEFORE:
+            self.close()
+            raise ConnectionResetError("chaos: connection reset before send")
+        if kind is NetFaultKind.RESET_AFTER:
+            self._sock.sendall(data)
+            self.close()
+            # no raise: the frame arrived — the caller discovers the dead
+            # line only when it reads for the response (ambiguous ack)
+            return
+        if kind is NetFaultKind.STALL:
+            # slow-loris: a sliver of the frame, then silence, then death
+            self._sock.sendall(data[:min(2, len(data))])
+            time.sleep(self._plan.config.stall_sec)
+            self.close()
+            raise ConnectionResetError(
+                f"chaos: stalled {self._plan.config.stall_sec}s mid-frame")
+        raise AssertionError(f"unhandled fault kind {kind}")
+
+    def recv(self, n: int) -> bytes:
+        """Receive (reads fail via the socket the send-side fault killed)."""
+        return self._sock.recv(n)
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __getattr__(self, name: str):
+        return getattr(self._sock, name)
+
+
+class ChaosStreamWriter:
+    """Asyncio writer wrapper: the server half of the chaos layer.
+
+    Drop-in for the ``StreamWriter`` surface the server uses (``write``
+    buffers, ``drain`` moves one frame through the fault plan).  A fault
+    on a response frame aborts the transport, so the client observes a
+    dead connection exactly as it would from a crashed server.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter,
+                 plan: ChaosPlan) -> None:
+        self._writer = writer
+        self._plan = plan
+        self._pending: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        """Buffer one frame until :meth:`drain` decides its fate."""
+        self._pending.append(data)
+
+    async def drain(self) -> None:
+        """Flush the buffered frame through the fault plan."""
+        data = b"".join(self._pending)
+        self._pending.clear()
+        if not data:
+            await self._writer.drain()
+            return
+        kind = self._plan.on_frame()
+        if kind is NetFaultKind.DELAY:
+            await asyncio.sleep(self._plan.config.delay_sec)
+            kind = None
+        if kind is NetFaultKind.SPLIT:
+            prev = 0
+            for cut in self._plan.split_points(len(data)) + [len(data)]:
+                self._writer.write(data[prev:cut])
+                await self._writer.drain()
+                prev = cut
+            return
+        if kind is None or kind is NetFaultKind.RESET_AFTER:
+            self._writer.write(data)
+            await self._writer.drain()
+            if kind is NetFaultKind.RESET_AFTER:
+                self._abort()
+                raise ConnectionResetError(
+                    "chaos: reset after response frame")
+            return
+        if kind is NetFaultKind.TORN:
+            cut = self._plan.torn_cut(len(data))
+            if cut:
+                self._writer.write(data[:cut])
+                await self._writer.drain()
+            self._abort()
+            raise ConnectionResetError(
+                f"chaos: response torn after {cut}/{len(data)} bytes")
+        if kind is NetFaultKind.STALL:
+            self._writer.write(data[:min(2, len(data))])
+            await self._writer.drain()
+            await asyncio.sleep(self._plan.config.stall_sec)
+            self._abort()
+            raise ConnectionResetError("chaos: response stalled mid-frame")
+        # RESET_BEFORE
+        self._abort()
+        raise ConnectionResetError("chaos: reset before response frame")
+
+    def _abort(self) -> None:
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
+
+    def close(self) -> None:
+        """Close the underlying writer."""
+        self._writer.close()
+
+    async def wait_closed(self) -> None:
+        """Wait for the underlying writer to close."""
+        await self._writer.wait_closed()
+
+    def get_extra_info(self, name: str, default=None):
+        """Passthrough to the underlying transport."""
+        return self._writer.get_extra_info(name, default)
+
+    def __getattr__(self, name: str):
+        return getattr(self._writer, name)

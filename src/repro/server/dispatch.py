@@ -44,7 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
-from repro.common.errors import OverloadedError
+from repro.common.errors import DeadlineExceededError, OverloadedError
 
 T = TypeVar("T")
 
@@ -87,11 +87,19 @@ class CommandCounter:
 
 @dataclass
 class DispatchStats:
-    """Aggregate admission-control counters plus the per-command map."""
+    """Aggregate admission-control counters plus the per-command map.
+
+    ``deadline_rejected`` counts commands whose deadline had already
+    passed when they arrived; ``deadline_shed`` counts commands that
+    expired *while queued* for a worker slot — both rejected before any
+    engine work, so both are retryable from the client's point of view.
+    """
 
     admitted: int = 0
     shed_total: int = 0
     exclusive_runs: int = 0
+    deadline_rejected: int = 0
+    deadline_shed: int = 0
     commands: dict[str, CommandCounter] = field(default_factory=dict)
 
     def of(self, name: str) -> CommandCounter:
@@ -155,18 +163,27 @@ class Dispatcher:
     # -- dispatch ------------------------------------------------------------
 
     async def run(self, name: str, fn: Callable[[], T], *,
-                  exempt: bool = False, exclusive: bool = False) -> T:
+                  exempt: bool = False, exclusive: bool = False,
+                  deadline: float | None = None) -> T:
         """Run ``fn`` on the engine executor, or shed with ``OVERLOADED``.
 
         ``exempt`` skips the admission check (commit/abort, clock ticks,
         cleanup) but still occupies an in-flight slot.  ``exclusive``
         drains the executor and runs ``fn`` with no other command in
         flight — for work (GC, DDL) that restructures state lock-free
-        readers traverse unlatched.
+        readers traverse unlatched.  ``deadline`` is an absolute
+        ``time.monotonic`` instant: work that expired on arrival is
+        rejected outright, work that expires while waiting for a slot is
+        shed when the slot frees up — in both cases *before* the engine
+        sees it, so ``DEADLINE_EXCEEDED`` is always retryable.
         """
         if self._closed:
             raise OverloadedError("dispatcher is shut down")
         counter = self.stats.of(name)
+        if deadline is not None and time.monotonic() >= deadline:
+            self.stats.deadline_rejected += 1
+            raise DeadlineExceededError(
+                f"{name}: deadline passed before dispatch")
         if (not exempt and self._sem.locked()
                 and self._waiting >= self.max_queue_depth):
             counter.shed += 1
@@ -181,6 +198,14 @@ class Dispatcher:
             await self._sem.acquire()
         finally:
             self._waiting -= 1
+        if deadline is not None and time.monotonic() >= deadline:
+            # the deadline lapsed while this command sat in the queue:
+            # shed it now rather than burn a worker on dead work
+            self._sem.release()
+            self.stats.deadline_shed += 1
+            raise DeadlineExceededError(
+                f"{name}: deadline passed while queued "
+                f"({time.monotonic() - start:.3f}s)")
         try:
             await self._enter_gate(exclusive)
             self.stats.admitted += 1

@@ -26,6 +26,7 @@ import struct
 from enum import IntEnum
 
 from repro.common.errors import (
+    DeadlineExceededError,
     OverloadedError,
     ProtocolError,
     RemoteError,
@@ -45,6 +46,11 @@ FRAME_HEADER = struct.Struct(">I")
 
 #: msgpack ``ext`` type code carrying a packed 6-byte TID.
 EXT_TID = 0x01
+
+#: Maximum container nesting in one value.  Deep enough for any real
+#: payload; shallow enough that a hostile frame of nested array headers
+#: raises :class:`ProtocolError` instead of :class:`RecursionError`.
+MAX_NESTING_DEPTH = 64
 
 _F64 = struct.Struct(">d")
 _U16 = struct.Struct(">H")
@@ -83,6 +89,7 @@ class Command(IntEnum):
     CLOCK_NOW = 19
     CLOCK_ADVANCE = 20
     CLOCK_ADVANCE_TO = 21
+    TXN_STATUS = 22
     SHUTDOWN = 99
 
 
@@ -98,16 +105,20 @@ class Status(IntEnum):
     BAD_REQUEST = 6      # malformed args or unknown command
     SHUTTING_DOWN = 7    # server is stopping; session is going away
     INTERNAL = 8         # unexpected server-side failure
+    DEADLINE_EXCEEDED = 9  # rejected before execution: deadline passed
 
 
 #: Statuses a client may transparently retry (the command did not execute).
-RETRYABLE_STATUSES = frozenset({Status.OVERLOADED})
+RETRYABLE_STATUSES = frozenset({Status.OVERLOADED,
+                                Status.DEADLINE_EXCEEDED})
 
 
 def status_for_exception(exc: BaseException) -> Status:
     """Map a server-side exception onto its wire status."""
     if isinstance(exc, OverloadedError):
         return Status.OVERLOADED
+    if isinstance(exc, DeadlineExceededError):
+        return Status.DEADLINE_EXCEEDED
     if isinstance(exc, SerializationError):
         return Status.SERIALIZATION
     if isinstance(exc, SchemaError):
@@ -139,6 +150,8 @@ def raise_for_status(status: int, message: str) -> None:
         raise ProtocolError(message)
     if status == Status.SHUTTING_DOWN:
         raise SessionError(f"server shutting down: {message}")
+    if status == Status.DEADLINE_EXCEEDED:
+        raise DeadlineExceededError(message)
     raise RemoteError(message)
 
 
@@ -259,7 +272,11 @@ def unpackb(data: bytes) -> object:
     return value
 
 
-def _unpack_one(buf: memoryview, offset: int) -> tuple[object, int]:
+def _unpack_one(buf: memoryview, offset: int,
+                depth: int = 0) -> tuple[object, int]:
+    if depth > MAX_NESTING_DEPTH:
+        raise ProtocolError(
+            f"value nested deeper than {MAX_NESTING_DEPTH}")
     try:
         tag = buf[offset]
     except IndexError:
@@ -272,9 +289,9 @@ def _unpack_one(buf: memoryview, offset: int) -> tuple[object, int]:
     if 0xA0 <= tag <= 0xBF:              # fixstr
         return _take_str(buf, offset, tag & 0x1F)
     if 0x90 <= tag <= 0x9F:              # fixarray
-        return _take_array(buf, offset, tag & 0x0F)
+        return _take_array(buf, offset, tag & 0x0F, depth)
     if 0x80 <= tag <= 0x8F:              # fixmap
-        return _take_map(buf, offset, tag & 0x0F)
+        return _take_map(buf, offset, tag & 0x0F, depth)
     if tag == 0xC0:
         return None, offset
     if tag == 0xC2:
@@ -329,17 +346,19 @@ def _unpack_one(buf: memoryview, offset: int) -> tuple[object, int]:
     if tag == 0xDC:                      # array16
         _need(buf, offset, 2)
         return _take_array(buf, offset + 2,
-                           _U16.unpack_from(buf, offset)[0])
+                           _U16.unpack_from(buf, offset)[0], depth)
     if tag == 0xDD:
         _need(buf, offset, 4)
         return _take_array(buf, offset + 4,
-                           _U32.unpack_from(buf, offset)[0])
+                           _U32.unpack_from(buf, offset)[0], depth)
     if tag == 0xDE:                      # map16
         _need(buf, offset, 2)
-        return _take_map(buf, offset + 2, _U16.unpack_from(buf, offset)[0])
+        return _take_map(buf, offset + 2, _U16.unpack_from(buf, offset)[0],
+                         depth)
     if tag == 0xDF:
         _need(buf, offset, 4)
-        return _take_map(buf, offset + 4, _U32.unpack_from(buf, offset)[0])
+        return _take_map(buf, offset + 4, _U32.unpack_from(buf, offset)[0],
+                         depth)
     if tag == 0xC7:                      # ext8
         _need(buf, offset, 2)
         length, ext_type = buf[offset], buf[offset + 1]
@@ -379,19 +398,26 @@ def _take_bin(buf: memoryview, offset: int, n: int) -> tuple[bytes, int]:
     return bytes(buf[offset:offset + n]), offset + n
 
 
-def _take_array(buf: memoryview, offset: int, n: int) -> tuple[tuple, int]:
+def _take_array(buf: memoryview, offset: int, n: int,
+                depth: int) -> tuple[tuple, int]:
     items = []
     for _ in range(n):
-        value, offset = _unpack_one(buf, offset)
+        value, offset = _unpack_one(buf, offset, depth + 1)
         items.append(value)
     return tuple(items), offset
 
 
-def _take_map(buf: memoryview, offset: int, n: int) -> tuple[dict, int]:
+def _take_map(buf: memoryview, offset: int, n: int,
+              depth: int) -> tuple[dict, int]:
     out: dict = {}
     for _ in range(n):
-        key, offset = _unpack_one(buf, offset)
-        value, offset = _unpack_one(buf, offset)
+        key, offset = _unpack_one(buf, offset, depth + 1)
+        try:
+            hash(key)
+        except TypeError:
+            raise ProtocolError(
+                f"unhashable map key {type(key).__name__}") from None
+        value, offset = _unpack_one(buf, offset, depth + 1)
         out[key] = value
     return out, offset
 
@@ -417,20 +443,44 @@ def frame_length(header: bytes) -> int:
     return length
 
 
-def encode_request(request_id: int, command: int, args: tuple) -> bytes:
-    """One request frame, ready for the socket."""
-    return encode_frame(packb((request_id, int(command), args)))
+def encode_request(request_id: int, command: int, args: tuple,
+                   deadline_ms: int | None = None) -> bytes:
+    """One request frame, ready for the socket.
+
+    ``deadline_ms`` is the client's *remaining* time budget in whole
+    milliseconds (relative, so peers need no clock agreement).  ``None``
+    keeps the original 3-tuple layout — the fault-free fast path and old
+    peers are byte-identical.
+    """
+    if deadline_ms is None:
+        return encode_frame(packb((request_id, int(command), args)))
+    return encode_frame(packb((request_id, int(command), args,
+                               int(deadline_ms))))
 
 
-def decode_request(payload: bytes) -> tuple[int, int, tuple]:
-    """Split a request frame into ``(request_id, command, args)``."""
+def decode_request(payload: bytes) -> tuple[int, int, tuple, int | None]:
+    """Split a request frame into ``(request_id, command, args, deadline)``.
+
+    ``deadline`` is the remaining budget in milliseconds or ``None`` when
+    the client sent the 3-tuple form (no deadline).
+    """
     message = unpackb(payload)
-    if (not isinstance(message, tuple) or len(message) != 3
+    if (not isinstance(message, tuple) or len(message) not in (3, 4)
             or not isinstance(message[0], int)
+            or isinstance(message[0], bool)
             or not isinstance(message[1], int)
+            or isinstance(message[1], bool)
             or not isinstance(message[2], tuple)):
         raise ProtocolError(f"malformed request: {message!r}")
-    return message  # type: ignore[return-value]
+    deadline_ms: int | None = None
+    if len(message) == 4:
+        deadline_ms = message[3]
+        if deadline_ms is not None and (
+                not isinstance(deadline_ms, int)
+                or isinstance(deadline_ms, bool)):
+            raise ProtocolError(
+                f"malformed deadline: {deadline_ms!r}")
+    return message[0], message[1], message[2], deadline_ms
 
 
 def encode_response(request_id: int, status: int, payload: object) -> bytes:

@@ -14,8 +14,14 @@ Lifecycle contracts:
 * overload never kills the server — excess load is shed per-command with
   the retryable ``OVERLOADED`` status while commit/abort, clock and stats
   commands stay admissible;
-* ``SHUTDOWN`` (or SIGINT/SIGTERM under :meth:`DatabaseServer.run`) stops
-  accepting, closes every connection, drains the executor and returns.
+* expired work never reaches the engine — a request carrying a deadline
+  that has already passed (or that lapses while queued) is rejected with
+  the retryable ``DEADLINE_EXCEEDED`` status;
+* ``SHUTDOWN`` (or SIGINT/SIGTERM under :meth:`DatabaseServer.run`) puts
+  the server into **graceful drain**: new sessions are refused with
+  ``SHUTTING_DOWN``, existing sessions may finish their in-flight
+  transactions (and nothing else) until ``drain_timeout_sec``, stragglers
+  are aborted (locks release), and only then do the sockets close.
 
 The server can run in the foreground (:meth:`run`, used by ``repro
 serve``) or on a background thread with its own event loop
@@ -32,10 +38,9 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import ProtocolError, TxnStateError
 from repro.db.catalog import IndexDef, IndexKind
 from repro.db.database import Database
-from repro.db.monitor import CommandStat, snapshot
 from repro.db.schema import ColType, Schema
 from repro.pages.layout import Tid
 from repro.server.dispatch import Dispatcher
@@ -49,6 +54,7 @@ from repro.server.protocol import (
     status_for_exception,
 )
 from repro.server.session import Session, SessionManager
+from repro.txn.commitlog import TxnState
 from repro.txn.manager import Transaction, TxnPhase
 
 
@@ -75,6 +81,13 @@ class ServerConfig:
     #: run crash recovery on the attached database before serving — for
     #: databases whose device state outlived an unclean stop
     recover_on_start: bool = False
+    #: how long a stopping server lets in-flight transactions finish
+    #: before aborting them (0 = abort stragglers immediately)
+    drain_timeout_sec: float = 5.0
+    #: a :class:`repro.server.chaos.ChaosPlan` faulting *response* frames;
+    #: None (the default) installs no wrapper — the fault-free fast path
+    #: is the plain asyncio stream code
+    chaos: object | None = None
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -86,6 +99,8 @@ class ServerConfig:
             raise ValueError("executor_workers must be >= 0")
         if self.lock_wait_timeout_sec < 0:
             raise ValueError("lock_wait_timeout_sec must be >= 0")
+        if self.drain_timeout_sec < 0:
+            raise ValueError("drain_timeout_sec must be >= 0")
 
 
 #: Commands that bypass admission control: finishing work (commit/abort
@@ -94,6 +109,16 @@ class ServerConfig:
 _EXEMPT = frozenset({
     Command.PING, Command.COMMIT, Command.ABORT, Command.TICK,
     Command.CLOCK_NOW, Command.CLOCK_ADVANCE, Command.CLOCK_ADVANCE_TO,
+    Command.STATS, Command.TXN_STATUS, Command.SHUTDOWN,
+})
+
+#: Commands a *draining* server still serves unconditionally: finishing
+#: work, fate queries for ambiguous commits, liveness and observability.
+#: DML is additionally allowed when it references a transaction the
+#: session already has in flight (see :meth:`DatabaseServer._execute`) —
+#: the drain contract is "finish what you started, start nothing new".
+_DRAIN_ALLOWED = frozenset({
+    Command.PING, Command.COMMIT, Command.ABORT, Command.TXN_STATUS,
     Command.STATS, Command.SHUTDOWN,
 })
 
@@ -156,6 +181,10 @@ class DatabaseServer:
         self.address: tuple[str, int] | None = None
         self._server: asyncio.Server | None = None
         self._stop_event: asyncio.Event | None = None
+        #: drain phase: refuse new sessions, let in-flight txns finish
+        self._draining = False
+        #: final teardown: connection loops exit, sockets close
+        self._closing = False
         self._loop: asyncio.AbstractEventLoop | None = None
         self._reaper_task: asyncio.Task | None = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
@@ -193,6 +222,7 @@ class DatabaseServer:
             Command.CLOCK_NOW: self._cmd_clock_now,
             Command.CLOCK_ADVANCE: self._cmd_clock_advance,
             Command.CLOCK_ADVANCE_TO: self._cmd_clock_advance_to,
+            Command.TXN_STATUS: self._cmd_txn_status,
             Command.SHUTDOWN: self._cmd_shutdown,
         }
 
@@ -211,7 +241,13 @@ class DatabaseServer:
         return self.address
 
     def request_stop(self) -> None:
-        """Ask the serve loop to wind down (safe from the loop thread)."""
+        """Ask the serve loop to wind down (safe from the loop thread).
+
+        Flips the server into the *draining* phase immediately: new
+        sessions are refused, existing ones may only finish what they
+        started.  The actual teardown happens in :meth:`stop`.
+        """
+        self._draining = True
         if self._stop_event is not None:
             self._stop_event.set()
 
@@ -222,10 +258,17 @@ class DatabaseServer:
         await self.stop()
 
     async def stop(self) -> None:
-        """Stop accepting, close connections, drain the executor."""
+        """Drain gracefully, abort stragglers, then close everything.
+
+        The listener stays **open** during the drain so a late-arriving
+        client gets a ``SHUTTING_DOWN`` wire status (a signal it can act
+        on) instead of a bare connection refusal.
+        """
         if self._server is None:
             return
         self.request_stop()
+        await self._drain()
+        self._closing = True
         self._server.close()
         await self._server.wait_closed()
         self._server = None
@@ -240,6 +283,28 @@ class DatabaseServer:
             # handlers abort their orphaned transactions on the way out
             await asyncio.wait(self._handler_tasks, timeout=5.0)
         self.dispatch.close()
+
+    async def _drain(self) -> None:
+        """Wait for in-flight transactions to finish; abort the rest.
+
+        "In flight" means both open transactions (a session may be
+        between commands of one) and commands currently executing.  The
+        wait is bounded by ``drain_timeout_sec``; whatever remains is
+        aborted so locks release and undo runs before the sockets close.
+        """
+        deadline = time.monotonic() + self.config.drain_timeout_sec
+        while time.monotonic() < deadline:
+            if (self.sessions.in_flight_txns() == 0
+                    and self.dispatch.executing == 0):
+                return
+            await asyncio.sleep(0.02)
+        for session in list(self.sessions):
+            if session.txns:
+                self.sessions.stats.drain_aborts += len(session.txns)
+                writer = self._writers.pop(session.session_id, None)
+                if writer is not None:
+                    writer.close()
+                await self._abort_orphans(self.sessions.close(session))
 
     def run(self) -> int:
         """Foreground serve loop (``repro serve``); returns 0 on clean stop."""
@@ -300,8 +365,14 @@ class DatabaseServer:
 
     # -- monitoring ----------------------------------------------------------
 
-    def command_stats(self) -> tuple[CommandStat, ...]:
+    def command_stats(self) -> tuple:
         """Per-command counters in :mod:`repro.db.monitor` shape."""
+        # imported here, not at module top: repro.db.monitor reaches the
+        # experiments package (for rendering), which reaches back into the
+        # service layer via the chaos sweep — a top-level import would be
+        # circular
+        from repro.db.monitor import CommandStat
+
         out = []
         for name, counter in sorted(self.dispatch.stats.commands.items()):
             out.append(CommandStat(
@@ -320,6 +391,9 @@ class DatabaseServer:
             "queued": self.dispatch.queued,
             "admitted": self.dispatch.stats.admitted,
             "shed_total": self.dispatch.stats.shed_total,
+            "deadline_rejected": self.dispatch.stats.deadline_rejected,
+            "deadline_shed": self.dispatch.stats.deadline_shed,
+            "draining": self._draining,
             "max_in_flight": self.config.max_in_flight,
             "max_queue_depth": self.config.max_queue_depth,
             "executor_workers": self.dispatch.executor_workers,
@@ -356,6 +430,13 @@ class DatabaseServer:
         task = asyncio.current_task()
         if task is not None:
             self._handler_tasks.add(task)
+        if self._draining:
+            await self._refuse_connection(reader, writer)
+            if task is not None:
+                self._handler_tasks.discard(task)
+            return
+        if self.config.chaos is not None:
+            writer = self.config.chaos.wrap_stream_writer(writer)
         peer = writer.get_extra_info("peername")
         session = self.sessions.open(str(peer), time.monotonic())
         self._writers[session.session_id] = writer
@@ -372,26 +453,64 @@ class DatabaseServer:
             if task is not None:
                 self._handler_tasks.discard(task)
 
+    async def _refuse_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Tell a client arriving during drain to go away, politely.
+
+        Reads the first frame (briefly) so the refusal can echo its
+        request id — giving the client pool a typed, retryable-elsewhere
+        ``SHUTTING_DOWN`` instead of a connection reset.
+        """
+        self.sessions.stats.drain_refused += 1
+        request_id = 0
+        with contextlib.suppress(ConnectionError, ProtocolError,
+                                 asyncio.IncompleteReadError,
+                                 asyncio.TimeoutError):
+            payload = await asyncio.wait_for(self._read_frame(reader),
+                                             timeout=1.0)
+            if payload is not None:
+                request_id = decode_request(payload)[0]
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(encode_response(request_id, Status.SHUTTING_DOWN,
+                                         "server is draining"))
+            await writer.drain()
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
     async def _serve_connection(self, session: Session,
                                 reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
-        while self._stop_event is not None and not self._stop_event.is_set():
+        while not self._closing:
             payload = await self._read_frame(reader)
             if payload is None:
                 return
-            session.touch(time.monotonic())
+            now = time.monotonic()
             try:
-                request_id, command, args = decode_request(payload)
+                request_id, command, args, deadline_ms = (
+                    decode_request(payload))
             except ProtocolError as exc:
                 writer.write(encode_response(0, Status.BAD_REQUEST,
                                              error_payload(exc)))
                 await writer.drain()
                 return  # a desynchronised stream cannot be resumed
-            status, result = await self._execute(session, command, args)
+            # One request at a time per connection, so the session can
+            # carry the in-flight command's absolute deadline.
+            session.deadline = (None if deadline_ms is None
+                                else now + deadline_ms / 1000.0)
+            session.begin_command(now)
+            try:
+                status, result = await self._execute(session, command, args)
+            finally:
+                session.end_command(time.monotonic())
+                session.deadline = None
             writer.write(encode_response(request_id, status, result))
             await writer.drain()
             if command == Command.SHUTDOWN and status == Status.OK:
                 self.request_stop()
+                return
+            if self._draining and not session.txns:
+                # drained: this session has nothing left to finish
                 return
 
     @staticmethod
@@ -410,9 +529,24 @@ class DatabaseServer:
         handler = self._handlers.get(command)
         if handler is None:
             return Status.BAD_REQUEST, f"unknown command {command}"
-        if (self._stop_event is not None and self._stop_event.is_set()
-                and command != Command.SHUTDOWN):
-            return Status.SHUTTING_DOWN, "server is stopping"
+        if (session.deadline is not None
+                and time.monotonic() >= session.deadline):
+            # Checked here — not only inside the dispatcher — so commands
+            # that never reach a worker slot (PING, STATS) still honour
+            # the caller's budget.
+            self.dispatch.stats.deadline_rejected += 1
+            return (Status.DEADLINE_EXCEEDED,
+                    f"{Command(command).name}: deadline passed on arrival")
+        if self._draining and command not in _DRAIN_ALLOWED:
+            # DML against a transaction this session already has in
+            # flight may still run — "finish what you started".  Every
+            # txn-scoped command carries the txid first; bool is excluded
+            # because BEGIN's first argument is a flag, not a txid.
+            owned = (args and isinstance(args[0], int)
+                     and not isinstance(args[0], bool)
+                     and args[0] in session.txns)
+            if not owned:
+                return Status.SHUTTING_DOWN, "server is draining"
         try:
             return Status.OK, await handler(session, args)
         except asyncio.CancelledError:
@@ -420,10 +554,11 @@ class DatabaseServer:
         except BaseException as exc:
             return status_for_exception(exc), error_payload(exc)
 
-    async def _run(self, command: Command, fn) -> object:
+    async def _run(self, session: Session, command: Command, fn) -> object:
         return await self.dispatch.run(command.name, fn,
                                        exempt=command in _EXEMPT,
-                                       exclusive=command in _EXCLUSIVE)
+                                       exclusive=command in _EXCLUSIVE,
+                                       deadline=session.deadline)
 
     async def _abort_orphans(self, orphans: list[Transaction]) -> None:
         """Abort a closed session's in-flight transactions on the engine."""
@@ -463,7 +598,7 @@ class DatabaseServer:
     async def _cmd_begin(self, session: Session, args: tuple) -> int:
         (serializable,) = _arity(args, 1)
         txn = await self._run(
-            Command.BEGIN,
+            session, Command.BEGIN,
             lambda: self.db.begin(serializable=bool(serializable)))
         session.register(txn)
         return txn.txid
@@ -481,7 +616,7 @@ class DatabaseServer:
                     self.db.abort(txn)
                 raise
         try:
-            await self._run(Command.COMMIT, work)
+            await self._run(session, Command.COMMIT, work)
         finally:
             if txn.phase is not TxnPhase.ACTIVE:
                 session.forget(txn.txid)
@@ -490,12 +625,12 @@ class DatabaseServer:
         (txid,) = _arity(args, 1)
         txn = session.claim(_as_int(txid, "txid"))
         try:
-            await self._run(Command.ABORT, lambda: self.db.abort(txn))
+            await self._run(session, Command.ABORT, lambda: self.db.abort(txn))
         finally:
             if txn.phase is not TxnPhase.ACTIVE:
                 session.forget(txn.txid)
 
-    async def _cmd_create_table(self, _session: Session,
+    async def _cmd_create_table(self, session: Session,
                                 args: tuple) -> None:
         name, columns, indexes = _arity(args, 3)
         table = _as_str(name, "table name")
@@ -508,14 +643,14 @@ class DatabaseServer:
         except (ValueError, TypeError) as exc:
             raise ProtocolError(f"bad table definition: {exc}") from None
         await self._run(
-            Command.CREATE_TABLE,
+            session, Command.CREATE_TABLE,
             lambda: self.db.create_table(table, schema, indexes=defs))
 
     async def _cmd_insert(self, session: Session, args: tuple) -> object:
         txid, table, row = _arity(args, 3)
         txn = session.claim(_as_int(txid, "txid"))
         return await self._run(
-            Command.INSERT,
+            session, Command.INSERT,
             lambda: self.db.insert(txn, _as_str(table), _as_row(row)))
 
     async def _cmd_bulk_insert(self, session: Session,
@@ -526,21 +661,21 @@ class DatabaseServer:
             raise ProtocolError(f"expected rows tuple, got {rows!r}")
         payload = [_as_row(row) for row in rows]
         return tuple(await self._run(
-            Command.BULK_INSERT,
+            session, Command.BULK_INSERT,
             lambda: self.db.bulk_insert(txn, _as_str(table), payload)))
 
     async def _cmd_read(self, session: Session, args: tuple) -> object:
         txid, table, ref = _arity(args, 3)
         txn = session.claim(_as_int(txid, "txid"))
         return await self._run(
-            Command.READ,
+            session, Command.READ,
             lambda: self.db.read(txn, _as_str(table), _as_ref(ref)))
 
     async def _cmd_update(self, session: Session, args: tuple) -> object:
         txid, table, ref, row = _arity(args, 4)
         txn = session.claim(_as_int(txid, "txid"))
         return await self._run(
-            Command.UPDATE,
+            session, Command.UPDATE,
             lambda: self.db.update(txn, _as_str(table), _as_ref(ref),
                                    _as_row(row)))
 
@@ -548,14 +683,14 @@ class DatabaseServer:
         txid, table, ref = _arity(args, 3)
         txn = session.claim(_as_int(txid, "txid"))
         await self._run(
-            Command.DELETE,
+            session, Command.DELETE,
             lambda: self.db.delete(txn, _as_str(table), _as_ref(ref)))
 
     async def _cmd_lookup(self, session: Session, args: tuple) -> tuple:
         txid, table, index, key = _arity(args, 4)
         txn = session.claim(_as_int(txid, "txid"))
         return tuple(await self._run(
-            Command.LOOKUP,
+            session, Command.LOOKUP,
             lambda: self.db.lookup(txn, _as_str(table), _as_str(index),
                                    key)))
 
@@ -564,7 +699,7 @@ class DatabaseServer:
         txid, table, index, lo, hi = _arity(args, 5)
         txn = session.claim(_as_int(txid, "txid"))
         return tuple(await self._run(
-            Command.RANGE_LOOKUP,
+            session, Command.RANGE_LOOKUP,
             lambda: self.db.range_lookup(txn, _as_str(table),
                                          _as_str(index), lo, hi)))
 
@@ -572,7 +707,7 @@ class DatabaseServer:
         txid, table = _arity(args, 2)
         txn = session.claim(_as_int(txid, "txid"))
         return tuple(await self._run(
-            Command.SCAN,
+            session, Command.SCAN,
             lambda: list(self.db.scan(txn, _as_str(table)))))
 
     async def _cmd_scan_vid_range(self, session: Session,
@@ -580,15 +715,15 @@ class DatabaseServer:
         txid, table, lo, hi = _arity(args, 4)
         txn = session.claim(_as_int(txid, "txid"))
         return tuple(await self._run(
-            Command.SCAN_VID_RANGE,
+            session, Command.SCAN_VID_RANGE,
             lambda: self.db.scan_vid_range(txn, _as_str(table),
                                            _as_int(lo), _as_int(hi))))
 
-    async def _cmd_tick(self, _session: Session, args: tuple) -> None:
+    async def _cmd_tick(self, session: Session, args: tuple) -> None:
         _arity(args, 0)
-        await self._run(Command.TICK, self.db.tick)
+        await self._run(session, Command.TICK, self.db.tick)
 
-    async def _cmd_maintenance(self, _session: Session,
+    async def _cmd_maintenance(self, session: Session,
                                args: tuple) -> dict:
         _arity(args, 0)
 
@@ -603,24 +738,26 @@ class DatabaseServer:
                     summary["killed"] = len(report.killed)
                 out[table] = summary
             return out
-        return await self._run(Command.MAINTENANCE, work)
+        return await self._run(session, Command.MAINTENANCE, work)
 
-    async def _cmd_snapshot(self, _session: Session, args: tuple) -> dict:
+    async def _cmd_snapshot(self, session: Session, args: tuple) -> dict:
+        from repro.db.monitor import snapshot
+
         _arity(args, 0)
         return await self._run(
-            Command.SNAPSHOT,
+            session, Command.SNAPSHOT,
             lambda: dataclasses.asdict(snapshot(self.db, server=self)))
 
     async def _cmd_stats(self, _session: Session, args: tuple) -> dict:
         _arity(args, 0)
         return self.stats_payload()
 
-    async def _cmd_clock_now(self, _session: Session, args: tuple) -> int:
+    async def _cmd_clock_now(self, session: Session, args: tuple) -> int:
         _arity(args, 0)
-        return await self._run(Command.CLOCK_NOW,
+        return await self._run(session, Command.CLOCK_NOW,
                                lambda: self.db.clock.now)
 
-    async def _cmd_clock_advance(self, _session: Session,
+    async def _cmd_clock_advance(self, session: Session,
                                  args: tuple) -> int:
         (usec,) = _arity(args, 1)
         delta = _as_int(usec, "microseconds")
@@ -628,9 +765,9 @@ class DatabaseServer:
         def work() -> int:
             self.db.clock.advance(delta)
             return self.db.clock.now
-        return await self._run(Command.CLOCK_ADVANCE, work)
+        return await self._run(session, Command.CLOCK_ADVANCE, work)
 
-    async def _cmd_clock_advance_to(self, _session: Session,
+    async def _cmd_clock_advance_to(self, session: Session,
                                     args: tuple) -> int:
         (usec,) = _arity(args, 1)
         target = _as_int(usec, "microseconds")
@@ -638,7 +775,31 @@ class DatabaseServer:
         def work() -> int:
             self.db.clock.advance_to(target)
             return self.db.clock.now
-        return await self._run(Command.CLOCK_ADVANCE_TO, work)
+        return await self._run(session, Command.CLOCK_ADVANCE_TO, work)
+
+    async def _cmd_txn_status(self, session: Session, args: tuple) -> str:
+        """The authoritative fate of a txid — how an ambiguous commit
+        (acked-but-unread, see ``AmbiguousResultError``) is resolved.
+
+        ``"committed"``/``"aborted"`` are final; ``"active"`` means the
+        transaction is still open somewhere (its owning session may not
+        have noticed its client died yet); ``"unknown"`` means the txid
+        was never allocated.
+        """
+        (txid,) = _arity(args, 1)
+        wanted = _as_int(txid, "txid")
+
+        def work() -> str:
+            try:
+                state = self.db.txn_mgr.state_of(wanted)
+            except TxnStateError:
+                return "unknown"
+            if state is TxnState.COMMITTED:
+                return "committed"
+            if state is TxnState.ABORTED:
+                return "aborted"
+            return "active"
+        return await self._run(session, Command.TXN_STATUS, work)
 
     async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
         _arity(args, 0)

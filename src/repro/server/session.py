@@ -30,12 +30,18 @@ class SessionStats:
     closed: int = 0
     idle_closed: int = 0
     orphans_aborted: int = 0
+    #: sessions refused because the server was draining
+    drain_refused: int = 0
+    #: transactions aborted because the drain timeout expired on them
+    drain_aborts: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Wire-friendly view."""
         return {"opened": self.opened, "closed": self.closed,
                 "idle_closed": self.idle_closed,
-                "orphans_aborted": self.orphans_aborted}
+                "orphans_aborted": self.orphans_aborted,
+                "drain_refused": self.drain_refused,
+                "drain_aborts": self.drain_aborts}
 
 
 @dataclass
@@ -47,9 +53,31 @@ class Session:
     last_active: float
     txns: dict[int, Transaction] = field(default_factory=dict)
     closed: bool = False
+    #: commands this session currently has executing (or queued) in the
+    #: dispatcher — the idle reaper must not close the session under them
+    in_flight: int = 0
+    #: the in-flight command's absolute monotonic deadline (None = none);
+    #: valid because a connection processes one request at a time
+    deadline: float | None = None
 
     def touch(self, now: float) -> None:
         """Record activity (resets the idle clock)."""
+        self.last_active = now
+
+    def begin_command(self, now: float) -> None:
+        """A command arrived and is about to execute."""
+        self.last_active = now
+        self.in_flight += 1
+
+    def end_command(self, now: float) -> None:
+        """A command finished; the idle clock restarts *now*.
+
+        Touching on completion (not only on arrival) is what keeps a
+        long-running command's session alive: idleness is measured from
+        the last time the server finished work for the connection, not
+        from when the work was requested.
+        """
+        self.in_flight -= 1
         self.last_active = now
 
     def register(self, txn: Transaction) -> None:
@@ -105,11 +133,17 @@ class SessionManager:
         return orphans
 
     def idle_sessions(self, now: float) -> list[Session]:
-        """Sessions whose idle time exceeded the timeout."""
+        """Sessions whose idle time exceeded the timeout.
+
+        A session with a command in flight is never idle, however long
+        the command takes: reaping it would abort a transaction the
+        dispatcher is actively working on.
+        """
         if self.idle_timeout_sec <= 0:
             return []
         return [s for s in self._sessions.values()
-                if now - s.last_active > self.idle_timeout_sec]
+                if s.in_flight == 0
+                and now - s.last_active > self.idle_timeout_sec]
 
     def __iter__(self) -> Iterator[Session]:
         return iter(list(self._sessions.values()))

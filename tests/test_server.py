@@ -95,9 +95,27 @@ class TestProtocolCodec:
 
     def test_request_roundtrip(self):
         frame = protocol.encode_request(7, Command.INSERT, (1, "t", (2,)))
-        request_id, command, args = protocol.decode_request(frame[4:])
+        request_id, command, args, deadline = protocol.decode_request(
+            frame[4:])
         assert (request_id, command, args) == (7, Command.INSERT,
                                                (1, "t", (2,)))
+        assert deadline is None
+
+    def test_request_roundtrip_with_deadline(self):
+        frame = protocol.encode_request(9, Command.READ, (1, "t", 2),
+                                        deadline_ms=250)
+        request_id, command, args, deadline = protocol.decode_request(
+            frame[4:])
+        assert (request_id, command, args, deadline) == (
+            9, Command.READ, (1, "t", 2), 250)
+
+    def test_deadline_does_not_change_fast_path_bytes(self):
+        # deadline_ms=None must keep the legacy 3-tuple frame byte for
+        # byte — the fault-free fast path is unchanged on the wire
+        with_none = protocol.encode_request(7, Command.PING, ())
+        assert protocol.decode_request(with_none[4:])[3] is None
+        legacy = protocol.packb((7, int(Command.PING), ()))
+        assert with_none[4:] == legacy
 
 
 class TestBasicService:
