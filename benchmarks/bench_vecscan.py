@@ -1,0 +1,208 @@
+"""Scan-heavy and HTAP benchmarks for the vectorized execution layer.
+
+The headline pairs race the page-at-a-time kernels (``vec_*``) against the
+tuple-at-a-time path they replace (``vidmap_scan`` + per-row decode +
+Python-side filter) on the same sealed VECTOR-page data — the acceptance
+target is ≥5x on filtered count/aggregate.  The HTAP benches interleave
+TPC-C transactions with analytical aggregates over the stock relation, so
+the gate also holds the mixed-workload cost of a scan that runs while
+OLTP writers keep appending versions.
+
+Results feed ``compare.py``'s perf-regression gate (``--bench vecscan``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+from repro.common.config import BufferConfig, FlashConfig, SystemConfig
+from repro.core.scan import vidmap_scan
+from repro.core.vecscan import vec_aggregate, vec_count, vec_scan
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
+from repro.db.schema import ColType, Schema
+from repro.workload.driver import DriverConfig, TpccDriver
+from repro.workload.tpcc_data import TpccLoader
+from repro.workload.tpcc_schema import STOCK, TpccScale, create_tpcc_tables
+
+N_ROWS = 4000
+
+#: Fixed-width columns first so predicate pushdown probes engage; the
+#: trailing STR exercises the heap-payload extraction path.
+SCHEMA = Schema.of(("id", ColType.INT), ("balance", ColType.FLOAT),
+                   ("owner", ColType.STR))
+
+#: rows with i % 1000 >= 500; the warm-up updates only add +1.0 to
+#: multiples of 50, which never crosses the 500.0 boundary
+FILTERED = N_ROWS // 2
+
+
+def _scan_db() -> Database:
+    config = SystemConfig(flash=FlashConfig(capacity_bytes=64 * units.MIB),
+                          buffer=BufferConfig(pool_pages=1024),
+                          extent_pages=16)
+    db = Database.on_flash(EngineKind.SIASV, config)
+    db.create_table("accounts", SCHEMA,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    txn = db.begin()
+    db.bulk_insert(txn, "accounts",
+                   [(i, float(i % 1000), f"owner{i % 40}")
+                    for i in range(N_ROWS)])
+    db.commit(txn)
+    # an update round so some chains have depth > 0
+    txn = db.begin()
+    for i in range(0, N_ROWS, 50):
+        (ref, row), = db.lookup(txn, "accounts", "pk", i)
+        db.update(txn, "accounts", ref, (i, row[1] + 1.0, row[2]))
+    db.commit(txn)
+    db.table("accounts").engine.store.seal_working_page()
+    return db
+
+
+@pytest.fixture(scope="module")
+def scan_db() -> Database:
+    """A sealed VECTOR-page accounts table; read-only across benches."""
+    return _scan_db()
+
+
+def _parts(db: Database):
+    relation = db.table("accounts")
+    return relation.engine, relation.codec
+
+
+# -- filtered count: kernels vs tuple-at-a-time ------------------------------------
+
+def test_vec_count_filtered(benchmark, scan_db):
+    engine, codec = _parts(scan_db)
+
+    def run() -> int:
+        txn = scan_db.begin()
+        n = vec_count(engine, codec, txn, where=("balance", ">=", 500.0))
+        scan_db.commit(txn)
+        return n
+    assert benchmark(run) == FILTERED
+
+
+def test_tuple_count_filtered(benchmark, scan_db):
+    """The pre-vectorization path: chain descent + full decode per row."""
+    engine, codec = _parts(scan_db)
+
+    def run() -> int:
+        txn = scan_db.begin()
+        n = sum(1 for _vid, record in vidmap_scan(engine, txn)
+                if codec.decode(record.payload)[1] >= 500.0)
+        scan_db.commit(txn)
+        return n
+    assert benchmark(run) == FILTERED
+
+
+# -- filtered aggregate ------------------------------------------------------------
+
+def test_vec_sum_filtered(benchmark, scan_db):
+    engine, codec = _parts(scan_db)
+
+    def run() -> float:
+        txn = scan_db.begin()
+        total = vec_aggregate(engine, codec, txn, "sum", "balance",
+                              where=("id", "<", N_ROWS // 2))
+        scan_db.commit(txn)
+        return total
+    assert benchmark(run) > 0
+
+
+def test_tuple_sum_filtered(benchmark, scan_db):
+    engine, codec = _parts(scan_db)
+
+    def run() -> float:
+        txn = scan_db.begin()
+        total = 0.0
+        for _vid, record in vidmap_scan(engine, txn):
+            row = codec.decode(record.payload)
+            if row[0] < N_ROWS // 2:
+                total += row[1]
+        scan_db.commit(txn)
+        return total
+    assert benchmark(run) > 0
+
+
+# -- filtered projection scan ------------------------------------------------------
+
+def test_vec_scan_projected(benchmark, scan_db):
+    engine, codec = _parts(scan_db)
+
+    def run() -> int:
+        txn = scan_db.begin()
+        rows = list(vec_scan(engine, codec, txn,
+                             columns=["id", "balance"],
+                             where=("balance", ">=", 900.0)))
+        scan_db.commit(txn)
+        return len(rows)
+    assert benchmark(run) == N_ROWS // 10
+
+
+def test_tuple_scan_projected(benchmark, scan_db):
+    engine, codec = _parts(scan_db)
+
+    def run() -> int:
+        txn = scan_db.begin()
+        rows = []
+        for _vid, record in vidmap_scan(engine, txn):
+            row = codec.decode(record.payload)
+            if row[1] >= 900.0:
+                rows.append((row[0], row[1]))
+        scan_db.commit(txn)
+        return len(rows)
+    assert benchmark(run) == N_ROWS // 10
+
+
+# -- HTAP: analytical aggregates against the TPC-C driver --------------------------
+
+@pytest.fixture(scope="module")
+def htap_db():
+    """A loaded TPC-C database plus a live driver to interleave with."""
+    config = SystemConfig(flash=FlashConfig(capacity_bytes=256 * units.MIB),
+                          buffer=BufferConfig(pool_pages=2048),
+                          extent_pages=16)
+    db = Database.on_flash(EngineKind.SIASV, config)
+    create_tpcc_tables(db)
+    scale = TpccScale()
+    TpccLoader(db, scale, seed=11).load(warehouses=1)
+    driver = TpccDriver(db, warehouses=1, scale=scale,
+                        config=DriverConfig(clients=4), seed=11)
+    db.table(STOCK).engine.store.seal_working_page()
+    return db, driver
+
+
+def test_htap_vec_aggregate_under_tpcc(benchmark, htap_db):
+    """Each round: a slice of TPC-C transactions, then the kernel-path
+    low-stock aggregate over the freshly mutated stock relation."""
+    db, driver = htap_db
+    engine, codec = _parts_stock(db)
+
+    def run() -> int:
+        driver.run_transactions(5)
+        txn = db.begin()
+        n = vec_count(engine, codec, txn, where=("s_quantity", "<", 25))
+        db.commit(txn)
+        return n
+    benchmark(run)
+
+
+def test_htap_tuple_aggregate_under_tpcc(benchmark, htap_db):
+    db, driver = htap_db
+    engine, codec = _parts_stock(db)
+
+    def run() -> int:
+        driver.run_transactions(5)
+        txn = db.begin()
+        n = sum(1 for _vid, record in vidmap_scan(engine, txn)
+                if codec.decode(record.payload)[2] < 25)
+        db.commit(txn)
+        return n
+    benchmark(run)
+
+
+def _parts_stock(db: Database):
+    relation = db.table(STOCK)
+    return relation.engine, relation.codec

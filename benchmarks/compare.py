@@ -1,6 +1,6 @@
-"""Perf-regression gate over the micro-op benchmarks.
+"""Perf-regression gate over the repository benchmarks.
 
-Runs ``bench_micro_ops.py`` under pytest-benchmark, compares every
+Runs the benchmark suites under pytest-benchmark, compares every
 benchmark's mean against a committed baseline (``BENCH_BASELINE.json`` at
 the repository root) and **fails** — exit status 1 — when any benchmark
 regressed by more than the threshold (default 25 %).  This is the perf
@@ -8,9 +8,14 @@ trajectory guard: the baseline is regenerated (``--save``) whenever a PR
 intentionally shifts the profile, so an accidental O(n) creeping back into
 a hot path turns CI red instead of silently rotting the exhibits.
 
+Two suites are gated: ``micro`` (``bench_micro_ops.py``, the per-operation
+engine costs) and ``vecscan`` (``bench_vecscan.py``, vectorized scan and
+aggregate throughput against the tuple-at-a-time path, plus the HTAP mix).
+
 Usage::
 
-    python benchmarks/compare.py                     # full run, gate at 25 %
+    python benchmarks/compare.py                     # all suites, gate 25 %
+    python benchmarks/compare.py --bench vecscan     # one suite only
     python benchmarks/compare.py --quick             # CI smoke (fast rounds)
     python benchmarks/compare.py --threshold 0.5     # looser gate
     python benchmarks/compare.py --save              # regenerate baseline
@@ -33,7 +38,11 @@ import sys
 import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BENCH_FILE = pathlib.Path(__file__).parent / "bench_micro_ops.py"
+BENCH_DIR = pathlib.Path(__file__).parent
+BENCH_FILES = {
+    "micro": BENCH_DIR / "bench_micro_ops.py",
+    "vecscan": BENCH_DIR / "bench_vecscan.py",
+}
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_BASELINE.json"
 DEFAULT_THRESHOLD = 0.25
 
@@ -56,11 +65,12 @@ def engine_concurrency_info() -> dict:
     }
 
 
-def run_benchmarks(quick: bool) -> dict:
-    """Execute the micro benches; returns the pytest-benchmark JSON dict."""
+def run_benchmarks(quick: bool, suites: list[str]) -> dict:
+    """Execute the chosen suites; returns the pytest-benchmark JSON dict."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         out_path = pathlib.Path(handle.name)
-    cmd = [sys.executable, "-m", "pytest", str(BENCH_FILE), "-q",
+    cmd = [sys.executable, "-m", "pytest",
+           *(str(BENCH_FILES[suite]) for suite in suites), "-q",
            f"--benchmark-json={out_path}"]
     if quick:
         cmd.extend(QUICK_ARGS)
@@ -124,14 +134,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative regression gate (0.25 = +25%%)")
     parser.add_argument("--quick", action="store_true",
                         help="fast measurement budget (CI smoke)")
+    parser.add_argument("--bench", choices=[*BENCH_FILES, "all"],
+                        default="all",
+                        help="benchmark suite to run (default: all)")
     parser.add_argument("--save", action="store_true",
                         help="write the fresh run over the baseline file")
     args = parser.parse_args(argv)
+    suites = list(BENCH_FILES) if args.bench == "all" else [args.bench]
 
     if args.json is not None:
         data = json.loads(args.json.read_text())
     else:
-        data = run_benchmarks(quick=args.quick)
+        data = run_benchmarks(quick=args.quick, suites=suites)
     current = extract_means(data)
     workers = data.get("engine_concurrency", {}).get("executor_workers")
     if workers is not None:
@@ -140,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{data['engine_concurrency']['server_default_workers']})")
 
     if args.save:
+        if args.bench != "all":
+            print("--save requires --bench all (the baseline covers every "
+                  "suite)", file=sys.stderr)
+            return 2
         args.baseline.write_text(json.dumps(data, indent=1, sort_keys=True))
         print(f"baseline saved to {args.baseline} "
               f"({len(current)} benchmarks)")
@@ -150,6 +168,11 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     baseline = extract_means(json.loads(args.baseline.read_text()))
+    if args.bench != "all" and args.json is None:
+        # a single-suite run is not evidence the other suite's benches
+        # disappeared — gate only what actually ran
+        baseline = {name: mean for name, mean in baseline.items()
+                    if name in current}
     regressions = compare(baseline, current, args.threshold)
     if regressions:
         print(f"\n{regressions} benchmark(s) regressed more than "

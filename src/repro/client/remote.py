@@ -281,10 +281,34 @@ class RemoteDatabase:
         return list(self._txn_call(txn, Command.RANGE_LOOKUP, table,
                                    index_name, lo, hi))
 
-    def scan(self, txn: RemoteTransaction,
-             table: str) -> Iterator[tuple]:
-        """Visible-rows scan (materialised server-side, streamed here)."""
-        yield from self._txn_call(txn, Command.SCAN, table)
+    def scan(self, txn: RemoteTransaction, table: str,
+             columns: list[str] | None = None,
+             where: tuple | None = None,
+             batch_size: int = 256) -> Iterator[tuple]:
+        """Visible-rows scan, streamed in bitmap-filtered batches.
+
+        ``columns``/``where`` push projection and a ``(column, op, value)``
+        predicate to the server, which evaluates them in the vectorized
+        page kernels — only surviving rows travel over the wire, at most
+        ``batch_size`` per SCAN_BATCH frame.
+        """
+        cols = None if columns is None else tuple(columns)
+        pred = None if where is None else tuple(where)
+        cursor: object = None
+        while True:
+            rows, cursor = self._txn_call(txn, Command.SCAN_BATCH, table,
+                                          cols, pred, cursor, batch_size)
+            yield from rows
+            if cursor is None:
+                return
+
+    def aggregate(self, txn: RemoteTransaction, table: str, op: str,
+                  column: str | None = None,
+                  where: tuple | None = None) -> object:
+        """``count``/``sum``/``min``/``max``, folded server-side."""
+        pred = None if where is None else tuple(where)
+        return self._txn_call(txn, Command.AGGREGATE, table, op, column,
+                              pred)
 
     def scan_vid_range(self, txn: RemoteTransaction, table: str, lo: int,
                        hi: int) -> list[tuple]:

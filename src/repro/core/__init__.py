@@ -1,9 +1,16 @@
-"""SIAS-V core: VIDs, the VIDmap vector, append storage, engine, scan, GC."""
+"""SIAS-V core: VIDs, the VIDmap vector, append storage, engine, scans, GC."""
 
 from repro.core.append_store import AppendStore, AppendStoreStats
 from repro.core.engine import SiasVEngine, SiasVStats
 from repro.core.gc import GarbageCollector, GcItemOutcome, GcReport
 from repro.core.scan import full_relation_scan, vidmap_scan
+from repro.core.vecscan import (
+    Predicate,
+    vec_aggregate,
+    vec_count,
+    vec_scan,
+    vec_scan_batch,
+)
 from repro.core.vid import VidAllocator
 from repro.core.vidmap import VidMap
 
@@ -13,10 +20,15 @@ __all__ = [
     "GarbageCollector",
     "GcItemOutcome",
     "GcReport",
+    "Predicate",
     "SiasVEngine",
     "SiasVStats",
     "VidAllocator",
     "VidMap",
     "full_relation_scan",
+    "vec_aggregate",
+    "vec_count",
+    "vec_scan",
+    "vec_scan_batch",
     "vidmap_scan",
 ]

@@ -22,6 +22,7 @@ versions become unreachable garbage for the page GC.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.buffer.manager import BufferManager
@@ -43,12 +44,41 @@ from repro.wal.records import WalRecord, WalRecordType
 
 @dataclass
 class SiasVStats:
-    """Read-path behaviour counters."""
+    """Read-path behaviour counters.
+
+    Updated only through :meth:`add`, which folds a whole operation's
+    deltas in under an internal mutex — scans and resolutions run on
+    several dispatcher workers concurrently, and a bare ``+=`` on these
+    fields is a lost-update race.  Same atomic-read-and-update discipline
+    as :meth:`repro.txn.manager.TransactionManager.counters`.
+    """
 
     resolves: int = 0      # visible-version resolutions
     chain_hops: int = 0    # predecessor fetches beyond the entrypoint
     max_chain_hops: int = 0
     tombstone_hits: int = 0
+    scan_descents_saved: int = 0  # chain descents skipped via scan caching
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: the lock is identity state, not a counter,
+        # and must stay out of comparisons and replace().
+        self._mu = threading.Lock()
+
+    def add(self, *, resolves: int = 0, chain_hops: int = 0,
+            tombstone_hits: int = 0, scan_descents_saved: int = 0,
+            observed_depth: int = -1) -> None:
+        """Atomically fold one operation's counter deltas in.
+
+        ``observed_depth`` is the chain depth a resolution was found at
+        (-1 for none); it only ever raises ``max_chain_hops``.
+        """
+        with self._mu:
+            self.resolves += resolves
+            self.chain_hops += chain_hops
+            self.tombstone_hits += tombstone_hits
+            self.scan_descents_saved += scan_descents_saved
+            if observed_depth > self.max_chain_hops:
+                self.max_chain_hops = observed_depth
 
 
 class SiasVEngine:
@@ -211,19 +241,18 @@ class SiasVEngine:
         tid = self.vidmap.get(vid)
         if tid is None:
             return None
-        self.stats.resolves += 1
         hops = 0
         while True:
             record = self.store.read(tid)
             if txn.snapshot.sees_ts(record.create_ts, self.txn_mgr.clog):
-                self.stats.max_chain_hops = max(self.stats.max_chain_hops,
-                                                hops)
+                self.stats.add(resolves=1, chain_hops=hops,
+                               observed_depth=hops)
                 return record, tid
             if record.pred is None:
+                self.stats.add(resolves=1, chain_hops=hops)
                 return None
             tid = record.pred
             hops += 1
-            self.stats.chain_hops += 1
 
     def descend_visible_batch(
             self, txn: Transaction, entries: list[Tid | None],
@@ -271,16 +300,18 @@ class SiasVEngine:
             vids: list[int]) -> list[tuple[VersionRecord, Tid] | None]:
         """Batched :meth:`resolve_visible` with identical stats accounting."""
         entries: list[Tid | None] = []
+        resolves = 0
         for vid in vids:
             tid = self.vidmap.get(vid)
             if tid is not None:
-                self.stats.resolves += 1
+                resolves += 1
             entries.append(tid)
         results, depths, hops = self.descend_visible_batch(txn, entries)
-        self.stats.chain_hops += hops
-        for result, found_depth in zip(results, depths):
-            if result is not None and found_depth > self.stats.max_chain_hops:
-                self.stats.max_chain_hops = found_depth
+        deepest = max((found_depth for result, found_depth
+                       in zip(results, depths) if result is not None),
+                      default=-1)
+        self.stats.add(resolves=resolves, chain_hops=hops,
+                       observed_depth=deepest)
         return results
 
     def read(self, txn: Transaction, vid: int) -> bytes | None:
@@ -291,7 +322,7 @@ class SiasVEngine:
             return None
         record, _tid = resolved
         if record.tombstone:
-            self.stats.tombstone_hits += 1
+            self.stats.add(tombstone_hits=1)
             return None
         return record.payload
 
@@ -307,7 +338,7 @@ class SiasVEngine:
                 continue
             record, _tid = item
             if record.tombstone:
-                self.stats.tombstone_hits += 1
+                self.stats.add(tombstone_hits=1)
                 out.append(None)
             else:
                 out.append(record.payload)

@@ -46,7 +46,7 @@ def vidmap_scan(engine: SiasVEngine, txn: Transaction,
                ) -> Iterator[tuple[int, VersionRecord]]:
         results, _depths, hops = engine.descend_visible_batch(
             txn, [tid for _vid, tid in batch])
-        engine.stats.chain_hops += hops
+        engine.stats.add(chain_hops=hops)
         for (vid, _tid), result in zip(batch, results):
             if result is not None and not result[0].tombstone:
                 yield vid, result[0]
@@ -68,32 +68,53 @@ def full_relation_scan(engine: SiasVEngine, txn: Transaction,
     version found becomes a *candidate*: it is emitted only if it equals the
     version the chain resolution would return — the traditional scan's
     per-candidate visibility confirmation.
+
+    Each VID's chain is resolved at most once.  The resolution outcome is
+    cached — including "settled invisible" (nothing visible, or only a
+    tombstone) and "visible at some other TID" — so later candidates of an
+    already-settled VID skip the redundant descent; the skips are counted
+    in ``engine.stats.scan_descents_saved``.
     """
     emitted: set[int] = set()
-    for page_no in engine.store.sealed_page_nos():
-        page = engine.store.buffer.get_page(engine.store.file_id, page_no)
-        assert isinstance(page, AppendPage)
+    settled_invisible: set[int] = set()
+    visible_at: dict[int, Tid] = {}
+
+    def _pages() -> Iterator[tuple[int, AppendPage]]:
+        for page_no in engine.store.sealed_page_nos():
+            page = engine.store.buffer.get_page(engine.store.file_id,
+                                                page_no)
+            assert isinstance(page, AppendPage)
+            yield page_no, page
+        # versions still only in open (unsealed) pages
+        for page_no in engine.store.open_page_nos():
+            open_page = engine.store.open_page(page_no)
+            assert open_page is not None
+            yield page_no, open_page
+
+    for page_no, page in _pages():
         for slot, candidate in page.records():
-            if candidate.vid in emitted:
+            vid = candidate.vid
+            if vid in emitted or vid in settled_invisible:
+                engine.stats.add(scan_descents_saved=1)
                 continue
-            resolved = engine.resolve_visible(txn, candidate.vid)
+            here = Tid(page_no, slot)
+            cached = visible_at.get(vid)
+            if cached is not None:
+                engine.stats.add(scan_descents_saved=1)
+                if cached == here:
+                    del visible_at[vid]
+                    emitted.add(vid)
+                    yield vid, candidate
+                continue
+            resolved = engine.resolve_visible(txn, vid)
             if resolved is None:
+                settled_invisible.add(vid)
                 continue
             record, tid = resolved
-            if tid == Tid(page_no, slot) and not record.tombstone:
-                emitted.add(candidate.vid)
-                yield candidate.vid, record
-    # versions still only in open (unsealed) pages
-    for page_no in engine.store.open_page_nos():
-        open_page = engine.store.open_page(page_no)
-        assert open_page is not None
-        for slot, candidate in open_page.records():
-            if candidate.vid in emitted:
-                continue
-            resolved = engine.resolve_visible(txn, candidate.vid)
-            if resolved is None:
-                continue
-            record, tid = resolved
-            if tid == Tid(page_no, slot) and not record.tombstone:
-                emitted.add(candidate.vid)
-                yield candidate.vid, record
+            if record.tombstone:
+                settled_invisible.add(vid)
+            elif tid == here:
+                emitted.add(vid)
+                yield vid, record
+            else:
+                visible_at[vid] = tid

@@ -1,0 +1,542 @@
+"""Vectorized scan/aggregate operators — the execution layer that makes
+the "V" of SIAS-V pay off on reads.
+
+The tuple-at-a-time scan (:mod:`repro.core.scan`) resolves visibility one
+candidate at a time and materialises a full :class:`VersionRecord` per
+emitted row.  On a sealed VECTOR (PAX) page that wastes the layout: the
+creation timestamps already sit in one contiguous mini-column, so a whole
+page can be visibility-checked in a single pass.  This module routes
+VECTOR pages through page-at-a-time *kernels*:
+
+1. **Batch visibility** — :meth:`Snapshot.visibility_bitmap` over the
+   page's timestamp vector yields a visibility bitmap (bit ``i`` = slot
+   ``i`` visible), one predicate pass instead of N ``resolve_visible``
+   calls.  The per-timestamp verdict memo is shared across every page of
+   the scan.
+2. **Predicate pushdown** — equality/range predicates on fixed-width
+   columns are probed straight out of the payload heap at a fixed byte
+   offset (:meth:`RowCodec.fixed_field` + :meth:`AppendPage.probe_payload`),
+   producing a selection verdict that is combined with the visibility
+   bitmap *before* any ``VersionRecord`` or row is materialised.
+   Invisible and non-matching versions are never decoded.
+3. **Never-materialize operators** — ``count`` touches only the metadata
+   vectors; ``sum``/``min``/``max`` touch one probed field per surviving
+   slot; filtered scans decode exactly the emitted rows.
+
+VIDs whose entrypoint slot loses visibility fall back to the existing
+level-synchronous chain descent (:meth:`SiasVEngine.descend_visible_batch`)
+starting from the entrypoint's predecessor; entries living on open or NSM
+pages take the same fallback from the entrypoint itself — NSM behaviour is
+unchanged.  Results are emitted in VID order either way, which is what the
+cursored batch scan (``after``/``limit``) relies on.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from itertools import compress, repeat
+from typing import Callable, Iterator, Protocol
+
+from repro.common.config import PageLayout
+from repro.common.errors import SchemaError
+from repro.core.engine import SiasVEngine
+from repro.pages.append_page import AppendPage
+from repro.pages.layout import FLAG_TOMBSTONE, Tid
+from repro.txn.manager import Transaction
+
+#: VIDmap entries resolved per kernel round (bounds buffered memory and
+#: groups entrypoint pages into one buffer fetch).  Large enough that a
+#: sealed page's slots land in one round, so its column passes run once.
+VEC_BATCH = 1024
+
+_OPS: dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Aggregate operators understood by :func:`vec_aggregate`.
+AGGREGATE_OPS = ("count", "sum", "min", "max")
+
+
+class _Codec(Protocol):
+    """The duck type vecscan needs from :class:`repro.db.row.RowCodec`."""
+
+    schema: object
+
+    def decode(self, data: bytes) -> tuple: ...
+
+    def fixed_field(self, name: str) -> tuple[int, object] | None: ...
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One pushdown-able comparison: ``column <op> value``."""
+
+    column: str
+    op: str
+    value: object
+
+    @staticmethod
+    def normalize(where: object) -> "Predicate | None":
+        """Accept a :class:`Predicate` or a ``(column, op, value)`` tuple."""
+        if where is None:
+            return None
+        if isinstance(where, Predicate):
+            return where
+        if (isinstance(where, (tuple, list)) and len(where) == 3
+                and isinstance(where[0], str) and isinstance(where[1], str)):
+            return Predicate(where[0], where[1], where[2])
+        raise SchemaError(
+            f"predicate must be (column, op, value), got {where!r}")
+
+
+class _CompiledPredicate:
+    """A predicate bound to one codec: row check + optional page probe."""
+
+    __slots__ = ("codec", "position", "compare", "value", "probe")
+
+    def __init__(self, codec: _Codec, pred: Predicate) -> None:
+        self.codec = codec
+        self.position = codec.schema.position(pred.column)
+        compare = _OPS.get(pred.op)
+        if compare is None:
+            raise SchemaError(
+                f"unknown predicate operator {pred.op!r} "
+                f"(expected one of {sorted(_OPS)})")
+        self.compare = compare
+        self.value = pred.value
+        self.probe = codec.fixed_field(pred.column)
+
+    def matches_row(self, row: tuple) -> bool:
+        return self.compare(row[self.position], self.value)
+
+    def matches_page(self, page: AppendPage, slot: int) -> bool:
+        """Evaluate against an undecoded slot, probing when possible."""
+        if self.probe is not None:
+            value = page.probe_payload(slot, *self.probe)
+            if value is not None:
+                return self.compare(value, self.value)
+        row = self.codec.decode(page.payload_slice(slot))
+        return self.compare(row[self.position], self.value)
+
+    def page_bitmap(self, page: AppendPage) -> tuple[int, int] | None:
+        """``(match_bits, unknown_bits)`` from one column pass, or None.
+
+        ``match_bits`` has bit ``i`` set when slot ``i``'s probed value
+        satisfies the predicate; ``unknown_bits`` marks slots whose
+        payload was too short to probe (evaluate those with
+        :meth:`matches_page`).  None when the column can't be probed —
+        no fixed offset, or a record-mode/NSM page.
+        """
+        if self.probe is None:
+            return None
+        column = page.probe_column(*self.probe)
+        if column is None:
+            return None
+        compare = self.compare
+        value = self.value
+        match = 0
+        unknown = 0
+        if None in column:
+            # short payloads present: per-slot pass tracking the unknowns
+            bit = 1
+            for probed in column:
+                if probed is None:
+                    unknown |= bit
+                elif compare(probed, value):
+                    match |= bit
+                bit <<= 1
+        else:
+            # map/compress run the comparison column-at-a-time in C; the
+            # Python loop only touches the matching slots
+            for slot in compress(range(len(column)),
+                                 map(compare, column, repeat(value))):
+                match |= 1 << slot
+        return match, unknown
+
+
+def row_matcher(codec: _Codec,
+                where: object) -> Callable[[tuple], bool] | None:
+    """Decoded-row predicate check (the non-vectorized engines' path)."""
+    pred = Predicate.normalize(where)
+    if pred is None:
+        return None
+    return _CompiledPredicate(codec, pred).matches_row
+
+
+def row_projection(codec: _Codec,
+                   columns: object) -> Callable[[tuple], tuple] | None:
+    """Decoded-row column projection; None when selecting whole rows."""
+    if columns is None:
+        return None
+    positions = [codec.schema.position(name) for name in columns]
+    return lambda row: tuple(row[i] for i in positions)
+
+
+def fold_values(op: str, values: Iterator[object]) -> object:
+    """Fold an aggregate over a value stream (shared by both engines)."""
+    if op == "sum":
+        return sum(values)
+    if op == "min":
+        return min(values, default=None)
+    if op == "max":
+        return max(values, default=None)
+    raise SchemaError(
+        f"unknown aggregate {op!r} (expected one of {AGGREGATE_OPS})")
+
+
+# -- extraction ---------------------------------------------------------------------
+
+def _extractors(codec: _Codec, columns: object,
+                ) -> tuple[Callable[[AppendPage, int], object],
+                           Callable[[tuple], object] | None,
+                           Callable[[AppendPage], list | None] | None]:
+    """``(from_page, from_row, page_values)`` per extraction mode.
+
+    * ``columns is None`` — whole decoded rows.
+    * ``columns`` a list — projected tuples; all-fixed projections are
+      probed straight off the page, never decoding the row.
+    * ``columns is _COUNT_ONLY`` — no value at all (``from_row`` is None
+      and the fallback path skips the row decode when unfiltered).
+    * ``columns`` a single string — that column's scalar (aggregates).
+
+    ``page_values`` (None when the mode can't use it) extracts the whole
+    page's values in one column pass: element ``slot`` is the emitted
+    value, or None where the slot needs the per-slot ``from_page``
+    fallback (short payload).  It returns None outright on pages without
+    a probe-able heap (record-mode seals).
+    """
+    if columns is _COUNT_ONLY:
+        return (lambda page, slot: True), None, None
+    if columns is None:
+        return ((lambda page, slot: codec.decode(page.payload_slice(slot))),
+                (lambda row: row), None)
+    if isinstance(columns, str):
+        position = codec.schema.position(columns)
+        probe = codec.fixed_field(columns)
+        if probe is not None:
+            offset, fmt = probe
+
+            def from_page(page: AppendPage, slot: int) -> object:
+                value = page.probe_payload(slot, offset, fmt)
+                if value is None:  # short payload: fall back to a decode
+                    value = codec.decode(page.payload_slice(slot))[position]
+                return value
+
+            def page_values(page: AppendPage) -> list | None:
+                return page.probe_column(offset, fmt)
+        else:
+            def from_page(page: AppendPage, slot: int) -> object:
+                return codec.decode(page.payload_slice(slot))[position]
+
+            page_values = None
+        return from_page, (lambda row: row[position]), page_values
+    positions = [codec.schema.position(name) for name in columns]
+    probes = [codec.fixed_field(name) for name in columns]
+
+    def project(row: tuple) -> tuple:
+        return tuple(row[i] for i in positions)
+
+    if probes and all(p is not None for p in probes):
+        def from_page(page: AppendPage, slot: int) -> object:
+            out = []
+            for offset, fmt in probes:  # type: ignore[misc]
+                value = page.probe_payload(slot, offset, fmt)
+                if value is None:
+                    return project(codec.decode(page.payload_slice(slot)))
+                out.append(value)
+            return tuple(out)
+
+        def page_values(page: AppendPage) -> list | None:
+            cols = [page.probe_column(offset, fmt)
+                    for offset, fmt in probes]  # type: ignore[misc]
+            if any(col is None for col in cols):
+                return None
+            # a None element = short payload in that slot: per-slot fallback
+            return [None if None in row else row for row in zip(*cols)]
+    else:
+        def from_page(page: AppendPage, slot: int) -> object:
+            return project(codec.decode(page.payload_slice(slot)))
+
+        page_values = None
+    return from_page, project, page_values
+
+
+class _CountOnly:
+    """Sentinel: emit existence only, never touch payload bytes."""
+
+
+_COUNT_ONLY = _CountOnly()
+
+
+# -- the scan driver ---------------------------------------------------------------
+
+_MISSING = object()  # sentinel distinguishing "not cached" from cached None
+
+
+def _drive(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+           columns: object, cpred: _CompiledPredicate | None,
+           after_vid: int | None) -> Iterator[tuple[int, object]]:
+    """Yield ``(vid, value)`` in VID order through the page kernels."""
+    for chunk in _drive_chunks(engine, codec, txn, columns, cpred,
+                               after_vid):
+        yield from chunk
+
+
+def _drive_chunks(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+                  columns: object, cpred: _CompiledPredicate | None,
+                  after_vid: int | None) -> Iterator[list]:
+    """The chunked feed under :func:`_drive`: one emitted list per kernel
+    round (``vec_count`` consumes the lists whole, by length)."""
+    extractors = _extractors(codec, columns)
+    memo: dict[int, bool] = {}  # per-timestamp visibility, scan-wide
+    # per-page bitmaps, scan-wide: sealed pages are immutable and the
+    # snapshot is fixed, so a page revisited by a later round (entrypoints
+    # scatter after updates) reuses its bitmaps instead of re-running the
+    # column passes.  These are ints — a few bytes per touched page.
+    vis_cache: dict[int, int] = {}
+    sel_cache: dict[int, tuple[int, int] | None] = {}
+    start = 0 if after_vid is None else after_vid + 1
+    for batch in engine.vidmap.entry_batches(start, VEC_BATCH):
+        yield _drain(engine, codec, txn, batch, cpred,
+                     extractors, memo, vis_cache, sel_cache)
+
+
+def _drain(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+           batch: list[tuple[int, Tid]], cpred: _CompiledPredicate | None,
+           extractors: tuple, memo: dict[int, bool],
+           vis_cache: dict[int, int],
+           sel_cache: dict[int, tuple[int, int] | None],
+           ) -> list[tuple[int, object]]:
+    """One kernel round over ``batch`` VIDmap entries: the emitted rows,
+    in VID order."""
+    from_page, from_row, page_values = extractors
+    store = engine.store
+    out: list[tuple[int, object] | None] = [None] * len(batch)
+    # fallbacks: (batch index, tid to descend from, hops already charged)
+    fallback: list[tuple[int, Tid, int]] = []
+    groups: dict[int, list[tuple[int, int, int]]] = {}
+    open_nos = set(store.open_page_nos())  # one latched read per round
+    # entries arrive in VID order, which runs along pages — resolve each
+    # page's group once per run instead of per entry
+    prev_no = -1
+    emit_to = None
+    for i, (vid, tid) in enumerate(batch):
+        page_no = tid.page_no
+        if page_no != prev_no:
+            prev_no = page_no
+            if page_no in open_nos:
+                # open pages mutate under us: tuple-at-a-time fallback
+                emit_to = None
+            else:
+                group = groups.get(page_no)
+                if group is None:
+                    groups[page_no] = group = []
+                emit_to = group.append
+        if emit_to is None:
+            fallback.append((i, tid, 0))
+        else:
+            emit_to((i, vid, tid.slot))
+    if groups:
+        page_nos = list(groups)
+        pages = dict(zip(page_nos,
+                         store.buffer.get_pages(store.file_id, page_nos)))
+    count_mode = from_row is None
+    direct_count = 0  # aligned-page count-mode rows, never materialised
+    snapshot = txn.snapshot
+    clog = engine.txn_mgr.clog
+    unpack_tid = Tid.unpack
+    for page_no, members in groups.items():
+        page = pages[page_no]
+        assert isinstance(page, AppendPage)
+        meta = page.meta_columns()
+        if meta is None:
+            # NSM layout: the kernels don't apply — unchanged descent path
+            for i, _vid, _slot in members:
+                fallback.append((i, batch[i][1], 0))
+            continue
+        _ts_vec, vid_vec, pred_vec, _flag_vec = meta
+        visible = vis_cache.get(page_no)
+        if visible is None:
+            visible = snapshot.visibility_bitmap(meta[0], clog, memo)
+            vis_cache[page_no] = visible
+        # bitmap algebra before any per-slot work: visible, not deleted,
+        # and (when the predicate probes) matching or needing a check
+        emit = visible & ~page.tombstone_bitmap()
+        unknown = 0
+        if cpred is not None:
+            probed = sel_cache.get(page_no, _MISSING)
+            if probed is _MISSING:
+                probed = cpred.page_bitmap(page)
+                sel_cache[page_no] = probed
+            if probed is not None:
+                match, unknown = probed
+                emit &= match | unknown
+        else:
+            probed = None
+        colvals = page_values(page) if page_values is not None else None
+        per_slot_pred = cpred is not None and probed is None
+        # Settled fast path: every member's entry still matches its slot's
+        # recorded VID (nothing moved under us), the whole page is visible,
+        # and the predicate fully probed — the per-slot verdict is already
+        # in ``emit``, so the member walk needs one bit test per entry
+        # (counting needs none at all: popcount the page verdict).
+        count = len(vid_vec)
+        if (not per_slot_pred and unknown == 0
+                and visible == (1 << count) - 1
+                and [m[1] for m in members]
+                == [vid_vec[m[2]] for m in members]):
+            if count_mode:
+                if len(members) == count:
+                    # full coverage: member slots are exactly 0..count-1
+                    direct_count += emit.bit_count()
+                else:
+                    mask = 0
+                    for m in members:
+                        mask |= 1 << m[2]
+                    direct_count += (emit & mask).bit_count()
+            elif colvals is not None:
+                for i, vid, slot in members:
+                    if (emit >> slot) & 1:
+                        value = colvals[slot]
+                        if value is None:  # short payload: slot fallback
+                            value = from_page(page, slot)
+                        out[i] = (vid, value)
+            else:
+                for i, vid, slot in members:
+                    if (emit >> slot) & 1:
+                        out[i] = (vid, from_page(page, slot))
+            continue
+        for i, vid, slot in members:
+            if vid_vec[slot] != vid:
+                # entry moved under us (concurrent update): resolve serially
+                fallback.append((i, batch[i][1], 0))
+                continue
+            if not (visible >> slot) & 1:
+                # entrypoint invisible: descend from its predecessor (the
+                # one hop the serial walk would also charge)
+                pred_tid = unpack_tid(pred_vec[slot])
+                if pred_tid is not None:
+                    fallback.append((i, pred_tid, 1))
+                continue
+            if not (emit >> slot) & 1:
+                continue
+            if (unknown >> slot) & 1 or per_slot_pred:
+                if not cpred.matches_page(page, slot):
+                    continue
+            if count_mode:
+                out[i] = (vid, True)
+                continue
+            if colvals is not None:
+                value = colvals[slot]
+                if value is None:  # short payload: per-slot fallback
+                    value = from_page(page, slot)
+            else:
+                value = from_page(page, slot)
+            out[i] = (vid, value)
+    if fallback:
+        results, _depths, hops = engine.descend_visible_batch(
+            txn, [tid for _i, tid, _pre in fallback])
+        engine.stats.add(chain_hops=hops +
+                         sum(pre for _i, _tid, pre in fallback))
+        for (i, _tid, _pre), result in zip(fallback, results):
+            if result is None:
+                continue
+            record, _found = result
+            if record.tombstone:
+                continue
+            vid = batch[i][0]
+            if cpred is None and from_row is None:
+                out[i] = (vid, True)  # count mode: payload never decoded
+                continue
+            row = codec.decode(record.payload)
+            if cpred is not None and not cpred.matches_row(row):
+                continue
+            out[i] = (vid, True if from_row is None else from_row(row))
+    rows = [item for item in out if item is not None]
+    if direct_count:
+        # placeholders: only vec_count consumes count-mode chunks (by
+        # length), so the popcounted settled pages contribute length alone
+        rows += [True] * direct_count
+    return rows
+
+
+# -- public operators ---------------------------------------------------------------
+
+def vec_scan(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+             columns: object = None, where: object = None,
+             after_vid: int | None = None,
+             ) -> Iterator[tuple[int, object]]:
+    """Filtered, optionally projected scan: ``(vid, row_or_projection)``.
+
+    ``where`` is ``(column, op, value)`` with ``op`` one of
+    ``== != < <= > >=``; ``columns`` an iterable of column names (None for
+    whole rows).  ``after_vid`` resumes strictly after that VID — the
+    cursor of :func:`vec_scan_batch`.
+    """
+    pred = Predicate.normalize(where)
+    cpred = _CompiledPredicate(codec, pred) if pred is not None else None
+    columns = list(columns) if (columns is not None
+                                and not isinstance(columns, str)) else columns
+    yield from _drive(engine, codec, txn, columns, cpred, after_vid)
+
+
+def vec_scan_batch(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+                   columns: object = None, where: object = None,
+                   after_vid: int | None = None, limit: int = VEC_BATCH,
+                   ) -> tuple[list[tuple[int, object]], int | None]:
+    """One cursored page of :func:`vec_scan`: ``(rows, next_cursor)``.
+
+    ``next_cursor`` is the last emitted VID when the page filled up (pass
+    it back as ``after_vid`` for the next page) and None when the scan is
+    exhausted.
+    """
+    if limit <= 0:
+        raise SchemaError(f"scan batch limit must be positive, got {limit}")
+    rows: list[tuple[int, object]] = []
+    for vid, value in vec_scan(engine, codec, txn, columns, where,
+                               after_vid):
+        rows.append((vid, value))
+        if len(rows) >= limit:
+            return rows, vid
+    return rows, None
+
+
+def vec_count(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+              where: object = None) -> int:
+    """Visible-row count; unfiltered, it never touches payload bytes."""
+    pred = Predicate.normalize(where)
+    cpred = _CompiledPredicate(codec, pred) if pred is not None else None
+    return sum(len(chunk) for chunk
+               in _drive_chunks(engine, codec, txn, _COUNT_ONLY, cpred,
+                                None))
+
+
+def vec_aggregate(engine: SiasVEngine, codec: _Codec, txn: Transaction,
+                  op: str, column: str | None = None,
+                  where: object = None) -> object:
+    """``count``/``sum``/``min``/``max`` over the visible rows.
+
+    ``sum`` of no rows is 0; ``min``/``max`` of no rows is None.
+    """
+    if op == "count":
+        return vec_count(engine, codec, txn, where)
+    if op not in AGGREGATE_OPS:
+        raise SchemaError(
+            f"unknown aggregate {op!r} (expected one of {AGGREGATE_OPS})")
+    if column is None:
+        raise SchemaError(f"aggregate {op!r} needs a column")
+    pred = Predicate.normalize(where)
+    cpred = _CompiledPredicate(codec, pred) if pred is not None else None
+    # fold chunk-at-a-time (sum of sums, min of mins, ...) so the hot
+    # per-value pass is a list comprehension, not a generator resume
+    partials = [fold_values(op, [value for _vid, value in chunk])
+                for chunk in _drive_chunks(engine, codec, txn, column,
+                                           cpred, None)
+                if chunk]
+    return fold_values(op, [p for p in partials if p is not None])

@@ -87,13 +87,56 @@ class VidMap:
         self._buckets[bucket].set(self.slot_of(vid), tid)
 
     def entries(self) -> Iterator[tuple[int, Tid]]:
-        """All ``(vid, entrypoint)`` pairs in VID order — the scan path."""
+        """All ``(vid, entrypoint)`` pairs in VID order — the scan path.
+
+        Walks each bucket's occupied slots in one batched pass
+        (:meth:`VidMapPage.items`) rather than probing every slot through
+        the bounds-checked ``get``.
+        """
         for bucket_no, bucket in enumerate(self._buckets):
             base = bucket_no * self.slots_per_bucket
-            for slot in range(bucket.slots_per_bucket):
-                tid = bucket.get(slot)
-                if tid is not None:
+            for slot, tid in bucket.items():
+                yield base + slot, tid
+
+    def entries_from(self, start: int) -> Iterator[tuple[int, Tid]]:
+        """``(vid, entrypoint)`` pairs with ``vid >= start``, in VID order.
+
+        The resume point of cursored scans: seeks straight to the bucket
+        holding ``start`` instead of replaying the map from VID 0.
+        """
+        start = max(0, start)
+        for bucket_no in range(self.bucket_of(start), len(self._buckets)):
+            bucket = self._buckets[bucket_no]
+            base = bucket_no * self.slots_per_bucket
+            first = start - base if base < start else 0
+            for slot, tid in bucket.items():
+                if slot >= first:
                     yield base + slot, tid
+
+    def entry_batches(self, start: int,
+                      size: int) -> Iterator[list[tuple[int, Tid]]]:
+        """``(vid, entrypoint)`` pairs with ``vid >= start`` in lists of up
+        to ``size`` — the vectorized scan's feed.  Each bucket contributes
+        one batched comprehension instead of a per-slot generator resume.
+        """
+        start = max(0, start)
+        batch: list[tuple[int, Tid]] = []
+        for bucket_no in range(self.bucket_of(start), len(self._buckets)):
+            bucket = self._buckets[bucket_no]
+            base = bucket_no * self.slots_per_bucket
+            first = start - base
+            if first > 0:
+                batch.extend([(base + slot, tid)
+                              for slot, tid in bucket.items()
+                              if slot >= first])
+            else:
+                batch.extend([(base + slot, tid)
+                              for slot, tid in bucket.items()])
+            while len(batch) >= size:
+                yield batch[:size]
+                batch = batch[size:]
+        if batch:
+            yield batch
 
     def vid_range(self, lo: int, hi: int) -> Iterator[tuple[int, Tid]]:
         """``(vid, entrypoint)`` pairs with lo ≤ vid < hi (range query)."""

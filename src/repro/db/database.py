@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass
 from enum import Enum
@@ -38,7 +39,15 @@ from repro.common.config import FlushThreshold, SystemConfig
 from repro.common.errors import SchemaError
 from repro.core.engine import SiasVEngine
 from repro.core.gc import GarbageCollector, GcReport
-from repro.core.scan import vidmap_scan
+from repro.core.vecscan import (
+    AGGREGATE_OPS,
+    fold_values,
+    row_matcher,
+    row_projection,
+    vec_aggregate,
+    vec_scan,
+    vec_scan_batch,
+)
 from repro.db.catalog import IndexDef, Relation
 from repro.db.row import RowCodec
 from repro.db.schema import Schema
@@ -395,21 +404,93 @@ class Database:
             tree.delete(found_key, ref)
         return out
 
-    def scan(self, txn: Transaction,
-             table: str) -> Iterator[tuple[ItemRef, tuple]]:
-        """Visible-rows scan (VIDmap-mediated under SIAS-V)."""
+    def scan(self, txn: Transaction, table: str,
+             columns: list[str] | None = None,
+             where: tuple | None = None,
+             ) -> Iterator[tuple[ItemRef, tuple]]:
+        """Visible-rows scan (vectorized page kernels under SIAS-V).
+
+        ``columns`` projects the yielded rows to the named columns;
+        ``where`` is a ``(column, op, value)`` predicate with ``op`` one
+        of ``== != < <= > >=``.  Under SIAS-V both are pushed into the
+        VECTOR-page kernels, so filtered-out and invisible versions are
+        never decoded; the SI baseline filters decoded rows.
+        """
         relation = self.table(table)
         ssi = self.txn_mgr.ssi if txn.serializable else None
         if self.kind is EngineKind.SIASV:
-            for vid, record in vidmap_scan(relation.engine, txn):
+            for vid, row in vec_scan(relation.engine, relation.codec, txn,
+                                     columns=columns, where=where):
                 if ssi is not None:
                     ssi.on_read(txn, (relation.relation_id, vid))
-                yield vid, relation.codec.decode(record.payload)
+                yield vid, row
         else:
+            matches = row_matcher(relation.codec, where)
+            project = row_projection(relation.codec, columns)
             for tid, payload in relation.engine.scan(txn):
+                row = relation.codec.decode(payload)
+                if matches is not None and not matches(row):
+                    continue
                 if ssi is not None:
                     ssi.on_read(txn, (relation.relation_id, tid))
-                yield tid, relation.codec.decode(payload)
+                yield tid, row if project is None else project(row)
+
+    def scan_batch(self, txn: Transaction, table: str,
+                   columns: list[str] | None = None,
+                   where: tuple | None = None,
+                   after: ItemRef | None = None, limit: int = 256,
+                   ) -> tuple[list[tuple[ItemRef, tuple]], ItemRef | None]:
+        """One cursored page of :meth:`scan`: ``(rows, next_cursor)``.
+
+        Pass ``next_cursor`` back as ``after`` for the following page;
+        None means the scan is exhausted.  Under SIAS-V the cursor is the
+        last emitted VID and resumption seeks the VIDmap directly; the SI
+        baseline uses a plain row offset into its deterministic scan
+        order.  This is the unit the SCAN_BATCH wire command streams.
+        """
+        if limit <= 0:
+            raise SchemaError(
+                f"scan batch limit must be positive, got {limit}")
+        relation = self.table(table)
+        if self.kind is EngineKind.SIASV:
+            ssi = self.txn_mgr.ssi if txn.serializable else None
+            rows, cursor = vec_scan_batch(
+                relation.engine, relation.codec, txn,
+                columns=columns, where=where, after_vid=after, limit=limit)
+            if ssi is not None:
+                for vid, _row in rows:
+                    ssi.on_read(txn, (relation.relation_id, vid))
+            return rows, cursor
+        start = 0 if after is None else int(after)  # type: ignore[arg-type]
+        rows = list(itertools.islice(
+            self.scan(txn, table, columns=columns, where=where),
+            start, start + limit))
+        return rows, (start + limit if len(rows) == limit else None)
+
+    def aggregate(self, txn: Transaction, table: str, op: str,
+                  column: str | None = None,
+                  where: tuple | None = None) -> object:
+        """``count``/``sum``/``min``/``max`` over the visible rows.
+
+        Under SIAS-V this never materialises rows on VECTOR pages: a
+        ``count`` touches only the metadata vectors and the other folds
+        probe one fixed-width field per surviving version.
+        """
+        relation = self.table(table)
+        if self.kind is EngineKind.SIASV:
+            return vec_aggregate(relation.engine, relation.codec, txn,
+                                 op, column=column, where=where)
+        if op == "count":
+            return sum(1 for _ in self.scan(txn, table, where=where))
+        if op not in AGGREGATE_OPS:
+            raise SchemaError(
+                f"unknown aggregate {op!r} "
+                f"(expected one of {AGGREGATE_OPS})")
+        if column is None:
+            raise SchemaError(f"aggregate {op!r} needs a column")
+        values = (row[0] for _ref, row
+                  in self.scan(txn, table, columns=[column], where=where))
+        return fold_values(op, values)
 
     # -- background machinery ------------------------------------------------------------------------
 

@@ -66,6 +66,25 @@ class RowCodec:
                 f"{len(data) - offset} trailing bytes after last column")
         return tuple(values)
 
+    def fixed_field(self, name: str) -> tuple[int, struct.Struct] | None:
+        """``(byte offset, struct)`` of a directly-addressable column.
+
+        A column sits at a fixed payload offset when it and every column
+        before it are fixed width (INT/FLOAT) — the predicate-pushdown
+        probe then unpacks it straight out of the encoded payload.  A
+        preceding STR makes the offset row-dependent; returns None and
+        callers decode the whole row instead.
+        """
+        offset = 0
+        for column in self.schema.columns:
+            if column.type is ColType.STR:
+                return None
+            fmt = _INT if column.type is ColType.INT else _FLOAT
+            if column.name == name:
+                return offset, fmt
+            offset += fmt.size
+        return None
+
     @staticmethod
     def _unpack(fmt: struct.Struct, data: bytes, offset: int,
                 column: str) -> tuple:

@@ -3,9 +3,12 @@
 The paper: "SIAS-Chains scans the VIDmap first and enables more selective
 I/O ... the traditional scan is inefficient, since each tuple version has to
 be checked."  After an update-heavy warm-up (so relations carry plenty of
-superseded versions), both scan strategies run over the *same* engine with a
+superseded versions), the scan strategies run over the *same* engine with a
 cold buffer pool; the runner reports device page reads, simulated scan time
-and rows returned (which must match — that equality is also a test).
+and rows returned (which must match — that equality is also a test).  The
+*vectorized scan* row is the page-at-a-time kernel path
+(:mod:`repro.core.vecscan`): same VIDmap-mediated selectivity as the plain
+vidmap scan, but visibility is bitmap-checked per sealed VECTOR page.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.db.database import EngineKind
 from repro.experiments import harness
 from repro.experiments.render import format_table
 from repro.core.scan import full_relation_scan, vidmap_scan
+from repro.core.vecscan import vec_scan
 from repro.workload.driver import DriverConfig
 from repro.workload.mixes import UPDATE_HEAVY_MIX
 from repro.workload.tpcc_schema import STOCK, TpccScale
@@ -49,11 +53,18 @@ def run(warehouses: int = 8, duration_usec: int = 15 * units.SEC,
                                 warehouses, duration_usec, scale=scale,
                                 driver_config=driver_config, seed=seed)
     db = measured.db
-    engine = db.table(STOCK).engine
+    relation = db.table(STOCK)
+    engine = relation.engine
+
+    def vectorized_scan(eng, txn):
+        # page-at-a-time kernels over the same VIDmap entries
+        return vec_scan(eng, relation.codec, txn)
+
     rows: list[list[object]] = []
     counts: dict[str, int] = {}
     reads: dict[str, int] = {}
     for label, scan_fn in (("vidmap scan", vidmap_scan),
+                           ("vectorized scan", vectorized_scan),
                            ("full relation scan", full_relation_scan)):
         db.buffer.invalidate_all()
         txn = db.begin()
@@ -70,5 +81,5 @@ def run(warehouses: int = 8, duration_usec: int = 15 * units.SEC,
         rows=rows,
         vidmap_reads=reads["vidmap scan"],
         full_reads=reads["full relation scan"],
-        rows_equal=counts["vidmap scan"] == counts["full relation scan"],
+        rows_equal=len(set(counts.values())) == 1,
     )

@@ -36,7 +36,13 @@ import argparse
 from dataclasses import dataclass, field
 
 from repro.common import units
-from repro.common.config import BufferConfig, FlashConfig, SystemConfig
+from repro.common.config import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    PageLayout,
+    SystemConfig,
+)
 from repro.common.rng import make_rng
 from repro.db.catalog import IndexDef
 from repro.db.database import Database, EngineKind
@@ -60,6 +66,9 @@ class SweepConfig:
     stride: int = 1            # test every stride-th write
     seed: int = 7
     initial_balance: float = 100.0
+    #: append-page layout (SIAS-V only): torn-page trim and recovery redo
+    #: must behave identically for NSM and VECTOR pages
+    layout: PageLayout = PageLayout.VECTOR
     #: one-page WAL ceiling so ``tick()`` fires real checkpoints mid-run
     #: and the sweep exercises checkpoint-anchored (bounded) redo
     max_wal_bytes: int = 8 * units.KIB
@@ -114,6 +123,7 @@ def _build_db(cfg: SweepConfig,
         flash=FlashConfig(capacity_bytes=64 * units.MIB),
         buffer=BufferConfig(pool_pages=128,
                             max_wal_bytes=cfg.max_wal_bytes),
+        engine=EngineConfig(layout=cfg.layout),
         extent_pages=16,
     )
     clock = SimClock()
@@ -308,13 +318,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--transfers", type=int, default=120)
     parser.add_argument("--accounts", type=int, default=20)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--layout", choices=["vector", "nsm"],
+                        default="vector",
+                        help="append-page layout under test (SIAS-V)")
     args = parser.parse_args(argv)
     kinds = {"siasv": [EngineKind.SIASV], "si": [EngineKind.SI],
              "both": [EngineKind.SIASV, EngineKind.SI]}[args.engine]
+    layout = (PageLayout.NSM if args.layout == "nsm"
+              else PageLayout.VECTOR)
     for kind in kinds:
         cfg = SweepConfig(kind=kind, accounts=args.accounts,
                           transfers=args.transfers, stride=args.stride,
-                          seed=args.seed)
+                          seed=args.seed, layout=layout)
         report = run_sweep(cfg)
         torn_seen = sum(o.pages_torn for o in report.outcomes)
         print(f"{kind.name:6s}: {report.points_tested} crash points over "

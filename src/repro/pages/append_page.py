@@ -70,6 +70,13 @@ class AppendPage(Page):
         #: VECTOR: precomputed vector base offsets
         self._offsets_base = 0
         self._heap_base = 0
+        #: VECTOR: cached metadata columns / payload extents / tombstone
+        #: bitmap (vectorized scan)
+        self._meta_columns: tuple[list[int], list[int], list[bytes],
+                                  list[int]] | None = None
+        self._extents: list[tuple[int, int]] | None = None
+        self._tomb_bitmap: int | None = None
+        self._column_cache: dict[tuple[int, str], list] | None = None
 
     @property
     def kind(self) -> PageKind:  # type: ignore[override]
@@ -121,6 +128,10 @@ class AppendPage(Page):
             self._materialise()
             self._view = None
             self._nsm_offsets = None
+        self._meta_columns = None
+        self._extents = None
+        self._tomb_bitmap = None
+        self._column_cache = None
         self._records.append(record)
         self._used += self._record_cost(record)
         return len(self._records) - 1
@@ -165,6 +176,159 @@ class AppendPage(Page):
                 f"append page {self.page_no}: slot {slot} out of range "
                 f"[0, {len(self._records)})")
         return slot
+
+    # -- vectorized (batched) access -----------------------------------------------
+
+    def meta_columns(self) -> tuple[list[int], list[int], list[bytes],
+                                    list[int]] | None:
+        """Whole-page metadata vectors ``(create_ts, vid, pred_raw, flags)``.
+
+        The entry point of the vectorized scan: one ``iter_unpack`` pass
+        over the page's fixed-width mini-columns (cached until the next
+        append) instead of one ``read_meta`` call per slot.  Works both on
+        lazily-decoded pages (straight off the memoryview) and on sealed
+        pages whose in-memory object was published with resident records.
+        Returns None for NSM pages, which keep the tuple-at-a-time path.
+        """
+        if self.layout is not PageLayout.VECTOR:
+            return None
+        columns = self._meta_columns
+        if columns is None:
+            ts_vec: list[int] = []
+            vid_vec: list[int] = []
+            pred_vec: list[bytes] = []
+            flag_vec: list[int] = []
+            if self._view is not None:
+                for create_ts, vid, pred_raw, flags in _META.iter_unpack(
+                        self._view[_COUNT.size:self._offsets_base]):
+                    ts_vec.append(create_ts)
+                    vid_vec.append(vid)
+                    pred_vec.append(pred_raw)
+                    flag_vec.append(flags)
+            else:
+                for record in self._records:
+                    assert record is not None
+                    ts_vec.append(record.create_ts)
+                    vid_vec.append(record.vid)
+                    pred_vec.append(pack_tid(record.pred))
+                    flag_vec.append(FLAG_TOMBSTONE if record.tombstone
+                                    else 0)
+            columns = (ts_vec, vid_vec, pred_vec, flag_vec)
+            self._meta_columns = columns
+        return columns
+
+    def _payload_extents(self) -> list[tuple[int, int]]:
+        """VECTOR payload ``(offset, length)`` pairs, batch-decoded once."""
+        extents = self._extents
+        if extents is None:
+            view = self._view
+            assert view is not None
+            extents = list(_OFFSET.iter_unpack(
+                view[self._offsets_base:self._heap_base]))
+            self._extents = extents
+        return extents
+
+    def tombstone_bitmap(self) -> int:
+        """Bitmap with bit ``i`` set iff slot ``i`` is a tombstone.
+
+        VECTOR only (like :meth:`meta_columns`); cached until the next
+        append.  Usually 0 — deletes are rare relative to page size.
+        """
+        bitmap = self._tomb_bitmap
+        if bitmap is None:
+            meta = self.meta_columns()
+            assert meta is not None
+            bitmap = 0
+            for slot, flags in enumerate(meta[3]):
+                if flags & FLAG_TOMBSTONE:
+                    bitmap |= 1 << slot
+            self._tomb_bitmap = bitmap
+        return bitmap
+
+    def probe_column(self, offset: int,
+                     st: struct.Struct) -> list[object | None] | None:
+        """One fixed-offset field of *every* slot's payload, as a vector.
+
+        The per-page pass behind predicate pushdown: one tight loop over
+        the cached payload extents, unpacking ``st`` at ``offset`` within
+        each payload straight off the sealed view — or over the resident
+        records' payload bytes on a seal-published page.  Entries are None
+        where the payload is too short.  Returns None on NSM pages, which
+        keep the per-slot probe/decode path.  Extracted columns are cached
+        (keyed by offset and format) until the next append, so repeated
+        scans of a sealed page pay the pass once.
+        """
+        if self.layout is not PageLayout.VECTOR:
+            return None
+        cache = self._column_cache
+        if cache is None:
+            cache = self._column_cache = {}
+        key = (offset, st.format)
+        column = cache.get(key)
+        if column is not None:
+            return column
+        end = offset + st.size
+        unpack_from = st.unpack_from
+        view = self._view
+        if view is None:
+            # seal-published object: every record is resident (same
+            # invariant as meta_columns)
+            column = [unpack_from(record.payload, offset)[0]
+                      if end <= len(record.payload) else None
+                      for record in self._records]
+        else:
+            heap_base = self._heap_base
+            column = [unpack_from(view, heap_base + poff + offset)[0]
+                      if end <= plen else None
+                      for poff, plen in self._payload_extents()]
+        cache[key] = column
+        return column
+
+    def probe_payload(self, slot: int, offset: int,
+                      st: struct.Struct) -> object | None:
+        """One fixed-width field out of a slot's payload, undecoded.
+
+        The predicate-pushdown probe: unpacks ``st`` at byte ``offset``
+        within the payload, straight off the sealed view (or the resident
+        record's payload bytes) — no :class:`VersionRecord` and no row
+        decode.  Returns None when the payload is too short for the
+        probe; the caller then falls back to a full row decode.
+        """
+        record = self._records[self._check(slot)]
+        if record is not None:
+            payload = record.payload
+            if offset + st.size > len(payload):
+                return None
+            return st.unpack_from(payload, offset)[0]
+        start, plen = self._payload_start(slot)
+        if offset + st.size > plen:
+            return None
+        return st.unpack_from(self._view, start + offset)[0]
+
+    def payload_slice(self, slot: int) -> bytes:
+        """A slot's payload bytes without materialising its record."""
+        record = self._records[self._check(slot)]
+        if record is not None:
+            return record.payload
+        start, plen = self._payload_start(slot)
+        view = self._view
+        assert view is not None
+        return bytes(view[start:start + plen])
+
+    def _payload_start(self, slot: int) -> tuple[int, int]:
+        """(absolute payload start, payload length) on a lazy page."""
+        view = self._view
+        assert view is not None
+        if self.layout is PageLayout.NSM:
+            start = self._nsm_offset(slot) + VERSION_HEADER_SIZE
+            (plen,) = _PLEN.unpack_from(view, start - _PLEN.size)
+        else:
+            poff, plen = self._payload_extents()[slot]
+            start = self._heap_base + poff
+        if start + plen > len(view):
+            raise PageCorruptError(
+                f"append page {self.page_no}: payload slice out of bounds")
+        return start, plen
 
     # -- lazy decode internals ------------------------------------------------------
 

@@ -49,6 +49,7 @@ class VidMapPage(Page):
                 f"capacity is {self.capacity} B")
         self.slots_per_bucket = slots_per_bucket
         self._slots: list[Tid | None] = [None] * slots_per_bucket
+        self._items: list[tuple[int, Tid]] | None = None
 
     def get(self, slot: int) -> Tid | None:
         """Entrypoint TID stored in ``slot`` (None if unset)."""
@@ -57,10 +58,22 @@ class VidMapPage(Page):
     def set(self, slot: int, tid: Tid | None) -> None:
         """Overwrite ``slot`` — the O(1) entrypoint update of SIAS-V."""
         self._slots[self._check(slot)] = tid
+        self._items = None
 
     def occupied(self) -> int:
         """Number of slots holding a TID."""
         return sum(1 for t in self._slots if t is not None)
+
+    def items(self) -> list[tuple[int, Tid]]:
+        """Non-empty ``(slot, tid)`` pairs in one pass (the scan path:
+        no per-slot bounds-checked ``get`` calls).  Cached until the next
+        :meth:`set`; callers must not mutate the returned list."""
+        items = self._items
+        if items is None:
+            items = self._items = [
+                (slot, tid) for slot, tid in enumerate(self._slots)
+                if tid is not None]
+        return items
 
     def _check(self, slot: int) -> int:
         if not 0 <= slot < self.slots_per_bucket:

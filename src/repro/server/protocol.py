@@ -90,6 +90,8 @@ class Command(IntEnum):
     CLOCK_ADVANCE = 20
     CLOCK_ADVANCE_TO = 21
     TXN_STATUS = 22
+    SCAN_BATCH = 23
+    AGGREGATE = 24
     SHUTDOWN = 99
 
 

@@ -158,6 +158,17 @@ def _as_ref(value: object) -> object:
     return value
 
 
+def _as_predicate(value: object) -> tuple | None:
+    if value is None:
+        return None
+    if (not isinstance(value, tuple) or len(value) != 3
+            or not isinstance(value[0], str)
+            or not isinstance(value[1], str)):
+        raise ProtocolError(
+            f"expected (column, op, value) predicate, got {value!r}")
+    return value
+
+
 class DatabaseServer:
     """Serves one :class:`Database` over length-prefixed TCP frames."""
 
@@ -214,6 +225,8 @@ class DatabaseServer:
             Command.LOOKUP: self._cmd_lookup,
             Command.RANGE_LOOKUP: self._cmd_range_lookup,
             Command.SCAN: self._cmd_scan,
+            Command.SCAN_BATCH: self._cmd_scan_batch,
+            Command.AGGREGATE: self._cmd_aggregate,
             Command.SCAN_VID_RANGE: self._cmd_scan_vid_range,
             Command.TICK: self._cmd_tick,
             Command.MAINTENANCE: self._cmd_maintenance,
@@ -709,6 +722,31 @@ class DatabaseServer:
         return tuple(await self._run(
             session, Command.SCAN,
             lambda: list(self.db.scan(txn, _as_str(table)))))
+
+    async def _cmd_scan_batch(self, session: Session, args: tuple) -> tuple:
+        txid, table, columns, where, after, limit = _arity(args, 6)
+        txn = session.claim(_as_int(txid, "txid"))
+        cols = (None if columns is None
+                else [_as_str(c, "column") for c in columns])
+
+        def work() -> tuple:
+            rows, cursor = self.db.scan_batch(
+                txn, _as_str(table), columns=cols,
+                where=_as_predicate(where),
+                after=None if after is None else _as_int(after, "cursor"),
+                limit=_as_int(limit, "limit"))
+            return tuple(rows), cursor
+        return await self._run(session, Command.SCAN_BATCH, work)
+
+    async def _cmd_aggregate(self, session: Session, args: tuple) -> object:
+        txid, table, op, column, where = _arity(args, 5)
+        txn = session.claim(_as_int(txid, "txid"))
+        return await self._run(
+            session, Command.AGGREGATE,
+            lambda: self.db.aggregate(
+                txn, _as_str(table), _as_str(op, "aggregate op"),
+                column=None if column is None else _as_str(column, "column"),
+                where=_as_predicate(where)))
 
     async def _cmd_scan_vid_range(self, session: Session,
                                   args: tuple) -> tuple:

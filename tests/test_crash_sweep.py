@@ -7,7 +7,18 @@ scenarios, including a torn append-page seal.
 
 from __future__ import annotations
 
-from repro.db.database import EngineKind
+import pytest
+
+from repro.common import units
+from repro.common.config import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    PageLayout,
+    SystemConfig,
+)
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
 from repro.db.recovery import crash, recover
 from repro.experiments.crash_sweep import (
     SweepConfig,
@@ -15,15 +26,54 @@ from repro.experiments.crash_sweep import (
     run_one,
     run_sweep,
 )
+from tests.conftest import ACCOUNTS
+
 SMALL = dict(accounts=6, transfers=12)
+
+LAYOUTS = pytest.mark.parametrize(
+    "layout", [PageLayout.VECTOR, PageLayout.NSM],
+    ids=["vector", "nsm"])
+
+
+def make_layout_db(layout: PageLayout) -> Database:
+    """A SIAS-V accounts database with an explicit append-page layout."""
+    config = SystemConfig(
+        flash=FlashConfig(capacity_bytes=64 * units.MIB),
+        buffer=BufferConfig(pool_pages=128),
+        engine=EngineConfig(layout=layout),
+        extent_pages=16,
+    )
+    db = Database.on_flash(EngineKind.SIASV, config)
+    db.create_table("accounts", ACCOUNTS, indexes=[
+        IndexDef("pk", ("id",), unique=True),
+        IndexDef("by_owner", ("owner",)),
+    ])
+    return db
 
 
 class TestSweep:
-    def test_siasv_sweep_holds_invariants(self):
-        cfg = SweepConfig(kind=EngineKind.SIASV, stride=5, **SMALL)
+    @LAYOUTS
+    def test_siasv_sweep_holds_invariants(self, layout):
+        """The full value oracle holds for both append-page layouts."""
+        cfg = SweepConfig(kind=EngineKind.SIASV, stride=5, layout=layout,
+                          **SMALL)
         report = run_sweep(cfg)
         assert report.points_tested >= 3
         assert report.points_crashed == report.points_tested
+
+    def test_layouts_recover_identically_past_end(self):
+        """Same workload run to completion under both layouts: identical
+        committed-transfer and recovered-row counts.  (Mid-run crash
+        points are layout-relative — the layouts seal at different write
+        counts — so the sweep's value oracle covers those per layout.)"""
+        outcomes = {}
+        for layout in (PageLayout.VECTOR, PageLayout.NSM):
+            cfg = SweepConfig(kind=EngineKind.SIASV, layout=layout, **SMALL)
+            outcome = run_one(cfg, count_writes(cfg) + 100, torn=False)
+            outcomes[layout] = (outcome.committed, outcome.recovered_rows)
+        assert outcomes[PageLayout.VECTOR] == outcomes[PageLayout.NSM]
+        assert outcomes[PageLayout.VECTOR] == (SMALL["transfers"],
+                                               SMALL["accounts"])
 
     def test_si_sweep_holds_invariants(self):
         cfg = SweepConfig(kind=EngineKind.SI, stride=5, **SMALL)
@@ -53,16 +103,20 @@ class TestSweep:
 
 
 class TestTornSealRecovery:
-    def test_torn_tail_page_reported_and_reused(self, sias_db):
+    @LAYOUTS
+    def test_torn_tail_page_reported_and_reused(self, layout):
         """A sealed append page half-written at the crash is detected by
         its checksum, reported, made reusable — and its committed
-        versions come back through WAL redo."""
+        versions come back through WAL redo.  Identical behaviour for
+        both append-page layouts."""
+        sias_db = make_layout_db(layout)
         txn = sias_db.begin()
         for i in range(400):  # enough to seal several append pages
             sias_db.insert(txn, "accounts", (i, "u" * 30, float(i)))
         sias_db.commit(txn)
         engine = sias_db.table("accounts").engine
         store = engine.store
+        assert all(p.layout is layout for p in store._open.values())
         sealed = list(store.sealed)
         assert sealed, "workload did not seal any append page"
         victim = max(sealed)
@@ -87,7 +141,9 @@ class TestTornSealRecovery:
         sias_db.commit(txn)
         assert rows == set(range(400))
 
-    def test_double_crash_after_torn_seal(self, sias_db):
+    @LAYOUTS
+    def test_double_crash_after_torn_seal(self, layout):
+        sias_db = make_layout_db(layout)
         txn = sias_db.begin()
         for i in range(400):
             sias_db.insert(txn, "accounts", (i, "u" * 30, float(i)))

@@ -1,0 +1,540 @@
+"""Vectorized execution tests: visibility kernels, predicate pushdown,
+never-materialize operators, and the wire-level batch scan.
+
+The load-bearing guarantee is bit-identity: on any workload — inserts,
+updates, deletes, open and sealed pages, both append-page layouts,
+concurrent snapshots — ``vec_scan`` must return exactly what the
+tuple-at-a-time ``vidmap_scan`` and ``full_relation_scan`` return.  The
+hypothesis schedules drive that; the unit tests pin the kernels
+(:meth:`Snapshot.visibility_bitmap`, :meth:`AppendPage.meta_columns`,
+the payload probes) against their per-slot counterparts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import units
+from repro.common.config import (
+    BufferConfig,
+    EngineConfig,
+    FlashConfig,
+    PageLayout,
+    SystemConfig,
+)
+from repro.common.errors import SchemaError
+from repro.core.scan import full_relation_scan, vidmap_scan
+from repro.core.vecscan import (
+    Predicate,
+    vec_aggregate,
+    vec_count,
+    vec_scan,
+    vec_scan_batch,
+)
+from repro.db.catalog import IndexDef
+from repro.db.database import Database, EngineKind
+from repro.db.row import RowCodec
+from repro.db.schema import ColType, Schema
+from repro.pages.append_page import AppendPage
+from repro.pages.layout import Tid, VersionRecord
+from repro.txn.commitlog import CommitLog
+from repro.txn.snapshot import Snapshot
+from tests.conftest import ACCOUNTS, make_accounts_db
+
+#: Fixed-width columns first (probe-able), STR last (heap payload).
+FIXED_FIRST = Schema.of(("id", ColType.INT), ("balance", ColType.FLOAT),
+                        ("owner", ColType.STR))
+
+
+def make_layout_db(layout: PageLayout,
+                   schema: Schema = FIXED_FIRST) -> Database:
+    """A SIAS-V database with an explicit append-page layout."""
+    config = SystemConfig(
+        flash=FlashConfig(capacity_bytes=64 * units.MIB),
+        buffer=BufferConfig(pool_pages=128),
+        engine=EngineConfig(layout=layout),
+        extent_pages=16,
+    )
+    db = Database.on_flash(EngineKind.SIASV, config)
+    db.create_table("accounts", schema,
+                    indexes=[IndexDef("pk", ("id",), unique=True)])
+    return db
+
+
+# -- the visibility kernel ----------------------------------------------------------
+
+
+class TestVisibilityBitmap:
+    def _fixture(self):
+        clog = CommitLog()
+        for txid in (2, 3, 4, 5, 6, 7):
+            clog.register(txid)
+        for txid in (2, 4, 6):
+            clog.set_committed(txid)
+        clog.set_aborted(3)
+        # 5 stays in progress (concurrent), 7 in progress (future-ish)
+        snapshot = Snapshot(txid=6, concurrent=frozenset({5}))
+        return snapshot, clog
+
+    @given(st.lists(st.sampled_from([2, 3, 4, 5, 6, 7]), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sees_ts(self, ts_vector):
+        snapshot, clog = self._fixture()
+        bitmap = snapshot.visibility_bitmap(ts_vector, clog)
+        for slot, ts in enumerate(ts_vector):
+            assert bool((bitmap >> slot) & 1) == snapshot.sees_ts(ts, clog)
+
+    def test_all_and_none_visible_extremes(self):
+        snapshot, clog = self._fixture()
+        n = 20
+        assert snapshot.visibility_bitmap([2] * n, clog) == (1 << n) - 1
+        assert snapshot.visibility_bitmap([3] * n, clog) == 0
+        assert snapshot.visibility_bitmap([], clog) == 0
+
+    def test_memo_is_shared_across_calls(self):
+        snapshot, clog = self._fixture()
+        memo: dict[int, bool] = {}
+        snapshot.visibility_bitmap([2, 3, 5], clog, memo)
+        assert memo == {2: True, 3: False, 5: False}
+        # a poisoned memo is trusted — proves the second call reused it
+        memo[3] = True
+        assert snapshot.visibility_bitmap([3], clog, memo) == 1
+
+
+# -- page kernels: metadata vectors and payload probes ------------------------------
+
+
+def _vector_page(rows, codec, tombstones=()):
+    """An open VECTOR page holding ``rows``; slot i created by txid 10+i."""
+    page = AppendPage(0, PageLayout.VECTOR)
+    for i, row in enumerate(rows):
+        page.append(VersionRecord(
+            create_ts=10 + i, vid=100 + i,
+            pred=Tid(7, i) if i % 2 else None,
+            tombstone=(i in tombstones), payload=codec.encode(row)))
+    return page
+
+
+def _sealed_view(page):
+    """The same page re-decoded from its on-disk image (view mode)."""
+    return AppendPage.from_payload_kind(page.page_no, page.payload_bytes(),
+                                        page.page_size, page.kind)
+
+
+class TestPageKernels:
+    ROWS = [(1, 10.5, "ann"), (2, -3.0, "bob"), (3, 99.25, "c" * 40)]
+
+    def _codec(self):
+        return RowCodec(FIXED_FIRST)
+
+    @pytest.mark.parametrize("mode", ["record", "view"])
+    def test_meta_columns_match_read_meta(self, mode):
+        codec = self._codec()
+        page = _vector_page(self.ROWS, codec, tombstones={1})
+        if mode == "view":
+            page = _sealed_view(page)
+        ts_vec, vid_vec, pred_vec, flag_vec = page.meta_columns()
+        for slot in range(page.record_count):
+            create_ts, vid, pred, tombstone = page.read_meta(slot)
+            assert ts_vec[slot] == create_ts
+            assert vid_vec[slot] == vid
+            assert Tid.unpack(pred_vec[slot]) == pred
+            assert bool(flag_vec[slot] & 1) == tombstone
+
+    def test_meta_columns_none_for_nsm(self):
+        page = AppendPage(0, PageLayout.NSM)
+        page.append(VersionRecord(1, 1, None, False, b"x"))
+        assert page.meta_columns() is None
+
+    @pytest.mark.parametrize("mode", ["record", "view"])
+    def test_tombstone_bitmap(self, mode):
+        codec = self._codec()
+        page = _vector_page(self.ROWS, codec, tombstones={0, 2})
+        if mode == "view":
+            page = _sealed_view(page)
+        assert page.tombstone_bitmap() == 0b101
+
+    @pytest.mark.parametrize("mode", ["record", "view"])
+    def test_probe_matches_decode(self, mode):
+        codec = self._codec()
+        page = _vector_page(self.ROWS, codec)
+        if mode == "view":
+            page = _sealed_view(page)
+        for name, position in (("id", 0), ("balance", 1)):
+            offset, fmt = codec.fixed_field(name)
+            column = page.probe_column(offset, fmt)
+            for slot, row in enumerate(self.ROWS):
+                assert page.probe_payload(slot, offset, fmt) == row[position]
+                assert column[slot] == row[position]
+                assert codec.decode(page.payload_slice(slot)) == row
+
+    def test_probe_short_payload_is_none(self):
+        codec = self._codec()
+        page = _vector_page(self.ROWS, codec)
+        offset, fmt = codec.fixed_field("balance")
+        short = AppendPage(1, PageLayout.VECTOR)
+        short.append(VersionRecord(1, 1, None, False, b"\x01"))
+        assert short.probe_payload(0, offset, fmt) is None
+        assert short.probe_column(offset, fmt) == [None]
+        assert page.probe_column(offset, fmt)[0] is not None
+
+    def test_probe_column_none_for_nsm(self):
+        page = AppendPage(0, PageLayout.NSM)
+        page.append(VersionRecord(1, 1, None, False, b"\x00" * 16))
+        assert page.probe_column(0, RowCodec(FIXED_FIRST
+                                             ).fixed_field("id")[1]) is None
+
+    def test_caches_invalidated_by_append(self):
+        codec = self._codec()
+        page = _vector_page(self.ROWS[:2], codec)
+        offset, fmt = codec.fixed_field("id")
+        assert len(page.meta_columns()[0]) == 2
+        assert len(page.probe_column(offset, fmt)) == 2
+        page.append(VersionRecord(99, 999, None, False,
+                                  codec.encode(self.ROWS[2])))
+        assert len(page.meta_columns()[0]) == 3
+        assert page.probe_column(offset, fmt)[2] == self.ROWS[2][0]
+
+    def test_fixed_field_blocked_past_str(self):
+        codec = RowCodec(ACCOUNTS)  # (id INT, owner STR, balance FLOAT)
+        assert codec.fixed_field("id") == (0, codec.fixed_field("id")[1])
+        assert codec.fixed_field("owner") is None
+        assert codec.fixed_field("balance") is None  # STR before it
+
+
+# -- equivalence: kernels vs tuple-at-a-time ----------------------------------------
+
+
+LAYOUTS = pytest.mark.parametrize(
+    "layout", [PageLayout.VECTOR, PageLayout.NSM], ids=["vector", "nsm"])
+
+op_step = st.tuples(
+    st.sampled_from(["insert", "update", "delete", "commit", "seal"]),
+    st.integers(0, 11),
+)
+
+
+def _apply_schedule(db, schedule):
+    """Apply a single-session schedule of mutations with periodic commits."""
+    counter = 0
+    txn = db.begin()
+    for op, key in schedule:
+        counter += 1
+        if op == "insert":
+            if not db.lookup(txn, "accounts", "pk", key):
+                db.insert(txn, "accounts",
+                          (key, float(counter), f"owner{key % 4}"))
+        elif op == "update":
+            hits = db.lookup(txn, "accounts", "pk", key)
+            if hits:
+                ref, row = hits[0]
+                db.update(txn, "accounts", ref,
+                          (key, row[1] + 1.0, row[2]))
+        elif op == "delete":
+            hits = db.lookup(txn, "accounts", "pk", key)
+            if hits:
+                db.delete(txn, "accounts", hits[0][0])
+        elif op == "commit":
+            db.commit(txn)
+            txn = db.begin()
+        elif op == "seal":
+            db.table("accounts").engine.store.seal_working_page()
+    db.commit(txn)
+
+
+class TestScanEquivalence:
+    @LAYOUTS
+    @given(schedule=st.lists(op_step, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_vec_scan_bit_identical(self, layout, schedule):
+        db = make_layout_db(layout)
+        _apply_schedule(db, schedule)
+        relation = db.table("accounts")
+        engine, codec = relation.engine, relation.codec
+        txn = db.begin()
+        via_vidmap = sorted((vid, codec.decode(record.payload))
+                            for vid, record in vidmap_scan(engine, txn))
+        via_full = sorted((vid, codec.decode(record.payload))
+                          for vid, record in full_relation_scan(engine, txn))
+        via_vec = sorted(vec_scan(engine, codec, txn))
+        assert via_vec == via_vidmap == via_full
+        # the filtered/projected/aggregated forms agree with Python-side
+        # filtering of the unfiltered result
+        pred = ("balance", ">=", 3.0)
+        kept = [(vid, row) for vid, row in via_vidmap if row[1] >= 3.0]
+        assert sorted(vec_scan(engine, codec, txn, where=pred)) == kept
+        assert vec_count(engine, codec, txn, where=pred) == len(kept)
+        assert vec_aggregate(engine, codec, txn, "max", "balance") == (
+            max((row[1] for _vid, row in via_vidmap), default=None))
+        db.commit(txn)
+
+    @LAYOUTS
+    def test_uncommitted_and_concurrent_snapshots(self, layout):
+        db = make_layout_db(layout)
+        txn = db.begin()
+        db.bulk_insert(txn, "accounts",
+                       [(i, float(i), f"owner{i % 4}") for i in range(40)])
+        db.commit(txn)
+        db.table("accounts").engine.store.seal_working_page()
+        relation = db.table("accounts")
+        engine, codec = relation.engine, relation.codec
+        writer = db.begin()
+        db.insert(writer, "accounts", (900, 1.0, "w"))
+        (ref, row), = db.lookup(writer, "accounts", "pk", 3)
+        db.update(writer, "accounts", ref, (3, 555.0, row[2]))
+        reader = db.begin()  # concurrent with the uncommitted writer
+        assert vec_count(engine, codec, reader) == 40
+        assert vec_aggregate(engine, codec, reader, "max", "balance") == 39.0
+        # the writer sees its own uncommitted writes through the kernels
+        assert vec_count(engine, codec, writer) == 41
+        assert vec_aggregate(engine, codec, writer, "max", "balance") == 555.0
+        db.commit(writer)
+        # the reader's snapshot predates the commit: still the old state
+        assert vec_count(engine, codec, reader) == 40
+        db.commit(reader)
+
+    def test_str_predicate_has_no_pushdown_but_same_result(self):
+        db = make_layout_db(PageLayout.VECTOR)
+        txn = db.begin()
+        db.bulk_insert(txn, "accounts",
+                       [(i, float(i), f"owner{i % 4}") for i in range(30)])
+        db.commit(txn)
+        db.table("accounts").engine.store.seal_working_page()
+        relation = db.table("accounts")
+        engine, codec = relation.engine, relation.codec
+        txn = db.begin()
+        got = sorted(vec_scan(engine, codec, txn,
+                              where=("owner", "==", "owner2")))
+        want = sorted((vid, codec.decode(r.payload))
+                      for vid, r in vidmap_scan(engine, txn)
+                      if codec.decode(r.payload)[2] == "owner2")
+        assert got == want and got
+        db.commit(txn)
+
+
+# -- operators ----------------------------------------------------------------------
+
+
+class TestOperators:
+    def _loaded(self, n=50):
+        db = make_layout_db(PageLayout.VECTOR)
+        txn = db.begin()
+        db.bulk_insert(txn, "accounts",
+                       [(i, float(i % 10), f"owner{i % 4}")
+                        for i in range(n)])
+        db.commit(txn)
+        db.table("accounts").engine.store.seal_working_page()
+        relation = db.table("accounts")
+        return db, relation.engine, relation.codec
+
+    def test_aggregates(self):
+        db, engine, codec = self._loaded()
+        txn = db.begin()
+        assert vec_count(engine, codec, txn) == 50
+        assert vec_aggregate(engine, codec, txn, "count") == 50
+        assert vec_aggregate(engine, codec, txn, "sum", "balance") == (
+            sum(float(i % 10) for i in range(50)))
+        assert vec_aggregate(engine, codec, txn, "min", "id") == 0
+        assert vec_aggregate(engine, codec, txn, "max", "id") == 49
+        assert vec_aggregate(engine, codec, txn, "sum", "id",
+                             where=("id", "<", 10)) == 45
+        db.commit(txn)
+
+    def test_empty_aggregates(self):
+        db = make_layout_db(PageLayout.VECTOR)
+        relation = db.table("accounts")
+        engine, codec = relation.engine, relation.codec
+        txn = db.begin()
+        assert vec_count(engine, codec, txn) == 0
+        assert vec_aggregate(engine, codec, txn, "sum", "balance") == 0
+        assert vec_aggregate(engine, codec, txn, "min", "balance") is None
+        assert vec_aggregate(engine, codec, txn, "max", "balance") is None
+        db.commit(txn)
+
+    def test_operator_errors(self):
+        db, engine, codec = self._loaded(4)
+        txn = db.begin()
+        with pytest.raises(SchemaError):
+            vec_aggregate(engine, codec, txn, "median", "balance")
+        with pytest.raises(SchemaError):
+            vec_aggregate(engine, codec, txn, "sum")  # needs a column
+        with pytest.raises(SchemaError):
+            vec_count(engine, codec, txn, where=("balance", "~", 1.0))
+        with pytest.raises(SchemaError):
+            vec_count(engine, codec, txn, where="balance > 1")
+        with pytest.raises(SchemaError):
+            vec_scan_batch(engine, codec, txn, limit=0)
+        db.commit(txn)
+
+    def test_predicate_normalize(self):
+        pred = Predicate("id", "<", 5)
+        assert Predicate.normalize(pred) is pred
+        assert Predicate.normalize(("id", "<", 5)) == pred
+        assert Predicate.normalize(None) is None
+
+    def test_scan_batch_pagination(self):
+        db, engine, codec = self._loaded()
+        txn = db.begin()
+        everything = list(vec_scan(engine, codec, txn))
+        paged, cursor, pages = [], None, 0
+        while True:
+            rows, cursor = vec_scan_batch(engine, codec, txn,
+                                          after_vid=cursor, limit=7)
+            paged.extend(rows)
+            pages += 1
+            assert len(rows) <= 7
+            if cursor is None:
+                break
+        assert paged == everything
+        assert pages >= len(everything) // 7
+        db.commit(txn)
+
+
+# -- the Database facade across both engines ----------------------------------------
+
+
+class TestFacadeParity:
+    def _fill(self, db):
+        txn = db.begin()
+        for i in range(25):
+            db.insert(txn, "accounts", (i, f"owner{i % 3}", float(i)))
+        db.commit(txn)
+        txn = db.begin()
+        for i in range(0, 25, 5):
+            ref, row = db.lookup(txn, "accounts", "pk", i)[0]
+            db.update(txn, "accounts", ref, (i, row[1], row[2] + 100.0))
+        db.delete(txn, "accounts", db.lookup(txn, "accounts", "pk", 7)[0][0])
+        db.commit(txn)
+
+    def test_scan_filter_and_projection_agree(self):
+        results = {}
+        for kind in (EngineKind.SIASV, EngineKind.SI):
+            db = make_accounts_db(kind)
+            self._fill(db)
+            txn = db.begin()
+            results[kind] = {
+                "rows": sorted(row for _ref, row in db.scan(txn, "accounts")),
+                "filtered": sorted(
+                    row for _ref, row in
+                    db.scan(txn, "accounts", where=("balance", ">=", 100.0))),
+                "projected": sorted(
+                    row for _ref, row in
+                    db.scan(txn, "accounts", columns=["balance", "id"])),
+                "count": db.aggregate(txn, "accounts", "count"),
+                "sum": db.aggregate(txn, "accounts", "sum", "balance",
+                                    where=("id", "<", 10)),
+                "min": db.aggregate(txn, "accounts", "min", "balance"),
+            }
+            db.commit(txn)
+        assert results[EngineKind.SIASV] == results[EngineKind.SI]
+
+    @pytest.mark.parametrize("kind", [EngineKind.SIASV, EngineKind.SI],
+                             ids=["sias-v", "si"])
+    def test_scan_batch_pages_through_everything(self, kind):
+        db = make_accounts_db(kind)
+        self._fill(db)
+        txn = db.begin()
+        everything = [row for _ref, row in db.scan(txn, "accounts")]
+        paged, cursor = [], None
+        while True:
+            rows, cursor = db.scan_batch(txn, "accounts", after=cursor,
+                                         limit=6)
+            paged.extend(row for _ref, row in rows)
+            if cursor is None:
+                break
+        assert paged == everything
+        db.commit(txn)
+
+
+# -- the wire layer -----------------------------------------------------------------
+
+
+class TestRemoteScan:
+    @pytest.fixture
+    def served(self):
+        from repro.server import DatabaseServer, ServerConfig
+        db = make_accounts_db(EngineKind.SIASV)
+        server = DatabaseServer(db, ServerConfig(port=0,
+                                                 idle_timeout_sec=30.0))
+        host, port = server.start_in_background()
+        yield db, host, port
+        server.stop_in_background()
+
+    def test_remote_scan_and_aggregate(self, served):
+        from repro.client import RemoteDatabase
+        db, host, port = served
+        txn = db.begin()
+        for i in range(40):
+            db.insert(txn, "accounts", (i, f"owner{i % 3}", float(i)))
+        db.commit(txn)
+        db.table("accounts").engine.store.seal_working_page()
+        remote = RemoteDatabase(host, port)
+        try:
+            txn = remote.begin()
+            rows = sorted(row for _ref, row in
+                          remote.scan(txn, "accounts", batch_size=7))
+            assert rows == sorted((i, f"owner{i % 3}", float(i))
+                                  for i in range(40))
+            filtered = list(remote.scan(txn, "accounts",
+                                        columns=["id"],
+                                        where=("id", ">=", 30),
+                                        batch_size=4))
+            assert sorted(row for _ref, row in filtered) == [
+                (i,) for i in range(30, 40)]
+            assert remote.aggregate(txn, "accounts", "count") == 40
+            assert remote.aggregate(txn, "accounts", "sum", "balance",
+                                    where=("id", "<", 10)) == 45.0
+            assert remote.aggregate(txn, "accounts", "min", "id") == 0
+            remote.commit(txn)
+        finally:
+            remote.close()
+
+
+# -- stats: atomic counters and saved descents --------------------------------------
+
+
+class TestStats:
+    def test_counter_updates_are_atomic(self):
+        db = make_accounts_db(EngineKind.SIASV)
+        stats = db.table("accounts").engine.stats
+        threads, per_thread = 8, 2000
+
+        def bump():
+            for _ in range(per_thread):
+                stats.add(chain_hops=1, resolves=1)
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert stats.chain_hops == threads * per_thread
+        assert stats.resolves == threads * per_thread
+
+    def test_full_scan_counts_saved_descents(self):
+        db = make_accounts_db(EngineKind.SIASV)
+        txn = db.begin()
+        for i in range(20):
+            db.insert(txn, "accounts", (i, f"owner{i % 3}", float(i)))
+        db.commit(txn)
+        txn = db.begin()
+        for i in range(0, 20, 2):
+            ref, row = db.lookup(txn, "accounts", "pk", i)[0]
+            db.update(txn, "accounts", ref, (i, row[1], row[2] + 1.0))
+        db.commit(txn)
+        engine = db.table("accounts").engine
+        codec = db.table("accounts").codec
+        before = engine.stats.scan_descents_saved
+        txn = db.begin()
+        via_full = sorted((vid, codec.decode(r.payload))
+                          for vid, r in full_relation_scan(engine, txn))
+        via_vidmap = sorted((vid, codec.decode(r.payload))
+                            for vid, r in vidmap_scan(engine, txn))
+        db.commit(txn)
+        assert via_full == via_vidmap
+        # every superseded version the scan skipped without a re-descent
+        assert engine.stats.scan_descents_saved > before
