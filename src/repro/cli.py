@@ -12,7 +12,10 @@ Commands:
 * ``crash-sweep`` — fault-injection sweep: crash at every k-th device
   write, recover, verify invariants (see ``docs/RECOVERY.md``);
 * ``chaos-sweep`` — network fault-injection sweep: break the connection
-  at every k-th frame, verify settlement (see ``docs/SERVER.md``).
+  at every k-th frame, verify settlement (see ``docs/SERVER.md``);
+* ``cluster`` — VID-range sharded cluster: ``start`` a supervisor +
+  router, ``status`` a running router, ``bench`` TPC-C through the
+  router (see ``docs/CLUSTER.md``).
 
 Also installed as the ``repro`` console script (``pip install -e .``).
 """
@@ -236,6 +239,117 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
                              "--seed", str(args.seed)])
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    return {"start": _cluster_start, "status": _cluster_status,
+            "bench": _cluster_bench}[args.cluster_command](args)
+
+
+def _cluster_start(args: argparse.Namespace) -> int:
+    from repro.cluster import (ClusterRouter, RouterConfig, ShardSupervisor,
+                               SupervisorConfig)
+
+    supervisor = ShardSupervisor(SupervisorConfig(
+        shards=args.shards, host=args.host, mode=args.mode, tpcc=args.tpcc,
+        idle_timeout_sec=args.idle_timeout,
+        drain_timeout_sec=args.drain_timeout))
+    addresses = supervisor.start()
+    for i, (host, port) in enumerate(addresses):
+        print(f"shard {i}: {host}:{port} ({args.mode} mode)", flush=True)
+    router = ClusterRouter(addresses, RouterConfig(
+        host=args.host, port=args.port,
+        idle_timeout_sec=args.idle_timeout,
+        drain_timeout_sec=args.drain_timeout))
+    try:
+        router.run()
+    finally:
+        supervisor.stop()
+    stats = router.stats
+    print(f"router stopped: {stats.gtxns_begun} gtxns "
+          f"({stats.commits_readonly} read-only, {stats.commits_1pc} "
+          f"single-shard, {stats.commits_2pc} two-phase, "
+          f"{stats.aborts} aborted)", flush=True)
+    print("clean shutdown", flush=True)
+    return 0
+
+
+def _cluster_status(args: argparse.Namespace) -> int:
+    from repro.client import RemoteDatabase
+
+    remote = RemoteDatabase.connect(args.host, args.port, pool_size=1)
+    try:
+        stats = remote.server_stats()
+    finally:
+        remote.close()
+    cluster = stats.get("cluster")
+    if cluster is None:
+        print(f"{args.host}:{args.port} is a single-node server, not a "
+              "cluster router (try `repro cluster start`)", file=sys.stderr)
+        return 2
+    sessions = stats["sessions"]
+    print(f"router {args.host}:{args.port}: up {stats['uptime_sec']} s, "
+          f"{sessions['live']} sessions, "
+          f"{sessions['in_flight_txns']} txns in flight")
+    for entry in cluster["shards"]:
+        state = "alive" if entry["alive"] else "DOWN"
+        txns = entry["txns"]
+        detail = (f"  active={txns.get('active', '?')} "
+                  f"in_doubt={txns.get('in_doubt', '?')}"
+                  if entry["alive"] else "")
+        print(f"shard {entry['shard']}: {entry['host']}:{entry['port']} "
+              f"{state}{detail}")
+    router = cluster["router"]
+    print(f"2pc: {router['commits_2pc']} two-phase, "
+          f"{router['commits_1pc']} single-shard, "
+          f"{router['commits_readonly']} read-only, "
+          f"{router['aborts']} aborted; "
+          f"{cluster['in_doubt']} in doubt, "
+          f"{cluster['pending_decisions']} decisions pending")
+    return 0
+
+
+def _cluster_bench(args: argparse.Namespace) -> int:
+    from repro.client import RemoteDatabase
+    from repro.cluster import (ClusterRouter, RouterConfig, ShardSupervisor,
+                               SupervisorConfig)
+    from repro.workload.driver import TpccDriver
+    from repro.workload.tpcc_data import TpccLoader
+    from repro.workload.tpcc_schema import TpccScale, create_tpcc_tables
+
+    scale = TpccScale(districts_per_warehouse=2, customers_per_district=4,
+                      items=10, stock_per_warehouse=10,
+                      initial_orders_per_district=2)
+    supervisor = ShardSupervisor(SupervisorConfig(shards=args.shards))
+    supervisor.start()
+    router = ClusterRouter(supervisor.addresses, RouterConfig(port=0))
+    try:
+        host, port = router.start_in_background()
+        print(f"{args.shards}-shard cluster behind {host}:{port}",
+              flush=True)
+        remote = RemoteDatabase.connect(host, port, pool_size=args.clients)
+        try:
+            create_tpcc_tables(remote)
+            load = TpccLoader(remote, scale=scale).load(warehouses=1)
+            print(f"loaded {load.rows} rows over the wire", flush=True)
+            driver = TpccDriver(
+                remote, warehouses=1, scale=scale,
+                config=DriverConfig(
+                    clients=args.clients,
+                    maintenance_interval_usec=3600 * units.SEC))
+            summary = driver.run_transactions(args.transactions).summary()
+        finally:
+            remote.close()
+    finally:
+        router.stop_in_background()
+        supervisor.stop()
+    stats = router.stats
+    print(f"driver: {summary.commits} commits, {summary.aborts} aborts, "
+          f"{summary.notpm:.0f} NOTPM over {summary.span_sec:.2f} sim-s")
+    print(f"router: {stats.commits_2pc} two-phase, "
+          f"{stats.commits_1pc} single-shard, "
+          f"{stats.commits_readonly} read-only, {stats.fanouts} fan-outs")
+    return 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.db.monitor import snapshot
     from repro.experiments import harness
@@ -324,6 +438,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--transfers", type=int, default=30)
     chaos.add_argument("--accounts", type=int, default=8)
     chaos.add_argument("--seed", type=int, default=11)
+
+    cluster = sub.add_parser("cluster",
+                             help="VID-range sharded cluster "
+                                  "(docs/CLUSTER.md)")
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cstart = csub.add_parser("start",
+                             help="start N shards and a router in the "
+                                  "foreground")
+    cstart.add_argument("--shards", type=int, default=2)
+    cstart.add_argument("--host", default="127.0.0.1")
+    cstart.add_argument("--port", type=int, default=7654,
+                        help="router port; 0 binds an ephemeral port")
+    cstart.add_argument("--mode", choices=("thread", "process"),
+                        default="thread",
+                        help="shards as in-process threads or `repro "
+                             "serve` subprocesses")
+    cstart.add_argument("--tpcc", action="store_true",
+                        help="pre-create the nine TPC-C tables on every "
+                             "shard")
+    cstart.add_argument("--idle-timeout", type=float, default=60.0)
+    cstart.add_argument("--drain-timeout", type=float, default=5.0)
+
+    cstatus = csub.add_parser("status",
+                              help="query a running router's shard "
+                                   "health and 2PC counters")
+    cstatus.add_argument("--host", default="127.0.0.1")
+    cstatus.add_argument("--port", type=int, default=7654)
+
+    cbench = csub.add_parser("bench",
+                             help="TPC-C through an ephemeral in-process "
+                                  "cluster")
+    cbench.add_argument("--shards", type=int, default=2)
+    cbench.add_argument("--transactions", type=int, default=60)
+    cbench.add_argument("--clients", type=int, default=4)
     return parser
 
 
@@ -339,6 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "crash-sweep": _cmd_crash_sweep,
         "chaos-sweep": _cmd_chaos_sweep,
+        "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)
 

@@ -216,82 +216,153 @@ class ConnectionPool:
     is spent the call fails client-side without another round trip.
     """
 
-    def __init__(self, host: str, port: int, size: int = 4,
+    def __init__(self, host: str | None = None, port: int | None = None,
+                 size: int = 4,
                  retry: RetryPolicy | None = None,
                  connect_timeout_sec: float = 5.0,
                  request_timeout_sec: float = 60.0,
                  breaker: CircuitBreaker | None = None,
                  deadline_ms: int | None = None,
-                 chaos: object | None = None) -> None:
+                 chaos: object | None = None,
+                 endpoints: list[tuple[str, int]] | None = None) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
-        self.host = host
-        self.port = port
+        if endpoints is None:
+            if host is None or port is None:
+                raise ValueError("either host+port or endpoints required")
+            endpoints = [(host, port)]
+        if not endpoints:
+            raise ValueError("endpoints must not be empty")
+        #: all addresses this pool can lease against; endpoint *index* is
+        #: the stable handle used by ``acquire(endpoint=...)``
+        self.endpoints: list[tuple[str, int]] = [(h, p)
+                                                 for h, p in endpoints]
+        self.host, self.port = self.endpoints[0]
         self.size = size
         self.retry = retry or RetryPolicy()
         self.connect_timeout_sec = connect_timeout_sec
         self.request_timeout_sec = request_timeout_sec
-        self.breaker = breaker or CircuitBreaker()
+        first = breaker or CircuitBreaker()
+        #: one breaker per endpoint: one down shard must not open the
+        #: circuit for its healthy peers.  Extra endpoints inherit the
+        #: first breaker's thresholds (and its injectable clock).
+        self.breakers: list[CircuitBreaker] = [first] + [
+            CircuitBreaker(first.failure_threshold,
+                           first.reset_timeout_sec, first._clock)
+            for _ in self.endpoints[1:]]
         self.deadline_ms = deadline_ms
+        #: a single plan applies to every endpoint; a ``{index: plan}``
+        #: dict faults selected endpoints only (shard-fault chaos)
         self.chaos = chaos
         self.stats = PoolStats()
         self._lock = threading.Lock()
-        self._free: list[ClientConnection] = []
+        self._free: list[list[ClientConnection]] = [
+            [] for _ in self.endpoints]
+        self._rr = 0
         self._closed = False
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The first endpoint's breaker (single-endpoint compatibility)."""
+        return self.breakers[0]
+
+    def _chaos_for(self, index: int) -> object | None:
+        if isinstance(self.chaos, dict):
+            return self.chaos.get(index)
+        return self.chaos
+
+    def _ordered(self, endpoint: int | None) -> list[int]:
+        """Candidate endpoint indexes, healthiest first.
+
+        A pinned ``endpoint`` is the only candidate.  Otherwise endpoints
+        whose breaker is not OPEN come first, rotated round-robin so load
+        spreads; OPEN ones trail (their cooldown may have elapsed, which
+        ``CircuitBreaker.allow`` decides at dial time).
+        """
+        if endpoint is not None:
+            if not 0 <= endpoint < len(self.endpoints):
+                raise ValueError(f"unknown endpoint index {endpoint}")
+            return [endpoint]
+        n = len(self.endpoints)
+        with self._lock:
+            start = self._rr
+            self._rr = (self._rr + 1) % n
+        order = [(start + i) % n for i in range(n)]
+        healthy = [i for i in order
+                   if self.breakers[i].state is not BreakerState.OPEN]
+        return healthy + [i for i in order if i not in healthy]
 
     # -- leasing -------------------------------------------------------------
 
-    def acquire(self) -> ClientConnection:
+    def acquire(self, endpoint: int | None = None) -> ClientConnection:
         """Lease a connection (reuses an idle one, else dials a new one).
 
-        Connect failures back off and retry per the policy, so a client
-        racing a still-booting server converges instead of failing —
-        unless the circuit breaker is open, in which case the lease
-        fails fast without touching the network.
+        ``endpoint`` pins the lease to one address (the router's
+        shard-targeted path); None picks health-aware round-robin across
+        all endpoints.  Connect failures back off and retry per the
+        policy, so a client racing a still-booting server converges
+        instead of failing — and an unpinned retry moves on to the next
+        endpoint.  When every candidate's circuit breaker is open the
+        lease fails fast with :class:`CircuitOpenError` without touching
+        the network.
         """
+        candidates = self._ordered(endpoint)
         with self._lock:
             if self._closed:
                 raise ConnectionError("pool is closed")
-            if self._free:
-                self.stats.reused += 1
-                return self._free.pop()
+            for i in candidates:
+                if self._free[i]:
+                    self.stats.reused += 1
+                    return self._free[i].pop()
         last_error: Exception | None = None
         for attempt in range(self.retry.max_attempts):
-            if not self.breaker.allow():
+            index = None
+            for i in candidates:
+                if self.breakers[i].allow():
+                    index = i
+                    break
+            if index is None:
                 with self._lock:
                     self.stats.circuit_rejections += 1
+                names = ", ".join(f"{h}:{p}"
+                                  for h, p in (self.endpoints[i]
+                                               for i in candidates))
                 raise CircuitOpenError(
-                    f"circuit open for {self.host}:{self.port} "
-                    f"({self.breaker.as_dict()})", breaker=self.breaker)
+                    f"circuit open for {names} "
+                    f"({self.breakers[candidates[0]].as_dict()})",
+                    breaker=self.breakers[candidates[0]])
+            host, port = self.endpoints[index]
             try:
                 conn = ClientConnection(
-                    self.host, self.port,
+                    host, port,
                     connect_timeout_sec=self.connect_timeout_sec,
                     request_timeout_sec=self.request_timeout_sec,
-                    chaos=self.chaos).connect()
+                    chaos=self._chaos_for(index)).connect()
+                conn.endpoint_index = index
                 with self._lock:
                     self.stats.created += 1
-                self.breaker.record_success()
+                self.breakers[index].record_success()
                 return conn
             except (OSError, ConnectionError) as exc:
                 last_error = exc
-                self.breaker.record_failure()
+                self.breakers[index].record_failure()
                 with self._lock:
                     self.stats.connect_retries += 1
                 time.sleep(self.retry.delay(attempt))
         raise ConnectionError(
-            f"could not connect to {self.host}:{self.port} after "
+            f"could not connect to {self.endpoints[candidates[0]]} after "
             f"{self.retry.max_attempts} attempts: {last_error}")
 
     def release(self, conn: ClientConnection) -> None:
         """Return a leased connection (broken ones are discarded)."""
+        index = getattr(conn, "endpoint_index", 0)
         if not conn.connected:
             with self._lock:
                 self.stats.broken += 1
             return
         with self._lock:
-            if not self._closed and len(self._free) < self.size:
-                self._free.append(conn)
+            if not self._closed and len(self._free[index]) < self.size:
+                self._free[index].append(conn)
                 return
             self.stats.overflow_closed += 1
         conn.close()
@@ -322,13 +393,14 @@ class ConnectionPool:
                         f"{command.name}: client-side deadline "
                         f"({deadline_ms}ms) spent across retries")
                 remaining_ms = max(1, int(remaining * 1000))
+            breaker = self.breakers[getattr(conn, "endpoint_index", 0)]
             try:
                 result = conn.request(command, *args,
                                       deadline_ms=remaining_ms)
-                self.breaker.record_success()
+                breaker.record_success()
                 return result
             except (OverloadedError, DeadlineExceededError) as exc:
-                self.breaker.record_failure()
+                breaker.record_failure()
                 with self._lock:
                     if isinstance(exc, OverloadedError):
                         self.stats.overload_retries += 1
@@ -342,12 +414,13 @@ class ConnectionPool:
                                            expires - time.monotonic()))
                 time.sleep(delay)
             except ConnectionError:
-                self.breaker.record_failure()
+                breaker.record_failure()
                 raise
         raise AssertionError("unreachable")
 
     def call(self, command: Command, *args: object,
-             deadline_ms: int | None = None) -> object:
+             deadline_ms: int | None = None,
+             endpoint: int | None = None) -> object:
         """Lease, run one command with retry, release.
 
         An :class:`AmbiguousResultError` (e.g. a pooled connection the
@@ -357,7 +430,7 @@ class ConnectionPool:
         ``TXN_STATUS`` right through the connection that just died.
         """
         for attempt in range(self.retry.max_attempts):
-            conn = self.acquire()
+            conn = self.acquire(endpoint=endpoint)
             try:
                 return self.request(conn, command, *args,
                                     deadline_ms=deadline_ms)
@@ -374,13 +447,19 @@ class ConnectionPool:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def endpoints_health(self) -> list[dict[str, object]]:
+        """Per-endpoint address + breaker view (router STATS / monitor)."""
+        return [{"host": h, "port": p, **b.as_dict()}
+                for (h, p), b in zip(self.endpoints, self.breakers)]
+
     def close(self) -> None:
         """Close every idle connection and refuse new leases."""
         with self._lock:
             self._closed = True
-            free, self._free = self._free, []
-        for conn in free:
-            conn.close()
+            free, self._free = self._free, [[] for _ in self.endpoints]
+        for conns in free:
+            for conn in conns:
+                conn.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self

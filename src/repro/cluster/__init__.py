@@ -1,0 +1,24 @@
+"""VID-range sharded cluster: shard map, supervisor, router, 2PC.
+
+The paper's dense arithmetic VIDmap (``bucket = VID // 1024``) makes
+contiguous VID-range ownership a pure arithmetic function — this package
+uses exactly that to stripe each table's VID space across N independent
+engine+server shards, fronted by a router that speaks the unmodified wire
+protocol and drives two-phase commit for multi-shard transactions.
+
+See ``docs/CLUSTER.md`` for the architecture and failure matrix.
+"""
+
+from repro.cluster.coordinator import CoordinatorLog
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.cluster.shardmap import ShardMap
+from repro.cluster.supervisor import ShardSupervisor, SupervisorConfig
+
+__all__ = [
+    "ClusterRouter",
+    "CoordinatorLog",
+    "RouterConfig",
+    "ShardMap",
+    "ShardSupervisor",
+    "SupervisorConfig",
+]

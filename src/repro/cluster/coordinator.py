@@ -1,0 +1,91 @@
+"""The coordinator's durable decision log (presumed abort).
+
+Two-phase commit needs exactly one durable fact from the coordinator: the
+**commit decision**.  Everything else is presumed — a global transaction
+with no logged decision is *aborted*, so prepare votes, abort decisions
+and per-participant acks never touch the log.  Two record kinds:
+
+* ``commit`` — the decision, forced before any participant is told to
+  commit.  It carries the participant list ``(shard, local txid)`` so a
+  restarted coordinator can re-push the decision to exactly the shards
+  that voted.
+* ``end`` — bookkeeping, appended (unforced) once every participant acked
+  the decision; it lets recovery skip fully-settled transactions.  Losing
+  an ``end`` is harmless: re-pushing a commit decision is idempotent
+  (``COMMIT_PREPARED`` answers False for an already-committed txn).
+
+The log is JSON-lines on disk (one file per router) or purely in memory
+(``path=None`` — tests hand the same instance to a successor router to
+model the coordinator restarting with its durable state intact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+
+class CoordinatorLog:
+    """Append-only 2PC decision log with presumed-abort semantics."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._mu = threading.Lock()
+        self._records: list[dict] = []
+        self.decisions_logged = 0
+        self.ends_logged = 0
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        self._records.append(json.loads(line))
+
+    def _append(self, record: dict, force: bool) -> None:
+        with self._mu:
+            self._records.append(record)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(record) + "\n")
+                    if force:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+
+    def log_commit(self, gtxid: int,
+                   participants: list[tuple[int, int]]) -> None:
+        """Force the commit decision (the 2PC point of no return)."""
+        self._append({"type": "commit", "gtxid": gtxid,
+                      "participants": [[s, t] for s, t in participants]},
+                     force=True)
+        self.decisions_logged += 1
+
+    def log_end(self, gtxid: int) -> None:
+        """All participants acked the decision; unforced bookkeeping."""
+        self._append({"type": "end", "gtxid": gtxid}, force=False)
+        self.ends_logged += 1
+
+    def decided_commit(self, gtxid: int) -> bool:
+        """Whether a commit decision was durably logged for ``gtxid``."""
+        with self._mu:
+            return any(r["type"] == "commit" and r["gtxid"] == gtxid
+                       for r in self._records)
+
+    def pending_decisions(self) -> dict[int, list[tuple[int, int]]]:
+        """Commit decisions without an ``end``: must be re-pushed.
+
+        ``{gtxid: [(shard, local txid), ...]}`` — what a restarted
+        coordinator drives to completion before serving new work.
+        """
+        with self._mu:
+            ended = {r["gtxid"] for r in self._records
+                     if r["type"] == "end"}
+            return {r["gtxid"]: [(s, t) for s, t in r["participants"]]
+                    for r in self._records
+                    if r["type"] == "commit" and r["gtxid"] not in ended}
+
+    def max_gtxid(self) -> int:
+        """Largest global txid ever logged (-1 if none) — the restart
+        watermark the gtxid allocator must stay above."""
+        with self._mu:
+            return max((r["gtxid"] for r in self._records), default=-1)

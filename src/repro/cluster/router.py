@@ -1,0 +1,1250 @@
+"""The cluster router: one wire endpoint fronting N engine shards.
+
+The router speaks the *unmodified* wire protocol of
+:mod:`repro.server.protocol`, so every existing client —
+:class:`~repro.client.remote.RemoteDatabase`, the connection pool, the
+TPC-C driver — works against a sharded cluster with zero changes.  Each
+client transaction becomes a **global transaction**: the router allocates
+a global txid, lazily begins a local transaction on every shard the
+client's commands touch (pinned to one pooled connection per shard, so
+shard-side session semantics are preserved), and translates item handles
+between the global VID space and each shard's local one with the pure
+arithmetic of :class:`~repro.cluster.shardmap.ShardMap`.
+
+Commit is the interesting part:
+
+* **read-only everywhere** — plain COMMIT on each shard; no coordination.
+* **one writer** — plain COMMIT on that shard (1PC fast path): a single
+  participant's atomicity is its own WAL's problem.
+* **several writers** — full two-phase commit with **presumed abort**:
+  PREPARE_TXN on every writer (each shard forces a PREPARE record through
+  its WAL — that *is* the vote), then the commit decision is forced to the
+  router's :class:`~repro.cluster.coordinator.CoordinatorLog`, then
+  COMMIT_PREPARED is pushed to every participant.  A crash before the
+  decision record leaves prepared shards in doubt; recovery resolves them
+  by *presumption*: a logged decision is re-pushed, no decision means
+  abort (:meth:`ClusterRouter.resolve_in_doubt`).
+
+Fan-out reads (LOOKUP, SCAN, AGGREGATE, SCAN_VID_RANGE) hit every shard
+and merge; SCAN_BATCH keeps the wire contract of an *opaque* cursor by
+nesting the shard's own cursor inside a ``(shard, local_cursor)`` pair —
+shards are streamed one after another, and within a shard local VID order
+is global VID order (see the ShardMap monotonicity note).
+
+One caveat worth naming: each shard takes its own snapshot when the
+global transaction first touches it, so cross-shard reads are not a
+single atomic snapshot (they are per-shard SI; writes *are* atomic via
+2PC).  ``docs/CLUSTER.md`` discusses the gap and what closing it would
+take.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    AmbiguousResultError,
+    CircuitOpenError,
+    ProtocolError,
+    RemoteError,
+    TxnStateError,
+)
+from repro.client.pool import ConnectionPool, RetryPolicy
+from repro.cluster.coordinator import CoordinatorLog
+from repro.cluster.shardmap import DEFAULT_RANGE_SIZE, ShardMap
+from repro.server.protocol import (
+    Command,
+    Status,
+    decode_request,
+    encode_response,
+    error_payload,
+    frame_length,
+    status_for_exception,
+)
+from repro.server.session import Session, SessionManager
+
+#: Commands a draining router still serves (mirrors the server's list).
+_DRAIN_ALLOWED = frozenset({
+    Command.PING, Command.COMMIT, Command.ABORT, Command.TXN_STATUS,
+    Command.STATS, Command.SHUTDOWN,
+})
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router service knobs (shard addresses are passed separately)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    range_size: int = DEFAULT_RANGE_SIZE
+    idle_timeout_sec: float = 60.0
+    reaper_interval_sec: float = 1.0
+    drain_timeout_sec: float = 5.0
+    #: worker threads running blocking shard RPCs; each in-flight client
+    #: command occupies one for its whole fan-out
+    executor_workers: int = 8
+    pool_size: int = 4
+    connect_timeout_sec: float = 5.0
+    request_timeout_sec: float = 30.0
+    #: retry schedule toward the shards (None: pool default)
+    retry: RetryPolicy | None = None
+    #: bounded retries when pushing a logged 2PC decision to a shard;
+    #: exhausting them leaves the decision pending for resolve_in_doubt
+    decision_retry_attempts: int = 50
+    decision_retry_delay_sec: float = 0.02
+    #: how long an ambiguous COMMIT/PREPARE polls the shard's TXN_STATUS
+    resolve_timeout_sec: float = 5.0
+    #: re-push pending decisions / presume-abort orphans during start()
+    resolve_on_start: bool = True
+    #: client-side chaos toward the shards: a single plan for all, or a
+    #: ``{shard_index: plan}`` dict (the shard-fault sweep's link faults)
+    chaos: object | None = None
+    #: durable coordinator log path (None: in-memory; tests hand the same
+    #: CoordinatorLog instance to a successor router instead)
+    coordinator_log_path: str | None = None
+
+    def validate(self) -> None:
+        """Raise on inconsistent settings."""
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+        if self.decision_retry_attempts < 1:
+            raise ValueError("decision_retry_attempts must be >= 1")
+        if self.drain_timeout_sec < 0:
+            raise ValueError("drain_timeout_sec must be >= 0")
+
+
+class ShardTxn:
+    """One global transaction's state on one shard."""
+
+    __slots__ = ("conn", "ltxid", "writes")
+
+    def __init__(self, conn, ltxid: int) -> None:
+        self.conn = conn
+        self.ltxid = ltxid
+        self.writes = 0
+
+
+class GlobalTxn:
+    """Router-side handle of one client transaction.
+
+    Duck-types the :class:`~repro.txn.manager.Transaction` surface the
+    session layer touches (``txid``), so :class:`SessionManager` is
+    reused unchanged.  ``phase`` is a plain string — the router has no
+    engine phases, only fates.
+    """
+
+    __slots__ = ("txid", "serializable", "phase", "shards")
+
+    def __init__(self, gtxid: int, serializable: bool) -> None:
+        self.txid = gtxid
+        self.serializable = serializable
+        self.phase = "active"
+        self.shards: dict[int, ShardTxn] = {}
+
+
+class _Fanout:
+    """Per-command fan-out latency counters (STATS ``router.fanout``)."""
+
+    __slots__ = ("calls", "total_usec", "max_usec")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_usec = 0.0
+        self.max_usec = 0.0
+
+    def note(self, wall_sec: float) -> None:
+        usec = wall_sec * 1e6
+        self.calls += 1
+        self.total_usec += usec
+        self.max_usec = max(self.max_usec, usec)
+
+    def as_dict(self) -> dict:
+        mean = self.total_usec / self.calls if self.calls else 0.0
+        return {"calls": self.calls, "mean_usec": round(mean, 1),
+                "max_usec": round(self.max_usec, 1)}
+
+
+@dataclass
+class RouterStats:
+    """2PC and routing counters the STATS command reports."""
+
+    gtxns_begun: int = 0
+    commits_readonly: int = 0
+    commits_1pc: int = 0
+    commits_2pc: int = 0
+    aborts: int = 0
+    prepares_sent: int = 0
+    prepare_failures: int = 0
+    #: ambiguous PREPARE/COMMIT outcomes settled by polling TXN_STATUS
+    fates_resolved: int = 0
+    decision_pushes: int = 0
+    decision_push_failures: int = 0
+    #: prepared shard txns aborted by presumption (no logged decision)
+    presumed_aborts: int = 0
+    in_doubt_resolved: int = 0
+    #: fan-out commands (those contacting more than one shard)
+    fanouts: int = 0
+    fanout: dict = field(default_factory=dict)
+
+    def note_fanout(self, name: str, wall_sec: float) -> None:
+        self.fanouts += 1
+        self.fanout.setdefault(name, _Fanout()).note(wall_sec)
+
+    def as_dict(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items() if k != "fanout"}
+        out["fanout"] = {name: f.as_dict()
+                        for name, f in sorted(self.fanout.items())}
+        return out
+
+
+class _CommandCounter:
+    __slots__ = ("calls", "ok", "errors", "total_wall", "max_wall")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.ok = 0
+        self.errors = 0
+        self.total_wall = 0.0
+        self.max_wall = 0.0
+
+
+class ClusterRouter:
+    """One listening socket, N shards, unmodified wire protocol."""
+
+    def __init__(self, shards: list[tuple[str, int]],
+                 config: RouterConfig | None = None,
+                 coordinator_log: CoordinatorLog | None = None) -> None:
+        if not shards:
+            raise ValueError("at least one shard address required")
+        self.config = config or RouterConfig()
+        self.config.validate()
+        self.shard_addrs = [(h, p) for h, p in shards]
+        self.shard_map = ShardMap(len(shards),
+                                  range_size=self.config.range_size)
+        self.coordinator_log = coordinator_log or CoordinatorLog(
+            self.config.coordinator_log_path)
+        self.pool = ConnectionPool(
+            endpoints=self.shard_addrs, size=self.config.pool_size,
+            retry=self.config.retry,
+            connect_timeout_sec=self.config.connect_timeout_sec,
+            request_timeout_sec=self.config.request_timeout_sec,
+            chaos=self.config.chaos)
+        self.sessions = SessionManager(self.config.idle_timeout_sec)
+        self.stats = RouterStats()
+        self._commands: dict[str, _CommandCounter] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="router")
+        self._executing = 0
+        self._gtxid_mu = threading.Lock()
+        # gtxids restart strictly above every durably known one so a fate
+        # query for an old gtxid can never alias a new transaction
+        self._next_gtxid = max(1, self.coordinator_log.max_gtxid() + 1)
+        #: settled fates kept in memory: {gtxid: "committed"/"aborted"}
+        self._fates: dict[int, str] = {}
+        #: gtxids currently open (guards resolve_in_doubt against
+        #: presuming-abort a transaction this router is mid-2PC on)
+        self._open: dict[int, GlobalTxn] = {}
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._draining = False
+        self._closing = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._reaper_task: asyncio.Task | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._thread: threading.Thread | None = None
+        self._started_monotonic = 0.0
+        self._handlers = {
+            Command.PING: self._cmd_ping,
+            Command.BEGIN: self._cmd_begin,
+            Command.COMMIT: self._cmd_commit,
+            Command.ABORT: self._cmd_abort,
+            Command.CREATE_TABLE: self._cmd_create_table,
+            Command.INSERT: self._cmd_insert,
+            Command.BULK_INSERT: self._cmd_bulk_insert,
+            Command.READ: self._cmd_read,
+            Command.UPDATE: self._cmd_update,
+            Command.DELETE: self._cmd_delete,
+            Command.LOOKUP: self._cmd_lookup,
+            Command.RANGE_LOOKUP: self._cmd_range_lookup,
+            Command.SCAN: self._cmd_scan,
+            Command.SCAN_BATCH: self._cmd_scan_batch,
+            Command.AGGREGATE: self._cmd_aggregate,
+            Command.SCAN_VID_RANGE: self._cmd_scan_vid_range,
+            Command.TICK: self._cmd_tick,
+            Command.MAINTENANCE: self._cmd_maintenance,
+            Command.SNAPSHOT: self._cmd_snapshot,
+            Command.STATS: self._cmd_stats,
+            Command.CLOCK_NOW: self._cmd_clock_now,
+            Command.CLOCK_ADVANCE: self._cmd_clock_advance,
+            Command.CLOCK_ADVANCE_TO: self._cmd_clock_advance_to,
+            Command.TXN_STATUS: self._cmd_txn_status,
+            Command.SHUTDOWN: self._cmd_shutdown,
+        }
+
+    # -- gtxid allocation ----------------------------------------------------
+
+    def _allocate_gtxid(self) -> int:
+        with self._gtxid_mu:
+            gtxid = self._next_gtxid
+            self._next_gtxid += 1
+            return gtxid
+
+    def _bump_watermark(self, gtxid: int) -> None:
+        with self._gtxid_mu:
+            if gtxid >= self._next_gtxid:
+                self._next_gtxid = gtxid + 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the socket (and settle any in-doubt 2PC state first)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._started_monotonic = time.monotonic()
+        if self.config.resolve_on_start:
+            await self._loop.run_in_executor(self._executor,
+                                             self.resolve_in_doubt)
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        sock = self._server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        self._reaper_task = asyncio.create_task(self._reaper())
+        return self.address
+
+    def request_stop(self) -> None:
+        """Flip into drain (idempotent, safe from the loop thread)."""
+        self._draining = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop`, then tear everything down."""
+        assert self._stop_event is not None, "start() first"
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Drain in-flight global transactions, then close everything."""
+        if self._server is None:
+            return
+        self.request_stop()
+        await self._drain()
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper_task
+            self._reaper_task = None
+        for writer in list(self._writers.values()):
+            writer.close()
+        if self._handler_tasks:
+            await asyncio.wait(self._handler_tasks, timeout=5.0)
+        self._executor.shutdown(wait=True)
+        self.pool.close()
+
+    async def _drain(self) -> None:
+        deadline = time.monotonic() + self.config.drain_timeout_sec
+        while time.monotonic() < deadline:
+            if self.sessions.in_flight_txns() == 0 and self._executing == 0:
+                return
+            await asyncio.sleep(0.02)
+        for session in list(self.sessions):
+            if session.txns:
+                self.sessions.stats.drain_aborts += len(session.txns)
+                writer = self._writers.pop(session.session_id, None)
+                if writer is not None:
+                    writer.close()
+                await self._abort_orphans(self.sessions.close(session))
+
+    def run(self) -> int:
+        """Foreground serve loop (``repro cluster start``)."""
+        async def main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(signum, self.request_stop)
+            host, port = self.address  # type: ignore[misc]
+            print(f"repro cluster router listening on {host}:{port} "
+                  f"({len(self.shard_addrs)} shards)", flush=True)
+            await self.serve_until_stopped()
+
+        asyncio.run(main())
+        return 0
+
+    def start_in_background(self) -> tuple[str, int]:
+        """Serve from a dedicated thread; returns the bound address."""
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            async def main() -> None:
+                await self.start()
+                ready.set()
+                await self.serve_until_stopped()
+            try:
+                asyncio.run(main())
+            except BaseException as exc:
+                failure.append(exc)
+            finally:
+                ready.set()
+
+        self._thread = threading.Thread(target=runner, name="repro-router",
+                                        daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise TimeoutError("router did not start within 10s")
+        if failure:
+            raise failure[0]
+        assert self.address is not None
+        return self.address
+
+    def stop_in_background(self, timeout: float = 10.0) -> None:
+        """Stop a background router and join its thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.request_stop)
+        self._thread.join(timeout)
+        self._thread = None
+
+    # -- connection handling (mirrors DatabaseServer) ------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        if self._draining:
+            await self._refuse_connection(reader, writer)
+            if task is not None:
+                self._handler_tasks.discard(task)
+            return
+        peer = writer.get_extra_info("peername")
+        session = self.sessions.open(str(peer), time.monotonic())
+        self._writers[session.session_id] = writer
+        try:
+            await self._serve_connection(session, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.pop(session.session_id, None)
+            await self._abort_orphans(self.sessions.close(session))
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+            if task is not None:
+                self._handler_tasks.discard(task)
+
+    async def _refuse_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.sessions.stats.drain_refused += 1
+        request_id = 0
+        with contextlib.suppress(ConnectionError, ProtocolError,
+                                 asyncio.IncompleteReadError,
+                                 asyncio.TimeoutError):
+            payload = await asyncio.wait_for(self._read_frame(reader),
+                                             timeout=1.0)
+            if payload is not None:
+                request_id = decode_request(payload)[0]
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(encode_response(request_id, Status.SHUTTING_DOWN,
+                                         "router is draining"))
+            await writer.drain()
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+
+    async def _serve_connection(self, session: Session,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while not self._closing:
+            payload = await self._read_frame(reader)
+            if payload is None:
+                return
+            now = time.monotonic()
+            try:
+                request_id, command, args, deadline_ms = (
+                    decode_request(payload))
+            except ProtocolError as exc:
+                writer.write(encode_response(0, Status.BAD_REQUEST,
+                                             error_payload(exc)))
+                await writer.drain()
+                return
+            session.deadline = (None if deadline_ms is None
+                                else now + deadline_ms / 1000.0)
+            session.begin_command(now)
+            try:
+                status, result = await self._execute(session, command, args)
+            finally:
+                session.end_command(time.monotonic())
+                session.deadline = None
+            writer.write(encode_response(request_id, status, result))
+            await writer.drain()
+            if command == Command.SHUTDOWN and status == Status.OK:
+                self.request_stop()
+                return
+            if self._draining and not session.txns:
+                return
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+        try:
+            header = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        return await reader.readexactly(frame_length(header))
+
+    async def _execute(self, session: Session, command: int,
+                       args: tuple) -> tuple[Status, object]:
+        handler = self._handlers.get(command)
+        if handler is None:
+            return Status.BAD_REQUEST, f"unknown command {command}"
+        if (session.deadline is not None
+                and time.monotonic() >= session.deadline):
+            return (Status.DEADLINE_EXCEEDED,
+                    f"{Command(command).name}: deadline passed on arrival")
+        if self._draining and command not in _DRAIN_ALLOWED:
+            owned = (args and isinstance(args[0], int)
+                     and not isinstance(args[0], bool)
+                     and args[0] in session.txns)
+            if not owned:
+                return Status.SHUTTING_DOWN, "router is draining"
+        name = Command(command).name
+        counter = self._commands.setdefault(name, _CommandCounter())
+        counter.calls += 1
+        started = time.monotonic()
+        try:
+            result = await handler(session, args)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            counter.errors += 1
+            return status_for_exception(exc), error_payload(exc)
+        else:
+            counter.ok += 1
+            return Status.OK, result
+        finally:
+            wall = time.monotonic() - started
+            counter.total_wall += wall
+            counter.max_wall = max(counter.max_wall, wall)
+
+    async def _run(self, fn):
+        """Run a blocking shard-RPC job on the executor."""
+        assert self._loop is not None
+        self._executing += 1
+        try:
+            return await self._loop.run_in_executor(self._executor, fn)
+        finally:
+            self._executing -= 1
+
+    async def _abort_orphans(self, orphans: list) -> None:
+        for gtxn in orphans:
+            if gtxn.phase != "active":
+                continue
+            with contextlib.suppress(Exception):
+                await self._run(lambda g=gtxn: self._abort_job(g))
+                self.sessions.stats.orphans_aborted += 1
+
+    async def _reaper(self) -> None:
+        interval = self.config.reaper_interval_sec
+        if self.config.idle_timeout_sec > 0:
+            interval = min(interval, self.config.idle_timeout_sec / 4)
+        interval = max(interval, 0.02)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for session in self.sessions.idle_sessions(now):
+                self.sessions.stats.idle_closed += 1
+                await self._abort_orphans(self.sessions.close(session))
+                writer = self._writers.pop(session.session_id, None)
+                if writer is not None:
+                    writer.close()
+
+    # -- shard plumbing (all run on the executor) ----------------------------
+
+    def _shard_txn(self, gtxn: GlobalTxn, shard: int) -> ShardTxn:
+        """The global txn's local transaction on ``shard`` (lazy BEGIN).
+
+        The connection is pinned for the transaction's lifetime, exactly
+        as :class:`RemoteDatabase` pins — shard-side transaction state is
+        per-session, and the pin preserves the disconnect-aborts-orphans
+        contract shard-side.
+        """
+        st = gtxn.shards.get(shard)
+        if st is None:
+            conn = self.pool.acquire(endpoint=shard)
+            try:
+                ltxid = self.pool.request(conn, Command.BEGIN,
+                                          gtxn.serializable)
+            except BaseException:
+                self.pool.release(conn)
+                raise
+            st = ShardTxn(conn, ltxid)
+            gtxn.shards[shard] = st
+        return st
+
+    def _release_conns(self, gtxn: GlobalTxn) -> None:
+        for st in gtxn.shards.values():
+            conn, st.conn = st.conn, None
+            if conn is not None:
+                self.pool.release(conn)
+
+    def _settle(self, gtxn: GlobalTxn, fate: str) -> None:
+        gtxn.phase = fate
+        self._fates[gtxn.txid] = fate
+        self._open.pop(gtxn.txid, None)
+        self._release_conns(gtxn)
+
+    def _claim_gtxn(self, session: Session, txid: object) -> GlobalTxn:
+        if not isinstance(txid, int) or isinstance(txid, bool):
+            raise ProtocolError(f"expected txid, got {txid!r}")
+        return session.claim(txid)
+
+    @staticmethod
+    def _as_gvid(ref: object) -> int:
+        if isinstance(ref, bool) or not isinstance(ref, int):
+            raise ProtocolError(
+                f"cluster routing needs integer VID handles (sias-v), "
+                f"got {ref!r}")
+        return ref
+
+    def _translate_pairs(self, shard: int, pairs) -> list[tuple]:
+        to_global = self.shard_map.to_global
+        return [(to_global(shard, ref), row) for ref, row in pairs]
+
+    # -- commit / abort ------------------------------------------------------
+
+    def _resolve_shard_fate(self, shard: int, ltxid: int) -> str:
+        """Poll one shard for a local txn's fate after an ambiguous RPC.
+
+        ``"active"`` is transient (the shard aborts the orphan when it
+        notices the dead pinned connection), so poll until the fate is
+        final — ``"prepared"`` counts as final: the vote was durably
+        cast.  Returns ``"unknown"`` on timeout.
+        """
+        deadline = time.monotonic() + self.config.resolve_timeout_sec
+        status = "unknown"
+        while time.monotonic() < deadline:
+            try:
+                status = self.pool.call(Command.TXN_STATUS, ltxid,
+                                        endpoint=shard)
+            except Exception:
+                # unreachable, draining or mid-restart: all transient
+                # from the fate's point of view — keep polling
+                time.sleep(0.05)
+                continue
+            if status in ("committed", "aborted", "prepared"):
+                self.stats.fates_resolved += 1
+                return status
+            time.sleep(0.02)
+        return status if status in ("committed", "aborted",
+                                    "prepared") else "unknown"
+
+    def _push_decision(self, shard: int, ltxid: int,
+                       command: Command) -> bool:
+        """Deliver a phase-2 decision to one participant, bounded retry.
+
+        COMMIT_PREPARED / ABORT_PREPARED are idempotent on the shard, so
+        ambiguous outcomes are simply retried.  Returns False when the
+        retry budget is exhausted — the decision stays logged and
+        :meth:`resolve_in_doubt` finishes the push later.
+        """
+        self.stats.decision_pushes += 1
+        for _attempt in range(self.config.decision_retry_attempts):
+            try:
+                self.pool.call(command, ltxid, endpoint=shard)
+                return True
+            except TxnStateError:
+                # not prepared (any more): for COMMIT_PREPARED this means
+                # the decision already landed via another path; for
+                # ABORT_PREPARED, that the orphan was already settled
+                return True
+            except Exception:
+                # connection death, open breaker, a draining or
+                # restarting shard — whatever the shape, the decision did
+                # not provably land.  Never let it propagate: past the
+                # logged decision the global fate is sealed, and a raised
+                # push would surface a bogus error for a committed txn.
+                time.sleep(self.config.decision_retry_delay_sec)
+        self.stats.decision_push_failures += 1
+        return False
+
+    def _abort_job(self, gtxn: GlobalTxn) -> None:
+        if self.coordinator_log.decided_commit(gtxn.txid):
+            # the commit decision is already durable: this abort lost the
+            # race (e.g. the client gave up while decision pushes were
+            # retrying against a restarting shard).  The fate is
+            # committed; resolve_in_doubt finishes any outstanding push.
+            self._settle(gtxn, "committed")
+            raise TxnStateError(
+                f"gtxn {gtxn.txid} already committed (decision logged)")
+        for shard, st in gtxn.shards.items():
+            if st.conn is not None and st.conn.connected:
+                with contextlib.suppress(Exception):
+                    self.pool.request(st.conn, Command.ABORT, st.ltxid)
+            # a dead pinned connection aborts the shard-side orphan
+        self._settle(gtxn, "aborted")
+        self.stats.aborts += 1
+
+    def _commit_job(self, gtxn: GlobalTxn) -> None:
+        """The whole commit protocol, one executor job, shards in turn.
+
+        Sequential on purpose: nesting per-shard futures inside an
+        executor job can starve the pool under load, and with a handful
+        of shards the latency win would be marginal.
+        """
+        writers = [(s, st) for s, st in sorted(gtxn.shards.items())
+                   if st.writes > 0]
+        readers = [(s, st) for s, st in sorted(gtxn.shards.items())
+                   if st.writes == 0]
+        # read-only participants just close their snapshots; any failure
+        # is irrelevant to the global fate (disconnect aborts the orphan)
+        for shard, st in readers:
+            with contextlib.suppress(Exception):
+                self.pool.request(st.conn, Command.COMMIT, st.ltxid)
+        if not writers:
+            self._settle(gtxn, "committed")
+            self.stats.commits_readonly += 1
+            return
+        if len(writers) == 1:
+            self._commit_one_phase(gtxn, *writers[0])
+            return
+        self._commit_two_phase(gtxn, writers)
+
+    def _commit_one_phase(self, gtxn: GlobalTxn, shard: int,
+                          st: ShardTxn) -> None:
+        """Single-writer fast path: the shard's own WAL is the decision."""
+        try:
+            self.pool.request(st.conn, Command.COMMIT, st.ltxid)
+        except AmbiguousResultError as exc:
+            fate = self._resolve_shard_fate(shard, st.ltxid)
+            if fate == "committed":
+                self._settle(gtxn, "committed")
+                self.stats.commits_1pc += 1
+                return
+            self._settle(gtxn, "aborted")
+            self.stats.aborts += 1
+            raise RemoteError(
+                f"commit of gtxn {gtxn.txid} lost on shard {shard} "
+                f"({fate}): {exc}") from exc
+        except BaseException:
+            # shard-side commit failure (e.g. SSI abort) rolled it back
+            self._settle(gtxn, "aborted")
+            self.stats.aborts += 1
+            raise
+        self._settle(gtxn, "committed")
+        self.stats.commits_1pc += 1
+
+    def _commit_two_phase(self, gtxn: GlobalTxn,
+                          writers: list[tuple[int, ShardTxn]]) -> None:
+        # ---- phase 1: collect votes (PREPARE forces each shard's WAL)
+        failure: BaseException | None = None
+        prepared_upto = 0
+        for i, (shard, st) in enumerate(writers):
+            try:
+                self.pool.request(st.conn, Command.PREPARE_TXN, st.ltxid,
+                                  gtxn.txid)
+                self.stats.prepares_sent += 1
+                prepared_upto = i + 1
+            except AmbiguousResultError as exc:
+                # the vote may or may not have been cast — ask the shard
+                fate = self._resolve_shard_fate(shard, st.ltxid)
+                if fate == "prepared":
+                    self.stats.prepares_sent += 1
+                    prepared_upto = i + 1
+                    continue
+                failure = RemoteError(
+                    f"prepare of gtxn {gtxn.txid} lost on shard {shard} "
+                    f"({fate}): {exc}")
+                break
+            except BaseException as exc:
+                # a clean NO vote: the shard aborted the local txn itself
+                failure = exc
+                break
+        if failure is not None:
+            self.stats.prepare_failures += 1
+            # global abort: prepared participants need an explicit
+            # decision (their locks are held), the rest are still ACTIVE
+            # (plain ABORT) or already settled by the shard
+            for shard, st in writers[:prepared_upto]:
+                self._push_decision(shard, st.ltxid, Command.ABORT_PREPARED)
+            for shard, st in writers[prepared_upto + 1:]:
+                if st.conn is not None and st.conn.connected:
+                    with contextlib.suppress(Exception):
+                        self.pool.request(st.conn, Command.ABORT, st.ltxid)
+            self._settle(gtxn, "aborted")
+            self.stats.aborts += 1
+            raise failure
+        # ---- the decision: forced to the coordinator log, then final.
+        # From here the transaction IS committed, whatever happens to the
+        # decision pushes — resolve_in_doubt re-drives stragglers.
+        self.coordinator_log.log_commit(
+            gtxn.txid, [(s, st.ltxid) for s, st in writers])
+        all_acked = True
+        for shard, st in writers:
+            if not self._push_decision(shard, st.ltxid,
+                                       Command.COMMIT_PREPARED):
+                all_acked = False
+        if all_acked:
+            self.coordinator_log.log_end(gtxn.txid)
+        self._settle(gtxn, "committed")
+        self.stats.commits_2pc += 1
+
+    # -- in-doubt resolution -------------------------------------------------
+
+    def resolve_in_doubt(self) -> dict[str, int]:
+        """Settle every in-doubt prepared transaction in the cluster.
+
+        Two sweeps: (1) re-push each logged-but-unfinished commit
+        decision to its participant list; (2) ask every shard for its
+        prepared transactions and settle the leftovers — commit if the
+        log decided commit, otherwise **presumed abort**.  Transactions
+        this router currently has mid-2PC are skipped.
+        """
+        out = {"committed": 0, "aborted": 0, "failed": 0}
+        for gtxid, participants in self.coordinator_log.pending_decisions(
+                ).items():
+            if gtxid in self._open:
+                continue
+            acks = [self._push_decision(s, lt, Command.COMMIT_PREPARED)
+                    for s, lt in participants]
+            if all(acks):
+                self.coordinator_log.log_end(gtxid)
+                out["committed"] += 1
+            else:
+                out["failed"] += 1
+        for shard in range(len(self.shard_addrs)):
+            try:
+                stats = self.pool.call(Command.STATS, endpoint=shard)
+            except Exception:
+                continue  # shard down: its in-doubt txns wait for it
+            in_doubt = stats["engine"]["txns"].get("in_doubt_txns", ())
+            for ltxid, gtxid in in_doubt:
+                if gtxid >= 0:
+                    self._bump_watermark(gtxid)
+                if gtxid in self._open:
+                    continue
+                if (gtxid >= 0
+                        and self.coordinator_log.decided_commit(gtxid)):
+                    # covered by sweep (1) unless its end was logged on a
+                    # prior run that this shard missed — push again
+                    if self._push_decision(shard, ltxid,
+                                           Command.COMMIT_PREPARED):
+                        out["committed"] += 1
+                    else:
+                        out["failed"] += 1
+                elif self._push_decision(shard, ltxid,
+                                         Command.ABORT_PREPARED):
+                    self.stats.presumed_aborts += 1
+                    out["aborted"] += 1
+                else:
+                    out["failed"] += 1
+        self.stats.in_doubt_resolved += out["committed"] + out["aborted"]
+        return out
+
+    # -- monitoring ----------------------------------------------------------
+
+    def command_stats(self) -> tuple:
+        """Per-command counters in :mod:`repro.db.monitor` shape."""
+        from repro.db.monitor import CommandStat
+
+        out = []
+        for name, c in sorted(self._commands.items()):
+            mean = c.total_wall / c.calls if c.calls else 0.0
+            out.append(CommandStat(
+                command=name, calls=c.calls, ok=c.ok, errors=c.errors,
+                shed=0, mean_wall_usec=round(mean * 1e6, 1),
+                max_wall_usec=round(c.max_wall * 1e6, 1)))
+        return tuple(out)
+
+    def cluster_payload(self) -> dict:
+        """The ``cluster`` section of STATS / SNAPSHOT responses."""
+        shards = []
+        total_in_doubt = 0
+        for i, (host, port) in enumerate(self.shard_addrs):
+            entry: dict = {"shard": i, "host": host, "port": port,
+                           "alive": False, "txns": {}}
+            try:
+                stats = self.pool.call(Command.STATS, endpoint=i)
+            except Exception:
+                pass
+            else:
+                entry["alive"] = True
+                entry["txns"] = stats.get("engine", {}).get("txns", {})
+                total_in_doubt += entry["txns"].get("in_doubt", 0)
+            shards.append(entry)
+        return {
+            "shards": shards,
+            "in_doubt": total_in_doubt,
+            "pending_decisions": len(
+                self.coordinator_log.pending_decisions()),
+            "router": self.stats.as_dict(),
+            "endpoints": self.pool.endpoints_health(),
+        }
+
+    def stats_payload(self) -> dict:
+        """The STATS command's response body (router edition)."""
+        return {
+            "uptime_sec": round(time.monotonic() - self._started_monotonic,
+                                3),
+            "in_flight": self._executing,
+            "draining": self._draining,
+            "sessions": {"live": self.sessions.count(),
+                         "in_flight_txns": self.sessions.in_flight_txns(),
+                         **self.sessions.stats.as_dict()},
+            "router": self.stats.as_dict(),
+            "cluster": self.cluster_payload(),
+            "coordinator": {
+                "decisions_logged": self.coordinator_log.decisions_logged,
+                "ends_logged": self.coordinator_log.ends_logged,
+            },
+        }
+
+    # -- command handlers ----------------------------------------------------
+
+    async def _cmd_ping(self, _session: Session, args: tuple) -> str:
+        def work() -> str:
+            for shard in range(len(self.shard_addrs)):
+                self.pool.call(Command.PING, endpoint=shard)
+            return "pong"
+        return await self._run(work)
+
+    async def _cmd_begin(self, session: Session, args: tuple) -> int:
+        (serializable,) = args
+        gtxn = GlobalTxn(self._allocate_gtxid(), bool(serializable))
+        self._open[gtxn.txid] = gtxn
+        session.register(gtxn)
+        self.stats.gtxns_begun += 1
+        return gtxn.txid
+
+    async def _cmd_commit(self, session: Session, args: tuple) -> None:
+        (txid,) = args
+        gtxn = self._claim_gtxn(session, txid)
+        try:
+            await self._run(lambda: self._commit_job(gtxn))
+        finally:
+            if gtxn.phase != "active":
+                session.forget(gtxn.txid)
+
+    async def _cmd_abort(self, session: Session, args: tuple) -> None:
+        (txid,) = args
+        gtxn = self._claim_gtxn(session, txid)
+        try:
+            await self._run(lambda: self._abort_job(gtxn))
+        finally:
+            if gtxn.phase != "active":
+                session.forget(gtxn.txid)
+
+    async def _cmd_create_table(self, _session: Session,
+                                args: tuple) -> None:
+        def work() -> None:
+            for shard in range(len(self.shard_addrs)):
+                self.pool.call(Command.CREATE_TABLE, *args, endpoint=shard)
+        return await self._run(work)
+
+    async def _cmd_insert(self, session: Session, args: tuple) -> int:
+        txid, table, row = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> int:
+            shard = self.shard_map.place()
+            st = self._shard_txn(gtxn, shard)
+            lvid = self.pool.request(st.conn, Command.INSERT, st.ltxid,
+                                     table, row)
+            st.writes += 1
+            return self.shard_map.to_global(shard, self._as_gvid(lvid))
+        return await self._run(work)
+
+    async def _cmd_bulk_insert(self, session: Session,
+                               args: tuple) -> tuple:
+        txid, table, rows = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> tuple:
+            shard = self.shard_map.place()
+            st = self._shard_txn(gtxn, shard)
+            lvids = self.pool.request(st.conn, Command.BULK_INSERT,
+                                      st.ltxid, table, rows)
+            st.writes += len(lvids)
+            return tuple(self.shard_map.to_global(shard, self._as_gvid(v))
+                         for v in lvids)
+        return await self._run(work)
+
+    def _routed_call(self, gtxn: GlobalTxn, ref: object, command: Command,
+                     *args_after_ref: object,
+                     before_ref: tuple = ()) -> tuple[int, object]:
+        gvid = self._as_gvid(ref)
+        shard = self.shard_map.shard_of(gvid)
+        st = self._shard_txn(gtxn, shard)
+        result = self.pool.request(st.conn, command, st.ltxid, *before_ref,
+                                   self.shard_map.to_local(gvid),
+                                   *args_after_ref)
+        return shard, result
+
+    async def _cmd_read(self, session: Session, args: tuple) -> object:
+        txid, table, ref = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> object:
+            _shard, row = self._routed_call(gtxn, ref, Command.READ,
+                                            before_ref=(table,))
+            return row
+        return await self._run(work)
+
+    async def _cmd_update(self, session: Session, args: tuple) -> int:
+        txid, table, ref, row = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> int:
+            shard, lref = self._routed_call(gtxn, ref, Command.UPDATE, row,
+                                            before_ref=(table,))
+            gtxn.shards[shard].writes += 1
+            return self.shard_map.to_global(shard, self._as_gvid(lref))
+        return await self._run(work)
+
+    async def _cmd_delete(self, session: Session, args: tuple) -> None:
+        txid, table, ref = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> None:
+            shard, _none = self._routed_call(gtxn, ref, Command.DELETE,
+                                             before_ref=(table,))
+            gtxn.shards[shard].writes += 1
+        return await self._run(work)
+
+    def _fanout_pairs(self, gtxn: GlobalTxn, command: Command,
+                      *args: object) -> tuple:
+        """Run a txn-scoped read on every shard; merge translated pairs.
+
+        Results are ``(ref, row)`` pairs on every shard; the merge
+        translates refs to global VIDs and sorts by them, so the merged
+        order is deterministic regardless of shard count.
+        """
+        started = time.monotonic()
+        merged: list[tuple] = []
+        for shard in range(len(self.shard_addrs)):
+            st = self._shard_txn(gtxn, shard)
+            pairs = self.pool.request(st.conn, command, st.ltxid, *args)
+            merged.extend(self._translate_pairs(shard, pairs))
+        merged.sort(key=lambda pair: pair[0])
+        self.stats.note_fanout(command.name, time.monotonic() - started)
+        return tuple(merged)
+
+    async def _cmd_lookup(self, session: Session, args: tuple) -> tuple:
+        txid, table, index, key = args
+        gtxn = self._claim_gtxn(session, txid)
+        return await self._run(
+            lambda: self._fanout_pairs(gtxn, Command.LOOKUP, table, index,
+                                       key))
+
+    async def _cmd_range_lookup(self, session: Session,
+                                args: tuple) -> tuple:
+        txid, table, index, lo, hi = args
+        gtxn = self._claim_gtxn(session, txid)
+        return await self._run(
+            lambda: self._fanout_pairs(gtxn, Command.RANGE_LOOKUP, table,
+                                       index, lo, hi))
+
+    async def _cmd_scan(self, session: Session, args: tuple) -> tuple:
+        txid, table = args
+        gtxn = self._claim_gtxn(session, txid)
+        return await self._run(
+            lambda: self._fanout_pairs(gtxn, Command.SCAN, table))
+
+    async def _cmd_scan_batch(self, session: Session, args: tuple) -> tuple:
+        txid, table, columns, where, after, limit = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> tuple:
+            # The wire cursor is opaque to clients (passed back verbatim),
+            # so the router nests the shard's own cursor in a
+            # (shard, local_cursor) pair and streams shards in order.
+            if after is None:
+                shard, local_after = 0, None
+            elif (isinstance(after, tuple) and len(after) == 2
+                    and isinstance(after[0], int)
+                    and 0 <= after[0] < len(self.shard_addrs)):
+                shard, local_after = after
+            else:
+                raise ProtocolError(f"bad cluster scan cursor: {after!r}")
+            st = self._shard_txn(gtxn, shard)
+            rows, local_cursor = self.pool.request(
+                st.conn, Command.SCAN_BATCH, st.ltxid, table, columns,
+                where, local_after, limit)
+            translated = tuple(self._translate_pairs(shard, rows))
+            if local_cursor is not None:
+                return translated, (shard, local_cursor)
+            if shard + 1 < len(self.shard_addrs):
+                return translated, (shard + 1, None)
+            return translated, None
+        return await self._run(work)
+
+    async def _cmd_aggregate(self, session: Session,
+                             args: tuple) -> object:
+        txid, table, op, column, where = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> object:
+            started = time.monotonic()
+            parts = []
+            for shard in range(len(self.shard_addrs)):
+                st = self._shard_txn(gtxn, shard)
+                parts.append(self.pool.request(
+                    st.conn, Command.AGGREGATE, st.ltxid, table, op,
+                    column, where))
+            self.stats.note_fanout(Command.AGGREGATE.name,
+                                   time.monotonic() - started)
+            if op == "count":
+                return sum(parts)
+            seen = [p for p in parts if p is not None]
+            if not seen:
+                return None
+            if op == "sum":
+                return sum(seen)
+            if op == "min":
+                return min(seen)
+            if op == "max":
+                return max(seen)
+            raise ProtocolError(f"unknown aggregate op {op!r}")
+        return await self._run(work)
+
+    async def _cmd_scan_vid_range(self, session: Session,
+                                  args: tuple) -> tuple:
+        txid, table, lo, hi = args
+        gtxn = self._claim_gtxn(session, txid)
+
+        def work() -> tuple:
+            started = time.monotonic()
+            merged: list[tuple] = []
+            for shard, llo, lhi in self.shard_map.split_range(lo, hi):
+                st = self._shard_txn(gtxn, shard)
+                pairs = self.pool.request(st.conn, Command.SCAN_VID_RANGE,
+                                          st.ltxid, table, llo, lhi)
+                merged.extend(self._translate_pairs(shard, pairs))
+            merged.sort(key=lambda pair: pair[0])
+            self.stats.note_fanout(Command.SCAN_VID_RANGE.name,
+                                   time.monotonic() - started)
+            return tuple(merged)
+        return await self._run(work)
+
+    async def _cmd_tick(self, _session: Session, args: tuple) -> None:
+        def work() -> None:
+            for shard in range(len(self.shard_addrs)):
+                self.pool.call(Command.TICK, endpoint=shard)
+        return await self._run(work)
+
+    async def _cmd_maintenance(self, _session: Session,
+                               args: tuple) -> dict:
+        def work() -> dict:
+            merged: dict[str, dict[str, int]] = {}
+            for shard in range(len(self.shard_addrs)):
+                report = self.pool.call(Command.MAINTENANCE, endpoint=shard)
+                for table, summary in report.items():
+                    into = merged.setdefault(table, {})
+                    for key, value in summary.items():
+                        into[key] = into.get(key, 0) + int(value)
+            return merged
+        return await self._run(work)
+
+    async def _cmd_snapshot(self, _session: Session, args: tuple) -> dict:
+        def work() -> dict:
+            merged: dict | None = None
+            for shard in range(len(self.shard_addrs)):
+                snap = self.pool.call(Command.SNAPSHOT, endpoint=shard)
+                if merged is None:
+                    merged = dict(snap)
+                    merged["tables"] = []
+                else:
+                    for key, value in snap.items():
+                        if isinstance(value, (int, float)) and not (
+                                isinstance(value, bool)):
+                            if key == "sim_time_sec":
+                                merged[key] = max(merged[key], value)
+                            elif key == "buffer_hit_ratio":
+                                merged[key] = (merged[key] + value) / 2
+                            elif key == "write_amplification":
+                                merged[key] = max(merged[key], value)
+                            else:
+                                merged[key] = merged.get(key, 0) + value
+                for table in snap.get("tables", ()):
+                    entry = dict(table)
+                    entry["name"] = f"s{shard}/{entry.get('name', '?')}"
+                    merged["tables"].append(entry)
+            assert merged is not None
+            merged["tables"] = tuple(merged["tables"])
+            merged["commands"] = tuple(
+                dataclasses.asdict(cs) for cs in self.command_stats())
+            merged["cluster"] = self.cluster_payload()
+            return merged
+        return await self._run(work)
+
+    async def _cmd_stats(self, _session: Session, args: tuple) -> dict:
+        return await self._run(self.stats_payload)
+
+    async def _cmd_clock_now(self, _session: Session, args: tuple) -> int:
+        def work() -> int:
+            return max(self.pool.call(Command.CLOCK_NOW, endpoint=s)
+                       for s in range(len(self.shard_addrs)))
+        return await self._run(work)
+
+    async def _cmd_clock_advance(self, _session: Session,
+                                 args: tuple) -> int:
+        (usec,) = args
+
+        def work() -> int:
+            return max(self.pool.call(Command.CLOCK_ADVANCE, usec,
+                                      endpoint=s)
+                       for s in range(len(self.shard_addrs)))
+        return await self._run(work)
+
+    async def _cmd_clock_advance_to(self, _session: Session,
+                                    args: tuple) -> int:
+        (usec,) = args
+
+        def work() -> int:
+            return max(self.pool.call(Command.CLOCK_ADVANCE_TO, usec,
+                                      endpoint=s)
+                       for s in range(len(self.shard_addrs)))
+        return await self._run(work)
+
+    async def _cmd_txn_status(self, _session: Session, args: tuple) -> str:
+        """The fate of a *global* txid, with presumed-abort semantics."""
+        (gtxid,) = args
+        if not isinstance(gtxid, int) or isinstance(gtxid, bool):
+            raise ProtocolError(f"expected txid, got {gtxid!r}")
+
+        def work() -> str:
+            fate = self._fates.get(gtxid)
+            if fate is not None:
+                return fate
+            if gtxid in self._open:
+                return "active"
+            if self.coordinator_log.decided_commit(gtxid):
+                return "committed"
+            with self._gtxid_mu:
+                allocated = gtxid < self._next_gtxid
+            if allocated and gtxid > 0:
+                # no decision logged for an allocated gtxid: presumed abort
+                return "aborted"
+            return "unknown"
+        return await self._run(work)
+
+    async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
+        return None

@@ -1,0 +1,112 @@
+"""ShardMap: arithmetic VID-range ownership over N shards.
+
+The global VID space is striped in contiguous ``range_size``-sized blocks,
+round-robin across shards — block ``b`` (global VIDs ``[b*R, (b+1)*R)``)
+belongs to shard ``b % N``.  With ``range_size`` equal to the engines'
+VIDmap bucket size (1024), one global block is exactly one VIDmap bucket:
+the paper's ``bucket = VID // 1024`` arithmetic *is* the routing function.
+
+Each shard keeps its own dense local VID space (its allocator starts at 0
+and grows contiguously, exactly as a single-node engine does); the map is
+a bijection between ``(shard, local VID)`` and global VIDs:
+
+    ``shard_of(g)   = (g // R) % N``
+    ``to_local(g)   = ((g // R) // N) * R + g % R``
+    ``to_global(s, l) = ((l // R) * N + s) * R + l % R``
+
+``to_global`` is strictly monotonic in ``l`` for a fixed shard, so a
+shard's local VID order *is* global VID order restricted to that shard —
+which is what lets the router merge per-shard range scans without sorting
+state beyond a cursor.
+
+Insert placement is round-robin over shards per insert/bulk-insert call,
+so load and space spread evenly without any placement metadata: the local
+VID the shard assigns comes back, ``to_global`` names it cluster-wide,
+and from then on routing is pure arithmetic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: default block size — one VIDmap bucket, the paper's own constant
+DEFAULT_RANGE_SIZE = 1024
+
+
+class ShardMap:
+    """The cluster's partitioning function (pure arithmetic, no state
+    beyond a round-robin placement cursor)."""
+
+    def __init__(self, shards: int,
+                 range_size: int = DEFAULT_RANGE_SIZE) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if range_size < 1:
+            raise ValueError("range_size must be >= 1")
+        self.shards = shards
+        self.range_size = range_size
+        self._mu = threading.Lock()
+        self._next_placement = 0
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_of(self, gvid: int) -> int:
+        """The unique shard owning global VID ``gvid``."""
+        if gvid < 0:
+            raise ValueError(f"negative VID {gvid}")
+        return (gvid // self.range_size) % self.shards
+
+    def to_local(self, gvid: int) -> int:
+        """Global VID → the owning shard's local VID."""
+        if gvid < 0:
+            raise ValueError(f"negative VID {gvid}")
+        r = self.range_size
+        return ((gvid // r) // self.shards) * r + gvid % r
+
+    def to_global(self, shard: int, lvid: int) -> int:
+        """``(shard, local VID)`` → global VID (inverse of the pair
+        ``(shard_of, to_local)``)."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"unknown shard {shard}")
+        if lvid < 0:
+            raise ValueError(f"negative VID {lvid}")
+        r = self.range_size
+        return ((lvid // r) * self.shards + shard) * r + lvid % r
+
+    # -- placement -----------------------------------------------------------
+
+    def place(self) -> int:
+        """Round-robin shard for the next insert/bulk-insert call."""
+        with self._mu:
+            shard = self._next_placement
+            self._next_placement = (self._next_placement + 1) % self.shards
+            return shard
+
+    # -- range splitting -----------------------------------------------------
+
+    def _local_ceil(self, shard: int, gvid: int) -> int:
+        """Smallest local VID on ``shard`` whose global VID is >= ``gvid``."""
+        r = self.range_size
+        block = gvid // r
+        owned = block + ((shard - block) % self.shards)
+        if owned == block:
+            return (block // self.shards) * r + gvid % r
+        return (owned // self.shards) * r
+
+    def split_range(self, lo: int, hi: int) -> list[tuple[int, int, int]]:
+        """Split global ``[lo, hi)`` into per-shard local ranges.
+
+        Returns ``(shard, local_lo, local_hi)`` triples — every global VID
+        in ``[lo, hi)`` falls in exactly one triple's local range on its
+        owning shard, and the triples cover nothing outside it (the
+        property test in ``tests/test_cluster.py`` proves both).
+        """
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad range [{lo}, {hi})")
+        out: list[tuple[int, int, int]] = []
+        for shard in range(self.shards):
+            local_lo = self._local_ceil(shard, lo)
+            local_hi = self._local_ceil(shard, hi)
+            if local_lo < local_hi:
+                out.append((shard, local_lo, local_hi))
+        return out

@@ -200,6 +200,25 @@ class Database:
         self.txn_mgr.abort(txn)
         self._release_txn_pages(txn)
 
+    def prepare(self, txn: Transaction, gtxid: int) -> None:
+        """2PC phase 1: durably prepare ``txn`` under global id ``gtxid``.
+
+        Per-txn working pages are released here (the data records are
+        already in the WAL, which the forced prepare covers), so a shard
+        holds no page resources for an in-doubt transaction — only its
+        locks and undo chain, released by the decision.
+        """
+        self.txn_mgr.prepare(txn, gtxid)
+        self._release_txn_pages(txn)
+
+    def commit_prepared(self, txid: int) -> bool:
+        """2PC phase 2: apply a commit decision (idempotent)."""
+        return self.txn_mgr.commit_prepared(txid)
+
+    def abort_prepared(self, txid: int) -> bool:
+        """2PC phase 2: apply an abort decision (idempotent)."""
+        return self.txn_mgr.abort_prepared(txid)
+
     def _release_txn_pages(self, txn: Transaction) -> None:
         if self.kind is not EngineKind.SIASV:
             return

@@ -82,6 +82,10 @@ class SystemSnapshot:
     drain_refused: int = 0
     breaker_state: str = ""
     uncertain_commits: int = 0
+    #: populated when the snapshot comes from a cluster router: per-shard
+    #: transaction counters, 2PC outcome counters, in-doubt count and the
+    #: router's fan-out latency counters (see ``docs/CLUSTER.md``)
+    cluster: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Pretty-print the snapshot."""
@@ -130,6 +134,32 @@ class SystemSnapshot:
                 [[c.command, c.calls, c.ok, c.errors, c.shed,
                   c.mean_wall_usec, c.max_wall_usec]
                  for c in self.commands])
+        if self.cluster:
+            shard_rows = []
+            for shard in self.cluster.get("shards", ()):
+                txns = shard.get("txns", {})
+                shard_rows.append([
+                    shard.get("shard", "?"),
+                    f"{shard.get('host', '?')}:{shard.get('port', '?')}",
+                    "up" if shard.get("alive") else "DOWN",
+                    f"{txns.get('commits', 0)} / {txns.get('aborts', 0)}",
+                    f"{txns.get('prepares', 0)} / "
+                    f"{txns.get('prepared_commits', 0)} / "
+                    f"{txns.get('prepared_aborts', 0)}",
+                    txns.get("in_doubt", 0),
+                ])
+            out += format_table(
+                "cluster shards",
+                ["shard", "address", "state", "commits/aborts",
+                 "prep/p-commit/p-abort", "in-doubt"],
+                shard_rows)
+            router = self.cluster.get("router", {})
+            if router:
+                out += format_table(
+                    "cluster router (2PC)",
+                    ["metric", "value"],
+                    [[k, v] for k, v in sorted(router.items())
+                     if not isinstance(v, dict)])
         return out
 
 

@@ -59,6 +59,11 @@ class RecoveryReport:
     #: interrupted by the crash and settled *by recovery* (no durable
     #: COMMIT record — includes committed-but-not-forced transactions)
     rolled_back_txns: int = 0
+    #: reinstated in-doubt (prepared, undecided) transactions awaiting
+    #: their coordinator's decision
+    in_doubt_txns: int = 0
+    #: WAL data records re-applied for in-doubt transactions
+    prepared_redo: int = 0
     engine_reports: dict[str, SiasRecoveryReport] = field(
         default_factory=dict)
     heap_pages_recovered: dict[str, int] = field(default_factory=dict)
@@ -85,13 +90,16 @@ def crash(db: Database) -> None:
     # server back to immediate first-updater-wins aborts after recovery.
     db.txn_mgr.locks.clear()
     db.txn_mgr._active.clear()
+    # prepared-txn handles (undo chains, locks) are volatile too; recovery
+    # reinstates them from the durable PREPARE records
+    db.txn_mgr.prepared.clear()
 
 
 def recover(db: Database) -> RecoveryReport:
     """Bring a crashed database back to a consistent, queryable state."""
     report = RecoveryReport()
     durable = db.wal.durable_records()
-    _settle_transaction_fates(db.txn_mgr.clog, durable, report)
+    in_doubt = _settle_transaction_fates(db.txn_mgr.clog, durable, report)
     for name, relation in db.tables.items():
         if isinstance(relation.engine, SiasVEngine):
             mine = [r for r in durable
@@ -105,13 +113,32 @@ def recover(db: Database) -> RecoveryReport:
             recovered, lost = _recover_heap(relation.engine)
             report.heap_pages_recovered[name] = recovered
             report.heap_pages_lost[name] = lost
+    # Index rebuild must precede prepared-txn reinstatement: the rebuild
+    # scan sees committed state only, and an in-doubt update that kept its
+    # key must find the committed ``(key, vid)`` entry already present —
+    # otherwise reinstatement would claim it, and its abort-undo would
+    # strip the committed row from the index.
     report.index_entries_rebuilt = _rebuild_indexes(db)
+    _reinstate_prepared(db, durable, in_doubt, report)
     return report
 
 
-def _settle_transaction_fates(clog: CommitLog, durable, report) -> None:
+def _settle_transaction_fates(clog: CommitLog, durable,
+                              report) -> dict[int, int]:
+    """Settle fates; returns in-doubt ``{txid: gtxid}`` left undecided.
+
+    A durable PREPARE record with no durable decision leaves its
+    transaction *in doubt*: recovery must neither commit nor abort it —
+    that call belongs to the coordinator (presumed abort: no coordinator
+    decision on record means abort, but only the coordinator says so).
+    """
     committed = {r.txid for r in durable
                  if r.type is WalRecordType.COMMIT}
+    aborted = {r.txid for r in durable
+               if r.type is WalRecordType.ABORT}
+    prepared = {r.txid: r.item_id for r in durable
+                if r.type is WalRecordType.PREPARE}
+    in_doubt: dict[int, int] = {}
     # CHECKPOINT records carry txid -1 (no transaction); keep them out of
     # the fate bookkeeping.
     seen = {r.txid for r in durable if r.txid >= 0}
@@ -122,16 +149,109 @@ def _settle_transaction_fates(clog: CommitLog, durable, report) -> None:
                 # forced COMMIT record but the clog flip was lost: the
                 # transaction *was* durably committed — finish the flip.
                 clog.set_committed(txid)
+            elif txid in prepared and txid not in aborted:
+                # durable vote, no durable decision: back in doubt (the
+                # clog flip to PREPARED was lost with the crash)
+                clog.set_prepared(txid)
+                in_doubt[txid] = prepared[txid]
             else:
                 # in flight at the crash with no durable COMMIT: recovery
                 # settles its fate now.
                 clog.set_aborted(txid)
                 report.rolled_back_txns += 1
+        elif state is TxnState.PREPARED:
+            if txid in committed:
+                clog.set_committed(txid)
+            elif txid in aborted:
+                clog.set_aborted(txid)
+                report.rolled_back_txns += 1
+            else:
+                in_doubt[txid] = prepared.get(txid, -1)
         elif state is TxnState.ABORTED and txid in seen:
             # settled before the crash; counted separately from rollbacks
             report.aborted_txns += 1
         if txid in committed:
             report.committed_txns += 1
+    report.in_doubt_txns = len(in_doubt)
+    return in_doubt
+
+
+def _reinstate_prepared(db: Database, durable, in_doubt: dict[int, int],
+                        report: RecoveryReport) -> None:
+    """Rebuild in-doubt transactions: versions, entrypoints, locks, undo.
+
+    The committed redo pass deliberately skips prepared transactions'
+    records (they are not committed), so their versions — lost with the
+    working page — are re-appended here, entrypoints swung to them with
+    undo actions that swing back on an abort decision, item locks
+    re-acquired (first-updater-wins must keep holding off conflicting
+    writers while the fate is undecided), and index entries re-inserted
+    with undo.  The rebuilt :class:`~repro.txn.manager.Transaction`
+    handles land back in the manager's active + prepared registries, which
+    keeps the GC horizon and checkpoint anchor pinned below their
+    versions until the coordinator's decision arrives.
+
+    Versions are re-appended unconditionally (even if the original copy
+    made it onto a sealed page): the old copy is unreferenced garbage for
+    the next GC pass, exactly like an aborted version, and redo stays
+    independent of where the crash fell relative to the page seal.
+    """
+    if not in_doubt:
+        return
+    from repro.pages.layout import VersionRecord
+    from repro.txn.manager import Transaction, TxnPhase
+    from repro.txn.snapshot import Snapshot
+
+    mgr = db.txn_mgr
+    by_rel = {rel.relation_id: rel for rel in db.tables.values()}
+    txns = {
+        txid: Transaction(
+            txid=txid,
+            snapshot=Snapshot(txid=txid, concurrent=frozenset()),
+            gtxid=(gtxid if gtxid >= 0 else None))
+        for txid, gtxid in in_doubt.items()}
+    for record in durable:
+        if record.type not in (WalRecordType.INSERT, WalRecordType.UPDATE,
+                               WalRecordType.DELETE):
+            continue
+        txn = txns.get(record.txid)
+        if txn is None:
+            continue
+        relation = by_rel.get(record.relation_id)
+        if relation is None or not isinstance(relation.engine, SiasVEngine):
+            continue
+        engine = relation.engine
+        vid = record.item_id
+        mgr.locks.acquire((relation.relation_id, vid), txn.txid)
+        current_tid = engine.vidmap.get(vid)
+        version = VersionRecord(
+            create_ts=record.txid,
+            vid=vid,
+            pred=current_tid,
+            tombstone=record.type is WalRecordType.DELETE,
+            payload=record.payload,
+        )
+        new_tid = engine.store.append(version)
+        engine.vidmap.set(vid, new_tid)
+        txn.register_undo(
+            lambda e=engine, v=vid, t=current_tid: e._undo_entrypoint(v, t))
+        if vid >= engine.allocator.high_water:
+            engine.allocator.allocate_block(
+                vid + 1 - engine.allocator.high_water)
+        if record.type is not WalRecordType.DELETE:
+            row = relation.codec.decode(record.payload)
+            for definition, tree in relation.indexes.values():
+                key = definition.key_of(relation.schema, row)
+                if not tree.contains(key, vid):
+                    tree.insert(key, vid)
+                    txn.register_undo(
+                        lambda t=tree, k=key, r=vid: t.delete(k, r))
+        txn.writes += 1
+        report.prepared_redo += 1
+    for txn in txns.values():
+        txn.phase = TxnPhase.PREPARED
+        mgr._active[txn.txid] = txn
+        mgr.prepared[txn.txid] = txn
 
 
 def _recover_heap(engine: SiEngine) -> tuple[int, int]:
@@ -183,13 +303,20 @@ def _recover_heap(engine: SiEngine) -> tuple[int, int]:
 
 
 def _rebuild_indexes(db: Database) -> int:
-    """Repopulate every index tree from a post-recovery scan."""
+    """Repopulate every index tree from a committed-state scan.
+
+    Runs before :func:`_reinstate_prepared` (see :func:`recover`), so the
+    scan sees the last committed version of every item and in-doubt
+    entries are layered on top with their abort-undo hooks.
+    """
     rebuilt = 0
     txn = db.begin()
     for name, relation in db.tables.items():
         for ref, row in db.scan(txn, name):
             for definition, tree in relation.indexes.values():
-                tree.insert(definition.key_of(relation.schema, row), ref)
-                rebuilt += 1
+                key = definition.key_of(relation.schema, row)
+                if not tree.contains(key, ref):
+                    tree.insert(key, ref)
+                    rebuilt += 1
     db.commit(txn)
     return rebuilt

@@ -26,20 +26,41 @@ been sent) is never blindly retried: the workload resolves its fate via
 ``TXN_STATUS`` on a fresh connection and folds the transfer into the
 oracle mirror only if the server says ``committed``.
 
+The **shard-fault mode** (``--cluster``) aims the same adversary at the
+sharded cluster: a 2-shard thread-mode :class:`ShardSupervisor` behind a
+:class:`ClusterRouter`, with the crash point armed on the *router's* links
+to the shards — so the k-th router→shard frame dies mid-2PC (mid-PREPARE,
+mid-decision-push, in the lost-ack window of either).  ``--fault-mode
+crash`` additionally power-fails one shard at the first transfer boundary
+after the fault (kill, WAL recovery, restart on the same port, then
+:meth:`ClusterRouter.resolve_in_doubt`).  The oracle is the atomic-commit
+contract: exactly the *acked* transfers are visible through the router,
+money is conserved across shards, every in-doubt prepared transaction is
+settled exactly once (presumed abort or the logged decision), and the
+cluster drains to zero active/prepared/locked everywhere.
+
 Run it from the command line::
 
     python -m repro.experiments.chaos_sweep --engine both --stride 10
+    python -m repro.experiments.chaos_sweep --cluster --fault-mode crash
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.client.pool import CircuitBreaker, RetryPolicy
 from repro.client.remote import RemoteDatabase, RemoteTransaction
+from repro.cluster import (
+    ClusterRouter,
+    RouterConfig,
+    ShardSupervisor,
+    SupervisorConfig,
+)
 from repro.common.errors import (
     CommitUncertainError,
     DeadlineExceededError,
@@ -169,13 +190,18 @@ def _setup_accounts(server: DatabaseServer, cfg: ChaosSweepConfig,
 
 
 def _run_workload(remote: RemoteDatabase, cfg: ChaosSweepConfig,
-                  state: _WorkloadState) -> None:
+                  state: _WorkloadState,
+                  on_transfer_done=None) -> None:
     """Seeded transfers through the chaos client; mirror on confirmation.
 
     A transfer is folded into the oracle only when its commit is
     *confirmed*: the commit call returned, or its uncertain fate resolved
     to ``committed`` via ``TXN_STATUS``.  Connection deaths anywhere else
     abandon the transaction — the server aborts the orphan on disconnect.
+
+    ``on_transfer_done`` runs after every transfer settles client-side
+    (confirmed, failed or resolved) — the shard-fault sweep's hook for
+    power-failing a shard at a deterministic transfer boundary.
     """
     rng = make_rng(cfg.seed, "chaos-sweep", "workload")
     for _ in range(cfg.transfers):
@@ -184,42 +210,49 @@ def _run_workload(remote: RemoteDatabase, cfg: ChaosSweepConfig,
         amount = float(rng.randrange(1, 10))
         txn: RemoteTransaction | None = None
         try:
-            txn = remote.begin()
-            (src_ref, src_row), = remote.lookup(txn, "accounts", "pk", src)
-            (dst_ref, dst_row), = remote.lookup(txn, "accounts", "pk", dst)
-            remote.update(txn, "accounts", src_ref,
-                          (src, src_row[1], src_row[2] - amount))
-            remote.update(txn, "accounts", dst_ref,
-                          (dst, dst_row[1], dst_row[2] + amount))
-            remote.commit(txn)
-        except CommitUncertainError as exc:
-            state.uncertain += 1
-            fate = remote.resolve_commit(exc.txid,
-                                         timeout_sec=cfg.settle_timeout_sec)
-            if fate == "committed":
-                state.uncertain_committed += 1
-                state.mirror[src] -= amount
-                state.mirror[dst] += amount
-                state.confirmed += 1
-            elif fate in ("aborted", "unknown"):
+            try:
+                txn = remote.begin()
+                (src_ref, src_row), = remote.lookup(txn, "accounts", "pk",
+                                                    src)
+                (dst_ref, dst_row), = remote.lookup(txn, "accounts", "pk",
+                                                    dst)
+                remote.update(txn, "accounts", src_ref,
+                              (src, src_row[1], src_row[2] - amount))
+                remote.update(txn, "accounts", dst_ref,
+                              (dst, dst_row[1], dst_row[2] + amount))
+                remote.commit(txn)
+            except CommitUncertainError as exc:
+                state.uncertain += 1
+                fate = remote.resolve_commit(
+                    exc.txid, timeout_sec=cfg.settle_timeout_sec)
+                if fate == "committed":
+                    state.uncertain_committed += 1
+                    state.mirror[src] -= amount
+                    state.mirror[dst] += amount
+                    state.confirmed += 1
+                elif fate in ("aborted", "unknown"):
+                    state.failed += 1
+                else:
+                    raise ChaosInvariantError(
+                        f"uncertain commit of txn {exc.txid} never "
+                        f"settled: fate {fate!r}")
+                continue
+            except (ConnectionError, OSError, DeadlineExceededError,
+                    RemoteError, ServiceError):
+                # the fault hit before COMMIT was attempted: the transfer
+                # is simply lost, and the server aborts the orphan on
+                # disconnect
                 state.failed += 1
-            else:
-                raise ChaosInvariantError(
-                    f"uncertain commit of txn {exc.txid} never settled: "
-                    f"fate {fate!r}")
-            continue
-        except (ConnectionError, OSError, DeadlineExceededError,
-                RemoteError, ServiceError):
-            # the fault hit before COMMIT was attempted: the transfer is
-            # simply lost, and the server aborts the orphan on disconnect
-            state.failed += 1
-            if txn is not None and txn.phase is TxnPhase.ACTIVE:
-                with contextlib.suppress(Exception):
-                    remote.abort(txn)
-            continue
-        state.mirror[src] -= amount
-        state.mirror[dst] += amount
-        state.confirmed += 1
+                if txn is not None and txn.phase is TxnPhase.ACTIVE:
+                    with contextlib.suppress(Exception):
+                        remote.abort(txn)
+                continue
+            state.mirror[src] -= amount
+            state.mirror[dst] += amount
+            state.confirmed += 1
+        finally:
+            if on_transfer_done is not None:
+                on_transfer_done()
 
 
 def _settle(server: DatabaseServer, cfg: ChaosSweepConfig,
@@ -353,6 +386,290 @@ def run_sweep(cfg: ChaosSweepConfig) -> ChaosSweepReport:
     return report
 
 
+# -- shard-fault mode (cluster) ----------------------------------------------
+
+
+@dataclass
+class ClusterChaosConfig:
+    """One shard-fault sweep's parameters (fully determined by the seed).
+
+    The crash point counts *router→shard* frames, so ``stride`` walks the
+    cluster's internal conversation — BEGINs, lookups, 2PC PREPAREs and
+    decision pushes — not the client's.  Setup traffic is excluded (the
+    point is disarmed around it), so frame ``k`` means the k-th frame the
+    workload itself moves.
+    """
+
+    shards: int = 2
+    fault_mode: str = "link"   # "link" | "crash" (power-fail a shard too)
+    accounts: int = 8
+    transfers: int = 30
+    stride: int = 1
+    seed: int = 11
+    initial_balance: float = 100.0
+    deadline_ms: int = 10_000
+    #: crash mode recovers a whole shard inside this window
+    settle_timeout_sec: float = 8.0
+
+    def validate(self) -> None:
+        """Raise on inconsistent settings."""
+        if self.shards < 2:
+            raise ValueError("shard-fault sweep needs >= 2 shards")
+        if self.fault_mode not in ("link", "crash"):
+            raise ValueError(f"unknown fault mode {self.fault_mode!r}")
+
+
+@dataclass
+class ClusterChaosOutcome:
+    """What happened at one shard-fault point."""
+
+    at_frame: int
+    kind: NetFaultKind
+    tripped: bool
+    confirmed: int
+    failed: int
+    killed_shard: int | None   # crash mode: the shard that power-failed
+    recovered_in_doubt: int    # prepared txns reinstated by WAL recovery
+    resolved_committed: int    # in-doubt settled by the logged decision
+    resolved_aborted: int      # in-doubt settled by presumed abort
+
+
+@dataclass
+class ClusterChaosReport:
+    """Aggregate over every shard-fault point tested."""
+
+    shards: int
+    fault_mode: str
+    total_frames: int
+    outcomes: list[ClusterChaosOutcome] = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def points_tripped(self) -> int:
+        return sum(1 for o in self.outcomes if o.tripped)
+
+    @property
+    def shards_killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.killed_shard is not None)
+
+    @property
+    def in_doubt_settled(self) -> int:
+        return sum(o.resolved_committed + o.resolved_aborted
+                   for o in self.outcomes)
+
+    @property
+    def in_doubt_recovered(self) -> int:
+        return sum(o.recovered_in_doubt for o in self.outcomes)
+
+
+def _start_cluster(cfg: ClusterChaosConfig,
+                   plan: ChaosPlan) -> tuple[ShardSupervisor, ClusterRouter]:
+    """Thread-mode shards behind a router whose shard links carry ``plan``."""
+    sup = ShardSupervisor(SupervisorConfig(
+        shards=cfg.shards, idle_timeout_sec=30.0, drain_timeout_sec=2.0))
+    sup.start()
+    router = ClusterRouter(sup.addresses, RouterConfig(
+        port=0, idle_timeout_sec=30.0, drain_timeout_sec=2.0,
+        retry=RetryPolicy(base_delay_sec=0.001, max_delay_sec=0.01,
+                          jitter=False),
+        resolve_timeout_sec=cfg.settle_timeout_sec,
+        chaos=plan))
+    try:
+        router.start_in_background()
+    except BaseException:
+        sup.stop()
+        raise
+    return sup, router
+
+
+def _setup_cluster_accounts(router: ClusterRouter, cfg: ClusterChaosConfig,
+                            state: _WorkloadState) -> None:
+    """Create and seed ``accounts`` through the router, one row per
+    INSERT so round-robin placement stripes accounts across shards —
+    that striping is what makes the transfers multi-shard 2PC."""
+    host, port = router.address  # type: ignore[misc]
+    with RemoteDatabase(host, port, pool_size=1) as clean:
+        clean.create_table("accounts", ACCOUNTS, indexes=[
+            IndexDef("pk", ("id",), unique=True),
+            IndexDef("by_owner", ("owner",)),
+        ])
+        txn = clean.begin()
+        for i in range(cfg.accounts):
+            clean.insert(txn, "accounts", (i, f"acct-{i}",
+                                           cfg.initial_balance))
+        clean.commit(txn)
+    for i in range(cfg.accounts):
+        state.mirror[i] = cfg.initial_balance
+
+
+def _router_client(router: ClusterRouter,
+                   cfg: ClusterChaosConfig) -> RemoteDatabase:
+    """Client→router link is clean: the faults live behind the router."""
+    host, port = router.address  # type: ignore[misc]
+    retry = RetryPolicy(base_delay_sec=0.001, max_delay_sec=0.01,
+                        jitter=False)
+    breaker = CircuitBreaker(failure_threshold=20, reset_timeout_sec=0.05)
+    return RemoteDatabase(host, port, pool_size=2, retry=retry,
+                          breaker=breaker, deadline_ms=cfg.deadline_ms)
+
+
+def _settle_cluster(router: ClusterRouter, sup: ShardSupervisor,
+                    cfg: ClusterChaosConfig, at_frame: int) -> None:
+    """Quiescence across the whole cluster: no router sessions, and on
+    every shard no active transaction, no held lock, no in-doubt
+    prepared transaction left unsettled."""
+    deadline = time.monotonic() + cfg.settle_timeout_sec
+    while True:
+        noisy: list[str] = []
+        if router.sessions.count():
+            noisy.append(f"router: {router.sessions.count()} sessions")
+        for i in range(cfg.shards):
+            mgr = sup.database(i).txn_mgr
+            _commits, _aborts, active = mgr.counters()
+            locks = mgr.locks.held_count()
+            prepared = len(mgr.prepared)
+            if active or locks or prepared:
+                noisy.append(f"shard {i}: {active} active, {locks} locks, "
+                             f"{prepared} in-doubt")
+        if not noisy:
+            return
+        if time.monotonic() >= deadline:
+            raise ChaosInvariantError(
+                f"cluster did not settle after fault at frame {at_frame}: "
+                + "; ".join(noisy))
+        time.sleep(0.01)
+
+
+def run_cluster_one(cfg: ClusterChaosConfig, at_frame: int,
+                    kind: NetFaultKind) -> ClusterChaosOutcome:
+    """One seeded run with a router→shard fault armed at ``at_frame``."""
+    point = NetCrashPoint(at_event=at_frame, kind=kind)
+    point.disarm()                      # setup frames are not under test
+    plan = ChaosPlan(crash_point=point)
+    sup, router = _start_cluster(cfg, plan)
+    state = _WorkloadState()
+    target = at_frame % cfg.shards
+    crash_log: dict = {"killed": None, "recovered_in_doubt": 0,
+                       "resolved": {}}
+    workload_over = threading.Event()
+
+    def killer() -> None:
+        # the moment the link fault fires, power-fail a shard — racing the
+        # router's own inline recovery, so the kill lands mid-2PC whenever
+        # frame k is a PREPARE or a decision push.  The shard then comes
+        # back via WAL recovery (prepared transactions reinstated
+        # in-doubt) and the coordinator settles the leftovers.
+        while not point.tripped:
+            if workload_over.wait(0.001):
+                return
+        crash_log["killed"] = target
+        sup.kill_shard(target)
+        report = sup.restart_shard(target)
+        crash_log["recovered_in_doubt"] = (
+            report.in_doubt_txns if report is not None else 0)
+        crash_log["resolved"] = router.resolve_in_doubt()
+
+    kill_thread: threading.Thread | None = None
+    if cfg.fault_mode == "crash":
+        kill_thread = threading.Thread(target=killer, daemon=True,
+                                       name="chaos-shard-killer")
+        kill_thread.start()
+    try:
+        _setup_cluster_accounts(router, cfg, state)
+        point.arm()
+        remote = _router_client(router, cfg)
+        try:
+            _run_workload(remote, cfg, state)
+        finally:
+            remote.close()
+        point.disarm()
+        workload_over.set()
+        if kill_thread is not None:
+            kill_thread.join(timeout=cfg.settle_timeout_sec + 10.0)
+            if kill_thread.is_alive():
+                raise ChaosInvariantError(
+                    f"shard killer wedged after fault at frame {at_frame}")
+        resolved = router.resolve_in_doubt()
+        for key in ("committed", "aborted"):
+            crash_log["resolved"][key] = (
+                crash_log["resolved"].get(key, 0) + resolved[key])
+        if router.coordinator_log.pending_decisions():
+            raise ChaosInvariantError(
+                f"fault at frame {at_frame} left commit decisions "
+                f"unpushed: {router.coordinator_log.pending_decisions()}")
+        _settle_cluster(router, sup, cfg, at_frame)
+        _verify(router, cfg, state)
+        _settle_cluster(router, sup, cfg, at_frame)
+    finally:
+        workload_over.set()
+        if kill_thread is not None:
+            kill_thread.join(timeout=5.0)
+        router.stop_in_background()
+        sup.stop()
+    return ClusterChaosOutcome(
+        at_frame=at_frame,
+        kind=kind,
+        tripped=point.tripped,
+        confirmed=state.confirmed,
+        failed=state.failed,
+        killed_shard=crash_log["killed"],
+        recovered_in_doubt=crash_log["recovered_in_doubt"],
+        resolved_committed=crash_log["resolved"].get("committed", 0),
+        resolved_aborted=crash_log["resolved"].get("aborted", 0),
+    )
+
+
+def count_cluster_frames(cfg: ClusterChaosConfig) -> int:
+    """Count mode: router→shard frames of one fault-free workload run."""
+    point = NetCrashPoint(at_event=0)   # never fires, only counts
+    point.disarm()
+    plan = ChaosPlan(crash_point=point)
+    sup, router = _start_cluster(cfg, plan)
+    try:
+        state = _WorkloadState()
+        _setup_cluster_accounts(router, cfg, state)
+        point.arm()
+        remote = _router_client(router, cfg)
+        try:
+            _run_workload(remote, cfg, state)
+        finally:
+            remote.close()
+        if state.confirmed != cfg.transfers:
+            raise ChaosInvariantError(
+                f"count mode lost transfers without faults: "
+                f"{state.confirmed}/{cfg.transfers}")
+        if router.stats.commits_2pc == 0:
+            raise ChaosInvariantError(
+                "workload never exercised 2PC — transfers are not "
+                "crossing shards; the sweep would prove nothing")
+    finally:
+        router.stop_in_background()
+        sup.stop()
+    return point.events_seen
+
+
+def run_cluster_sweep(cfg: ClusterChaosConfig) -> ClusterChaosReport:
+    """Fault every ``stride``-th router→shard frame; verify each time."""
+    cfg.validate()
+    total = count_cluster_frames(cfg)
+    report = ClusterChaosReport(shards=cfg.shards,
+                                fault_mode=cfg.fault_mode,
+                                total_frames=total)
+    for k in range(1, total + 1, cfg.stride):
+        kind = DISRUPTIVE_KINDS[k % len(DISRUPTIVE_KINDS)]
+        try:
+            outcome = run_cluster_one(cfg, k, kind)
+        except ChaosInvariantError as exc:
+            raise ChaosInvariantError(
+                f"[cluster {cfg.fault_mode} {kind.value} at frame {k}] "
+                f"{exc}") from exc
+        report.outcomes.append(outcome)
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Chaos sweep: network faults against the service layer")
@@ -363,7 +680,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--transfers", type=int, default=30)
     parser.add_argument("--accounts", type=int, default=8)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--cluster", action="store_true",
+                        help="shard-fault mode: fault the router's shard "
+                             "links of a 2PC cluster instead")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="cluster mode: number of shards")
+    parser.add_argument("--fault-mode", choices=["link", "crash"],
+                        default="link",
+                        help="cluster mode: break a link only, or also "
+                             "power-fail and recover a shard")
     args = parser.parse_args(argv)
+    if args.cluster:
+        cfg = ClusterChaosConfig(
+            shards=args.shards, fault_mode=args.fault_mode,
+            accounts=args.accounts, transfers=args.transfers,
+            stride=args.stride, seed=args.seed)
+        report = run_cluster_sweep(cfg)
+        print(f"cluster({report.shards} shards, {report.fault_mode}): "
+              f"{report.points_tested} fault points over "
+              f"{report.total_frames} router→shard frames "
+              f"({report.points_tripped} tripped, "
+              f"{report.shards_killed} shard power-failures, "
+              f"{report.in_doubt_recovered} in-doubt txns recovered, "
+              f"{report.in_doubt_settled} coordinator-settled) — "
+              f"all invariants held")
+        return 0
     kinds = {"siasv": [EngineKind.SIASV], "si": [EngineKind.SI],
              "both": [EngineKind.SIASV, EngineKind.SI]}[args.engine]
     for kind in kinds:

@@ -79,6 +79,11 @@ class NetCrashPoint:
         """Stop injecting (and stop counting)."""
         self._armed = False
 
+    def arm(self) -> None:
+        """Resume injecting and counting (sweeps disarm around setup
+        traffic so frame numbering covers only the workload under test)."""
+        self._armed = True
+
     def on_event(self) -> NetFaultKind | None:
         """Count one frame; returns the fault kind iff this frame is it."""
         if not self._armed:

@@ -92,6 +92,9 @@ class Command(IntEnum):
     TXN_STATUS = 22
     SCAN_BATCH = 23
     AGGREGATE = 24
+    PREPARE_TXN = 25
+    COMMIT_PREPARED = 26
+    ABORT_PREPARED = 27
     SHUTDOWN = 99
 
 

@@ -110,6 +110,7 @@ _EXEMPT = frozenset({
     Command.PING, Command.COMMIT, Command.ABORT, Command.TICK,
     Command.CLOCK_NOW, Command.CLOCK_ADVANCE, Command.CLOCK_ADVANCE_TO,
     Command.STATS, Command.TXN_STATUS, Command.SHUTDOWN,
+    Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
 })
 
 #: Commands a *draining* server still serves unconditionally: finishing
@@ -120,6 +121,7 @@ _EXEMPT = frozenset({
 _DRAIN_ALLOWED = frozenset({
     Command.PING, Command.COMMIT, Command.ABORT, Command.TXN_STATUS,
     Command.STATS, Command.SHUTDOWN,
+    Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
 })
 
 #: Commands that run on the dispatcher's exclusive lane: they restructure
@@ -236,6 +238,9 @@ class DatabaseServer:
             Command.CLOCK_ADVANCE: self._cmd_clock_advance,
             Command.CLOCK_ADVANCE_TO: self._cmd_clock_advance_to,
             Command.TXN_STATUS: self._cmd_txn_status,
+            Command.PREPARE_TXN: self._cmd_prepare_txn,
+            Command.COMMIT_PREPARED: self._cmd_commit_prepared,
+            Command.ABORT_PREPARED: self._cmd_abort_prepared,
             Command.SHUTDOWN: self._cmd_shutdown,
         }
 
@@ -426,9 +431,15 @@ class DatabaseServer:
         """
         commits, aborts, active = self.db.txn_mgr.counters()
         locks = self.db.txn_mgr.locks
+        mgr = self.db.txn_mgr
         return {
             "txns": {"commits": commits, "aborts": aborts,
-                     "active": active},
+                     "active": active,
+                     "prepares": mgr.prepares,
+                     "prepared_commits": mgr.prepared_commits,
+                     "prepared_aborts": mgr.prepared_aborts,
+                     "in_doubt": len(mgr.prepared),
+                     "in_doubt_txns": tuple(mgr.in_doubt())},
             "locks": {"held": locks.held_count(),
                       "acquired": locks.stats.acquired,
                       "conflicts": locks.stats.conflicts,
@@ -836,8 +847,52 @@ class DatabaseServer:
                 return "committed"
             if state is TxnState.ABORTED:
                 return "aborted"
+            if state is TxnState.PREPARED:
+                return "prepared"
             return "active"
         return await self._run(session, Command.TXN_STATUS, work)
+
+    async def _cmd_prepare_txn(self, session: Session, args: tuple) -> None:
+        """2PC phase 1: durably prepare a session-owned transaction.
+
+        On success the session *forgets* the transaction: a prepared txn
+        must survive its client's disconnect (the router may crash between
+        phases) — only the coordinator's decision, delivered over any
+        session via COMMIT_PREPARED/ABORT_PREPARED, settles it.  A failed
+        prepare aborts, exactly like a failed COMMIT.
+        """
+        txid, gtxid = _arity(args, 2)
+        txn = session.claim(_as_int(txid, "txid"))
+        wanted_gtxid = _as_int(gtxid, "gtxid")
+
+        def work() -> None:
+            try:
+                self.db.prepare(txn, wanted_gtxid)
+            except BaseException:
+                if txn.phase is TxnPhase.ACTIVE:
+                    self.db.abort(txn)
+                raise
+        try:
+            await self._run(session, Command.PREPARE_TXN, work)
+        finally:
+            if txn.phase is not TxnPhase.ACTIVE:
+                session.forget(txn.txid)
+
+    async def _cmd_commit_prepared(self, session: Session,
+                                   args: tuple) -> bool:
+        """2PC phase 2, commit decision (idempotent, session-free)."""
+        (txid,) = _arity(args, 1)
+        wanted = _as_int(txid, "txid")
+        return await self._run(session, Command.COMMIT_PREPARED,
+                               lambda: self.db.commit_prepared(wanted))
+
+    async def _cmd_abort_prepared(self, session: Session,
+                                  args: tuple) -> bool:
+        """2PC phase 2, abort decision (idempotent, session-free)."""
+        (txid,) = _arity(args, 1)
+        wanted = _as_int(txid, "txid")
+        return await self._run(session, Command.ABORT_PREPARED,
+                               lambda: self.db.abort_prepared(wanted))
 
     async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
         _arity(args, 0)

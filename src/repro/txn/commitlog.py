@@ -18,6 +18,7 @@ class TxnState(Enum):
     """Fate of a transaction id."""
 
     IN_PROGRESS = "in_progress"
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -42,21 +43,38 @@ class CommitLog:
         except KeyError:
             raise TxnStateError(f"unknown txid {txid}") from None
 
+    def set_prepared(self, txid: int) -> None:
+        """Transition IN_PROGRESS → PREPARED (two-phase commit phase 1).
+
+        A PREPARED transaction is still *not committed* for visibility —
+        ``is_committed`` stays False, so no snapshot can see its versions
+        until the coordinator's decision lands.
+        """
+        current = self.state_of(txid)
+        if current is not TxnState.IN_PROGRESS:
+            raise TxnStateError(
+                f"txid {txid} is {current.value}, cannot become prepared")
+        self._states[txid] = TxnState.PREPARED
+
     def set_committed(self, txid: int) -> None:
-        """Transition IN_PROGRESS → COMMITTED."""
+        """Transition IN_PROGRESS or PREPARED → COMMITTED."""
         self._transition(txid, TxnState.COMMITTED)
 
     def set_aborted(self, txid: int) -> None:
-        """Transition IN_PROGRESS → ABORTED."""
+        """Transition IN_PROGRESS or PREPARED → ABORTED."""
         self._transition(txid, TxnState.ABORTED)
 
     def _transition(self, txid: int, target: TxnState) -> None:
         current = self.state_of(txid)
-        if current is not TxnState.IN_PROGRESS:
+        if current not in (TxnState.IN_PROGRESS, TxnState.PREPARED):
             raise TxnStateError(
                 f"txid {txid} is {current.value}, cannot become "
                 f"{target.value}")
         self._states[txid] = target
+
+    def is_prepared(self, txid: int) -> bool:
+        """True iff the transaction is prepared and awaiting its fate."""
+        return self._states.get(txid) is TxnState.PREPARED
 
     def is_committed(self, txid: int) -> bool:
         """True iff the transaction committed."""

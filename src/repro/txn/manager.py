@@ -29,6 +29,7 @@ class TxnPhase(Enum):
     """Lifecycle phase of a transaction handle."""
 
     ACTIVE = "active"
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -44,6 +45,8 @@ class Transaction:
     _undo: list[Callable[[], None]] = field(default_factory=list)
     reads: int = 0
     writes: int = 0
+    #: coordinator's global transaction id once prepared (2PC participant)
+    gtxid: int | None = None
 
     def register_undo(self, action: Callable[[], None]) -> None:
         """Add a rollback action (run in reverse order on abort)."""
@@ -77,8 +80,15 @@ class TransactionManager:
         self.wal = wal
         self.ssi = SsiTracker()
         self._active: dict[int, Transaction] = {}
+        #: prepared (in-doubt) transactions, keyed by local txid — they
+        #: stay in ``_active`` too, which is what keeps the GC horizon and
+        #: checkpoint anchor pinned below their versions
+        self.prepared: dict[int, Transaction] = {}
         self.commits = 0
         self.aborts = 0
+        self.prepares = 0
+        self.prepared_commits = 0
+        self.prepared_aborts = 0
         # Plain (non-reentrant) mutex: no path acquires it twice, and the
         # begin/commit fast paths are hot enough for the difference to show.
         self._mu = threading.Lock()
@@ -149,6 +159,99 @@ class TransactionManager:
         if self.wal is not None:
             self.wal.log_abort(txn.txid)
         self._finish(txn)
+
+    # -- two-phase commit ---------------------------------------------------------
+
+    def prepare(self, txn: Transaction, gtxid: int) -> None:
+        """Phase 1: force the prepare record, then flip to PREPARED.
+
+        Mirrors :meth:`commit`'s durability-before-publication order: the
+        WAL prepare is forced *before* the clog flips, so an acknowledged
+        "prepared" vote always survives a crash.  The transaction stays in
+        ``_active`` (pinning the GC horizon and checkpoint anchor below
+        its versions) and keeps its item locks and undo chain — the
+        coordinator's decision releases them via
+        :meth:`commit_prepared` / :meth:`abort_prepared`.
+        """
+        txn._assert_active()
+        if self.wal is not None:
+            self.wal.log_prepare(txn.txid, gtxid)
+        with self._mu:
+            self.clog.set_prepared(txn.txid)
+            txn.phase = TxnPhase.PREPARED
+            txn.gtxid = gtxid
+            self.prepared[txn.txid] = txn
+            self.prepares += 1
+
+    def commit_prepared(self, txid: int) -> bool:
+        """Phase 2 (commit decision): finalize a prepared transaction.
+
+        Idempotent: returns False if the transaction already reached its
+        COMMITTED fate (a retried decision delivery), True if this call
+        performed the commit.  A transaction that is neither prepared nor
+        committed raises — delivering a commit decision to an aborted
+        participant is a coordinator bug.
+        """
+        with self._mu:
+            state = self.clog.state_of(txid)
+            if state is TxnState.COMMITTED:
+                return False
+            if state is not TxnState.PREPARED:
+                raise TxnStateError(
+                    f"txid {txid} is {state.value}, cannot commit-prepared")
+            txn = self.prepared.pop(txid, None)
+        if txn is None:
+            # another finalizer holds the handle mid-flight; treat as
+            # a duplicate delivery
+            return False
+        if self.wal is not None:
+            self.wal.log_commit(txid)
+        with self._mu:
+            self.clog.set_committed(txid)
+            txn.phase = TxnPhase.COMMITTED
+            del self._active[txid]
+            self.commits += 1
+            self.prepared_commits += 1
+        self._finish(txn)
+        return True
+
+    def abort_prepared(self, txid: int) -> bool:
+        """Phase 2 (abort decision / presumed abort): roll back a prepare.
+
+        Idempotent like :meth:`commit_prepared`; rolling back runs the
+        undo chain in reverse while the item locks are still held, exactly
+        as :meth:`abort` does.  The abort record is not forced — if it is
+        lost to a crash the transaction comes back in-doubt and presumed
+        abort re-resolves it the same way.
+        """
+        with self._mu:
+            state = self.clog.state_of(txid)
+            if state is TxnState.ABORTED:
+                return False
+            if state is not TxnState.PREPARED:
+                raise TxnStateError(
+                    f"txid {txid} is {state.value}, cannot abort-prepared")
+            txn = self.prepared.pop(txid, None)
+        if txn is None:
+            return False
+        for action in reversed(txn._undo):
+            action()
+        with self._mu:
+            self.clog.set_aborted(txid)
+            txn.phase = TxnPhase.ABORTED
+            del self._active[txid]
+            self.aborts += 1
+            self.prepared_aborts += 1
+        if self.wal is not None:
+            self.wal.log_abort(txid)
+        self._finish(txn)
+        return True
+
+    def in_doubt(self) -> list[tuple[int, int]]:
+        """``(local txid, global txid)`` of every prepared transaction."""
+        with self._mu:
+            return [(t.txid, t.gtxid if t.gtxid is not None else -1)
+                    for t in self.prepared.values()]
 
     def _finish(self, txn: Transaction) -> None:
         txn._undo.clear()

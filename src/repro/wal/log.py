@@ -83,6 +83,20 @@ class WriteAheadLog:
         """Append an abort record (no force needed for aborts)."""
         self.append(WalRecord(WalRecordType.ABORT, txid, 0))
 
+    def log_prepare(self, txid: int, gtxid: int) -> None:
+        """Append a PREPARE record and force it (two-phase commit vote).
+
+        The force *is* the vote: once a participant answers "prepared" the
+        coordinator may decide commit, so the prepare — and with it every
+        data record of the transaction, which precedes it in the log —
+        must survive a crash.  ``gtxid`` (the coordinator's global txn id)
+        rides in ``item_id`` so recovery can report in-doubt transactions
+        back to the coordinator.
+        """
+        with self._mu:
+            self._append_locked(WalRecord(WalRecordType.PREPARE, txid, gtxid))
+            self._force_upto(self._appended_upto, commit=True)
+
     # -- durability ---------------------------------------------------------------
 
     def force(self) -> int:

@@ -25,6 +25,7 @@ class WalRecordType(IntEnum):
     COMMIT = 4
     ABORT = 5
     CHECKPOINT = 6
+    PREPARE = 7
 
 
 # type, relation_id, txid, item_id, payload length
