@@ -239,6 +239,15 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
                              "--seed", str(args.seed)])
 
 
+def _cmd_si_check(args: argparse.Namespace) -> int:
+    from repro.experiments import si_check
+
+    argv = [args.history, "--max-violations", str(args.max_violations)]
+    if args.expect_anomaly:
+        argv.append("--expect-anomaly")
+    return si_check.main(argv)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     return {"start": _cluster_start, "status": _cluster_status,
             "bench": _cluster_bench}[args.cluster_command](args)
@@ -439,6 +448,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--accounts", type=int, default=8)
     chaos.add_argument("--seed", type=int, default=11)
 
+    sicheck = sub.add_parser("si-check",
+                             help="replay a recorded history through the "
+                                  "black-box snapshot-isolation checker "
+                                  "(docs/CLUSTER.md)")
+    sicheck.add_argument("history",
+                         help="JSONL history file "
+                              "(repro.experiments.si_check format)")
+    sicheck.add_argument("--expect-anomaly", action="store_true",
+                         help="exit 0 only if the checker finds "
+                              "violations (legacy-mode canary)")
+    sicheck.add_argument("--max-violations", type=int, default=50,
+                         help="stop after reporting this many")
+
     cluster = sub.add_parser("cluster",
                              help="VID-range sharded cluster "
                                   "(docs/CLUSTER.md)")
@@ -488,6 +510,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "crash-sweep": _cmd_crash_sweep,
         "chaos-sweep": _cmd_chaos_sweep,
+        "si-check": _cmd_si_check,
         "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)

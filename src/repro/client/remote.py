@@ -128,11 +128,22 @@ class RemoteDatabase:
 
     # -- transactions --------------------------------------------------------
 
-    def begin(self, serializable: bool = False) -> RemoteTransaction:
-        """Start a server-side transaction pinned to one connection."""
+    def begin(self, serializable: bool = False,
+              at_ts: int | None = None) -> RemoteTransaction:
+        """Start a server-side transaction pinned to one connection.
+
+        ``at_ts`` pins the snapshot to an externally supplied *closed*
+        read timestamp (see :meth:`closed_ts`); the wire request only
+        grows the extra operand when one is given, so an old server
+        keeps working as long as the feature is unused.
+        """
         conn = self.pool.acquire()
         try:
-            txid = self.pool.request(conn, Command.BEGIN, serializable)
+            if at_ts is None:
+                txid = self.pool.request(conn, Command.BEGIN, serializable)
+            else:
+                txid = self.pool.request(conn, Command.BEGIN, serializable,
+                                         at_ts)
         except BaseException:
             self.pool.release(conn)
             raise
@@ -156,6 +167,13 @@ class RemoteDatabase:
             raise CommitUncertainError(
                 f"commit of txn {txn.txid} is uncertain (ack lost): {exc}",
                 txid=txn.txid) from exc
+        except CommitUncertainError as exc:
+            # relayed as Status.AMBIGUOUS by a router that lost its shard
+            # mid-commit: the fate is genuinely undecided downstream
+            self.pool.stats.uncertain_commits += 1
+            raise CommitUncertainError(
+                f"commit of txn {txn.txid} is uncertain (fate unresolved "
+                f"downstream): {exc}", txid=txn.txid) from exc
         except BaseException:
             # server-side commit failure (e.g. SSI abort) rolled it back
             txn.phase = TxnPhase.ABORTED
@@ -196,14 +214,18 @@ class RemoteDatabase:
         """Resolve an uncertain commit to its final fate.
 
         ``"active"`` is transient after a dead connection — the server
-        aborts the orphan when it notices the disconnect — so this polls
-        until the fate is final or ``timeout_sec`` elapses (returning the
-        last observed status in that case).
+        aborts the orphan when it notices the disconnect.  ``"unknown"``
+        is transient too when the far side is a cluster router: a commit
+        parked in doubt (its shard crashed mid-ack) resolves as soon as
+        the shard's WAL recovery answers.  Both are polled through until
+        the fate is final or ``timeout_sec`` elapses (returning the last
+        observed status in that case).
         """
         deadline = time.monotonic() + timeout_sec
         while True:
             status = self.txn_status(txid)
-            if status != "active" or time.monotonic() >= deadline:
+            if (status not in ("active", "unknown")
+                    or time.monotonic() >= deadline):
                 return status
             time.sleep(poll_interval_sec)
 
@@ -333,6 +355,18 @@ class RemoteDatabase:
     def server_stats(self) -> dict:
         """Admission-control, session and per-command service counters."""
         return self.pool.call(Command.STATS)
+
+    def closed_ts(self, ratchet_to: int | None = None) -> int:
+        """The server's closed-timestamp watermark.
+
+        Every timestamp at or below it is settled, so it is a valid
+        ``at_ts`` for :meth:`begin`.  ``ratchet_to`` additionally pushes
+        the server's txid space forward (never backwards) before reading
+        the watermark — the cluster router's shard-side ratchet.
+        """
+        if ratchet_to is None:
+            return self.pool.call(Command.CLOSED_TS)
+        return self.pool.call(Command.CLOSED_TS, ratchet_to)
 
     def ping(self) -> str:
         """Liveness probe."""

@@ -31,11 +31,24 @@ nesting the shard's own cursor inside a ``(shard, local_cursor)`` pair —
 shards are streamed one after another, and within a shard local VID order
 is global VID order (see the ShardMap monotonicity note).
 
-One caveat worth naming: each shard takes its own snapshot when the
-global transaction first touches it, so cross-shard reads are not a
-single atomic snapshot (they are per-shard SI; writes *are* atomic via
-2PC).  ``docs/CLUSTER.md`` discusses the gap and what closing it would
-take.
+Reads get one **cluster-wide snapshot**: the router picks a global read
+timestamp — the minimum over every shard's *closed-timestamp* watermark
+(``CLOSED_TS``), ratcheting quiet shards forward so the minimum tracks
+the busiest shard — and lazily begins every per-shard local transaction
+pinned to it (``BEGIN`` with the optional ``at_ts`` operand).  A
+timestamp at or below a shard's watermark is provably stable (nothing
+in flight can still commit under it; 2PC PREPARE holds the watermark
+down until the decision lands), so fan-out ``LOOKUP/SCAN/AGGREGATE/
+SCAN_VID_RANGE`` merges observe one atomic snapshot instead of one
+snapshot per shard.  The timestamp is cached and refreshed after a
+short interval or any global commit, so reads through one router also
+see that router's own acknowledged writes.  The pre-PR-8 behaviour —
+each shard snapshotting independently at first touch, which admits
+*fractured reads* across a concurrent global commit — is kept behind
+``RouterConfig.per_shard_snapshots`` for the anomaly reproducer; the
+black-box SI checker (``experiments/si_check.py``) flags it there and
+passes the default mode.  ``docs/CLUSTER.md`` ("Cluster-wide
+snapshots") has the full timestamp flow.
 """
 
 from __future__ import annotations
@@ -73,7 +86,7 @@ from repro.server.session import Session, SessionManager
 #: Commands a draining router still serves (mirrors the server's list).
 _DRAIN_ALLOWED = frozenset({
     Command.PING, Command.COMMIT, Command.ABORT, Command.TXN_STATUS,
-    Command.STATS, Command.SHUTDOWN,
+    Command.STATS, Command.SHUTDOWN, Command.CLOSED_TS,
 })
 
 
@@ -109,6 +122,15 @@ class RouterConfig:
     #: durable coordinator log path (None: in-memory; tests hand the same
     #: CoordinatorLog instance to a successor router instead)
     coordinator_log_path: str | None = None
+    #: how long the cached global read timestamp stays fresh; a global
+    #: commit through this router invalidates it immediately, so the
+    #: interval only bounds staleness against *other* writers
+    snapshot_refresh_sec: float = 0.05
+    #: legacy pre-PR-8 behaviour: every shard snapshots independently at
+    #: first touch.  Admits fractured reads across a concurrent global
+    #: commit — kept only so the anomaly stays reproducible (the SI
+    #: checker must flag it; see docs/CLUSTER.md "Cluster-wide snapshots")
+    per_shard_snapshots: bool = False
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -118,6 +140,8 @@ class RouterConfig:
             raise ValueError("decision_retry_attempts must be >= 1")
         if self.drain_timeout_sec < 0:
             raise ValueError("drain_timeout_sec must be >= 0")
+        if self.snapshot_refresh_sec < 0:
+            raise ValueError("snapshot_refresh_sec must be >= 0")
 
 
 class ShardTxn:
@@ -140,13 +164,17 @@ class GlobalTxn:
     engine phases, only fates.
     """
 
-    __slots__ = ("txid", "serializable", "phase", "shards")
+    __slots__ = ("txid", "serializable", "phase", "shards", "read_ts")
 
-    def __init__(self, gtxid: int, serializable: bool) -> None:
+    def __init__(self, gtxid: int, serializable: bool,
+                 read_ts: int | None = None) -> None:
         self.txid = gtxid
         self.serializable = serializable
         self.phase = "active"
         self.shards: dict[int, ShardTxn] = {}
+        #: the cluster-wide read timestamp every lazy per-shard BEGIN is
+        #: pinned to; None in legacy per-shard-snapshot mode
+        self.read_ts = read_ts
 
 
 class _Fanout:
@@ -189,6 +217,12 @@ class RouterStats:
     #: prepared shard txns aborted by presumption (no logged decision)
     presumed_aborts: int = 0
     in_doubt_resolved: int = 0
+    #: global-read-timestamp cache refreshes (CLOSED_TS fan-outs)
+    snapshot_refreshes: int = 0
+    #: lagging shards ratcheted forward during a refresh
+    snapshot_ratchets: int = 0
+    #: global transactions begun pinned to a cluster-wide timestamp
+    begins_at_ts: int = 0
     #: fan-out commands (those contacting more than one shard)
     fanouts: int = 0
     fanout: dict = field(default_factory=dict)
@@ -252,6 +286,41 @@ class ClusterRouter:
         #: gtxids currently open (guards resolve_in_doubt against
         #: presuming-abort a transaction this router is mid-2PC on)
         self._open: dict[int, GlobalTxn] = {}
+        # cluster-wide read-timestamp cache: min over shard watermarks,
+        # monotone, invalidated by this router's own global commits
+        self._snap_mu = threading.Lock()
+        self._snapshot_ts: int | None = None
+        self._snapshot_taken = 0.0
+        self._snapshot_dirty = True
+        #: straddle guard: every multi-shard commit carries *different*
+        #: local txids on its participants (each shard's allocator runs
+        #: its own course), so a global read timestamp landing inside
+        #: ``[min ltxid, max ltxid)`` would see the transaction on one
+        #: shard and miss it on another — a fractured read, and not just
+        #: while the decision is being pushed: the window stays toxic
+        #: forever.  Map of {gtxid: (min ltxid, max ltxid)}; refreshes
+        #: step the candidate timestamp below any window it lands in, and
+        #: windows are pruned once the monotone cache passes their top.
+        #: Re-seeded across a router restart from the coordinator log's
+        #: pending decisions (fully-pushed windows below the watermark
+        #: need no guard by then; see _refresh_snapshot_ts).
+        self._straddles: dict[int, tuple[int, int]] = {
+            gtxid: (min(lt for _s, lt in parts), max(lt for _s, lt in parts))
+            for gtxid, parts
+            in self.coordinator_log.pending_decisions().items()
+            if parts}
+        #: 1PC commits whose fate could not be resolved before the retry
+        #: budget ran out: ``{gtxid: (shard, local txid)}``.  TXN_STATUS
+        #: re-asks the shard on demand; resolve_in_doubt sweeps the rest.
+        self._in_doubt_1pc: dict[int, tuple[int, int]] = {}
+        #: read-your-writes floor: the highest local txid of any commit
+        #: this router acknowledged.  A refresh can legitimately compute a
+        #: timestamp below it (a concurrent reader pins some shard's
+        #: watermark under the commit), and that snapshot is *consistent*
+        #: — but it must not be cached as fresh, or a begin right after
+        #: the pinning reader finished would still be served a snapshot
+        #: missing acked writes.
+        self._commit_floor = 0
         self.address: tuple[str, int] | None = None
         self._server: asyncio.Server | None = None
         self._stop_event: asyncio.Event | None = None
@@ -288,6 +357,7 @@ class ClusterRouter:
             Command.CLOCK_ADVANCE: self._cmd_clock_advance,
             Command.CLOCK_ADVANCE_TO: self._cmd_clock_advance_to,
             Command.TXN_STATUS: self._cmd_txn_status,
+            Command.CLOSED_TS: self._cmd_closed_ts,
             Command.SHUTDOWN: self._cmd_shutdown,
         }
 
@@ -577,6 +647,104 @@ class ClusterRouter:
                 if writer is not None:
                     writer.close()
 
+    # -- cluster-wide read timestamp -----------------------------------------
+
+    def _cached_snapshot_ts(self) -> int | None:
+        """The cached global read timestamp, or None when stale.
+
+        Stale means: never taken, older than ``snapshot_refresh_sec``, or
+        invalidated by a global commit through this router (so a client
+        that got a commit ack always finds it in its next snapshot —
+        read-your-writes per router, and the chaos sweep's
+        acked-commits-visible oracle holds without waiting out the TTL).
+        """
+        with self._snap_mu:
+            if (self._snapshot_ts is None or self._snapshot_dirty
+                    or (time.monotonic() - self._snapshot_taken
+                        > self.config.snapshot_refresh_sec)):
+                return None
+            return self._snapshot_ts
+
+    def _refresh_snapshot_ts(self) -> int:
+        """Recompute the global read timestamp (runs on the executor).
+
+        Two rounds: read every shard's closed-timestamp watermark, then
+        ratchet laggards forward to the leader's
+        (:meth:`repro.txn.manager.TransactionManager.advance_to`) so an
+        idle shard cannot drag the cluster-wide minimum arbitrarily far
+        into the past.  A shard with in-flight transactions below the
+        leader keeps its lower watermark, and the minimum correctly
+        reflects it.  The result is monotone: per-shard watermarks only
+        grow, and the cache never regresses.
+
+        A shard that is unreachable mid-refresh (crash sweep, link fault)
+        falls back to the cached value when one exists — older but still
+        a valid stable snapshot; with no cache at all the error
+        propagates and the client's retry policy applies.
+        """
+        try:
+            marks = [self.pool.call(Command.CLOSED_TS, endpoint=shard)
+                     for shard in range(len(self.shard_addrs))]
+            top = max(marks)
+            for shard, mark in enumerate(marks):
+                if mark < top:
+                    marks[shard] = self.pool.call(Command.CLOSED_TS, top,
+                                                  endpoint=shard)
+                    self.stats.snapshot_ratchets += 1
+        except Exception:
+            with self._snap_mu:
+                # a TTL-expired cache is still a valid stable snapshot —
+                # but a *dirty* one is not good enough: a commit was acked
+                # since it was taken, and serving it would hide that
+                # commit from the very client that acked it.  Better to
+                # fail the BEGIN (client retry policy applies) than to
+                # break read-your-writes.
+                if self._snapshot_ts is not None and not self._snapshot_dirty:
+                    return self._snapshot_ts
+            raise
+        ts = min(marks)
+        with self._snap_mu:
+            # step below any straddle window the candidate lands in: a
+            # timestamp inside [lo, hi) would split that transaction
+            # across shards.  Lowering can drop into another window, so
+            # iterate to a fixpoint (strictly decreasing, hence finite).
+            # The cache may keep an older value — every guarded window
+            # was created by a transaction that began at-or-above the
+            # then-cached timestamp, so the cache never straddles.
+            stepped = True
+            while stepped:
+                stepped = False
+                for lo, hi in self._straddles.values():
+                    if lo <= ts < hi:
+                        ts = lo - 1
+                        stepped = True
+            self.stats.snapshot_refreshes += 1
+            if self._snapshot_ts is None or ts > self._snapshot_ts:
+                self._snapshot_ts = ts
+            # windows wholly below the monotone cache can never be
+            # straddled again — the served timestamp only grows
+            self._straddles = {g: w for g, w in self._straddles.items()
+                               if w[1] > self._snapshot_ts}
+            # below the read-your-writes floor the snapshot is consistent
+            # but misses a commit this router already acked (a concurrent
+            # reader pins some shard's watermark under it) — serve it, but
+            # keep the cache dirty so the next BEGIN refreshes instead of
+            # being handed the same stale view after the pin lifts
+            if self._snapshot_ts >= self._commit_floor:
+                self._snapshot_dirty = False
+                self._snapshot_taken = time.monotonic()
+            return self._snapshot_ts
+
+    def _invalidate_snapshot_ts(self) -> None:
+        with self._snap_mu:
+            self._snapshot_dirty = True
+
+    def _note_commit_floor(self, ltxid: int) -> None:
+        """Raise the read-your-writes floor to an acked commit's txid."""
+        with self._snap_mu:
+            if ltxid > self._commit_floor:
+                self._commit_floor = ltxid
+
     # -- shard plumbing (all run on the executor) ----------------------------
 
     def _shard_txn(self, gtxn: GlobalTxn, shard: int) -> ShardTxn:
@@ -591,8 +759,16 @@ class ClusterRouter:
         if st is None:
             conn = self.pool.acquire(endpoint=shard)
             try:
-                ltxid = self.pool.request(conn, Command.BEGIN,
-                                          gtxn.serializable)
+                if gtxn.read_ts is None:
+                    ltxid = self.pool.request(conn, Command.BEGIN,
+                                              gtxn.serializable)
+                else:
+                    # pin the local snapshot to the global read timestamp:
+                    # every shard this transaction touches sees the same
+                    # cluster-wide state, however late it is first touched
+                    ltxid = self.pool.request(conn, Command.BEGIN,
+                                              gtxn.serializable,
+                                              gtxn.read_ts)
             except BaseException:
                 self.pool.release(conn)
                 raise
@@ -656,6 +832,35 @@ class ClusterRouter:
             time.sleep(0.02)
         return status if status in ("committed", "aborted",
                                     "prepared") else "unknown"
+
+    def _late_resolve_1pc(self, gtxid: int) -> str:
+        """One fate-probe for a parked in-doubt 1PC commit.
+
+        A single non-blocking attempt (callers poll): once the shard is
+        reachable again its answer is final — txids are never reused, and
+        recovery settles every non-durable transaction as aborted.
+        """
+        pending = self._in_doubt_1pc.get(gtxid)
+        if pending is None:
+            return self._fates.get(gtxid, "unknown")
+        shard, ltxid = pending
+        try:
+            status = self.pool.call(Command.TXN_STATUS, ltxid,
+                                    endpoint=shard)
+        except Exception:
+            return "unknown"  # still unreachable; the fate stays parked
+        if status not in ("committed", "aborted"):
+            return "unknown"
+        self._in_doubt_1pc.pop(gtxid, None)
+        self._fates[gtxid] = status
+        self.stats.fates_resolved += 1
+        if status == "committed":
+            self._note_commit_floor(ltxid)
+            self._invalidate_snapshot_ts()
+            self.stats.commits_1pc += 1
+        else:
+            self.stats.aborts += 1
+        return status
 
     def _push_decision(self, shard: int, ltxid: int,
                        command: Command) -> bool:
@@ -736,9 +941,24 @@ class ClusterRouter:
         except AmbiguousResultError as exc:
             fate = self._resolve_shard_fate(shard, st.ltxid)
             if fate == "committed":
+                self._note_commit_floor(st.ltxid)
+                self._invalidate_snapshot_ts()
                 self._settle(gtxn, "committed")
                 self.stats.commits_1pc += 1
                 return
+            if fate == "unknown":
+                # the shard stayed unreachable for the whole resolve
+                # budget: its WAL may still apply this commit on recovery,
+                # so the fate is genuinely undecided.  Settling "aborted"
+                # here would pin a lie a recovering shard can contradict.
+                # Park the mapping — TXN_STATUS re-asks the shard (txids
+                # are never reused: the allocator survives the crash
+                # model's power-fail) — and relay the ambiguity.
+                self._in_doubt_1pc[gtxn.txid] = (shard, st.ltxid)
+                self._settle(gtxn, "unknown")
+                raise AmbiguousResultError(
+                    f"commit of gtxn {gtxn.txid} in doubt on shard "
+                    f"{shard}: {exc}") from exc
             self._settle(gtxn, "aborted")
             self.stats.aborts += 1
             raise RemoteError(
@@ -749,6 +969,8 @@ class ClusterRouter:
             self._settle(gtxn, "aborted")
             self.stats.aborts += 1
             raise
+        self._note_commit_floor(st.ltxid)
+        self._invalidate_snapshot_ts()
         self._settle(gtxn, "committed")
         self.stats.commits_1pc += 1
 
@@ -797,6 +1019,20 @@ class ClusterRouter:
         # decision pushes — resolve_in_doubt re-drives stragglers.
         self.coordinator_log.log_commit(
             gtxn.txid, [(s, st.ltxid) for s, st in writers])
+        # guard the txid window this commit spans: its participants hold
+        # different local txids, and a global read timestamp between them
+        # would fracture the transaction.  Registered before any push, so
+        # no refresh can slip between a shard applying and the guard
+        # appearing; the window outlives the pushes (the asymmetry is
+        # permanent) and is pruned once the served timestamp passes it.
+        ltxids = [st.ltxid for _s, st in writers]
+        with self._snap_mu:
+            self._straddles[gtxn.txid] = (min(ltxids), max(ltxids))
+            if max(ltxids) > self._commit_floor:
+                self._commit_floor = max(ltxids)
+        # the fate is sealed here; the next snapshot refresh must observe
+        # it, so the cache goes stale before the client sees the ack
+        self._invalidate_snapshot_ts()
         all_acked = True
         for shard, st in writers:
             if not self._push_decision(shard, st.ltxid,
@@ -819,12 +1055,25 @@ class ClusterRouter:
         this router currently has mid-2PC are skipped.
         """
         out = {"committed": 0, "aborted": 0, "failed": 0}
+        # parked 1PC fates first: a recovered shard answers instantly, and
+        # a late "committed" must raise the commit floor before any
+        # verification reads begin
+        for gtxid in list(self._in_doubt_1pc):
+            fate = self._late_resolve_1pc(gtxid)
+            if fate == "committed":
+                out["committed"] += 1
+            elif fate == "aborted":
+                out["aborted"] += 1
+            else:
+                out["failed"] += 1
         for gtxid, participants in self.coordinator_log.pending_decisions(
                 ).items():
             if gtxid in self._open:
                 continue
             acks = [self._push_decision(s, lt, Command.COMMIT_PREPARED)
                     for s, lt in participants]
+            if participants:
+                self._note_commit_floor(max(lt for _s, lt in participants))
             if all(acks):
                 self.coordinator_log.log_end(gtxid)
                 out["committed"] += 1
@@ -847,6 +1096,7 @@ class ClusterRouter:
                     # prior run that this shard missed — push again
                     if self._push_decision(shard, ltxid,
                                            Command.COMMIT_PREPARED):
+                        self._note_commit_floor(ltxid)
                         out["committed"] += 1
                     else:
                         out["failed"] += 1
@@ -857,6 +1107,10 @@ class ClusterRouter:
                 else:
                     out["failed"] += 1
         self.stats.in_doubt_resolved += out["committed"] + out["aborted"]
+        if out["committed"]:
+            # freshly landed commit decisions must surface in the next
+            # global snapshot (the crash sweep verifies right after this)
+            self._invalidate_snapshot_ts()
         return out
 
     # -- monitoring ----------------------------------------------------------
@@ -876,11 +1130,17 @@ class ClusterRouter:
 
     def cluster_payload(self) -> dict:
         """The ``cluster`` section of STATS / SNAPSHOT responses."""
+        with self._snap_mu:
+            snapshot_ts = self._snapshot_ts
+            straddles = len(self._straddles)
+            commit_floor = self._commit_floor
         shards = []
         total_in_doubt = 0
         for i, (host, port) in enumerate(self.shard_addrs):
             entry: dict = {"shard": i, "host": host, "port": port,
-                           "alive": False, "txns": {}}
+                           "alive": False, "txns": {},
+                           "closed_ts": None, "begin_at": None,
+                           "snapshot_lag": None}
             try:
                 stats = self.pool.call(Command.STATS, endpoint=i)
             except Exception:
@@ -889,10 +1149,24 @@ class ClusterRouter:
                 entry["alive"] = True
                 entry["txns"] = stats.get("engine", {}).get("txns", {})
                 total_in_doubt += entry["txns"].get("in_doubt", 0)
+                # watermark observability (per shard): the shard's closed
+                # timestamp, how many snapshots were pinned on it, and how
+                # far its watermark runs ahead of the global read
+                # timestamp currently served from the cache
+                entry["closed_ts"] = entry["txns"].get("closed_ts")
+                entry["begin_at"] = entry["txns"].get("begin_at")
+                if (snapshot_ts is not None
+                        and entry["closed_ts"] is not None):
+                    entry["snapshot_lag"] = entry["closed_ts"] - snapshot_ts
             shards.append(entry)
         return {
             "shards": shards,
             "in_doubt": total_in_doubt,
+            "snapshot_ts": snapshot_ts,
+            "straddle_windows": straddles,
+            "commit_floor": commit_floor,
+            "in_doubt_1pc": len(self._in_doubt_1pc),
+            "per_shard_snapshots": self.config.per_shard_snapshots,
             "pending_decisions": len(
                 self.coordinator_log.pending_decisions()),
             "router": self.stats.as_dict(),
@@ -927,8 +1201,36 @@ class ClusterRouter:
         return await self._run(work)
 
     async def _cmd_begin(self, session: Session, args: tuple) -> int:
-        (serializable,) = args
-        gtxn = GlobalTxn(self._allocate_gtxid(), bool(serializable))
+        if len(args) == 1:
+            (serializable,) = args
+            at_ts = None
+        elif len(args) == 2:
+            serializable, at_ts = args
+            if at_ts is not None and (isinstance(at_ts, bool)
+                                      or not isinstance(at_ts, int)):
+                raise ProtocolError(f"expected at_ts, got {at_ts!r}")
+        else:
+            raise ProtocolError(
+                f"BEGIN expects 1 or 2 argument(s), got {len(args)}")
+        if serializable:
+            # Satellite: never silently downgrade SSI to SI.  Cross-shard
+            # rw-antidependency tracking would need the shards to exchange
+            # SIREAD locks; until that exists the honest answer is a typed
+            # wire error the client sees immediately at BEGIN.
+            raise ProtocolError(
+                "serializable (SSI) transactions are not supported across "
+                "shards: rw-antidependency tracking is per-engine and the "
+                "router cannot combine it; run serializable work against a "
+                "single shard/server, or use the default snapshot "
+                "isolation (cluster-wide consistent snapshot)")
+        if at_ts is None and not self.config.per_shard_snapshots:
+            at_ts = self._cached_snapshot_ts()
+            if at_ts is None:
+                at_ts = await self._run(self._refresh_snapshot_ts)
+        gtxn = GlobalTxn(self._allocate_gtxid(), bool(serializable),
+                         read_ts=at_ts)
+        if at_ts is not None:
+            self.stats.begins_at_ts += 1
         self._open[gtxn.txid] = gtxn
         session.register(gtxn)
         self.stats.gtxns_begun += 1
@@ -1232,6 +1534,8 @@ class ClusterRouter:
 
         def work() -> str:
             fate = self._fates.get(gtxid)
+            if fate == "unknown":
+                return self._late_resolve_1pc(gtxid)
             if fate is not None:
                 return fate
             if gtxid in self._open:
@@ -1245,6 +1549,31 @@ class ClusterRouter:
                 return "aborted"
             return "unknown"
         return await self._run(work)
+
+    async def _cmd_closed_ts(self, _session: Session, args: tuple) -> int:
+        """Cluster edition of CLOSED_TS: the global read timestamp.
+
+        With no operand, refreshes (if stale) and returns the cluster-wide
+        read timestamp — the min over shard watermarks after ratcheting.
+        With a timestamp operand, ratchets *every* shard to at least it
+        first, so an external coordinator can align this cluster's
+        timestamp domain with another's.
+        """
+        if args:
+            (target,) = args
+            if isinstance(target, bool) or not isinstance(target, int):
+                raise ProtocolError(f"expected timestamp, got {target!r}")
+
+            def ratchet() -> int:
+                for shard in range(len(self.shard_addrs)):
+                    self.pool.call(Command.CLOSED_TS, target, endpoint=shard)
+                self._invalidate_snapshot_ts()
+                return self._refresh_snapshot_ts()
+            return await self._run(ratchet)
+        ts = self._cached_snapshot_ts()
+        if ts is None:
+            ts = await self._run(self._refresh_snapshot_ts)
+        return ts
 
     async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
         return None

@@ -11,6 +11,13 @@ The clock is deliberately tiny: a monotone integer with ``advance`` and
 ``advance_to``.  Components that model *parallel* resources (flash channels,
 RAID members) keep their own per-resource "busy until" horizons and push the
 global clock only by the critical path; see :mod:`repro.storage.device`.
+
+``advance_to`` is the repo's canonical *ratchet*: forward-only, idempotent,
+no-op when already past the target.  The transactional timestamp domain
+reuses the same contract — :meth:`repro.txn.ids.TxidAllocator.advance_to`
+is the shard-side ratchet the cluster router drives while refreshing its
+cluster-wide read timestamp (``docs/CLUSTER.md``, "Cluster-wide
+snapshots"), keeping a quiet shard's txid space comparable to its peers'.
 """
 
 from __future__ import annotations

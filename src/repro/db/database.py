@@ -186,9 +186,15 @@ class Database:
 
     # -- transactions ----------------------------------------------------------------------
 
-    def begin(self, serializable: bool = False) -> Transaction:
-        """Start a transaction (snapshot isolation; SSI if requested)."""
-        return self.txn_mgr.begin(serializable=serializable)
+    def begin(self, serializable: bool = False,
+              at_ts: int | None = None) -> Transaction:
+        """Start a transaction (snapshot isolation; SSI if requested).
+
+        ``at_ts`` pins the snapshot to an externally supplied *closed*
+        read timestamp — the cluster router's cluster-wide snapshot hook
+        (see :meth:`repro.txn.manager.TransactionManager.begin`).
+        """
+        return self.txn_mgr.begin(serializable=serializable, at_ts=at_ts)
 
     def commit(self, txn: Transaction) -> None:
         """Commit (forces the WAL) and release per-txn resources."""
@@ -218,6 +224,15 @@ class Database:
     def abort_prepared(self, txid: int) -> bool:
         """2PC phase 2: apply an abort decision (idempotent)."""
         return self.txn_mgr.abort_prepared(txid)
+
+    def closed_ts(self) -> int:
+        """This engine's closed-timestamp watermark (see
+        :meth:`repro.txn.manager.TransactionManager.closed_ts`)."""
+        return self.txn_mgr.closed_ts()
+
+    def advance_to(self, ts: int) -> int:
+        """Ratchet the txid space to ``ts``; returns the new watermark."""
+        return self.txn_mgr.advance_to(ts)
 
     def _release_txn_pages(self, txn: Transaction) -> None:
         if self.kind is not EngineKind.SIASV:

@@ -138,6 +138,7 @@ class SystemSnapshot:
             shard_rows = []
             for shard in self.cluster.get("shards", ()):
                 txns = shard.get("txns", {})
+                lag = shard.get("snapshot_lag")
                 shard_rows.append([
                     shard.get("shard", "?"),
                     f"{shard.get('host', '?')}:{shard.get('port', '?')}",
@@ -147,12 +148,29 @@ class SystemSnapshot:
                     f"{txns.get('prepared_commits', 0)} / "
                     f"{txns.get('prepared_aborts', 0)}",
                     txns.get("in_doubt", 0),
+                    shard.get("closed_ts", "-") if shard.get("alive")
+                    else "-",
+                    txns.get("begin_at", "-") if shard.get("alive")
+                    else "-",
+                    "-" if lag is None else f"+{lag}",
                 ])
             out += format_table(
                 "cluster shards",
                 ["shard", "address", "state", "commits/aborts",
-                 "prep/p-commit/p-abort", "in-doubt"],
+                 "prep/p-commit/p-abort", "in-doubt",
+                 "closed-ts", "begin@ts", "snap-lag"],
                 shard_rows)
+            snapshot_rows = [
+                [key, self.cluster.get(key)]
+                for key in ("snapshot_ts", "commit_floor",
+                            "straddle_windows", "in_doubt_1pc",
+                            "pending_decisions", "per_shard_snapshots")
+                if key in self.cluster]
+            if snapshot_rows:
+                out += format_table(
+                    "cluster-wide snapshot",
+                    ["metric", "value"],
+                    snapshot_rows)
             router = self.cluster.get("router", {})
             if router:
                 out += format_table(

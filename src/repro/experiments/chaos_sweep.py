@@ -39,10 +39,23 @@ money is conserved across shards, every in-doubt prepared transaction is
 settled exactly once (presumed abort or the logged decision), and the
 cluster drains to zero active/prepared/locked everywhere.
 
+``--si-check`` adds a **second oracle** to the cluster mode: every
+client operation is recorded into a history (see
+:mod:`repro.experiments.si_check`), a concurrent cross-shard reader
+races the transfers, and the black-box SI checker replays the history
+at each fault point.  The settled-state value oracle proves the *end*
+state; the checker proves every *mid-flight snapshot* a reader observed
+was one consistent prefix of the commit order.  With
+``--per-shard-snapshots`` (the legacy lazy-snapshot mode) the sweep
+inverts: it fails unless the checker catches fractured reads.
+
 Run it from the command line::
 
     python -m repro.experiments.chaos_sweep --engine both --stride 10
     python -m repro.experiments.chaos_sweep --cluster --fault-mode crash
+    python -m repro.experiments.chaos_sweep --cluster --si-check
+    python -m repro.experiments.chaos_sweep --cluster --si-check \
+        --per-shard-snapshots --stride 9
 """
 
 from __future__ import annotations
@@ -65,12 +78,18 @@ from repro.common.errors import (
     CommitUncertainError,
     DeadlineExceededError,
     RemoteError,
+    SerializationError,
     ServiceError,
 )
 from repro.common.rng import make_rng
 from repro.db.catalog import IndexDef
 from repro.db.database import Database, EngineKind
 from repro.db.schema import ColType, Schema
+from repro.experiments.si_check import (
+    History,
+    RecordingDatabase,
+    check_history,
+)
 from repro.server.chaos import (
     DISRUPTIVE_KINDS,
     ChaosPlan,
@@ -212,10 +231,18 @@ def _run_workload(remote: RemoteDatabase, cfg: ChaosSweepConfig,
         try:
             try:
                 txn = remote.begin()
-                (src_ref, src_row), = remote.lookup(txn, "accounts", "pk",
-                                                    src)
-                (dst_ref, dst_row), = remote.lookup(txn, "accounts", "pk",
-                                                    dst)
+                src_hits = remote.lookup(txn, "accounts", "pk", src)
+                dst_hits = remote.lookup(txn, "accounts", "pk", dst)
+                if len(src_hits) != 1 or len(dst_hits) != 1:
+                    # a snapshot too stale to hold the setup rows (e.g. a
+                    # fault starved the read-timestamp refresh) cannot
+                    # fund a transfer; treat it like any other lost one —
+                    # the recorded misses still reach the SI checker
+                    raise ServiceError(
+                        f"accounts {src}/{dst} not visible: "
+                        f"{len(src_hits)}/{len(dst_hits)} hits")
+                (src_ref, src_row), = src_hits
+                (dst_ref, dst_row), = dst_hits
                 remote.update(txn, "accounts", src_ref,
                               (src, src_row[1], src_row[2] - amount))
                 remote.update(txn, "accounts", dst_ref,
@@ -238,10 +265,12 @@ def _run_workload(remote: RemoteDatabase, cfg: ChaosSweepConfig,
                         f"settled: fate {fate!r}")
                 continue
             except (ConnectionError, OSError, DeadlineExceededError,
-                    RemoteError, ServiceError):
-                # the fault hit before COMMIT was attempted: the transfer
-                # is simply lost, and the server aborts the orphan on
-                # disconnect
+                    RemoteError, ServiceError, SerializationError):
+                # the fault hit before COMMIT was attempted, or the
+                # transaction began on a read timestamp held down by an
+                # in-flight 2PC decision and first-updater-wins aborted
+                # its write: either way the transfer is simply lost, and
+                # the server aborts the orphan on disconnect
                 state.failed += 1
                 if txn is not None and txn.phase is TxnPhase.ACTIVE:
                     with contextlib.suppress(Exception):
@@ -410,6 +439,15 @@ class ClusterChaosConfig:
     deadline_ms: int = 10_000
     #: crash mode recovers a whole shard inside this window
     settle_timeout_sec: float = 8.0
+    #: record every client op and run the black-box SI checker per point
+    #: (a *second* oracle: the value oracle sees the settled end state,
+    #: the checker sees every mid-flight snapshot a reader ever observed)
+    si_check: bool = False
+    #: legacy mode — lazy per-shard snapshots, no cluster-wide read
+    #: timestamp.  With ``si_check`` the sweep then *expects* the checker
+    #: to catch fractured reads (and fails if it does not: the reproducer
+    #: and the checker keep each other honest).
+    per_shard_snapshots: bool = False
 
     def validate(self) -> None:
         """Raise on inconsistent settings."""
@@ -417,6 +455,10 @@ class ClusterChaosConfig:
             raise ValueError("shard-fault sweep needs >= 2 shards")
         if self.fault_mode not in ("link", "crash"):
             raise ValueError(f"unknown fault mode {self.fault_mode!r}")
+        if self.per_shard_snapshots and not self.si_check:
+            raise ValueError(
+                "per-shard-snapshots mode is only useful under --si-check "
+                "(the value oracle alone cannot see fractured snapshots)")
 
 
 @dataclass
@@ -432,6 +474,8 @@ class ClusterChaosOutcome:
     recovered_in_doubt: int    # prepared txns reinstated by WAL recovery
     resolved_committed: int    # in-doubt settled by the logged decision
     resolved_aborted: int      # in-doubt settled by presumed abort
+    si_txns: int = 0           # --si-check: transactions recorded
+    si_violations: int = 0     # --si-check: SI violations the checker found
 
 
 @dataclass
@@ -464,6 +508,14 @@ class ClusterChaosReport:
     def in_doubt_recovered(self) -> int:
         return sum(o.recovered_in_doubt for o in self.outcomes)
 
+    @property
+    def si_txns_checked(self) -> int:
+        return sum(o.si_txns for o in self.outcomes)
+
+    @property
+    def si_violations_total(self) -> int:
+        return sum(o.si_violations for o in self.outcomes)
+
 
 def _start_cluster(cfg: ClusterChaosConfig,
                    plan: ChaosPlan) -> tuple[ShardSupervisor, ClusterRouter]:
@@ -476,6 +528,7 @@ def _start_cluster(cfg: ClusterChaosConfig,
         retry=RetryPolicy(base_delay_sec=0.001, max_delay_sec=0.01,
                           jitter=False),
         resolve_timeout_sec=cfg.settle_timeout_sec,
+        per_shard_snapshots=cfg.per_shard_snapshots,
         chaos=plan))
     try:
         router.start_in_background()
@@ -518,10 +571,14 @@ def _router_client(router: ClusterRouter,
 
 def _settle_cluster(router: ClusterRouter, sup: ShardSupervisor,
                     cfg: ClusterChaosConfig, at_frame: int) -> None:
-    """Quiescence across the whole cluster: no router sessions, and on
-    every shard no active transaction, no held lock, no in-doubt
-    prepared transaction left unsettled."""
+    """Quiescence across the whole cluster: no router sessions, on every
+    shard no active transaction, no held lock, no in-doubt prepared
+    transaction left unsettled — and the router can reach every shard
+    again (a kill opens the router's per-endpoint circuit breaker; the
+    fan-out PING drives its half-open probe so the oracle's clean client
+    never lands in the cooldown window)."""
     deadline = time.monotonic() + cfg.settle_timeout_sec
+    host, port = router.address  # type: ignore[misc]
     while True:
         noisy: list[str] = []
         if router.sessions.count():
@@ -535,12 +592,63 @@ def _settle_cluster(router: ClusterRouter, sup: ShardSupervisor,
                 noisy.append(f"shard {i}: {active} active, {locks} locks, "
                              f"{prepared} in-doubt")
         if not noisy:
-            return
+            # probe with a throwaway client so its own router session is
+            # gone before the next quiescence reading
+            try:
+                with RemoteDatabase(host, port, pool_size=1) as probe:
+                    probe.ping()
+                return
+            except Exception as exc:
+                noisy.append(f"router→shard fan-out: {exc}")
         if time.monotonic() >= deadline:
             raise ChaosInvariantError(
                 f"cluster did not settle after fault at frame {at_frame}: "
                 + "; ".join(noisy))
         time.sleep(0.01)
+
+
+def _si_scanner(router: ClusterRouter, cfg: ClusterChaosConfig,
+                history: History, transfer_event: threading.Event,
+                stop: threading.Event) -> None:
+    """Concurrent cross-shard reader: the fractured-read witness.
+
+    Each iteration reads the shard-0 accounts, *waits for a transfer to
+    commit*, then reads the shard-1 accounts — all inside one global
+    transaction.  With lazy per-shard snapshots the second half begins
+    on shard 1 only after newer commits landed, so any cross-shard
+    transfer in the gap is seen half-applied; with the cluster-wide
+    read timestamp the late BEGIN pins to the same snapshot and the
+    reads stay whole.  The sweep's settled-state value oracle can never
+    see this — only a reader racing the writer can, which is exactly
+    what the recorded history hands the checker.
+
+    Faults are expected company here (the scanner shares the wounded
+    router links): any error abandons the iteration, and an aborted
+    transaction carries no checker obligation.
+    """
+    remote = RecordingDatabase(_router_client(router, cfg), history,
+                               session="scanner")
+    # round-robin placement: account i lives on shard i % shards
+    first = [i for i in range(cfg.accounts) if i % cfg.shards == 0]
+    rest = [i for i in range(cfg.accounts) if i % cfg.shards != 0]
+    try:
+        while not stop.is_set():
+            txn = None
+            try:
+                txn = remote.begin()
+                for i in first:
+                    remote.lookup(txn, "accounts", "pk", i)
+                transfer_event.clear()
+                transfer_event.wait(0.05)
+                for i in rest:
+                    remote.lookup(txn, "accounts", "pk", i)
+                remote.commit(txn)
+            except Exception:
+                if txn is not None:
+                    with contextlib.suppress(Exception):
+                        remote.abort(txn)
+    finally:
+        remote.close()
 
 
 def run_cluster_one(cfg: ClusterChaosConfig, at_frame: int,
@@ -555,6 +663,10 @@ def run_cluster_one(cfg: ClusterChaosConfig, at_frame: int,
     crash_log: dict = {"killed": None, "recovered_in_doubt": 0,
                        "resolved": {}}
     workload_over = threading.Event()
+    history = History() if cfg.si_check else None
+    transfer_event = threading.Event()
+    scanner_thread: threading.Thread | None = None
+    si_txns = si_violations = 0
 
     def killer() -> None:
         # the moment the link fault fires, power-fail a shard — racing the
@@ -581,12 +693,35 @@ def run_cluster_one(cfg: ClusterChaosConfig, at_frame: int,
         _setup_cluster_accounts(router, cfg, state)
         point.arm()
         remote = _router_client(router, cfg)
+        on_done = None
+        if history is not None:
+            for i in range(cfg.accounts):
+                history.record_initial(
+                    f"accounts/{i}", [i, f"acct-{i}", cfg.initial_balance])
+            remote = RecordingDatabase(remote, history, session="w0")
+            on_done = transfer_event.set
+            scanner_thread = threading.Thread(
+                target=_si_scanner,
+                args=(router, cfg, history, transfer_event, workload_over),
+                daemon=True, name="chaos-si-scanner")
+            scanner_thread.start()
         try:
-            _run_workload(remote, cfg, state)
+            _run_workload(remote, cfg, state, on_transfer_done=on_done)
         finally:
             remote.close()
         point.disarm()
         workload_over.set()
+        if scanner_thread is not None:
+            # the scanner holds a router session; settle needs it gone.
+            # Its last call may still be draining a deadline-bounded
+            # request against the just-killed shard, so allow one full
+            # client deadline on top of the settle window before
+            # declaring it wedged.
+            scanner_thread.join(
+                timeout=cfg.settle_timeout_sec + cfg.deadline_ms / 1000.0)
+            if scanner_thread.is_alive():
+                raise ChaosInvariantError(
+                    f"SI scanner wedged after fault at frame {at_frame}")
         if kill_thread is not None:
             kill_thread.join(timeout=cfg.settle_timeout_sec + 10.0)
             if kill_thread.is_alive():
@@ -603,8 +738,20 @@ def run_cluster_one(cfg: ClusterChaosConfig, at_frame: int,
         _settle_cluster(router, sup, cfg, at_frame)
         _verify(router, cfg, state)
         _settle_cluster(router, sup, cfg, at_frame)
+        if history is not None:
+            records = history.to_records()
+            si_txns = sum(1 for r in records if r.get("type") == "txn")
+            violations = check_history(records)
+            si_violations = len(violations)
+            if violations and not cfg.per_shard_snapshots:
+                shown = "; ".join(str(v) for v in violations[:3])
+                raise ChaosInvariantError(
+                    f"SI checker found {si_violations} violation(s) in "
+                    f"{si_txns} recorded txns at frame {at_frame}: {shown}")
     finally:
         workload_over.set()
+        if scanner_thread is not None:
+            scanner_thread.join(timeout=5.0)
         if kill_thread is not None:
             kill_thread.join(timeout=5.0)
         router.stop_in_background()
@@ -619,6 +766,8 @@ def run_cluster_one(cfg: ClusterChaosConfig, at_frame: int,
         recovered_in_doubt=crash_log["recovered_in_doubt"],
         resolved_committed=crash_log["resolved"].get("committed", 0),
         resolved_aborted=crash_log["resolved"].get("aborted", 0),
+        si_txns=si_txns,
+        si_violations=si_violations,
     )
 
 
@@ -667,6 +816,16 @@ def run_cluster_sweep(cfg: ClusterChaosConfig) -> ClusterChaosReport:
                 f"[cluster {cfg.fault_mode} {kind.value} at frame {k}] "
                 f"{exc}") from exc
         report.outcomes.append(outcome)
+    if cfg.si_check and cfg.per_shard_snapshots:
+        # legacy mode is the checker's canary: if no fault point ever
+        # fractured a read, either the reproducer stopped racing or the
+        # checker went blind — both are failures of the *oracle*
+        if report.si_violations_total == 0:
+            raise ChaosInvariantError(
+                "per-shard-snapshots mode fractured no reads across "
+                f"{report.points_tested} fault points / "
+                f"{report.si_txns_checked} recorded txns — the SI "
+                "checker or its reproducer lost its teeth")
     return report
 
 
@@ -689,20 +848,42 @@ def main(argv: list[str] | None = None) -> int:
                         default="link",
                         help="cluster mode: break a link only, or also "
                              "power-fail and recover a shard")
+    parser.add_argument("--si-check", action="store_true",
+                        help="cluster mode: record every client op and "
+                             "run the black-box SI checker at each fault "
+                             "point (adds a racing cross-shard reader)")
+    parser.add_argument("--per-shard-snapshots", action="store_true",
+                        help="cluster mode: legacy lazy per-shard "
+                             "snapshots; with --si-check the sweep then "
+                             "EXPECTS fractured reads to be caught")
     args = parser.parse_args(argv)
     if args.cluster:
         cfg = ClusterChaosConfig(
             shards=args.shards, fault_mode=args.fault_mode,
             accounts=args.accounts, transfers=args.transfers,
-            stride=args.stride, seed=args.seed)
+            stride=args.stride, seed=args.seed,
+            si_check=args.si_check,
+            per_shard_snapshots=args.per_shard_snapshots)
         report = run_cluster_sweep(cfg)
+        if cfg.si_check and cfg.per_shard_snapshots:
+            print(f"cluster({report.shards} shards, {report.fault_mode}, "
+                  f"legacy per-shard snapshots): "
+                  f"{report.si_violations_total} SI violation(s) caught "
+                  f"in {report.si_txns_checked} recorded txns across "
+                  f"{report.points_tested} fault points — the checker "
+                  f"sees the fractured snapshots, as expected")
+            return 0
+        suffix = ""
+        if cfg.si_check:
+            suffix = (f", {report.si_txns_checked} txns SI-checked: "
+                      f"0 violations")
         print(f"cluster({report.shards} shards, {report.fault_mode}): "
               f"{report.points_tested} fault points over "
               f"{report.total_frames} router→shard frames "
               f"({report.points_tripped} tripped, "
               f"{report.shards_killed} shard power-failures, "
               f"{report.in_doubt_recovered} in-doubt txns recovered, "
-              f"{report.in_doubt_settled} coordinator-settled) — "
+              f"{report.in_doubt_settled} coordinator-settled{suffix}) — "
               f"all invariants held")
         return 0
     kinds = {"siasv": [EngineKind.SIASV], "si": [EngineKind.SI],

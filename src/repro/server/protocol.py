@@ -26,6 +26,8 @@ import struct
 from enum import IntEnum
 
 from repro.common.errors import (
+    AmbiguousResultError,
+    CommitUncertainError,
     DeadlineExceededError,
     OverloadedError,
     ProtocolError,
@@ -95,6 +97,7 @@ class Command(IntEnum):
     PREPARE_TXN = 25
     COMMIT_PREPARED = 26
     ABORT_PREPARED = 27
+    CLOSED_TS = 28
     SHUTDOWN = 99
 
 
@@ -111,6 +114,9 @@ class Status(IntEnum):
     SHUTTING_DOWN = 7    # server is stopping; session is going away
     INTERNAL = 8         # unexpected server-side failure
     DEADLINE_EXCEEDED = 9  # rejected before execution: deadline passed
+    AMBIGUOUS = 10       # fate unresolved (e.g. a router lost its shard
+    #                      mid-commit); never blindly retried — resolve
+    #                      via TXN_STATUS
 
 
 #: Statuses a client may transparently retry (the command did not execute).
@@ -120,6 +126,8 @@ RETRYABLE_STATUSES = frozenset({Status.OVERLOADED,
 
 def status_for_exception(exc: BaseException) -> Status:
     """Map a server-side exception onto its wire status."""
+    if isinstance(exc, (AmbiguousResultError, CommitUncertainError)):
+        return Status.AMBIGUOUS
     if isinstance(exc, OverloadedError):
         return Status.OVERLOADED
     if isinstance(exc, DeadlineExceededError):
@@ -157,6 +165,10 @@ def raise_for_status(status: int, message: str) -> None:
         raise SessionError(f"server shutting down: {message}")
     if status == Status.DEADLINE_EXCEEDED:
         raise DeadlineExceededError(message)
+    if status == Status.AMBIGUOUS:
+        # the txid is embedded in the message only; callers that know it
+        # (RemoteDatabase.commit) re-wrap with the structured txid
+        raise CommitUncertainError(message, txid=-1)
     raise RemoteError(message)
 
 

@@ -111,6 +111,7 @@ _EXEMPT = frozenset({
     Command.CLOCK_NOW, Command.CLOCK_ADVANCE, Command.CLOCK_ADVANCE_TO,
     Command.STATS, Command.TXN_STATUS, Command.SHUTDOWN,
     Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
+    Command.CLOSED_TS,
 })
 
 #: Commands a *draining* server still serves unconditionally: finishing
@@ -122,6 +123,7 @@ _DRAIN_ALLOWED = frozenset({
     Command.PING, Command.COMMIT, Command.ABORT, Command.TXN_STATUS,
     Command.STATS, Command.SHUTDOWN,
     Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
+    Command.CLOSED_TS,
 })
 
 #: Commands that run on the dispatcher's exclusive lane: they restructure
@@ -241,6 +243,7 @@ class DatabaseServer:
             Command.PREPARE_TXN: self._cmd_prepare_txn,
             Command.COMMIT_PREPARED: self._cmd_commit_prepared,
             Command.ABORT_PREPARED: self._cmd_abort_prepared,
+            Command.CLOSED_TS: self._cmd_closed_ts,
             Command.SHUTDOWN: self._cmd_shutdown,
         }
 
@@ -439,7 +442,9 @@ class DatabaseServer:
                      "prepared_commits": mgr.prepared_commits,
                      "prepared_aborts": mgr.prepared_aborts,
                      "in_doubt": len(mgr.prepared),
-                     "in_doubt_txns": tuple(mgr.in_doubt())},
+                     "in_doubt_txns": tuple(mgr.in_doubt()),
+                     "closed_ts": mgr.closed_ts(),
+                     "begin_at": mgr.begin_at},
             "locks": {"held": locks.held_count(),
                       "acquired": locks.stats.acquired,
                       "conflicts": locks.stats.conflicts,
@@ -620,10 +625,20 @@ class DatabaseServer:
         return "pong"
 
     async def _cmd_begin(self, session: Session, args: tuple) -> int:
-        (serializable,) = _arity(args, 1)
+        """Start a transaction.  Wire-compatible arity growth: the
+        original single-operand form ``(serializable,)`` keeps today's
+        behaviour; a second operand pins the snapshot to an externally
+        supplied closed read timestamp (``None`` ⇒ fresh snapshot)."""
+        if len(args) == 1:
+            (serializable,) = args
+            at_ts = None
+        else:
+            serializable, raw_at = _arity(args, 2)
+            at_ts = None if raw_at is None else _as_int(raw_at, "at_ts")
         txn = await self._run(
             session, Command.BEGIN,
-            lambda: self.db.begin(serializable=bool(serializable)))
+            lambda: self.db.begin(serializable=bool(serializable),
+                                  at_ts=at_ts))
         session.register(txn)
         return txn.txid
 
@@ -893,6 +908,24 @@ class DatabaseServer:
         wanted = _as_int(txid, "txid")
         return await self._run(session, Command.ABORT_PREPARED,
                                lambda: self.db.abort_prepared(wanted))
+
+    async def _cmd_closed_ts(self, session: Session, args: tuple) -> int:
+        """The closed-timestamp watermark, optionally ratcheting first.
+
+        With no operand, returns the engine's current watermark.  With a
+        timestamp operand, ratchets the txid space forward to it (a no-op
+        when already past — the :meth:`SimClock.advance_to` contract) and
+        returns the resulting watermark.  The cluster router uses the
+        ratcheting form while refreshing its cluster-wide read timestamp,
+        so a quiet shard cannot drag the global minimum into the past.
+        """
+        if not args:
+            return await self._run(session, Command.CLOSED_TS,
+                                   self.db.closed_ts)
+        (raw,) = _arity(args, 1)
+        target = _as_int(raw, "timestamp")
+        return await self._run(session, Command.CLOSED_TS,
+                               lambda: self.db.advance_to(target))
 
     async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
         _arity(args, 0)

@@ -27,6 +27,19 @@ class TxidAllocator:
         self._next += 1
         return txid
 
+    def advance_to(self, floor: int) -> None:
+        """Ratchet forward: every future txid will be strictly ``> floor``.
+
+        Mirrors :meth:`repro.common.clock.SimClock.advance_to` — a no-op
+        when the allocator is already past ``floor``, never moves
+        backwards.  Skipped txids are simply never registered with the
+        commit log, which reports unknown ids as not-committed; no
+        version can ever carry one as its creation timestamp.  The cluster router uses
+        this to pull a quiet shard's timestamp domain up to its peers'.
+        """
+        if floor + 1 > self._next:
+            self._next = floor + 1
+
     @property
     def last_allocated(self) -> int:
         """The most recently handed-out txid (0 if none yet)."""

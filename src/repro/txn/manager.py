@@ -89,13 +89,16 @@ class TransactionManager:
         self.prepares = 0
         self.prepared_commits = 0
         self.prepared_aborts = 0
+        #: transactions begun with an externally supplied read timestamp
+        self.begin_at = 0
         # Plain (non-reentrant) mutex: no path acquires it twice, and the
         # begin/commit fast paths are hot enough for the difference to show.
         self._mu = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def begin(self, serializable: bool = False) -> Transaction:
+    def begin(self, serializable: bool = False,
+              at_ts: int | None = None) -> Transaction:
         """Start a transaction with a fresh snapshot.
 
         Txid allocation, clog registration and the concurrent-set capture
@@ -106,12 +109,47 @@ class TransactionManager:
         SSI: its reads and writes are tracked for rw-antidependencies and
         it may abort with a serialization failure even without a
         write-write conflict (see :mod:`repro.txn.ssi`).
+
+        ``at_ts`` pins the snapshot to an externally supplied read
+        timestamp instead of "now".  The timestamp must be *closed*
+        (``at_ts ≤`` :meth:`closed_ts` after ratcheting the txid space
+        forward to ``at_ts``): every transaction at or below it has
+        reached its durable fate, so the snapshot needs no concurrent set
+        and its commit-log verdicts are frozen.  The cluster router uses
+        this to give one global read timestamp to every shard.  A pinned
+        transaction may still write — first-updater-wins aborts it if it
+        touches an item with a newer version than its snapshot sees.
+        ``at_ts`` and ``serializable`` are mutually exclusive: SSI
+        tracking is defined over overlapping fresh snapshots.
         """
+        if at_ts is not None and serializable:
+            raise TxnStateError(
+                "serializable transactions cannot be pinned to at_ts")
         with self._mu:
+            if at_ts is not None:
+                if at_ts < 0:
+                    raise TxnStateError(f"at_ts must be >= 0, got {at_ts}")
+                # Ratchet: a router-issued timestamp pushes a quiet txid
+                # space forward so this shard's snapshots and the cluster's
+                # stay comparable (mirrors SimClock.advance_to).
+                self._allocator.advance_to(at_ts)
+                closed = self._closed_ts_locked()
+                if at_ts > closed:
+                    raise TxnStateError(
+                        f"at_ts {at_ts} is above the closed timestamp "
+                        f"{closed}: an in-flight transaction below it "
+                        f"could still commit")
             txid = self._allocator.allocate()
             self.clog.register(txid)
-            snapshot = Snapshot(txid=txid,
-                                concurrent=frozenset(self._active.keys()))
+            if at_ts is None:
+                snapshot = Snapshot(txid=txid,
+                                    concurrent=frozenset(self._active.keys()))
+            else:
+                # Everything ≤ at_ts is settled and everything active is
+                # > at_ts, so the concurrent set is provably empty.
+                snapshot = Snapshot(txid=txid, concurrent=frozenset(),
+                                    read_ts=at_ts)
+                self.begin_at += 1
             txn = Transaction(txid=txid, snapshot=snapshot,
                               serializable=serializable)
             self._active[txid] = txn
@@ -280,6 +318,44 @@ class TransactionManager:
         with self._mu:
             return self.commits, self.aborts, len(self._active)
 
+    def closed_ts(self) -> int:
+        """The closed-timestamp watermark: the highest timestamp below
+        which no in-flight transaction can still commit.
+
+        Every txid ``≤ closed_ts`` has reached its final commit-log fate,
+        so a snapshot pinned at ``ts ≤ closed_ts`` is provably stable —
+        its visibility verdicts can never change.  The watermark is held
+        down by *everything* that could still commit below it: active
+        transactions (including those inside group-commit's WAL force,
+        which leave ``_active`` only at the clog flip) and 2PC PREPARED
+        participants (which stay in ``_active`` until the coordinator's
+        decision is durable, and are re-registered there by recovery
+        after a crash).  It is monotone because txids only grow.
+        """
+        with self._mu:
+            return self._closed_ts_locked()
+
+    def _closed_ts_locked(self) -> int:
+        if self._active:
+            return min(self._active) - 1
+        return self._allocator.last_allocated
+
+    def advance_to(self, ts: int) -> int:
+        """Ratchet the txid space so future txids are ``> ts``; return the
+        (possibly advanced) closed timestamp.
+
+        The cluster router calls this on every shard while refreshing its
+        global read timestamp: a quiet shard — whose watermark would
+        otherwise lag arbitrarily far behind its peers and drag the
+        cluster-wide minimum into the past — jumps forward to the busiest
+        shard's watermark.  A shard with in-flight transactions below
+        ``ts`` keeps its lower watermark (those could still commit), which
+        the router's min() then correctly reflects.
+        """
+        with self._mu:
+            self._allocator.advance_to(ts)
+            return self._closed_ts_locked()
+
     def horizon_txid(self) -> int:
         """GC horizon: txids below it are visible to every live snapshot.
 
@@ -288,12 +364,17 @@ class TransactionManager:
         committed one is visible to every present and future snapshot.
         This is PostgreSQL's *RecentGlobalXmin*: the minimum over all
         active transactions of their snapshot xmin (their own txid and
-        everything they saw as still running when they started).
+        everything they saw as still running when they started).  A
+        transaction pinned to ``at_ts`` contributes ``read_ts + 1``: it
+        can see any committed version at or below its read timestamp, so
+        versions superseded above that must survive (for fresh snapshots
+        ``read_ts + 1 == txid + 1`` and the term is inert).
         """
         with self._mu:
             if not self._active:
                 return self._allocator.last_allocated + 1
-            return min(min({txn.txid, *txn.snapshot.concurrent})
+            return min(min({txn.txid, txn.snapshot.read_ts + 1,
+                            *txn.snapshot.concurrent})
                        for txn in self._active.values())
 
     def is_committed(self, txid: int) -> bool:

@@ -5,14 +5,25 @@ transactions.  The visibility rule is the paper's Algorithm 1 criterion
 re-expressed with explicit commit-state handling:
 
     ``visible(ts) ⇔ ts == own txid``
-    ``          ∨ (ts ≤ own txid ∧ ts ∉ concurrent ∧ committed(ts))``
+    ``          ∨ (ts ≤ read_ts ∧ ts ∉ concurrent ∧ committed(ts))``
 
-Because txids are allocated monotonically at start, ``ts ≤ own txid`` says
-"that transaction started before me"; ``ts ∉ concurrent`` says "and it was
-no longer running when I started"; ``committed(ts)`` filters aborted
-transactions.  Both engines — SIAS-V and the SI baseline — evaluate exactly
-this predicate, so any behavioural difference between them is physical, not
-semantic.
+``read_ts`` is the snapshot's *read timestamp*.  For an ordinary local
+transaction it equals the transaction's own txid (txids are allocated
+monotonically at start, so ``ts ≤ txid`` says "that transaction started
+before me") and the rule is exactly the classical one.  A snapshot may
+instead be pinned to an *externally supplied* timestamp — the cluster
+router hands every shard the same ``read_ts`` so a fan-out read observes
+one cluster-wide snapshot.  Such a timestamp must lie at or below the
+engine's closed-timestamp watermark (see
+:meth:`repro.txn.manager.TransactionManager.closed_ts`), which guarantees
+every transaction with ``txid ≤ read_ts`` has already reached its final
+fate: the concurrent set is empty and the commit log's verdicts below
+``read_ts`` are frozen.
+
+Because ``concurrent`` only ever contains txids ≤ the snapshot-taker's
+txid, both forms evaluate the same predicate; engines — SIAS-V and the
+SI baseline — share it, so any behavioural difference between them is
+physical, not semantic.
 """
 
 from __future__ import annotations
@@ -25,17 +36,27 @@ from repro.txn.commitlog import CommitLog
 
 @dataclass(frozen=True)
 class Snapshot:
-    """An immutable view definition taken at transaction start."""
+    """An immutable view definition taken at transaction start.
+
+    ``read_ts`` defaults to ``txid`` (a snapshot of "now" as of this
+    transaction's start); a smaller value pins the snapshot to an older,
+    closed timestamp.
+    """
 
     txid: int
     concurrent: frozenset[int] = field(default_factory=frozenset)
+    read_ts: int = -1
+
+    def __post_init__(self) -> None:
+        if self.read_ts < 0:
+            object.__setattr__(self, "read_ts", self.txid)
 
     def sees_ts(self, ts: int, clog: CommitLog) -> bool:
         """The SI visibility predicate over a creation timestamp."""
         if ts == self.txid:
             return True  # own writes are visible
-        if ts > self.txid:
-            return False  # started after me
+        if ts > self.read_ts:
+            return False  # after my read timestamp
         if ts in self.concurrent:
             return False  # still running when I started
         return clog.is_committed(ts)
@@ -51,14 +72,16 @@ class Snapshot:
 
         ``memo`` caches the per-distinct-timestamp verdict and may be
         shared across every page of one scan.  That is sound for the
-        snapshot's lifetime: ``ts == txid`` and ``ts > txid`` are decided
-        without the commit log, and any other timestamp outside
+        snapshot's lifetime: ``ts == txid`` and ``ts > read_ts`` are
+        decided without the commit log, and any other timestamp outside
         ``concurrent`` belongs to a transaction that finished before this
-        snapshot was taken, so its commit-log state can no longer change.
+        snapshot was taken (or, for a pinned snapshot, before its closed
+        read timestamp), so its commit-log state can no longer change.
         """
         if memo is None:
             memo = {}
         txid = self.txid
+        read_ts = self.read_ts
         concurrent = self.concurrent
         committed = clog.is_committed
         ts_vector = (ts_vector if isinstance(ts_vector, list)
@@ -70,7 +93,7 @@ class Snapshot:
         for ts in distinct:
             if ts not in memo:
                 memo[ts] = (ts == txid or
-                            (ts <= txid and ts not in concurrent and
+                            (ts <= read_ts and ts not in concurrent and
                              committed(ts)))
         if all(memo[ts] for ts in distinct):
             return (1 << len(ts_vector)) - 1

@@ -351,6 +351,128 @@ class TestRouterEndToEnd:
                 + router.stats.commits_readonly) >= summary.commits
 
 
+# --- cluster-wide consistent snapshots ----------------------------------------
+
+def _striped_accounts(remote, router, count: int = 2) -> list:
+    """``count`` committed accounts, one per shard (round-robin)."""
+    from repro.db.catalog import IndexDef
+    from tests.conftest import ACCOUNTS
+
+    remote.create_table("accounts", ACCOUNTS, indexes=[
+        IndexDef("pk", ("id",), unique=True)])
+    txn = remote.begin()
+    refs = [remote.insert(txn, "accounts", (i, f"a{i}", 100.0))
+            for i in range(count)]
+    remote.commit(txn)
+    assert {router.shard_map.shard_of(r) for r in refs} == {0, 1}
+    return refs
+
+
+def _fractured_read_probe(remote, refs) -> float:
+    """The deterministic anomaly shape: a scanner reads account 0, a
+    cross-shard transfer commits, the scanner reads account 1.  Returns
+    the sum the scanner observed (200.0 = consistent cut)."""
+    scan = remote.begin()
+    row0 = remote.read(scan, "accounts", refs[0])
+    txn = remote.begin()
+    remote.update(txn, "accounts", refs[0], (0, "a0", 75.0))
+    remote.update(txn, "accounts", refs[1], (1, "a1", 125.0))
+    remote.commit(txn)
+    row1 = remote.read(scan, "accounts", refs[1])
+    remote.commit(scan)
+    return row0[2] + row1[2]
+
+
+class TestClusterWideSnapshots:
+    def test_legacy_per_shard_snapshots_fracture(self, two_shards):
+        """Reproducer: with per-shard first-touch snapshots the scanner
+        sees the credit but not the debit of one committed transfer."""
+        router = ClusterRouter(two_shards.addresses, RouterConfig(
+            port=0, idle_timeout_sec=30.0, drain_timeout_sec=2.0,
+            per_shard_snapshots=True))
+        host, port = router.start_in_background()
+        try:
+            with RemoteDatabase(host, port, pool_size=2) as remote:
+                refs = _striped_accounts(remote, router)
+                # shard 0 snapshots at the first read (pre-transfer),
+                # shard 1 at the second (post-transfer): money appears
+                assert _fractured_read_probe(remote, refs) == 225.0
+        finally:
+            router.stop_in_background()
+
+    def test_global_read_timestamp_closes_the_fracture(self, cluster):
+        """Same interleaving, default mode: every shard is pinned to the
+        BEGIN-time global timestamp, so the cut stays consistent."""
+        _sup, router, host, port = cluster
+        with RemoteDatabase(host, port, pool_size=2) as remote:
+            refs = _striped_accounts(remote, router)
+            assert _fractured_read_probe(remote, refs) == 200.0
+            # read-your-writes: a begin after the commit ack must see
+            # the transfer (the router's commit floor forces a refresh)
+            txn = remote.begin()
+            balances = sorted(row[2] for _ref, row
+                              in remote.scan(txn, "accounts"))
+            remote.commit(txn)
+            assert balances == [75.0, 125.0]
+            assert router.stats.begins_at_ts >= 3
+
+    def test_serializable_rejected_at_begin(self, cluster):
+        """Satellite: SSI is per-engine; the router refuses rather than
+        silently downgrading to snapshot isolation."""
+        from repro.common.errors import ProtocolError
+
+        _sup, _router, host, port = cluster
+        with RemoteDatabase(host, port, pool_size=1) as remote:
+            with pytest.raises(ProtocolError, match="serializable"):
+                remote.begin(serializable=True)
+
+    def test_stats_expose_cluster_snapshot_fields(self, cluster):
+        _sup, router, host, port = cluster
+        with RemoteDatabase(host, port, pool_size=2) as remote:
+            refs = _striped_accounts(remote, router)
+            txn = remote.begin()
+            remote.scan(txn, "accounts")
+            remote.commit(txn)
+            stats = remote.server_stats()
+        section = stats["cluster"]
+        assert section["per_shard_snapshots"] is False
+        for key in ("snapshot_ts", "commit_floor", "straddle_windows",
+                    "in_doubt_1pc", "pending_decisions"):
+            assert isinstance(section[key], int), key
+        assert section["commit_floor"] > 0  # the seeding commit raised it
+        for shard in section["shards"]:
+            assert shard["alive"]
+            assert shard["closed_ts"] >= 0
+            # pinned BEGINs reached both shards (scan fans out)
+            assert shard["txns"]["begin_at"] >= 1
+
+    def test_wire_begin_at_ts_pins_single_shard_snapshot(self, two_shards):
+        """The at_ts operand end to end against one shard server."""
+        from repro.db.catalog import IndexDef
+        from tests.conftest import ACCOUNTS
+
+        host, port = two_shards.addresses[0]
+        with RemoteDatabase(host, port, pool_size=2) as remote:
+            remote.create_table("accounts", ACCOUNTS, indexes=[
+                IndexDef("pk", ("id",), unique=True)])
+            txn = remote.begin()
+            ref = remote.insert(txn, "accounts", (0, "acct-0", 100.0))
+            remote.commit(txn)
+            ts = remote.closed_ts()
+            pinned = remote.begin(at_ts=ts)
+            writer = remote.begin()
+            remote.update(writer, "accounts", ref, (0, "acct-0", 42.0))
+            remote.commit(writer)
+            # frozen verdicts: the commit after pinning stays invisible
+            assert remote.read(pinned, "accounts", ref) == (
+                0, "acct-0", 100.0)
+            remote.commit(pinned)
+            fresh = remote.begin()
+            assert remote.read(fresh, "accounts", ref) == (
+                0, "acct-0", 42.0)
+            remote.commit(fresh)
+
+
 # --- multi-endpoint pool ------------------------------------------------------
 
 class TestMultiEndpointPool:

@@ -1,0 +1,316 @@
+"""The black-box SI checker: unit cases, fixture replay, live recording.
+
+The checker (``repro.experiments.si_check``) is the cluster chaos
+sweep's second oracle, so its own verdicts need independent coverage:
+
+* hand-built histories for every violation kind it can report —
+  fractured-read, lost-update, own-write-lost, phantom-value — plus the
+  deliberate non-obligations (aborted and unresolved-uncertain
+  transactions constrain nothing);
+* the two bundled JSONL fixtures replayed through ``load_history`` and
+  the CLI (``repro si-check`` delegates to the same ``main``), pinning
+  the exit-code contract CI relies on;
+* ``RecordingDatabase`` against a real server: the recorded history of
+  a genuine workload round-trips through dump/load and checks clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.client import RemoteDatabase
+from repro.db.database import EngineKind
+from repro.experiments.si_check import (
+    History,
+    RecordingDatabase,
+    check_history,
+    load_history,
+    main as si_check_main,
+)
+from repro.server import DatabaseServer, ServerConfig
+from tests.conftest import make_accounts_db
+
+DATA = Path(__file__).parent / "data"
+
+
+def _txn(txid: int, status: str, seq: int | None, ops: list,
+         session: str = "s0") -> dict:
+    return {"type": "txn", "txn": txid, "session": session,
+            "status": status, "commit_seq": seq, "ops": ops}
+
+
+def _initial(state: dict) -> dict:
+    return {"type": "initial", "state": state}
+
+
+def kinds(violations) -> list[str]:
+    return [v.kind for v in violations]
+
+
+# --- checker unit cases -------------------------------------------------------
+
+class TestCheckHistory:
+    def test_empty_history_passes(self):
+        assert check_history([]) == []
+
+    def test_clean_transfer_and_reader(self):
+        records = [
+            _initial({"a/1": [1, 100.0], "a/2": [2, 100.0]}),
+            _txn(5, "committed", 1, [
+                ["r", "a/1", [1, 100.0]], ["r", "a/2", [2, 100.0]],
+                ["w", "a/1", [1, 90.0]], ["w", "a/2", [2, 110.0]]]),
+            _txn(8, "committed", 2, [
+                ["r", "a/1", [1, 90.0]], ["r", "a/2", [2, 110.0]]]),
+        ]
+        assert check_history(records) == []
+
+    def test_reader_on_initial_prefix_passes(self):
+        records = [
+            _initial({"a/1": [1, 100.0], "a/2": [2, 100.0]}),
+            _txn(5, "committed", 1, [["w", "a/1", [1, 90.0]],
+                                     ["w", "a/2", [2, 110.0]]]),
+            _txn(8, "committed", 2, [
+                ["r", "a/1", [1, 100.0]], ["r", "a/2", [2, 100.0]]]),
+        ]
+        assert check_history(records) == []
+
+    def test_fractured_read_detected(self):
+        # the reader saw the credit but not the debit of one transfer
+        records = [
+            _initial({"a/1": [1, 100.0], "a/2": [2, 100.0]}),
+            _txn(5, "committed", 1, [["w", "a/1", [1, 90.0]],
+                                     ["w", "a/2", [2, 110.0]]]),
+            _txn(8, "committed", 2, [
+                ["r", "a/1", [1, 100.0]], ["r", "a/2", [2, 110.0]]],
+                 session="scanner"),
+        ]
+        violations = check_history(records)
+        assert kinds(violations) == ["fractured-read"]
+        assert violations[0].txn == 8
+        assert violations[0].session == "scanner"
+
+    def test_lost_update_detected(self):
+        # both writers committed, but the second's snapshot predates the
+        # first's write to the same key — first-updater-wins violated
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "committed", 1, [["r", "x", 0], ["w", "x", 1]]),
+            _txn(2, "committed", 2, [["r", "x", 0], ["w", "x", 2]]),
+        ]
+        assert kinds(check_history(records)) == ["lost-update"]
+
+    def test_sequential_writers_pass(self):
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "committed", 1, [["r", "x", 0], ["w", "x", 1]]),
+            _txn(2, "committed", 2, [["r", "x", 1], ["w", "x", 2]]),
+        ]
+        assert check_history(records) == []
+
+    def test_write_skew_on_disjoint_keys_is_allowed(self):
+        # SI's documented anomaly: both snapshots at prefix 0, writes to
+        # disjoint keys — a serializability checker would flag it, an SI
+        # checker must not
+        records = [
+            _initial({"x": 0, "y": 0}),
+            _txn(1, "committed", 1, [["r", "x", 0], ["r", "y", 0],
+                                     ["w", "x", 1]]),
+            _txn(2, "committed", 2, [["r", "x", 0], ["r", "y", 0],
+                                     ["w", "y", 1]]),
+        ]
+        assert check_history(records) == []
+
+    def test_own_writes_satisfy_reads(self):
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "committed", 1, [["w", "x", 7], ["r", "x", 7]]),
+        ]
+        assert check_history(records) == []
+
+    def test_own_write_lost_detected(self):
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "committed", 1, [["w", "x", 7], ["r", "x", 0]]),
+        ]
+        assert kinds(check_history(records)) == ["own-write-lost"]
+
+    def test_phantom_value_detected(self):
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "committed", 1, [["r", "x", 42]]),
+        ]
+        assert kinds(check_history(records)) == ["phantom-value"]
+
+    def test_read_of_absent_key_passes(self):
+        # a pk-lookup miss records a read of None: valid while nothing
+        # committed an insert for the key
+        records = [
+            _txn(1, "committed", 1, [["r", "a/9", None]]),
+            _txn(2, "committed", 2, [["w", "a/9", [9, 5.0]]]),
+            _txn(3, "committed", 3, [["r", "a/9", [9, 5.0]]]),
+        ]
+        assert check_history(records) == []
+
+    def test_aborted_txn_constrains_nothing(self):
+        # impossible reads on an aborted transaction: no obligation (the
+        # connection may have died mid-flight), and its write must not
+        # enter the commit order either
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "aborted", None, [["r", "x", 42], ["w", "x", 99]]),
+            _txn(2, "committed", 1, [["r", "x", 0]]),
+        ]
+        assert check_history(records) == []
+
+    def test_uncertain_writer_observed_is_phantom(self):
+        # an unresolved writer is excluded from the order; a committed
+        # read observing its value is exactly the alarm we want
+        records = [
+            _initial({"x": 0}),
+            _txn(1, "uncertain", None, [["w", "x", 7]]),
+            _txn(2, "committed", 1, [["r", "x", 7]]),
+        ]
+        assert kinds(check_history(records)) == ["phantom-value"]
+
+    def test_max_violations_caps_output(self):
+        records = [_initial({"x": 0})]
+        records += [_txn(i, "committed", i, [["r", "x", 42]])
+                    for i in range(1, 10)]
+        assert len(check_history(records, max_violations=3)) == 3
+
+    def test_json_roundtrip_equality(self, tmp_path):
+        # tuples become lists through JSON; verdicts must not change
+        history = History()
+        history.record_initial("a/1", (1, "acct-1", 100.0))
+        rec = history.open_txn(5, "w0")
+        rec.ops.append(["w", "a/1", (1, "acct-1", 90.0)])
+        history.seal(rec, "committed")
+        rec = history.open_txn(8, "r0")
+        rec.ops.append(["r", "a/1", (1, "acct-1", 90.0)])
+        history.seal(rec, "committed")
+        assert check_history(history.to_records()) == []
+        path = tmp_path / "h.jsonl"
+        history.dump(str(path))
+        assert check_history(load_history(str(path))) == []
+
+
+# --- bundled fixtures and the CLI contract ------------------------------------
+
+class TestFixturesAndCli:
+    def test_clean_fixture_checks_clean(self):
+        records = load_history(str(DATA / "si_clean_history.jsonl"))
+        assert check_history(records) == []
+
+    def test_fractured_fixture_is_flagged(self):
+        records = load_history(str(DATA / "si_fractured_history.jsonl"))
+        assert kinds(check_history(records)) == ["fractured-read"]
+
+    def test_cli_exit_codes(self, capsys):
+        clean = str(DATA / "si_clean_history.jsonl")
+        fractured = str(DATA / "si_fractured_history.jsonl")
+        assert si_check_main([clean]) == 0
+        assert si_check_main([fractured]) == 1
+        assert si_check_main([fractured, "--expect-anomaly"]) == 0
+        assert si_check_main([clean, "--expect-anomaly"]) == 1
+        out = capsys.readouterr().out
+        assert "fractured-read" in out
+
+    def test_repro_cli_delegates(self, capsys):
+        from repro.cli import main as cli_main
+
+        fractured = str(DATA / "si_fractured_history.jsonl")
+        assert cli_main(["si-check", fractured, "--expect-anomaly"]) == 0
+        assert cli_main(["si-check", fractured]) == 1
+
+
+# --- live recording against a real server -------------------------------------
+
+@pytest.fixture
+def served():
+    db = make_accounts_db(EngineKind.SIASV)
+    server = DatabaseServer(db, ServerConfig(port=0, idle_timeout_sec=30.0))
+    host, port = server.start_in_background()
+    yield host, port
+    server.stop_in_background()
+
+
+class TestRecordingDatabase:
+    def test_recorded_workload_checks_clean(self, served, tmp_path):
+        host, port = served
+        history = History()
+        with RecordingDatabase(RemoteDatabase(host, port, pool_size=2),
+                               history, session="w0") as remote:
+            txn = remote.begin()
+            refs = {i: remote.insert(txn, "accounts", (i, f"a{i}", 100.0))
+                    for i in range(3)}
+            remote.commit(txn)
+            txn = remote.begin()
+            (_r0, row0), = remote.lookup(txn, "accounts", "pk", 0)
+            (_r1, row1), = remote.lookup(txn, "accounts", "pk", 1)
+            remote.update(txn, "accounts", refs[0],
+                          (0, row0[1], row0[2] - 25.0))
+            remote.update(txn, "accounts", refs[1],
+                          (1, row1[1], row1[2] + 25.0))
+            remote.commit(txn)
+            txn = remote.begin()
+            rows = sorted(row for _ref, row
+                          in remote.scan(txn, "accounts"))
+            remote.commit(txn)
+        assert [r[2] for r in rows] == [75.0, 125.0, 100.0]
+        records = history.to_records()
+        assert check_history(records) == []
+        # the same verdict must survive a dump/load round trip
+        path = tmp_path / "recorded.jsonl"
+        history.dump(str(path))
+        assert check_history(load_history(str(path))) == []
+        statuses = [r["status"] for r in load_history(str(path))
+                    if r.get("type") == "txn"]
+        assert statuses == ["committed"] * 3
+
+    def test_lookup_miss_recorded_as_absent(self, served):
+        host, port = served
+        history = History()
+        with RecordingDatabase(RemoteDatabase(host, port, pool_size=1),
+                               history) as remote:
+            txn = remote.begin()
+            assert remote.lookup(txn, "accounts", "pk", 404) == []
+            remote.commit(txn)
+        (rec,) = [r for r in history.to_records()
+                  if r.get("type") == "txn"]
+        assert rec["ops"] == [["r", "accounts/404", None]]
+        assert check_history(history.to_records()) == []
+
+    def test_abort_seals_record(self, served):
+        host, port = served
+        history = History()
+        with RecordingDatabase(RemoteDatabase(host, port, pool_size=1),
+                               history) as remote:
+            txn = remote.begin()
+            remote.insert(txn, "accounts", (7, "gone", 1.0))
+            remote.abort(txn)
+        (rec,) = [r for r in history.to_records()
+                  if r.get("type") == "txn"]
+        assert rec["status"] == "aborted"
+        assert rec["commit_seq"] is None
+
+    def test_delete_is_refused(self, served):
+        host, port = served
+        history = History()
+        with RecordingDatabase(RemoteDatabase(host, port, pool_size=1),
+                               history) as remote:
+            txn = remote.begin()
+            ref = remote.insert(txn, "accounts", (1, "x", 1.0))
+            with pytest.raises(NotImplementedError):
+                remote.delete(txn, "accounts", ref)
+            remote.abort(txn)
+
+
+# --- fixture hygiene ----------------------------------------------------------
+
+def test_fixtures_are_valid_jsonl():
+    for name in ("si_clean_history.jsonl", "si_fractured_history.jsonl"):
+        for line in (DATA / name).read_text().splitlines():
+            json.loads(line)
