@@ -13,6 +13,9 @@ Commands:
   write, recover, verify invariants (see ``docs/RECOVERY.md``);
 * ``chaos-sweep`` — network fault-injection sweep: break the connection
   at every k-th frame, verify settlement (see ``docs/SERVER.md``);
+* ``replicate`` — failover sweep: kill the WAL-shipping leader at every
+  k-th shipped frame, promote the replica, verify exactly-once
+  survival and snapshot isolation (see ``docs/REPLICATION.md``);
 * ``cluster`` — VID-range sharded cluster: ``start`` a supervisor +
   router, ``status`` a running router, ``bench`` TPC-C through the
   router (see ``docs/CLUSTER.md``).
@@ -239,6 +242,15 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
                              "--seed", str(args.seed)])
 
 
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.experiments import failover
+
+    return failover.main(["--stride", str(args.stride),
+                          "--transfers", str(args.transfers),
+                          "--accounts", str(args.accounts),
+                          "--seed", str(args.seed)])
+
+
 def _cmd_si_check(args: argparse.Namespace) -> int:
     from repro.experiments import si_check
 
@@ -448,6 +460,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--accounts", type=int, default=8)
     chaos.add_argument("--seed", type=int, default=11)
 
+    repl = sub.add_parser("replicate",
+                          help="failover sweep: kill the WAL-shipping "
+                               "leader at every k-th shipped frame, "
+                               "promote the replica, verify "
+                               "(docs/REPLICATION.md)")
+    repl.add_argument("--stride", type=int, default=1,
+                      help="kill at every stride-th applied frame")
+    repl.add_argument("--transfers", type=int, default=12)
+    repl.add_argument("--accounts", type=int, default=8)
+    repl.add_argument("--seed", type=int, default=23)
+
     sicheck = sub.add_parser("si-check",
                              help="replay a recorded history through the "
                                   "black-box snapshot-isolation checker "
@@ -510,6 +533,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "crash-sweep": _cmd_crash_sweep,
         "chaos-sweep": _cmd_chaos_sweep,
+        "replicate": _cmd_replicate,
         "si-check": _cmd_si_check,
         "cluster": _cmd_cluster,
     }

@@ -68,13 +68,13 @@ def _indexes_wire(indexes: list[IndexDef] | None) -> tuple:
 class RemoteClock:
     """Proxy of the server's simulated clock (the driver's timebase)."""
 
-    def __init__(self, pool: ConnectionPool) -> None:
-        self._pool = pool
+    def __init__(self, call) -> None:
+        self._call = call
 
     @property
     def now(self) -> int:
         """Server-side simulated time in microseconds."""
-        return self._pool.call(Command.CLOCK_NOW)
+        return self._call(Command.CLOCK_NOW)
 
     @property
     def now_sec(self) -> float:
@@ -83,11 +83,11 @@ class RemoteClock:
 
     def advance(self, usec: int) -> int:
         """Advance the server's simulated clock; returns the new time."""
-        return self._pool.call(Command.CLOCK_ADVANCE, usec)
+        return self._call(Command.CLOCK_ADVANCE, usec)
 
     def advance_to(self, usec: int) -> int:
         """Advance the server's clock to at least ``usec``."""
-        return self._pool.call(Command.CLOCK_ADVANCE_TO, usec)
+        return self._call(Command.CLOCK_ADVANCE_TO, usec)
 
 
 class RemoteDatabase:
@@ -98,12 +98,52 @@ class RemoteDatabase:
                  request_timeout_sec: float = 60.0,
                  breaker: CircuitBreaker | None = None,
                  deadline_ms: int | None = None,
-                 chaos: object | None = None) -> None:
-        self.pool = ConnectionPool(host, port, size=pool_size, retry=retry,
+                 chaos: object | None = None,
+                 replicas: list[tuple[str, int]] | None = None) -> None:
+        endpoints = [(host, port)] + list(replicas or [])
+        self.pool = ConnectionPool(size=pool_size, retry=retry,
                                    request_timeout_sec=request_timeout_sec,
                                    breaker=breaker, deadline_ms=deadline_ms,
-                                   chaos=chaos)
-        self.clock = RemoteClock(self.pool)
+                                   chaos=chaos, endpoints=endpoints)
+        #: endpoint index writes and control-plane calls are pinned to;
+        #: :meth:`failover_to` repoints it after a promotion
+        self._primary = 0
+        self._replica_rr = 0
+        self.clock = RemoteClock(self._call)
+
+    def _call(self, command: Command, *args: object, **kwargs) -> object:
+        """A pooled one-shot call pinned to the primary endpoint."""
+        return self.pool.call(command, *args, endpoint=self._primary,
+                              **kwargs)
+
+    # -- replica routing / failover ------------------------------------------
+
+    @property
+    def replica_endpoints(self) -> list[int]:
+        """Endpoint indexes currently acting as read replicas."""
+        return [i for i in range(len(self.pool.endpoints))
+                if i != self._primary]
+
+    def failover_to(self, endpoint_index: int) -> None:
+        """Repoint writes at a promoted replica's endpoint.
+
+        The old primary's endpoint becomes a (presumed dead or fenced)
+        replica entry; its circuit breaker keeps it from being retried
+        aggressively.
+        """
+        if not 0 <= endpoint_index < len(self.pool.endpoints):
+            raise ValueError(
+                f"endpoint index {endpoint_index} out of range "
+                f"(have {len(self.pool.endpoints)})")
+        self._primary = endpoint_index
+
+    def _read_endpoint(self) -> int:
+        """Round-robin over the replica endpoints (primary if none)."""
+        replicas = self.replica_endpoints
+        if not replicas:
+            return self._primary
+        self._replica_rr = (self._replica_rr + 1) % len(replicas)
+        return replicas[self._replica_rr]
 
     @classmethod
     def connect(cls, host: str, port: int,
@@ -129,15 +169,30 @@ class RemoteDatabase:
     # -- transactions --------------------------------------------------------
 
     def begin(self, serializable: bool = False,
-              at_ts: int | None = None) -> RemoteTransaction:
+              at_ts: int | None = None,
+              read_only: bool = False) -> RemoteTransaction:
         """Start a server-side transaction pinned to one connection.
 
         ``at_ts`` pins the snapshot to an externally supplied *closed*
         read timestamp (see :meth:`closed_ts`); the wire request only
         grows the extra operand when one is given, so an old server
         keeps working as long as the feature is unused.
+
+        ``read_only=True`` routes the transaction to a read replica when
+        the client was built with ``replicas=`` (round-robin; falls back
+        to the primary when none is reachable).  A replica pins the
+        snapshot at its replay watermark — stale-bounded but never
+        fractured — and refuses any write with the ``FENCED`` status.
         """
-        conn = self.pool.acquire()
+        endpoint = self._read_endpoint() if read_only else self._primary
+        try:
+            conn = self.pool.acquire(endpoint=endpoint)
+        except (ConnectionError, OSError, CircuitOpenError):
+            if endpoint == self._primary:
+                raise
+            # the chosen replica is unreachable: serve the read-only
+            # transaction from the primary instead
+            conn = self.pool.acquire(endpoint=self._primary)
         try:
             if at_ts is None:
                 txid = self.pool.request(conn, Command.BEGIN, serializable)
@@ -207,7 +262,7 @@ class RemoteDatabase:
         pooled connection, so it works precisely when the transaction's
         own connection is dead.
         """
-        return self.pool.call(Command.TXN_STATUS, txid)
+        return self._call(Command.TXN_STATUS, txid)
 
     def resolve_commit(self, txid: int, timeout_sec: float = 5.0,
                        poll_interval_sec: float = 0.02) -> str:
@@ -259,7 +314,7 @@ class RemoteDatabase:
     def create_table(self, name: str, schema: Schema,
                      indexes: list[IndexDef] | None = None) -> None:
         """Create a relation (accepts the same ``Schema``/``IndexDef``)."""
-        self.pool.call(Command.CREATE_TABLE, name, _schema_wire(schema),
+        self._call(Command.CREATE_TABLE, name, _schema_wire(schema),
                        _indexes_wire(indexes))
 
     # -- data operations -----------------------------------------------------
@@ -342,19 +397,19 @@ class RemoteDatabase:
 
     def tick(self) -> None:
         """Advance the server's bgwriter/checkpointer."""
-        self.pool.call(Command.TICK)
+        self._call(Command.TICK)
 
     def maintenance(self) -> dict:
         """Run GC / VACUUM on every table; returns per-table summaries."""
-        return self.pool.call(Command.MAINTENANCE)
+        return self._call(Command.MAINTENANCE)
 
     def monitor_snapshot(self) -> dict:
         """The server's full :func:`repro.db.monitor.snapshot` as a dict."""
-        return self.pool.call(Command.SNAPSHOT)
+        return self._call(Command.SNAPSHOT)
 
     def server_stats(self) -> dict:
         """Admission-control, session and per-command service counters."""
-        return self.pool.call(Command.STATS)
+        return self._call(Command.STATS)
 
     def closed_ts(self, ratchet_to: int | None = None) -> int:
         """The server's closed-timestamp watermark.
@@ -365,16 +420,16 @@ class RemoteDatabase:
         the watermark — the cluster router's shard-side ratchet.
         """
         if ratchet_to is None:
-            return self.pool.call(Command.CLOSED_TS)
-        return self.pool.call(Command.CLOSED_TS, ratchet_to)
+            return self._call(Command.CLOSED_TS)
+        return self._call(Command.CLOSED_TS, ratchet_to)
 
     def ping(self) -> str:
         """Liveness probe."""
-        return self.pool.call(Command.PING)
+        return self._call(Command.PING)
 
     def shutdown_server(self) -> None:
         """Ask the server to stop cleanly (it answers, then winds down)."""
-        self.pool.call(Command.SHUTDOWN)
+        self._call(Command.SHUTDOWN)
 
     def close(self) -> None:
         """Close every pooled connection."""

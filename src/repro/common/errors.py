@@ -211,6 +211,17 @@ class AmbiguousResultError(ServiceError, ConnectionError):
     """
 
 
+class ReplicationError(ServiceError):
+    """A replication-protocol violation: epoch fencing or a gapped log.
+
+    Raised when a shipped batch carries a stale epoch token (a fenced or
+    zombie leader), when a write reaches a node that is not the current
+    leader, or when a follower asks for records the leader no longer
+    retains.  Deliberately **not** retryable: retrying a fenced request
+    against the same node can only re-fail — the caller must fail over.
+    """
+
+
 class CommitUncertainError(ServiceError):
     """A ``COMMIT``'s ack was lost: the transaction's fate is unknown.
 

@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import PageCorruptError, ReadUnwrittenError
+from repro.common.errors import (PageCorruptError, ReadUnwrittenError,
+                                 ReproError)
 from repro.core.engine import SiasVEngine
 from repro.pages.append_page import AppendPage
 from repro.pages.base import Page
@@ -147,9 +148,34 @@ def _rebuild_vidmap(engine: SiasVEngine,
                                         - engine.allocator.high_water)
 
 
+def _durable_depth(engine: SiasVEngine, tid: Tid, txid: int) -> int:
+    """How many of ``txid``'s versions head the durable chain at ``tid``.
+
+    A transaction that wrote the same item more than once left a run of
+    equal-``create_ts`` versions at the head of the chain; redo must skip
+    exactly that many of its WAL records and apply the remainder.  A
+    faulting pred (torn page below the head) ends the count early, which
+    at worst re-appends a version identical to an unreadable durable one.
+    """
+    depth = 0
+    next_tid: Tid | None = tid
+    while next_tid is not None:
+        try:
+            record = engine.store.read(next_tid)
+        except ReproError:
+            break
+        if record.create_ts != txid:
+            break
+        depth += 1
+        next_tid = record.pred
+    return depth
+
+
 def _redo_from_wal(engine: SiasVEngine, wal_records: list[WalRecord],
                    report: SiasRecoveryReport) -> None:
     clog = engine.txn_mgr.clog
+    seen: dict[tuple[int, int], int] = {}
+    pre_depth: dict[tuple[int, int], int] = {}
     for record in wal_records:
         if record.type not in (WalRecordType.INSERT, WalRecordType.UPDATE,
                                WalRecordType.DELETE):
@@ -158,11 +184,24 @@ def _redo_from_wal(engine: SiasVEngine, wal_records: list[WalRecord],
             continue
         vid = record.item_id
         current_tid = engine.vidmap.get(vid)
+        key = (record.txid, vid)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
         if current_tid is not None:
             current = engine.store.read(current_tid)
-            if current.create_ts >= record.txid:
+            if current.create_ts > record.txid:
                 report.redo_skipped += 1
-                continue  # this or a later committed change is present
+                continue  # a later committed change supersedes this one
+            if current.create_ts == record.txid:
+                # the transaction's own versions head the chain: its
+                # first ``depth`` records are already durable, any
+                # further writes it made to this item are not
+                if key not in pre_depth:
+                    pre_depth[key] = _durable_depth(
+                        engine, current_tid, record.txid)
+                if index < pre_depth[key]:
+                    report.redo_skipped += 1
+                    continue
         version = VersionRecord(
             create_ts=record.txid,
             vid=vid,

@@ -250,11 +250,13 @@ class Database:
         txn = self.begin(serializable=serializable)
         try:
             result = fn(txn)
+            self.commit(txn)
         except BaseException:
+            # commit itself can raise (an SSI commit-time doom); the
+            # transaction must still release its locks and undo chain
             if txn.phase.value == "active":
                 self.abort(txn)
             raise
-        self.commit(txn)
         return result
 
     # -- data operations ----------------------------------------------------------------------

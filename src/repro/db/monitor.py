@@ -86,6 +86,10 @@ class SystemSnapshot:
     #: transaction counters, 2PC outcome counters, in-doubt count and the
     #: router's fan-out latency counters (see ``docs/CLUSTER.md``)
     cluster: dict = field(default_factory=dict)
+    #: populated when the node participates in WAL-shipping replication:
+    #: role, epoch, durable/applied sequences, replica lag and watermark
+    #: (see ``docs/REPLICATION.md``)
+    replication: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Pretty-print the snapshot."""
@@ -178,6 +182,15 @@ class SystemSnapshot:
                     ["metric", "value"],
                     [[k, v] for k, v in sorted(router.items())
                      if not isinstance(v, dict)])
+        if self.replication:
+            out += format_table(
+                "replication",
+                ["metric", "value"],
+                [[key, value] for key, value
+                 in sorted(self.replication.items())
+                 if not isinstance(value, dict)]
+                + [[f"slot[{fid}]", seq] for fid, seq
+                   in sorted(self.replication.get("slots", {}).items())])
         return out
 
 
@@ -272,4 +285,7 @@ def snapshot(db: Database, server: object | None = None,
         uncertain_commits=(
             client.pool.stats.uncertain_commits  # type: ignore[attr-defined]
             if client is not None else 0),
+        replication=(
+            server.replication.status()  # type: ignore[attr-defined]
+            if getattr(server, "replication", None) is not None else {}),
     )

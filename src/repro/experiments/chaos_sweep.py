@@ -856,7 +856,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="cluster mode: legacy lazy per-shard "
                              "snapshots; with --si-check the sweep then "
                              "EXPECTS fractured reads to be caught")
+    parser.add_argument("--failover", action="store_true",
+                        help="replication mode: kill the WAL-shipping "
+                             "leader at every stride-th shipped frame, "
+                             "promote the replica, verify "
+                             "(docs/REPLICATION.md)")
     args = parser.parse_args(argv)
+    if args.failover:
+        from repro.experiments import failover
+        return failover.main(["--stride", str(args.stride),
+                              "--transfers", str(args.transfers),
+                              "--accounts", str(args.accounts),
+                              "--seed", str(args.seed)])
     if args.cluster:
         cfg = ClusterChaosConfig(
             shards=args.shards, fault_mode=args.fault_mode,

@@ -191,8 +191,15 @@ class RecordingDatabase:
 
     # -- txn lifecycle -------------------------------------------------------
 
-    def begin(self, serializable: bool = False, at_ts: int | None = None):
-        txn = self._remote.begin(serializable=serializable, at_ts=at_ts)
+    def begin(self, serializable: bool = False, at_ts: int | None = None,
+              read_only: bool = False):
+        if read_only:
+            # only the replica-routing RemoteDatabase takes read_only;
+            # growing the call keeps plain remotes working unchanged
+            txn = self._remote.begin(serializable=serializable,
+                                     at_ts=at_ts, read_only=True)
+        else:
+            txn = self._remote.begin(serializable=serializable, at_ts=at_ts)
         rec = self._history.open_txn(txn.txid, self._session)
         with self._mu:
             self._open[txn.txid] = rec

@@ -1,0 +1,24 @@
+"""WAL-shipping replication: leader-side log shipping, follower apply.
+
+A leader node attaches a :class:`~repro.replication.leader.ReplicationHub`
+to its database and serves ``WAL_SUBSCRIBE`` / ``WAL_FETCH``; a replica
+runs a :class:`~repro.replication.follower.WalFollower` that continuously
+fetches the durable log tail, applies committed transactions through the
+same redo idiom crash recovery uses, and serves snapshot reads pinned at
+its replay watermark — stale-bounded, never fractured.  Promotion fences
+the old epoch so a zombie leader's frames are refused everywhere.
+"""
+
+from repro.replication.follower import (
+    REPLICA_TXID_BASE,
+    RemoteSource,
+    WalFollower,
+)
+from repro.replication.leader import ReplicationHub
+
+__all__ = [
+    "REPLICA_TXID_BASE",
+    "RemoteSource",
+    "ReplicationHub",
+    "WalFollower",
+]

@@ -1,0 +1,359 @@
+"""Follower side of WAL shipping: continuous redo, watermark reads.
+
+A :class:`WalFollower` drives a replica database.  It fetches the
+leader's durable log tail in frames (in-process through a
+:class:`~repro.replication.leader.ReplicationHub`, or over the wire
+through :class:`RemoteSource`), buffers each transaction's data records
+until its COMMIT arrives, and then applies the whole transaction through
+the same idempotent redo idiom crash recovery uses
+(:func:`repro.core.recovery._redo_from_wal`): append the version, swing
+the VIDmap entrypoint, bump the allocator, insert index entries.
+Versions land **before** the commit-log flip, so a replica reader can
+never observe a half-applied transaction.
+
+Reads are pinned at the **replay watermark**: the leader's closed
+timestamp as of a frame the follower has fully caught up to.  Because
+the leader samples ``closed_ts`` before taking the records
+(:meth:`~repro.replication.leader.ReplicationHub.fetch`), every
+transaction at or below the watermark is either fully applied here or
+was aborted — a snapshot at the watermark is stale-bounded but never
+fractured.
+
+Restart resume: after each applied frame the follower appends a small
+control record to its *own* WAL (``CHECKPOINT`` carrying the restart
+sequence in ``item_id`` with payload ``b"REPL"``) and forces it.  On
+restart, stock crash recovery rebuilds the replica state from its own
+durable log, the last control record names where to resume, and
+re-delivered records are deduplicated against the commit log and the
+engine's version chains.
+
+Only SIAS-V relations replicate: the SI baseline's recovery is
+checkpoint-consistent rather than record-redo (see
+:mod:`repro.db.recovery`), so it has no per-record apply path to ride.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReplicationError
+from repro.core.engine import SiasVEngine
+from repro.db.database import Database
+from repro.pages.layout import VersionRecord
+from repro.txn.commitlog import TxnState
+from repro.wal.records import WalRecord, WalRecordType
+
+#: Follower-local txids start here, far above any leader txid the stream
+#: can ship, so a local read transaction's commit-log registration can
+#: never collide with a shipped transaction's.
+REPLICA_TXID_BASE = 1 << 40
+
+#: payload tag of the follower's restart-resume control records
+_REPL_MARKER = b"REPL"
+
+
+class RemoteSource:
+    """Fetches a leader's WAL over the wire protocol.
+
+    Wraps a :class:`~repro.client.pool.ConnectionPool` aimed at the
+    leader and speaks ``WAL_SUBSCRIBE`` / ``WAL_FETCH``.
+    """
+
+    def __init__(self, pool) -> None:
+        self.pool = pool
+
+    def subscribe(self, follower_id: str, start_seq: int) -> dict:
+        from repro.server.protocol import Command
+        epoch, durable_seq = self.pool.call(
+            Command.WAL_SUBSCRIBE, follower_id, start_seq)
+        return {"epoch": epoch, "durable_seq": durable_seq}
+
+    def fetch(self, follower_id: str, epoch: int, since_seq: int,
+              acked_seq: int,
+              limit: int) -> tuple[int, int, bytes, int, int]:
+        from repro.server.protocol import Command
+        result = self.pool.call(Command.WAL_FETCH, follower_id, epoch,
+                                since_seq, acked_seq, limit)
+        return tuple(result)  # type: ignore[return-value]
+
+
+class WalFollower:
+    """Continuously applies a leader's log to a replica database.
+
+    ``db`` must be provisioned with the same tables in the same creation
+    order as the leader (relation ids are assigned by creation order and
+    DDL is not WAL-logged).
+    """
+
+    def __init__(self, db: Database, source, follower_id: str = "replica-1",
+                 batch_limit: int = 256) -> None:
+        self.db = db
+        self.source = source
+        self.follower_id = follower_id
+        self.batch_limit = batch_limit
+        # keep local txids (read transactions, recovery's index-rebuild
+        # scan) clear of the shipped leader txid space
+        db.txn_mgr.advance_to(REPLICA_TXID_BASE)
+        #: next global seq to fetch from the leader
+        self.fetch_seq = self._resume_seq()
+        #: durable restart point (last forced control record)
+        self.acked_seq = self.fetch_seq
+        #: replica read timestamp: leader closed_ts as of a frame this
+        #: follower has fully applied
+        self.watermark = 0
+        self.epoch = 0
+        self.role = "replica"
+        self.leader_durable_seq = self.fetch_seq
+        self.hub = None  # set on promotion
+        #: data records of transactions whose COMMIT has not arrived yet
+        self._pending: dict[int, list[WalRecord]] = {}
+        #: first global seq of each pending transaction (restart anchor)
+        self._pending_seq: dict[int, int] = {}
+        self.frames = 0
+        self.applied_txns = 0
+        self.applied_records = 0
+        self.deduped_txns = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def connect(self) -> dict:
+        """Subscribe at the restart point; adopt the leader's epoch."""
+        info = self.source.subscribe(self.follower_id, self.acked_seq)
+        self.epoch = int(info["epoch"])
+        self.leader_durable_seq = int(info["durable_seq"])
+        return info
+
+    def catch_up(self, max_frames: int | None = None,
+                 on_frame=None) -> int:
+        """Fetch and apply until the leader's durable horizon is reached.
+
+        Returns the number of records applied.  ``on_frame`` (if given)
+        is invoked after each applied frame — the chaos sweep's kill
+        points count these.  ``max_frames`` bounds the loop for
+        incremental draining.
+        """
+        applied = 0
+        while True:
+            frame = self.source.fetch(self.follower_id, self.epoch,
+                                      self.fetch_seq, self.acked_seq,
+                                      self.batch_limit)
+            epoch, start_seq, blob, durable_seq, closed_ts = frame
+            if epoch != self.epoch:
+                raise ReplicationError(
+                    f"frame carries epoch {epoch}, follower is at "
+                    f"{self.epoch}: refusing a fenced leader's records")
+            if start_seq != self.fetch_seq:
+                raise ReplicationError(
+                    f"frame starts at seq {start_seq}, expected "
+                    f"{self.fetch_seq}: the shipped stream gapped")
+            records = self._unpack(blob)
+            for offset, record in enumerate(records):
+                self._apply(record, start_seq + offset)
+            self.fetch_seq = start_seq + len(records)
+            applied += len(records)
+            self._mark_progress()
+            self.leader_durable_seq = durable_seq
+            self.frames += 1
+            if self.fetch_seq >= durable_seq:
+                # everything durable at closed_ts-sample time is applied:
+                # the watermark may ratchet to that closed timestamp
+                self.watermark = max(self.watermark, closed_ts)
+            if on_frame is not None:
+                on_frame(self)
+            if self.fetch_seq >= durable_seq:
+                return applied
+            if max_frames is not None:
+                max_frames -= 1
+                if max_frames <= 0:
+                    return applied
+
+    def promote(self) -> int:
+        """Leader failover: fence the old epoch and start leading.
+
+        Incomplete shipped transactions (data records without a durable
+        COMMIT from the old leader) are discarded — their fate is abort
+        by omission, exactly as crash recovery would settle them.  The
+        epoch bump fences the old leader: its frames and fetches are
+        refused everywhere from now on.
+        """
+        from repro.replication.leader import ReplicationHub
+        self._pending.clear()
+        self._pending_seq.clear()
+        self.epoch += 1
+        self.role = "leader"
+        self.hub = ReplicationHub(self.db, epoch=self.epoch)
+        return self.epoch
+
+    # -- reads --------------------------------------------------------------
+
+    def read_ts(self) -> int:
+        """The snapshot timestamp replica reads are pinned at."""
+        return self.watermark
+
+    def begin_read(self):
+        """A snapshot transaction pinned at the replay watermark."""
+        return self.db.begin(at_ts=self.watermark)
+
+    # -- post-promotion leader surface --------------------------------------
+
+    def subscribe(self, follower_id: str, start_seq: int) -> dict:
+        """Serve a subscription (valid once promoted)."""
+        self._require_promoted()
+        return self.hub.subscribe(follower_id, start_seq)
+
+    def fetch(self, follower_id: str, epoch: int, since_seq: int,
+              acked_seq: int, limit: int = 256):
+        """Serve a fetch (valid once promoted)."""
+        self._require_promoted()
+        return self.hub.fetch(follower_id, epoch, since_seq, acked_seq,
+                              limit)
+
+    def _require_promoted(self) -> None:
+        if self.role != "leader" or self.hub is None:
+            raise ReplicationError(
+                f"node is a {self.role}, not the leader")
+
+    # -- applying -----------------------------------------------------------
+
+    @staticmethod
+    def _unpack(blob: bytes) -> list[WalRecord]:
+        records: list[WalRecord] = []
+        offset = 0
+        while offset < len(blob):
+            record, offset = WalRecord.unpack(blob, offset)
+            records.append(record)
+        return records
+
+    def _apply(self, record: WalRecord, seq: int) -> None:
+        kind = record.type
+        if kind in (WalRecordType.INSERT, WalRecordType.UPDATE,
+                    WalRecordType.DELETE):
+            self._pending.setdefault(record.txid, []).append(record)
+            self._pending_seq.setdefault(record.txid, seq)
+        elif kind is WalRecordType.COMMIT:
+            data = self._pending.pop(record.txid, [])
+            self._pending_seq.pop(record.txid, None)
+            self._apply_commit(record.txid, data)
+        elif kind is WalRecordType.ABORT:
+            self._pending.pop(record.txid, None)
+            self._pending_seq.pop(record.txid, None)
+        # CHECKPOINT: leader-local truncation bookkeeping, nothing to
+        # apply.  PREPARE: the decision arrives later as COMMIT/ABORT;
+        # the data records simply stay pending until then.
+
+    def _apply_commit(self, txid: int, data: list[WalRecord]) -> None:
+        clog = self.db.txn_mgr.clog
+        state = clog._states.get(txid)
+        if state is TxnState.COMMITTED:
+            # restart re-delivery of a transaction whose COMMIT already
+            # made it into our own durable log
+            self.deduped_txns += 1
+            return
+        # our own WAL first, so a follower crash replays this transaction
+        # through the stock recovery path; the per-frame control-record
+        # force covers these appends
+        wal = self.db.wal
+        for record in data:
+            wal.append(record)
+        wal.append(WalRecord(WalRecordType.COMMIT, txid, 0))
+        by_rel = {relation.relation_id: relation
+                  for relation in self.db.tables.values()}
+        for record in data:
+            self._redo(by_rel, record)
+        # versions are in place — only now may readers learn the fate
+        if state is None:
+            clog.register(txid)
+            clog.set_committed(txid)
+        elif state is TxnState.ABORTED:
+            # a restart's recovery rolled this half-shipped transaction
+            # back locally; the leader's durable COMMIT wins — flip the
+            # fate directly, the redo above restored the versions
+            clog._states[txid] = TxnState.COMMITTED
+        else:
+            clog.set_committed(txid)
+        self.applied_txns += 1
+
+    def _redo(self, by_rel: dict, record: WalRecord) -> None:
+        relation = by_rel.get(record.relation_id)
+        if relation is None:
+            raise ReplicationError(
+                f"shipped record names relation {record.relation_id}, "
+                f"which this replica does not have: schema mismatch")
+        engine = relation.engine
+        if not isinstance(engine, SiasVEngine):
+            raise ReplicationError(
+                f"relation {relation.name!r} runs the SI baseline "
+                f"engine, which has no record-redo apply path")
+        vid = record.item_id
+        current_tid = engine.vidmap.get(vid)
+        if current_tid is not None:
+            current = engine.store.read(current_tid)
+            # strictly newer only: an equal create_ts is this same
+            # transaction's *earlier* write to the vid (insert then
+            # update), whose successor must still be appended — whole
+            # re-delivered transactions are deduped via the commit log
+            # before any record reaches this point
+            if current.create_ts > record.txid:
+                return
+
+        version = VersionRecord(
+            create_ts=record.txid,
+            vid=vid,
+            pred=current_tid,
+            tombstone=record.type is WalRecordType.DELETE,
+            payload=record.payload,
+        )
+        new_tid = engine.store.append(version)
+        engine.vidmap.set(vid, new_tid)
+        if vid >= engine.allocator.high_water:
+            engine.allocator.allocate_block(
+                vid + 1 - engine.allocator.high_water)
+        if record.type is not WalRecordType.DELETE:
+            row = relation.codec.decode(record.payload)
+            for definition, tree in relation.indexes.values():
+                key = definition.key_of(relation.schema, row)
+                if not tree.contains(key, vid):
+                    tree.insert(key, vid)
+        self.applied_records += 1
+
+    # -- restart resume -----------------------------------------------------
+
+    def _mark_progress(self) -> None:
+        """Force a control record naming where a restart must resume.
+
+        The restart point is the earliest first-seq among still-pending
+        transactions (their data records must be re-delivered), or the
+        fetch cursor when nothing is pending.  Forcing the marker also
+        makes every record appended by :meth:`_apply_commit` since the
+        last frame durable.
+        """
+        marker = (min(self._pending_seq.values())
+                  if self._pending_seq else self.fetch_seq)
+        self.db.wal.append(WalRecord(WalRecordType.CHECKPOINT, -1, marker,
+                                     payload=_REPL_MARKER))
+        self.db.wal.force()
+        self.acked_seq = marker
+
+    def _resume_seq(self) -> int:
+        for record in reversed(self.db.wal.durable_records()):
+            if (record.type is WalRecordType.CHECKPOINT
+                    and record.payload == _REPL_MARKER):
+                return record.item_id
+        return 0
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self) -> dict:
+        """Replication facts for STATS / SNAPSHOT surfacing."""
+        out = {
+            "role": self.role,
+            "epoch": self.epoch,
+            "fetch_seq": self.fetch_seq,
+            "acked_seq": self.acked_seq,
+            "watermark": self.watermark,
+            "lag_records": max(0, self.leader_durable_seq - self.fetch_seq),
+            "frames": self.frames,
+            "applied_txns": self.applied_txns,
+            "applied_records": self.applied_records,
+        }
+        if self.hub is not None:
+            out["slots"] = self.db.wal.slots()
+        return out

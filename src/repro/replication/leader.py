@@ -1,0 +1,123 @@
+"""Leader side of WAL shipping: slots, fetch batches, epoch fencing.
+
+The hub is a thin privileged view over the node's own write-ahead log.
+Followers address the log by *global record sequence numbers*
+(:meth:`repro.wal.log.WriteAheadLog.durable_seq`), which survive
+checkpoint truncation and segment recycling; each subscribed follower
+owns a replication slot whose position clamps truncation, so the shipped
+stream can never gap while the follower is behind.
+
+Fencing: the hub carries an **epoch** token.  Every fetch must present
+the epoch it subscribed under; a mismatch raises
+:class:`~repro.common.errors.ReplicationError` (wire status ``FENCED``).
+After a failover the promoted follower bumps the epoch, so a zombie old
+leader — or a follower still talking to one — is refused deterministically
+rather than fed a diverging history.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReplicationError
+from repro.db.database import Database
+
+
+class ReplicationHub:
+    """Serves the durable WAL tail of one leader database."""
+
+    def __init__(self, db: Database, epoch: int = 1) -> None:
+        self.db = db
+        #: fencing token; bumped by whoever wins a failover
+        self.epoch = epoch
+        #: ``"leader"`` serves fetches and accepts writes; ``"fenced"``
+        #: refuses both (a deposed leader that must not ack anything)
+        self.role = "leader"
+        self.shipped_frames = 0
+        self.shipped_records = 0
+
+    # -- subscription -------------------------------------------------------
+
+    def subscribe(self, follower_id: str, start_seq: int) -> dict:
+        """Register (or rewind) a follower's slot at ``start_seq``.
+
+        Returns ``{"epoch", "durable_seq"}`` — the epoch the follower must
+        present on every fetch, and the current durable horizon so it can
+        size its catch-up.
+        """
+        self._require_leader()
+        try:
+            self.db.wal.register_slot(follower_id, start_seq)
+        except ValueError as exc:
+            raise ReplicationError(str(exc)) from None
+        return {"epoch": self.epoch,
+                "durable_seq": self.db.wal.durable_seq()}
+
+    def unsubscribe(self, follower_id: str) -> None:
+        """Drop a follower's slot (its retention floor goes with it)."""
+        self.db.wal.drop_slot(follower_id)
+
+    # -- shipping -----------------------------------------------------------
+
+    def fetch(self, follower_id: str, epoch: int, since_seq: int,
+              acked_seq: int,
+              limit: int = 256) -> tuple[int, int, bytes, int, int]:
+        """One shipped frame: durable records starting at ``since_seq``.
+
+        Returns ``(epoch, since_seq, blob, durable_seq, closed_ts)`` where
+        ``blob`` is the packed concatenation of at most ``limit`` records.
+
+        ``closed_ts`` is sampled **before** the records are taken: every
+        transaction at or below it reached its fate before the sample, so
+        its COMMIT record (if any) is below the ``durable_seq`` returned
+        with this very frame.  A follower that has applied up to that
+        horizon may therefore pin snapshots at ``closed_ts`` without ever
+        observing a fractured transaction — this ordering is the
+        correctness argument for the replica watermark.
+
+        ``acked_seq`` is the follower's durable restart point; the slot
+        ratchets to it, releasing retention behind it.
+        """
+        self._require_leader()
+        if epoch != self.epoch:
+            raise ReplicationError(
+                f"fetch from {follower_id!r} carries epoch {epoch}, "
+                f"current epoch is {self.epoch}: the requester is fenced")
+        closed_ts = self.db.closed_ts()
+        try:
+            records, durable_seq = self.db.wal.records_since(since_seq,
+                                                             limit)
+        except ValueError as exc:
+            raise ReplicationError(str(exc)) from None
+        self.db.wal.advance_slot(follower_id, acked_seq)
+        self.shipped_frames += 1
+        self.shipped_records += len(records)
+        blob = b"".join(record.pack() for record in records)
+        return self.epoch, since_seq, blob, durable_seq, closed_ts
+
+    # -- fencing ------------------------------------------------------------
+
+    def fence(self) -> None:
+        """Depose this leader: refuse all future fetches and writes.
+
+        Applied to a restarted old leader after a failover (the STONITH
+        step) so it can never again ack a write or ship a frame from the
+        dead epoch.
+        """
+        self.role = "fenced"
+
+    def _require_leader(self) -> None:
+        if self.role != "leader":
+            raise ReplicationError(
+                f"node is {self.role}, not the leader")
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self) -> dict:
+        """Replication facts for STATS / SNAPSHOT surfacing."""
+        return {
+            "role": self.role,
+            "epoch": self.epoch,
+            "durable_seq": self.db.wal.durable_seq(),
+            "slots": self.db.wal.slots(),
+            "shipped_frames": self.shipped_frames,
+            "shipped_records": self.shipped_records,
+        }

@@ -32,6 +32,7 @@ from repro.common.errors import (
     OverloadedError,
     ProtocolError,
     RemoteError,
+    ReplicationError,
     SchemaError,
     SerializationError,
     SessionError,
@@ -98,6 +99,8 @@ class Command(IntEnum):
     COMMIT_PREPARED = 26
     ABORT_PREPARED = 27
     CLOSED_TS = 28
+    WAL_SUBSCRIBE = 29
+    WAL_FETCH = 30
     SHUTDOWN = 99
 
 
@@ -117,6 +120,9 @@ class Status(IntEnum):
     AMBIGUOUS = 10       # fate unresolved (e.g. a router lost its shard
     #                      mid-commit); never blindly retried — resolve
     #                      via TXN_STATUS
+    FENCED = 11          # replication fencing: stale epoch, not the
+    #                      leader, or a truncated-gap fetch; fail over
+    #                      instead of retrying
 
 
 #: Statuses a client may transparently retry (the command did not execute).
@@ -142,6 +148,8 @@ def status_for_exception(exc: BaseException) -> Status:
         return Status.NO_SUCH_TXN
     if isinstance(exc, ProtocolError):
         return Status.BAD_REQUEST
+    if isinstance(exc, ReplicationError):
+        return Status.FENCED
     return Status.INTERNAL
 
 
@@ -169,6 +177,8 @@ def raise_for_status(status: int, message: str) -> None:
         # the txid is embedded in the message only; callers that know it
         # (RemoteDatabase.commit) re-wrap with the structured txid
         raise CommitUncertainError(message, txid=-1)
+    if status == Status.FENCED:
+        raise ReplicationError(message)
     raise RemoteError(message)
 
 

@@ -38,7 +38,11 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.common.errors import ProtocolError, TxnStateError
+from repro.common.errors import (
+    ProtocolError,
+    ReplicationError,
+    TxnStateError,
+)
 from repro.db.catalog import IndexDef, IndexKind
 from repro.db.database import Database
 from repro.db.schema import ColType, Schema
@@ -111,7 +115,7 @@ _EXEMPT = frozenset({
     Command.CLOCK_NOW, Command.CLOCK_ADVANCE, Command.CLOCK_ADVANCE_TO,
     Command.STATS, Command.TXN_STATUS, Command.SHUTDOWN,
     Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
-    Command.CLOSED_TS,
+    Command.CLOSED_TS, Command.WAL_SUBSCRIBE, Command.WAL_FETCH,
 })
 
 #: Commands a *draining* server still serves unconditionally: finishing
@@ -123,7 +127,14 @@ _DRAIN_ALLOWED = frozenset({
     Command.PING, Command.COMMIT, Command.ABORT, Command.TXN_STATUS,
     Command.STATS, Command.SHUTDOWN,
     Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
-    Command.CLOSED_TS,
+    Command.CLOSED_TS, Command.WAL_SUBSCRIBE, Command.WAL_FETCH,
+})
+
+#: Commands that mutate data or the catalog: a node whose replication
+#: role is not "leader" refuses these with the FENCED status.
+_WRITE_COMMANDS = frozenset({
+    Command.INSERT, Command.BULK_INSERT, Command.UPDATE, Command.DELETE,
+    Command.CREATE_TABLE,
 })
 
 #: Commands that run on the dispatcher's exclusive lane: they restructure
@@ -176,9 +187,14 @@ def _as_predicate(value: object) -> tuple | None:
 class DatabaseServer:
     """Serves one :class:`Database` over length-prefixed TCP frames."""
 
-    def __init__(self, db: Database,
-                 config: ServerConfig | None = None) -> None:
+    def __init__(self, db: Database, config: ServerConfig | None = None,
+                 replication: object | None = None) -> None:
         self.db = db
+        #: a :class:`repro.replication.leader.ReplicationHub` or
+        #: :class:`repro.replication.follower.WalFollower` (or None for a
+        #: standalone node).  Drives role-based write fencing, replica
+        #: read pinning and the WAL_SUBSCRIBE/WAL_FETCH commands.
+        self.replication = replication
         self.config = config or ServerConfig()
         self.config.validate()
         self.sessions = SessionManager(self.config.idle_timeout_sec)
@@ -244,6 +260,8 @@ class DatabaseServer:
             Command.COMMIT_PREPARED: self._cmd_commit_prepared,
             Command.ABORT_PREPARED: self._cmd_abort_prepared,
             Command.CLOSED_TS: self._cmd_closed_ts,
+            Command.WAL_SUBSCRIBE: self._cmd_wal_subscribe,
+            Command.WAL_FETCH: self._cmd_wal_fetch,
             Command.SHUTDOWN: self._cmd_shutdown,
         }
 
@@ -423,6 +441,8 @@ class DatabaseServer:
                          "in_flight_txns": self.sessions.in_flight_txns(),
                          **self.sessions.stats.as_dict()},
             "engine": self._engine_payload(),
+            "replication": (self.replication.status()
+                            if self.replication is not None else {}),
             "commands": self.dispatch.stats.per_command(),
         }
 
@@ -566,6 +586,20 @@ class DatabaseServer:
             self.dispatch.stats.deadline_rejected += 1
             return (Status.DEADLINE_EXCEEDED,
                     f"{Command(command).name}: deadline passed on arrival")
+        repl = self.replication
+        if repl is not None and repl.role != "leader":
+            # role-based write fencing: a replica serves reads only; a
+            # fenced (deposed) leader may not ack anything that could
+            # make a write durable — not even a commit of older work
+            refused = command in _WRITE_COMMANDS or (
+                repl.role == "fenced"
+                and command in (Command.COMMIT, Command.PREPARE_TXN,
+                                Command.COMMIT_PREPARED))
+            if refused:
+                exc = ReplicationError(
+                    f"{Command(command).name} refused: node role is "
+                    f"{repl.role} (epoch {repl.epoch}), not leader")
+                return status_for_exception(exc), error_payload(exc)
         if self._draining and command not in _DRAIN_ALLOWED:
             # DML against a transaction this session already has in
             # flight may still run — "finish what you started".  Every
@@ -635,6 +669,15 @@ class DatabaseServer:
         else:
             serializable, raw_at = _arity(args, 2)
             at_ts = None if raw_at is None else _as_int(raw_at, "at_ts")
+        repl = self.replication
+        if repl is not None and repl.role == "replica" and at_ts is None:
+            if serializable:
+                raise ReplicationError(
+                    "replica reads are snapshot-pinned; serializable "
+                    "transactions must run on the leader")
+            # pin the snapshot at the replay watermark: stale-bounded,
+            # never fractured (see repro.replication.follower)
+            at_ts = repl.read_ts()
         txn = await self._run(
             session, Command.BEGIN,
             lambda: self.db.begin(serializable=bool(serializable),
@@ -919,13 +962,52 @@ class DatabaseServer:
         ratcheting form while refreshing its cluster-wide read timestamp,
         so a quiet shard cannot drag the global minimum into the past.
         """
+        repl = self.replication
         if not args:
+            if repl is not None and repl.role == "replica":
+                # a replica's closed timestamp is its replay watermark:
+                # the highest snapshot it can serve without fracturing
+                return await self._run(session, Command.CLOSED_TS,
+                                       repl.read_ts)
             return await self._run(session, Command.CLOSED_TS,
                                    self.db.closed_ts)
         (raw,) = _arity(args, 1)
         target = _as_int(raw, "timestamp")
         return await self._run(session, Command.CLOSED_TS,
                                lambda: self.db.advance_to(target))
+
+    async def _cmd_wal_subscribe(self, session: Session,
+                                 args: tuple) -> tuple:
+        """Register a follower's replication slot; returns
+        ``(epoch, durable_seq)``."""
+        follower_id, start_seq = _arity(args, 2)
+        fid = _as_str(follower_id, "follower id")
+        seq = _as_int(start_seq, "start seq")
+
+        def work() -> tuple:
+            info = self._replication_source().subscribe(fid, seq)
+            return info["epoch"], info["durable_seq"]
+        return await self._run(session, Command.WAL_SUBSCRIBE, work)
+
+    async def _cmd_wal_fetch(self, session: Session, args: tuple) -> tuple:
+        """One shipped WAL frame:
+        ``(epoch, since_seq, blob, durable_seq, closed_ts)``."""
+        follower_id, epoch, since_seq, acked_seq, limit = _arity(args, 5)
+        fid = _as_str(follower_id, "follower id")
+        ep = _as_int(epoch, "epoch")
+        since = _as_int(since_seq, "since seq")
+        acked = _as_int(acked_seq, "acked seq")
+        lim = _as_int(limit, "limit")
+        return await self._run(
+            session, Command.WAL_FETCH,
+            lambda: self._replication_source().fetch(fid, ep, since,
+                                                     acked, lim))
+
+    def _replication_source(self):
+        if self.replication is None:
+            raise ReplicationError(
+                "this node has no replication hub attached")
+        return self.replication
 
     async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
         _arity(args, 0)

@@ -170,6 +170,10 @@ class TransactionManager:
         waiter that wakes up always observes the holder's final state.
         """
         txn._assert_active()
+        if txn.serializable:
+            # a transaction doomed by SSI victim selection dies here at
+            # the latest — before its COMMIT record can become durable
+            self.ssi.before_commit(txn)
         if self.wal is not None:
             self.wal.log_commit(txn.txid)
         with self._mu:

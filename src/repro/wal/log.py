@@ -40,6 +40,13 @@ class WriteAheadLog:
         self._durable_upto = 0   # bytes durable incl. the partial tail page
         self._history: list[WalRecord] = []
         self._durable_count = 0  # records fully covered by the last force
+        #: global sequence number of ``_history[0]`` — checkpoint
+        #: truncation and recycling drop records from the front, and
+        #: replication needs addresses that survive both
+        self._base_seq = 0
+        #: replication slots: follower id → lowest global seq the
+        #: follower may still fetch; their minimum clamps truncation
+        self._slots: dict[str, int] = {}
         self.records_written = 0
         self.bytes_written = 0
         self.forces = 0
@@ -201,6 +208,7 @@ class WriteAheadLog:
             self._flushed_upto = 0
             self._appended_upto = 0
             self._durable_upto = 0
+            self._base_seq += len(self._history)
             self._buffer.clear()
             self._history.clear()
             self._durable_count = 0
@@ -244,6 +252,11 @@ class WriteAheadLog:
             # a concurrent recycle() may have emptied the history since
             # the anchor was snapshotted
             redo_index = min(redo_index, len(self._history))
+            if self._slots:
+                # retention floor: keep everything a subscribed follower
+                # has not yet fetched, so the shipped stream never gaps
+                floor = min(self._slots.values()) - self._base_seq
+                redo_index = min(redo_index, max(0, floor))
             self._append_locked(WalRecord(
                 WalRecordType.CHECKPOINT, -1, redo_index,
                 payload=struct.pack("<q", self._appended_upto)))
@@ -268,6 +281,7 @@ class WriteAheadLog:
         full_pages, _remainder = divmod(durable_len, self.page_size)
         old_footprint = self._next_lba
         self._history = retained
+        self._base_seq += redo_index
         self._durable_count = durable_retained
         self._appended_upto = len(data)
         self._durable_upto = durable_len
@@ -317,6 +331,74 @@ class WriteAheadLog:
         """
         with self._mu:
             return list(self._history[:self._durable_count])
+
+    # -- replication (WAL shipping) -----------------------------------------------
+
+    def durable_seq(self) -> int:
+        """Global sequence number one past the last durable record.
+
+        Unlike the byte LSN cursor, global sequence numbers survive
+        checkpoint truncation and recycling: record ``i`` of the current
+        in-memory history has global seq ``_base_seq + i``.
+        """
+        with self._mu:
+            return self._base_seq + self._durable_count
+
+    def records_since(self, seq: int,
+                      limit: int = 512) -> tuple[list[WalRecord], int]:
+        """Durable records starting at global seq ``seq`` (the ship unit).
+
+        Returns ``(records, durable_seq)`` where ``records`` is at most
+        ``limit`` records with global sequences ``seq, seq+1, ...`` and
+        ``durable_seq`` is the current durable horizon (sampled under the
+        same mutex, so a caller that reaches it has seen everything that
+        was durable at sampling time).  ``seq`` below the retained base
+        raises — the follower's slot should have prevented truncation
+        past it, so a gap is a protocol violation, not a recoverable lag.
+        """
+        with self._mu:
+            if seq < self._base_seq:
+                raise ValueError(
+                    f"WAL seq {seq} is below the retained base "
+                    f"{self._base_seq}: the log was truncated past this "
+                    f"follower (full resync required)")
+            start = seq - self._base_seq
+            end = min(self._durable_count, start + max(1, limit))
+            records = (list(self._history[start:end])
+                       if start < end else [])
+            return records, self._base_seq + self._durable_count
+
+    def register_slot(self, follower_id: str, start_seq: int) -> None:
+        """Create (or rewind) a replication slot pinned at ``start_seq``.
+
+        While the slot exists, checkpoint truncation retains every record
+        at or above the slot's position.
+        """
+        with self._mu:
+            if start_seq < self._base_seq:
+                raise ValueError(
+                    f"cannot subscribe at seq {start_seq}: the log is "
+                    f"truncated up to {self._base_seq} (full resync "
+                    f"required)")
+            self._slots[follower_id] = start_seq
+
+    def advance_slot(self, follower_id: str, acked_seq: int) -> None:
+        """Ratchet a slot forward: the follower has durably applied
+        everything below ``acked_seq``."""
+        with self._mu:
+            current = self._slots.get(follower_id)
+            if current is not None and acked_seq > current:
+                self._slots[follower_id] = acked_seq
+
+    def drop_slot(self, follower_id: str) -> None:
+        """Remove a replication slot (unsubscribe)."""
+        with self._mu:
+            self._slots.pop(follower_id, None)
+
+    def slots(self) -> dict[str, int]:
+        """Current replication slots (follower id → retained seq floor)."""
+        with self._mu:
+            return dict(self._slots)
 
     def replay(self) -> list[WalRecord]:
         """Return the full logical record history (recovery tests).

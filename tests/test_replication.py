@@ -1,0 +1,282 @@
+"""WAL-shipping replication: apply, watermark, resume, fencing, slots.
+
+In-process pairs throughout — the :class:`ReplicationHub` is handed to
+the :class:`WalFollower` directly as its source (it speaks the same
+``subscribe``/``fetch`` surface as the wire's ``RemoteSource``), so
+these tests exercise the replication state machines without sockets.
+The wire path and the full failover story are covered end to end by
+``repro.experiments.failover`` (CI's replication-smoke job).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ReplicationError
+from repro.db.database import Database, EngineKind
+from repro.db.recovery import crash, recover
+from repro.replication import REPLICA_TXID_BASE, ReplicationHub, WalFollower
+from tests.conftest import make_accounts_db
+
+
+def make_pair(batch_limit: int = 2) -> tuple[Database, ReplicationHub,
+                                             Database, WalFollower]:
+    """A leader with a hub and a connected follower over a twin schema."""
+    leader = make_accounts_db(EngineKind.SIASV)
+    hub = ReplicationHub(leader)
+    replica = make_accounts_db(EngineKind.SIASV)
+    follower = WalFollower(replica, hub, batch_limit=batch_limit)
+    follower.connect()
+    return leader, hub, replica, follower
+
+
+def seed(leader: Database, rows: list[tuple]) -> None:
+    txn = leader.begin()
+    for row in rows:
+        leader.insert(txn, "accounts", row)
+    leader.commit(txn)
+
+
+def balances(db: Database, txn) -> dict[int, float]:
+    return {row[0]: row[2] for _ref, row in db.scan(txn, "accounts")}
+
+
+class TestApply:
+    def test_replicates_insert_update_delete(self):
+        leader, _hub, replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0), (2, "b", 20.0)])
+        txn = leader.begin()
+        (ref1, row1), = leader.lookup(txn, "accounts", "pk", 1)
+        leader.update(txn, "accounts", ref1, (1, "a", 15.0))
+        (ref2, _), = leader.lookup(txn, "accounts", "pk", 2)
+        leader.delete(txn, "accounts", ref2)
+        leader.commit(txn)
+
+        follower.catch_up()
+        read = follower.begin_read()
+        assert balances(replica, read) == {1: 15.0}
+        # index entries replicate too, not just the heap
+        (hit,) = replica.lookup(read, "accounts", "pk", 1)
+        assert hit[1] == (1, "a", 15.0)
+        assert replica.lookup(read, "accounts", "pk", 2) == []
+        replica.commit(read)
+
+    def test_local_txids_clear_of_shipped_ones(self):
+        _leader, _hub, replica, follower = make_pair()
+        read = follower.begin_read()
+        assert read.txid >= REPLICA_TXID_BASE
+        replica.commit(read)
+
+
+class TestWatermark:
+    def test_partial_transaction_never_visible(self):
+        """A transaction whose records straddle frames is invisible until
+        its COMMIT ships — and the watermark only then exposes it."""
+        leader, _hub, replica, follower = make_pair(batch_limit=2)
+        seed(leader, [(1, "a", 100.0), (2, "b", 100.0)])
+        follower.catch_up()
+
+        txn = leader.begin()
+        (ref1, _), = leader.lookup(txn, "accounts", "pk", 1)
+        (ref2, _), = leader.lookup(txn, "accounts", "pk", 2)
+        leader.update(txn, "accounts", ref1, (1, "a", 60.0))
+        leader.update(txn, "accounts", ref2, (2, "b", 140.0))
+        leader.commit(txn)  # 2 UPDATEs + COMMIT: two frames at batch 2
+
+        before = follower.watermark
+        follower.catch_up(max_frames=1)  # UPDATE records only, no COMMIT
+        assert follower.watermark == before
+        read = follower.begin_read()
+        assert balances(replica, read) == {1: 100.0, 2: 100.0}
+        replica.commit(read)
+
+        follower.catch_up()
+        assert follower.watermark > before
+        read = follower.begin_read()
+        assert balances(replica, read) == {1: 60.0, 2: 140.0}
+        replica.commit(read)
+
+
+class TestRestartResume:
+    def test_resume_from_marker_no_double_apply(self):
+        """A restarted follower resumes at its durable marker and applies
+        nothing twice — re-delivered transactions dedupe via the clog."""
+        leader, hub, replica, follower = make_pair(batch_limit=2)
+        seed(leader, [(1, "a", 10.0)])
+        # interleave two writers so the COMMIT of one (B) lands while the
+        # other (A) still has records pending: the restart marker then
+        # points below B's applied COMMIT, forcing a re-delivery of it
+        a = leader.begin()
+        leader.insert(a, "accounts", (2, "a-row", 2.0))
+        b = leader.begin()
+        leader.insert(b, "accounts", (3, "b-row", 3.0))
+        leader.commit(b)
+        (ref, _), = leader.lookup(a, "accounts", "pk", 2)
+        leader.update(a, "accounts", ref, (2, "a-row", 4.0))
+        leader.commit(a)
+
+        follower.catch_up()
+        assert follower.acked_seq == follower.fetch_seq
+        read = follower.begin_read()
+        assert balances(replica, read) == {1: 10.0, 2: 4.0, 3: 3.0}
+        replica.commit(read)
+
+        crash(replica)
+        recover(replica)
+        resumed = WalFollower(replica, hub, batch_limit=2)
+        assert resumed.fetch_seq > 0  # resumed from the marker, not 0
+        resumed.connect()
+        applied = resumed.catch_up()
+        assert applied == 0  # nothing durable was left unshipped
+        read = resumed.begin_read()
+        assert balances(replica, read) == {1: 10.0, 2: 4.0, 3: 3.0}
+        (hit,) = replica.lookup(read, "accounts", "pk", 3)
+        assert hit[1] == (3, "b-row", 3.0)
+        replica.commit(read)
+
+    def test_restart_mid_pending_dedupes_redelivery(self):
+        """Crash while a transaction is half-shipped: the marker anchors
+        below it, so already-applied neighbours are re-delivered and must
+        dedupe instead of double-applying."""
+        leader, hub, replica, follower = make_pair(batch_limit=2)
+        seed(leader, [(1, "a", 10.0)])
+        follower.catch_up()
+        a = leader.begin()
+        leader.insert(a, "accounts", (2, "a-row", 2.0))
+        b = leader.begin()
+        leader.insert(b, "accounts", (3, "b-row", 3.0))
+        leader.commit(b)
+        (ref, _), = leader.lookup(a, "accounts", "pk", 2)
+        leader.update(a, "accounts", ref, (2, "a-row", 4.0))
+        leader.commit(a)
+        # records: [A-ins, B-ins], [B-commit, A-upd], [A-commit] — stop
+        # after two frames: B is applied, A is pending, marker = A's start
+        follower.catch_up(max_frames=2)
+        assert follower.acked_seq < follower.fetch_seq
+
+        crash(replica)
+        recover(replica)
+        resumed = WalFollower(replica, hub, batch_limit=2)
+        resumed.connect()
+        resumed.catch_up()
+        assert resumed.deduped_txns >= 1  # B arrived again, applied once
+        read = resumed.begin_read()
+        assert balances(replica, read) == {1: 10.0, 2: 4.0, 3: 3.0}
+        (hit,) = replica.lookup(read, "accounts", "pk", 3)
+        assert hit[1] == (3, "b-row", 3.0)
+        replica.commit(read)
+
+
+class TestFencing:
+    def test_promotion_discards_pending_and_bumps_epoch(self):
+        leader, _hub, replica, follower = make_pair(batch_limit=2)
+        seed(leader, [(1, "a", 10.0), (2, "b", 20.0)])
+        follower.catch_up()
+        txn = leader.begin()
+        (ref1, _), = leader.lookup(txn, "accounts", "pk", 1)
+        leader.update(txn, "accounts", ref1, (1, "a", 99.0))
+        (ref2, _), = leader.lookup(txn, "accounts", "pk", 2)
+        leader.update(txn, "accounts", ref2, (2, "b", 99.0))
+        leader.commit(txn)
+        follower.catch_up(max_frames=1)  # UPDATEs shipped, COMMIT not
+
+        epoch = follower.promote()
+        assert epoch == 2
+        assert follower.role == "leader"
+        # the half-shipped transaction died with the old epoch
+        read = follower.begin_read()
+        assert balances(replica, read) == {1: 10.0, 2: 20.0}
+        replica.commit(read)
+        # the promoted node accepts writes and serves its own hub
+        txn = replica.begin()
+        (ref, _), = replica.lookup(txn, "accounts", "pk", 1)
+        replica.update(txn, "accounts", ref, (1, "a", 11.0))
+        replica.commit(txn)
+        info = follower.subscribe("replica-2", 0)
+        assert info["epoch"] == 2
+
+    def test_zombie_leader_fetch_refused(self):
+        """After promotion the old hub's epoch is dead: fetches carrying
+        the new epoch are refused by the zombie, and a fenced zombie
+        refuses everything."""
+        leader, hub, _replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0)])
+        follower.catch_up()
+        follower.promote()
+
+        with pytest.raises(ReplicationError):
+            hub.fetch(follower.follower_id, follower.epoch,
+                      follower.fetch_seq, follower.acked_seq)
+        hub.fence()
+        with pytest.raises(ReplicationError):
+            hub.fetch(follower.follower_id, 1, follower.fetch_seq,
+                      follower.acked_seq)
+        with pytest.raises(ReplicationError):
+            hub.subscribe("anyone", 0)
+
+    def test_follower_refuses_zombie_frames(self):
+        """Frames stamped with a stale epoch are refused follower-side —
+        the zombie's serving path may not even know it was deposed."""
+        leader, hub, _replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0)])
+        follower.catch_up()
+
+        class ZombieSource:
+            def subscribe(self, follower_id, start_seq):
+                return hub.subscribe(follower_id, start_seq)
+
+            def fetch(self, follower_id, epoch, since_seq, acked_seq,
+                      limit):
+                frame = hub.fetch(follower_id, epoch, since_seq,
+                                  acked_seq, limit)
+                # a stale stamp, as a deposed leader would produce
+                return (0,) + frame[1:]
+
+        follower.source = ZombieSource()
+        seed(leader, [(2, "b", 20.0)])
+        with pytest.raises(ReplicationError, match="fenced"):
+            follower.catch_up()
+
+
+class TestSlots:
+    def test_slot_clamps_checkpoint_truncation(self):
+        """While a follower lags, its slot pins the log; once it acks,
+        truncation may proceed and pre-base fetches are refused."""
+        leader, hub, _replica, follower = make_pair()
+        for i in range(10, 20):
+            seed(leader, [(i, f"row-{i}", 1.0)])
+        wal = leader.wal
+        assert wal.slots()[follower.follower_id] == 0
+
+        wal.log_checkpoint(wal.durable_seq())  # wants to drop everything
+        records, _ = wal.records_since(0)      # slot held it all back
+        assert records
+
+        follower.catch_up()                    # acks up to the horizon
+        assert wal.slots()[follower.follower_id] > 0
+        wal.log_checkpoint(wal.durable_seq())
+        with pytest.raises(ValueError, match="truncated"):
+            wal.records_since(0)
+
+    def test_subscribe_below_base_requires_resync(self):
+        leader, hub, _replica, _follower = make_pair()
+        for i in range(10, 20):
+            seed(leader, [(i, f"row-{i}", 1.0)])
+        hub.unsubscribe("replica-1")
+        leader.wal.log_checkpoint(leader.wal.durable_seq())
+        with pytest.raises(ReplicationError, match="resync"):
+            hub.subscribe("late-joiner", 0)
+
+
+class TestEngineGate:
+    def test_si_baseline_refuses_replication(self):
+        """Only SIAS-V relations replicate: the SI baseline has no
+        record-redo apply path for the follower to ride."""
+        leader = make_accounts_db(EngineKind.SI)
+        hub = ReplicationHub(leader)
+        replica = make_accounts_db(EngineKind.SI)
+        follower = WalFollower(replica, hub)
+        follower.connect()
+        seed(leader, [(1, "a", 10.0)])
+        with pytest.raises(ReplicationError, match="SI baseline"):
+            follower.catch_up()

@@ -68,6 +68,12 @@ class TestWriteSkew:
         assert total >= 0  # invariant preserved
         assert db.txn_mgr.ssi.aborts_prevented_anomalies >= 1
 
+    def test_ssi_write_skew_exactly_one_abort(self, bank):
+        """The classic bank pair: exactly one dies, the other commits."""
+        db, refs = bank
+        outcomes = _write_skew(db, refs, serializable=True)
+        assert sorted(outcomes) == ["aborted", "committed"]
+
 
 class TestNoFalsePositives:
     def test_sequential_serializable_txns_commit(self, bank):
@@ -143,6 +149,8 @@ class TestCommittedPivot:
         db.commit(reader)
 
     def test_pivot_aborts_before_commit_when_both_edges_form(self, bank):
+        """The still-active pivot is the victim — not the transaction
+        whose operation happened to close the structure."""
         db, refs = bank
         rx, ry = refs
         t_in = db.begin(serializable=True)   # will read what pivot writes
@@ -153,15 +161,89 @@ class TestCommittedPivot:
         db.update(pivot, "accounts", ry, (2, "b", y[2] - 1))  # pivot writes y
         db.read(t_in, "accounts", ry)        # t_in --rw--> pivot
         x = db.read(t_out, "accounts", rx)
+        # pivot --rw--> t_out completes the dangerous structure; the
+        # innocent closer sails through, the pivot is doomed
+        db.update(t_out, "accounts", rx, (1, "a", x[2] - 1))
+        db.commit(t_out)
+        db.commit(t_in)
         with pytest.raises(SerializationError):
-            # pivot --rw--> t_out completes the dangerous structure
-            db.update(t_out, "accounts", rx, (1, "a", x[2] - 1))
-            db.commit(t_out)
-            # if the edge killed t_out instead, that is also acceptable —
-            # but one of them must die; the context manager catches it
-        for txn in (t_in, pivot, t_out):
-            if txn.phase.value == "active":
-                db.abort(txn)
+            db.commit(pivot)
+        db.abort(pivot)
+        assert db.txn_mgr.ssi.aborts_prevented_anomalies >= 1
+
+
+class TestVictimSelection:
+    """Regressions for the historical wrong-victim bug: the tracker used
+    to raise in whichever thread added the closing edge, leaving the real
+    victim running, and never withdrew an aborted neighbour's edges."""
+
+    def _three(self, db):
+        setup = db.begin()
+        rc = db.insert(setup, "accounts", (3, "c", 50.0))
+        db.commit(setup)
+        return rc
+
+    def test_wrong_victim_regression(self, bank):
+        """The acting transaction survives; the active pivot dies."""
+        db, refs = bank
+        ra, rb = refs
+        rc = self._three(db)
+        t1 = db.begin(serializable=True)
+        t2 = db.begin(serializable=True)
+        t3 = db.begin(serializable=True)
+        b = db.read(t1, "accounts", rb)
+        db.update(t1, "accounts", rb, (2, "b", b[2] + 1))  # t1 writes b
+        db.read(t2, "accounts", rb)          # t2 --rw--> t1 (t1 gains in)
+        c = db.read(t1, "accounts", rc)      # t1 reads c
+        # t1 --rw--> t3 closes the structure with t1 as the active pivot;
+        # before the fix this update raised in t3's thread instead
+        db.update(t3, "accounts", rc, (3, "c", c[2] + 1))
+        db.commit(t3)
+        db.commit(t2)
+        with pytest.raises(SerializationError):
+            db.commit(t1)
+        db.abort(t1)
+        assert db.txn_mgr.ssi.aborts_prevented_anomalies >= 1
+
+    def test_doomed_victim_dies_on_next_operation(self, bank):
+        """A doomed victim need not reach commit: its next data operation
+        executes the sentence."""
+        db, refs = bank
+        ra, rb = refs
+        rc = self._three(db)
+        t1 = db.begin(serializable=True)
+        t2 = db.begin(serializable=True)
+        t3 = db.begin(serializable=True)
+        b = db.read(t1, "accounts", rb)
+        db.update(t1, "accounts", rb, (2, "b", b[2] + 1))
+        db.read(t2, "accounts", rb)                        # t2 --rw--> t1
+        c = db.read(t1, "accounts", rc)
+        db.update(t3, "accounts", rc, (3, "c", c[2] + 1))  # t1 doomed
+        with pytest.raises(SerializationError):
+            db.read(t1, "accounts", ra)
+        db.abort(t1)
+        db.commit(t2)
+        db.commit(t3)
+
+    def test_aborted_neighbour_edges_withdrawn(self, bank):
+        """Edges from an aborted transaction are dropped, so a stale
+        half-structure cannot spuriously doom a later innocent pair."""
+        db, refs = bank
+        ra, rb = refs
+        t1 = db.begin(serializable=True)
+        t2 = db.begin(serializable=True)
+        t3 = db.begin(serializable=True)
+        db.read(t1, "accounts", ra)
+        a = db.read(t2, "accounts", ra)
+        db.update(t2, "accounts", ra, (1, "a", a[2] + 1))  # t1 --rw--> t2
+        db.abort(t1)                     # withdraws t1's edge into t2
+        b = db.read(t2, "accounts", rb)
+        # before the fix t2 still carried in_conflict from the aborted
+        # t1, so this edge (t2 --rw--> t3) killed an innocent party
+        db.update(t3, "accounts", rb, (2, "b", b[2] + 1))
+        db.commit(t2)
+        db.commit(t3)
+        assert db.txn_mgr.ssi.aborts_prevented_anomalies == 0
 
 
 class TestMixedModes:
