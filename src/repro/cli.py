@@ -13,9 +13,10 @@ Commands:
   write, recover, verify invariants (see ``docs/RECOVERY.md``);
 * ``chaos-sweep`` — network fault-injection sweep: break the connection
   at every k-th frame, verify settlement (see ``docs/SERVER.md``);
-* ``replicate`` — failover sweep: kill the WAL-shipping leader at every
-  k-th shipped frame, promote the replica, verify exactly-once
-  survival and snapshot isolation (see ``docs/REPLICATION.md``);
+* ``replicate`` — replication chaos sweeps (``--mode``): leader-kill
+  failover, follower-kill resync on a cascading chain, backup-source
+  kill, slot eviction under lag; each verifies exactly-once survival
+  and snapshot isolation (see ``docs/REPLICATION.md``);
 * ``cluster`` — VID-range sharded cluster: ``start`` a supervisor +
   router, ``status`` a running router, ``bench`` TPC-C through the
   router (see ``docs/CLUSTER.md``).
@@ -245,10 +246,14 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
 def _cmd_replicate(args: argparse.Namespace) -> int:
     from repro.experiments import failover
 
-    return failover.main(["--stride", str(args.stride),
-                          "--transfers", str(args.transfers),
-                          "--accounts", str(args.accounts),
-                          "--seed", str(args.seed)])
+    argv = ["--mode", args.mode, "--stride", str(args.stride)]
+    if args.transfers is not None:
+        argv += ["--transfers", str(args.transfers)]
+    if args.accounts is not None:
+        argv += ["--accounts", str(args.accounts)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    return failover.main(argv)
 
 
 def _cmd_si_check(args: argparse.Namespace) -> int:
@@ -461,15 +466,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=11)
 
     repl = sub.add_parser("replicate",
-                          help="failover sweep: kill the WAL-shipping "
-                               "leader at every k-th shipped frame, "
-                               "promote the replica, verify "
-                               "(docs/REPLICATION.md)")
+                          help="replication chaos sweeps: leader-kill "
+                               "failover, self-healing resync on a "
+                               "cascading chain, slot eviction under "
+                               "lag (docs/REPLICATION.md)")
+    repl.add_argument("--mode",
+                      choices=("failover", "resync", "resync-source",
+                               "eviction"),
+                      default="failover",
+                      help="failover: kill the leader at every shipped "
+                           "frame; resync: kill the progressing "
+                           "follower at every frame and backup chunk; "
+                           "resync-source: kill the backup source "
+                           "mid-backup; eviction: bounded retention "
+                           "under a lagging follower")
     repl.add_argument("--stride", type=int, default=1,
-                      help="kill at every stride-th applied frame")
-    repl.add_argument("--transfers", type=int, default=12)
-    repl.add_argument("--accounts", type=int, default=8)
-    repl.add_argument("--seed", type=int, default=23)
+                      help="kill at every stride-th eligible event")
+    repl.add_argument("--transfers", type=int, default=None)
+    repl.add_argument("--accounts", type=int, default=None)
+    repl.add_argument("--seed", type=int, default=None)
 
     sicheck = sub.add_parser("si-check",
                              help="replay a recorded history through the "

@@ -836,9 +836,11 @@ def main(argv: list[str] | None = None) -> int:
                         default="both")
     parser.add_argument("--stride", type=int, default=1,
                         help="fault at every stride-th network frame")
-    parser.add_argument("--transfers", type=int, default=30)
-    parser.add_argument("--accounts", type=int, default=8)
-    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--transfers", type=int, default=None,
+                        help="workload size (default 30; replication "
+                             "modes pick their own per-mode default)")
+    parser.add_argument("--accounts", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--cluster", action="store_true",
                         help="shard-fault mode: fault the router's shard "
                              "links of a 2PC cluster instead")
@@ -861,13 +863,32 @@ def main(argv: list[str] | None = None) -> int:
                              "leader at every stride-th shipped frame, "
                              "promote the replica, verify "
                              "(docs/REPLICATION.md)")
+    parser.add_argument("--failover-mode",
+                        choices=["failover", "resync", "resync-source",
+                                 "eviction"],
+                        default="failover",
+                        help="with --failover: which replication chaos "
+                             "scenario to run (resync kills the "
+                             "progressing follower of a cascading chain "
+                             "at every frame and backup chunk)")
     args = parser.parse_args(argv)
     if args.failover:
         from repro.experiments import failover
-        return failover.main(["--stride", str(args.stride),
-                              "--transfers", str(args.transfers),
-                              "--accounts", str(args.accounts),
-                              "--seed", str(args.seed)])
+        fo_argv = ["--mode", args.failover_mode,
+                   "--stride", str(args.stride)]
+        if args.transfers is not None:
+            fo_argv += ["--transfers", str(args.transfers)]
+        if args.accounts is not None:
+            fo_argv += ["--accounts", str(args.accounts)]
+        if args.seed is not None:
+            fo_argv += ["--seed", str(args.seed)]
+        return failover.main(fo_argv)
+    if args.transfers is None:
+        args.transfers = 30
+    if args.accounts is None:
+        args.accounts = 8
+    if args.seed is None:
+        args.seed = 11
     if args.cluster:
         cfg = ClusterChaosConfig(
             shards=args.shards, fault_mode=args.fault_mode,

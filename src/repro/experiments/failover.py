@@ -31,10 +31,23 @@ The oracle, per fault point:
   black-box SI checker (:mod:`repro.experiments.si_check`): snapshots
   spanning the failover are stale-bounded, never fractured.
 
+The module also hosts the **resync sweep** (``--mode resync`` /
+``resync-source`` / ``eviction``): a fully in-process
+leader → replica → replica cascading chain where every shipped frame and
+every installed base-backup chunk is a kill point.  The progressing
+follower (or the backup's source) is power-failed there, restarted, and
+must self-heal through its supervisor — reconnect, automatic full
+resync, re-bootstrap — until the whole chain converges to the root's
+exact state, with recorded replica reads passing the same black-box SI
+checker.  The eviction scenario runs the root under a slot-retention
+budget and drives a lagging follower into eviction and back through
+resync.
+
 Run it from the command line (also ``repro replicate`` and
 ``repro chaos-sweep --failover``)::
 
     python -m repro.experiments.failover --stride 3
+    python -m repro.experiments.failover --mode resync --stride 4
 """
 
 from __future__ import annotations
@@ -64,7 +77,12 @@ from repro.experiments.si_check import (
     RecordingDatabase,
     check_history,
 )
-from repro.replication import RemoteSource, ReplicationHub, WalFollower
+from repro.replication import (
+    FollowerSupervisor,
+    RemoteSource,
+    ReplicationHub,
+    WalFollower,
+)
 from repro.server.server import DatabaseServer, ServerConfig
 
 ACCOUNTS = Schema.of(("id", ColType.INT), ("owner", ColType.STR),
@@ -534,27 +552,570 @@ def run_sweep(cfg: FailoverSweepConfig) -> FailoverSweepReport:
     return report
 
 
+# ---------------------------------------------------------------------------
+# Resync sweep: kill a cascading chain at every progress event; it must
+# self-heal through automatic full resync and supervised reconnects
+# ---------------------------------------------------------------------------
+
+#: who dies at an eligible progress event: ``follower`` kills the node
+#: that just made progress (applied a frame, installed a backup chunk —
+#: so every frame *and* every mid-backup installer crash is swept);
+#: ``source`` kills the *upstream* node at every installed backup chunk —
+#: the leader of an in-flight base backup dies mid-image
+RESYNC_MODES = ("follower", "source")
+
+
+@dataclass
+class ResyncSweepConfig:
+    """One resync sweep's parameters (fully determined by the seed)."""
+
+    accounts: int = 6
+    transfers: int = 8
+    #: transfers shipped while the mid-chain replica is detached, so the
+    #: forced full resync bootstraps over real missed history
+    lag_transfers: int = 3
+    stride: int = 1            # kill at every stride-th eligible event
+    seed: int = 29
+    initial_balance: float = 100.0
+    #: records per shipped frame; tiny so kills straddle transactions
+    batch_limit: int = 2
+    #: image records per backup chunk; tiny so kills land mid-image
+    backup_chunk_records: int = 3
+    mode: str = "follower"
+    #: slot-retention budget for the eviction scenario
+    retention_budget: int = 24
+    #: supervision-step ceiling before a run is declared wedged
+    max_steps: int = 600
+
+
+@dataclass
+class ResyncOutcome:
+    """What happened at one kill point of the resync sweep."""
+
+    at_event: int
+    tripped: bool
+    resyncs: int               # full resyncs completed across the chain
+    restarts: int              # nodes power-failed and recovered
+    si_txns: int = 0
+    si_violations: int = 0
+
+
+@dataclass
+class ResyncSweepReport:
+    """Aggregate over every resync-sweep kill point tested."""
+
+    total_events: int
+    mode: str
+    outcomes: list[ResyncOutcome] = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def points_tripped(self) -> int:
+        return sum(1 for o in self.outcomes if o.tripped)
+
+    @property
+    def resyncs_total(self) -> int:
+        return sum(o.resyncs for o in self.outcomes)
+
+    @property
+    def restarts_total(self) -> int:
+        return sum(o.restarts for o in self.outcomes)
+
+    @property
+    def si_txns_checked(self) -> int:
+        return sum(o.si_txns for o in self.outcomes)
+
+
+class _Killed(Exception):
+    """Raised by a kill point right after power-failing its victim."""
+
+    def __init__(self, node: "_ChainNode") -> None:
+        super().__init__(f"killed {node.name}")
+        self.node = node
+
+
+@dataclass
+class _ChainNode:
+    """One member of the leader → r1 → r2 chain."""
+
+    name: str
+    db: Database
+    upstream: "_ChainNode | None" = None
+    cascade: bool = False
+    #: what this node serves: a ReplicationHub at the root, the current
+    #: WalFollower elsewhere (replaced wholesale on every restart)
+    serving: object = None
+    sup: FollowerSupervisor | None = None
+    down: bool = False
+    restarts: int = 0
+    #: resyncs completed by follower objects a restart already replaced
+    resyncs_done: int = 0
+
+    @property
+    def resyncs(self) -> int:
+        if self.upstream is None:
+            return 0
+        return self.resyncs_done + self.serving.resyncs
+
+
+class _ChainSource:
+    """The transport between chain nodes.
+
+    Delegates the replication-source surface to whatever the upstream
+    node is *currently* serving (its hub, or the follower object that
+    replaced a crashed one), and refuses with ``ConnectionError`` while
+    the node is down — a crashed process answers nothing.
+    """
+
+    def __init__(self, node: _ChainNode) -> None:
+        self.node = node
+
+    def _up(self):
+        if self.node.down:
+            raise ConnectionError(f"node {self.node.name} is down")
+        return self.node.serving
+
+    def subscribe(self, follower_id: str, start_seq: int) -> dict:
+        return self._up().subscribe(follower_id, start_seq)
+
+    def unsubscribe(self, follower_id: str) -> None:
+        self._up().unsubscribe(follower_id)
+
+    def fetch(self, follower_id: str, epoch: int, since_seq: int,
+              acked_seq: int, limit: int):
+        return self._up().fetch(follower_id, epoch, since_seq, acked_seq,
+                                limit)
+
+    def backup_begin(self, follower_id: str) -> dict:
+        return self._up().backup_begin(follower_id)
+
+    def backup_fetch(self, backup_id: str, epoch: int,
+                     chunk_index: int) -> list[tuple]:
+        return self._up().backup_fetch(backup_id, epoch, chunk_index)
+
+    def backup_end(self, backup_id: str) -> None:
+        self._up().backup_end(backup_id)
+
+
+class _Chain:
+    """A three-node leader → replica → replica chain under a kill plan.
+
+    Fully in-process and single-threaded: every supervision step, shipped
+    frame, and installed backup chunk happens inside a driver call, so
+    the k-th eligible event of every run is the same event count mode
+    saw, and a kill at it is exactly reproducible.
+    """
+
+    def __init__(self, cfg: ResyncSweepConfig, kill_at: int | None,
+                 retention_budget: int | None = None) -> None:
+        self.cfg = cfg
+        self.kill_at = kill_at
+        self.events = 0
+        self.tripped = False
+        self.steps = 0
+        self.history = History()
+        self.mirror: dict[int, float] = {}
+        self.rng = make_rng(cfg.seed, "resync-sweep", "workload")
+        self.leader = _ChainNode("leader", _new_db())
+        self.leader.serving = ReplicationHub(
+            self.leader.db, backup_chunk_records=cfg.backup_chunk_records,
+            max_retained_records=retention_budget)
+        self.r1 = _ChainNode("r1", _new_db(), upstream=self.leader,
+                             cascade=True)
+        self._attach(self.r1)
+        self.r2: _ChainNode | None = None
+        self.writer = RecordingDatabase(self.leader.db, self.history,
+                                        session="w0")
+        self.readers: dict[str, RecordingDatabase] = {
+            "r1": RecordingDatabase(self.r1.db, self.history,
+                                    session="read-r1")}
+        #: leader closed_ts after seeding — replica reads below it would
+        #: predate the initial rows and carry no checker obligation
+        self.floor = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def _attach(self, node: _ChainNode) -> None:
+        """Give ``node`` a fresh supervised follower over its upstream."""
+        follower = WalFollower(node.db, _ChainSource(node.upstream),
+                               follower_id=node.name,
+                               batch_limit=self.cfg.batch_limit,
+                               cascade=node.cascade)
+        if follower.hub is not None:
+            follower.hub.backup_chunk_records = \
+                self.cfg.backup_chunk_records
+        follower.on_resync_chunk = \
+            lambda _f, _i: self._event("chunk", node)
+        node.serving = follower
+        node.sup = FollowerSupervisor(
+            follower,
+            retry=RetryPolicy(base_delay_sec=0.0, max_delay_sec=0.0,
+                              jitter=False),
+            sleep=lambda _s: None,
+            on_frame=lambda _f: self._event("frame", node))
+
+    def start_tail(self) -> None:
+        """Truncate r1's WAL, then chain r2 off it: the grand-follower
+        can only join through a *cascading* online base backup."""
+        self.r1.db.checkpointer.run_now()
+        self.r2 = _ChainNode("r2", _new_db(), upstream=self.r1)
+        self._attach(self.r2)
+        self.readers["r2"] = RecordingDatabase(self.r2.db, self.history,
+                                               session="read-r2")
+
+    # -- the kill plan -------------------------------------------------------
+
+    def _event(self, kind: str, node: _ChainNode) -> None:
+        if self.cfg.mode == "source" and kind != "chunk":
+            return
+        self.events += 1
+        if self.kill_at is None or self.tripped \
+                or self.events != self.kill_at:
+            return
+        self.tripped = True
+        victim = node if self.cfg.mode == "follower" else node.upstream
+        victim.down = True
+        crash(victim.db)
+        raise _Killed(victim)
+
+    def _restart(self, node: _ChainNode) -> None:
+        """Power the victim back on: recover, re-wire, resume."""
+        node.restarts += 1
+        recover(node.db)
+        if node.upstream is None:
+            # a restarted backup source forgets its in-flight jobs; a
+            # mid-install client is refused and begins a new backup
+            self.leader.serving = ReplicationHub(
+                node.db,
+                backup_chunk_records=self.cfg.backup_chunk_records)
+        else:
+            node.resyncs_done += node.serving.resyncs
+            self._attach(node)
+        node.down = False
+
+    def _crank(self, node: _ChainNode) -> None:
+        try:
+            node.sup.step()
+        except _Killed as exc:
+            self._restart(exc.node)
+
+    def pump(self, goal, what: str) -> None:
+        """Supervise the chain until ``goal()`` holds (or declare it
+        wedged) — every failure mode must heal without driver help."""
+        nodes = [n for n in (self.r1, self.r2) if n is not None]
+        while not goal():
+            self.steps += 1
+            if self.steps > self.cfg.max_steps:
+                raise FailoverInvariantError(
+                    f"chain wedged while {what}: {self.cfg.max_steps} "
+                    f"supervision steps without converging")
+            for node in nodes:
+                self._crank(node)
+
+    # -- workload ------------------------------------------------------------
+
+    def seed(self) -> None:
+        db = self.leader.db
+        txn = db.begin()
+        db.bulk_insert(txn, "accounts", [
+            (i, f"acct-{i}", self.cfg.initial_balance)
+            for i in range(self.cfg.accounts)])
+        db.commit(txn)
+        for i in range(self.cfg.accounts):
+            self.mirror[i] = self.cfg.initial_balance
+            self.history.record_initial(
+                f"accounts/{i}", [i, f"acct-{i}",
+                                  self.cfg.initial_balance])
+        self.floor = db.closed_ts()
+        self.pump(lambda: self.r1.serving.watermark >= self.floor,
+                  "streaming the seed rows to r1")
+
+    def transfer(self) -> None:
+        """One confirmed transfer at the root (the root never dies with
+        a write in flight in this sweep — the failover sweep owns that)."""
+        cfg = self.cfg
+        src = self.rng.randrange(cfg.accounts)
+        dst = (src + 1 + self.rng.randrange(cfg.accounts - 1)) \
+            % cfg.accounts
+        amount = float(self.rng.randrange(1, 10))
+        txn = self.writer.begin()
+        (src_ref, src_row), = self.writer.lookup(txn, "accounts", "pk",
+                                                 src)
+        (dst_ref, dst_row), = self.writer.lookup(txn, "accounts", "pk",
+                                                 dst)
+        self.writer.update(txn, "accounts", src_ref,
+                           (src, src_row[1], src_row[2] - amount))
+        self.writer.update(txn, "accounts", dst_ref,
+                           (dst, dst_row[1], dst_row[2] + amount))
+        self.writer.commit(txn)
+        self.mirror[src] -= amount
+        self.mirror[dst] += amount
+
+    def force_root_resync(self) -> None:
+        """Detach r1, ship history past it, truncate the root's WAL: the
+        next fetch is refused below base and r1 must bootstrap from the
+        root's online base backup."""
+        for _ in range(self.cfg.lag_transfers):
+            self.transfer()
+        self.leader.serving.unsubscribe("r1")
+        self.leader.db.checkpointer.run_now()
+        target = self.leader.db.closed_ts()
+        self.pump(lambda: self.r1.serving.watermark >= target,
+                  "resyncing r1 from the root's base backup")
+
+    def replica_read(self, name: str) -> None:
+        """One recorded read-only pass, pinned at the replay watermark."""
+        node = self.r1 if name == "r1" else self.r2
+        reader = self.readers[name]
+        watermark = node.serving.watermark
+        if watermark < self.floor:
+            return  # freshly restarted; predates the seed rows
+        txn = reader.begin(at_ts=watermark)
+        for i in range(self.cfg.accounts):
+            reader.lookup(txn, "accounts", "pk", i)
+        reader.commit(txn)
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self) -> None:
+        """Exactly-once oracle on all three nodes of the settled chain."""
+        for node in (self.leader, self.r1, self.r2):
+            db = node.db
+            txn = db.begin()
+            rows = {row[0]: row for _ref, row in db.scan(txn, "accounts")}
+            if set(rows) != set(self.mirror):
+                raise FailoverInvariantError(
+                    f"{node.name}: row ids {sorted(rows)} != confirmed "
+                    f"ids {sorted(self.mirror)}")
+            for acct_id, expected in self.mirror.items():
+                got = rows[acct_id][2]
+                if got != expected:
+                    raise FailoverInvariantError(
+                        f"{node.name} account {acct_id}: balance {got} "
+                        f"!= confirmed {expected} — a confirmed transfer "
+                        f"was lost or double-applied through the resync")
+            total = sum(row[2] for row in rows.values())
+            if total != self.cfg.initial_balance * self.cfg.accounts:
+                raise FailoverInvariantError(
+                    f"{node.name}: money not conserved: {total} != "
+                    f"{self.cfg.initial_balance * self.cfg.accounts}")
+            for acct_id, row in rows.items():
+                hits = db.lookup(txn, "accounts", "pk", acct_id)
+                if len(hits) != 1 or hits[0][1] != row:
+                    raise FailoverInvariantError(
+                        f"{node.name}: pk index disagrees with scan for "
+                        f"id {acct_id}: {hits!r} vs {row!r}")
+            db.commit(txn)
+
+    def check_si(self) -> int:
+        records = self.history.to_records()
+        si_txns = sum(1 for r in records if r.get("type") == "txn")
+        violations = check_history(records)
+        if violations:
+            shown = "; ".join(str(v) for v in violations[:3])
+            raise FailoverInvariantError(
+                f"SI checker found {len(violations)} violation(s) in "
+                f"{si_txns} recorded txns: {shown}")
+        return si_txns
+
+    # -- one run -------------------------------------------------------------
+
+    def run(self) -> ResyncOutcome:
+        self.seed()
+        self.force_root_resync()
+        self.start_tail()
+        target = self.leader.db.closed_ts()
+        self.pump(lambda: self.r2.serving.watermark >= target,
+                  "bootstrapping r2 through the cascading backup")
+        for _ in range(self.cfg.transfers):
+            self.transfer()
+            self._crank(self.r1)
+            self._crank(self.r2)
+            self.replica_read("r1")
+            self.replica_read("r2")
+        final = self.leader.db.closed_ts()
+        self.pump(lambda: self.r1.serving.watermark >= final
+                  and self.r2.serving.watermark >= final,
+                  "converging the chain after the workload")
+        self.verify()
+        si_txns = self.check_si()
+        return ResyncOutcome(
+            at_event=self.kill_at or 0,
+            tripped=self.tripped,
+            resyncs=self.r1.resyncs + self.r2.resyncs,
+            restarts=(self.leader.restarts + self.r1.restarts
+                      + self.r2.restarts),
+            si_txns=si_txns,
+            si_violations=0,
+        )
+
+
+def count_resync_events(cfg: ResyncSweepConfig) -> int:
+    """Count mode: eligible events of one kill-free chain run."""
+    chain = _Chain(cfg, None)
+    outcome = chain.run()
+    if outcome.resyncs < 2:
+        raise FailoverInvariantError(
+            f"count mode completed only {outcome.resyncs} resyncs — the "
+            f"forced r1 bootstrap and the cascading r2 bootstrap must "
+            f"both run")
+    if chain.events == 0:
+        raise FailoverInvariantError(
+            "count mode saw no eligible events — the kill plan has "
+            "nothing to sweep")
+    return chain.events
+
+
+def run_resync_sweep(cfg: ResyncSweepConfig) -> ResyncSweepReport:
+    """Kill the chain at every ``stride``-th eligible event; verify.
+
+    Raises :class:`FailoverInvariantError` (with the kill point in the
+    message) the moment any invariant fails.
+    """
+    if cfg.mode not in RESYNC_MODES:
+        raise ValueError(f"unknown resync mode {cfg.mode!r} "
+                         f"(expected one of {RESYNC_MODES})")
+    total = count_resync_events(cfg)
+    report = ResyncSweepReport(total_events=total, mode=cfg.mode)
+    for k in range(1, total + 1, cfg.stride):
+        try:
+            outcome = _Chain(cfg, k).run()
+        except FailoverInvariantError as exc:
+            raise FailoverInvariantError(
+                f"[{cfg.mode} kill at event {k}] {exc}") from exc
+        if not outcome.tripped:
+            raise FailoverInvariantError(
+                f"kill at event {k} never fired (run saw fewer events "
+                f"than count mode)")
+        report.outcomes.append(outcome)
+    return report
+
+
+def run_eviction_scenario(cfg: ResyncSweepConfig) -> dict:
+    """Bounded retention under a lagging follower, healed by resync.
+
+    The root's WAL runs under ``retention_budget``; r1 stops fetching
+    while checkpointed transfers keep shipping, so honouring its slot
+    would exceed the budget — the slot is evicted, truncation proceeds,
+    and the evicted follower rejoins through an automatic full resync
+    (observed by its supervisor) while r2 stays chained through it.
+    """
+    chain = _Chain(cfg, None, retention_budget=cfg.retention_budget)
+    chain.seed()
+    chain.start_tail()
+    target = chain.leader.db.closed_ts()
+    chain.pump(lambda: chain.r2.serving.watermark >= target,
+               "bootstrapping r2 through the cascading backup")
+    wal = chain.leader.db.wal
+    rounds = 0
+    while wal.slots_evicted == 0:
+        rounds += 1
+        if rounds > 50:
+            raise FailoverInvariantError(
+                f"no slot eviction after {rounds} checkpointed transfers "
+                f"under budget {cfg.retention_budget}")
+        chain.transfer()
+        chain.leader.db.checkpointer.run_now()
+    retained = wal.retained_records()
+    if retained > cfg.retention_budget:
+        raise FailoverInvariantError(
+            f"retention not bounded after eviction: {retained} records "
+            f"kept under budget {cfg.retention_budget}")
+    for _ in range(cfg.transfers):
+        chain.transfer()
+        chain._crank(chain.r1)
+        chain._crank(chain.r2)
+        chain.replica_read("r1")
+        chain.replica_read("r2")
+    final = chain.leader.db.closed_ts()
+    chain.pump(lambda: chain.r1.serving.watermark >= final
+               and chain.r2.serving.watermark >= final,
+               "re-converging the chain after the eviction")
+    if chain.r1.resyncs < 1:
+        raise FailoverInvariantError(
+            "evicted follower converged without a full resync — it "
+            "must have read truncated history")
+    if chain.r1.sup.resyncs_observed < 1:
+        raise FailoverInvariantError(
+            "supervisor never observed the RESYNCING state")
+    chain.verify()
+    si_txns = chain.check_si()
+    return {
+        "evicted": wal.slots_evicted,
+        "retained": retained,
+        "budget": cfg.retention_budget,
+        "eviction_rounds": rounds,
+        "resyncs": chain.r1.resyncs + chain.r2.resyncs,
+        "si_txns": si_txns,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Failover sweep: kill the replication leader at "
-                    "every k-th shipped frame, promote, verify")
+        description="Replication chaos sweeps: leader-kill failover "
+                    "(default), self-healing resync on a cascading "
+                    "chain, and slot-eviction under lag")
+    parser.add_argument("--mode",
+                        choices=("failover", "resync", "resync-source",
+                                 "eviction"),
+                        default="failover",
+                        help="failover: kill the leader at every frame; "
+                             "resync: kill the progressing follower at "
+                             "every frame and backup chunk; "
+                             "resync-source: kill the backup source at "
+                             "every installed chunk; eviction: bounded "
+                             "retention under a lagging follower")
     parser.add_argument("--stride", type=int, default=1,
-                        help="kill at every stride-th applied frame")
-    parser.add_argument("--transfers", type=int, default=12)
-    parser.add_argument("--accounts", type=int, default=8)
-    parser.add_argument("--seed", type=int, default=23)
+                        help="kill at every stride-th eligible event")
+    parser.add_argument("--transfers", type=int, default=None)
+    parser.add_argument("--accounts", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     args = parser.parse_args(argv)
-    cfg = FailoverSweepConfig(accounts=args.accounts,
-                              transfers=args.transfers,
-                              stride=args.stride, seed=args.seed)
-    report = run_sweep(cfg)
-    print(f"failover: {report.points_tested} kill points over "
-          f"{report.total_frames} shipped frames "
-          f"({report.points_tripped} leaders killed and fenced, "
-          f"{report.uncertain_total} interrupted confirmations — "
-          f"{report.uncertain_survived} had replicated in time, "
-          f"{report.si_txns_checked} txns SI-checked: 0 violations) — "
-          f"all invariants held")
+    if args.mode == "failover":
+        cfg = FailoverSweepConfig(stride=args.stride)
+        if args.accounts is not None:
+            cfg.accounts = args.accounts
+        if args.transfers is not None:
+            cfg.transfers = args.transfers
+        if args.seed is not None:
+            cfg.seed = args.seed
+        report = run_sweep(cfg)
+        print(f"failover: {report.points_tested} kill points over "
+              f"{report.total_frames} shipped frames "
+              f"({report.points_tripped} leaders killed and fenced, "
+              f"{report.uncertain_total} interrupted confirmations — "
+              f"{report.uncertain_survived} had replicated in time, "
+              f"{report.si_txns_checked} txns SI-checked: 0 violations) "
+              f"— all invariants held")
+        return 0
+    rcfg = ResyncSweepConfig(stride=args.stride)
+    if args.accounts is not None:
+        rcfg.accounts = args.accounts
+    if args.transfers is not None:
+        rcfg.transfers = args.transfers
+    if args.seed is not None:
+        rcfg.seed = args.seed
+    if args.mode == "eviction":
+        facts = run_eviction_scenario(rcfg)
+        print(f"eviction: slot evicted after {facts['eviction_rounds']} "
+              f"lagging rounds ({facts['evicted']} evictions, "
+              f"{facts['retained']} records retained under budget "
+              f"{facts['budget']}), follower healed via "
+              f"{facts['resyncs']} resync(s), {facts['si_txns']} txns "
+              f"SI-checked: 0 violations — all invariants held")
+        return 0
+    rcfg.mode = "follower" if args.mode == "resync" else "source"
+    report = run_resync_sweep(rcfg)
+    print(f"resync[{report.mode}]: {report.points_tested} kill points "
+          f"over {report.total_events} progress events "
+          f"({report.points_tripped} nodes killed, "
+          f"{report.restarts_total} restarts, {report.resyncs_total} "
+          f"full resyncs, {report.si_txns_checked} txns SI-checked on "
+          f"the leader→replica→replica chain: 0 violations) — all "
+          f"invariants held")
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Leader side of WAL shipping: slots, fetch batches, epoch fencing.
+"""Leader side of WAL shipping: slots, fetch batches, backups, fencing.
 
 The hub is a thin privileged view over the node's own write-ahead log.
 Followers address the log by *global record sequence numbers*
@@ -13,26 +13,107 @@ the epoch it subscribed under; a mismatch raises
 After a failover the promoted follower bumps the epoch, so a zombie old
 leader — or a follower still talking to one — is refused deterministically
 rather than fed a diverging history.
+
+Online base backups: a follower that fell below the retained WAL base
+(its slot was dropped or evicted) bootstraps through
+``backup_begin`` / ``backup_fetch`` / ``backup_end`` — PostgreSQL's
+``pg_basebackup`` feeding a streaming standby.  ``backup_begin`` cuts a
+consistent image at the node's closed timestamp and pins the follower's
+slot at the redo anchor, so the image plus the stream resumed at the
+handle's ``resume_seq`` reconstructs exactly the leader's history: every
+transaction the image misses has all of its records at or above the
+anchor (see :meth:`~repro.wal.log.WriteAheadLog.redo_anchor_seq`), and
+every transaction the stream re-delivers is deduplicated on the replica
+by creation timestamp and commit-log fate.
+
+A hub normally serves a leader database and samples
+``db.closed_ts()``; a **cascading** hub on a replica is handed the
+follower's replay watermark as ``closed_ts_fn`` instead — the replica's
+own WAL (shipped records land there) is then a valid upstream for
+grand-followers, with the watermark playing the closed timestamp's role
+in the never-fractured argument.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.common.errors import ReplicationError
 from repro.db.database import Database
 
 
-class ReplicationHub:
-    """Serves the durable WAL tail of one leader database."""
+class _BackupJob:
+    """One in-flight base backup: a materialized consistent image."""
 
-    def __init__(self, db: Database, epoch: int = 1) -> None:
+    def __init__(self, backup_id: str, follower_id: str, epoch: int,
+                 resume_seq: int, closed_ts: int, durable_seq: int,
+                 entries: list[tuple], chunk_records: int) -> None:
+        self.backup_id = backup_id
+        self.follower_id = follower_id
+        self.epoch = epoch
+        self.resume_seq = resume_seq
+        self.closed_ts = closed_ts
+        self.durable_seq = durable_seq
+        #: flat image entries: (table, vid, create_ts, tombstone, payload)
+        self.entries = entries
+        self.chunk_records = max(1, chunk_records)
+        self.fetched_chunks = 0
+
+    @property
+    def chunks(self) -> int:
+        records = len(self.entries)
+        return (records + self.chunk_records - 1) // self.chunk_records
+
+    def chunk(self, index: int) -> list[tuple]:
+        if index < 0 or index >= max(1, self.chunks):
+            raise ReplicationError(
+                f"backup {self.backup_id!r} has {self.chunks} chunk(s), "
+                f"chunk {index} does not exist")
+        lo = index * self.chunk_records
+        return self.entries[lo:lo + self.chunk_records]
+
+    def handle(self) -> dict:
+        """The wire-friendly backup handle ``backup_begin`` returns."""
+        return {
+            "backup_id": self.backup_id,
+            "epoch": self.epoch,
+            "resume_seq": self.resume_seq,
+            "closed_ts": self.closed_ts,
+            "durable_seq": self.durable_seq,
+            "chunks": self.chunks,
+            "records": len(self.entries),
+        }
+
+
+class ReplicationHub:
+    """Serves the durable WAL tail (and base backups) of one node."""
+
+    def __init__(self, db: Database, epoch: int = 1,
+                 closed_ts_fn: Callable[[], int] | None = None,
+                 max_retained_records: int | None = None,
+                 backup_chunk_records: int = 64) -> None:
         self.db = db
         #: fencing token; bumped by whoever wins a failover
         self.epoch = epoch
         #: ``"leader"`` serves fetches and accepts writes; ``"fenced"``
         #: refuses both (a deposed leader that must not ack anything)
         self.role = "leader"
+        #: the closed timestamp shipped with every frame.  A leader hub
+        #: samples the transaction manager's watermark; a cascading hub
+        #: on a replica is handed the follower's replay watermark instead
+        #: (the highest timestamp the replica has *fully applied* — its
+        #: own ``db.closed_ts()`` would count replica-local read txids
+        #: and overshoot what is actually safe downstream).
+        self._closed_ts_fn = closed_ts_fn or db.closed_ts
+        if max_retained_records is not None:
+            db.wal.max_retained_records = max_retained_records
+        self.backup_chunk_records = backup_chunk_records
+        self._backups: dict[str, _BackupJob] = {}
+        self._backup_counter = 0
         self.shipped_frames = 0
         self.shipped_records = 0
+        self.backups_started = 0
+        self.backups_finished = 0
 
     # -- subscription -------------------------------------------------------
 
@@ -81,7 +162,7 @@ class ReplicationHub:
             raise ReplicationError(
                 f"fetch from {follower_id!r} carries epoch {epoch}, "
                 f"current epoch is {self.epoch}: the requester is fenced")
-        closed_ts = self.db.closed_ts()
+        closed_ts = self._closed_ts_fn()
         try:
             records, durable_seq = self.db.wal.records_since(since_seq,
                                                              limit)
@@ -93,6 +174,103 @@ class ReplicationHub:
         blob = b"".join(record.pack() for record in records)
         return self.epoch, since_seq, blob, durable_seq, closed_ts
 
+    # -- online base backup -------------------------------------------------
+
+    def backup_begin(self, follower_id: str) -> dict:
+        """Cut a consistent bootstrap image; returns the backup handle.
+
+        The cut, in order: force the WAL, sample the closed timestamp,
+        sample the redo anchor for it and pin the follower's slot there
+        (truncation cannot outrun the resume point while the image
+        installs), then materialize every visible version at the closed
+        timestamp under a pinned snapshot.  The image holds exactly the
+        committed transactions at or below ``closed_ts``; every
+        transaction above it has all of its records at or above
+        ``resume_seq`` (:meth:`~repro.wal.log.WriteAheadLog.redo_anchor_seq`),
+        so the resumed stream re-ships it in full and the replica's
+        commit-log dedupe absorbs any overlap — a transaction is never
+        half image, half stream.
+        """
+        self._require_leader()
+        wal = self.db.wal
+        wal.force()
+        closed_ts = self._closed_ts_fn()
+        resume_seq = wal.redo_anchor_seq(closed_ts)
+        try:
+            wal.register_slot(follower_id, resume_seq)
+        except ValueError as exc:
+            raise ReplicationError(str(exc)) from None
+        durable_seq = wal.durable_seq()
+        entries = self._capture_image(closed_ts)
+        self._backup_counter += 1
+        backup_id = f"{follower_id}#{self._backup_counter}"
+        job = _BackupJob(backup_id, follower_id, self.epoch, resume_seq,
+                         closed_ts, durable_seq, entries,
+                         self.backup_chunk_records)
+        self._backups[backup_id] = job
+        self.backups_started += 1
+        return job.handle()
+
+    def backup_fetch(self, backup_id: str, epoch: int,
+                     chunk_index: int) -> list[tuple]:
+        """One image chunk: ``(table, vid, create_ts, tombstone, payload)``
+        entries.  Chunks may be fetched in any order and re-fetched (a
+        crashed installer restarts the backup, but a retried chunk must
+        not fault)."""
+        self._require_leader()
+        job = self._backups.get(backup_id)
+        if job is None:
+            raise ReplicationError(
+                f"unknown backup {backup_id!r}: the backup source "
+                f"restarted, begin a new backup")
+        if epoch != self.epoch or job.epoch != self.epoch:
+            raise ReplicationError(
+                f"backup {backup_id!r} carries epoch {epoch}, current "
+                f"epoch is {self.epoch}: the requester is fenced")
+        job.fetched_chunks += 1
+        return job.chunk(chunk_index)
+
+    def backup_end(self, backup_id: str) -> None:
+        """Release a backup job (idempotent — a vanished job is fine)."""
+        if self._backups.pop(backup_id, None) is not None:
+            self.backups_finished += 1
+
+    def _capture_image(self, closed_ts: int) -> list[tuple]:
+        """Materialize every version visible at ``closed_ts``.
+
+        Runs under a snapshot transaction pinned at the cut timestamp:
+        the pin freezes commit-log verdicts below it and holds the GC
+        horizon at ``closed_ts + 1``, so chain descent cannot race a
+        concurrent reclaim.  Visible tombstones are captured too — the
+        installer must know a deleted item is *deleted*, not merely
+        absent, when resyncing over stale state.
+        """
+        from repro.core.engine import SiasVEngine
+
+        txn = self.db.begin(at_ts=closed_ts)
+        clog = self.db.txn_mgr.clog
+        entries: list[tuple] = []
+        try:
+            for name, relation in self.db.tables.items():
+                engine = relation.engine
+                if not isinstance(engine, SiasVEngine):
+                    raise ReplicationError(
+                        f"relation {name!r} runs the SI baseline engine, "
+                        f"which has no record-level backup image")
+                for vid in range(engine.allocator.high_water):
+                    tid = engine.vidmap.get(vid)
+                    while tid is not None:
+                        version = engine.store.read(tid)
+                        if txn.snapshot.sees_ts(version.create_ts, clog):
+                            entries.append((name, vid, version.create_ts,
+                                            bool(version.tombstone),
+                                            bytes(version.payload)))
+                            break
+                        tid = version.pred
+        finally:
+            self.db.commit(txn)
+        return entries
+
     # -- fencing ------------------------------------------------------------
 
     def fence(self) -> None:
@@ -100,9 +278,11 @@ class ReplicationHub:
 
         Applied to a restarted old leader after a failover (the STONITH
         step) so it can never again ack a write or ship a frame from the
-        dead epoch.
+        dead epoch.  In-flight backups die with it — their handles carry
+        the dead epoch and are refused.
         """
         self.role = "fenced"
+        self._backups.clear()
 
     def _require_leader(self) -> None:
         if self.role != "leader":
@@ -113,11 +293,18 @@ class ReplicationHub:
 
     def status(self) -> dict:
         """Replication facts for STATS / SNAPSHOT surfacing."""
+        wal = self.db.wal
         return {
             "role": self.role,
             "epoch": self.epoch,
-            "durable_seq": self.db.wal.durable_seq(),
-            "slots": self.db.wal.slots(),
+            "durable_seq": wal.durable_seq(),
+            "slots": wal.slots(),
+            "slots_evicted": wal.slots_evicted,
+            "retained_records": wal.retained_records(),
+            "max_retained_records": wal.max_retained_records or 0,
             "shipped_frames": self.shipped_frames,
             "shipped_records": self.shipped_records,
+            "backups_started": self.backups_started,
+            "backups_finished": self.backups_finished,
+            "active_backups": len(self._backups),
         }

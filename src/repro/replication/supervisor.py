@@ -1,0 +1,170 @@
+"""Supervised follower loop: reconnect, resync, back off, report.
+
+PR 9's follower was hand-cranked — every ``connect``/``catch_up`` call
+belonged to the experiment driving it, and a dropped connection was the
+caller's problem.  :class:`FollowerSupervisor` owns that loop: it runs
+connect→catch_up continuously, absorbs transport failures with
+full-jitter exponential backoff (the same
+:class:`~repro.client.pool.RetryPolicy` schedule the client pool uses,
+for the same reason — followers shed by one leader hiccup must not
+reconnect in lockstep), lets the follower's automatic full resync run
+under it, and exposes a typed state machine for health surfacing:
+
+* ``STREAMING`` — connected and applying frames,
+* ``RESYNCING`` — mid base-backup bootstrap (set by the follower's
+  ``resync`` through :meth:`note_resync`),
+* ``DISCONNECTED`` — last step failed on transport or fencing; backing
+  off before the next attempt,
+* ``PROMOTED`` — this node was promoted; the loop stops looping.
+
+``step()`` is the unit of progress and is what tests and the chaos
+sweep drive deterministically; ``start()``/``stop()`` wrap it in a
+daemon thread for live deployments.  State and counters ride the
+follower's ``status()`` into STATS and the monitoring SNAPSHOT.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+
+from repro.client.pool import RetryPolicy
+from repro.common.errors import ReplicationError, ServiceError
+
+
+class FollowerState(Enum):
+    """Health of a supervised follower."""
+
+    DISCONNECTED = "disconnected"
+    STREAMING = "streaming"
+    RESYNCING = "resyncing"
+    PROMOTED = "promoted"
+
+
+#: errors that mean "the upstream is unreachable", not "the stream is
+#: wrong": socket failures plus the client pool's shed/deadline/circuit
+#: refusals.  ReplicationError is handled separately — fencing needs a
+#: re-subscribe (epoch adoption), not just a retry.
+TRANSPORT_ERRORS = (ConnectionError, OSError, ServiceError)
+
+
+class FollowerSupervisor:
+    """Keeps a :class:`~repro.replication.follower.WalFollower` streaming."""
+
+    def __init__(self, follower, retry: RetryPolicy | None = None,
+                 sleep=time.sleep, on_frame=None) -> None:
+        self.follower = follower
+        follower.supervisor = self
+        #: per-applied-frame hook threaded into ``catch_up`` — the chaos
+        #: sweep's kill points count frames through this
+        self.on_frame = on_frame
+        self.retry = retry if retry is not None else RetryPolicy(
+            base_delay_sec=0.01, max_delay_sec=1.0)
+        self._sleep = sleep
+        self.state = FollowerState.DISCONNECTED
+        self._connected = False
+        #: consecutive failed steps — indexes the backoff schedule
+        self.failures = 0
+        self.steps = 0
+        self.disconnects = 0
+        self.fence_refusals = 0
+        self.resyncs_observed = 0
+        self.backoff_sec_total = 0.0
+        self.last_error: str | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- the loop -----------------------------------------------------------
+
+    def step(self) -> FollowerState:
+        """One supervision round: (re)connect if needed, then catch up.
+
+        Never raises on transport or fencing failures — those set
+        ``DISCONNECTED``, record the error, and sleep one full-jitter
+        backoff interval so the caller can just loop.
+        """
+        self.steps += 1
+        follower = self.follower
+        if follower.role == "leader":
+            self.state = FollowerState.PROMOTED
+            return self.state
+        try:
+            if not self._connected:
+                follower.connect()
+                self._connected = True
+            follower.catch_up(on_frame=self.on_frame)
+        except TRANSPORT_ERRORS as exc:
+            if isinstance(exc, ReplicationError):
+                # fenced, gapped, or a deposed upstream: the fix is a
+                # fresh subscribe (which adopts the new epoch), not a
+                # blind retry of the same fetch
+                self.fence_refusals += 1
+            else:
+                self.disconnects += 1
+            self._connected = False
+            self.failures += 1
+            self.state = FollowerState.DISCONNECTED
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            self._backoff()
+            return self.state
+        self.failures = 0
+        self.last_error = None
+        self.state = FollowerState.STREAMING
+        return self.state
+
+    def _backoff(self) -> None:
+        delay = self.retry.delay(self.failures - 1)
+        self.backoff_sec_total += delay
+        if delay > 0:
+            self._sleep(delay)
+
+    def note_resync(self) -> None:
+        """Called by the follower when its automatic resync kicks in."""
+        self.state = FollowerState.RESYNCING
+        self.resyncs_observed += 1
+
+    # -- thread wrapper -----------------------------------------------------
+
+    def run(self, max_steps: int | None = None) -> FollowerState:
+        """Loop :meth:`step` until promoted, stopped, or ``max_steps``."""
+        while not self._stop.is_set():
+            if self.step() is FollowerState.PROMOTED:
+                break
+            if max_steps is not None:
+                max_steps -= 1
+                if max_steps <= 0:
+                    break
+        return self.state
+
+    def start(self) -> None:
+        """Run the loop in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self.run,
+                                        name="follower-supervisor",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the loop and join the thread."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self) -> dict:
+        """Supervision facts for STATS / SNAPSHOT surfacing."""
+        return {
+            "state": self.state.value,
+            "steps": self.steps,
+            "failures": self.failures,
+            "disconnects": self.disconnects,
+            "fence_refusals": self.fence_refusals,
+            "resyncs": self.resyncs_observed,
+            "backoff_sec_total": round(self.backoff_sec_total, 6),
+            "last_error": self.last_error or "",
+        }

@@ -101,6 +101,10 @@ class Command(IntEnum):
     CLOSED_TS = 28
     WAL_SUBSCRIBE = 29
     WAL_FETCH = 30
+    WAL_UNSUBSCRIBE = 31
+    BACKUP_BEGIN = 32
+    BACKUP_FETCH = 33
+    BACKUP_END = 34
     SHUTDOWN = 99
 
 

@@ -116,6 +116,8 @@ _EXEMPT = frozenset({
     Command.STATS, Command.TXN_STATUS, Command.SHUTDOWN,
     Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
     Command.CLOSED_TS, Command.WAL_SUBSCRIBE, Command.WAL_FETCH,
+    Command.WAL_UNSUBSCRIBE, Command.BACKUP_BEGIN, Command.BACKUP_FETCH,
+    Command.BACKUP_END,
 })
 
 #: Commands a *draining* server still serves unconditionally: finishing
@@ -128,6 +130,8 @@ _DRAIN_ALLOWED = frozenset({
     Command.STATS, Command.SHUTDOWN,
     Command.PREPARE_TXN, Command.COMMIT_PREPARED, Command.ABORT_PREPARED,
     Command.CLOSED_TS, Command.WAL_SUBSCRIBE, Command.WAL_FETCH,
+    Command.WAL_UNSUBSCRIBE, Command.BACKUP_BEGIN, Command.BACKUP_FETCH,
+    Command.BACKUP_END,
 })
 
 #: Commands that mutate data or the catalog: a node whose replication
@@ -262,6 +266,10 @@ class DatabaseServer:
             Command.CLOSED_TS: self._cmd_closed_ts,
             Command.WAL_SUBSCRIBE: self._cmd_wal_subscribe,
             Command.WAL_FETCH: self._cmd_wal_fetch,
+            Command.WAL_UNSUBSCRIBE: self._cmd_wal_unsubscribe,
+            Command.BACKUP_BEGIN: self._cmd_backup_begin,
+            Command.BACKUP_FETCH: self._cmd_backup_fetch,
+            Command.BACKUP_END: self._cmd_backup_end,
             Command.SHUTDOWN: self._cmd_shutdown,
         }
 
@@ -495,6 +503,7 @@ class DatabaseServer:
             pass  # peer vanished mid-frame: treated as a disconnect
         finally:
             self._writers.pop(session.session_id, None)
+            self._drop_follower_slots(session)
             await self._abort_orphans(self.sessions.close(session))
             writer.close()
             with contextlib.suppress(ConnectionError, OSError):
@@ -647,6 +656,7 @@ class DatabaseServer:
             now = time.monotonic()
             for session in self.sessions.idle_sessions(now):
                 self.sessions.stats.idle_closed += 1
+                self._drop_follower_slots(session)
                 await self._abort_orphans(self.sessions.close(session))
                 writer = self._writers.pop(session.session_id, None)
                 if writer is not None:
@@ -986,8 +996,57 @@ class DatabaseServer:
 
         def work() -> tuple:
             info = self._replication_source().subscribe(fid, seq)
+            # the slot now belongs to this connection: when the session
+            # dies (disconnect, idle reap) the slot dies with it instead
+            # of pinning WAL retention until process death
+            session.slots.add(fid)
             return info["epoch"], info["durable_seq"]
         return await self._run(session, Command.WAL_SUBSCRIBE, work)
+
+    async def _cmd_wal_unsubscribe(self, session: Session,
+                                   args: tuple) -> None:
+        """Drop a follower's replication slot (releases its retention)."""
+        (follower_id,) = _arity(args, 1)
+        fid = _as_str(follower_id, "follower id")
+
+        def work() -> None:
+            self._replication_source().unsubscribe(fid)
+            session.slots.discard(fid)
+        return await self._run(session, Command.WAL_UNSUBSCRIBE, work)
+
+    async def _cmd_backup_begin(self, session: Session,
+                                args: tuple) -> dict:
+        """Cut an online base backup; returns the backup handle."""
+        (follower_id,) = _arity(args, 1)
+        fid = _as_str(follower_id, "follower id")
+
+        def work() -> dict:
+            handle = self._replication_source().backup_begin(fid)
+            session.slots.add(fid)
+            session.backups.add(handle["backup_id"])
+            return handle
+        return await self._run(session, Command.BACKUP_BEGIN, work)
+
+    async def _cmd_backup_fetch(self, session: Session,
+                                args: tuple) -> list:
+        """One backup image chunk."""
+        backup_id, epoch, chunk_index = _arity(args, 3)
+        bid = _as_str(backup_id, "backup id")
+        ep = _as_int(epoch, "epoch")
+        index = _as_int(chunk_index, "chunk index")
+        return await self._run(
+            session, Command.BACKUP_FETCH,
+            lambda: self._replication_source().backup_fetch(bid, ep, index))
+
+    async def _cmd_backup_end(self, session: Session, args: tuple) -> None:
+        """Release a backup handle."""
+        (backup_id,) = _arity(args, 1)
+        bid = _as_str(backup_id, "backup id")
+
+        def work() -> None:
+            self._replication_source().backup_end(bid)
+            session.backups.discard(bid)
+        return await self._run(session, Command.BACKUP_END, work)
 
     async def _cmd_wal_fetch(self, session: Session, args: tuple) -> tuple:
         """One shipped WAL frame:
@@ -1008,6 +1067,27 @@ class DatabaseServer:
             raise ReplicationError(
                 "this node has no replication hub attached")
         return self.replication
+
+    def _drop_follower_slots(self, session: Session) -> None:
+        """Release slots and backup handles owned by a dying session.
+
+        A follower that vanishes without ``WAL_UNSUBSCRIBE`` must not
+        pin WAL retention (or a materialized backup image) until process
+        death — the session is the slot's lease.
+        """
+        if self.replication is None:
+            return
+        if not session.slots and not session.backups:
+            return
+        for backup_id in list(session.backups):
+            with contextlib.suppress(Exception):
+                self.replication.backup_end(backup_id)
+        session.backups.clear()
+        for follower_id in list(session.slots):
+            with contextlib.suppress(Exception):
+                self.replication.unsubscribe(follower_id)
+            self.sessions.stats.slots_dropped += 1
+        session.slots.clear()
 
     async def _cmd_shutdown(self, _session: Session, args: tuple) -> None:
         _arity(args, 0)

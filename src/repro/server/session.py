@@ -34,6 +34,9 @@ class SessionStats:
     drain_refused: int = 0
     #: transactions aborted because the drain timeout expired on them
     drain_aborts: int = 0
+    #: replication slots dropped because their owning session went away
+    #: (disconnect or idle reap) — the leader-side slot-leak fix
+    slots_dropped: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Wire-friendly view."""
@@ -41,7 +44,8 @@ class SessionStats:
                 "idle_closed": self.idle_closed,
                 "orphans_aborted": self.orphans_aborted,
                 "drain_refused": self.drain_refused,
-                "drain_aborts": self.drain_aborts}
+                "drain_aborts": self.drain_aborts,
+                "slots_dropped": self.slots_dropped}
 
 
 @dataclass
@@ -59,6 +63,13 @@ class Session:
     #: the in-flight command's absolute monotonic deadline (None = none);
     #: valid because a connection processes one request at a time
     deadline: float | None = None
+    #: replication slots registered through this connection — dropped on
+    #: disconnect / idle reap so a vanished follower cannot pin the
+    #: leader's WAL retention forever
+    slots: set[str] = field(default_factory=set)
+    #: base-backup handles opened through this connection — released with
+    #: the session for the same reason
+    backups: set[str] = field(default_factory=set)
 
     def touch(self, now: float) -> None:
         """Record activity (resets the idle clock)."""

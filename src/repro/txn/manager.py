@@ -174,7 +174,10 @@ class TransactionManager:
             # a transaction doomed by SSI victim selection dies here at
             # the latest — before its COMMIT record can become durable
             self.ssi.before_commit(txn)
-        if self.wal is not None:
+        if self.wal is not None and (txn.writes or txn._undo):
+            # read-only transactions leave no WAL trace at all — nothing
+            # to redo, no force burned, and a replica's local reads never
+            # leak into the stream its own cascading hub ships downstream
             self.wal.log_commit(txn.txid)
         with self._mu:
             self.clog.set_committed(txn.txid)

@@ -30,9 +30,17 @@ class WriteAheadLog:
     """Append-only log with group-commit style forced flushes."""
 
     def __init__(self, device: BlockDevice,
-                 page_size: int = units.DB_PAGE_SIZE) -> None:
+                 page_size: int = units.DB_PAGE_SIZE,
+                 max_retained_records: int | None = None) -> None:
         self.device = device
         self.page_size = page_size
+        #: slot-retention budget: a replication slot that would force the
+        #: log to retain more than this many records past its position is
+        #: evicted at the next checkpoint instead of wedging truncation
+        #: (None/0 = unlimited, the pre-budget behaviour).  The traded-off
+        #: follower finds its slot gone, falls below the retained base on
+        #: its next fetch, and recovers through a full resync.
+        self.max_retained_records = max_retained_records
         self._buffer = bytearray()
         self._next_lba = 0
         self._flushed_upto = 0   # bytes in full pages durably on the device
@@ -47,6 +55,10 @@ class WriteAheadLog:
         #: replication slots: follower id → lowest global seq the
         #: follower may still fetch; their minimum clamps truncation
         self._slots: dict[str, int] = {}
+        #: slots evicted for blowing the retention budget, total and the
+        #: per-follower positions they held when evicted (STATS surfacing)
+        self.slots_evicted = 0
+        self.evicted_slots: dict[str, int] = {}
         self.records_written = 0
         self.bytes_written = 0
         self.forces = 0
@@ -252,6 +264,18 @@ class WriteAheadLog:
             # a concurrent recycle() may have emptied the history since
             # the anchor was snapshotted
             redo_index = min(redo_index, len(self._history))
+            if self._slots and self.max_retained_records:
+                # shed-don't-wedge: a slot so far behind that honouring it
+                # would retain more than the budget is evicted — trading
+                # that follower into a full resync instead of letting one
+                # dead replica pin the leader's log forever
+                horizon = self._base_seq + len(self._history)
+                budget = self.max_retained_records
+                for follower_id, seq in list(self._slots.items()):
+                    if horizon - seq > budget:
+                        del self._slots[follower_id]
+                        self.slots_evicted += 1
+                        self.evicted_slots[follower_id] = seq
             if self._slots:
                 # retention floor: keep everything a subscribed follower
                 # has not yet fetched, so the shipped stream never gaps
@@ -367,6 +391,32 @@ class WriteAheadLog:
             records = (list(self._history[start:end])
                        if start < end else [])
             return records, self._base_seq + self._durable_count
+
+    def redo_anchor_seq(self, closed_ts: int) -> int:
+        """Global seq of the backup-cut redo anchor for ``closed_ts``.
+
+        The earliest retained record owned by any transaction with
+        ``txid > closed_ts``, or the end of the log when there is none.
+        A backup image taken at ``closed_ts`` contains exactly the
+        committed transactions at or below it; every transaction above
+        it — still active, or already settled while an older one kept
+        the closed timestamp back — must be re-shipped in full, and by
+        this rule all of their records sit at or above the returned seq.
+        (Active transactions always have ``txid > closed_ts``: the
+        closed timestamp only covers settled fates.)
+        """
+        with self._mu:
+            anchor = len(self._history)
+            for index, record in enumerate(self._history):
+                if record.txid > closed_ts:
+                    anchor = index
+                    break
+            return self._base_seq + anchor
+
+    def retained_records(self) -> int:
+        """Records currently held in the retained (untruncated) history."""
+        with self._mu:
+            return len(self._history)
 
     def register_slot(self, follower_id: str, start_seq: int) -> None:
         """Create (or rewind) a replication slot pinned at ``start_seq``.

@@ -12,10 +12,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.client.pool import ConnectionPool, RetryPolicy
 from repro.common.errors import ReplicationError
 from repro.db.database import Database, EngineKind
 from repro.db.recovery import crash, recover
-from repro.replication import REPLICA_TXID_BASE, ReplicationHub, WalFollower
+from repro.replication import (
+    REPLICA_TXID_BASE,
+    FollowerState,
+    FollowerSupervisor,
+    RemoteSource,
+    ReplicationHub,
+    WalFollower,
+)
+from repro.server import DatabaseServer, ServerConfig
 from tests.conftest import make_accounts_db
 
 
@@ -266,6 +275,155 @@ class TestSlots:
         leader.wal.log_checkpoint(leader.wal.durable_seq())
         with pytest.raises(ReplicationError, match="resync"):
             hub.subscribe("late-joiner", 0)
+
+
+class TestResync:
+    def test_below_base_subscribe_over_wire_typed_refusal(self):
+        """A WAL_SUBSCRIBE below the retained base round-trips over the
+        real wire as a *typed* ReplicationError naming the fix."""
+        leader = make_accounts_db(EngineKind.SIASV)
+        hub = ReplicationHub(leader)
+        server = DatabaseServer(
+            leader, ServerConfig(port=0, idle_timeout_sec=30.0),
+            replication=hub)
+        host, port = server.start_in_background()
+        pool = ConnectionPool(size=1, endpoints=[(host, port)])
+        try:
+            for i in range(10, 20):
+                seed(leader, [(i, f"row-{i}", 1.0)])
+            leader.wal.log_checkpoint(leader.wal.durable_seq())
+            with pytest.raises(ReplicationError, match="resync"):
+                RemoteSource(pool).subscribe("late-joiner", 0)
+        finally:
+            pool.close()
+            server.stop_in_background()
+
+    def test_watermark_monotone_across_auto_resync(self):
+        """An evicted follower heals through a full resync — and its
+        watermark only ever ratchets forward while doing so."""
+        leader, _hub, replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0)])
+        follower.catch_up()
+        before = follower.watermark
+        assert before > 0
+
+        leader.wal.max_retained_records = 4
+        for i in range(2, 12):
+            seed(leader, [(i, f"row-{i}", 1.0)])
+        leader.wal.log_checkpoint(leader.wal.durable_seq())
+
+        follower.catch_up()  # fetch below base -> automatic resync
+        assert follower.resyncs == 1
+        assert follower.watermark > before
+        read = follower.begin_read()
+        state = balances(replica, read)
+        assert state == {1: 10.0, **{i: 1.0 for i in range(2, 12)}}
+        replica.commit(read)
+
+    def test_bootstrap_from_scratch_below_base(self):
+        """connect() itself auto-resyncs when the subscribe point is
+        already below the base — a brand-new replica joining late."""
+        leader = make_accounts_db(EngineKind.SIASV)
+        hub = ReplicationHub(leader)
+        for i in range(10, 20):
+            seed(leader, [(i, f"row-{i}", 1.0)])
+        leader.wal.log_checkpoint(leader.wal.durable_seq())
+
+        replica = make_accounts_db(EngineKind.SIASV)
+        follower = WalFollower(replica, hub, follower_id="late-joiner")
+        follower.connect()
+        assert follower.resyncs == 1
+        follower.catch_up()
+        read = follower.begin_read()
+        assert balances(replica, read) == {i: 1.0 for i in range(10, 20)}
+        replica.commit(read)
+
+
+class TestSupervisor:
+    @staticmethod
+    def _supervise(follower) -> FollowerSupervisor:
+        return FollowerSupervisor(
+            follower,
+            retry=RetryPolicy(base_delay_sec=0.0, max_delay_sec=0.0),
+            sleep=lambda _s: None)
+
+    def test_eviction_resubscribe_lands_in_resyncing(self):
+        """A follower whose slot was evicted under the retention budget
+        passes through RESYNCING on its next supervised step — the
+        supervisor never crashes, and the step ends streaming again."""
+        leader, _hub, replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0)])
+        supervisor = self._supervise(follower)
+        assert supervisor.step() is FollowerState.STREAMING
+
+        leader.wal.max_retained_records = 4
+        for i in range(2, 12):
+            seed(leader, [(i, f"row-{i}", 1.0)])
+        leader.wal.log_checkpoint(leader.wal.durable_seq())
+        assert follower.follower_id not in leader.wal.slots()  # evicted
+
+        assert supervisor.step() is FollowerState.STREAMING
+        assert supervisor.resyncs_observed == 1  # passed through RESYNCING
+        assert supervisor.failures == 0
+        read = follower.begin_read()
+        assert len(balances(replica, read)) == 11
+        replica.commit(read)
+
+    def test_transport_error_backs_off_then_recovers(self):
+        """An unreachable upstream sets DISCONNECTED with a recorded
+        error; once it answers again the loop resumes streaming."""
+        leader, hub, _replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0)])
+        supervisor = self._supervise(follower)
+        assert supervisor.step() is FollowerState.STREAMING
+
+        class DeadSource:
+            def __getattr__(self, _name):
+                raise ConnectionError("upstream unreachable")
+
+        follower.source = DeadSource()
+        assert supervisor.step() is FollowerState.DISCONNECTED
+        assert supervisor.disconnects == 1
+        assert "unreachable" in (supervisor.last_error or "")
+
+        follower.source = hub
+        seed(leader, [(2, "b", 20.0)])
+        assert supervisor.step() is FollowerState.STREAMING
+        assert supervisor.failures == 0
+
+
+class TestMarkerPersistence:
+    def test_watermark_and_epoch_survive_crash(self):
+        """The restart marker carries watermark + epoch, so a recovered
+        replica's fresh follower resumes with all three — its cascade
+        hub never serves closed_ts=0 to a downstream bootstrap."""
+        leader, hub, replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0), (2, "b", 20.0)])
+        follower.catch_up()
+        watermark, epoch = follower.watermark, follower.epoch
+        assert watermark > 0
+
+        crash(replica)
+        recover(replica)
+        resumed = WalFollower(replica, hub)
+        assert resumed.watermark == watermark  # before any reconnect
+        assert resumed.epoch == epoch
+
+    def test_marker_survives_local_checkpoint(self):
+        """A replica-local checkpoint truncates the replica's own WAL —
+        the marker must be re-armed after it, or a later crash would
+        resume from seq 0 with a zero watermark."""
+        leader, hub, replica, follower = make_pair()
+        seed(leader, [(1, "a", 10.0)])
+        follower.catch_up()
+        watermark, acked = follower.watermark, follower.acked_seq
+
+        replica.checkpointer.run_now()  # truncates, then re-marks
+        crash(replica)
+        recover(replica)
+        resumed = WalFollower(replica, hub)
+        assert resumed.watermark == watermark
+        assert resumed.acked_seq == acked
 
 
 class TestEngineGate:

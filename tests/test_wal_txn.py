@@ -280,8 +280,17 @@ class TestTransactionManager:
         device = FlashDevice(clock, SMALL_FLASH, name="wal")
         mgr = TransactionManager(wal=WriteAheadLog(device))
         txn = mgr.begin()
+        txn.writes += 1  # a transaction that wrote something
         mgr.commit(txn)
         assert txn.txid in mgr.wal.committed_txids()
+
+    def test_read_only_commit_leaves_no_wal_trace(self, clock):
+        device = FlashDevice(clock, SMALL_FLASH, name="wal")
+        mgr = TransactionManager(wal=WriteAheadLog(device))
+        txn = mgr.begin()
+        mgr.commit(txn)
+        assert mgr.wal.records_written == 0
+        assert mgr.clog.is_committed(txn.txid)
 
     def test_active_tracking(self):
         mgr = TransactionManager()
